@@ -1,0 +1,108 @@
+//! Aggregation-path microbenchmarks: the exact masked scan (the paper's
+//! bottleneck) vs sample-based estimation (FlashP's replacement), plus
+//! predicate evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flashp_sampling::{estimate_agg, GswSampler, SampleSize, Sampler};
+use flashp_storage::{
+    AggFunc, CmpOp, DataType, DimensionColumn, Partition, Predicate, Schema, SchemaRef,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn setup(n: usize) -> (SchemaRef, Partition) {
+    let schema = Schema::from_names(
+        &[("age", DataType::UInt8), ("seg", DataType::UInt16)],
+        &["m"],
+    )
+    .unwrap()
+    .into_shared();
+    let mut rng = StdRng::seed_from_u64(3);
+    let age: Vec<i64> = (0..n).map(|_| rng.gen_range(18..=70)).collect();
+    let seg: Vec<i64> = (0..n).map(|_| rng.gen_range(0..500)).collect();
+    let m: Vec<f64> = (0..n)
+        .map(|_| if rng.gen::<f64>() < 0.01 { 300.0 } else { 1.0 + rng.gen::<f64>() })
+        .collect();
+    let mut a8 = DimensionColumn::new(DataType::UInt8);
+    let mut s16 = DimensionColumn::new(DataType::UInt16);
+    for i in 0..n {
+        a8.push_int("age", age[i]).unwrap();
+        s16.push_int("seg", seg[i]).unwrap();
+    }
+    (schema, Partition::from_columns(vec![a8, s16], vec![m]).unwrap())
+}
+
+fn bench_exact_vs_sampled(c: &mut Criterion) {
+    let n = 1_000_000;
+    let (schema, partition) = setup(n);
+    let pred = Predicate::cmp("age", CmpOp::Le, 30)
+        .and(Predicate::cmp("seg", CmpOp::Lt, 100))
+        .compile(&schema, &[None, None])
+        .unwrap();
+
+    let mut group = c.benchmark_group("aggregation_1M_rows");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("exact_masked_scan", |b| {
+        b.iter(|| {
+            let mask = pred.evaluate(&partition);
+            flashp_storage::aggregate::aggregate_masked(&partition, 0, &mask)
+                .finalize(AggFunc::Sum)
+        })
+    });
+    group.finish();
+
+    // Sample-based estimation at a few rates (FlashP's online path).
+    let mut group = c.benchmark_group("estimate_from_sample");
+    for rate in [0.01, 0.001] {
+        let sampler = GswSampler::optimal(0, SampleSize::Rate(rate));
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = sampler.sample(&schema, &partition, &mut rng).unwrap();
+        group.throughput(Throughput::Elements(sample.num_rows() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rate_{rate}")),
+            &sample,
+            |b, sample| b.iter(|| estimate_agg(sample, 0, &pred, AggFunc::Sum).unwrap().value),
+        );
+    }
+    group.finish();
+}
+
+fn bench_predicate_forms(c: &mut Criterion) {
+    let n = 1_000_000;
+    let (schema, partition) = setup(n);
+    let forms: Vec<(&str, Predicate)> = vec![
+        ("single_cmp", Predicate::cmp("age", CmpOp::Le, 30)),
+        (
+            "conjunction3",
+            Predicate::cmp("age", CmpOp::Ge, 20)
+                .and(Predicate::cmp("age", CmpOp::Le, 40))
+                .and(Predicate::cmp("seg", CmpOp::Lt, 250)),
+        ),
+        (
+            "in_set",
+            Predicate::In {
+                column: "seg".to_string(),
+                values: (0..16).map(flashp_storage::Value::Int).collect(),
+            },
+        ),
+        (
+            "disjunction",
+            Predicate::Or(vec![
+                Predicate::cmp("age", CmpOp::Lt, 25),
+                Predicate::cmp("age", CmpOp::Gt, 60),
+            ]),
+        ),
+    ];
+    let mut group = c.benchmark_group("predicate_eval_1M_rows");
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, pred) in forms {
+        let compiled = pred.compile(&schema, &[None, None]).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &compiled, |b, p| {
+            b.iter(|| p.evaluate(&partition).count_ones())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_sampled, bench_predicate_forms);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! End-to-end FORECAST task latency at different sampling rates — the
+//! criterion companion of Fig. 7 (Exp-II).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flashp_core::{EngineConfig, FlashPEngine, SamplerChoice};
+use flashp_data::{generate_dataset, DatasetConfig};
+use std::sync::Arc;
+
+fn engine() -> FlashPEngine {
+    // Small dataset for the harness-managed benchmark (criterion repeats
+    // the query many times; the dataset is built once).
+    let ds = generate_dataset(&DatasetConfig::new(5_000, 100, 1_234)).unwrap();
+    let mut engine = FlashPEngine::new(
+        Arc::new(ds.table),
+        EngineConfig {
+            sampler: SamplerChoice::OptimalGsw,
+            layer_rates: vec![0.1, 0.01, 0.002],
+            ..Default::default()
+        },
+    );
+    engine.build_samples().unwrap();
+    engine
+}
+
+fn bench_forecast_sql(c: &mut Criterion) {
+    let engine = engine();
+    let mut group = c.benchmark_group("e2e_forecast_task");
+    group.sample_size(10);
+    for (label, rate) in [("full", 1.0f64), ("10pct", 0.1), ("1pct", 0.01), ("0.2pct", 0.002)] {
+        let sql = format!(
+            "FORECAST SUM(Impression) FROM ads WHERE age <= 30 AND gender = 'F' \
+             USING (20200101, 20200331) \
+             OPTION (MODEL = 'arima', FORE_PERIOD = 7, SAMPLE_RATE = {rate})"
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sql, |b, sql| {
+            b.iter(|| engine.forecast(sql).unwrap().forecasts.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation_phase_only(c: &mut Criterion) {
+    let engine = engine();
+    let pred = engine
+        .table()
+        .compile_predicate(
+            &flashp_storage::Predicate::cmp("age", flashp_storage::CmpOp::Le, 30),
+        )
+        .unwrap();
+    let t0 = flashp_storage::Timestamp::from_yyyymmdd(20200101).unwrap();
+    let t1 = flashp_storage::Timestamp::from_yyyymmdd(20200331).unwrap();
+    let mut group = c.benchmark_group("aggregation_phase_91_days");
+    for (label, rate) in [("full", 1.0f64), ("1pct", 0.01)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &rate, |b, &rate| {
+            b.iter(|| {
+                engine
+                    .estimate_series(0, &pred, flashp_storage::AggFunc::Sum, t0, t1, rate)
+                    .unwrap()
+                    .0
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forecast_sql, bench_aggregation_phase_only);
+criterion_main!(benches);

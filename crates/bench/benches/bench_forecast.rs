@@ -1,0 +1,76 @@
+//! Model-fitting microbenchmarks: ARMA CSS fit, auto-ARIMA search, LSTM
+//! training, on the paper's standard 150-point training series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flashp_forecast::model::ForecastModel;
+use flashp_forecast::simulate::{simulate_arma, ArmaSpec};
+use flashp_forecast::{ArimaModel, ArmaModel, AutoArima, LstmConfig, LstmForecaster};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn series(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let spec = ArmaSpec { ar: vec![0.7], ma: vec![0.2], mean: 1_000.0, sigma: 30.0 };
+    simulate_arma(&spec, n, &mut rng)
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let data = series(150);
+    let mut group = c.benchmark_group("model_fit_150_points");
+    group.bench_function("arma_1_1_css", |b| {
+        b.iter(|| {
+            let mut m = ArmaModel::new(1, 1);
+            m.fit(&data).unwrap().sigma2
+        })
+    });
+    group.bench_function("arima_1_1_1", |b| {
+        b.iter(|| {
+            let mut m = ArimaModel::new(1, 1, 1);
+            m.fit(&data).unwrap().sigma2
+        })
+    });
+    group.bench_function("auto_arima_stepwise", |b| {
+        b.iter(|| {
+            let mut m = AutoArima::default();
+            m.fit(&data).unwrap().sigma2
+        })
+    });
+    group.bench_function("lstm_50_epochs", |b| {
+        b.iter(|| {
+            let mut m = LstmForecaster::new(LstmConfig { epochs: 50, ..Default::default() });
+            m.fit(&data).unwrap().sigma2
+        })
+    });
+    group.finish();
+}
+
+fn bench_forecast_horizons(c: &mut Criterion) {
+    let data = series(150);
+    let mut model = ArimaModel::new(1, 0, 1);
+    model.fit(&data).unwrap();
+    let mut group = c.benchmark_group("forecast_after_fit");
+    for horizon in [7usize, 30, 90] {
+        group.bench_with_input(BenchmarkId::from_parameter(horizon), &horizon, |b, &h| {
+            b.iter(|| model.forecast(h, 0.9).unwrap().points.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_lengths(c: &mut Criterion) {
+    // The Fig. 8 axis: how fit time scales with the training length.
+    let mut group = c.benchmark_group("arma_fit_by_train_len");
+    for len in [30usize, 60, 90, 150] {
+        let data = series(len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &data, |b, data| {
+            b.iter(|| {
+                let mut m = ArmaModel::new(1, 1);
+                m.fit(data).unwrap().sigma2
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fits, bench_forecast_horizons, bench_training_lengths);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Incremental GSW maintenance throughput (§4.1): row-insert rate and
+//! the cost of raising Δ to evict down to a size budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flashp_sampling::IncrementalGswSample;
+use flashp_storage::{DataType, Schema, SchemaRef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> SchemaRef {
+    Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let schema = schema();
+    let n = 100_000u64;
+    let mut group = c.benchmark_group("incremental_gsw");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+    group.bench_function("insert_100k_rows", |b| {
+        b.iter(|| {
+            let mut sample = IncrementalGswSample::new(schema.clone(), 50.0).unwrap();
+            let mut rng = StdRng::seed_from_u64(5);
+            for i in 0..n {
+                let m = 1.0 + rng.gen::<f64>();
+                sample.insert(vec![i as i64], vec![m], m, &mut rng).unwrap();
+            }
+            sample.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_shrink(c: &mut Criterion) {
+    let schema = schema();
+    let mut group = c.benchmark_group("incremental_gsw_shrink");
+    group.sample_size(10);
+    for target in [10_000usize, 1_000, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(target), &target, |b, &target| {
+            b.iter_with_setup(
+                || {
+                    let mut sample =
+                        IncrementalGswSample::new(schema.clone(), 0.1).unwrap();
+                    let mut rng = StdRng::seed_from_u64(6);
+                    for i in 0..100_000u64 {
+                        let m = 1.0 + rng.gen::<f64>();
+                        sample.insert(vec![i as i64], vec![m], m, &mut rng).unwrap();
+                    }
+                    sample
+                },
+                |mut sample| {
+                    sample.shrink_to(target);
+                    sample.len()
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_materialize(c: &mut Criterion) {
+    let schema = schema();
+    let mut sample = IncrementalGswSample::new(schema.clone(), 20.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..200_000u64 {
+        let m = 1.0 + rng.gen::<f64>();
+        sample.insert(vec![i as i64], vec![m], m, &mut rng).unwrap();
+    }
+    let mut group = c.benchmark_group("incremental_gsw_materialize");
+    group.throughput(Throughput::Elements(sample.len() as u64));
+    group.bench_function("to_sample", |b| b.iter(|| sample.to_sample().unwrap().num_rows()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_shrink, bench_materialize);
+criterion_main!(benches);

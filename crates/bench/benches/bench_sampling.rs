@@ -1,0 +1,71 @@
+//! Offline sample-build throughput of each sampler family over one
+//! partition (the per-partition unit of work of the §5 offline
+//! preprocessor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flashp_sampling::{
+    GswSampler, PrioritySampler, SampleSize, Sampler, ThresholdSampler, UniformSampler,
+    WeightStrategy,
+};
+use flashp_storage::{DataType, DimensionColumn, Partition, Schema, SchemaRef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn setup(n: usize) -> (SchemaRef, Partition) {
+    let schema =
+        Schema::from_names(&[("k", DataType::Int64)], &["m1", "m2"]).unwrap().into_shared();
+    let mut rng = StdRng::seed_from_u64(1);
+    let m1: Vec<f64> = (0..n)
+        .map(|_| if rng.gen::<f64>() < 0.01 { 500.0 } else { 1.0 + rng.gen::<f64>() })
+        .collect();
+    let m2: Vec<f64> = m1.iter().map(|v| v * (0.5 + rng.gen::<f64>())).collect();
+    let p = Partition::from_columns(
+        vec![DimensionColumn::Int64((0..n as i64).collect())],
+        vec![m1, m2],
+    )
+    .unwrap();
+    (schema, p)
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let n = 100_000;
+    let (schema, partition) = setup(n);
+    let size = SampleSize::Rate(0.01);
+    let samplers: Vec<(&str, Box<dyn Sampler>)> = vec![
+        ("uniform", Box::new(UniformSampler::new(size))),
+        ("optimal_gsw", Box::new(GswSampler::optimal(0, size))),
+        ("arith_compressed_gsw", Box::new(GswSampler::arithmetic_compressed(vec![0, 1], size))),
+        ("geo_compressed_gsw", Box::new(GswSampler::geometric_compressed(vec![0, 1], size))),
+        ("priority", Box::new(PrioritySampler::new(0, size))),
+        ("threshold", Box::new(ThresholdSampler::new(0, size))),
+    ];
+
+    let mut group = c.benchmark_group("sample_build_100k_rows");
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, sampler) in &samplers {
+        group.bench_with_input(BenchmarkId::from_parameter(name), sampler, |b, sampler| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| sampler.sample(&schema, &partition, &mut rng).unwrap().num_rows())
+        });
+    }
+    group.finish();
+}
+
+fn bench_weight_strategies(c: &mut Criterion) {
+    let (_, partition) = setup(100_000);
+    let mut group = c.benchmark_group("weight_computation_100k_rows");
+    group.throughput(Throughput::Elements(100_000));
+    for (name, strategy) in [
+        ("single", WeightStrategy::SingleMeasure(0)),
+        ("arithmetic", WeightStrategy::ArithmeticMean(vec![0, 1])),
+        ("geometric", WeightStrategy::GeometricMean(vec![0, 1])),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, s| {
+            b.iter(|| s.compute(&partition).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers, bench_weight_strategies);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Standalone runner for `experiments::fig8_train_len`. Scale via FLASHP_* env
+//! vars (see the crate docs).
+
+fn main() {
+    let harness = flashp_bench::Harness::load();
+    flashp_bench::experiments::fig8_train_len::run(&harness);
+}

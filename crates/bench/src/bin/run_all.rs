@@ -1,0 +1,25 @@
+//! Run every experiment in sequence on one shared dataset, regenerating
+//! all tables and figures of the paper. See crate docs for env knobs.
+
+fn main() {
+    let harness = flashp_bench::Harness::load();
+    let experiments: Vec<(&str, fn(&flashp_bench::Harness) -> serde_json::Value)> = vec![
+        ("Proposition 1", flashp_bench::experiments::prop1::run),
+        ("Fig. 3 example", flashp_bench::experiments::fig3_example::run),
+        ("Fig. 5 grouping", flashp_bench::experiments::fig5_grouping::run),
+        ("Fig. 7 response time", flashp_bench::experiments::fig7_response::run),
+        ("Fig. 9 aggregation error", flashp_bench::experiments::fig9_agg_error::run),
+        ("Table 1 summary", flashp_bench::experiments::table1::run),
+        ("Figs. 10-14 forecast error", flashp_bench::experiments::forecast_error::run),
+        ("Fig. 8 training length", flashp_bench::experiments::fig8_train_len::run),
+        ("Fig. 12 intervals", flashp_bench::experiments::fig12_intervals::run),
+        ("Fig. 15 space cost", flashp_bench::experiments::fig15_space::run),
+        ("Ablation: tail vs priority", flashp_bench::experiments::ablation_tail::run),
+    ];
+    for (name, run) in experiments {
+        eprintln!("\n################ {name} ################");
+        let t = std::time::Instant::now();
+        run(&harness);
+        eprintln!("[{name}] finished in {:.1?}", t.elapsed());
+    }
+}

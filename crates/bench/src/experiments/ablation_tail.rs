@@ -1,0 +1,93 @@
+//! **Ablation (Exp-IV discussion)** — why optimal GSW can beat the
+//! theoretically optimal priority sampler: priority includes every row
+//! above the threshold *deterministically*, which over-invests in the
+//! heavy tail; when the online constraint happens to exclude the tail,
+//! that budget is wasted. GSW's smoothed probabilities hedge.
+//!
+//! Construction: heavy rows live in segment A; the query targets
+//! segment B only.
+
+use crate::{mean_std, print_table};
+use flashp_sampling::{
+    estimate_agg, GswSampler, PrioritySampler, SampleSize, Sampler, WeightStrategy,
+};
+use flashp_storage::{AggFunc, CmpOp, DataType, DimensionColumn, Partition, Predicate, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+
+pub fn run(_h: &crate::Harness) -> serde_json::Value {
+    let schema =
+        Schema::from_names(&[("segment", DataType::Int64)], &["m"]).unwrap().into_shared();
+    let n = 50_000;
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut seg = Vec::with_capacity(n);
+    let mut m = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Segment A (0) holds the heavy tail; segment B (1) is light.
+        let is_a = rng.gen::<f64>() < 0.5;
+        seg.push(i64::from(!is_a));
+        let value = if is_a && rng.gen::<f64>() < 0.01 {
+            5_000.0 * (1.0 + rng.gen::<f64>())
+        } else {
+            1.0 + rng.gen::<f64>()
+        };
+        m.push(value);
+    }
+    let partition = Partition::from_columns(
+        vec![DimensionColumn::Int64(seg)],
+        vec![m],
+    )
+    .unwrap();
+    let pred_b = Predicate::cmp("segment", CmpOp::Eq, 1).compile(&schema, &[None]).unwrap();
+    let pred_all = Predicate::True.compile(&schema, &[None]).unwrap();
+    let truth_b: f64 = {
+        let mask = pred_b.evaluate(&partition);
+        mask.iter_ones().map(|i| partition.measure(0)[i]).sum()
+    };
+    let truth_all: f64 = partition.measure(0).iter().sum();
+
+    let k = 500;
+    let gsw = GswSampler::with_size(WeightStrategy::SingleMeasure(0), SampleSize::Expected(k));
+    let priority = PrioritySampler::new(0, SampleSize::Expected(k));
+    let reps = 300u64;
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (label, pred, truth) in
+        [("whole table", &pred_all, truth_all), ("tail-free segment B", &pred_b, truth_b)]
+    {
+        let mut errs_gsw = Vec::new();
+        let mut errs_pri = Vec::new();
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = gsw.sample(&schema, &partition, &mut rng).unwrap();
+            let e = estimate_agg(&s, 0, pred, AggFunc::Sum).unwrap();
+            errs_gsw.push((e.value - truth).abs() / truth);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = priority.sample(&schema, &partition, &mut rng).unwrap();
+            let e = estimate_agg(&s, 0, pred, AggFunc::Sum).unwrap();
+            errs_pri.push((e.value - truth).abs() / truth);
+        }
+        let (g, gs) = mean_std(&errs_gsw);
+        let (p, ps) = mean_std(&errs_pri);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}±{:.2}%", g * 100.0, gs * 100.0),
+            format!("{:.2}±{:.2}%", p * 100.0, ps * 100.0),
+        ]);
+        out.push(json!({"constraint": label, "opt_gsw": g, "priority": p}));
+    }
+    print_table(
+        "Ablation: Opt-GSW vs Priority when the constraint excludes the heavy tail",
+        &["constraint", "Opt-GSW err", "Priority err"],
+        &rows,
+    );
+    println!(
+        "expected shape: near-identical on the whole table; on the tail-free subset \
+         the samplers' effective budgets differ (the paper's Exp-IV remark)"
+    );
+    let value = json!(out);
+    crate::write_json("ablation_tail", &value);
+    value
+}

@@ -1,0 +1,28 @@
+//! One module per table/figure of the paper's evaluation (§6). Each
+//! exposes `run(&Harness) -> serde_json::Value` which prints the rows the
+//! paper reports and returns a machine-readable summary.
+
+pub mod ablation_tail;
+pub mod fig12_intervals;
+pub mod fig15_space;
+pub mod fig3_example;
+pub mod fig5_grouping;
+pub mod fig7_response;
+pub mod fig8_train_len;
+pub mod fig9_agg_error;
+pub mod forecast_error;
+pub mod prop1;
+pub mod table1;
+
+use flashp_core::SamplerChoice;
+
+/// The sampler lineup of Figs. 9–14.
+pub fn figure_samplers() -> Vec<SamplerChoice> {
+    vec![
+        SamplerChoice::OptimalGsw,
+        SamplerChoice::Priority,
+        SamplerChoice::ArithmeticGsw,
+        SamplerChoice::GeometricGsw,
+        SamplerChoice::Uniform,
+    ]
+}

@@ -1,0 +1,777 @@
+//! The FlashP engine: offline sample preprocessing + online forecasting.
+//!
+//! Mirrors the deployment of §5: an *Offline Sample Preprocessor* draws
+//! multi-layer samples per partition (one sample set per measure for
+//! measure-dependent samplers, one per measure group for compressed GSW,
+//! one shared set for uniform), and an *Online Forecasting Service*
+//! rewrites a FORECAST task into per-timestamp aggregation queries
+//! (Eq. 4), estimates them from the chosen sample layer, fits the
+//! requested model and returns forecasts with intervals — reporting the
+//! aggregation/forecasting time split of Fig. 7.
+
+use crate::config::{EngineConfig, GroupingPolicy, SamplerChoice};
+use crate::error::EngineError;
+use crate::models::build_model;
+use crate::result::{ExecOutput, ForecastOut, ForecastResult, SelectResult, SeriesPoint, Timing};
+use flashp_query::{bind_expr, bind_select_constraint, parse, ForecastStmt, SelectStmt, Statement};
+use flashp_sampling::{
+    estimate_agg, group_measures, GswSampler, PrioritySampler, Sample, SampleSize, Sampler,
+    ThresholdSampler, UniformSampler,
+};
+use flashp_storage::parallel::parallel_map;
+use flashp_storage::{
+    AggFunc, AggState, CompiledPredicate, ScanOptions, Timestamp, TimeSeriesTable,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One layer of the sample catalog.
+struct CatalogLayer {
+    rate: f64,
+    /// Sample sets; indexing via `measure_bucket`.
+    buckets: Vec<BTreeMap<Timestamp, Sample>>,
+    /// Bucket index serving each measure.
+    measure_bucket: Vec<usize>,
+    /// Human-readable sampler label.
+    sampler_label: String,
+    /// Total sampled rows across buckets (drives the threading decision
+    /// at query time: tiny layers are cheaper to scan sequentially).
+    total_rows: usize,
+}
+
+/// Statistics returned by [`FlashPEngine::build_samples`].
+#[derive(Debug, Clone)]
+pub struct BuildStats {
+    /// Wall-clock build time.
+    pub duration: std::time::Duration,
+    /// Total bytes across all layers and buckets.
+    pub total_bytes: usize,
+    /// Per layer: (rate, total sampled rows, bytes).
+    pub layers: Vec<(f64, usize, usize)>,
+    /// Resolved measure groups (empty unless a compressed sampler).
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// The FlashP engine.
+pub struct FlashPEngine {
+    table: Arc<TimeSeriesTable>,
+    config: EngineConfig,
+    layers: Vec<CatalogLayer>,
+    groups: Vec<Vec<usize>>,
+}
+
+impl FlashPEngine {
+    /// Wrap a table with the given configuration. The table is shared via
+    /// [`Arc`], so several engines (e.g. one per sampler in an experiment)
+    /// can serve the same data without copying it. Call
+    /// [`FlashPEngine::build_samples`] before issuing sampled queries;
+    /// exact (rate = 1) queries work immediately.
+    pub fn new(table: impl Into<Arc<TimeSeriesTable>>, config: EngineConfig) -> Self {
+        FlashPEngine { table: table.into(), config, layers: Vec::new(), groups: Vec::new() }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &TimeSeriesTable {
+        &self.table
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Resolved measure groups (populated by `build_samples` when a
+    /// compressed sampler is configured).
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Run the offline sample preprocessor: draw every layer × bucket ×
+    /// partition sample. Deterministic given `config.seed`.
+    pub fn build_samples(&mut self) -> Result<BuildStats, EngineError> {
+        self.config.validate().map_err(EngineError::Config)?;
+        let start_time = Instant::now();
+        let num_measures = self.table.schema().num_measures();
+        if num_measures == 0 {
+            return Err(EngineError::Config("table has no measures".to_string()));
+        }
+
+        // Resolve buckets.
+        let (bucket_defs, measure_bucket, groups) = self.resolve_buckets(num_measures)?;
+        self.groups = groups.clone();
+
+        let schema = self.table.schema().clone();
+        let mut layers = Vec::with_capacity(self.config.layer_rates.len());
+        let mut stats_layers = Vec::new();
+        let mut total_bytes = 0usize;
+        for (layer_idx, &rate) in self.config.layer_rates.iter().enumerate() {
+            let mut buckets = Vec::with_capacity(bucket_defs.len());
+            let mut layer_rows = 0usize;
+            let mut layer_bytes = 0usize;
+            let mut label = String::new();
+            for (bucket_idx, def) in bucket_defs.iter().enumerate() {
+                let sampler = make_sampler(&self.config.sampler, def, rate);
+                label = self.config.sampler.label().to_string();
+                let parts: Vec<(Timestamp, &flashp_storage::Partition)> =
+                    self.table.partitions().collect();
+                let seed_base = mix(self.config.seed, layer_idx as u64, bucket_idx as u64);
+                let samples: Vec<Result<Sample, flashp_sampling::SamplingError>> =
+                    parallel_map(&parts, self.config.threads, |(t, p)| {
+                        let mut rng = StdRng::seed_from_u64(mix(seed_base, t.0 as u64, 0x5A));
+                        sampler.sample(&schema, p, &mut rng)
+                    });
+                let mut map = BTreeMap::new();
+                for ((t, _), s) in parts.iter().zip(samples) {
+                    let s = s?;
+                    layer_rows += s.num_rows();
+                    layer_bytes += s.byte_size();
+                    map.insert(*t, s);
+                }
+                buckets.push(map);
+            }
+            total_bytes += layer_bytes;
+            stats_layers.push((rate, layer_rows, layer_bytes));
+            layers.push(CatalogLayer {
+                rate,
+                buckets,
+                measure_bucket: measure_bucket.clone(),
+                sampler_label: label,
+                total_rows: layer_rows,
+            });
+        }
+        // Keep layers sorted by rate descending for selection.
+        layers.sort_by(|a, b| b.rate.total_cmp(&a.rate));
+        self.layers = layers;
+        Ok(BuildStats {
+            duration: start_time.elapsed(),
+            total_bytes,
+            layers: stats_layers,
+            groups,
+        })
+    }
+
+    /// Resolve bucket definitions: which measures each sample set serves.
+    #[allow(clippy::type_complexity)]
+    fn resolve_buckets(
+        &self,
+        num_measures: usize,
+    ) -> Result<(Vec<Vec<usize>>, Vec<usize>, Vec<Vec<usize>>), EngineError> {
+        if self.config.sampler.per_measure() {
+            let defs: Vec<Vec<usize>> = (0..num_measures).map(|j| vec![j]).collect();
+            let mapping: Vec<usize> = (0..num_measures).collect();
+            return Ok((defs, mapping, Vec::new()));
+        }
+        if !self.config.sampler.grouped() {
+            // Uniform: one shared bucket.
+            return Ok((vec![(0..num_measures).collect()], vec![0; num_measures], Vec::new()));
+        }
+        // Compressed samplers: need groups.
+        let groups: Vec<Vec<usize>> = match &self.config.grouping {
+            GroupingPolicy::Single => vec![(0..num_measures).collect()],
+            GroupingPolicy::Explicit(groups) => {
+                let mut seen = vec![false; num_measures];
+                for g in groups {
+                    for &j in g {
+                        if j >= num_measures || seen[j] {
+                            return Err(EngineError::Config(format!(
+                                "invalid or duplicate measure {j} in explicit groups"
+                            )));
+                        }
+                        seen[j] = true;
+                    }
+                }
+                if seen.iter().any(|s| !s) {
+                    return Err(EngineError::Config(
+                        "explicit groups must cover every measure".to_string(),
+                    ));
+                }
+                groups.clone()
+            }
+            GroupingPolicy::Auto { num_groups } => {
+                // Group on a middle partition (representative day).
+                let (lo, hi) = self
+                    .table
+                    .time_bounds()
+                    .ok_or_else(|| EngineError::Config("empty table".to_string()))?;
+                let mid = Timestamp(lo.0 + (hi.0 - lo.0) / 2);
+                let partition = self
+                    .table
+                    .partition(mid)
+                    .or_else(|| self.table.partitions().next().map(|(_, p)| p))
+                    .ok_or_else(|| EngineError::Config("empty table".to_string()))?;
+                let all: Vec<usize> = (0..num_measures).collect();
+                let mut rng = StdRng::seed_from_u64(mix(self.config.seed, 0xC1, 0xC2));
+                let result = group_measures(partition, &all, *num_groups, 20_000, &mut rng)?;
+                result.groups
+            }
+        };
+        let mut mapping = vec![usize::MAX; num_measures];
+        for (b, g) in groups.iter().enumerate() {
+            for &j in g {
+                mapping[j] = b;
+            }
+        }
+        Ok((groups.clone(), mapping, groups))
+    }
+
+    /// Execute any statement.
+    pub fn execute(&self, sql: &str) -> Result<ExecOutput, EngineError> {
+        match parse(sql)? {
+            Statement::Forecast(stmt) => {
+                Ok(ExecOutput::Forecast(Box::new(self.run_forecast(&stmt)?)))
+            }
+            Statement::Select(stmt) => Ok(ExecOutput::Select(self.run_select(&stmt)?)),
+        }
+    }
+
+    /// Execute a FORECAST statement (errors on SELECT).
+    pub fn forecast(&self, sql: &str) -> Result<ForecastResult, EngineError> {
+        match parse(sql)? {
+            Statement::Forecast(stmt) => self.run_forecast(&stmt),
+            Statement::Select(_) => Err(EngineError::WrongStatement { expected: "FORECAST" }),
+        }
+    }
+
+    /// Execute a SELECT statement (errors on FORECAST).
+    pub fn select(&self, sql: &str) -> Result<SelectResult, EngineError> {
+        match parse(sql)? {
+            Statement::Select(stmt) => self.run_select(&stmt),
+            Statement::Forecast(_) => Err(EngineError::WrongStatement { expected: "SELECT" }),
+        }
+    }
+
+    fn check_table(&self, name: &str) -> Result<(), EngineError> {
+        if let Some(expected) = &self.config.table_name {
+            if !expected.eq_ignore_ascii_case(name) {
+                return Err(EngineError::Config(format!(
+                    "unknown table '{name}' (registered: '{expected}')"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_measure(&self, name: &str, agg: AggFunc) -> Result<usize, EngineError> {
+        if name == "*" {
+            if agg != AggFunc::Count {
+                return Err(EngineError::Config("'*' is only valid in COUNT(*)".to_string()));
+            }
+            // COUNT(*) needs no measure values; use column 0 for masking.
+            return Ok(0);
+        }
+        Ok(self.table.schema().measure_index(name)?)
+    }
+
+    /// Run a forecasting task (the full two-phase pipeline of §2.1).
+    pub fn run_forecast(&self, stmt: &ForecastStmt) -> Result<ForecastResult, EngineError> {
+        self.check_table(&stmt.table)?;
+        let measure = self.resolve_measure(&stmt.measure, stmt.agg)?;
+        let predicate = bind_expr(&stmt.constraint)?;
+        let compiled = self.table.compile_predicate(&predicate)?;
+        let t_start = Timestamp::from_yyyymmdd(stmt.t_start)?;
+        let t_end = Timestamp::from_yyyymmdd(stmt.t_end)?;
+        if t_end < t_start {
+            return Err(EngineError::Config(format!(
+                "USING range is reversed: {} > {}",
+                stmt.t_start, stmt.t_end
+            )));
+        }
+
+        // Options.
+        let rate = match stmt.option("SAMPLE_RATE") {
+            Some(v) => v.as_float().ok_or_else(|| {
+                EngineError::Config("SAMPLE_RATE must be numeric".to_string())
+            })?,
+            None => self.config.default_rate,
+        };
+        if !(rate > 0.0 && rate <= 1.0) {
+            return Err(EngineError::Config(format!("SAMPLE_RATE {rate} outside (0, 1]")));
+        }
+        let model_name = match stmt.option("MODEL") {
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| EngineError::Config("MODEL must be a string".to_string()))?
+                .to_string(),
+            None => self.config.default_model.clone(),
+        };
+        let horizon = match stmt.option("FORE_PERIOD") {
+            Some(v) => v.as_int().ok_or_else(|| {
+                EngineError::Config("FORE_PERIOD must be an integer".to_string())
+            })? as usize,
+            None => self.config.default_horizon,
+        };
+        let confidence = match stmt.option("CONFIDENCE") {
+            Some(v) => v.as_float().ok_or_else(|| {
+                EngineError::Config("CONFIDENCE must be numeric".to_string())
+            })?,
+            None => self.config.default_confidence,
+        };
+        let noise_aware = stmt
+            .option("NOISE_AWARE")
+            .and_then(|v| v.as_int())
+            .map(|v| v != 0)
+            .unwrap_or(false);
+
+        // Phase 1: estimate the training series (Eq. 4).
+        let agg_start = Instant::now();
+        let (estimates, sampler_label, rate_used) =
+            self.estimate_series(measure, &compiled, stmt.agg, t_start, t_end, rate)?;
+        let aggregation = agg_start.elapsed();
+
+        // Phase 2: fit + forecast.
+        let fit_start = Instant::now();
+        let values: Vec<f64> = estimates.iter().map(|p| p.value).collect();
+        let mut model = build_model(&model_name)?;
+        let summary = model.fit(&values)?;
+        let mut fc = model.forecast(horizon, confidence)?;
+        let mean_noise_variance = {
+            let vars: Vec<f64> = estimates.iter().filter_map(|p| p.variance).collect();
+            if vars.is_empty() {
+                0.0
+            } else {
+                vars.iter().sum::<f64>() / vars.len() as f64
+            }
+        };
+        if noise_aware && mean_noise_variance > 0.0 {
+            fc = flashp_forecast::noise::widen_with_noise(&fc, mean_noise_variance)?;
+        }
+        let forecasting = fit_start.elapsed();
+
+        let forecasts: Vec<ForecastOut> = fc
+            .points
+            .iter()
+            .map(|p| ForecastOut {
+                t: t_end + p.step as i64,
+                value: p.value,
+                lo: p.lo,
+                hi: p.hi,
+                std_err: p.std_err,
+            })
+            .collect();
+        Ok(ForecastResult {
+            estimates,
+            forecasts,
+            model: model.name(),
+            sampler: sampler_label,
+            rate_used,
+            confidence,
+            sigma2: summary.sigma2,
+            mean_noise_variance,
+            timing: Timing { aggregation, forecasting },
+        })
+    }
+
+    /// Estimate the per-timestamp aggregates over `[start, end]`. Rate 1
+    /// runs the exact parallel scan; otherwise the cheapest adequate
+    /// sample layer answers.
+    pub fn estimate_series(
+        &self,
+        measure: usize,
+        pred: &CompiledPredicate,
+        agg: AggFunc,
+        start: Timestamp,
+        end: Timestamp,
+        rate: f64,
+    ) -> Result<(Vec<SeriesPoint>, String, f64), EngineError> {
+        let expected_points = (end - start + 1) as usize;
+        if rate >= 1.0 {
+            let rows = flashp_storage::aggregate_range(
+                &self.table,
+                measure,
+                pred,
+                agg,
+                start,
+                end,
+                ScanOptions { threads: self.config.threads },
+            )?;
+            if rows.len() != expected_points {
+                return Err(EngineError::SamplesUnavailable(format!(
+                    "table covers {} of {} requested timestamps",
+                    rows.len(),
+                    expected_points
+                )));
+            }
+            let points =
+                rows.into_iter().map(|(t, value)| SeriesPoint { t, value, variance: None }).collect();
+            return Ok((points, "full scan".to_string(), 1.0));
+        }
+
+        let layer = self
+            .layers
+            .iter()
+            .filter(|l| l.rate >= rate)
+            .last()
+            .or_else(|| self.layers.first())
+            .ok_or_else(|| {
+                EngineError::SamplesUnavailable(
+                    "no sample layers built; call build_samples()".to_string(),
+                )
+            })?;
+        let bucket = &layer.buckets[layer.measure_bucket[measure]];
+        let ts: Vec<Timestamp> = start.range_inclusive(end).collect();
+        // Thread spawn costs dwarf the estimation work on small layers.
+        let threads = if layer.total_rows < 200_000 { 1 } else { self.config.threads };
+        let estimates: Vec<Result<SeriesPoint, EngineError>> =
+            parallel_map(&ts, threads, |&t| {
+                let sample = bucket.get(&t).ok_or_else(|| {
+                    EngineError::SamplesUnavailable(format!("no sample for timestamp {t}"))
+                })?;
+                let e = estimate_agg(sample, measure, pred, agg)?;
+                Ok(SeriesPoint { t, value: e.value, variance: e.variance })
+            });
+        let mut points = Vec::with_capacity(estimates.len());
+        for e in estimates {
+            points.push(e?);
+        }
+        Ok((points, layer.sampler_label.clone(), layer.rate))
+    }
+
+    /// Run a SELECT (exact, over the base table).
+    pub fn run_select(&self, stmt: &SelectStmt) -> Result<SelectResult, EngineError> {
+        self.check_table(&stmt.table)?;
+        let measure = self.resolve_measure(&stmt.measure, stmt.agg)?;
+        let bound = bind_select_constraint(stmt)?;
+        let compiled = self.table.compile_predicate(&bound.predicate)?;
+        let (table_lo, table_hi) = self
+            .table
+            .time_bounds()
+            .ok_or_else(|| EngineError::Config("empty table".to_string()))?;
+        let (lo, hi) = match bound.time_range {
+            Some((a, b)) => (a.max(table_lo), b.min(table_hi)),
+            None => (table_lo, table_hi),
+        };
+        if hi < lo {
+            return Ok(SelectResult { rows: Vec::new(), approximate: false });
+        }
+        if stmt.group_by_time {
+            let rows = flashp_storage::aggregate_range(
+                &self.table,
+                measure,
+                &compiled,
+                stmt.agg,
+                lo,
+                hi,
+                ScanOptions { threads: self.config.threads },
+            )?;
+            return Ok(SelectResult { rows, approximate: false });
+        }
+        // Scalar aggregate across the range.
+        let parts: Vec<(Timestamp, &flashp_storage::Partition)> =
+            self.table.partitions_in(lo, hi).collect();
+        let states: Vec<AggState> = parallel_map(&parts, self.config.threads, |(_, p)| {
+            let mask = compiled.evaluate(p);
+            flashp_storage::aggregate::aggregate_masked(p, measure, &mask)
+        });
+        let mut total = AggState::default();
+        for s in states {
+            total.merge(s);
+        }
+        Ok(SelectResult { rows: vec![(lo, total.finalize(stmt.agg))], approximate: false })
+    }
+}
+
+/// Build the sampler instance for one bucket at one rate.
+fn make_sampler(
+    choice: &SamplerChoice,
+    bucket_measures: &[usize],
+    rate: f64,
+) -> Box<dyn Sampler + Send + Sync> {
+    let size = SampleSize::Rate(rate);
+    match choice {
+        SamplerChoice::Uniform => Box::new(UniformSampler::new(size)),
+        SamplerChoice::OptimalGsw => Box::new(GswSampler::optimal(bucket_measures[0], size)),
+        SamplerChoice::Priority => Box::new(PrioritySampler::new(bucket_measures[0], size)),
+        SamplerChoice::Threshold => Box::new(ThresholdSampler::new(bucket_measures[0], size)),
+        SamplerChoice::ArithmeticGsw => {
+            Box::new(GswSampler::arithmetic_compressed(bucket_measures.to_vec(), size))
+        }
+        SamplerChoice::GeometricGsw => {
+            Box::new(GswSampler::geometric_compressed(bucket_measures.to_vec(), size))
+        }
+    }
+}
+
+/// SplitMix-style seed mixing.
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ c.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashp_storage::{DataType, Schema, Value};
+
+    /// Small deterministic table: 40 days, 400 rows/day, one heavy-tailed
+    /// measure plus a proportional one.
+    fn test_table() -> TimeSeriesTable {
+        let schema = Schema::from_names(
+            &[("seg", DataType::Int64), ("grp", DataType::Categorical)],
+            &["m1", "m2"],
+        )
+        .unwrap()
+        .into_shared();
+        let mut table = TimeSeriesTable::new(schema);
+        let start = Timestamp::from_yyyymmdd(20200101).unwrap();
+        let mut state = 777u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for day in 0..40i64 {
+            let level = 100.0 + day as f64 + 10.0 * ((day % 7) as f64);
+            for row in 0..400i64 {
+                let heavy = if row % 97 == 0 { 50.0 } else { 1.0 };
+                let m1 = level * heavy * (0.5 + next());
+                table
+                    .append_row(
+                        start + day,
+                        &[Value::Int(row % 10), Value::from(if row % 2 == 0 { "a" } else { "b" })],
+                        &[m1, m1 * 0.1],
+                    )
+                    .unwrap();
+            }
+        }
+        table
+    }
+
+    fn engine(sampler: SamplerChoice) -> FlashPEngine {
+        let config = EngineConfig {
+            layer_rates: vec![0.2, 0.05],
+            sampler,
+            default_rate: 0.05,
+            ..Default::default()
+        };
+        let mut e = FlashPEngine::new(test_table(), config);
+        e.build_samples().unwrap();
+        e
+    }
+
+    const FORECAST_SQL: &str = "FORECAST SUM(m1) FROM T WHERE seg <= 5 \
+         USING (20200101, 20200202) OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)";
+
+    #[test]
+    fn full_rate_pipeline_end_to_end() {
+        let e = engine(SamplerChoice::Uniform);
+        let sql = "FORECAST SUM(m1) FROM T WHERE seg <= 5 USING (20200101, 20200202) \
+                   OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5, SAMPLE_RATE = 1.0)";
+        let r = e.forecast(sql).unwrap();
+        assert_eq!(r.estimates.len(), 33);
+        assert_eq!(r.forecasts.len(), 5);
+        assert_eq!(r.rate_used, 1.0);
+        assert_eq!(r.sampler, "full scan");
+        assert_eq!(r.mean_noise_variance, 0.0);
+        assert!(r.forecasts.iter().all(|f| f.lo <= f.value && f.value <= f.hi));
+        // Forecast timestamps continue the training range.
+        assert_eq!(r.forecasts[0].t.to_yyyymmdd(), 20200203);
+    }
+
+    #[test]
+    fn sampled_estimates_track_exact_series() {
+        for sampler in [
+            SamplerChoice::Uniform,
+            SamplerChoice::OptimalGsw,
+            SamplerChoice::Priority,
+            SamplerChoice::Threshold,
+            SamplerChoice::ArithmeticGsw,
+            SamplerChoice::GeometricGsw,
+        ] {
+            let e = engine(sampler.clone());
+            let pred = e.table.compile_predicate(&flashp_storage::Predicate::cmp(
+                "seg",
+                flashp_storage::CmpOp::Le,
+                5,
+            )).unwrap();
+            let start = Timestamp::from_yyyymmdd(20200101).unwrap();
+            let end = start + 32;
+            let (exact_points, _, _) =
+                e.estimate_series(0, &pred, AggFunc::Sum, start, end, 1.0).unwrap();
+            let (approx_points, label, rate) =
+                e.estimate_series(0, &pred, AggFunc::Sum, start, end, 0.2).unwrap();
+            assert_eq!(rate, 0.2);
+            assert_eq!(label, sampler.label());
+            let exact_vals: Vec<f64> = exact_points.iter().map(|p| p.value).collect();
+            let approx_vals: Vec<f64> = approx_points.iter().map(|p| p.value).collect();
+            let err = flashp_forecast::metrics::mean_relative_error(&approx_vals, &exact_vals)
+                .unwrap();
+            assert!(err < 0.5, "{}: mean relative error {err}", sampler.label());
+        }
+    }
+
+    #[test]
+    fn forecast_on_samples_works() {
+        let e = engine(SamplerChoice::OptimalGsw);
+        let r = e.forecast(FORECAST_SQL).unwrap();
+        assert_eq!(r.rate_used, 0.05);
+        assert!(r.mean_noise_variance > 0.0);
+        assert!(r.estimates.iter().all(|p| p.variance.is_some()));
+        assert!(r.forecast_values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn noise_aware_widen() {
+        let e = engine(SamplerChoice::OptimalGsw);
+        let base = e.forecast(FORECAST_SQL).unwrap();
+        let wide = e
+            .forecast(&format!(
+                "{}",
+                FORECAST_SQL.replace(
+                    "FORE_PERIOD = 5",
+                    "FORE_PERIOD = 5, NOISE_AWARE = 1"
+                )
+            ))
+            .unwrap();
+        assert!(wide.mean_interval_width() > base.mean_interval_width());
+    }
+
+    #[test]
+    fn select_group_by_time() {
+        let e = engine(SamplerChoice::Uniform);
+        let r = e
+            .select("SELECT SUM(m1) FROM T WHERE seg <= 5 AND t >= 20200101 AND t <= 20200105 GROUP BY t")
+            .unwrap();
+        assert_eq!(r.rows.len(), 5);
+        assert!(!r.approximate);
+        // Matches the per-day engine estimate at rate 1.
+        let pred = e
+            .table
+            .compile_predicate(&flashp_storage::Predicate::cmp(
+                "seg",
+                flashp_storage::CmpOp::Le,
+                5,
+            ))
+            .unwrap();
+        let t0 = Timestamp::from_yyyymmdd(20200101).unwrap();
+        let exact = e.table.aggregate_at(t0, 0, &pred, AggFunc::Sum).unwrap();
+        assert_eq!(r.rows[0].1, exact);
+    }
+
+    #[test]
+    fn select_scalar_and_point() {
+        let e = engine(SamplerChoice::Uniform);
+        let one = e.select("SELECT COUNT(*) FROM T WHERE t = 20200101").unwrap();
+        assert_eq!(one.rows.len(), 1);
+        assert_eq!(one.rows[0].1, 400.0);
+        let range = e
+            .select("SELECT COUNT(*) FROM T WHERE t BETWEEN 20200101 AND 20200103")
+            .unwrap();
+        assert_eq!(range.rows[0].1, 1200.0);
+        // Out-of-table range clamps to empty.
+        let empty = e.select("SELECT SUM(m1) FROM T WHERE t >= 20300101").unwrap();
+        assert!(empty.rows.is_empty());
+    }
+
+    #[test]
+    fn execute_dispatches() {
+        let e = engine(SamplerChoice::Uniform);
+        match e.execute(FORECAST_SQL).unwrap() {
+            ExecOutput::Forecast(f) => assert_eq!(f.forecasts.len(), 5),
+            _ => panic!("expected forecast output"),
+        }
+        match e.execute("SELECT SUM(m1) FROM T WHERE t = 20200101").unwrap() {
+            ExecOutput::Select(s) => assert_eq!(s.rows.len(), 1),
+            _ => panic!("expected select output"),
+        }
+        assert!(matches!(
+            e.select(FORECAST_SQL),
+            Err(EngineError::WrongStatement { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_for_misuse() {
+        let e = engine(SamplerChoice::Uniform);
+        // Unknown measure.
+        assert!(e.forecast("FORECAST SUM(nope) FROM T USING (20200101, 20200110)").is_err());
+        // Reversed range.
+        assert!(e.forecast("FORECAST SUM(m1) FROM T USING (20200110, 20200101)").is_err());
+        // COUNT(*) with SUM.
+        assert!(e.forecast("FORECAST SUM(*) FROM T USING (20200101, 20200110)").is_err());
+        // Bad sample rate.
+        assert!(e
+            .forecast(
+                "FORECAST SUM(m1) FROM T USING (20200101, 20200131) OPTION (SAMPLE_RATE = 3.0)"
+            )
+            .is_err());
+        // Range beyond the table at full rate.
+        assert!(e
+            .forecast("FORECAST SUM(m1) FROM T USING (20200101, 20300101) OPTION (SAMPLE_RATE = 1.0)")
+            .is_err());
+    }
+
+    #[test]
+    fn unbuilt_engine_rejects_sampled_queries_but_allows_exact() {
+        let e = FlashPEngine::new(test_table(), EngineConfig::default());
+        let sampled = e.forecast(FORECAST_SQL);
+        assert!(matches!(sampled, Err(EngineError::SamplesUnavailable(_))));
+        let exact = e.forecast(
+            "FORECAST SUM(m1) FROM T USING (20200101, 20200202) \
+             OPTION (MODEL = 'naive', SAMPLE_RATE = 1.0)",
+        );
+        assert!(exact.is_ok());
+    }
+
+    #[test]
+    fn table_name_validation() {
+        let config =
+            EngineConfig { table_name: Some("ads".to_string()), ..Default::default() };
+        let e = FlashPEngine::new(test_table(), config);
+        assert!(e
+            .forecast("FORECAST SUM(m1) FROM wrong USING (20200101, 20200131) OPTION (SAMPLE_RATE = 1.0)")
+            .is_err());
+        assert!(e
+            .forecast("FORECAST SUM(m1) FROM ADS USING (20200101, 20200202) OPTION (SAMPLE_RATE = 1.0, MODEL = 'naive')")
+            .is_ok());
+    }
+
+    #[test]
+    fn grouping_policies() {
+        // Auto grouping with 2 groups on 2 proportional measures collapses
+        // to nearly zero radius; explicit grouping validates coverage.
+        let config = EngineConfig {
+            sampler: SamplerChoice::ArithmeticGsw,
+            grouping: GroupingPolicy::Auto { num_groups: 2 },
+            layer_rates: vec![0.1],
+            ..Default::default()
+        };
+        let mut e = FlashPEngine::new(test_table(), config);
+        let stats = e.build_samples().unwrap();
+        assert!(!stats.groups.is_empty());
+        let total: usize = stats.groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 2);
+
+        let bad = EngineConfig {
+            sampler: SamplerChoice::ArithmeticGsw,
+            grouping: GroupingPolicy::Explicit(vec![vec![0]]),
+            ..Default::default()
+        };
+        let mut e = FlashPEngine::new(test_table(), bad);
+        assert!(e.build_samples().is_err(), "groups must cover every measure");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let mk = || {
+            let config = EngineConfig {
+                layer_rates: vec![0.1],
+                sampler: SamplerChoice::OptimalGsw,
+                ..Default::default()
+            };
+            let mut e = FlashPEngine::new(test_table(), config);
+            e.build_samples().unwrap();
+            let pred = e.table.compile_predicate(&flashp_storage::Predicate::True).unwrap();
+            let start = Timestamp::from_yyyymmdd(20200101).unwrap();
+            let (points, _, _) =
+                e.estimate_series(0, &pred, AggFunc::Sum, start, start + 10, 0.1).unwrap();
+            points.iter().map(|p| p.value).collect::<Vec<f64>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,90 @@
+//! Engine-level error type, wrapping every layer of the pipeline.
+
+use std::fmt;
+
+/// Errors surfaced by the FlashP engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Query text failed to parse or bind.
+    Parse(flashp_query::ParseError),
+    /// Storage-level failure (unknown column, missing partition, …).
+    Storage(flashp_storage::StorageError),
+    /// Sampling failure.
+    Sampling(flashp_sampling::SamplingError),
+    /// Model fitting / forecasting failure.
+    Forecast(flashp_forecast::ForecastError),
+    /// Engine configuration or usage problem.
+    Config(String),
+    /// Samples have not been built yet (call `build_samples` first) or do
+    /// not cover the requested range/measure.
+    SamplesUnavailable(String),
+    /// The statement was of the wrong kind for the API called.
+    WrongStatement { expected: &'static str },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "parse error: {e}"),
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Sampling(e) => write!(f, "sampling error: {e}"),
+            EngineError::Forecast(e) => write!(f, "forecast error: {e}"),
+            EngineError::Config(msg) => write!(f, "configuration error: {msg}"),
+            EngineError::SamplesUnavailable(msg) => write!(f, "samples unavailable: {msg}"),
+            EngineError::WrongStatement { expected } => {
+                write!(f, "wrong statement kind: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Parse(e) => Some(e),
+            EngineError::Storage(e) => Some(e),
+            EngineError::Sampling(e) => Some(e),
+            EngineError::Forecast(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<flashp_query::ParseError> for EngineError {
+    fn from(e: flashp_query::ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<flashp_storage::StorageError> for EngineError {
+    fn from(e: flashp_storage::StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<flashp_sampling::SamplingError> for EngineError {
+    fn from(e: flashp_sampling::SamplingError) -> Self {
+        EngineError::Sampling(e)
+    }
+}
+
+impl From<flashp_forecast::ForecastError> for EngineError {
+    fn from(e: flashp_forecast::ForecastError) -> Self {
+        EngineError::Forecast(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = flashp_storage::StorageError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("storage"));
+        let e: EngineError = flashp_forecast::ForecastError::NotFitted.into();
+        assert!(e.to_string().contains("forecast"));
+        let e = EngineError::WrongStatement { expected: "FORECAST" };
+        assert!(e.to_string().contains("FORECAST"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # flashp-core
+//!
+//! The FlashP pipeline (§2.1 and §5 of the paper): an engine that owns a
+//! time-series relation, runs the **offline sample preprocessor**
+//! (multi-layer GSW/uniform/priority/threshold samples per partition) and
+//! serves **online forecasting tasks**:
+//!
+//! 1. a `FORECAST` statement is rewritten into the per-timestamp
+//!    aggregation queries of Eq. (4);
+//! 2. each is estimated from the chosen sample layer (or answered exactly
+//!    at `SAMPLE_RATE = 1.0`);
+//! 3. the estimates train the requested forecasting model (ARIMA, LSTM,
+//!    ETS, …) which predicts `FORE_PERIOD` future points with confidence
+//!    intervals.
+//!
+//! The result carries the aggregation/forecasting wall-clock split
+//! (Fig. 7), per-timestamp estimator variances (the σ_ε² of §3) and an
+//! optional noise-aware interval widening per Proposition 1.
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod models;
+pub mod result;
+
+pub use config::{EngineConfig, GroupingPolicy, SamplerChoice};
+pub use engine::{BuildStats, FlashPEngine};
+pub use error::EngineError;
+pub use models::build_model;
+pub use result::{ExecOutput, ForecastOut, ForecastResult, SelectResult, SeriesPoint, Timing};

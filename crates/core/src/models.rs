@@ -1,0 +1,144 @@
+//! The model factory: `MODEL = '…'` option strings → boxed
+//! [`ForecastModel`]s. "Other forecasting models can be plugged in here,
+//! too" (§5) — this is the plug point.
+
+use crate::error::EngineError;
+use flashp_forecast::{
+    ArModel, ArimaModel, AutoArima, AutoArimaConfig, DriftModel, EtsModel, EtsVariant,
+    ForecastModel, LstmConfig, LstmForecaster, NaiveModel, SeasonalNaiveModel,
+};
+
+/// Build a model from its option-string name. Recognized (case-
+/// insensitive):
+///
+/// * `arima` / `auto_arima` — auto-tuned ARIMA (the paper's default, §5);
+/// * `arima(p,d,q)` — fixed orders;
+/// * `arma(p,q)` — fixed-order ARMA without differencing;
+/// * `ar(p)` — pure autoregression;
+/// * `lstm` — the Fig. 4 model (K = 7, d = 4);
+/// * `lstm(K,d)` — custom window / hidden size;
+/// * `ets`, `holt`, `holt_winters(m)` — exponential smoothing;
+/// * `naive`, `seasonal_naive(m)`, `drift` — baselines.
+pub fn build_model(name: &str) -> Result<Box<dyn ForecastModel>, EngineError> {
+    let trimmed = name.trim();
+    let lower = trimmed.to_ascii_lowercase();
+    let (base, args) = split_args(&lower)?;
+    match base {
+        "arima" | "auto_arima" => match args.len() {
+            0 => Ok(Box::new(AutoArima::new(AutoArimaConfig::default()))),
+            3 => Ok(Box::new(ArimaModel::new(
+                args[0] as usize,
+                args[1] as usize,
+                args[2] as usize,
+            ))),
+            n => Err(EngineError::Config(format!("arima takes 0 or 3 arguments, got {n}"))),
+        },
+        "arma" => match args.len() {
+            2 => Ok(Box::new(flashp_forecast::ArmaModel::new(
+                args[0] as usize,
+                args[1] as usize,
+            ))),
+            n => Err(EngineError::Config(format!("arma takes 2 arguments, got {n}"))),
+        },
+        "ar" => match args.len() {
+            1 => Ok(Box::new(ArModel::new(args[0] as usize))),
+            n => Err(EngineError::Config(format!("ar takes 1 argument, got {n}"))),
+        },
+        "lstm" => match args.len() {
+            0 => Ok(Box::new(LstmForecaster::new(LstmConfig::default()))),
+            2 => Ok(Box::new(LstmForecaster::new(LstmConfig {
+                window: args[0] as usize,
+                hidden: args[1] as usize,
+                ..LstmConfig::default()
+            }))),
+            n => Err(EngineError::Config(format!("lstm takes 0 or 2 arguments, got {n}"))),
+        },
+        "ets" | "ses" => Ok(Box::new(EtsModel::new(EtsVariant::Simple))),
+        "holt" => Ok(Box::new(EtsModel::new(EtsVariant::Holt))),
+        "holt_winters" => match args.len() {
+            1 => Ok(Box::new(EtsModel::new(EtsVariant::HoltWinters {
+                period: args[0] as usize,
+            }))),
+            n => Err(EngineError::Config(format!("holt_winters takes 1 argument, got {n}"))),
+        },
+        "naive" => Ok(Box::new(NaiveModel::new())),
+        "seasonal_naive" => match args.len() {
+            1 => Ok(Box::new(SeasonalNaiveModel::new(args[0] as usize))),
+            n => {
+                Err(EngineError::Config(format!("seasonal_naive takes 1 argument, got {n}")))
+            }
+        },
+        "drift" => Ok(Box::new(DriftModel::new())),
+        other => Err(EngineError::Config(format!("unknown model '{other}'"))),
+    }
+}
+
+/// Split `name(arg, …)` into base name and integer arguments.
+fn split_args(name: &str) -> Result<(&str, Vec<i64>), EngineError> {
+    match name.find('(') {
+        None => Ok((name, Vec::new())),
+        Some(open) => {
+            if !name.ends_with(')') {
+                return Err(EngineError::Config(format!("malformed model name '{name}'")));
+            }
+            let base = &name[..open];
+            let inner = &name[open + 1..name.len() - 1];
+            let args = inner
+                .split(',')
+                .map(|a| {
+                    a.trim().parse::<i64>().map_err(|_| {
+                        EngineError::Config(format!("bad model argument '{a}' in '{name}'"))
+                    })
+                })
+                .collect::<Result<Vec<i64>, _>>()?;
+            if args.iter().any(|a| *a < 0) {
+                return Err(EngineError::Config(format!("negative model argument in '{name}'")));
+            }
+            Ok((base, args))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_documented_model() {
+        for name in [
+            "arima",
+            "auto_arima",
+            "ARIMA(1,1,1)",
+            "arma(1,1)",
+            "ar(3)",
+            "lstm",
+            "LSTM(7,4)",
+            "ets",
+            "ses",
+            "holt",
+            "holt_winters(7)",
+            "naive",
+            "seasonal_naive(7)",
+            "drift",
+        ] {
+            assert!(build_model(name).is_ok(), "model '{name}' should build");
+        }
+    }
+
+    #[test]
+    fn model_names_flow_through() {
+        assert_eq!(build_model("arima(1,1,1)").unwrap().name(), "arima(1,1,1)");
+        assert_eq!(build_model("lstm").unwrap().name(), "lstm(K=7,d=4)");
+        assert_eq!(build_model("naive").unwrap().name(), "naive");
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!(build_model("prophet").is_err());
+        assert!(build_model("arima(1,1)").is_err());
+        assert!(build_model("ar()").is_err());
+        assert!(build_model("lstm(7").is_err());
+        assert!(build_model("ar(x)").is_err());
+        assert!(build_model("ar(-1)").is_err());
+    }
+}

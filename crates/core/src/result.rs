@@ -1,0 +1,139 @@
+//! Result types returned by the engine: estimated training series,
+//! forecasts with intervals, and the timing breakdown of Fig. 7.
+
+use flashp_storage::Timestamp;
+use std::time::Duration;
+
+/// One estimated historical point `M̂_t` with its HT variance estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    pub t: Timestamp,
+    pub value: f64,
+    /// Estimator variance (σ_ε² at this timestamp), when available.
+    pub variance: Option<f64>,
+}
+
+/// One forecast point with its interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForecastOut {
+    pub t: Timestamp,
+    pub value: f64,
+    pub lo: f64,
+    pub hi: f64,
+    pub std_err: f64,
+}
+
+/// Wall-clock breakdown of a forecasting task — the two bars of Fig. 7:
+/// processing (estimating) aggregation queries vs model fitting +
+/// prediction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timing {
+    pub aggregation: Duration,
+    pub forecasting: Duration,
+}
+
+impl Timing {
+    pub fn total(&self) -> Duration {
+        self.aggregation + self.forecasting
+    }
+}
+
+/// The full answer to a FORECAST task.
+#[derive(Debug, Clone)]
+pub struct ForecastResult {
+    /// Estimated per-timestamp aggregates used as training data.
+    pub estimates: Vec<SeriesPoint>,
+    /// Forecasts for the `FORE_PERIOD` future timestamps.
+    pub forecasts: Vec<ForecastOut>,
+    /// Fitted model name (e.g. `auto_arima[1,0,1]`).
+    pub model: String,
+    /// Sampler label used for estimation (`"full scan"` at rate 1).
+    pub sampler: String,
+    /// Sampling rate actually used.
+    pub rate_used: f64,
+    /// Confidence level of the intervals.
+    pub confidence: f64,
+    /// Innovation variance of the fitted model (σ̂²).
+    pub sigma2: f64,
+    /// Mean per-timestamp estimator variance (σ̂_ε², §3's noise term);
+    /// 0 for exact scans.
+    pub mean_noise_variance: f64,
+    /// Timing breakdown.
+    pub timing: Timing,
+}
+
+impl ForecastResult {
+    /// Training series values in time order.
+    pub fn estimate_values(&self) -> Vec<f64> {
+        self.estimates.iter().map(|p| p.value).collect()
+    }
+
+    /// Forecast point values in time order.
+    pub fn forecast_values(&self) -> Vec<f64> {
+        self.forecasts.iter().map(|p| p.value).collect()
+    }
+
+    /// Mean forecast-interval width (Fig. 12(a)'s quantity).
+    pub fn mean_interval_width(&self) -> f64 {
+        if self.forecasts.is_empty() {
+            return 0.0;
+        }
+        self.forecasts.iter().map(|p| p.hi - p.lo).sum::<f64>() / self.forecasts.len() as f64
+    }
+
+    /// Share of one-step forecast variance attributable to sampling noise.
+    pub fn noise_share(&self) -> f64 {
+        flashp_forecast::noise::noise_share(self.sigma2, self.mean_noise_variance)
+    }
+}
+
+/// Result of a SELECT statement: one row per timestamp (a single row for
+/// point lookups).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectResult {
+    pub rows: Vec<(Timestamp, f64)>,
+    /// Whether the answer came from samples (approximate) or a full scan.
+    pub approximate: bool,
+}
+
+/// Output of [`crate::engine::FlashPEngine::execute`].
+#[derive(Debug, Clone)]
+pub enum ExecOutput {
+    Forecast(Box<ForecastResult>),
+    Select(SelectResult),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> ForecastResult {
+        ForecastResult {
+            estimates: vec![SeriesPoint { t: Timestamp(0), value: 10.0, variance: Some(4.0) }],
+            forecasts: vec![
+                ForecastOut { t: Timestamp(1), value: 10.0, lo: 8.0, hi: 12.0, std_err: 1.2 },
+                ForecastOut { t: Timestamp(2), value: 11.0, lo: 8.0, hi: 14.0, std_err: 1.8 },
+            ],
+            model: "test".to_string(),
+            sampler: "uniform".to_string(),
+            rate_used: 0.01,
+            confidence: 0.9,
+            sigma2: 3.0,
+            mean_noise_variance: 1.0,
+            timing: Timing {
+                aggregation: Duration::from_millis(10),
+                forecasting: Duration::from_millis(5),
+            },
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = result();
+        assert_eq!(r.estimate_values(), vec![10.0]);
+        assert_eq!(r.forecast_values(), vec![10.0, 11.0]);
+        assert_eq!(r.mean_interval_width(), 5.0);
+        assert_eq!(r.timing.total(), Duration::from_millis(15));
+        assert!((r.noise_share() - 0.25).abs() < 1e-12);
+    }
+}

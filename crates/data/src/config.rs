@@ -1,0 +1,90 @@
+//! Dataset generator configuration.
+
+use crate::error::DataError;
+
+/// Configuration of the synthetic ads dataset.
+///
+/// Scale note: the paper's production table has ~15 M rows/day over 200
+/// days. Defaults here are laptop-scale (20 k rows/day); every experiment
+/// binary accepts `FLASHP_ROWS_PER_DAY` / `FLASHP_DAYS` env overrides to
+/// scale up.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Average rows per day (actual counts vary by day of week).
+    pub rows_per_day: usize,
+    /// Number of daily partitions to generate.
+    pub num_days: usize,
+    /// First day as a `YYYYMMDD` literal.
+    pub start_date: i64,
+    /// RNG seed; generation is fully deterministic given the config.
+    pub seed: u64,
+    /// Name the table is registered under (used in SQL).
+    pub table_name: String,
+}
+
+impl DatasetConfig {
+    /// Dataset mirroring the paper's layout, starting 2020-01-01 (so
+    /// `USING (20200101, 20200528)` covers 150 days — the paper's default
+    /// training length).
+    pub fn new(rows_per_day: usize, num_days: usize, seed: u64) -> Self {
+        DatasetConfig {
+            rows_per_day,
+            num_days,
+            start_date: 20200101,
+            seed,
+            table_name: "ads".to_string(),
+        }
+    }
+
+    /// Tiny preset for unit tests and examples (2 k rows/day, 70 days).
+    pub fn small(seed: u64) -> Self {
+        DatasetConfig::new(2_000, 70, seed)
+    }
+
+    /// The experiment preset (50 k rows/day, 200 days), overridable via
+    /// `FLASHP_ROWS_PER_DAY` and `FLASHP_DAYS`.
+    pub fn experiment(seed: u64) -> Self {
+        let rows = std::env::var("FLASHP_ROWS_PER_DAY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50_000);
+        let days =
+            std::env::var("FLASHP_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+        DatasetConfig::new(rows, days, seed)
+    }
+
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), DataError> {
+        if self.rows_per_day == 0 {
+            return Err(DataError::InvalidConfig("rows_per_day must be >= 1".to_string()));
+        }
+        if self.num_days == 0 {
+            return Err(DataError::InvalidConfig("num_days must be >= 1".to_string()));
+        }
+        if self.rows_per_day.checked_mul(self.num_days).is_none() {
+            return Err(DataError::InvalidConfig("dataset size overflows".to_string()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(DatasetConfig::small(1).validate().is_ok());
+        assert!(DatasetConfig::new(10, 5, 0).validate().is_ok());
+        assert!(DatasetConfig::new(0, 5, 0).validate().is_err());
+        assert!(DatasetConfig::new(10, 0, 0).validate().is_err());
+    }
+
+    #[test]
+    fn experiment_preset_has_paper_shape() {
+        let c = DatasetConfig::experiment(7);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.start_date, 20200101);
+        assert!(c.num_days >= 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! The 11-dimension user-profile schema and correlated dimension
+//! sampling.
+//!
+//! Cardinalities and skew are chosen to resemble an ads-profile table:
+//! some low-cardinality categoricals (gender, device), some mid-size
+//! (city, interest), some ordinal (age, membership). Several dimensions
+//! are *correlated* — OS follows device, platform tier follows city,
+//! intent follows interest — deliberately violating the independence that
+//! the PIM baseline assumes.
+
+use flashp_storage::{DataType, Schema, SchemaRef};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Number of dimensions (as in the paper's dataset).
+pub const NUM_DIMENSIONS: usize = 11;
+
+/// Dimension column indices, in schema order.
+pub mod dim {
+    pub const AGE: usize = 0;
+    pub const GENDER: usize = 1;
+    pub const CITY: usize = 2;
+    pub const DEVICE: usize = 3;
+    pub const OS: usize = 4;
+    pub const INTEREST: usize = 5;
+    pub const INTENT: usize = 6;
+    pub const MEMBERSHIP: usize = 7;
+    pub const CHANNEL: usize = 8;
+    pub const DAYPART: usize = 9;
+    pub const TIER: usize = 10;
+}
+
+/// Categorical vocabularies (interned into the table dictionary in this
+/// order, so code `i` = `VALUES[i]`).
+pub const GENDERS: [&str; 2] = ["F", "M"];
+pub const DEVICES: [&str; 3] = ["mobile", "pc", "tablet"];
+pub const OSES: [&str; 4] = ["android", "ios", "windows", "mac"];
+pub const CHANNELS: [&str; 4] = ["search", "feed", "social", "direct"];
+
+/// Number of distinct cities (categorical `city_00` … ).
+pub const NUM_CITIES: usize = 64;
+/// Number of interest tags.
+pub const NUM_INTERESTS: u8 = 32;
+/// Number of intent tags.
+pub const NUM_INTENTS: u8 = 16;
+/// Membership levels 0..5.
+pub const NUM_MEMBERSHIP: u8 = 5;
+/// Dayparts 0..6.
+pub const NUM_DAYPARTS: u8 = 6;
+/// Platform tiers 1..=4.
+pub const NUM_TIERS: u8 = 4;
+
+/// City name for code `c`.
+pub fn city_name(c: usize) -> String {
+    format!("city_{c:02}")
+}
+
+/// Build the dataset schema: 11 dimensions + 4 measures.
+pub fn build_schema() -> SchemaRef {
+    Schema::from_names(
+        &[
+            ("age", DataType::UInt8),
+            ("gender", DataType::Categorical),
+            ("city", DataType::Categorical),
+            ("device", DataType::Categorical),
+            ("os", DataType::Categorical),
+            ("interest", DataType::UInt8),
+            ("intent", DataType::UInt8),
+            ("membership", DataType::UInt8),
+            ("channel", DataType::Categorical),
+            ("daypart", DataType::UInt8),
+            ("tier", DataType::UInt8),
+        ],
+        &["Impression", "Click", "Favorite", "Cart"],
+    )
+    .expect("static schema is valid")
+    .into_shared()
+}
+
+/// Measure column indices.
+pub mod measure {
+    pub const IMPRESSION: usize = 0;
+    pub const CLICK: usize = 1;
+    pub const FAVORITE: usize = 2;
+    pub const CART: usize = 3;
+    pub const NAMES: [&str; 4] = ["Impression", "Click", "Favorite", "Cart"];
+}
+
+/// One row's dimension values as raw codes (dictionary codes for
+/// categorical columns), in schema order.
+#[derive(Debug, Clone)]
+pub struct DimValues(pub [i64; NUM_DIMENSIONS]);
+
+/// Draw a skewed categorical index in `0..n`: mass concentrated on small
+/// indices (rank-based power-law, exponent ~1).
+fn zipf_like(rng: &mut StdRng, n: usize) -> usize {
+    // Inverse-CDF for p(k) ∝ 1/(k+1), cheaply approximated: u^2 biases
+    // toward 0; spread across n.
+    let u: f64 = rng.gen();
+    let v = u * u;
+    ((v * n as f64) as usize).min(n - 1)
+}
+
+/// Sample one user's dimensions with the documented correlations.
+pub fn sample_dims(rng: &mut StdRng) -> DimValues {
+    // Age: mixture of young (20s) and broad adult range.
+    let age: i64 = if rng.gen::<f64>() < 0.55 {
+        rng.gen_range(18..=34)
+    } else {
+        rng.gen_range(35..=70)
+    };
+    // Gender skews slightly female for shopping traffic.
+    let gender = i64::from(rng.gen::<f64>() >= 0.54); // 0 = F, 1 = M
+    // Cities are heavily skewed (big cities dominate).
+    let city = zipf_like(rng, NUM_CITIES) as i64;
+    // Device: mobile-heavy; young users even more so.
+    let mobile_p = if age < 35 { 0.85 } else { 0.6 };
+    let device: i64 = {
+        let u: f64 = rng.gen();
+        if u < mobile_p {
+            0 // mobile
+        } else if u < mobile_p + 0.7 * (1.0 - mobile_p) {
+            1 // pc
+        } else {
+            2 // tablet
+        }
+    };
+    // OS correlated with device: mobile → android/ios, pc → windows/mac.
+    let os: i64 = match device {
+        0 | 2 => i64::from(rng.gen::<f64>() >= 0.6),      // android 60% / ios
+        _ => 2 + i64::from(rng.gen::<f64>() >= 0.75),     // windows 75% / mac
+    };
+    // Interest tags skewed; intent correlated with interest.
+    let interest = zipf_like(rng, NUM_INTERESTS as usize) as i64;
+    let intent: i64 = if rng.gen::<f64>() < 0.6 {
+        (interest / 2).min(i64::from(NUM_INTENTS) - 1)
+    } else {
+        rng.gen_range(0..i64::from(NUM_INTENTS))
+    };
+    // Membership: mostly low levels.
+    let membership = zipf_like(rng, NUM_MEMBERSHIP as usize) as i64;
+    // Channel skewed toward feed/search.
+    let channel: i64 = {
+        let u: f64 = rng.gen();
+        if u < 0.4 {
+            1 // feed
+        } else if u < 0.75 {
+            0 // search
+        } else if u < 0.9 {
+            2 // social
+        } else {
+            3 // direct
+        }
+    };
+    let daypart = rng.gen_range(0..i64::from(NUM_DAYPARTS));
+    // Tier correlated with city: big cities are tier 1-2.
+    let tier: i64 = 1 + (city / (NUM_CITIES as i64 / i64::from(NUM_TIERS))).min(3);
+    DimValues([
+        age, gender, city, device, os, interest, intent, membership, channel, daypart, tier,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schema_matches_paper_shape() {
+        let s = build_schema();
+        assert_eq!(s.num_dimensions(), NUM_DIMENSIONS);
+        assert_eq!(s.num_measures(), 4);
+        assert_eq!(s.measure_index("Impression").unwrap(), measure::IMPRESSION);
+        assert_eq!(s.dimension_index("tier").unwrap(), dim::TIER);
+    }
+
+    #[test]
+    fn dims_respect_ranges() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..5000 {
+            let d = sample_dims(&mut rng).0;
+            assert!((18..=70).contains(&d[dim::AGE]));
+            assert!((0..2).contains(&d[dim::GENDER]));
+            assert!((0..NUM_CITIES as i64).contains(&d[dim::CITY]));
+            assert!((0..3).contains(&d[dim::DEVICE]));
+            assert!((0..4).contains(&d[dim::OS]));
+            assert!((0..i64::from(NUM_INTERESTS)).contains(&d[dim::INTEREST]));
+            assert!((0..i64::from(NUM_INTENTS)).contains(&d[dim::INTENT]));
+            assert!((0..i64::from(NUM_MEMBERSHIP)).contains(&d[dim::MEMBERSHIP]));
+            assert!((0..4).contains(&d[dim::CHANNEL]));
+            assert!((0..i64::from(NUM_DAYPARTS)).contains(&d[dim::DAYPART]));
+            assert!((1..=i64::from(NUM_TIERS)).contains(&d[dim::TIER]));
+        }
+    }
+
+    #[test]
+    fn device_os_correlation_holds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let d = sample_dims(&mut rng).0;
+            match d[dim::DEVICE] {
+                0 | 2 => assert!(d[dim::OS] <= 1, "mobile/tablet must run android/ios"),
+                _ => assert!(d[dim::OS] >= 2, "pc must run windows/mac"),
+            }
+        }
+    }
+
+    #[test]
+    fn cities_are_skewed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; NUM_CITIES];
+        for _ in 0..20_000 {
+            counts[sample_dims(&mut rng).0[dim::CITY] as usize] += 1;
+        }
+        // Top city must dominate the median city by a wide margin.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        assert!(counts.iter().max().unwrap() > &(sorted[NUM_CITIES / 2] * 4));
+    }
+
+    #[test]
+    fn tier_follows_city() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let d = sample_dims(&mut rng).0;
+            let expected = 1 + (d[dim::CITY] / (NUM_CITIES as i64 / 4)).min(3);
+            assert_eq!(d[dim::TIER], expected);
+        }
+    }
+}

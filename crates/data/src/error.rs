@@ -1,0 +1,61 @@
+//! Error type for dataset generation and workloads.
+
+use flashp_storage::StorageError;
+use std::fmt;
+
+/// Errors from the data generator / workload generator / PIM baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// Bad generator configuration.
+    InvalidConfig(String),
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// The workload generator could not hit the requested selectivity.
+    SelectivityUnreachable { target: f64, closest: f64 },
+    /// PIM could not decompose the constraint into per-dimension parts.
+    PimUndecomposable(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidConfig(msg) => write!(f, "invalid dataset config: {msg}"),
+            DataError::Storage(e) => write!(f, "storage error: {e}"),
+            DataError::SelectivityUnreachable { target, closest } => write!(
+                f,
+                "could not generate a constraint with selectivity ~{target} (closest: {closest})"
+            ),
+            DataError::PimUndecomposable(msg) => {
+                write!(f, "PIM requires a conjunction of single-dimension parts: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for DataError {
+    fn from(e: StorageError) -> Self {
+        DataError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = DataError::SelectivityUnreachable { target: 0.05, closest: 0.2 };
+        assert!(e.to_string().contains("0.05"));
+        let e: DataError = StorageError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("storage"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # flashp-data
+//!
+//! Synthetic stand-in for the paper's production dataset, plus the
+//! workload generator and the PIM baseline of the evaluation (§6).
+//!
+//! The real FlashP evaluation uses an Alibaba ads dataset: 11 user-profile
+//! dimensions, 4 measures (Impression, Click, Favorite, Cart), ~15 M rows
+//! per day for 200 days. That data is proprietary, so [`generator`] builds
+//! the closest synthetic equivalent that exercises the same code paths:
+//!
+//! * **heavy-tailed measures** (lognormal) with a funnel correlation
+//!   (Click from Impression, Favorite/Cart downstream) — this is what
+//!   separates uniform from weighted samplers;
+//! * **cross-dimension correlation** (device→OS, city→tier, age/gender →
+//!   activity) — this is what biases the PIM independence assumption;
+//! * **per-segment temporal structure** (trend + weekly/monthly
+//!   seasonality whose amplitude depends on the segment) so that
+//!   different constraints select genuinely different time series.
+//!
+//! [`workload`] draws random constraints calibrated to a target
+//! selectivity, as in "forecasting tasks are randomly picked … with some
+//! (approximately) fixed selectivity". [`pim`] implements the Partwise
+//! Independence Model baseline of Agarwal et al. [7].
+
+pub mod config;
+pub mod dimensions;
+pub mod error;
+pub mod generator;
+pub mod measures;
+pub mod pim;
+pub mod temporal;
+pub mod workload;
+
+pub use config::DatasetConfig;
+pub use error::DataError;
+pub use generator::{generate_dataset, Dataset};
+pub use pim::PimModel;
+pub use workload::{Task, WorkloadConfig, WorkloadGenerator};

@@ -1,0 +1,155 @@
+//! Measure generation: heavy-tailed, funnel-correlated, segment- and
+//! day-modulated.
+//!
+//! All four measures are strictly positive continuous values (smoothed
+//! counts). Positivity matters: the compressed-GSW theory (trend deviation
+//! ρ, range deviation δ, geometric-mean weights) assumes positive
+//! measures; the paper's own examples use positive vectors. See DESIGN.md
+//! for this substitution note.
+
+use crate::dimensions::{dim, DimValues};
+use crate::temporal::{segment_modulation, DayContext};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draw a standard normal (Box–Muller; local copy to avoid a dependency
+/// edge to the forecast crate).
+fn randn(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * randn(rng)).exp()
+}
+
+/// Generate `[Impression, Click, Favorite, Cart]` for one row.
+///
+/// * Impression: lognormal with σ ≈ 1.1 (heavy tail) scaled by the
+///   day level and segment modulation.
+/// * Click: Impression × CTR, where CTR depends *jointly* on age and
+///   gender (the correlation PIM misses) plus noise.
+/// * Favorite: downstream of Click with its own noise.
+/// * Cart: sparse and very noisy — matching the paper's Table 1, where
+///   Cart is hard to forecast even from full data.
+pub fn sample_measures(rng: &mut StdRng, dims: &DimValues, ctx: &DayContext) -> [f64; 4] {
+    let d = &dims.0;
+    let seg = segment_modulation(ctx, d[dim::AGE], d[dim::GENDER], d[dim::INTEREST]);
+    // Activity scale by membership and device.
+    let member_boost = 1.0 + 0.15 * d[dim::MEMBERSHIP] as f64;
+    let device_boost = if d[dim::DEVICE] == 0 { 1.2 } else { 1.0 };
+    let scale = ctx.level * seg * member_boost * device_boost;
+
+    let impression = (scale * lognormal(rng, 2.2, 1.1)).max(1.0);
+
+    // CTR: joint in (age, gender) — young women click most in this world.
+    let base_ctr = match (d[dim::AGE] < 35, d[dim::GENDER] == 0) {
+        (true, true) => 0.16,
+        (true, false) => 0.10,
+        (false, true) => 0.07,
+        (false, false) => 0.05,
+    };
+    let ctr = (base_ctr * lognormal(rng, 0.0, 0.35)).min(0.9);
+    let click = (impression * ctr).max(0.5);
+
+    // Favorite: fraction of clicks, interest-dependent.
+    let fav_rate = 0.25 + 0.015 * (d[dim::INTEREST] % 8) as f64;
+    let favorite = (click * fav_rate * lognormal(rng, 0.0, 0.45)).max(0.25);
+
+    // Cart: rare and noisy (σ = 0.9 in log space).
+    let cart_rate = 0.08 + 0.01 * d[dim::MEMBERSHIP] as f64;
+    let cart = (click * cart_rate * lognormal(rng, 0.0, 0.9)).max(0.1);
+
+    [impression, click, favorite, cart]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimensions::sample_dims;
+    use crate::temporal::day_context;
+    use flashp_storage::Timestamp;
+    use rand::SeedableRng;
+
+    fn ctx() -> DayContext {
+        day_context(10, Timestamp::from_yyyymmdd(20200111).unwrap(), 1.0)
+    }
+
+    #[test]
+    fn measures_are_positive() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ctx = ctx();
+        for _ in 0..5000 {
+            let dims = sample_dims(&mut rng);
+            let m = sample_measures(&mut rng, &dims, &ctx);
+            assert!(m.iter().all(|v| *v > 0.0 && v.is_finite()), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn funnel_ordering_holds_on_average() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ctx = ctx();
+        let mut sums = [0.0f64; 4];
+        for _ in 0..20_000 {
+            let dims = sample_dims(&mut rng);
+            let m = sample_measures(&mut rng, &dims, &ctx);
+            for (s, v) in sums.iter_mut().zip(m) {
+                *s += v;
+            }
+        }
+        assert!(sums[0] > sums[1], "impressions must exceed clicks");
+        assert!(sums[1] > sums[2], "clicks must exceed favorites");
+        assert!(sums[2] > sums[3], "favorites must exceed carts");
+    }
+
+    #[test]
+    fn impressions_are_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ctx = ctx();
+        let mut values: Vec<f64> = (0..20_000)
+            .map(|_| {
+                let dims = sample_dims(&mut rng);
+                sample_measures(&mut rng, &dims, &ctx)[0]
+            })
+            .collect();
+        values.sort_by(f64::total_cmp);
+        let total: f64 = values.iter().sum();
+        let top1: f64 = values[values.len() - values.len() / 100..].iter().sum();
+        // Top 1% of rows should carry a disproportionate share (> 5%).
+        assert!(top1 / total > 0.05, "top-1% share = {}", top1 / total);
+    }
+
+    #[test]
+    fn ctr_depends_jointly_on_age_and_gender() {
+        // This joint dependence is what biases PIM.
+        let mut rng = StdRng::seed_from_u64(3);
+        let ctx = ctx();
+        let mut ratios = std::collections::HashMap::new();
+        for _ in 0..40_000 {
+            let dims = sample_dims(&mut rng);
+            let m = sample_measures(&mut rng, &dims, &ctx);
+            let key = (dims.0[dim::AGE] < 35, dims.0[dim::GENDER]);
+            let e = ratios.entry(key).or_insert((0.0, 0.0));
+            e.0 += m[1];
+            e.1 += m[0];
+        }
+        let ctr = |k: (bool, i64)| {
+            let (c, i) = ratios[&k];
+            c / i
+        };
+        assert!(ctr((true, 0)) > ctr((true, 1)));
+        assert!(ctr((true, 1)) > ctr((false, 1)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ctx = ctx();
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let d1 = sample_dims(&mut r1);
+        let d2 = sample_dims(&mut r2);
+        assert_eq!(sample_measures(&mut r1, &d1, &ctx), sample_measures(&mut r2, &d2, &ctx));
+    }
+}

@@ -1,0 +1,336 @@
+//! PIM — the Partwise Independence Model baseline of Agarwal et al. [7],
+//! as evaluated in the paper's Table 1.
+//!
+//! PIM precomputes, per timestamp, the total of each measure and its
+//! *marginal* totals per (dimension, value). An online constraint that is
+//! a conjunction of single-dimension parts `C = C₁ ∧ … ∧ C_k` is then
+//! estimated under a partwise-independence assumption:
+//!
+//! ```text
+//! M̂(C) = total · Π_j ( marginal(C_j) / total )
+//! ```
+//!
+//! The model is tiny and fast but *biased* whenever the measure
+//! distribution correlates across dimensions (which it does, by
+//! construction, in our synthetic data and in any real ads data) — this is
+//! why the paper finds uniform sampling beats the Bayesian variants of
+//! [7] and why FlashP's samplers beat uniform.
+
+use crate::error::DataError;
+use flashp_storage::{CompiledPredicate, Timestamp, TimeSeriesTable};
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-day marginal statistics.
+#[derive(Debug, Default)]
+struct DayStats {
+    /// Total of each measure over the whole partition.
+    totals: Vec<f64>,
+    /// `marginals[measure][dimension][value] = Σ measure over rows with
+    /// that dimension value`.
+    marginals: Vec<Vec<HashMap<i64, f64>>>,
+}
+
+/// The PIM estimator, built offline over a table.
+#[derive(Debug)]
+pub struct PimModel {
+    days: BTreeMap<Timestamp, DayStats>,
+}
+
+impl PimModel {
+    /// Precompute totals and per-dimension marginals for every partition.
+    pub fn build(table: &TimeSeriesTable) -> Self {
+        let num_measures = table.schema().num_measures();
+        let num_dims = table.schema().num_dimensions();
+        let mut days = BTreeMap::new();
+        for (t, partition) in table.partitions() {
+            let mut stats = DayStats {
+                totals: vec![0.0; num_measures],
+                marginals: vec![vec![HashMap::new(); num_dims]; num_measures],
+            };
+            for m in 0..num_measures {
+                let col = partition.measure(m);
+                stats.totals[m] = col.iter().sum();
+                for d in 0..num_dims {
+                    let dim_col = partition.dim(d);
+                    let marg = &mut stats.marginals[m][d];
+                    for (i, &v) in col.iter().enumerate() {
+                        *marg.entry(dim_col.get_i64(i)).or_insert(0.0) += v;
+                    }
+                }
+            }
+            days.insert(t, stats);
+        }
+        PimModel { days }
+    }
+
+    /// Estimate `SUM(measure)` under `pred` at time `t`.
+    ///
+    /// `pred` must decompose into a top-level conjunction of parts, each
+    /// referencing a single dimension (the class PIM supports; arbitrary
+    /// boolean structure within a part is fine).
+    pub fn estimate(
+        &self,
+        t: Timestamp,
+        measure: usize,
+        pred: &CompiledPredicate,
+    ) -> Result<f64, DataError> {
+        let stats = self
+            .days
+            .get(&t)
+            .ok_or(DataError::Storage(flashp_storage::StorageError::NoSuchPartition(t.0)))?;
+        if measure >= stats.totals.len() {
+            return Err(DataError::PimUndecomposable(format!("measure {measure} out of range")));
+        }
+        let total = stats.totals[measure];
+        if total == 0.0 {
+            return Ok(0.0);
+        }
+        // Conjuncts touching the same dimension form ONE part (e.g.
+        // `age >= 20 AND age <= 30` is a single range condition) —
+        // multiplying them separately would double-count the dimension.
+        let parts = decompose(pred)?;
+        let mut estimate = total;
+        for (dim, conjuncts) in parts {
+            let marg = &stats.marginals[measure][dim];
+            let part_sum: f64 = marg
+                .iter()
+                .filter(|(value, _)| conjuncts.iter().all(|c| eval_scalar(c, dim, **value)))
+                .map(|(_, sum)| sum)
+                .sum();
+            estimate *= part_sum / total;
+        }
+        Ok(estimate)
+    }
+
+    /// Estimate the whole training series `[start, end]`.
+    pub fn estimate_series(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+        measure: usize,
+        pred: &CompiledPredicate,
+    ) -> Result<Vec<(Timestamp, f64)>, DataError> {
+        let mut out = Vec::new();
+        for (t, _) in self.days.range(start..=end) {
+            out.push((*t, self.estimate(*t, measure, pred)?));
+        }
+        Ok(out)
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.days
+            .values()
+            .map(|s| {
+                s.totals.len() * 8
+                    + s.marginals
+                        .iter()
+                        .flat_map(|per_dim| per_dim.iter())
+                        .map(|m| m.len() * 16)
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// Decompose into per-dimension groups of conjuncts, merging conjuncts
+/// that touch the same dimension into one part.
+fn decompose(
+    pred: &CompiledPredicate,
+) -> Result<Vec<(usize, Vec<&CompiledPredicate>)>, DataError> {
+    let conjuncts: Vec<&CompiledPredicate> = match pred {
+        CompiledPredicate::And(children) => children.iter().collect(),
+        other => vec![other],
+    };
+    let mut parts: Vec<(usize, Vec<&CompiledPredicate>)> = Vec::new();
+    fn push<'a>(
+        parts: &mut Vec<(usize, Vec<&'a CompiledPredicate>)>,
+        dim: usize,
+        c: &'a CompiledPredicate,
+    ) {
+        match parts.iter_mut().find(|(d, _)| *d == dim) {
+            Some((_, v)) => v.push(c),
+            None => parts.push((dim, vec![c])),
+        }
+    }
+    for c in conjuncts {
+        match c {
+            CompiledPredicate::Const(true) => {}
+            CompiledPredicate::Const(false) => {
+                // Impossible constraint: a part that matches nothing.
+                push(&mut parts, 0, c);
+            }
+            other => {
+                let mut dims = Vec::new();
+                collect_dims(other, &mut dims);
+                dims.sort_unstable();
+                dims.dedup();
+                match dims.len() {
+                    1 => push(&mut parts, dims[0], other),
+                    0 => {}
+                    _ => {
+                        return Err(DataError::PimUndecomposable(format!(
+                            "conjunct touches {} dimensions",
+                            dims.len()
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    Ok(parts)
+}
+
+fn collect_dims(pred: &CompiledPredicate, out: &mut Vec<usize>) {
+    match pred {
+        CompiledPredicate::Cmp { dim, .. } | CompiledPredicate::InSet { dim, .. } => {
+            out.push(*dim)
+        }
+        CompiledPredicate::And(children) | CompiledPredicate::Or(children) => {
+            for c in children {
+                collect_dims(c, out);
+            }
+        }
+        CompiledPredicate::Not(child) => collect_dims(child, out),
+        CompiledPredicate::Const(_) => {}
+    }
+}
+
+/// Evaluate a single-dimension predicate against one scalar value.
+fn eval_scalar(pred: &CompiledPredicate, dim: usize, value: i64) -> bool {
+    match pred {
+        CompiledPredicate::Const(b) => *b,
+        CompiledPredicate::Cmp { dim: d, op, value: rhs } => {
+            debug_assert_eq!(*d, dim);
+            match op {
+                flashp_storage::CmpOp::Eq => value == *rhs,
+                flashp_storage::CmpOp::Ne => value != *rhs,
+                flashp_storage::CmpOp::Lt => value < *rhs,
+                flashp_storage::CmpOp::Le => value <= *rhs,
+                flashp_storage::CmpOp::Gt => value > *rhs,
+                flashp_storage::CmpOp::Ge => value >= *rhs,
+            }
+        }
+        CompiledPredicate::InSet { values, .. } => values.binary_search(&value).is_ok(),
+        CompiledPredicate::And(children) => children.iter().all(|c| eval_scalar(c, dim, value)),
+        CompiledPredicate::Or(children) => children.iter().any(|c| eval_scalar(c, dim, value)),
+        CompiledPredicate::Not(child) => !eval_scalar(child, dim, value),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+    use crate::generator::generate_dataset;
+    use flashp_storage::{AggFunc, CmpOp, Predicate};
+
+    fn dataset() -> crate::generator::Dataset {
+        generate_dataset(&DatasetConfig::new(3_000, 5, 21)).unwrap()
+    }
+
+    #[test]
+    fn single_dimension_constraint_is_exact() {
+        // With one part, PIM reduces to the exact marginal — no
+        // independence assumption is invoked.
+        let ds = dataset();
+        let pim = PimModel::build(&ds.table);
+        let pred = ds.table.compile_predicate(&Predicate::eq("gender", "F")).unwrap();
+        let t = ds.start();
+        let exact = ds.table.aggregate_at(t, 0, &pred, AggFunc::Sum).unwrap();
+        let est = pim.estimate(t, 0, &pred).unwrap();
+        assert!((est - exact).abs() / exact < 1e-9, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn independent_dimensions_are_nearly_exact() {
+        // daypart is generated independently of gender, so the product
+        // rule should be close to exact (up to sampling noise in the data).
+        let ds = dataset();
+        let pim = PimModel::build(&ds.table);
+        let pred = Predicate::eq("gender", "F").and(Predicate::cmp("daypart", CmpOp::Le, 2));
+        let compiled = ds.table.compile_predicate(&pred).unwrap();
+        let t = ds.start();
+        let exact = ds.table.aggregate_at(t, 0, &compiled, AggFunc::Sum).unwrap();
+        let est = pim.estimate(t, 0, &compiled).unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.15,
+            "est {est} vs exact {exact} should be close for independent dims"
+        );
+    }
+
+    #[test]
+    fn correlated_dimensions_show_bias() {
+        // device and os are strongly correlated: P(os=android | device=pc)
+        // = 0, but PIM multiplies marginals and predicts a large value.
+        let ds = dataset();
+        let pim = PimModel::build(&ds.table);
+        let pred = Predicate::eq("device", "pc").and(Predicate::eq("os", "android"));
+        let compiled = ds.table.compile_predicate(&pred).unwrap();
+        let t = ds.start();
+        let exact = ds.table.aggregate_at(t, 0, &compiled, AggFunc::Sum).unwrap();
+        let est = pim.estimate(t, 0, &compiled).unwrap();
+        assert_eq!(exact, 0.0, "no pc runs android in this world");
+        assert!(est > 0.0, "PIM must overestimate due to the independence assumption");
+    }
+
+    #[test]
+    fn series_estimation_covers_range() {
+        let ds = dataset();
+        let pim = PimModel::build(&ds.table);
+        let pred = ds.table.compile_predicate(&Predicate::eq("gender", "M")).unwrap();
+        let series = pim.estimate_series(ds.start(), ds.end(), 1, &pred).unwrap();
+        assert_eq!(series.len(), 5);
+        assert!(series.iter().all(|(_, v)| *v > 0.0));
+    }
+
+    #[test]
+    fn range_conjuncts_merge_into_one_part() {
+        // age >= 20 AND age <= 30 must be one part: with a single
+        // dimension involved, PIM reduces to the exact marginal sum.
+        let ds = dataset();
+        let pim = PimModel::build(&ds.table);
+        let pred = Predicate::cmp("age", CmpOp::Ge, 20).and(Predicate::cmp("age", CmpOp::Le, 30));
+        let compiled = ds.table.compile_predicate(&pred).unwrap();
+        let t = ds.start();
+        let exact = ds.table.aggregate_at(t, 0, &compiled, AggFunc::Sum).unwrap();
+        let est = pim.estimate(t, 0, &compiled).unwrap();
+        assert!(
+            (est - exact).abs() / exact < 1e-9,
+            "single-dimension range must be exact: est {est} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn cross_dimension_part_rejected() {
+        let ds = dataset();
+        let pim = PimModel::build(&ds.table);
+        // (gender = F OR device = pc) cannot be decomposed per dimension.
+        let pred = Predicate::Or(vec![
+            Predicate::eq("gender", "F"),
+            Predicate::eq("device", "pc"),
+        ]);
+        let compiled = ds.table.compile_predicate(&pred).unwrap();
+        assert!(pim.estimate(ds.start(), 0, &compiled).is_err());
+    }
+
+    #[test]
+    fn missing_day_errors() {
+        let ds = dataset();
+        let pim = PimModel::build(&ds.table);
+        let pred = ds.table.compile_predicate(&Predicate::True).unwrap();
+        assert!(pim.estimate(ds.end() + 100, 0, &pred).is_err());
+    }
+
+    #[test]
+    fn true_predicate_returns_total() {
+        let ds = dataset();
+        let pim = PimModel::build(&ds.table);
+        let pred = ds.table.compile_predicate(&Predicate::True).unwrap();
+        let t = ds.start();
+        let exact = ds.table.aggregate_at(t, 2, &pred, AggFunc::Sum).unwrap();
+        let est = pim.estimate(t, 2, &pred).unwrap();
+        assert!((est - exact).abs() < 1e-6);
+        assert!(pim.byte_size() > 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Day-level temporal structure: trend, weekly and monthly seasonality,
+//! day-level noise, and per-segment modulation. These multipliers shape
+//! the per-day aggregate series `M_t` that the forecasting models must
+//! learn.
+
+use flashp_storage::Timestamp;
+
+/// Weekly multiplier (Monday = 0 … Sunday = 6): weekend traffic dips,
+/// mid-week peaks — a typical ads pattern.
+pub const WEEKLY: [f64; 7] = [1.05, 1.1, 1.12, 1.08, 1.0, 0.82, 0.78];
+
+/// Day-level context shared by all rows of one partition.
+#[derive(Debug, Clone, Copy)]
+pub struct DayContext {
+    /// Day index since the dataset start (0-based).
+    pub day_index: usize,
+    /// The timestamp itself.
+    pub t: Timestamp,
+    /// Combined level multiplier (trend × weekly × monthly × shock).
+    pub level: f64,
+    /// Weekly component alone (for per-segment amplitude modulation).
+    pub weekly: f64,
+}
+
+/// Smooth day-level multiplier for day `d` (0-based) at timestamp `t`.
+/// `shock` is a per-day random multiplier drawn by the generator.
+pub fn day_context(day_index: usize, t: Timestamp, shock: f64) -> DayContext {
+    let d = day_index as f64;
+    // Mild upward trend ≈ +20% over 200 days.
+    let trend = 1.0 + 0.001 * d;
+    let weekly = WEEKLY[t.weekday() as usize];
+    // Monthly promotion cycle.
+    let monthly = 1.0 + 0.08 * (2.0 * std::f64::consts::PI * d / 30.0).sin();
+    DayContext { day_index, t, level: trend * weekly * monthly * shock, weekly }
+}
+
+/// Per-segment modulation: segments (defined by a few dimension values)
+/// deviate from the global pattern, so different constraints select
+/// genuinely different series. Returns a multiplier applied to the row's
+/// activity level.
+pub fn segment_modulation(ctx: &DayContext, age: i64, gender: i64, interest: i64) -> f64 {
+    // Young users have amplified weekly swings; the deviation from 1.0 is
+    // scaled up or down per segment.
+    let weekly_dev = ctx.weekly - 1.0;
+    let weekly_gain = if age < 30 { 1.6 } else { 0.8 };
+    // Some interests trend up over time, others decay.
+    let d = ctx.day_index as f64;
+    let interest_trend = match interest % 4 {
+        0 => 1.0 + 0.0012 * d,
+        1 => 1.0 - 0.0006 * d,
+        _ => 1.0,
+    };
+    // Gender-specific monthly phase shift.
+    let phase = if gender == 0 { 0.0 } else { std::f64::consts::PI / 2.0 };
+    let monthly = 1.0 + 0.05 * (2.0 * std::f64::consts::PI * d / 30.0 + phase).sin();
+    (1.0 + weekly_dev * weekly_gain) * interest_trend.max(0.2) * monthly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: i64) -> Timestamp {
+        Timestamp::from_yyyymmdd(v).unwrap()
+    }
+
+    #[test]
+    fn weekend_is_lower_than_midweek() {
+        // 2020-03-04 was a Wednesday, 2020-03-08 a Sunday.
+        let wed = day_context(0, ts(20200304), 1.0);
+        let sun = day_context(0, ts(20200308), 1.0);
+        assert!(wed.level > sun.level);
+    }
+
+    #[test]
+    fn trend_grows_over_time() {
+        let t = ts(20200304);
+        let early = day_context(0, t, 1.0);
+        let late = day_context(180, t, 1.0);
+        assert!(late.level > early.level);
+    }
+
+    #[test]
+    fn shock_scales_linearly() {
+        let t = ts(20200304);
+        let base = day_context(10, t, 1.0);
+        let doubled = day_context(10, t, 2.0);
+        assert!((doubled.level / base.level - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segments_differ() {
+        let ctx = day_context(50, ts(20200304), 1.0);
+        let young = segment_modulation(&ctx, 22, 0, 0);
+        let old = segment_modulation(&ctx, 60, 0, 0);
+        assert_ne!(young, old);
+        let f = segment_modulation(&ctx, 40, 0, 2);
+        let m = segment_modulation(&ctx, 40, 1, 2);
+        assert_ne!(f, m);
+    }
+
+    #[test]
+    fn modulation_stays_positive() {
+        for day in [0usize, 50, 199] {
+            let ctx = day_context(day, ts(20200304), 1.0);
+            for age in [18, 30, 70] {
+                for interest in 0..4 {
+                    assert!(segment_modulation(&ctx, age, 0, interest) > 0.0);
+                }
+            }
+        }
+    }
+}

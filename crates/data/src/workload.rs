@@ -1,0 +1,276 @@
+//! Random forecasting-task workloads with calibrated selectivity.
+//!
+//! The paper evaluates on tasks "randomly picked with different measures …
+//! and different combinations of dimensions in their constraints, with
+//! some (approximately) fixed selectivity". This generator draws random
+//! discrete conditions (gender, device, interest, city, …), then tunes a
+//! final age-range condition by binary search until the measured
+//! selectivity on a reference day lands inside the accepted band.
+
+use crate::dimensions::{NUM_CITIES, NUM_DAYPARTS, NUM_INTERESTS, NUM_MEMBERSHIP};
+use crate::error::DataError;
+use crate::generator::Dataset;
+use flashp_storage::{CmpOp, Predicate, Timestamp, TimeSeriesTable, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Workload generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Target fraction of rows the constraint should select.
+    pub target_selectivity: f64,
+    /// Accepted band as multiples of the target (e.g. (0.5, 2.0)).
+    pub band: (f64, f64),
+    /// Random draws before giving up.
+    pub max_attempts: usize,
+}
+
+impl WorkloadConfig {
+    /// Band of ±2× around the target, 300 attempts.
+    pub fn new(target_selectivity: f64) -> Self {
+        WorkloadConfig { target_selectivity, band: (0.5, 2.0), max_attempts: 300 }
+    }
+}
+
+/// One generated forecasting task.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// The dimension constraint `C`.
+    pub predicate: Predicate,
+    /// Measure index to aggregate/forecast.
+    pub measure: usize,
+    /// Selectivity measured on the reference day.
+    pub selectivity: f64,
+}
+
+impl Task {
+    /// Render a full FORECAST statement for this task.
+    pub fn to_sql(
+        &self,
+        table: &str,
+        measure_name: &str,
+        t_start: i64,
+        t_end: i64,
+        options: &str,
+    ) -> String {
+        let mut sql = format!(
+            "FORECAST SUM({measure_name}) FROM {table} WHERE {} USING ({t_start}, {t_end})",
+            self.predicate
+        );
+        if !options.is_empty() {
+            sql.push_str(&format!(" OPTION ({options})"));
+        }
+        sql
+    }
+}
+
+/// Generates tasks against a table.
+pub struct WorkloadGenerator<'a> {
+    table: &'a TimeSeriesTable,
+    reference_day: Timestamp,
+}
+
+impl<'a> WorkloadGenerator<'a> {
+    /// Use the dataset's middle day as the selectivity reference.
+    pub fn new(dataset: &'a Dataset) -> Self {
+        let mid = dataset.start() + (dataset.config.num_days as i64 / 2);
+        WorkloadGenerator { table: &dataset.table, reference_day: mid }
+    }
+
+    /// Generate against a bare table, measuring selectivity on
+    /// `reference_day`.
+    pub fn for_table(table: &'a TimeSeriesTable, reference_day: Timestamp) -> Self {
+        WorkloadGenerator { table, reference_day }
+    }
+
+    fn selectivity(&self, pred: &Predicate) -> Result<f64, DataError> {
+        let compiled = self.table.compile_predicate(pred)?;
+        Ok(self.table.selectivity_at(self.reference_day, &compiled)?)
+    }
+
+    /// One random discrete (non-age) condition.
+    fn random_condition(&self, rng: &mut StdRng) -> Predicate {
+        match rng.gen_range(0..7u8) {
+            0 => Predicate::eq("gender", if rng.gen::<bool>() { "F" } else { "M" }),
+            1 => Predicate::eq(
+                "device",
+                *["mobile", "pc", "tablet"].choose(rng).expect("non-empty"),
+            ),
+            2 => {
+                // A band of interests.
+                let lo = rng.gen_range(0..i64::from(NUM_INTERESTS) - 4);
+                let width = rng.gen_range(2..8i64);
+                Predicate::cmp("interest", CmpOp::Ge, lo).and(Predicate::cmp(
+                    "interest",
+                    CmpOp::Le,
+                    (lo + width).min(i64::from(NUM_INTERESTS) - 1),
+                ))
+            }
+            3 => {
+                // A handful of cities.
+                let count = rng.gen_range(2..8usize);
+                let mut cities: Vec<usize> = (0..NUM_CITIES).collect();
+                cities.shuffle(rng);
+                Predicate::In {
+                    column: "city".to_string(),
+                    values: cities[..count]
+                        .iter()
+                        .map(|c| Value::Str(crate::dimensions::city_name(*c)))
+                        .collect(),
+                }
+            }
+            4 => Predicate::cmp(
+                "membership",
+                CmpOp::Ge,
+                rng.gen_range(1..i64::from(NUM_MEMBERSHIP)),
+            ),
+            5 => Predicate::eq(
+                "channel",
+                *["search", "feed", "social", "direct"].choose(rng).expect("non-empty"),
+            ),
+            _ => Predicate::cmp("daypart", CmpOp::Le, rng.gen_range(0..i64::from(NUM_DAYPARTS))),
+        }
+    }
+
+    /// Generate one task for `measure` with the given selectivity target.
+    pub fn generate(
+        &self,
+        measure: usize,
+        config: &WorkloadConfig,
+        rng: &mut StdRng,
+    ) -> Result<Task, DataError> {
+        let target = config.target_selectivity;
+        let (band_lo, band_hi) = (target * config.band.0, target * config.band.1);
+        let mut closest: Option<(Predicate, f64)> = None;
+
+        for _ in 0..config.max_attempts {
+            // 0–2 discrete conditions plus a tunable age range.
+            let num_discrete = rng.gen_range(0..=2usize);
+            let mut conds: Vec<Predicate> =
+                (0..num_discrete).map(|_| self.random_condition(rng)).collect();
+            let discrete_pred = match conds.len() {
+                0 => Predicate::True,
+                1 => conds.pop().expect("len checked"),
+                _ => Predicate::And(conds),
+            };
+            let s_discrete = self.selectivity(&discrete_pred)?;
+            if s_discrete < band_lo {
+                // Already too selective before the age condition: maybe
+                // usable as-is, else retry.
+                track_closest(&mut closest, discrete_pred.clone(), s_discrete, target);
+                if s_discrete >= band_lo && s_discrete <= band_hi {
+                    return Ok(Task { predicate: discrete_pred, measure, selectivity: s_discrete });
+                }
+                continue;
+            }
+            // Binary search the age-range width so that the combined
+            // selectivity lands on target. Selectivity grows with width.
+            let age_lo = rng.gen_range(18..40i64);
+            let mut lo_w = 0i64; // age range [age_lo, age_lo + w]
+            let mut hi_w = 70 - age_lo;
+            let mut best: Option<(Predicate, f64)> = None;
+            for _ in 0..12 {
+                let w = (lo_w + hi_w) / 2;
+                let candidate = discrete_pred
+                    .clone()
+                    .and(Predicate::cmp("age", CmpOp::Ge, age_lo))
+                    .and(Predicate::cmp("age", CmpOp::Le, age_lo + w));
+                let s = self.selectivity(&candidate)?;
+                track_closest(&mut best, candidate, s, target);
+                if s < target {
+                    lo_w = w + 1;
+                } else {
+                    hi_w = w.saturating_sub(1);
+                }
+                if lo_w > hi_w {
+                    break;
+                }
+            }
+            if let Some((pred, s)) = best {
+                track_closest(&mut closest, pred.clone(), s, target);
+                if s >= band_lo && s <= band_hi {
+                    return Ok(Task { predicate: pred, measure, selectivity: s });
+                }
+            }
+        }
+        match closest {
+            Some((pred, s)) if s > 0.0 => Ok(Task { predicate: pred, measure, selectivity: s }),
+            Some((_, s)) => Err(DataError::SelectivityUnreachable { target, closest: s }),
+            None => Err(DataError::SelectivityUnreachable { target, closest: 0.0 }),
+        }
+    }
+}
+
+fn track_closest(slot: &mut Option<(Predicate, f64)>, pred: Predicate, s: f64, target: f64) {
+    let better = match slot {
+        Some((_, existing)) => {
+            (s.ln() - target.ln()).abs() < (existing.ln() - target.ln()).abs() && s > 0.0
+        }
+        None => s > 0.0,
+    };
+    if better {
+        *slot = Some((pred, s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+    use crate::generator::generate_dataset;
+    use rand::SeedableRng;
+
+    fn dataset() -> Dataset {
+        generate_dataset(&DatasetConfig::new(4_000, 7, 11)).unwrap()
+    }
+
+    #[test]
+    fn hits_selectivity_bands() {
+        let ds = dataset();
+        let gen = WorkloadGenerator::new(&ds);
+        let mut rng = StdRng::seed_from_u64(0);
+        for target in [0.05, 0.2] {
+            let config = WorkloadConfig::new(target);
+            for _ in 0..5 {
+                let task = gen.generate(0, &config, &mut rng).unwrap();
+                assert!(
+                    task.selectivity >= target * 0.3 && task.selectivity <= target * 3.0,
+                    "target {target}: got {}",
+                    task.selectivity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_selectivities_reachable() {
+        let ds = dataset();
+        let gen = WorkloadGenerator::new(&ds);
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = WorkloadConfig::new(0.005);
+        let task = gen.generate(1, &config, &mut rng).unwrap();
+        assert!(task.selectivity > 0.0005 && task.selectivity < 0.05, "{}", task.selectivity);
+    }
+
+    #[test]
+    fn sql_round_trips_through_parser() {
+        let ds = dataset();
+        let gen = WorkloadGenerator::new(&ds);
+        let mut rng = StdRng::seed_from_u64(2);
+        let task = gen.generate(0, &WorkloadConfig::new(0.1), &mut rng).unwrap();
+        let sql = task.to_sql("ads", "Impression", 20200101, 20200201, "MODEL = 'arima'");
+        let parsed = flashp_query::parse(&sql);
+        assert!(parsed.is_ok(), "generated SQL must parse: {sql}\n{:?}", parsed.err());
+    }
+
+    #[test]
+    fn tasks_vary() {
+        let ds = dataset();
+        let gen = WorkloadGenerator::new(&ds);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = gen.generate(0, &WorkloadConfig::new(0.1), &mut rng).unwrap();
+        let b = gen.generate(0, &WorkloadConfig::new(0.1), &mut rng).unwrap();
+        assert_ne!(a.predicate, b.predicate, "consecutive tasks should differ");
+    }
+}

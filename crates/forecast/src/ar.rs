@@ -1,0 +1,227 @@
+//! Pure autoregressive models fitted by ordinary least squares.
+//!
+//! `AR(p)` is both a usable forecasting model on its own and the first
+//! stage of the Hannan–Rissanen initialization for [`crate::arma`]: a
+//! long-order AR fit provides innovation estimates for the moving-average
+//! regression.
+
+use crate::error::{check_finite, ForecastError};
+use crate::linalg::{least_squares, Matrix};
+use crate::model::{
+    points_from_std_errs, validate_forecast_args, FitSummary, Forecast, ForecastModel,
+};
+
+/// Fit a zero-intercept AR(`order`) model to `series` by OLS.
+/// Returns `(coefficients, residuals)`, where `residuals` has the same
+/// length as `series` with the first `order` entries set to zero (they are
+/// conditioned on, not predicted).
+pub fn fit_ar_ols(series: &[f64], order: usize) -> Result<(Vec<f64>, Vec<f64>), ForecastError> {
+    let n = series.len();
+    if order == 0 {
+        return Ok((Vec::new(), series.to_vec()));
+    }
+    if n < 2 * order + 1 {
+        return Err(ForecastError::TooShort { needed: 2 * order + 1, got: n });
+    }
+    let rows = n - order;
+    let x = Matrix::from_fn(rows, order, |r, c| series[order + r - 1 - c]);
+    let y: Vec<f64> = series[order..].to_vec();
+    let coeffs = least_squares(&x, &y)?;
+    let mut resid = vec![0.0; n];
+    for t in order..n {
+        let mut pred = 0.0;
+        for (i, c) in coeffs.iter().enumerate() {
+            pred += c * series[t - 1 - i];
+        }
+        resid[t] = series[t] - pred;
+    }
+    Ok((coeffs, resid))
+}
+
+/// An `AR(p)` forecasting model with intercept, fitted by OLS. This is the
+/// simplest member of the model class of Eq. (2) and serves as a fast,
+/// dependable fallback when full ARMA optimization is unnecessary.
+#[derive(Debug, Clone)]
+pub struct ArModel {
+    p: usize,
+    coeffs: Vec<f64>,
+    intercept: f64,
+    sigma2: f64,
+    history: Vec<f64>,
+    fitted: bool,
+}
+
+impl ArModel {
+    /// New unfitted model of order `p`.
+    pub fn new(p: usize) -> Self {
+        ArModel { p, coeffs: Vec::new(), intercept: 0.0, sigma2: 0.0, history: Vec::new(), fitted: false }
+    }
+
+    /// Fitted AR coefficients (empty before fitting).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl ForecastModel for ArModel {
+    fn name(&self) -> String {
+        format!("ar({})", self.p)
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<FitSummary, ForecastError> {
+        check_finite(series)?;
+        let n = series.len();
+        let needed = 2 * self.p + 2;
+        if n < needed {
+            return Err(ForecastError::TooShort { needed, got: n });
+        }
+        let rows = n - self.p;
+        // Design matrix [1, y_{t-1}, …, y_{t-p}].
+        let x = Matrix::from_fn(rows, self.p + 1, |r, c| {
+            if c == 0 {
+                1.0
+            } else {
+                series[self.p + r - c]
+            }
+        });
+        let y: Vec<f64> = series[self.p..].to_vec();
+        let beta = least_squares(&x, &y)?;
+        self.intercept = beta[0];
+        self.coeffs = beta[1..].to_vec();
+        let mut sse = 0.0;
+        for t in self.p..n {
+            let mut pred = self.intercept;
+            for (i, c) in self.coeffs.iter().enumerate() {
+                pred += c * series[t - 1 - i];
+            }
+            sse += (series[t] - pred).powi(2);
+        }
+        let n_eff = rows;
+        self.sigma2 = sse / n_eff.max(1) as f64;
+        self.history = series.to_vec();
+        self.fitted = true;
+        let ll = -0.5
+            * n_eff as f64
+            * ((2.0 * std::f64::consts::PI * self.sigma2.max(1e-300)).ln() + 1.0);
+        let k = self.p as f64 + 2.0; // coefficients + intercept + sigma
+        Ok(FitSummary {
+            sigma2: self.sigma2,
+            log_likelihood: Some(ll),
+            aic: Some(-2.0 * ll + 2.0 * k),
+            num_params: self.p + 1,
+            n_obs: n_eff,
+        })
+    }
+
+    fn forecast(&self, horizon: usize, confidence: f64) -> Result<Forecast, ForecastError> {
+        if !self.fitted {
+            return Err(ForecastError::NotFitted);
+        }
+        validate_forecast_args(horizon, confidence)?;
+        let mut extended = self.history.clone();
+        let mut means = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let mut pred = self.intercept;
+            for (i, c) in self.coeffs.iter().enumerate() {
+                pred += c * extended[extended.len() - 1 - i];
+            }
+            extended.push(pred);
+            means.push(pred);
+        }
+        // Psi weights of a pure AR model.
+        let psi = crate::arma::psi_weights(&self.coeffs, &[], horizon);
+        let mut cum = 0.0;
+        let std_errs: Vec<f64> = (0..horizon)
+            .map(|h| {
+                cum += psi[h] * psi[h];
+                (self.sigma2 * cum).sqrt()
+            })
+            .collect();
+        Ok(Forecast {
+            points: points_from_std_errs(&means, &std_errs, confidence),
+            confidence,
+            sigma2: self.sigma2,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{ArmaSpec, simulate_arma};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_ar1_coefficient() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = ArmaSpec { ar: vec![0.7], ma: vec![], mean: 10.0, sigma: 1.0 };
+        let series = simulate_arma(&spec, 3000, &mut rng);
+        let mut model = ArModel::new(1);
+        let summary = model.fit(&series).unwrap();
+        assert!((model.coefficients()[0] - 0.7).abs() < 0.05, "phi = {}", model.coefficients()[0]);
+        // Implied mean = intercept / (1 - phi) ≈ 10.
+        let implied = model.intercept() / (1.0 - model.coefficients()[0]);
+        assert!((implied - 10.0).abs() < 1.0, "mean = {implied}");
+        assert!((summary.sigma2 - 1.0).abs() < 0.15, "sigma2 = {}", summary.sigma2);
+    }
+
+    #[test]
+    fn forecast_decays_to_mean() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let spec = ArmaSpec { ar: vec![0.5], ma: vec![], mean: 100.0, sigma: 0.5 };
+        let series = simulate_arma(&spec, 2000, &mut rng);
+        let mut model = ArModel::new(1);
+        model.fit(&series).unwrap();
+        let f = model.forecast(50, 0.9).unwrap();
+        let last = f.points.last().unwrap();
+        assert!((last.value - 100.0).abs() < 2.0, "long-run forecast = {}", last.value);
+        // Interval widths grow with horizon and saturate.
+        assert!(f.points[0].std_err < f.points[10].std_err);
+    }
+
+    #[test]
+    fn requires_fit_before_forecast() {
+        let model = ArModel::new(2);
+        assert!(matches!(model.forecast(5, 0.9), Err(ForecastError::NotFitted)));
+    }
+
+    #[test]
+    fn too_short_series_rejected() {
+        let mut model = ArModel::new(3);
+        assert!(matches!(model.fit(&[1.0, 2.0, 3.0]), Err(ForecastError::TooShort { .. })));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut model = ArModel::new(1);
+        let mut series = vec![1.0; 50];
+        series[30] = f64::NAN;
+        assert!(matches!(model.fit(&series), Err(ForecastError::NonFinite { index: 30 })));
+    }
+
+    #[test]
+    fn fit_ar_ols_residuals_are_zero_for_exact_process() {
+        // Deterministic AR(1): y_t = 0.5 y_{t-1}, no noise.
+        let mut series = vec![8.0];
+        for _ in 0..30 {
+            series.push(0.5 * series.last().unwrap());
+        }
+        let (coeffs, resid) = fit_ar_ols(&series, 1).unwrap();
+        assert!((coeffs[0] - 0.5).abs() < 1e-9);
+        assert!(resid[1..].iter().all(|r| r.abs() < 1e-9));
+    }
+
+    #[test]
+    fn fit_ar_ols_order_zero() {
+        let series = vec![1.0, 2.0, 3.0];
+        let (coeffs, resid) = fit_ar_ols(&series, 0).unwrap();
+        assert!(coeffs.is_empty());
+        assert_eq!(resid, series);
+    }
+}

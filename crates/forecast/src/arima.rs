@@ -1,0 +1,223 @@
+//! ARIMA(p, d, q): the differencing wrapper of §2 — if `{∇^d M_t}` is
+//! ARMA(p, q) then `{M_t}` is ARIMA(p, d, q). Forecasts of the differenced
+//! series are integrated back; psi weights are integrated alongside so the
+//! forecast intervals account for the accumulated uncertainty.
+
+use crate::arma::{psi_weights, ArmaModel};
+use crate::error::{check_finite, ForecastError};
+use crate::model::{
+    points_from_std_errs, validate_forecast_args, FitSummary, Forecast, ForecastModel,
+};
+
+/// Apply one first-order difference `∇M_t = M_t − M_{t−1}`.
+pub fn difference(series: &[f64]) -> Vec<f64> {
+    series.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// ARIMA(p, d, q) model: `d`-fold differencing around an [`ArmaModel`].
+#[derive(Debug, Clone)]
+pub struct ArimaModel {
+    p: usize,
+    d: usize,
+    q: usize,
+    inner: ArmaModel,
+    /// Last observed value at each differencing level `0..d` (level 0 is
+    /// the raw series); used to integrate forecasts back.
+    level_tails: Vec<f64>,
+    fitted: bool,
+}
+
+impl ArimaModel {
+    /// New unfitted ARIMA(p, d, q).
+    pub fn new(p: usize, d: usize, q: usize) -> Self {
+        ArimaModel { p, d, q, inner: ArmaModel::new(p, q), level_tails: Vec::new(), fitted: false }
+    }
+
+    /// The model orders `(p, d, q)`.
+    pub fn order(&self) -> (usize, usize, usize) {
+        (self.p, self.d, self.q)
+    }
+
+    /// The inner ARMA fitted on the differenced series.
+    pub fn inner(&self) -> &ArmaModel {
+        &self.inner
+    }
+
+    /// Minimum series length needed.
+    pub fn min_observations(&self) -> usize {
+        self.inner.min_observations() + self.d
+    }
+}
+
+impl ForecastModel for ArimaModel {
+    fn name(&self) -> String {
+        format!("arima({},{},{})", self.p, self.d, self.q)
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<FitSummary, ForecastError> {
+        check_finite(series)?;
+        if series.len() < self.min_observations() {
+            return Err(ForecastError::TooShort {
+                needed: self.min_observations(),
+                got: series.len(),
+            });
+        }
+        let mut current = series.to_vec();
+        self.level_tails.clear();
+        for _ in 0..self.d {
+            self.level_tails.push(*current.last().expect("non-empty by length check"));
+            current = difference(&current);
+        }
+        let summary = self.inner.fit(&current)?;
+        self.fitted = true;
+        Ok(summary)
+    }
+
+    fn forecast(&self, horizon: usize, confidence: f64) -> Result<Forecast, ForecastError> {
+        if !self.fitted {
+            return Err(ForecastError::NotFitted);
+        }
+        validate_forecast_args(horizon, confidence)?;
+        let base = self.inner.forecast(horizon, confidence)?;
+        let mut means = base.values();
+        // Integrate point forecasts back through each differencing level.
+        for tail in self.level_tails.iter().rev() {
+            let mut acc = *tail;
+            for m in means.iter_mut() {
+                acc += *m;
+                *m = acc;
+            }
+        }
+        // Integrate psi weights: dividing by (1−B)^d means d cumulative sums.
+        let mut psi = psi_weights(
+            self.inner.ar_coefficients(),
+            self.inner.ma_coefficients(),
+            horizon,
+        );
+        for _ in 0..self.d {
+            for j in 1..psi.len() {
+                psi[j] += psi[j - 1];
+            }
+        }
+        let sigma2 = self.inner.sigma2();
+        let mut cum = 0.0;
+        let std_errs: Vec<f64> = (0..horizon)
+            .map(|h| {
+                cum += psi[h] * psi[h];
+                (sigma2 * cum).sqrt()
+            })
+            .collect();
+        Ok(Forecast {
+            points: points_from_std_errs(&means, &std_errs, confidence),
+            confidence,
+            sigma2,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{randn, simulate_arma, ArmaSpec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn difference_basics() {
+        assert_eq!(difference(&[1.0, 3.0, 6.0, 10.0]), vec![2.0, 3.0, 4.0]);
+        assert!(difference(&[5.0]).is_empty());
+    }
+
+    #[test]
+    fn d0_matches_arma() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let spec = ArmaSpec { ar: vec![0.6], ma: vec![], mean: 20.0, sigma: 1.0 };
+        let series = simulate_arma(&spec, 500, &mut rng);
+        let mut arima = ArimaModel::new(1, 0, 0);
+        let mut arma = ArmaModel::new(1, 0);
+        arima.fit(&series).unwrap();
+        arma.fit(&series).unwrap();
+        let fa = arima.forecast(7, 0.9).unwrap();
+        let fb = arma.forecast(7, 0.9).unwrap();
+        for (a, b) in fa.points.iter().zip(&fb.points) {
+            assert!((a.value - b.value).abs() < 1e-9);
+            assert!((a.std_err - b.std_err).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn captures_linear_trend_with_d1() {
+        // y_t = 3t + AR(1) noise: first difference is stationary with mean 3.
+        let mut rng = StdRng::seed_from_u64(11);
+        let spec = ArmaSpec { ar: vec![0.3], ma: vec![], mean: 0.0, sigma: 0.5 };
+        let noise = simulate_arma(&spec, 300, &mut rng);
+        let series: Vec<f64> = noise.iter().enumerate().map(|(t, u)| 3.0 * t as f64 + u).collect();
+        let mut model = ArimaModel::new(1, 1, 0);
+        model.fit(&series).unwrap();
+        let f = model.forecast(10, 0.9).unwrap();
+        let last = series.last().unwrap();
+        // Forecast must keep climbing by roughly 3 per step.
+        for (h, p) in f.points.iter().enumerate() {
+            let expected = last + 3.0 * (h as f64 + 1.0);
+            assert!(
+                (p.value - expected).abs() < 5.0,
+                "h={h} forecast {} vs expected {expected}",
+                p.value
+            );
+        }
+    }
+
+    #[test]
+    fn random_walk_interval_grows_like_sqrt_h() {
+        // ARIMA(0,1,0): Var[h] = h σ².
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut series = vec![0.0f64];
+        for _ in 0..400 {
+            series.push(series.last().unwrap() + randn(&mut rng));
+        }
+        let mut model = ArimaModel::new(0, 1, 0);
+        model.fit(&series).unwrap();
+        let f = model.forecast(9, 0.9).unwrap();
+        let se1 = f.points[0].std_err;
+        let se9 = f.points[8].std_err;
+        assert!((se9 / se1 - 3.0).abs() < 0.05, "ratio = {}", se9 / se1);
+    }
+
+    #[test]
+    fn double_difference_reconstruction() {
+        // Quadratic series: d=2 removes the trend entirely.
+        let series: Vec<f64> = (0..60).map(|t| (t * t) as f64).collect();
+        let mut model = ArimaModel::new(0, 2, 0);
+        model.fit(&series).unwrap();
+        let f = model.forecast(3, 0.9).unwrap();
+        // ∇²(t²) = 2, so forecasts continue the quadratic exactly.
+        for (h, p) in f.points.iter().enumerate() {
+            let t = 60 + h;
+            assert!((p.value - (t * t) as f64).abs() < 1e-6, "h={h}: {}", p.value);
+        }
+    }
+
+    #[test]
+    fn not_fitted_and_bad_args() {
+        let model = ArimaModel::new(1, 1, 1);
+        assert!(model.forecast(7, 0.9).is_err());
+        let mut model = ArimaModel::new(1, 1, 1);
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        model.fit(&series).unwrap();
+        assert!(model.forecast(0, 0.9).is_err());
+        assert!(model.forecast(5, 1.5).is_err());
+    }
+
+    #[test]
+    fn deterministic_quadratic_with_noise() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let series: Vec<f64> =
+            (0..200).map(|t| 0.1 * (t * t) as f64 + 5.0 * rng.gen::<f64>()).collect();
+        let mut model = ArimaModel::new(1, 2, 1);
+        model.fit(&series).unwrap();
+        let f = model.forecast(5, 0.9).unwrap();
+        assert!(f.points.iter().all(|p| p.value.is_finite()));
+        // Growth should continue upward.
+        assert!(f.points[4].value > *series.last().unwrap());
+    }
+}

@@ -1,0 +1,485 @@
+//! ARMA(p, q) — the classic model of Eq. (3):
+//! `M_t = Σ αᵢ M_{t−i} + u_t + Σ βⱼ u_{t−j}`.
+//!
+//! Fitting pipeline:
+//! 1. demean the series (the mean is added back at forecast time);
+//! 2. **Hannan–Rissanen**: fit a long AR by OLS to obtain innovation
+//!    estimates, then regress `w_t` on lagged values and lagged innovations
+//!    for initial `(α, β)`;
+//! 3. refine by minimizing the **conditional sum of squares** with
+//!    Nelder–Mead over a *partial-autocorrelation parameterization*
+//!    (`tanh`-transformed), which keeps the AR polynomial stationary and
+//!    the MA polynomial invertible by construction;
+//! 4. forecast iteratively with psi-weight standard errors, yielding the
+//!    forecast intervals of Fig. 3 / Fig. 12.
+
+use crate::ar::fit_ar_ols;
+use crate::error::{check_finite, ForecastError};
+use crate::linalg::{least_squares, Matrix};
+use crate::model::{
+    points_from_std_errs, validate_forecast_args, FitSummary, Forecast, ForecastModel,
+};
+use crate::optimize::{nelder_mead, NelderMeadOptions};
+use crate::stats::mean;
+
+/// Map partial autocorrelations in `(−1, 1)` to AR coefficients of a
+/// stationary polynomial (Barndorff-Nielsen–Schou / Monahan recursion).
+/// The same map applied to MA partials yields an invertible MA polynomial.
+pub fn pacf_to_coeffs(pacs: &[f64]) -> Vec<f64> {
+    let p = pacs.len();
+    let mut phi = vec![0.0; p];
+    for k in 0..p {
+        let r = pacs[k];
+        let prev = phi.clone();
+        phi[k] = r;
+        for j in 0..k {
+            phi[j] = prev[j] - r * prev[k - 1 - j];
+        }
+    }
+    phi
+}
+
+/// Inverse of [`pacf_to_coeffs`]; coefficients outside the stationary
+/// region are projected in (partials clamped to `(−0.99, 0.99)`).
+pub fn coeffs_to_pacf(coeffs: &[f64]) -> Vec<f64> {
+    let p = coeffs.len();
+    let mut pacs = vec![0.0; p];
+    let mut phi = coeffs.to_vec();
+    for k in (0..p).rev() {
+        let r = phi[k].clamp(-0.99, 0.99);
+        pacs[k] = r;
+        if k == 0 {
+            break;
+        }
+        let denom = 1.0 - r * r;
+        let prev = phi.clone();
+        for j in 0..k {
+            phi[j] = (prev[j] + r * prev[k - 1 - j]) / denom;
+        }
+        // Guard against numerically exploding back-transform.
+        if phi[..k].iter().any(|v| !v.is_finite()) {
+            for v in phi[..k].iter_mut() {
+                *v = 0.0;
+            }
+        }
+    }
+    pacs
+}
+
+/// Psi (MA-infinity) weights `ψ_0..ψ_{horizon−1}` of an ARMA model:
+/// `ψ_0 = 1`, `ψ_j = β_j + Σ_{i=1..min(j,p)} α_i ψ_{j−i}`. Forecast error
+/// variance at horizon `h` is `σ² Σ_{j<h} ψ_j²`.
+pub fn psi_weights(ar: &[f64], ma: &[f64], horizon: usize) -> Vec<f64> {
+    let mut psi = Vec::with_capacity(horizon.max(1));
+    psi.push(1.0);
+    for j in 1..horizon {
+        let mut v = if j <= ma.len() { ma[j - 1] } else { 0.0 };
+        for (i, a) in ar.iter().enumerate() {
+            if j > i {
+                v += a * psi[j - 1 - i];
+            }
+        }
+        psi.push(v);
+    }
+    psi
+}
+
+/// Conditional sum of squares of a zero-mean ARMA on `w`: residuals for
+/// `t ≥ p`, pre-sample innovations set to zero. Returns `(css, residuals)`.
+pub fn css_residuals(w: &[f64], ar: &[f64], ma: &[f64]) -> (f64, Vec<f64>) {
+    let n = w.len();
+    let p = ar.len();
+    let mut e = vec![0.0; n];
+    let mut css = 0.0;
+    for t in p..n {
+        let mut pred = 0.0;
+        for (i, a) in ar.iter().enumerate() {
+            pred += a * w[t - 1 - i];
+        }
+        for (j, b) in ma.iter().enumerate() {
+            if t > j {
+                pred += b * e[t - 1 - j];
+            }
+        }
+        e[t] = w[t] - pred;
+        css += e[t] * e[t];
+    }
+    (css, e)
+}
+
+/// ARMA(p, q) forecasting model (see module docs for the fitting scheme).
+#[derive(Debug, Clone)]
+pub struct ArmaModel {
+    p: usize,
+    q: usize,
+    ar: Vec<f64>,
+    ma: Vec<f64>,
+    mean: f64,
+    sigma2: f64,
+    /// Demeaned training series.
+    w: Vec<f64>,
+    /// CSS residuals aligned with `w`.
+    resid: Vec<f64>,
+    fitted: bool,
+}
+
+impl ArmaModel {
+    /// New unfitted ARMA(p, q).
+    pub fn new(p: usize, q: usize) -> Self {
+        ArmaModel {
+            p,
+            q,
+            ar: Vec::new(),
+            ma: Vec::new(),
+            mean: 0.0,
+            sigma2: 0.0,
+            w: Vec::new(),
+            resid: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Fitted AR coefficients α.
+    pub fn ar_coefficients(&self) -> &[f64] {
+        &self.ar
+    }
+
+    /// Fitted MA coefficients β.
+    pub fn ma_coefficients(&self) -> &[f64] {
+        &self.ma
+    }
+
+    /// Estimated process mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Estimated innovation variance σ̂_u².
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    /// Minimum series length needed for this order.
+    pub fn min_observations(&self) -> usize {
+        (2 * self.p.max(self.q) + self.p + self.q + 4).max(8)
+    }
+
+    /// Hannan–Rissanen initial estimates on the demeaned series `w`.
+    fn hannan_rissanen(&self, w: &[f64]) -> Result<(Vec<f64>, Vec<f64>), ForecastError> {
+        let n = w.len();
+        if self.q == 0 {
+            let (ar, _) = fit_ar_ols(w, self.p)?;
+            return Ok((ar, Vec::new()));
+        }
+        // Long AR order: enough lags to whiten, but leave regression rows.
+        let long = ((10.0 * (n as f64).log10()) as usize)
+            .max(self.p + self.q)
+            .min(n / 3)
+            .max(1);
+        let (_, ehat) = fit_ar_ols(w, long)?;
+        let start = long.max(self.p).max(self.q);
+        let rows = n - start;
+        let cols = self.p + self.q;
+        if rows < cols + 1 {
+            return Err(ForecastError::TooShort { needed: start + cols + 1, got: n });
+        }
+        let x = Matrix::from_fn(rows, cols, |r, c| {
+            let t = start + r;
+            if c < self.p {
+                w[t - 1 - c]
+            } else {
+                ehat[t - 1 - (c - self.p)]
+            }
+        });
+        let y: Vec<f64> = w[start..].to_vec();
+        let beta = least_squares(&x, &y)?;
+        Ok((beta[..self.p].to_vec(), beta[self.p..].to_vec()))
+    }
+}
+
+impl ForecastModel for ArmaModel {
+    fn name(&self) -> String {
+        format!("arma({},{})", self.p, self.q)
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<FitSummary, ForecastError> {
+        check_finite(series)?;
+        let n = series.len();
+        let needed = self.min_observations();
+        if n < needed {
+            return Err(ForecastError::TooShort { needed, got: n });
+        }
+        self.mean = mean(series);
+        let w: Vec<f64> = series.iter().map(|v| v - self.mean).collect();
+
+        if self.p == 0 && self.q == 0 {
+            // White noise around the mean.
+            let (css, resid) = css_residuals(&w, &[], &[]);
+            self.ar.clear();
+            self.ma.clear();
+            self.sigma2 = css / n as f64;
+            self.w = w;
+            self.resid = resid;
+            self.fitted = true;
+            let ll = gaussian_css_loglik(self.sigma2, n);
+            return Ok(FitSummary {
+                sigma2: self.sigma2,
+                log_likelihood: Some(ll),
+                aic: Some(-2.0 * ll + 2.0 * 2.0),
+                num_params: 1,
+                n_obs: n,
+            });
+        }
+
+        // 1. Initial estimates.
+        let (ar0, ma0) = self.hannan_rissanen(&w).unwrap_or((vec![0.0; self.p], vec![0.0; self.q]));
+
+        // 2. Unconstrained parameterization via partials.
+        let mut x0: Vec<f64> = coeffs_to_pacf(&ar0)
+            .iter()
+            .chain(coeffs_to_pacf(&ma0).iter())
+            .map(|r| r.clamp(-0.95, 0.95).atanh())
+            .collect();
+        if x0.iter().any(|v| !v.is_finite()) {
+            x0 = vec![0.0; self.p + self.q];
+        }
+
+        // 3. CSS refinement.
+        let p = self.p;
+        let objective = |x: &[f64]| -> f64 {
+            let pacs_ar: Vec<f64> = x[..p].iter().map(|v| v.tanh()).collect();
+            let pacs_ma: Vec<f64> = x[p..].iter().map(|v| v.tanh()).collect();
+            let ar = pacf_to_coeffs(&pacs_ar);
+            let ma = pacf_to_coeffs(&pacs_ma);
+            css_residuals(&w, &ar, &ma).0
+        };
+        let result = nelder_mead(
+            objective,
+            &x0,
+            NelderMeadOptions { max_evals: 4000, f_tol: 1e-12, initial_step: 0.25 },
+        );
+        let pacs_ar: Vec<f64> = result.x[..p].iter().map(|v| v.tanh()).collect();
+        let pacs_ma: Vec<f64> = result.x[p..].iter().map(|v| v.tanh()).collect();
+        self.ar = pacf_to_coeffs(&pacs_ar);
+        self.ma = pacf_to_coeffs(&pacs_ma);
+
+        let (css, resid) = css_residuals(&w, &self.ar, &self.ma);
+        let n_eff = n - self.p;
+        self.sigma2 = css / n_eff.max(1) as f64;
+        if !self.sigma2.is_finite() {
+            return Err(ForecastError::Numerical("CSS fit produced non-finite variance".into()));
+        }
+        self.w = w;
+        self.resid = resid;
+        self.fitted = true;
+
+        let ll = gaussian_css_loglik(self.sigma2, n_eff);
+        let k = (self.p + self.q + 2) as f64; // + mean + sigma
+        Ok(FitSummary {
+            sigma2: self.sigma2,
+            log_likelihood: Some(ll),
+            aic: Some(-2.0 * ll + 2.0 * k),
+            num_params: self.p + self.q + 1,
+            n_obs: n_eff,
+        })
+    }
+
+    fn forecast(&self, horizon: usize, confidence: f64) -> Result<Forecast, ForecastError> {
+        if !self.fitted {
+            return Err(ForecastError::NotFitted);
+        }
+        validate_forecast_args(horizon, confidence)?;
+        let n = self.w.len();
+        // Iterated forecasts: future innovations are zero; known residuals
+        // feed the MA terms while they are still within reach.
+        let mut w_ext = self.w.clone();
+        let mut e_ext = self.resid.clone();
+        let mut means = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let t = w_ext.len();
+            let mut pred = 0.0;
+            for (i, a) in self.ar.iter().enumerate() {
+                if t > i {
+                    pred += a * w_ext[t - 1 - i];
+                }
+            }
+            for (j, b) in self.ma.iter().enumerate() {
+                if t > j {
+                    pred += b * e_ext[t - 1 - j];
+                }
+            }
+            w_ext.push(pred);
+            e_ext.push(0.0);
+            means.push(pred + self.mean);
+        }
+        debug_assert_eq!(w_ext.len(), n + horizon);
+
+        let psi = psi_weights(&self.ar, &self.ma, horizon);
+        let mut cum = 0.0;
+        let std_errs: Vec<f64> = (0..horizon)
+            .map(|h| {
+                cum += psi[h] * psi[h];
+                (self.sigma2 * cum).sqrt()
+            })
+            .collect();
+        Ok(Forecast {
+            points: points_from_std_errs(&means, &std_errs, confidence),
+            confidence,
+            sigma2: self.sigma2,
+        })
+    }
+}
+
+fn gaussian_css_loglik(sigma2: f64, n_eff: usize) -> f64 {
+    -0.5 * n_eff as f64 * ((2.0 * std::f64::consts::PI * sigma2.max(1e-300)).ln() + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{simulate_arma, ArmaSpec};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pacf_transform_round_trips() {
+        for pacs in [vec![0.5], vec![0.3, -0.4], vec![0.8, 0.1, -0.2]] {
+            let coeffs = pacf_to_coeffs(&pacs);
+            let back = coeffs_to_pacf(&coeffs);
+            for (a, b) in pacs.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9, "{pacs:?} -> {coeffs:?} -> {back:?}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn pacf_to_coeffs_always_stationary(
+            pacs in proptest::collection::vec(-0.6f64..0.6, 1..5)
+        ) {
+            // With partials bounded away from ±1 the implied AR spectral
+            // radius stays well below 1, so psi weights must decay to ~0
+            // long before lag 2000.
+            let coeffs = pacf_to_coeffs(&pacs);
+            let psi = psi_weights(&coeffs, &[], 2000);
+            let tail: f64 = psi[1900..].iter().map(|v| v.abs()).sum();
+            prop_assert!(tail.is_finite());
+            prop_assert!(tail < 1e-3, "non-decaying psi for coeffs {:?}", coeffs);
+        }
+    }
+
+    #[test]
+    fn psi_weights_ar1() {
+        let psi = psi_weights(&[0.5], &[], 5);
+        for (j, v) in psi.iter().enumerate() {
+            assert!((v - 0.5f64.powi(j as i32)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn psi_weights_ma1() {
+        let psi = psi_weights(&[], &[0.4], 4);
+        assert_eq!(psi, vec![1.0, 0.4, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn psi_weights_arma11() {
+        // ψ_j = (α + β) α^{j-1} for ARMA(1,1).
+        let (a, b) = (0.6, 0.3);
+        let psi = psi_weights(&[a], &[b], 6);
+        assert_eq!(psi[0], 1.0);
+        for j in 1..6 {
+            let expect = (a + b) * a.powi(j as i32 - 1);
+            assert!((psi[j] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn recovers_arma11_parameters() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let spec = ArmaSpec { ar: vec![0.8], ma: vec![0.1], mean: 50.0, sigma: 1.0 };
+        let series = simulate_arma(&spec, 4000, &mut rng);
+        let mut model = ArmaModel::new(1, 1);
+        let summary = model.fit(&series).unwrap();
+        assert!((model.ar_coefficients()[0] - 0.8).abs() < 0.08, "alpha = {}", model.ar_coefficients()[0]);
+        assert!((model.ma_coefficients()[0] - 0.1).abs() < 0.12, "beta = {}", model.ma_coefficients()[0]);
+        assert!((model.mean() - 50.0).abs() < 1.0);
+        assert!((summary.sigma2 - 1.0).abs() < 0.1, "sigma2 = {}", summary.sigma2);
+    }
+
+    #[test]
+    fn recovers_ma1() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let spec = ArmaSpec { ar: vec![], ma: vec![0.6], mean: 0.0, sigma: 2.0 };
+        let series = simulate_arma(&spec, 4000, &mut rng);
+        let mut model = ArmaModel::new(0, 1);
+        model.fit(&series).unwrap();
+        assert!((model.ma_coefficients()[0] - 0.6).abs() < 0.08, "beta = {}", model.ma_coefficients()[0]);
+        assert!((model.sigma2() - 4.0).abs() < 0.4);
+    }
+
+    #[test]
+    fn white_noise_model() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let spec = ArmaSpec { ar: vec![], ma: vec![], mean: 7.0, sigma: 1.5 };
+        let series = simulate_arma(&spec, 500, &mut rng);
+        let mut model = ArmaModel::new(0, 0);
+        model.fit(&series).unwrap();
+        let f = model.forecast(3, 0.9).unwrap();
+        for p in &f.points {
+            assert!((p.value - 7.0).abs() < 0.3);
+            // Constant interval width for white noise.
+            assert!((p.std_err - model.sigma2().sqrt()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forecast_intervals_widen_with_horizon() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let spec = ArmaSpec { ar: vec![0.7], ma: vec![0.2], mean: 0.0, sigma: 1.0 };
+        let series = simulate_arma(&spec, 800, &mut rng);
+        let mut model = ArmaModel::new(1, 1);
+        model.fit(&series).unwrap();
+        let f = model.forecast(10, 0.9).unwrap();
+        for pair in f.points.windows(2) {
+            assert!(pair[1].std_err >= pair[0].std_err - 1e-12);
+        }
+        // Higher confidence → wider interval.
+        let f95 = model.forecast(10, 0.95).unwrap();
+        assert!(f95.mean_interval_width() > f.mean_interval_width());
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let mut model = ArmaModel::new(2, 2);
+        assert!(matches!(model.fit(&[1.0; 5]), Err(ForecastError::TooShort { .. })));
+    }
+
+    #[test]
+    fn not_fitted_rejected() {
+        let model = ArmaModel::new(1, 1);
+        assert!(matches!(model.forecast(7, 0.9), Err(ForecastError::NotFitted)));
+    }
+
+    #[test]
+    fn css_residuals_white_noise_identity() {
+        let w = vec![1.0, -2.0, 0.5];
+        let (css, e) = css_residuals(&w, &[], &[]);
+        assert_eq!(e, w);
+        assert!((css - (1.0 + 4.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let spec = ArmaSpec { ar: vec![0.5], ma: vec![0.2], mean: 10.0, sigma: 1.0 };
+        let series = simulate_arma(&spec, 300, &mut rng);
+        let mut m1 = ArmaModel::new(1, 1);
+        let mut m2 = ArmaModel::new(1, 1);
+        m1.fit(&series).unwrap();
+        m2.fit(&series).unwrap();
+        assert_eq!(m1.ar_coefficients(), m2.ar_coefficients());
+        assert_eq!(m1.forecast(7, 0.9).unwrap().values(), m2.forecast(7, 0.9).unwrap().values());
+    }
+}

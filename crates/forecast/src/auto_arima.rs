@@ -1,0 +1,302 @@
+//! Automatic ARIMA order selection — the stand-in for the pmdarima /
+//! X-13ARIMA-SEATS library used in the paper's deployment (§5): pick the
+//! differencing order `d` by repeated KPSS tests, then search `(p, q)` with
+//! the Hyndman–Khandakar stepwise procedure and select by corrected AIC.
+//!
+//! Two details differ from a textbook AIC comparison because our ARMA fits
+//! use *conditional* sum of squares (residuals start at `t = p`):
+//! * models of different `p` see different effective sample sizes, so the
+//!   selection score is AICc *per effective observation*;
+//! * the stepwise search (start at (2,2),(0,0),(1,0),(0,1), then walk to
+//!   better neighbors) avoids the far corners of the grid where CSS +
+//!   near-noninvertible MA roots can overfit in-sample noise.
+
+use crate::arima::{difference, ArimaModel};
+use crate::error::{check_finite, ForecastError};
+use crate::model::{FitSummary, Forecast, ForecastModel};
+use crate::stats::{kpss_level_statistic, KPSS_CRIT_5PCT};
+use std::collections::HashSet;
+
+/// Search space and selection options for [`AutoArima`].
+#[derive(Debug, Clone, Copy)]
+pub struct AutoArimaConfig {
+    /// Maximum AR order searched (inclusive).
+    pub max_p: usize,
+    /// Maximum MA order searched (inclusive).
+    pub max_q: usize,
+    /// Maximum differencing order applied (inclusive).
+    pub max_d: usize,
+    /// KPSS critical value; difference while the statistic exceeds it.
+    pub kpss_critical: f64,
+    /// Use the stepwise (Hyndman–Khandakar) search; `false` fits the whole
+    /// `(p, q)` grid, which is slower and more prone to CSS overfit.
+    pub stepwise: bool,
+}
+
+impl Default for AutoArimaConfig {
+    fn default() -> Self {
+        AutoArimaConfig {
+            max_p: 5,
+            max_q: 5,
+            max_d: 2,
+            kpss_critical: KPSS_CRIT_5PCT,
+            stepwise: true,
+        }
+    }
+}
+
+/// Choose the differencing order: difference until the KPSS level test no
+/// longer rejects stationarity (or `max_d` is hit) — pmdarima's `ndiffs`.
+pub fn select_d(series: &[f64], config: &AutoArimaConfig) -> usize {
+    let mut current = series.to_vec();
+    let mut d = 0;
+    while d < config.max_d
+        && current.len() > 10
+        && kpss_level_statistic(&current) > config.kpss_critical
+    {
+        current = difference(&current);
+        d += 1;
+    }
+    d
+}
+
+/// Auto-ARIMA: KPSS-selected `d`, stepwise `(p, q)` search, lowest
+/// per-observation AICc wins.
+#[derive(Debug, Clone)]
+pub struct AutoArima {
+    config: AutoArimaConfig,
+    best: Option<ArimaModel>,
+    best_score: f64,
+}
+
+impl AutoArima {
+    /// New selector with the given search space.
+    pub fn new(config: AutoArimaConfig) -> Self {
+        AutoArima { config, best: None, best_score: f64::INFINITY }
+    }
+
+    /// The selected model's `(p, d, q)`, once fitted.
+    pub fn selected_order(&self) -> Option<(usize, usize, usize)> {
+        self.best.as_ref().map(|m| m.order())
+    }
+
+    /// Selection score (AICc per effective observation) of the best model.
+    pub fn best_score(&self) -> Option<f64> {
+        self.best.as_ref().map(|_| self.best_score)
+    }
+}
+
+impl Default for AutoArima {
+    fn default() -> Self {
+        AutoArima::new(AutoArimaConfig::default())
+    }
+}
+
+/// AICc per effective observation (see module docs for why we normalize).
+fn score(summary: &FitSummary) -> f64 {
+    let Some(aic) = summary.aic else { return f64::INFINITY };
+    let k = summary.num_params as f64 + 1.0; // + sigma
+    let n = summary.n_obs as f64;
+    if n - k - 1.0 <= 0.0 {
+        return f64::INFINITY;
+    }
+    (aic + 2.0 * k * (k + 1.0) / (n - k - 1.0)) / n
+}
+
+impl ForecastModel for AutoArima {
+    fn name(&self) -> String {
+        match self.selected_order() {
+            Some((p, d, q)) => format!("auto_arima[{p},{d},{q}]"),
+            None => "auto_arima".to_string(),
+        }
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<FitSummary, ForecastError> {
+        check_finite(series)?;
+        let d = select_d(series, &self.config);
+        self.best = None;
+        self.best_score = f64::INFINITY;
+        let mut best_summary: Option<FitSummary> = None;
+        let mut last_err: Option<ForecastError> = None;
+        let mut visited: HashSet<(usize, usize)> = HashSet::new();
+
+        let mut try_order = |pq: (usize, usize),
+                             this: &mut Self,
+                             best_summary: &mut Option<FitSummary>,
+                             last_err: &mut Option<ForecastError>|
+         -> bool {
+            let (p, q) = pq;
+            if p > this.config.max_p || q > this.config.max_q || !visited.insert(pq) {
+                return false;
+            }
+            let mut candidate = ArimaModel::new(p, d, q);
+            match candidate.fit(series) {
+                Ok(summary) => {
+                    let s = score(&summary);
+                    if s < this.best_score {
+                        this.best_score = s;
+                        this.best = Some(candidate);
+                        *best_summary = Some(summary);
+                        return true;
+                    }
+                    false
+                }
+                Err(e) => {
+                    *last_err = Some(e);
+                    false
+                }
+            }
+        };
+
+        if self.config.stepwise {
+            // Hyndman–Khandakar starting set.
+            for pq in [(2, 2), (0, 0), (1, 0), (0, 1)] {
+                try_order(pq, self, &mut best_summary, &mut last_err);
+            }
+            loop {
+                let Some((p, _, q)) = self.selected_order() else { break };
+                let mut improved = false;
+                let neighbors = [
+                    (p.wrapping_sub(1), q),
+                    (p + 1, q),
+                    (p, q.wrapping_sub(1)),
+                    (p, q + 1),
+                    (p.wrapping_sub(1), q.wrapping_sub(1)),
+                    (p + 1, q + 1),
+                    (p + 1, q.wrapping_sub(1)),
+                    (p.wrapping_sub(1), q + 1),
+                ];
+                for n in neighbors {
+                    if n.0 == usize::MAX || n.1 == usize::MAX {
+                        continue;
+                    }
+                    improved |= try_order(n, self, &mut best_summary, &mut last_err);
+                }
+                if !improved {
+                    break;
+                }
+            }
+        } else {
+            for p in 0..=self.config.max_p {
+                for q in 0..=self.config.max_q {
+                    try_order((p, q), self, &mut best_summary, &mut last_err);
+                }
+            }
+        }
+
+        match best_summary {
+            Some(summary) => Ok(summary),
+            None => Err(last_err.unwrap_or(ForecastError::Numerical(
+                "no ARIMA candidate could be fitted".to_string(),
+            ))),
+        }
+    }
+
+    fn forecast(&self, horizon: usize, confidence: f64) -> Result<Forecast, ForecastError> {
+        match &self.best {
+            Some(model) => model.forecast(horizon, confidence),
+            None => Err(ForecastError::NotFitted),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{simulate_arma, ArmaSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selects_d0_for_stationary_series() {
+        // KPSS has a 5% false-positive rate, so average over seeds.
+        let mut d0_count = 0;
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let spec = ArmaSpec { ar: vec![0.4], ma: vec![], mean: 10.0, sigma: 1.0 };
+            let series = simulate_arma(&spec, 300, &mut rng);
+            if select_d(&series, &AutoArimaConfig::default()) == 0 {
+                d0_count += 1;
+            }
+        }
+        assert!(d0_count >= 8, "d=0 selected only {d0_count}/10 times");
+    }
+
+    #[test]
+    fn selects_d1_for_trending_series() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let spec = ArmaSpec { ar: vec![0.2], ma: vec![], mean: 0.0, sigma: 1.0 };
+        let noise = simulate_arma(&spec, 300, &mut rng);
+        let series: Vec<f64> = noise.iter().enumerate().map(|(t, u)| t as f64 + u).collect();
+        assert!(select_d(&series, &AutoArimaConfig::default()) >= 1);
+    }
+
+    #[test]
+    fn picks_reasonable_order_for_ar1() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let spec = ArmaSpec { ar: vec![0.8], ma: vec![], mean: 50.0, sigma: 1.0 };
+        let series = simulate_arma(&spec, 400, &mut rng);
+        let mut auto = AutoArima::default();
+        auto.fit(&series).unwrap();
+        let (p, d, q) = auto.selected_order().unwrap();
+        assert_eq!(d, 0);
+        assert!(p >= 1 || q >= 1, "selected ({p},{d},{q}) for an AR(1)");
+        let f = auto.forecast(7, 0.9).unwrap();
+        assert_eq!(f.points.len(), 7);
+        assert!(f.points.iter().all(|pt| pt.value.is_finite()));
+    }
+
+    #[test]
+    fn stepwise_prefers_parsimony_on_white_noise() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let spec = ArmaSpec { ar: vec![], ma: vec![], mean: 0.0, sigma: 1.0 };
+        let series = simulate_arma(&spec, 300, &mut rng);
+        let mut auto = AutoArima::default();
+        auto.fit(&series).unwrap();
+        let (p, _, q) = auto.selected_order().unwrap();
+        assert!(p + q <= 2, "white noise should select a tiny model, got ({p},{q})");
+    }
+
+    #[test]
+    fn exhaustive_search_also_works() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let spec = ArmaSpec { ar: vec![0.6], ma: vec![], mean: 0.0, sigma: 1.0 };
+        let series = simulate_arma(&spec, 300, &mut rng);
+        let mut auto = AutoArima::new(AutoArimaConfig {
+            stepwise: false,
+            max_p: 2,
+            max_q: 2,
+            ..Default::default()
+        });
+        auto.fit(&series).unwrap();
+        assert!(auto.best_score().unwrap().is_finite());
+        assert!(auto.forecast(3, 0.9).is_ok());
+    }
+
+    #[test]
+    fn unfitted_forecast_errors() {
+        let auto = AutoArima::default();
+        assert!(matches!(auto.forecast(5, 0.9), Err(ForecastError::NotFitted)));
+    }
+
+    #[test]
+    fn name_includes_selected_order() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let spec = ArmaSpec { ar: vec![0.5], ma: vec![], mean: 0.0, sigma: 1.0 };
+        let series = simulate_arma(&spec, 200, &mut rng);
+        let mut auto = AutoArima::default();
+        assert_eq!(auto.name(), "auto_arima");
+        auto.fit(&series).unwrap();
+        assert!(auto.name().starts_with("auto_arima["));
+    }
+
+    #[test]
+    fn short_series_still_selects_something() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let spec = ArmaSpec { ar: vec![0.3], ma: vec![], mean: 5.0, sigma: 1.0 };
+        let series = simulate_arma(&spec, 30, &mut rng);
+        let mut auto = AutoArima::default();
+        auto.fit(&series).unwrap();
+        assert!(auto.forecast(7, 0.9).is_ok());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for model fitting and forecasting.
+
+use std::fmt;
+
+/// Errors raised while fitting or forecasting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForecastError {
+    /// The training series is too short for the requested model order.
+    TooShort { needed: usize, got: usize },
+    /// `forecast` was called before `fit`.
+    NotFitted,
+    /// An invalid hyper-parameter (e.g. confidence outside (0, 1)).
+    InvalidParam(String),
+    /// The optimizer or a linear solve failed to produce finite numbers.
+    Numerical(String),
+    /// The series contains NaN/inf values.
+    NonFinite { index: usize },
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::TooShort { needed, got } => {
+                write!(f, "series too short: need at least {needed} points, got {got}")
+            }
+            ForecastError::NotFitted => write!(f, "model has not been fitted"),
+            ForecastError::InvalidParam(msg) => write!(f, "invalid parameter: {msg}"),
+            ForecastError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            ForecastError::NonFinite { index } => {
+                write!(f, "series contains a non-finite value at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForecastError {}
+
+/// Validate that every value of `series` is finite.
+pub fn check_finite(series: &[f64]) -> Result<(), ForecastError> {
+    match series.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(ForecastError::NonFinite { index }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_finite_finds_bad_values() {
+        assert!(check_finite(&[1.0, 2.0]).is_ok());
+        assert_eq!(
+            check_finite(&[1.0, f64::NAN]),
+            Err(ForecastError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            check_finite(&[f64::INFINITY]),
+            Err(ForecastError::NonFinite { index: 0 })
+        );
+    }
+
+    #[test]
+    fn messages() {
+        let e = ForecastError::TooShort { needed: 10, got: 3 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("3"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # flashp-forecast
+//!
+//! Forecasting models for the FlashP pipeline (§2–§3 of the paper), built
+//! from scratch:
+//!
+//! * [`arma`] — ARMA(p, q) fitted by conditional sum of squares
+//!   (Hannan–Rissanen initialization + Nelder–Mead refinement over a
+//!   stationarity-preserving PACF parameterization), with psi-weight
+//!   forecast intervals;
+//! * [`arima`] — ARIMA(p, d, q) differencing wrapper;
+//! * [`auto_arima`] — pmdarima-style automatic order selection (KPSS-based
+//!   `d`, AICc grid over `p`, `q`);
+//! * [`lstm`] — the LSTM-based model of Fig. 4: an LSTM cell (output
+//!   dimensionality `d = 4`) over a `K = 7` window of metric values,
+//!   followed by a fully-connected layer; trained with Adam + BPTT;
+//! * [`ets`] — exponential-smoothing extensions (SES / Holt / Holt–Winters);
+//! * [`naive`] — naive, seasonal-naive and drift baselines;
+//! * [`noise`] — the §3 analysis: Proposition 1's variance decomposition
+//!   `Var[M̂] = a·σ_u² + σ_ε²` and noise-aware forecast intervals;
+//! * [`simulate`] — ARMA process simulation used to validate the theory.
+//!
+//! Supporting numerics ([`linalg`], [`optimize`], [`stats`]) are
+//! implemented here as well — model orders are tiny, so no external linear
+//! algebra is needed.
+
+pub mod ar;
+pub mod arima;
+pub mod arma;
+pub mod auto_arima;
+pub mod error;
+pub mod ets;
+pub mod linalg;
+pub mod lstm;
+pub mod metrics;
+pub mod model;
+pub mod naive;
+pub mod noise;
+pub mod optimize;
+pub mod simulate;
+pub mod stats;
+
+pub use ar::ArModel;
+pub use arima::ArimaModel;
+pub use arma::ArmaModel;
+pub use auto_arima::{AutoArima, AutoArimaConfig};
+pub use error::ForecastError;
+pub use ets::{EtsModel, EtsVariant};
+pub use lstm::{LstmConfig, LstmForecaster};
+pub use model::{Forecast, ForecastModel, ForecastPoint};
+pub use naive::{DriftModel, NaiveModel, SeasonalNaiveModel};

@@ -1,0 +1,291 @@
+//! Small dense linear algebra: just enough for least-squares fits of
+//! low-order models (p, q ≤ 5, LSTM d = 4). Row-major `Matrix`, LU solve
+//! with partial pivoting, and ordinary least squares via normal equations
+//! with Tikhonov fallback.
+
+use crate::error::ForecastError;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `self * v` for a column vector `v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out[r] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// `selfᵀ * v`.
+    pub fn transpose_matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "transpose_matvec dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * v[r];
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `selfᵀ * self` (used by OLS normal equations).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for i in 0..self.cols {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    let v = g.get(i, j) + ri * row[j];
+                    g.set(i, j, v);
+                }
+            }
+        }
+        for i in 0..self.cols {
+            for j in 0..i {
+                let v = g.get(j, i);
+                g.set(i, j, v);
+            }
+        }
+        g
+    }
+}
+
+/// Solve `A x = b` by LU decomposition with partial pivoting. `A` is
+/// consumed. Fails on (numerically) singular systems.
+pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, ForecastError> {
+    let n = a.rows();
+    if a.cols() != n || b.len() != n {
+        return Err(ForecastError::Numerical(format!(
+            "solve: shape mismatch ({}x{} vs rhs {})",
+            a.rows(),
+            a.cols(),
+            b.len()
+        )));
+    }
+    for k in 0..n {
+        // Pivot selection.
+        let mut pivot_row = k;
+        let mut pivot_val = a.get(k, k).abs();
+        for r in (k + 1)..n {
+            let v = a.get(r, k).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return Err(ForecastError::Numerical("singular matrix in LU solve".to_string()));
+        }
+        if pivot_row != k {
+            for c in 0..n {
+                let tmp = a.get(k, c);
+                a.set(k, c, a.get(pivot_row, c));
+                a.set(pivot_row, c, tmp);
+            }
+            b.swap(k, pivot_row);
+        }
+        // Elimination.
+        let diag = a.get(k, k);
+        for r in (k + 1)..n {
+            let factor = a.get(r, k) / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in k..n {
+                let v = a.get(r, c) - factor * a.get(k, c);
+                a.set(r, c, v);
+            }
+            b[r] -= factor * b[k];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut acc = b[k];
+        for c in (k + 1)..n {
+            acc -= a.get(k, c) * x[c];
+        }
+        x[k] = acc / a.get(k, k);
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(ForecastError::Numerical("non-finite solution in LU solve".to_string()));
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares: find `beta` minimizing `‖X beta − y‖²` via the
+/// normal equations. If `XᵀX` is singular, retries with a small ridge
+/// (Tikhonov) term — adequate for the low-order regressions used here.
+pub fn least_squares(x: &Matrix, y: &[f64]) -> Result<Vec<f64>, ForecastError> {
+    if x.rows() != y.len() {
+        return Err(ForecastError::Numerical(format!(
+            "least_squares: {} rows vs {} targets",
+            x.rows(),
+            y.len()
+        )));
+    }
+    if x.rows() < x.cols() {
+        return Err(ForecastError::TooShort { needed: x.cols(), got: x.rows() });
+    }
+    let gram = x.gram();
+    let xty = x.transpose_matvec(y);
+    match solve(gram.clone(), xty.clone()) {
+        Ok(beta) => Ok(beta),
+        Err(_) => {
+            // Ridge fallback keeps Hannan–Rissanen robust on collinear lags.
+            let mut ridged = gram;
+            let scale = (0..ridged.rows()).map(|i| ridged.get(i, i)).fold(0.0, f64::max);
+            let lambda = (scale * 1e-8).max(1e-10);
+            for i in 0..ridged.rows() {
+                let v = ridged.get(i, i) + lambda;
+                ridged.set(i, i, v);
+            }
+            solve(ridged, xty)
+        }
+    }
+}
+
+/// Dot product helper.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solve_small_system() {
+        // [2 1; 1 3] x = [3; 5] → x = [0.8, 1.4]
+        let a = Matrix::from_fn(2, 2, |r, c| [[2.0, 1.0], [1.0, 3.0]][r][c]);
+        let x = solve(a, vec![3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_fn(2, 2, |r, c| [[0.0, 1.0], [1.0, 0.0]][r][c]);
+        let x = solve(a, vec![2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_fn(2, 2, |r, c| [[1.0, 2.0], [2.0, 4.0]][r][c]);
+        assert!(solve(a, vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_fit() {
+        // y = 2 + 3x, noiseless.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let x = Matrix::from_fn(10, 2, |r, c| if c == 0 { 1.0 } else { xs[r] });
+        let y: Vec<f64> = xs.iter().map(|v| 2.0 + 3.0 * v).collect();
+        let beta = least_squares(&x, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_underdetermined_errors() {
+        let x = Matrix::zeros(1, 3);
+        assert!(matches!(
+            least_squares(&x, &[1.0]),
+            Err(ForecastError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let x = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f64);
+        let g = x.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(g.get(i, j), g.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 12.0]);
+        assert_eq!(m.transpose_matvec(&[1.0, 1.0]), vec![3.0, 5.0, 7.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_round_trips(
+            vals in proptest::collection::vec(-10.0f64..10.0, 9),
+            rhs in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            let a = Matrix::from_fn(3, 3, |r, c| {
+                // Diagonal dominance guarantees solvability.
+                let base = vals[r * 3 + c];
+                if r == c { base + 50.0 } else { base }
+            });
+            let x = solve(a.clone(), rhs.clone()).unwrap();
+            let back = a.matvec(&x);
+            for (orig, b) in rhs.iter().zip(back) {
+                prop_assert!((orig - b).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! The LSTM-based forecasting model of Fig. 4, built from scratch.
+//!
+//! Architecture (matching the paper's Keras deployment, §5): an LSTM unit
+//! with output dimensionality `d` (default 4) consumes the previous
+//! `K` (default 7) metric values as a length-`K` sequence of scalars; the
+//! final hidden state feeds a `d × 1` fully-connected layer that outputs
+//! the forecast of `M_t`. Training minimizes MSE over all sliding windows
+//! with full-batch backpropagation-through-time and Adam.
+//!
+//! The input series is z-normalized before training; forecasts are
+//! produced iteratively (each prediction becomes an input for the next
+//! step, exactly the `M̂_{t0+1|t0}` chaining of §2). Interval standard
+//! errors use the residual σ scaled by √h — a standard heuristic for
+//! iterated neural forecasters (the paper derives no analytic intervals
+//! for LSTM either; see §3 "It is difficult to derive any formal
+//! analytical result here").
+
+use crate::error::{check_finite, ForecastError};
+use crate::model::{
+    points_from_std_errs, validate_forecast_args, FitSummary, Forecast, ForecastModel,
+};
+use crate::stats::{mean, std_dev};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters of the LSTM forecaster.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmConfig {
+    /// Input window length `K`.
+    pub window: usize,
+    /// Hidden (cell) dimensionality `d`.
+    pub hidden: usize,
+    /// Training epochs (full-batch Adam steps).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Global gradient-norm clip.
+    pub grad_clip: f64,
+    /// RNG seed for weight initialization (fits are deterministic).
+    pub seed: u64,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        // K = 7, d = 4: the paper's default parameter setting (§5).
+        LstmConfig {
+            window: 7,
+            hidden: 4,
+            epochs: 200,
+            learning_rate: 0.02,
+            grad_clip: 5.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Offsets into the flat parameter vector.
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    hidden: usize,
+    wx: usize, // 4H input weights (input size 1)
+    wh: usize, // 4H × H recurrent weights
+    b: usize,  // 4H biases
+    wy: usize, // H output weights
+    by: usize, // output bias
+    len: usize,
+}
+
+impl Layout {
+    fn new(hidden: usize) -> Self {
+        let wx = 0;
+        let wh = wx + 4 * hidden;
+        let b = wh + 4 * hidden * hidden;
+        let wy = b + 4 * hidden;
+        let by = wy + hidden;
+        Layout { hidden, wx, wh, b, wy, by, len: by + 1 }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Per-step cache of the forward pass, kept for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: f64,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    tanh_c: Vec<f64>,
+}
+
+/// LSTM forecaster implementing [`ForecastModel`].
+#[derive(Debug, Clone)]
+pub struct LstmForecaster {
+    config: LstmConfig,
+    layout: Layout,
+    theta: Vec<f64>,
+    norm_mean: f64,
+    norm_std: f64,
+    history: Vec<f64>,
+    sigma2: f64,
+    fitted: bool,
+}
+
+impl LstmForecaster {
+    /// New unfitted forecaster.
+    pub fn new(config: LstmConfig) -> Self {
+        let layout = Layout::new(config.hidden.max(1));
+        LstmForecaster {
+            config,
+            layout,
+            theta: vec![0.0; layout.len],
+            norm_mean: 0.0,
+            norm_std: 1.0,
+            history: Vec::new(),
+            sigma2: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// The configuration this forecaster was built with.
+    pub fn config(&self) -> &LstmConfig {
+        &self.config
+    }
+
+    fn init_weights(&mut self) {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let h = self.layout.hidden;
+        let scale = 1.0 / ((h + 1) as f64).sqrt();
+        for v in self.theta.iter_mut() {
+            *v = rng.gen_range(-scale..scale);
+        }
+        // Forget-gate bias starts at 1 so memory persists early in training.
+        for k in 0..h {
+            self.theta[self.layout.b + h + k] = 1.0;
+        }
+        self.theta[self.layout.by] = 0.0;
+    }
+
+    /// Forward one window; returns `(prediction, caches, final_h)`.
+    fn forward(&self, theta: &[f64], xs: &[f64]) -> (f64, Vec<StepCache>, Vec<f64>) {
+        let l = self.layout;
+        let hd = l.hidden;
+        let mut h = vec![0.0; hd];
+        let mut c = vec![0.0; hd];
+        let mut caches = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let h_prev = h.clone();
+            let c_prev = c.clone();
+            let mut i_g = vec![0.0; hd];
+            let mut f_g = vec![0.0; hd];
+            let mut g_g = vec![0.0; hd];
+            let mut o_g = vec![0.0; hd];
+            for k in 0..4 * hd {
+                let mut z = theta[l.wx + k] * x + theta[l.b + k];
+                let row = l.wh + k * hd;
+                for j in 0..hd {
+                    z += theta[row + j] * h_prev[j];
+                }
+                let gate = k / hd;
+                let idx = k % hd;
+                match gate {
+                    0 => i_g[idx] = sigmoid(z),
+                    1 => f_g[idx] = sigmoid(z),
+                    2 => g_g[idx] = z.tanh(),
+                    _ => o_g[idx] = sigmoid(z),
+                }
+            }
+            let mut tanh_c = vec![0.0; hd];
+            for k in 0..hd {
+                c[k] = f_g[k] * c_prev[k] + i_g[k] * g_g[k];
+                tanh_c[k] = c[k].tanh();
+                h[k] = o_g[k] * tanh_c[k];
+            }
+            caches.push(StepCache {
+                x,
+                h_prev,
+                c_prev,
+                i: i_g,
+                f: f_g,
+                g: g_g,
+                o: o_g,
+                tanh_c,
+            });
+        }
+        let mut y = theta[l.by];
+        for k in 0..hd {
+            y += theta[l.wy + k] * h[k];
+        }
+        (y, caches, h)
+    }
+
+    /// Mean-squared-error loss and gradient over all `(window, target)`
+    /// pairs. Exposed at crate level for the finite-difference test.
+    fn loss_and_grad(&self, theta: &[f64], windows: &[(Vec<f64>, f64)]) -> (f64, Vec<f64>) {
+        let l = self.layout;
+        let hd = l.hidden;
+        let mut grad = vec![0.0; l.len];
+        let mut loss = 0.0;
+        let n = windows.len().max(1) as f64;
+        for (xs, target) in windows {
+            let (y, caches, h_last) = self.forward(theta, xs);
+            let err = y - target;
+            loss += err * err / n;
+            let dy = 2.0 * err / n;
+            // Output layer.
+            for k in 0..hd {
+                grad[l.wy + k] += dy * h_last[k];
+            }
+            grad[l.by] += dy;
+            let mut dh: Vec<f64> = (0..hd).map(|k| theta[l.wy + k] * dy).collect();
+            let mut dc = vec![0.0; hd];
+            // BPTT.
+            for cache in caches.iter().rev() {
+                let mut dz = vec![0.0; 4 * hd];
+                for k in 0..hd {
+                    let do_k = dh[k] * cache.tanh_c[k];
+                    let dc_k = dc[k] + dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]);
+                    let di = dc_k * cache.g[k];
+                    let df = dc_k * cache.c_prev[k];
+                    let dg = dc_k * cache.i[k];
+                    dz[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+                    dz[hd + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+                    dz[2 * hd + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+                    dz[3 * hd + k] = do_k * cache.o[k] * (1.0 - cache.o[k]);
+                    dc[k] = dc_k * cache.f[k]; // carries to c_{t-1}
+                }
+                let mut dh_prev = vec![0.0; hd];
+                for k in 0..4 * hd {
+                    let dzk = dz[k];
+                    if dzk == 0.0 {
+                        continue;
+                    }
+                    grad[l.wx + k] += dzk * cache.x;
+                    grad[l.b + k] += dzk;
+                    let row = l.wh + k * hd;
+                    for j in 0..hd {
+                        grad[row + j] += dzk * cache.h_prev[j];
+                        dh_prev[j] += theta[row + j] * dzk;
+                    }
+                }
+                dh = dh_prev;
+            }
+        }
+        (loss, grad)
+    }
+
+    fn windows(&self, normed: &[f64]) -> Vec<(Vec<f64>, f64)> {
+        let k = self.config.window;
+        (k..normed.len()).map(|t| (normed[t - k..t].to_vec(), normed[t])).collect()
+    }
+
+    fn normalize(&self, v: f64) -> f64 {
+        (v - self.norm_mean) / self.norm_std
+    }
+
+    fn denormalize(&self, v: f64) -> f64 {
+        v * self.norm_std + self.norm_mean
+    }
+}
+
+impl ForecastModel for LstmForecaster {
+    fn name(&self) -> String {
+        format!("lstm(K={},d={})", self.config.window, self.config.hidden)
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<FitSummary, ForecastError> {
+        check_finite(series)?;
+        if self.config.window == 0 || self.config.hidden == 0 {
+            return Err(ForecastError::InvalidParam(
+                "window and hidden must be >= 1".to_string(),
+            ));
+        }
+        let needed = self.config.window + 3;
+        if series.len() < needed {
+            return Err(ForecastError::TooShort { needed, got: series.len() });
+        }
+        self.norm_mean = mean(series);
+        self.norm_std = std_dev(series).max(1e-9);
+        let normed: Vec<f64> = series.iter().map(|v| self.normalize(*v)).collect();
+        let windows = self.windows(&normed);
+        self.init_weights();
+
+        // Full-batch Adam.
+        let mut m = vec![0.0; self.layout.len];
+        let mut v = vec![0.0; self.layout.len];
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let mut final_loss = f64::INFINITY;
+        for step in 1..=self.config.epochs {
+            let (loss, mut grad) = self.loss_and_grad(&self.theta, &windows);
+            final_loss = loss;
+            // Global norm clip.
+            let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if norm > self.config.grad_clip {
+                let scale = self.config.grad_clip / norm;
+                for g in grad.iter_mut() {
+                    *g *= scale;
+                }
+            }
+            let lr = self.config.learning_rate;
+            let bc1 = 1.0 - b1.powi(step as i32);
+            let bc2 = 1.0 - b2.powi(step as i32);
+            for k in 0..self.layout.len {
+                m[k] = b1 * m[k] + (1.0 - b1) * grad[k];
+                v[k] = b2 * v[k] + (1.0 - b2) * grad[k] * grad[k];
+                let m_hat = m[k] / bc1;
+                let v_hat = v[k] / bc2;
+                self.theta[k] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+        if !final_loss.is_finite() {
+            return Err(ForecastError::Numerical("LSTM training diverged".to_string()));
+        }
+
+        // Residual variance in original scale.
+        let mut sse = 0.0;
+        for (xs, target) in &windows {
+            let (y, _, _) = self.forward(&self.theta, xs);
+            let err = self.denormalize(y) - self.denormalize(*target);
+            sse += err * err;
+        }
+        self.sigma2 = sse / windows.len().max(1) as f64;
+        self.history = series.to_vec();
+        self.fitted = true;
+        Ok(FitSummary {
+            sigma2: self.sigma2,
+            log_likelihood: None,
+            aic: None,
+            num_params: self.layout.len,
+            n_obs: windows.len(),
+        })
+    }
+
+    fn forecast(&self, horizon: usize, confidence: f64) -> Result<Forecast, ForecastError> {
+        if !self.fitted {
+            return Err(ForecastError::NotFitted);
+        }
+        validate_forecast_args(horizon, confidence)?;
+        let k = self.config.window;
+        let mut normed: Vec<f64> =
+            self.history.iter().map(|x| self.normalize(*x)).collect();
+        let mut means = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let xs = normed[normed.len() - k..].to_vec();
+            let (y, _, _) = self.forward(&self.theta, &xs);
+            normed.push(y);
+            means.push(self.denormalize(y));
+        }
+        let sigma = self.sigma2.sqrt();
+        let std_errs: Vec<f64> =
+            (1..=horizon).map(|h| sigma * (h as f64).sqrt()).collect();
+        Ok(Forecast {
+            points: points_from_std_errs(&means, &std_errs, confidence),
+            confidence,
+            sigma2: self.sigma2,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_series(n: usize) -> Vec<f64> {
+        (0..n).map(|t| 100.0 + 20.0 * (t as f64 * std::f64::consts::PI / 6.0).sin()).collect()
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let config = LstmConfig { window: 3, hidden: 2, epochs: 1, ..Default::default() };
+        let mut model = LstmForecaster::new(config);
+        model.init_weights();
+        let windows = vec![
+            (vec![0.5, -0.2, 0.1], 0.3),
+            (vec![-0.2, 0.1, 0.3], -0.4),
+            (vec![0.1, 0.3, -0.4], 0.2),
+        ];
+        let theta = model.theta.clone();
+        let (_, grad) = model.loss_and_grad(&theta, &windows);
+        let eps = 1e-6;
+        for k in 0..theta.len() {
+            let mut plus = theta.clone();
+            plus[k] += eps;
+            let mut minus = theta.clone();
+            minus[k] -= eps;
+            let (lp, _) = model.loss_and_grad(&plus, &windows);
+            let (lm, _) = model.loss_and_grad(&minus, &windows);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (grad[k] - numeric).abs() < 1e-5 * (1.0 + numeric.abs()),
+                "param {k}: analytic {} vs numeric {numeric}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn learns_a_sine_wave() {
+        let series = sine_series(120);
+        let mut model = LstmForecaster::new(LstmConfig {
+            epochs: 400,
+            ..Default::default()
+        });
+        model.fit(&series).unwrap();
+        let f = model.forecast(12, 0.9).unwrap();
+        // Compare against the true continuation.
+        let truth: Vec<f64> = (120..132)
+            .map(|t| 100.0 + 20.0 * (t as f64 * std::f64::consts::PI / 6.0).sin())
+            .collect();
+        let err = crate::metrics::mean_relative_error(&f.values(), &truth).unwrap();
+        assert!(err < 0.08, "relative forecast error = {err}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let series = sine_series(60);
+        let mut a = LstmForecaster::new(LstmConfig { epochs: 30, ..Default::default() });
+        let mut b = LstmForecaster::new(LstmConfig { epochs: 30, ..Default::default() });
+        a.fit(&series).unwrap();
+        b.fit(&series).unwrap();
+        assert_eq!(a.forecast(5, 0.9).unwrap().values(), b.forecast(5, 0.9).unwrap().values());
+    }
+
+    #[test]
+    fn different_seed_changes_fit() {
+        let series = sine_series(60);
+        let mut a = LstmForecaster::new(LstmConfig { epochs: 10, seed: 1, ..Default::default() });
+        let mut b = LstmForecaster::new(LstmConfig { epochs: 10, seed: 2, ..Default::default() });
+        a.fit(&series).unwrap();
+        b.fit(&series).unwrap();
+        assert_ne!(a.forecast(1, 0.9).unwrap().values(), b.forecast(1, 0.9).unwrap().values());
+    }
+
+    #[test]
+    fn constant_series_forecasts_constant() {
+        let series = vec![42.0; 40];
+        let mut model = LstmForecaster::new(LstmConfig { epochs: 60, ..Default::default() });
+        model.fit(&series).unwrap();
+        let f = model.forecast(5, 0.9).unwrap();
+        for p in &f.points {
+            assert!((p.value - 42.0).abs() < 1.0, "forecast = {}", p.value);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut model = LstmForecaster::new(LstmConfig::default());
+        assert!(matches!(model.fit(&[1.0; 5]), Err(ForecastError::TooShort { .. })));
+        assert!(matches!(model.forecast(3, 0.9), Err(ForecastError::NotFitted)));
+        let mut bad = LstmForecaster::new(LstmConfig { window: 0, ..Default::default() });
+        assert!(bad.fit(&[1.0; 50]).is_err());
+    }
+
+    #[test]
+    fn intervals_widen_with_horizon() {
+        let series = sine_series(80);
+        let mut model = LstmForecaster::new(LstmConfig { epochs: 50, ..Default::default() });
+        model.fit(&series).unwrap();
+        let f = model.forecast(7, 0.9).unwrap();
+        for w in f.points.windows(2) {
+            assert!(w[1].std_err > w[0].std_err);
+        }
+    }
+}

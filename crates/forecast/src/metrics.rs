@@ -1,0 +1,126 @@
+//! Accuracy metrics used throughout the evaluation: the paper reports
+//! *relative aggregation error* (estimate vs true per-day aggregate,
+//! averaged over the training window) and *relative forecast error*
+//! (forecast vs true future value, averaged over the horizon).
+
+/// Relative error `|est − truth| / |truth|`; `None` when the truth is zero
+/// (the ratio is undefined).
+pub fn relative_error(est: f64, truth: f64) -> Option<f64> {
+    if truth == 0.0 {
+        return None;
+    }
+    Some((est - truth).abs() / truth.abs())
+}
+
+/// Mean relative error over paired slices, skipping zero-truth points.
+/// Returns `None` if no point is usable.
+pub fn mean_relative_error(ests: &[f64], truths: &[f64]) -> Option<f64> {
+    assert_eq!(ests.len(), truths.len(), "metric input length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (e, t) in ests.iter().zip(truths) {
+        if let Some(r) = relative_error(*e, *t) {
+            sum += r;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Mean absolute percentage error (identical to mean relative error, in %).
+pub fn mape(ests: &[f64], truths: &[f64]) -> Option<f64> {
+    mean_relative_error(ests, truths).map(|v| v * 100.0)
+}
+
+/// Symmetric MAPE in percent: `200·|e−t| / (|e|+|t|)` averaged; defined
+/// even when individual truths are zero (skips points where both are zero).
+pub fn smape(ests: &[f64], truths: &[f64]) -> Option<f64> {
+    assert_eq!(ests.len(), truths.len(), "metric input length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (e, t) in ests.iter().zip(truths) {
+        let denom = e.abs() + t.abs();
+        if denom > 0.0 {
+            sum += 200.0 * (e - t).abs() / denom;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Root mean squared error.
+pub fn rmse(ests: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(ests.len(), truths.len(), "metric input length mismatch");
+    if ests.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 =
+        ests.iter().zip(truths).map(|(e, t)| (e - t) * (e - t)).sum::<f64>() / ests.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(ests: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(ests.len(), truths.len(), "metric input length mismatch");
+    if ests.is_empty() {
+        return 0.0;
+    }
+    ests.iter().zip(truths).map(|(e, t)| (e - t).abs()).sum::<f64>() / ests.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(110.0, 100.0), Some(0.1));
+        assert_eq!(relative_error(90.0, 100.0), Some(0.1));
+        assert_eq!(relative_error(5.0, 0.0), None);
+        assert_eq!(relative_error(-90.0, -100.0), Some(0.1));
+    }
+
+    #[test]
+    fn mean_relative_error_skips_zero_truths() {
+        let m = mean_relative_error(&[110.0, 5.0, 50.0], &[100.0, 0.0, 100.0]).unwrap();
+        assert!((m - (0.1 + 0.5) / 2.0).abs() < 1e-12);
+        assert_eq!(mean_relative_error(&[1.0], &[0.0]), None);
+    }
+
+    #[test]
+    fn rmse_and_mae() {
+        let e = [1.0, 2.0, 3.0];
+        let t = [1.0, 4.0, 3.0];
+        assert!((rmse(&e, &t) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&e, &t) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn smape_bounded() {
+        let s = smape(&[100.0], &[0.0]).unwrap();
+        assert_eq!(s, 200.0); // maximal disagreement
+        let s = smape(&[50.0], &[50.0]).unwrap();
+        assert_eq!(s, 0.0);
+        assert_eq!(smape(&[0.0], &[0.0]), None);
+    }
+
+    #[test]
+    fn mape_is_percent() {
+        assert!((mape(&[110.0], &[100.0]).unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Naive baselines: last-value, seasonal-naive and drift forecasts. The
+//! paper plugs arbitrary models into the pipeline ("Other forecasting
+//! models can be plugged in here, too", §5); these are the standard cheap
+//! baselines and are also useful as sanity anchors in tests.
+
+use crate::error::{check_finite, ForecastError};
+use crate::model::{
+    points_from_std_errs, validate_forecast_args, FitSummary, Forecast, ForecastModel,
+};
+use crate::stats::sample_variance;
+
+/// Forecast every horizon with the last observed value. Standard error at
+/// horizon `h` is `σ√h` with σ estimated from one-step differences (the
+/// random-walk model's exact forecast distribution).
+#[derive(Debug, Clone, Default)]
+pub struct NaiveModel {
+    last: f64,
+    sigma2: f64,
+    fitted: bool,
+}
+
+impl NaiveModel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ForecastModel for NaiveModel {
+    fn name(&self) -> String {
+        "naive".to_string()
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<FitSummary, ForecastError> {
+        check_finite(series)?;
+        if series.len() < 2 {
+            return Err(ForecastError::TooShort { needed: 2, got: series.len() });
+        }
+        self.last = *series.last().expect("length checked");
+        let diffs: Vec<f64> = series.windows(2).map(|w| w[1] - w[0]).collect();
+        self.sigma2 = sample_variance(&diffs);
+        self.fitted = true;
+        Ok(FitSummary {
+            sigma2: self.sigma2,
+            log_likelihood: None,
+            aic: None,
+            num_params: 0,
+            n_obs: series.len(),
+        })
+    }
+
+    fn forecast(&self, horizon: usize, confidence: f64) -> Result<Forecast, ForecastError> {
+        if !self.fitted {
+            return Err(ForecastError::NotFitted);
+        }
+        validate_forecast_args(horizon, confidence)?;
+        let means = vec![self.last; horizon];
+        let std_errs: Vec<f64> =
+            (1..=horizon).map(|h| (self.sigma2 * h as f64).sqrt()).collect();
+        Ok(Forecast {
+            points: points_from_std_errs(&means, &std_errs, confidence),
+            confidence,
+            sigma2: self.sigma2,
+        })
+    }
+}
+
+/// Forecast with the value observed one season (`period`) ago.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaiveModel {
+    period: usize,
+    last_season: Vec<f64>,
+    sigma2: f64,
+    fitted: bool,
+}
+
+impl SeasonalNaiveModel {
+    /// New model with season length `period` (e.g. 7 for weekly patterns in
+    /// daily data).
+    pub fn new(period: usize) -> Self {
+        SeasonalNaiveModel { period, last_season: Vec::new(), sigma2: 0.0, fitted: false }
+    }
+}
+
+impl ForecastModel for SeasonalNaiveModel {
+    fn name(&self) -> String {
+        format!("seasonal_naive({})", self.period)
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<FitSummary, ForecastError> {
+        check_finite(series)?;
+        if self.period == 0 {
+            return Err(ForecastError::InvalidParam("period must be >= 1".to_string()));
+        }
+        if series.len() < 2 * self.period {
+            return Err(ForecastError::TooShort { needed: 2 * self.period, got: series.len() });
+        }
+        self.last_season = series[series.len() - self.period..].to_vec();
+        let seasonal_diffs: Vec<f64> =
+            (self.period..series.len()).map(|t| series[t] - series[t - self.period]).collect();
+        self.sigma2 = sample_variance(&seasonal_diffs);
+        self.fitted = true;
+        Ok(FitSummary {
+            sigma2: self.sigma2,
+            log_likelihood: None,
+            aic: None,
+            num_params: 0,
+            n_obs: series.len(),
+        })
+    }
+
+    fn forecast(&self, horizon: usize, confidence: f64) -> Result<Forecast, ForecastError> {
+        if !self.fitted {
+            return Err(ForecastError::NotFitted);
+        }
+        validate_forecast_args(horizon, confidence)?;
+        let means: Vec<f64> =
+            (0..horizon).map(|h| self.last_season[h % self.period]).collect();
+        let std_errs: Vec<f64> = (0..horizon)
+            .map(|h| {
+                let k = (h / self.period + 1) as f64; // completed seasonal cycles
+                (self.sigma2 * k).sqrt()
+            })
+            .collect();
+        Ok(Forecast {
+            points: points_from_std_errs(&means, &std_errs, confidence),
+            confidence,
+            sigma2: self.sigma2,
+        })
+    }
+}
+
+/// Random walk with drift: extrapolate the average historical slope.
+#[derive(Debug, Clone, Default)]
+pub struct DriftModel {
+    last: f64,
+    slope: f64,
+    sigma2: f64,
+    n: usize,
+    fitted: bool,
+}
+
+impl DriftModel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ForecastModel for DriftModel {
+    fn name(&self) -> String {
+        "drift".to_string()
+    }
+
+    fn fit(&mut self, series: &[f64]) -> Result<FitSummary, ForecastError> {
+        check_finite(series)?;
+        if series.len() < 3 {
+            return Err(ForecastError::TooShort { needed: 3, got: series.len() });
+        }
+        let n = series.len();
+        self.last = series[n - 1];
+        self.slope = (series[n - 1] - series[0]) / (n - 1) as f64;
+        let diffs: Vec<f64> = series.windows(2).map(|w| w[1] - w[0]).collect();
+        self.sigma2 = sample_variance(&diffs);
+        self.n = n;
+        self.fitted = true;
+        Ok(FitSummary {
+            sigma2: self.sigma2,
+            log_likelihood: None,
+            aic: None,
+            num_params: 1,
+            n_obs: n,
+        })
+    }
+
+    fn forecast(&self, horizon: usize, confidence: f64) -> Result<Forecast, ForecastError> {
+        if !self.fitted {
+            return Err(ForecastError::NotFitted);
+        }
+        validate_forecast_args(horizon, confidence)?;
+        let means: Vec<f64> =
+            (1..=horizon).map(|h| self.last + self.slope * h as f64).collect();
+        let std_errs: Vec<f64> = (1..=horizon)
+            .map(|h| {
+                let h = h as f64;
+                (self.sigma2 * h * (1.0 + h / (self.n - 1) as f64)).sqrt()
+            })
+            .collect();
+        Ok(Forecast {
+            points: points_from_std_errs(&means, &std_errs, confidence),
+            confidence,
+            sigma2: self.sigma2,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_repeats_last_value() {
+        let mut m = NaiveModel::new();
+        // Non-constant differences so σ² > 0 and the √h law is observable.
+        m.fit(&[1.0, 3.0, 2.0, 4.0]).unwrap();
+        let f = m.forecast(3, 0.9).unwrap();
+        assert!(f.points.iter().all(|p| p.value == 4.0));
+        let r = f.points[2].std_err / f.points[0].std_err;
+        assert!((r - 3.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_cycle() {
+        // Seasonal diffs vary (1, 2, 3) so σ² > 0.
+        let series = [10.0, 20.0, 30.0, 11.0, 22.0, 33.0];
+        let mut m = SeasonalNaiveModel::new(3);
+        m.fit(&series).unwrap();
+        let f = m.forecast(6, 0.9).unwrap();
+        assert_eq!(f.values(), vec![11.0, 22.0, 33.0, 11.0, 22.0, 33.0]);
+        // Second cycle is more uncertain than the first.
+        assert!(f.points[3].std_err > f.points[0].std_err);
+    }
+
+    #[test]
+    fn drift_extrapolates_slope() {
+        let series: Vec<f64> = (0..50).map(|i| 2.0 * i as f64).collect();
+        let mut m = DriftModel::new();
+        m.fit(&series).unwrap();
+        let f = m.forecast(5, 0.9).unwrap();
+        for (h, p) in f.points.iter().enumerate() {
+            assert!((p.value - (98.0 + 2.0 * (h as f64 + 1.0))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(NaiveModel::new().fit(&[1.0]).is_err());
+        assert!(SeasonalNaiveModel::new(0).fit(&[1.0; 10]).is_err());
+        assert!(SeasonalNaiveModel::new(7).fit(&[1.0; 10]).is_err());
+        assert!(DriftModel::new().fit(&[1.0, 2.0]).is_err());
+        assert!(NaiveModel::new().forecast(1, 0.9).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! The §3 analysis: how sample-based estimation noise propagates into
+//! model fitting and forecast intervals.
+//!
+//! FlashP trains on estimates `M̂_t = M_t + ε_t` with `E[ε_t] = 0`,
+//! independent across `t`. Proposition 1 shows that for ARMA(1,1)
+//!
+//! ```text
+//! Var[M̂_t] = a · σ_u² + σ_ε²,   a = (1 + 2α₁β₁ + β₁²) / (1 − α₁²)
+//! ```
+//!
+//! i.e. the aggregation error adds *additively* to the model's intrinsic
+//! noise and widens forecast intervals accordingly. This module exposes the
+//! formula plus a noise-aware interval adjustment used by the engine when
+//! per-timestamp variance estimates are available from the sampler.
+
+use crate::error::ForecastError;
+use crate::model::Forecast;
+use crate::stats::z_for_confidence;
+
+/// The constant `a` of Proposition 1 for ARMA(1,1). Requires `|α₁| < 1`.
+pub fn arma11_variance_constant(alpha1: f64, beta1: f64) -> Result<f64, ForecastError> {
+    if alpha1.abs() >= 1.0 {
+        return Err(ForecastError::InvalidParam(format!(
+            "ARMA(1,1) stationarity requires |alpha1| < 1, got {alpha1}"
+        )));
+    }
+    Ok((1.0 + 2.0 * alpha1 * beta1 + beta1 * beta1) / (1.0 - alpha1 * alpha1))
+}
+
+/// Proposition 1: stationary variance of the *noisy* series
+/// `Var[M̂_t] = a σ_u² + σ_ε²`.
+pub fn arma11_noisy_variance(
+    alpha1: f64,
+    beta1: f64,
+    sigma_u2: f64,
+    sigma_eps2: f64,
+) -> Result<f64, ForecastError> {
+    Ok(arma11_variance_constant(alpha1, beta1)? * sigma_u2 + sigma_eps2)
+}
+
+/// Widen a forecast's intervals to account for estimation noise of variance
+/// `sigma_eps2` (e.g. the sampler's per-timestamp variance estimate
+/// averaged over the training window): each standard error becomes
+/// `sqrt(se² + σ_ε²)`.
+///
+/// Note the *fitted* model's residual variance already absorbs ε noise
+/// present in the training data; this adjustment is for callers that want
+/// to expose the decomposition explicitly (e.g. to report how much of an
+/// interval is due to sampling), or that fitted on exact data and want to
+/// simulate a sampling rate.
+pub fn widen_with_noise(forecast: &Forecast, sigma_eps2: f64) -> Result<Forecast, ForecastError> {
+    if sigma_eps2 < 0.0 {
+        return Err(ForecastError::InvalidParam(format!(
+            "noise variance must be >= 0, got {sigma_eps2}"
+        )));
+    }
+    let z = z_for_confidence(forecast.confidence);
+    let mut out = forecast.clone();
+    for p in out.points.iter_mut() {
+        let se = (p.std_err * p.std_err + sigma_eps2).sqrt();
+        p.std_err = se;
+        p.lo = p.value - z * se;
+        p.hi = p.value + z * se;
+    }
+    out.sigma2 = forecast.sigma2 + sigma_eps2;
+    Ok(out)
+}
+
+/// Fraction of total forecast variance attributable to sampling noise at
+/// the one-step horizon — a diagnostic for "is my sample big enough?"
+/// (when ε's variance is negligible vs the model noise, sampling has
+/// little impact on intervals; Exp-IV's observation).
+pub fn noise_share(model_sigma2: f64, sigma_eps2: f64) -> f64 {
+    if model_sigma2 + sigma_eps2 <= 0.0 {
+        return 0.0;
+    }
+    sigma_eps2 / (model_sigma2 + sigma_eps2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{points_from_std_errs, Forecast};
+
+    #[test]
+    fn constant_matches_hand_computation() {
+        // a = (1 + 2·0.5·0.2 + 0.04) / (1 − 0.25) = 1.24 / 0.75
+        let a = arma11_variance_constant(0.5, 0.2).unwrap();
+        assert!((a - 1.24 / 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_white_noise_case() {
+        // α = β = 0 → a = 1, Var = σ_u² + σ_ε².
+        assert_eq!(arma11_noisy_variance(0.0, 0.0, 2.0, 3.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn nonstationary_rejected() {
+        assert!(arma11_variance_constant(1.0, 0.0).is_err());
+        assert!(arma11_variance_constant(-1.2, 0.0).is_err());
+    }
+
+    #[test]
+    fn widen_increases_intervals() {
+        let f = Forecast {
+            points: points_from_std_errs(&[10.0, 12.0], &[1.0, 2.0], 0.9),
+            confidence: 0.9,
+            sigma2: 1.0,
+        };
+        let wide = widen_with_noise(&f, 3.0).unwrap();
+        for (orig, w) in f.points.iter().zip(&wide.points) {
+            assert!(w.std_err > orig.std_err);
+            assert_eq!(w.value, orig.value);
+            assert!(w.hi - w.lo > orig.hi - orig.lo);
+        }
+        // se1 = sqrt(1 + 3) = 2.
+        assert!((wide.points[0].std_err - 2.0).abs() < 1e-12);
+        assert_eq!(wide.sigma2, 4.0);
+    }
+
+    #[test]
+    fn widen_with_zero_noise_is_identity() {
+        let f = Forecast {
+            points: points_from_std_errs(&[1.0], &[0.5], 0.9),
+            confidence: 0.9,
+            sigma2: 0.25,
+        };
+        let same = widen_with_noise(&f, 0.0).unwrap();
+        assert!((same.points[0].std_err - 0.5).abs() < 1e-12);
+        assert!(widen_with_noise(&f, -1.0).is_err());
+    }
+
+    #[test]
+    fn noise_share_bounds() {
+        assert_eq!(noise_share(1.0, 0.0), 0.0);
+        assert_eq!(noise_share(0.0, 1.0), 1.0);
+        assert!((noise_share(3.0, 1.0) - 0.25).abs() < 1e-12);
+        assert_eq!(noise_share(0.0, 0.0), 0.0);
+    }
+}

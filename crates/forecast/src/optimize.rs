@@ -1,0 +1,221 @@
+//! Derivative-free minimization (Nelder–Mead) used to refine ARMA and ETS
+//! parameter estimates. Objective functions here are cheap (one CSS pass
+//! over ≤ a few hundred points), so a robust simplex search beats the
+//! complexity of implementing analytic gradients for every model.
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Convergence tolerance on the simplex's objective spread.
+    pub f_tol: f64,
+    /// Initial simplex step per coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions { max_evals: 2000, f_tol: 1e-10, initial_step: 0.1 }
+    }
+}
+
+/// Result of a minimization.
+#[derive(Debug, Clone)]
+pub struct OptimResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Objective evaluations consumed.
+    pub evals: usize,
+    /// True if the f-spread tolerance was reached before `max_evals`.
+    pub converged: bool,
+}
+
+/// Minimize `f` starting from `x0` with the Nelder–Mead simplex method
+/// (standard coefficients: reflection 1, expansion 2, contraction ½,
+/// shrink ½). Non-finite objective values are treated as +∞, which lets
+/// callers encode hard constraints by returning `f64::INFINITY`.
+pub fn nelder_mead(
+    f: impl Fn(&[f64]) -> f64,
+    x0: &[f64],
+    options: NelderMeadOptions,
+) -> OptimResult {
+    let n = x0.len();
+    let eval = |x: &[f64]| {
+        let v = f(x);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+    if n == 0 {
+        let fx = eval(x0);
+        return OptimResult { x: x0.to_vec(), fx, evals: 1, converged: true };
+    }
+
+    // Initial simplex: x0 plus a perturbation along each axis.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut p = x0.to_vec();
+        let step = if p[i].abs() > 1e-8 { options.initial_step * p[i].abs() } else { options.initial_step };
+        p[i] += step;
+        simplex.push(p);
+    }
+    let mut fvals: Vec<f64> = simplex.iter().map(|p| eval(p)).collect();
+    let mut evals = simplex.len();
+
+    while evals < options.max_evals {
+        // Order simplex by objective.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| fvals[a].total_cmp(&fvals[b]));
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        let spread = fvals[worst] - fvals[best];
+        if spread.abs() < options.f_tol && fvals[best].is_finite() {
+            return OptimResult {
+                x: simplex[best].clone(),
+                fx: fvals[best],
+                evals,
+                converged: true,
+            };
+        }
+
+        // Centroid of all but the worst point.
+        let mut centroid = vec![0.0; n];
+        for (i, p) in simplex.iter().enumerate() {
+            if i == worst {
+                continue;
+            }
+            for (c, v) in centroid.iter_mut().zip(p) {
+                *c += v / n as f64;
+            }
+        }
+
+        let point_along = |coef: f64| -> Vec<f64> {
+            centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(c, w)| c + coef * (c - w))
+                .collect()
+        };
+
+        // Reflection.
+        let xr = point_along(1.0);
+        let fr = eval(&xr);
+        evals += 1;
+        if fr < fvals[best] {
+            // Expansion.
+            let xe = point_along(2.0);
+            let fe = eval(&xe);
+            evals += 1;
+            if fe < fr {
+                simplex[worst] = xe;
+                fvals[worst] = fe;
+            } else {
+                simplex[worst] = xr;
+                fvals[worst] = fr;
+            }
+            continue;
+        }
+        if fr < fvals[second_worst] {
+            simplex[worst] = xr;
+            fvals[worst] = fr;
+            continue;
+        }
+        // Contraction (outside if reflected point improved on worst).
+        let xc = if fr < fvals[worst] { point_along(0.5) } else { point_along(-0.5) };
+        let fc = eval(&xc);
+        evals += 1;
+        if fc < fvals[worst].min(fr) {
+            simplex[worst] = xc;
+            fvals[worst] = fc;
+            continue;
+        }
+        // Shrink toward the best point.
+        let best_point = simplex[best].clone();
+        for (i, p) in simplex.iter_mut().enumerate() {
+            if i == best {
+                continue;
+            }
+            for (v, b) in p.iter_mut().zip(&best_point) {
+                *v = b + 0.5 * (*v - b);
+            }
+            fvals[i] = eval(p);
+            evals += 1;
+        }
+    }
+
+    let mut best = 0;
+    for i in 1..=n {
+        if fvals[i] < fvals[best] {
+            best = i;
+        }
+    }
+    OptimResult { x: simplex[best].clone(), fx: fvals[best], evals, converged: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let r = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            NelderMeadOptions::default(),
+        );
+        assert!(r.converged);
+        assert!((r.x[0] - 3.0).abs() < 1e-4, "x0 = {}", r.x[0]);
+        assert!((r.x[1] + 1.0).abs() < 1e-4, "x1 = {}", r.x[1]);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let rosen =
+            |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
+        let r = nelder_mead(
+            rosen,
+            &[-1.2, 1.0],
+            NelderMeadOptions { max_evals: 5000, ..Default::default() },
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "x = {:?}", r.x);
+        assert!((r.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_infinite_barriers() {
+        // Constrain x > 0 with an infinite barrier; minimum of (x-(-2))² on
+        // x>0 is at the boundary.
+        let r = nelder_mead(
+            |x| if x[0] <= 0.0 { f64::INFINITY } else { (x[0] + 2.0).powi(2) },
+            &[5.0],
+            NelderMeadOptions::default(),
+        );
+        assert!(r.x[0] > 0.0);
+        assert!(r.x[0] < 0.3, "x = {}", r.x[0]);
+    }
+
+    #[test]
+    fn zero_dimensional_input() {
+        let r = nelder_mead(|_| 7.0, &[], NelderMeadOptions::default());
+        assert_eq!(r.fx, 7.0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let r = nelder_mead(
+            |x| x[0].sin() * x[1].cos(),
+            &[0.3, 0.7],
+            NelderMeadOptions { max_evals: 50, ..Default::default() },
+        );
+        assert!(r.evals <= 60); // small overshoot from shrink step allowed
+    }
+}

@@ -1,0 +1,149 @@
+//! Simulation of ARMA processes and Gaussian noise — used to validate
+//! Proposition 1 and to test the estimators against series with known
+//! parameters.
+
+use rand::Rng;
+
+/// Specification of an ARMA process
+/// `M_t = mean + Σ αᵢ (M_{t−i} − mean) + u_t + Σ βⱼ u_{t−j}` with
+/// `u_t ~ N(0, sigma²)` — Eq. (3) of the paper plus a mean shift.
+#[derive(Debug, Clone)]
+pub struct ArmaSpec {
+    /// AR coefficients α₁…α_p.
+    pub ar: Vec<f64>,
+    /// MA coefficients β₁…β_q.
+    pub ma: Vec<f64>,
+    /// Process mean.
+    pub mean: f64,
+    /// Innovation standard deviation σ_u.
+    pub sigma: f64,
+}
+
+/// Draw a standard normal via the Box–Muller transform. Implemented here
+/// (rather than pulling in `rand_distr`) to stay within the allowed
+/// dependency set.
+pub fn randn(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // avoid ln(0)
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Draw from `N(mean, std²)`.
+pub fn randn_scaled(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    mean + std * randn(rng)
+}
+
+/// Draw from a lognormal with the given log-space parameters. Heavy-tailed
+/// measure values in the synthetic dataset come from this.
+pub fn lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    randn_scaled(rng, mu, sigma).exp()
+}
+
+/// Simulate `n` points of the process, discarding a warm-up prefix of
+/// `100 + 10·max(p,q)` points so the output is (approximately) stationary.
+pub fn simulate_arma(spec: &ArmaSpec, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let p = spec.ar.len();
+    let q = spec.ma.len();
+    let warmup = 100 + 10 * p.max(q);
+    let total = n + warmup;
+    let mut centered = Vec::with_capacity(total);
+    let mut noise = Vec::with_capacity(total);
+    for t in 0..total {
+        let u = spec.sigma * randn(rng);
+        let mut value = u;
+        for (i, a) in spec.ar.iter().enumerate() {
+            if t > i {
+                value += a * centered[t - 1 - i];
+            }
+        }
+        for (j, b) in spec.ma.iter().enumerate() {
+            if t > j {
+                value += b * noise[t - 1 - j];
+            }
+        }
+        centered.push(value);
+        noise.push(u);
+    }
+    centered[warmup..].iter().map(|v| v + spec.mean).collect()
+}
+
+/// Add iid `N(0, sigma_eps²)` estimation noise to a series — the `ε_t` of
+/// §3 ("unbiasedness" and "independence" are exactly what this produces).
+pub fn add_estimation_noise(series: &[f64], sigma_eps: f64, rng: &mut impl Rng) -> Vec<f64> {
+    series.iter().map(|v| v + sigma_eps * randn(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, sample_variance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| randn(&mut rng)).collect();
+        assert!(mean(&xs).abs() < 0.02, "mean = {}", mean(&xs));
+        assert!((sample_variance(&xs) - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn white_noise_variance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = ArmaSpec { ar: vec![], ma: vec![], mean: 5.0, sigma: 2.0 };
+        let xs = simulate_arma(&spec, 20_000, &mut rng);
+        assert!((mean(&xs) - 5.0).abs() < 0.1);
+        assert!((sample_variance(&xs) - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn ar1_variance_matches_theory() {
+        // Var = σ²/(1−φ²) = 1/(1−0.64) = 2.777…
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = ArmaSpec { ar: vec![0.8], ma: vec![], mean: 0.0, sigma: 1.0 };
+        let xs = simulate_arma(&spec, 60_000, &mut rng);
+        let v = sample_variance(&xs);
+        assert!((v - 1.0 / (1.0 - 0.64)).abs() < 0.2, "var = {v}");
+    }
+
+    #[test]
+    fn arma11_variance_matches_proposition1_constant() {
+        // Var[M] = (1 + 2αβ + β²)/(1 − α²) σ² — the `a` of Proposition 1.
+        let (alpha, beta, sigma) = (0.6, 0.3, 1.0);
+        let a = (1.0 + 2.0 * alpha * beta + beta * beta) / (1.0 - alpha * alpha);
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = ArmaSpec { ar: vec![alpha], ma: vec![beta], mean: 0.0, sigma };
+        let xs = simulate_arma(&spec, 120_000, &mut rng);
+        let v = sample_variance(&xs);
+        assert!((v - a).abs() < 0.08, "var = {v}, expected {a}");
+    }
+
+    #[test]
+    fn estimation_noise_is_additive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let base = vec![10.0; 50_000];
+        let noisy = add_estimation_noise(&base, 3.0, &mut rng);
+        assert!((mean(&noisy) - 10.0).abs() < 0.1);
+        assert!((sample_variance(&noisy) - 9.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let xs: Vec<f64> = (0..10_000).map(|_| lognormal(&mut rng, 0.0, 1.0)).collect();
+        assert!(xs.iter().all(|v| *v > 0.0));
+        let m = mean(&xs);
+        let med = {
+            let mut s = xs.clone();
+            s.sort_by(f64::total_cmp);
+            s[s.len() / 2]
+        };
+        assert!(m > med, "lognormal mean {m} should exceed median {med}");
+    }
+}

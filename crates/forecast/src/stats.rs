@@ -1,0 +1,279 @@
+//! Statistical utilities: moments, autocorrelation, the standard normal
+//! distribution (CDF and quantile), and a KPSS stationarity test used by
+//! auto-ARIMA to pick the differencing order `d`.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`); 0 for fewer than 2 points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (divides by `n − 1`); 0 for fewer than 2 points.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Standard deviation based on [`sample_variance`].
+pub fn std_dev(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Autocorrelation function up to `max_lag` (inclusive); `acf[0] == 1`.
+pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    let m = mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    let mut out = Vec::with_capacity(max_lag + 1);
+    if denom <= 0.0 || n == 0 {
+        out.push(1.0);
+        out.extend(std::iter::repeat(0.0).take(max_lag));
+        return out;
+    }
+    for lag in 0..=max_lag {
+        if lag >= n {
+            out.push(0.0);
+            continue;
+        }
+        let num: f64 = (lag..n).map(|t| (xs[t] - m) * (xs[t - lag] - m)).sum();
+        out.push(num / denom);
+    }
+    out
+}
+
+/// Partial autocorrelation via the Durbin–Levinson recursion, lags
+/// `1..=max_lag`.
+pub fn pacf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let rho = acf(xs, max_lag);
+    let mut phi_prev: Vec<f64> = Vec::new();
+    let mut out = Vec::with_capacity(max_lag);
+    for k in 1..=max_lag {
+        if k == 1 {
+            phi_prev = vec![rho[1]];
+            out.push(rho[1]);
+            continue;
+        }
+        let num = rho[k] - (1..k).map(|j| phi_prev[j - 1] * rho[k - j]).sum::<f64>();
+        let den = 1.0 - (1..k).map(|j| phi_prev[j - 1] * rho[j]).sum::<f64>();
+        let phi_kk = if den.abs() < 1e-12 { 0.0 } else { num / den };
+        let mut phi_new = vec![0.0; k];
+        for j in 1..k {
+            phi_new[j - 1] = phi_prev[j - 1] - phi_kk * phi_prev[k - j - 1];
+        }
+        phi_new[k - 1] = phi_kk;
+        out.push(phi_kk);
+        phi_prev = phi_new;
+    }
+    out
+}
+
+/// Standard normal CDF via the error function (Abramowitz–Stegun 7.1.26,
+/// |error| < 1.5e-7 — ample for interval construction).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal quantile (inverse CDF) using Acklam's rational
+/// approximation (relative error < 1.15e-9). Panics outside (0, 1).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    // Coefficients from Peter Acklam's algorithm.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    let q;
+    if p < P_LOW {
+        let u = (-2.0 * p.ln()).sqrt();
+        q = (((((C[0] * u + C[1]) * u + C[2]) * u + C[3]) * u + C[4]) * u + C[5])
+            / ((((D[0] * u + D[1]) * u + D[2]) * u + D[3]) * u + 1.0);
+    } else if p <= 1.0 - P_LOW {
+        let u = p - 0.5;
+        let r = u * u;
+        q = (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * u
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0);
+    } else {
+        let u = (-2.0 * (1.0 - p).ln()).sqrt();
+        q = -(((((C[0] * u + C[1]) * u + C[2]) * u + C[3]) * u + C[4]) * u + C[5])
+            / ((((D[0] * u + D[1]) * u + D[2]) * u + D[3]) * u + 1.0);
+    }
+    q
+}
+
+/// Two-sided z value for a confidence level `gamma` (e.g. 0.9 → 1.645).
+pub fn z_for_confidence(gamma: f64) -> f64 {
+    assert!(gamma > 0.0 && gamma < 1.0, "confidence must be in (0,1)");
+    normal_quantile(0.5 + gamma / 2.0)
+}
+
+/// KPSS statistic for level stationarity with Bartlett-window long-run
+/// variance, bandwidth `⌊4 (n/100)^{1/4}⌋` — the default used by pmdarima's
+/// `ndiffs` test.
+pub fn kpss_level_statistic(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let e: Vec<f64> = xs.iter().map(|x| x - m).collect();
+    let mut s = 0.0;
+    let mut sum_s2 = 0.0;
+    for v in &e {
+        s += v;
+        sum_s2 += s * s;
+    }
+    let lags = (4.0 * (n as f64 / 100.0).powf(0.25)).floor() as usize;
+    let mut lrv: f64 = e.iter().map(|v| v * v).sum::<f64>() / n as f64;
+    for l in 1..=lags.min(n - 1) {
+        let w = 1.0 - l as f64 / (lags as f64 + 1.0);
+        let gamma: f64 = (l..n).map(|t| e[t] * e[t - l]).sum::<f64>() / n as f64;
+        lrv += 2.0 * w * gamma;
+    }
+    if lrv <= 0.0 {
+        return 0.0;
+    }
+    sum_s2 / (n as f64 * n as f64 * lrv)
+}
+
+/// 5 % critical value of the level-stationarity KPSS test.
+pub const KPSS_CRIT_5PCT: f64 = 0.463;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn acf_of_constant_series() {
+        let out = acf(&[5.0; 20], 3);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[1], 0.0);
+    }
+
+    #[test]
+    fn acf_lag0_is_one() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
+        let out = acf(&xs, 5);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert!(out.iter().all(|r| r.abs() <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn pacf_of_ar1_cuts_off() {
+        // AR(1) with phi = 0.8: pacf lag1 ≈ 0.8, lag ≥ 2 ≈ 0.
+        let mut xs = vec![0.0f64; 2000];
+        let mut state = 12345u64;
+        for t in 1..xs.len() {
+            // xorshift noise, deterministic.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            xs[t] = 0.8 * xs[t - 1] + u;
+        }
+        let p = pacf(&xs, 4);
+        assert!((p[0] - 0.8).abs() < 0.1, "pacf lag1 = {}", p[0]);
+        assert!(p[2].abs() < 0.1);
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.95) - 1.644_854).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959_964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn z_for_confidence_90() {
+        assert!((z_for_confidence(0.9) - 1.6449).abs() < 1e-3);
+        assert!((z_for_confidence(0.95) - 1.96).abs() < 1e-3);
+    }
+
+    #[test]
+    fn kpss_low_for_stationary_high_for_trend() {
+        let mut state = 99u64;
+        let mut noise = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let stationary: Vec<f64> = (0..300).map(|_| noise()).collect();
+        let trending: Vec<f64> = (0..300).map(|i| i as f64 * 0.1 + noise()).collect();
+        let s1 = kpss_level_statistic(&stationary);
+        let s2 = kpss_level_statistic(&trending);
+        assert!(s1 < KPSS_CRIT_5PCT, "stationary KPSS = {s1}");
+        assert!(s2 > KPSS_CRIT_5PCT, "trending KPSS = {s2}");
+    }
+}

@@ -1,0 +1,275 @@
+//! Abstract syntax of the task language.
+
+use flashp_storage::AggFunc;
+use std::fmt;
+
+/// Name of the implicit time column (`t` in the paper's schema).
+pub const TIME_COLUMN: &str = "t";
+
+/// A literal in a predicate or option.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Int(i64),
+    Str(String),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+/// Comparison operators (reuse the storage enum for the bound form; the
+/// AST keeps its own copy so the parser has no storage dependency in its
+/// surface types).
+pub use flashp_storage::CmpOp;
+
+/// A boolean expression over dimension values — the constraint class `C`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Cmp { column: String, op: CmpOp, value: Literal },
+    In { column: String, values: Vec<Literal> },
+    Between { column: String, lo: Literal, hi: Literal },
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+    True,
+}
+
+impl Expr {
+    /// Does this expression mention `column` anywhere?
+    pub fn references(&self, column: &str) -> bool {
+        match self {
+            Expr::Cmp { column: c, .. }
+            | Expr::In { column: c, .. }
+            | Expr::Between { column: c, .. } => c == column,
+            Expr::And(children) | Expr::Or(children) => {
+                children.iter().any(|e| e.references(column))
+            }
+            Expr::Not(child) => child.references(column),
+            Expr::True => false,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Cmp { column, op, value } => write!(f, "{column} {} {value}", op.symbol()),
+            Expr::In { column, values } => {
+                write!(f, "{column} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Between { column, lo, hi } => {
+                write!(f, "{column} BETWEEN {lo} AND {hi}")
+            }
+            Expr::And(children) => {
+                if children.is_empty() {
+                    return write!(f, "TRUE");
+                }
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "({c})")?;
+                }
+                Ok(())
+            }
+            Expr::Or(children) => {
+                if children.is_empty() {
+                    return write!(f, "FALSE");
+                }
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "({c})")?;
+                }
+                Ok(())
+            }
+            Expr::Not(c) => write!(f, "NOT ({c})"),
+            Expr::True => write!(f, "TRUE"),
+        }
+    }
+}
+
+/// Value of an `OPTION (key = value)` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptionValue {
+    Str(String),
+    Int(i64),
+    Float(f64),
+}
+
+impl OptionValue {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            OptionValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            OptionValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, widening ints to floats.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            OptionValue::Float(v) => Some(*v),
+            OptionValue::Int(v) => Some(*v as f64),
+            OptionValue::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for OptionValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionValue::Str(s) => write!(f, "'{s}'"),
+            OptionValue::Int(v) => write!(f, "{v}"),
+            OptionValue::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// `FORECAST agg(m) FROM T WHERE C USING (ts, te) OPTION (…)` — Eq. (1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastStmt {
+    pub agg: AggFunc,
+    pub measure: String,
+    pub table: String,
+    pub constraint: Expr,
+    /// Training window start, as a `YYYYMMDD` literal.
+    pub t_start: i64,
+    /// Training window end, as a `YYYYMMDD` literal.
+    pub t_end: i64,
+    /// `OPTION (key = value, …)` pairs in source order.
+    pub options: Vec<(String, OptionValue)>,
+}
+
+impl ForecastStmt {
+    /// Look up an option by (case-insensitive) key.
+    pub fn option(&self, key: &str) -> Option<&OptionValue> {
+        self.options
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(key))
+            .map(|(_, v)| v)
+    }
+}
+
+/// `SELECT agg(m) FROM T [WHERE C] [GROUP BY t]` — the rewritten
+/// aggregation queries of Eq. (4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub agg: AggFunc,
+    pub measure: String,
+    pub table: String,
+    /// Full constraint, possibly including conditions on `t`.
+    pub constraint: Expr,
+    /// True for `GROUP BY t` (one result row per timestamp).
+    pub group_by_time: bool,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Forecast(ForecastStmt),
+    Select(SelectStmt),
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Forecast(s) => {
+                write!(
+                    f,
+                    "FORECAST {}({}) FROM {} WHERE {} USING ({}, {})",
+                    s.agg, s.measure, s.table, s.constraint, s.t_start, s.t_end
+                )?;
+                if !s.options.is_empty() {
+                    write!(f, " OPTION (")?;
+                    for (i, (k, v)) in s.options.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{k} = {v}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Statement::Select(s) => {
+                write!(f, "SELECT {}({}) FROM {}", s.agg, s.measure, s.table)?;
+                if s.constraint != Expr::True {
+                    write!(f, " WHERE {}", s.constraint)?;
+                }
+                if s.group_by_time {
+                    write!(f, " GROUP BY {TIME_COLUMN}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_references() {
+        let e = Expr::And(vec![
+            Expr::Cmp { column: "Age".into(), op: CmpOp::Le, value: Literal::Int(30) },
+            Expr::Not(Box::new(Expr::Cmp {
+                column: "t".into(),
+                op: CmpOp::Eq,
+                value: Literal::Int(20200101),
+            })),
+        ]);
+        assert!(e.references("t"));
+        assert!(e.references("Age"));
+        assert!(!e.references("Gender"));
+    }
+
+    #[test]
+    fn display_escapes_strings() {
+        let l = Literal::Str("it's".to_string());
+        assert_eq!(l.to_string(), "'it''s'");
+    }
+
+    #[test]
+    fn option_lookup_is_case_insensitive() {
+        let s = ForecastStmt {
+            agg: AggFunc::Sum,
+            measure: "m".into(),
+            table: "T".into(),
+            constraint: Expr::True,
+            t_start: 1,
+            t_end: 2,
+            options: vec![("MODEL".into(), OptionValue::Str("arima".into()))],
+        };
+        assert_eq!(s.option("model").unwrap().as_str(), Some("arima"));
+        assert!(s.option("missing").is_none());
+    }
+
+    #[test]
+    fn option_value_coercions() {
+        assert_eq!(OptionValue::Int(7).as_float(), Some(7.0));
+        assert_eq!(OptionValue::Float(0.5).as_float(), Some(0.5));
+        assert_eq!(OptionValue::Str("x".into()).as_float(), None);
+        assert_eq!(OptionValue::Int(7).as_str(), None);
+    }
+}

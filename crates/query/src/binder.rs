@@ -1,0 +1,224 @@
+//! Binding: AST expressions → storage predicates, with time-range
+//! extraction for SELECT statements.
+
+use crate::ast::{Expr, Literal, SelectStmt, TIME_COLUMN};
+use crate::error::ParseError;
+use flashp_storage::{CmpOp, Predicate, Timestamp, Value};
+
+fn literal_to_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+/// Convert a (time-free) AST expression into an unbound storage
+/// [`Predicate`]. `BETWEEN` desugars to `>= AND <=`.
+pub fn bind_expr(expr: &Expr) -> Result<Predicate, ParseError> {
+    match expr {
+        Expr::True => Ok(Predicate::True),
+        Expr::Cmp { column, op, value } => {
+            if column == TIME_COLUMN {
+                return Err(ParseError::new(
+                    "time constraints must be extracted before binding".to_string(),
+                    0,
+                ));
+            }
+            Ok(Predicate::Cmp { column: column.clone(), op: *op, value: literal_to_value(value) })
+        }
+        Expr::In { column, values } => Ok(Predicate::In {
+            column: column.clone(),
+            values: values.iter().map(literal_to_value).collect(),
+        }),
+        Expr::Between { column, lo, hi } => Ok(Predicate::And(vec![
+            Predicate::Cmp { column: column.clone(), op: CmpOp::Ge, value: literal_to_value(lo) },
+            Predicate::Cmp { column: column.clone(), op: CmpOp::Le, value: literal_to_value(hi) },
+        ])),
+        Expr::And(children) => Ok(Predicate::And(
+            children.iter().map(bind_expr).collect::<Result<Vec<_>, _>>()?,
+        )),
+        Expr::Or(children) => Ok(Predicate::Or(
+            children.iter().map(bind_expr).collect::<Result<Vec<_>, _>>()?,
+        )),
+        Expr::Not(child) => Ok(Predicate::Not(Box::new(bind_expr(child)?))),
+    }
+}
+
+/// A SELECT constraint split into its dimension part and time range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundSelect {
+    /// Dimension-only predicate (unbound; compile against a table).
+    pub predicate: Predicate,
+    /// Inclusive time range extracted from `t` conditions, if any.
+    pub time_range: Option<(Timestamp, Timestamp)>,
+}
+
+/// Split a SELECT statement's constraint: top-level conjuncts on `t`
+/// become the time range; the rest binds as a dimension predicate.
+/// Supported time forms: `t = v`, `t >= v`, `t > v`, `t <= v`, `t < v`,
+/// `t BETWEEN a AND b` (values are `YYYYMMDD` literals). Time conditions
+/// under OR/NOT are rejected — they would not describe a contiguous scan
+/// range.
+pub fn bind_select_constraint(stmt: &SelectStmt) -> Result<BoundSelect, ParseError> {
+    let conjuncts: Vec<&Expr> = match &stmt.constraint {
+        Expr::And(children) => children.iter().collect(),
+        other => vec![other],
+    };
+    let mut lo: Option<Timestamp> = None;
+    let mut hi: Option<Timestamp> = None;
+    let mut dims: Vec<Predicate> = Vec::new();
+
+    let apply_time =
+        |op: CmpOp, v: i64, lo: &mut Option<Timestamp>, hi: &mut Option<Timestamp>| -> Result<(), ParseError> {
+            let t = Timestamp::from_yyyymmdd(v)
+                .map_err(|e| ParseError::new(format!("bad time literal: {e}"), 0))?;
+            match op {
+                CmpOp::Eq => {
+                    *lo = Some(lo.map_or(t, |x| x.max(t)));
+                    *hi = Some(hi.map_or(t, |x| x.min(t)));
+                }
+                CmpOp::Ge => *lo = Some(lo.map_or(t, |x| x.max(t))),
+                CmpOp::Gt => *lo = Some(lo.map_or(t + 1, |x| x.max(t + 1))),
+                CmpOp::Le => *hi = Some(hi.map_or(t, |x| x.min(t))),
+                CmpOp::Lt => *hi = Some(hi.map_or(t - 1, |x| x.min(t - 1))),
+                CmpOp::Ne => {
+                    return Err(ParseError::new(
+                        "t <> … is not a contiguous time range".to_string(),
+                        0,
+                    ))
+                }
+            }
+            Ok(())
+        };
+
+    for c in conjuncts {
+        match c {
+            Expr::Cmp { column, op, value } if column == TIME_COLUMN => {
+                let Literal::Int(v) = value else {
+                    return Err(ParseError::new("time literals must be integers".to_string(), 0));
+                };
+                apply_time(*op, *v, &mut lo, &mut hi)?;
+            }
+            Expr::Between { column, lo: l, hi: h } if column == TIME_COLUMN => {
+                let (Literal::Int(a), Literal::Int(b)) = (l, h) else {
+                    return Err(ParseError::new("time literals must be integers".to_string(), 0));
+                };
+                apply_time(CmpOp::Ge, *a, &mut lo, &mut hi)?;
+                apply_time(CmpOp::Le, *b, &mut lo, &mut hi)?;
+            }
+            other if other.references(TIME_COLUMN) => {
+                return Err(ParseError::new(
+                    "time conditions must be top-level conjuncts (no OR/NOT over t)".to_string(),
+                    0,
+                ));
+            }
+            other => dims.push(bind_expr(other)?),
+        }
+    }
+
+    let predicate = match dims.len() {
+        0 => Predicate::True,
+        1 => dims.pop().expect("len checked"),
+        _ => Predicate::And(dims),
+    };
+    let time_range = match (lo, hi) {
+        (None, None) => None,
+        (Some(a), Some(b)) => Some((a, b)),
+        (Some(a), None) => Some((a, Timestamp(i64::MAX / 2))),
+        (None, Some(b)) => Some((Timestamp(i64::MIN / 2), b)),
+    };
+    Ok(BoundSelect { predicate, time_range })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::Statement;
+
+    fn select(q: &str) -> SelectStmt {
+        match parse(q).unwrap() {
+            Statement::Select(s) => s,
+            _ => panic!("expected SELECT"),
+        }
+    }
+
+    #[test]
+    fn splits_time_equality() {
+        let s = select("SELECT SUM(m) FROM T WHERE Age <= 30 AND t = 20200101");
+        let b = bind_select_constraint(&s).unwrap();
+        let t = Timestamp::from_yyyymmdd(20200101).unwrap();
+        assert_eq!(b.time_range, Some((t, t)));
+        assert_eq!(b.predicate.to_string(), "Age <= 30");
+    }
+
+    #[test]
+    fn splits_time_range() {
+        let s = select("SELECT SUM(m) FROM T WHERE t >= 20200101 AND t <= 20200107");
+        let b = bind_select_constraint(&s).unwrap();
+        let (lo, hi) = b.time_range.unwrap();
+        assert_eq!(hi - lo, 6);
+        assert_eq!(b.predicate, Predicate::True);
+    }
+
+    #[test]
+    fn between_on_time() {
+        let s = select("SELECT SUM(m) FROM T WHERE t BETWEEN 20200101 AND 20200103");
+        let b = bind_select_constraint(&s).unwrap();
+        let (lo, hi) = b.time_range.unwrap();
+        assert_eq!(hi - lo, 2);
+    }
+
+    #[test]
+    fn strict_inequalities_shift_bounds() {
+        let s = select("SELECT SUM(m) FROM T WHERE t > 20200101 AND t < 20200105");
+        let b = bind_select_constraint(&s).unwrap();
+        let (lo, hi) = b.time_range.unwrap();
+        assert_eq!(lo.to_yyyymmdd(), 20200102);
+        assert_eq!(hi.to_yyyymmdd(), 20200104);
+    }
+
+    #[test]
+    fn no_time_condition_means_none() {
+        let s = select("SELECT SUM(m) FROM T WHERE Age <= 30");
+        let b = bind_select_constraint(&s).unwrap();
+        assert!(b.time_range.is_none());
+    }
+
+    #[test]
+    fn time_under_or_rejected() {
+        let s = select("SELECT SUM(m) FROM T WHERE Age <= 30 OR t = 20200101");
+        assert!(bind_select_constraint(&s).is_err());
+        let s = select("SELECT SUM(m) FROM T WHERE NOT t = 20200101");
+        assert!(bind_select_constraint(&s).is_err());
+        let s = select("SELECT SUM(m) FROM T WHERE t <> 20200101");
+        assert!(bind_select_constraint(&s).is_err());
+    }
+
+    #[test]
+    fn bad_date_rejected() {
+        let s = select("SELECT SUM(m) FROM T WHERE t = 20201350");
+        assert!(bind_select_constraint(&s).is_err());
+    }
+
+    #[test]
+    fn between_desugars() {
+        let p = bind_expr(&Expr::Between {
+            column: "Age".into(),
+            lo: Literal::Int(20),
+            hi: Literal::Int(30),
+        })
+        .unwrap();
+        assert_eq!(p.to_string(), "(Age >= 20) AND (Age <= 30)");
+    }
+
+    #[test]
+    fn nested_structures_bind() {
+        let s = select(
+            "SELECT SUM(m) FROM T WHERE (Age <= 30 OR Age >= 60) AND Location IN ('NY','WA')",
+        );
+        let b = bind_select_constraint(&s).unwrap();
+        assert!(b.predicate.to_string().contains("OR"));
+        assert!(b.predicate.to_string().contains("IN"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Parse/bind errors with positions into the query text.
+
+use std::fmt;
+
+/// A parse or bind error, carrying the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the query string (0-based).
+    pub position: usize,
+}
+
+impl ParseError {
+    pub fn new(message: impl Into<String>, position: usize) -> Self {
+        ParseError { message: message.into(), position }
+    }
+
+    /// Render a caret diagnostic pointing at the error position.
+    pub fn diagnostic(&self, query: &str) -> String {
+        let pos = self.position.min(query.len());
+        format!("{}\n{}\n{}^", self.message, query, " ".repeat(pos))
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at offset {})", self.message, self.position)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_points_at_position() {
+        let e = ParseError::new("unexpected token", 7);
+        let d = e.diagnostic("SELECT ???");
+        let lines: Vec<&str> = d.lines().collect();
+        assert_eq!(lines[1], "SELECT ???");
+        assert_eq!(lines[2], "       ^");
+    }
+
+    #[test]
+    fn diagnostic_clamps_position() {
+        let e = ParseError::new("eof", 999);
+        let d = e.diagnostic("abc");
+        assert!(d.ends_with("   ^"));
+    }
+}

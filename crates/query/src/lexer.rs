@@ -1,0 +1,271 @@
+//! Tokenizer for the FORECAST/SELECT language.
+
+use crate::error::ParseError;
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub position: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively at parse time
+/// from `Ident` tokens, so measure/dimension names stay case-sensitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Star,
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Int(v) => format!("integer {v}"),
+            TokenKind::Float(v) => format!("number {v}"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::LParen => "'('".to_string(),
+            TokenKind::RParen => "')'".to_string(),
+            TokenKind::Comma => "','".to_string(),
+            TokenKind::Eq => "'='".to_string(),
+            TokenKind::Ne => "'<>'".to_string(),
+            TokenKind::Lt => "'<'".to_string(),
+            TokenKind::Le => "'<='".to_string(),
+            TokenKind::Gt => "'>'".to_string(),
+            TokenKind::Ge => "'>='".to_string(),
+            TokenKind::Star => "'*'".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// Tokenize a query string. Strings may be single- or double-quoted with
+/// `''` / `""` escapes.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, position: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("expected '=' after '!'", start));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Le, position: start });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Ge, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = bytes[i];
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::new("unterminated string literal", start));
+                    }
+                    if bytes[i] == quote {
+                        // Doubled quote = escaped quote.
+                        if i + 1 < bytes.len() && bytes[i + 1] == quote {
+                            s.push(quote as char);
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), position: start });
+            }
+            '-' | '0'..='9' => {
+                let mut j = i;
+                if bytes[j] == b'-' {
+                    j += 1;
+                    if j >= bytes.len() || !bytes[j].is_ascii_digit() {
+                        return Err(ParseError::new("expected digits after '-'", start));
+                    }
+                }
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_float = false;
+                if j < bytes.len() && bytes[j] == b'.' {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    is_float = true;
+                    j += 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                let text = &input[i..j];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse::<f64>()
+                            .map_err(|_| ParseError::new(format!("bad number '{text}'"), start))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse::<i64>()
+                            .map_err(|_| ParseError::new(format!("bad integer '{text}'"), start))?,
+                    )
+                };
+                tokens.push(Token { kind, position: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[i..j].to_string()),
+                    position: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(ParseError::new(format!("unexpected character '{other}'"), start));
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, position: input.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn figure2_query_tokenizes() {
+        let toks = kinds("FORECAST SUM(Impression) FROM T WHERE Age <= 30 AND Gender = 'F'");
+        assert!(toks.contains(&TokenKind::Ident("FORECAST".to_string())));
+        assert!(toks.contains(&TokenKind::Le));
+        assert!(toks.contains(&TokenKind::Int(30)));
+        assert!(toks.contains(&TokenKind::Str("F".to_string())));
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("-7")[0], TokenKind::Int(-7));
+        assert_eq!(kinds("0.001")[0], TokenKind::Float(0.001));
+        assert_eq!(kinds("1e-3")[0], TokenKind::Float(0.001));
+        assert_eq!(kinds("20200101")[0], TokenKind::Int(20200101));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(kinds("<> != < <= > >= =")[..7].to_vec(), vec![
+            TokenKind::Ne,
+            TokenKind::Ne,
+            TokenKind::Lt,
+            TokenKind::Le,
+            TokenKind::Gt,
+            TokenKind::Ge,
+            TokenKind::Eq,
+        ]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".to_string()));
+        assert_eq!(kinds("\"NY\"")[0], TokenKind::Str("NY".to_string()));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = tokenize("Age @ 3").unwrap_err();
+        assert_eq!(e.position, 4);
+        let e = tokenize("x = 'oops").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+        assert!(tokenize("! 3").is_err());
+        assert!(tokenize("- x").is_err());
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        assert_eq!(kinds("ViewTime")[0], TokenKind::Ident("ViewTime".to_string()));
+        assert_eq!(kinds("_tag2")[0], TokenKind::Ident("_tag2".to_string()));
+    }
+}

@@ -1,0 +1,33 @@
+//! # flashp-query
+//!
+//! The SQL-like task language of FlashP (Eq. 1 / Fig. 2 of the paper):
+//!
+//! ```sql
+//! FORECAST SUM(Impression) FROM T
+//! WHERE Age <= 30 AND Gender = 'F'
+//! USING (20200101, 20200331)
+//! OPTION (MODEL = 'arima', FORE_PERIOD = 7)
+//! ```
+//!
+//! plus the per-timestamp aggregation queries it rewrites into:
+//!
+//! ```sql
+//! SELECT SUM(Impression) FROM T
+//! WHERE Age <= 30 AND Gender = 'F' AND t = 20200101
+//! ```
+//!
+//! Pipeline: [`lexer`] → [`parser`] (recursive descent over [`ast`]) →
+//! [`binder`] (names → schema indices, string literals → dictionary codes,
+//! `t` constraints → time ranges). Errors carry byte offsets into the
+//! query text.
+
+pub mod ast;
+pub mod binder;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Expr, ForecastStmt, Literal, OptionValue, SelectStmt, Statement, TIME_COLUMN};
+pub use binder::{bind_expr, bind_select_constraint, BoundSelect};
+pub use error::ParseError;
+pub use parser::parse;

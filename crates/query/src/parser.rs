@@ -1,0 +1,434 @@
+//! Recursive-descent parser for the task language.
+
+use crate::ast::{
+    CmpOp, Expr, ForecastStmt, Literal, OptionValue, SelectStmt, Statement, TIME_COLUMN,
+};
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use flashp_storage::AggFunc;
+
+/// Parse one statement.
+pub fn parse(input: &str) -> Result<Statement, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(message, self.peek().position)
+    }
+
+    /// Consume an identifier equal (case-insensitively) to `kw`.
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.advance();
+                Ok(())
+            }
+            other => Err(self.error_here(format!("expected {kw}, found {}", other.describe()))),
+        }
+    }
+
+    /// Is the current token the given keyword? (does not consume)
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if &self.peek().kind == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error_here(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error_here(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.peek().kind {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(v)
+            }
+            ref other => {
+                Err(self.error_here(format!("expected integer, found {}", other.describe())))
+            }
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error_here(format!(
+                "unexpected trailing input: {}",
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.accept_keyword("FORECAST") {
+            return Ok(Statement::Forecast(self.forecast_body()?));
+        }
+        if self.accept_keyword("SELECT") {
+            return Ok(Statement::Select(self.select_body()?));
+        }
+        Err(self.error_here(format!(
+            "expected FORECAST or SELECT, found {}",
+            self.peek().kind.describe()
+        )))
+    }
+
+    /// `agg(measure) FROM table`.
+    fn agg_from(&mut self) -> Result<(AggFunc, String, String), ParseError> {
+        let agg_pos = self.peek().position;
+        let agg_name = self.expect_ident()?;
+        let agg = AggFunc::parse(&agg_name).ok_or_else(|| {
+            ParseError::new(format!("unknown aggregate function '{agg_name}'"), agg_pos)
+        })?;
+        self.expect_token(&TokenKind::LParen)?;
+        // COUNT(*) is sugar for counting rows; represent as measure "*".
+        let measure = if self.peek().kind == TokenKind::Star {
+            self.advance();
+            "*".to_string()
+        } else {
+            self.expect_ident()?
+        };
+        self.expect_token(&TokenKind::RParen)?;
+        self.expect_keyword("FROM")?;
+        let table = self.expect_ident()?;
+        Ok((agg, measure, table))
+    }
+
+    fn forecast_body(&mut self) -> Result<ForecastStmt, ParseError> {
+        let (agg, measure, table) = self.agg_from()?;
+        let constraint = if self.accept_keyword("WHERE") { self.expr()? } else { Expr::True };
+        self.expect_keyword("USING")?;
+        self.expect_token(&TokenKind::LParen)?;
+        let t_start = self.expect_int()?;
+        self.expect_token(&TokenKind::Comma)?;
+        let t_end = self.expect_int()?;
+        self.expect_token(&TokenKind::RParen)?;
+        let mut options = Vec::new();
+        if self.accept_keyword("OPTION") {
+            self.expect_token(&TokenKind::LParen)?;
+            loop {
+                let key = self.expect_ident()?;
+                self.expect_token(&TokenKind::Eq)?;
+                let value = match self.advance().kind {
+                    TokenKind::Str(s) => OptionValue::Str(s),
+                    TokenKind::Int(v) => OptionValue::Int(v),
+                    TokenKind::Float(v) => OptionValue::Float(v),
+                    other => {
+                        return Err(self.error_here(format!(
+                            "expected option value, found {}",
+                            other.describe()
+                        )))
+                    }
+                };
+                options.push((key, value));
+                if self.peek().kind == TokenKind::Comma {
+                    self.advance();
+                    continue;
+                }
+                break;
+            }
+            self.expect_token(&TokenKind::RParen)?;
+        }
+        if constraint.references(TIME_COLUMN) {
+            return Err(ParseError::new(
+                format!("FORECAST constraints may not reference '{TIME_COLUMN}'; use USING (start, end)"),
+                0,
+            ));
+        }
+        Ok(ForecastStmt { agg, measure, table, constraint, t_start, t_end, options })
+    }
+
+    fn select_body(&mut self) -> Result<SelectStmt, ParseError> {
+        let (agg, measure, table) = self.agg_from()?;
+        let constraint = if self.accept_keyword("WHERE") { self.expr()? } else { Expr::True };
+        let mut group_by_time = false;
+        if self.accept_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            let pos = self.peek().position;
+            let col = self.expect_ident()?;
+            if col != TIME_COLUMN {
+                return Err(ParseError::new(
+                    format!("only GROUP BY {TIME_COLUMN} is supported, got '{col}'"),
+                    pos,
+                ));
+            }
+            group_by_time = true;
+        }
+        Ok(SelectStmt { agg, measure, table, constraint, group_by_time })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut children = vec![self.and_expr()?];
+        while self.accept_keyword("OR") {
+            children.push(self.and_expr()?);
+        }
+        Ok(if children.len() == 1 { children.pop().expect("non-empty") } else { Expr::Or(children) })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut children = vec![self.not_expr()?];
+        while self.accept_keyword("AND") {
+            children.push(self.not_expr()?);
+        }
+        Ok(if children.len() == 1 { children.pop().expect("non-empty") } else { Expr::And(children) })
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.accept_keyword("NOT") {
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek().kind == TokenKind::LParen {
+            self.advance();
+            let e = self.expr()?;
+            self.expect_token(&TokenKind::RParen)?;
+            return Ok(e);
+        }
+        if self.accept_keyword("TRUE") {
+            return Ok(Expr::True);
+        }
+        let column = self.expect_ident()?;
+        // `col IN (…)`, `col BETWEEN a AND b`, `col NOT IN (…)` or `col op lit`.
+        if self.accept_keyword("NOT") {
+            self.expect_keyword("IN")?;
+            let values = self.literal_list()?;
+            return Ok(Expr::Not(Box::new(Expr::In { column, values })));
+        }
+        if self.accept_keyword("IN") {
+            let values = self.literal_list()?;
+            return Ok(Expr::In { column, values });
+        }
+        if self.accept_keyword("BETWEEN") {
+            let lo = self.literal()?;
+            self.expect_keyword("AND")?;
+            let hi = self.literal()?;
+            return Ok(Expr::Between { column, lo, hi });
+        }
+        let op = match self.advance().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            other => {
+                return Err(self.error_here(format!(
+                    "expected comparison operator after '{column}', found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let value = self.literal()?;
+        Ok(Expr::Cmp { column, op, value })
+    }
+
+    fn literal_list(&mut self) -> Result<Vec<Literal>, ParseError> {
+        self.expect_token(&TokenKind::LParen)?;
+        let mut values = vec![self.literal()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.advance();
+            values.push(self.literal()?);
+        }
+        self.expect_token(&TokenKind::RParen)?;
+        Ok(values)
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        match self.advance().kind {
+            TokenKind::Int(v) => Ok(Literal::Int(v)),
+            TokenKind::Str(s) => Ok(Literal::Str(s)),
+            other => {
+                Err(self.error_here(format!("expected literal, found {}", other.describe())))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure2_forecast() {
+        let stmt = parse(
+            "FORECAST SUM(Impression) FROM T WHERE Age <= 30 AND Gender = 'F' \
+             USING (20200101, 20200331)",
+        )
+        .unwrap();
+        let Statement::Forecast(f) = stmt else { panic!("expected forecast") };
+        assert_eq!(f.agg, AggFunc::Sum);
+        assert_eq!(f.measure, "Impression");
+        assert_eq!(f.table, "T");
+        assert_eq!(f.t_start, 20200101);
+        assert_eq!(f.t_end, 20200331);
+        assert_eq!(
+            f.constraint,
+            Expr::And(vec![
+                Expr::Cmp { column: "Age".into(), op: CmpOp::Le, value: Literal::Int(30) },
+                Expr::Cmp { column: "Gender".into(), op: CmpOp::Eq, value: Literal::Str("F".into()) },
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_options() {
+        let stmt = parse(
+            "FORECAST AVG(ViewTime) FROM ads USING (20200101, 20200201) \
+             OPTION (MODEL = 'lstm', FORE_PERIOD = 7, SAMPLE_RATE = 0.001)",
+        )
+        .unwrap();
+        let Statement::Forecast(f) = stmt else { panic!() };
+        assert_eq!(f.option("model").unwrap().as_str(), Some("lstm"));
+        assert_eq!(f.option("fore_period").unwrap().as_int(), Some(7));
+        assert_eq!(f.option("sample_rate").unwrap().as_float(), Some(0.001));
+        assert_eq!(f.constraint, Expr::True);
+    }
+
+    #[test]
+    fn parses_select_with_time_predicate() {
+        let stmt = parse(
+            "SELECT SUM(Impression) FROM T WHERE Age <= 30 AND Gender = 'F' AND t = 20200101",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert!(s.constraint.references("t"));
+        assert!(!s.group_by_time);
+    }
+
+    #[test]
+    fn parses_group_by_t() {
+        let stmt =
+            parse("SELECT COUNT(*) FROM T WHERE Age > 50 GROUP BY t").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        assert!(s.group_by_time);
+        assert_eq!(s.measure, "*");
+        assert_eq!(s.agg, AggFunc::Count);
+    }
+
+    #[test]
+    fn group_by_other_column_rejected() {
+        let e = parse("SELECT SUM(m) FROM T GROUP BY Age").unwrap_err();
+        assert!(e.message.contains("GROUP BY t"));
+    }
+
+    #[test]
+    fn parses_in_between_not() {
+        let stmt = parse(
+            "SELECT SUM(m) FROM T WHERE Location IN ('NY', 'WA') \
+             AND Age BETWEEN 20 AND 30 AND NOT Device = 'PC' AND Tag NOT IN (1, 2)",
+        )
+        .unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let Expr::And(parts) = &s.constraint else { panic!("expected AND") };
+        assert_eq!(parts.len(), 4);
+        assert!(matches!(&parts[0], Expr::In { .. }));
+        assert!(matches!(&parts[1], Expr::Between { .. }));
+        assert!(matches!(&parts[2], Expr::Not(_)));
+        assert!(matches!(&parts[3], Expr::Not(inner) if matches!(**inner, Expr::In { .. })));
+    }
+
+    #[test]
+    fn or_and_precedence() {
+        // a AND b OR c parses as (a AND b) OR c.
+        let stmt = parse("SELECT SUM(m) FROM T WHERE a = 1 AND b = 2 OR c = 3").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let Expr::Or(parts) = &s.constraint else { panic!("expected OR at top") };
+        assert_eq!(parts.len(), 2);
+        assert!(matches!(&parts[0], Expr::And(_)));
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let stmt = parse("SELECT SUM(m) FROM T WHERE a = 1 AND (b = 2 OR c = 3)").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let Expr::And(parts) = &s.constraint else { panic!("expected AND at top") };
+        assert!(matches!(&parts[1], Expr::Or(_)));
+    }
+
+    #[test]
+    fn forecast_constraint_on_time_rejected() {
+        let e = parse(
+            "FORECAST SUM(m) FROM T WHERE t = 20200101 USING (20200101, 20200201)",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("USING"));
+    }
+
+    #[test]
+    fn error_positions_are_useful() {
+        let e = parse("FORECAST MAX(m) FROM T USING (1, 2)").unwrap_err();
+        assert!(e.message.contains("unknown aggregate"));
+        assert_eq!(e.position, 9);
+        let e = parse("SELECT SUM(m) FROM T WHERE").unwrap_err();
+        assert!(e.message.contains("expected"));
+        let e = parse("SELECT SUM(m) FROM T extra").unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn statement_display_round_trips() {
+        let text = "FORECAST SUM(Impression) FROM T WHERE (Age <= 30) AND (Gender = 'F') \
+                    USING (20200101, 20200331) OPTION (MODEL = 'arima', FORE_PERIOD = 7)";
+        let stmt = parse(text).unwrap();
+        let rendered = stmt.to_string();
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(stmt, reparsed, "display must re-parse to the same AST");
+    }
+}

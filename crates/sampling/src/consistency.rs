@@ -1,0 +1,253 @@
+//! The error theory of §4: (θ, θ̄)-consistency (Definition 2), the
+//! sampling-efficiency bounds of Theorem 3 and Corollaries 4–6, trend and
+//! range deviations (Eqs. 8, 10), and the L1-distance connection of
+//! Proposition 7 used for measure grouping.
+
+use crate::error::SamplingError;
+
+/// `(θ, θ̄)`-consistency of weights with a measure (Definition 2):
+/// `θ = min_i m_i/w_i`, `θ̄ = max_i m_i/w_i`. Rows where both `m_i` and
+/// `w_i` are zero are skipped; a zero weight with non-zero measure is an
+/// error (the HT estimator would be biased).
+pub fn consistency(weights: &[f64], measures: &[f64]) -> Result<(f64, f64), SamplingError> {
+    assert_eq!(weights.len(), measures.len(), "length mismatch");
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for (i, (&w, &m)) in weights.iter().zip(measures).enumerate() {
+        if m == 0.0 && w == 0.0 {
+            continue;
+        }
+        if w <= 0.0 {
+            return Err(SamplingError::ZeroWeight { row: i });
+        }
+        let r = m / w;
+        lo = lo.min(r);
+        hi = hi.max(r);
+    }
+    if !lo.is_finite() {
+        // No informative rows: perfectly consistent by convention.
+        return Ok((1.0, 1.0));
+    }
+    Ok((lo, hi))
+}
+
+/// The consistency scale `θ̂ = θ̄/θ ≥ 1` (Definition 2). Returns infinity
+/// when some `m_i = 0` while others are positive (θ = 0).
+pub fn consistency_scale(weights: &[f64], measures: &[f64]) -> Result<f64, SamplingError> {
+    let (lo, hi) = consistency(weights, measures)?;
+    if lo <= 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(hi / lo)
+}
+
+/// Theorem 3: `RE ≤ RSTD ≤ √(θ̂ / E|S_Δ|)`.
+pub fn theorem3_bound(scale: f64, expected_sample_size: f64) -> f64 {
+    if expected_sample_size <= 0.0 {
+        return f64::INFINITY;
+    }
+    (scale / expected_sample_size).sqrt()
+}
+
+/// Corollary 4 (optimal GSW, w = m): `RSTD ≤ √(1 / E|S_Δ|)`.
+pub fn optimal_gsw_bound(expected_sample_size: f64) -> f64 {
+    theorem3_bound(1.0, expected_sample_size)
+}
+
+/// Trend deviation between two measures (Eq. 8):
+/// `ρ̄ = max_i m_i^{(p)}/m_i^{(q)}`, `ρ = min_i …`, returned as
+/// `(ρ, ρ̄, ρ̄/ρ)`. Requires strictly positive measures.
+pub fn trend_deviation(mp: &[f64], mq: &[f64]) -> Result<(f64, f64, f64), SamplingError> {
+    assert_eq!(mp.len(), mq.len(), "length mismatch");
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for (i, (&a, &b)) in mp.iter().zip(mq).enumerate() {
+        if b <= 0.0 || a <= 0.0 {
+            return Err(SamplingError::InvalidParam(format!(
+                "trend deviation needs positive measures (row {i}: {a}, {b})"
+            )));
+        }
+        let r = a / b;
+        lo = lo.min(r);
+        hi = hi.max(r);
+    }
+    if !lo.is_finite() {
+        return Ok((1.0, 1.0, 1.0));
+    }
+    Ok((lo, hi, hi / lo))
+}
+
+/// Maximum pairwise trend deviation `ρ` over a group of measures.
+pub fn max_trend_deviation(measures: &[&[f64]]) -> Result<f64, SamplingError> {
+    let mut rho: f64 = 1.0;
+    for (a, ma) in measures.iter().enumerate() {
+        for mb in measures.iter().skip(a + 1) {
+            let (_, _, r) = trend_deviation(ma, mb)?;
+            rho = rho.max(r);
+        }
+    }
+    Ok(rho)
+}
+
+/// Corollary 5 (geometric compressed GSW over `k` measures):
+/// `RSTD ≤ √(ρ^{(k−1)/k} / E|S_Δ|)`.
+pub fn geometric_bound(rho: f64, k: usize, expected_sample_size: f64) -> f64 {
+    if expected_sample_size <= 0.0 || k == 0 {
+        return f64::INFINITY;
+    }
+    let exponent = (k as f64 - 1.0) / k as f64;
+    (rho.powf(exponent) / expected_sample_size).sqrt()
+}
+
+/// Range deviation δ over a group of measures (Eq. 10): the max over rows
+/// of (max measure / min measure) at that row. Requires positive measures.
+pub fn range_deviation(measures: &[&[f64]]) -> Result<f64, SamplingError> {
+    if measures.is_empty() {
+        return Ok(1.0);
+    }
+    let n = measures[0].len();
+    let mut delta = 1.0f64;
+    for i in 0..n {
+        let mut mn = f64::INFINITY;
+        let mut mx = 0.0f64;
+        for m in measures {
+            let v = m[i];
+            if v <= 0.0 {
+                return Err(SamplingError::InvalidParam(format!(
+                    "range deviation needs positive measures (row {i}: {v})"
+                )));
+            }
+            mn = mn.min(v);
+            mx = mx.max(v);
+        }
+        delta = delta.max(mx / mn);
+    }
+    Ok(delta)
+}
+
+/// Corollary 6 (arithmetic compressed GSW): `RSTD ≤ √(δ² / E|S_Δ|)`.
+pub fn arithmetic_bound(delta: f64, expected_sample_size: f64) -> f64 {
+    if expected_sample_size <= 0.0 {
+        return f64::INFINITY;
+    }
+    (delta * delta / expected_sample_size).sqrt()
+}
+
+/// Normalized L1 distance `‖m′ − w′‖₁` between two non-negative vectors,
+/// each scaled to sum 1 — the grouping metric of Proposition 7.
+pub fn normalized_l1(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let sa: f64 = a.iter().sum();
+    let sb: f64 = b.iter().sum();
+    if sa <= 0.0 || sb <= 0.0 {
+        return if sa == sb { 0.0 } else { 2.0 };
+    }
+    a.iter().zip(b).map(|(x, y)| (x / sa - y / sb).abs()).sum()
+}
+
+/// Proposition 7's bound: if w is (θ, θ̄)-consistent with m then
+/// `‖m′ − w′‖₁ ≤ θ̂ − 1`.
+pub fn prop7_bound(scale: f64) -> f64 {
+    (scale - 1.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_consistency_example() {
+        // §4.1: m = [100,100,200,400], w = [10,10,20,50]
+        // → θ = 400/50 = 8, θ̄ = 10, θ̂ = 1.25.
+        let m = [100.0, 100.0, 200.0, 400.0];
+        let w = [10.0, 10.0, 20.0, 50.0];
+        let (lo, hi) = consistency(&w, &m).unwrap();
+        assert_eq!(lo, 8.0);
+        assert_eq!(hi, 10.0);
+        assert!((consistency_scale(&w, &m).unwrap() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_weights_scale_is_one() {
+        let m = [3.0, 7.0, 11.0];
+        assert_eq!(consistency_scale(&m, &m).unwrap(), 1.0);
+        assert_eq!(theorem3_bound(1.0, 100.0), optimal_gsw_bound(100.0));
+        assert!((optimal_gsw_bound(100.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_with_positive_measure_rejected() {
+        assert!(consistency(&[0.0], &[1.0]).is_err());
+        // Both zero: skipped.
+        assert_eq!(consistency(&[0.0, 1.0], &[0.0, 2.0]).unwrap(), (2.0, 2.0));
+    }
+
+    #[test]
+    fn proportional_measures_have_unit_trend_deviation() {
+        // m(p) = c · m(q) → ρ = 1 (the paper's remark after Eq. 8).
+        let mq = [1.0, 2.0, 3.0];
+        let mp = [5.0, 10.0, 15.0];
+        let (lo, hi, rho) = trend_deviation(&mp, &mq).unwrap();
+        assert_eq!(lo, 5.0);
+        assert_eq!(hi, 5.0);
+        assert_eq!(rho, 1.0);
+    }
+
+    #[test]
+    fn range_deviation_example() {
+        let m1 = [100.0, 100.0];
+        let m2 = [1.0, 50.0];
+        // Rows: 100/1 = 100, 100/50 = 2 → δ = 100.
+        assert_eq!(range_deviation(&[&m1, &m2]).unwrap(), 100.0);
+        assert!(range_deviation(&[&[0.0][..]]).is_err());
+    }
+
+    #[test]
+    fn bounds_shrink_with_sample_size() {
+        assert!(theorem3_bound(2.0, 400.0) < theorem3_bound(2.0, 100.0));
+        assert!(geometric_bound(4.0, 2, 100.0) < geometric_bound(4.0, 2, 25.0));
+        assert!(arithmetic_bound(3.0, 100.0) < arithmetic_bound(3.0, 10.0));
+        assert_eq!(theorem3_bound(2.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn geometric_bound_k1_is_optimal() {
+        // A "group" of one measure: exponent 0 → optimal bound.
+        assert_eq!(geometric_bound(100.0, 1, 64.0), optimal_gsw_bound(64.0));
+    }
+
+    #[test]
+    fn normalized_l1_examples() {
+        assert_eq!(normalized_l1(&[1.0, 1.0], &[2.0, 2.0]), 0.0); // same shape
+        let d = normalized_l1(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - 2.0).abs() < 1e-12); // maximal disagreement
+    }
+
+    proptest! {
+        #[test]
+        fn prop7_holds_for_random_vectors(
+            m in proptest::collection::vec(0.1f64..100.0, 2..20),
+            scale_noise in proptest::collection::vec(0.5f64..2.0, 2..20),
+        ) {
+            let n = m.len().min(scale_noise.len());
+            let m = &m[..n];
+            let w: Vec<f64> = m.iter().zip(&scale_noise[..n]).map(|(x, s)| x * s).collect();
+            let scale = consistency_scale(&w, m).unwrap();
+            let l1 = normalized_l1(m, &w);
+            prop_assert!(
+                l1 <= prop7_bound(scale) + 1e-9,
+                "L1 {l1} exceeds Prop. 7 bound {}", prop7_bound(scale)
+            );
+        }
+
+        #[test]
+        fn consistency_scale_at_least_one(
+            pairs in proptest::collection::vec((0.1f64..50.0, 0.1f64..50.0), 1..30)
+        ) {
+            let (w, m): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            let s = consistency_scale(&w, &m).unwrap();
+            prop_assert!(s >= 1.0 - 1e-12);
+        }
+    }
+}

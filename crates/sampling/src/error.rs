@@ -1,0 +1,64 @@
+//! Error type for sampling and estimation.
+
+use flashp_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while drawing samples or estimating from them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplingError {
+    /// Invalid sampler parameter (rate, size, Δ, weights).
+    InvalidParam(String),
+    /// A weight was zero/negative for a row with a non-zero measure —
+    /// Horvitz–Thompson calibration would be biased.
+    ZeroWeight { row: usize },
+    /// Measure index outside the schema.
+    BadMeasure { index: usize, num_measures: usize },
+    /// Underlying storage error (predicate compile, schema lookup).
+    Storage(StorageError),
+    /// The requested estimate is not supported by this sample kind
+    /// (e.g. COUNT from a sample with no inclusion probabilities).
+    Unsupported(String),
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::InvalidParam(msg) => write!(f, "invalid sampler parameter: {msg}"),
+            SamplingError::ZeroWeight { row } => {
+                write!(f, "row {row} has zero sampling weight but non-zero measure")
+            }
+            SamplingError::BadMeasure { index, num_measures } => {
+                write!(f, "measure index {index} out of range ({num_measures} measures)")
+            }
+            SamplingError::Storage(e) => write!(f, "storage error: {e}"),
+            SamplingError::Unsupported(msg) => write!(f, "unsupported estimate: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SamplingError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for SamplingError {
+    fn from(e: StorageError) -> Self {
+        SamplingError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: SamplingError = StorageError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("storage error"));
+        assert!(SamplingError::ZeroWeight { row: 3 }.to_string().contains("3"));
+    }
+}

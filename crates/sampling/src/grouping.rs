@@ -1,0 +1,257 @@
+//! Grouping measures for compressed samples (§4.2 "How to group
+//! measures?").
+//!
+//! When a relation has many measures, one compressed sample for all of
+//! them has uninformative error bounds (ρ and δ blow up). The paper
+//! partitions measures into small groups by solving KCENTER on the
+//! *normalized L1 distance* between measure vectors (justified by
+//! Proposition 7), using the classic greedy 2-approximation, then draws
+//! one compressed GSW sample per group. Distances are estimated on a
+//! subsample of rows.
+
+use crate::consistency::normalized_l1;
+use crate::error::SamplingError;
+use flashp_storage::Partition;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Result of grouping measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureGroups {
+    /// Measure indices per group.
+    pub groups: Vec<Vec<usize>>,
+    /// The chosen center measure of each group.
+    pub centers: Vec<usize>,
+    /// Max distance from any measure to its group center (the KCENTER
+    /// objective value).
+    pub max_radius: f64,
+}
+
+/// Pairwise normalized-L1 distances between the given measures, estimated
+/// on at most `max_rows` uniformly sampled rows of `partition`.
+pub fn measure_distances(
+    partition: &Partition,
+    measure_indices: &[usize],
+    max_rows: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<Vec<f64>>, SamplingError> {
+    let num_measures = partition.measures().len();
+    for &j in measure_indices {
+        if j >= num_measures {
+            return Err(SamplingError::BadMeasure { index: j, num_measures });
+        }
+    }
+    let n = partition.num_rows();
+    if n == 0 {
+        return Err(SamplingError::InvalidParam("empty partition".to_string()));
+    }
+    let mut rows: Vec<usize> = (0..n).collect();
+    if n > max_rows && max_rows > 0 {
+        rows.shuffle(rng);
+        rows.truncate(max_rows);
+    }
+    let vectors: Vec<Vec<f64>> = measure_indices
+        .iter()
+        .map(|&j| {
+            let col = partition.measure(j);
+            rows.iter().map(|&r| col[r]).collect()
+        })
+        .collect();
+    let k = vectors.len();
+    let mut dist = vec![vec![0.0; k]; k];
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let d = normalized_l1(&vectors[a], &vectors[b]);
+            dist[a][b] = d;
+            dist[b][a] = d;
+        }
+    }
+    Ok(dist)
+}
+
+/// Greedy KCENTER 2-approximation on a distance matrix: the first center
+/// is the point with the largest total distance (a deterministic,
+/// reasonable seed); each further center is the point farthest from its
+/// nearest existing center; finally every point joins its nearest center.
+pub fn kcenter_groups(dist: &[Vec<f64>], num_groups: usize) -> Result<MeasureGroups, SamplingError> {
+    let k = dist.len();
+    if k == 0 {
+        return Err(SamplingError::InvalidParam("no measures to group".to_string()));
+    }
+    if num_groups == 0 {
+        return Err(SamplingError::InvalidParam("need at least one group".to_string()));
+    }
+    let g = num_groups.min(k);
+    // First center: maximal row sum (an arbitrary-but-deterministic pick;
+    // the 2-approximation holds for any first center).
+    let first = (0..k)
+        .max_by(|&a, &b| {
+            let sa: f64 = dist[a].iter().sum();
+            let sb: f64 = dist[b].iter().sum();
+            sa.total_cmp(&sb)
+        })
+        .expect("k > 0");
+    let mut centers = vec![first];
+    let mut nearest: Vec<f64> = (0..k).map(|i| dist[first][i]).collect();
+    while centers.len() < g {
+        let far = (0..k)
+            .max_by(|&a, &b| nearest[a].total_cmp(&nearest[b]))
+            .expect("k > 0");
+        if nearest[far] == 0.0 {
+            break; // all points coincide with existing centers
+        }
+        centers.push(far);
+        for i in 0..k {
+            nearest[i] = nearest[i].min(dist[far][i]);
+        }
+    }
+    // Assign each measure to its nearest center.
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); centers.len()];
+    let mut max_radius = 0.0f64;
+    for i in 0..k {
+        let (c, d) = centers
+            .iter()
+            .enumerate()
+            .map(|(ci, &cm)| (ci, dist[cm][i]))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one center");
+        groups[c].push(i);
+        max_radius = max_radius.max(d);
+    }
+    Ok(MeasureGroups { groups, centers, max_radius })
+}
+
+/// Convenience: compute distances on `partition` and group `measures`
+/// into `num_groups` clusters. Group contents are *indices into
+/// `measures`* mapped back to measure ids.
+pub fn group_measures(
+    partition: &Partition,
+    measures: &[usize],
+    num_groups: usize,
+    max_rows: usize,
+    rng: &mut StdRng,
+) -> Result<MeasureGroups, SamplingError> {
+    let dist = measure_distances(partition, measures, max_rows, rng)?;
+    let mut result = kcenter_groups(&dist, num_groups)?;
+    for group in result.groups.iter_mut() {
+        for slot in group.iter_mut() {
+            *slot = measures[*slot];
+        }
+    }
+    for c in result.centers.iter_mut() {
+        *c = measures[*c];
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashp_storage::DimensionColumn;
+    use rand::SeedableRng;
+
+    /// Partition with four measures: m0 ∝ m1 (same shape), m2 ∝ m3, and
+    /// the two shapes very different.
+    fn partition() -> Partition {
+        let n = 200;
+        let shape_a: Vec<f64> = (0..n).map(|i| 1.0 + (i % 10) as f64).collect();
+        let shape_b: Vec<f64> = (0..n).map(|i| if i % 50 == 0 { 500.0 } else { 1.0 }).collect();
+        Partition::from_columns(
+            vec![DimensionColumn::Int64((0..n as i64).collect())],
+            vec![
+                shape_a.clone(),
+                shape_a.iter().map(|v| v * 7.0).collect(), // m1 = 7·m0
+                shape_b.clone(),
+                shape_b.iter().map(|v| v * 0.5).collect(), // m3 = m2/2
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn proportional_measures_have_zero_distance() {
+        let p = partition();
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = measure_distances(&p, &[0, 1, 2, 3], usize::MAX, &mut rng).unwrap();
+        assert!(d[0][1] < 1e-12, "m0 vs m1 distance {}", d[0][1]);
+        assert!(d[2][3] < 1e-12);
+        assert!(d[0][2] > 0.5, "cross-shape distance {}", d[0][2]);
+        // Symmetry and zero diagonal.
+        assert_eq!(d[1][3], d[3][1]);
+        assert_eq!(d[0][0], 0.0);
+    }
+
+    #[test]
+    fn kcenter_recovers_natural_groups() {
+        let p = partition();
+        let mut rng = StdRng::seed_from_u64(1);
+        let groups = group_measures(&p, &[0, 1, 2, 3], 2, usize::MAX, &mut rng).unwrap();
+        assert_eq!(groups.groups.len(), 2);
+        let mut sorted: Vec<Vec<usize>> = groups
+            .groups
+            .iter()
+            .map(|g| {
+                let mut g = g.clone();
+                g.sort_unstable();
+                g
+            })
+            .collect();
+        sorted.sort();
+        assert_eq!(sorted, vec![vec![0, 1], vec![2, 3]]);
+        assert!(groups.max_radius < 1e-9, "radius {}", groups.max_radius);
+    }
+
+    #[test]
+    fn more_groups_than_measures_collapses() {
+        let p = partition();
+        let mut rng = StdRng::seed_from_u64(2);
+        let groups = group_measures(&p, &[0, 2], 5, usize::MAX, &mut rng).unwrap();
+        assert!(groups.groups.len() <= 2);
+        let total: usize = groups.groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn single_group_contains_everything() {
+        let p = partition();
+        let mut rng = StdRng::seed_from_u64(3);
+        let groups = group_measures(&p, &[0, 1, 2, 3], 1, usize::MAX, &mut rng).unwrap();
+        assert_eq!(groups.groups.len(), 1);
+        assert_eq!(groups.groups[0].len(), 4);
+        assert!(groups.max_radius > 0.5); // forced to mix shapes
+    }
+
+    #[test]
+    fn subsampled_distances_still_separate_shapes() {
+        let p = partition();
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = measure_distances(&p, &[0, 2], 50, &mut rng).unwrap();
+        assert!(d[0][1] > 0.3, "subsampled distance {}", d[0][1]);
+    }
+
+    #[test]
+    fn errors() {
+        let p = partition();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(measure_distances(&p, &[9], 10, &mut rng).is_err());
+        assert!(kcenter_groups(&[], 2).is_err());
+        assert!(kcenter_groups(&[vec![0.0]], 0).is_err());
+    }
+
+    #[test]
+    fn two_approximation_property() {
+        // Greedy radius ≤ 2 × optimal radius. For our 2-group example the
+        // optimal radius is 0, so greedy must also achieve 0; use a fuzzier
+        // configuration to exercise the bound.
+        let d = vec![
+            vec![0.0, 0.1, 1.0, 1.1],
+            vec![0.1, 0.0, 0.9, 1.0],
+            vec![1.0, 0.9, 0.0, 0.2],
+            vec![1.1, 1.0, 0.2, 0.0],
+        ];
+        let g = kcenter_groups(&d, 2).unwrap();
+        // Optimal 2-center radius here is 0.2 (pairs {0,1}, {2,3} with any
+        // center); greedy must be ≤ 0.4.
+        assert!(g.max_radius <= 0.4, "radius {}", g.max_radius);
+    }
+}

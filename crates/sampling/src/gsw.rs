@@ -1,0 +1,295 @@
+//! GSW (Generalized Smoothed Weighted) sampling — §4.1 of the paper.
+//!
+//! Parameterized by a positive constant Δ and positive weights `w`, each
+//! row enters the sample independently with probability `w_i / (Δ + w_i)`
+//! (Eq. 6). Larger Δ → smaller samples. Because inclusion is independent
+//! per row, the sampler distributes/parallelizes trivially and supports
+//! incremental maintenance (see [`crate::incremental`]).
+
+use crate::error::SamplingError;
+use crate::sample::{MeasureScope, Sample};
+use crate::sampler::{SampleSize, Sampler};
+use crate::weights::WeightStrategy;
+use flashp_storage::{Partition, SchemaRef};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Solve for the Δ that makes the expected sample size
+/// `E|S_Δ| = Σ_i w_i/(Δ + w_i)` equal `target` (binary search; the map is
+/// strictly decreasing in Δ). Returns 0 when `target ≥ n` (keep
+/// everything).
+pub fn delta_for_expected_size(weights: &[f64], target: f64) -> Result<f64, SamplingError> {
+    let n = weights.len() as f64;
+    if target <= 0.0 {
+        return Err(SamplingError::InvalidParam(format!(
+            "target expected size must be positive, got {target}"
+        )));
+    }
+    if target >= n {
+        return Ok(0.0);
+    }
+    let expected = |delta: f64| -> f64 { weights.iter().map(|w| w / (delta + w)).sum() };
+    // Bracket: E(0) = n > target; grow hi until E(hi) < target.
+    let mut lo = 0.0f64;
+    let mut hi = weights.iter().copied().fold(1.0, f64::max);
+    while expected(hi) > target {
+        hi *= 2.0;
+        if !hi.is_finite() {
+            return Err(SamplingError::InvalidParam(
+                "could not bracket delta (weights degenerate)".to_string(),
+            ));
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if expected(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) <= 1e-12 * hi.max(1.0) {
+            break;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// The GSW sampler: weight strategy + target size (resolved into Δ per
+/// partition) or an explicit Δ.
+#[derive(Debug, Clone)]
+pub struct GswSampler {
+    strategy: WeightStrategy,
+    sizing: Sizing,
+}
+
+#[derive(Debug, Clone)]
+enum Sizing {
+    /// Calibrate Δ per partition to hit this expected size.
+    Auto(SampleSize),
+    /// Use this Δ everywhere.
+    FixedDelta(f64),
+}
+
+impl GswSampler {
+    /// GSW with Δ calibrated per partition so that the expected sample
+    /// size matches `size`.
+    pub fn with_size(strategy: WeightStrategy, size: SampleSize) -> Self {
+        GswSampler { strategy, sizing: Sizing::Auto(size) }
+    }
+
+    /// GSW with an explicit Δ (the paper's native parameterization).
+    pub fn with_delta(strategy: WeightStrategy, delta: f64) -> Self {
+        GswSampler { strategy, sizing: Sizing::FixedDelta(delta) }
+    }
+
+    /// The optimal GSW sampler for `measure` (w = m, Corollary 4).
+    pub fn optimal(measure: usize, size: SampleSize) -> Self {
+        GswSampler::with_size(WeightStrategy::SingleMeasure(measure), size)
+    }
+
+    /// Arithmetic compressed GSW over a measure group (Eq. 9).
+    pub fn arithmetic_compressed(measures: Vec<usize>, size: SampleSize) -> Self {
+        GswSampler::with_size(WeightStrategy::ArithmeticMean(measures), size)
+    }
+
+    /// Geometric compressed GSW over a measure group (Eq. 7).
+    pub fn geometric_compressed(measures: Vec<usize>, size: SampleSize) -> Self {
+        GswSampler::with_size(WeightStrategy::GeometricMean(measures), size)
+    }
+
+    /// The weight strategy in use.
+    pub fn strategy(&self) -> &WeightStrategy {
+        &self.strategy
+    }
+
+    fn scope(&self) -> MeasureScope {
+        match &self.strategy {
+            WeightStrategy::SingleMeasure(j) => MeasureScope::Single(*j),
+            WeightStrategy::ArithmeticMean(g) | WeightStrategy::GeometricMean(g) => {
+                MeasureScope::Group(g.clone())
+            }
+            WeightStrategy::Constant => MeasureScope::All,
+        }
+    }
+}
+
+impl Sampler for GswSampler {
+    fn name(&self) -> String {
+        match &self.sizing {
+            Sizing::Auto(SampleSize::Rate(r)) => format!("gsw[{}]@{r}", self.strategy.label()),
+            Sizing::Auto(SampleSize::Expected(k)) => {
+                format!("gsw[{}]#{k}", self.strategy.label())
+            }
+            Sizing::FixedDelta(d) => format!("gsw[{}]d{d}", self.strategy.label()),
+        }
+    }
+
+    fn sample(
+        &self,
+        schema: &SchemaRef,
+        partition: &Partition,
+        rng: &mut StdRng,
+    ) -> Result<Sample, SamplingError> {
+        let n = partition.num_rows();
+        let weights = self.strategy.compute(partition)?;
+        let delta = match &self.sizing {
+            Sizing::Auto(size) => {
+                let target = size.resolve(n)?;
+                delta_for_expected_size(&weights, target)?
+            }
+            Sizing::FixedDelta(d) => {
+                if *d < 0.0 || !d.is_finite() {
+                    return Err(SamplingError::InvalidParam(format!("invalid delta {d}")));
+                }
+                *d
+            }
+        };
+
+        let mut indices = Vec::new();
+        let mut pi = Vec::new();
+        for (i, &w) in weights.iter().enumerate() {
+            let p = w / (delta + w); // delta = 0 → p = 1: keep everything
+            if delta == 0.0 || rng.gen::<f64>() < p {
+                indices.push(i);
+                pi.push(if delta == 0.0 { 1.0 } else { p });
+            }
+        }
+        let rows = gather_rows(partition, &indices);
+        Sample::new(schema.clone(), rows, pi, n, self.name(), self.scope())
+    }
+}
+
+/// Materialize the rows at `indices` into a new partition.
+pub(crate) fn gather_rows(partition: &Partition, indices: &[usize]) -> Partition {
+    let dims = partition.dims().iter().map(|c| c.gather(indices)).collect();
+    let measures = partition
+        .measures()
+        .iter()
+        .map(|m| indices.iter().map(|&i| m[i]).collect())
+        .collect();
+    Partition::from_columns(dims, measures).expect("gathered columns have equal length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashp_storage::DimensionColumn;
+    use rand::SeedableRng;
+
+    fn schema() -> SchemaRef {
+        flashp_storage::Schema::from_names(
+            &[("k", flashp_storage::DataType::Int64)],
+            &["m1", "m2"],
+        )
+        .unwrap()
+        .into_shared()
+    }
+
+    fn partition(n: usize, value: impl Fn(usize) -> f64) -> Partition {
+        Partition::from_columns(
+            vec![DimensionColumn::Int64((0..n as i64).collect())],
+            vec![(0..n).map(&value).collect(), (0..n).map(|i| (i % 5 + 1) as f64).collect()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn delta_calibration_hits_target() {
+        let weights: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let delta = delta_for_expected_size(&weights, 100.0).unwrap();
+        let expected: f64 = weights.iter().map(|w| w / (delta + w)).sum();
+        assert!((expected - 100.0).abs() < 0.01, "E|S| = {expected}");
+    }
+
+    #[test]
+    fn delta_zero_when_target_exceeds_population() {
+        let weights = vec![1.0; 10];
+        assert_eq!(delta_for_expected_size(&weights, 10.0).unwrap(), 0.0);
+        assert_eq!(delta_for_expected_size(&weights, 50.0).unwrap(), 0.0);
+        assert!(delta_for_expected_size(&weights, 0.0).is_err());
+    }
+
+    #[test]
+    fn full_rate_keeps_every_row() {
+        let schema = schema();
+        let p = partition(50, |i| (i + 1) as f64);
+        let sampler = GswSampler::optimal(0, SampleSize::Rate(1.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+        assert_eq!(s.num_rows(), 50);
+        assert!(s.inclusion_probabilities().iter().all(|&p| p == 1.0));
+    }
+
+    #[test]
+    fn expected_size_is_respected() {
+        let schema = schema();
+        let p = partition(20_000, |i| 1.0 + (i % 100) as f64);
+        let sampler = GswSampler::optimal(0, SampleSize::Expected(500));
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+        // |S| is a sum of independent Bernoullis with E = 500; 5σ ≈ 110.
+        assert!(
+            (s.num_rows() as f64 - 500.0).abs() < 120.0,
+            "sample size = {}",
+            s.num_rows()
+        );
+    }
+
+    #[test]
+    fn estimates_are_unbiased_over_replications() {
+        let schema = schema();
+        let p = partition(2000, |i| if i % 100 == 0 { 500.0 } else { 1.0 });
+        let truth: f64 = p.measure(0).iter().sum();
+        let sampler = GswSampler::optimal(0, SampleSize::Rate(0.05));
+        let mut sum = 0.0;
+        let reps = 400;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+            let est: f64 = (0..s.num_rows()).map(|r| s.calibrated(0, r)).sum();
+            sum += est;
+        }
+        let mean_est = sum / reps as f64;
+        assert!(
+            (mean_est - truth).abs() / truth < 0.02,
+            "mean estimate {mean_est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn optimal_weights_capture_heavy_rows() {
+        // With w = m, heavy rows are (almost) always present.
+        let schema = schema();
+        let p = partition(1000, |i| if i == 7 { 1e6 } else { 1.0 });
+        let sampler = GswSampler::optimal(0, SampleSize::Expected(50));
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+        let has_heavy = (0..s.num_rows()).any(|r| s.rows().measure(0)[r] == 1e6);
+        assert!(has_heavy, "heavy hitter missing from optimal GSW sample");
+    }
+
+    #[test]
+    fn fixed_delta_matches_formula() {
+        let schema = schema();
+        let p = partition(5000, |_| 10.0);
+        let sampler = GswSampler::with_delta(WeightStrategy::SingleMeasure(0), 90.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+        // p = 10/(90+10) = 0.1 → E|S| = 500.
+        assert!((s.num_rows() as f64 - 500.0).abs() < 100.0);
+        assert!(s.inclusion_probabilities().iter().all(|&p| (p - 0.1).abs() < 1e-12));
+        assert!(GswSampler::with_delta(WeightStrategy::Constant, -1.0)
+            .sample(&schema, &p, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn compressed_scope_reflects_group() {
+        let schema = schema();
+        let p = partition(100, |i| (i + 1) as f64);
+        let sampler = GswSampler::arithmetic_compressed(vec![0, 1], SampleSize::Rate(0.5));
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+        assert!(s.scope().covers(0) && s.scope().covers(1));
+    }
+}

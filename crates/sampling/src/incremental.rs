@@ -1,0 +1,316 @@
+//! Incremental maintenance of a GSW sample (§4.1).
+//!
+//! Each row draws `p_i ~ U(0,1)` once; it belongs to the sample `S_Δ` iff
+//! `p_i ≤ w_i/(Δ+w_i)` ⇔ `(1/p_i − 1)·w_i ≥ Δ`. Storing the *key*
+//! `κ_i = (1/p_i − 1) w_i` therefore lets the sample be maintained under
+//! both growth of the data (insert new rows, only keeping those with
+//! `κ ≥ Δ`) and growth of Δ (evict rows with `κ < Δ′`) — "without touching
+//! any row in `[n] − S_Δ`", exactly the procedure described in the paper.
+//! A min-heap on κ makes evictions O(log |S|) amortized.
+
+use crate::error::SamplingError;
+use crate::sample::{MeasureScope, Sample};
+use flashp_storage::{Partition, PartitionBuilder, SchemaRef};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An entry retained by the incremental sampler.
+#[derive(Debug, Clone)]
+struct Entry {
+    key: f64,
+    weight: f64,
+    dims: Vec<i64>,
+    measures: Vec<f64>,
+}
+
+/// Ordered wrapper so entries sort by key in the heap.
+#[derive(Debug, Clone)]
+struct ByKey(Entry);
+
+impl PartialEq for ByKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key == other.0.key
+    }
+}
+impl Eq for ByKey {}
+impl PartialOrd for ByKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ByKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.key.total_cmp(&other.0.key)
+    }
+}
+
+/// A GSW sample maintained incrementally over a stream of rows.
+#[derive(Debug)]
+pub struct IncrementalGswSample {
+    schema: SchemaRef,
+    delta: f64,
+    /// Min-heap by key: the smallest keys are evicted first as Δ grows.
+    heap: BinaryHeap<Reverse<ByKey>>,
+    /// Total rows ever offered (the population size n).
+    population: usize,
+}
+
+impl IncrementalGswSample {
+    /// Empty sample at the given Δ ≥ 0.
+    pub fn new(schema: SchemaRef, delta: f64) -> Result<Self, SamplingError> {
+        if !(delta >= 0.0) || !delta.is_finite() {
+            return Err(SamplingError::InvalidParam(format!("invalid delta {delta}")));
+        }
+        Ok(IncrementalGswSample { schema, delta, heap: BinaryHeap::new(), population: 0 })
+    }
+
+    /// Current Δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Rows currently retained.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Rows ever offered.
+    pub fn population_rows(&self) -> usize {
+        self.population
+    }
+
+    /// Offer a row with its sampling weight; draws `p ~ U(0,1)` from `rng`.
+    /// Returns true if the row was retained.
+    pub fn insert(
+        &mut self,
+        dims: Vec<i64>,
+        measures: Vec<f64>,
+        weight: f64,
+        rng: &mut StdRng,
+    ) -> Result<bool, SamplingError> {
+        let p: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        self.insert_with_p(dims, measures, weight, p)
+    }
+
+    /// Deterministic variant taking the uniform draw explicitly — used to
+    /// prove distributional equivalence with direct GSW sampling.
+    pub fn insert_with_p(
+        &mut self,
+        dims: Vec<i64>,
+        measures: Vec<f64>,
+        weight: f64,
+        p: f64,
+    ) -> Result<bool, SamplingError> {
+        if !(weight > 0.0) || !weight.is_finite() {
+            return Err(SamplingError::InvalidParam(format!("weight must be positive, got {weight}")));
+        }
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(SamplingError::InvalidParam(format!("p must be in (0,1], got {p}")));
+        }
+        self.population += 1;
+        let key = (1.0 / p - 1.0) * weight;
+        if key >= self.delta {
+            self.heap.push(Reverse(ByKey(Entry { key, weight, dims, measures })));
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Raise Δ to `new_delta`, evicting rows whose key falls below it.
+    /// Returns the number of evicted rows. Lowering Δ is impossible
+    /// (evicted rows are gone) and is rejected.
+    pub fn raise_delta(&mut self, new_delta: f64) -> Result<usize, SamplingError> {
+        if new_delta < self.delta {
+            return Err(SamplingError::InvalidParam(format!(
+                "cannot lower delta from {} to {new_delta}",
+                self.delta
+            )));
+        }
+        self.delta = new_delta;
+        let mut evicted = 0;
+        while let Some(Reverse(ByKey(e))) = self.heap.peek() {
+            if e.key >= new_delta {
+                break;
+            }
+            self.heap.pop();
+            evicted += 1;
+        }
+        Ok(evicted)
+    }
+
+    /// Shrink until at most `max_rows` are retained, raising Δ as needed.
+    /// Returns the new Δ.
+    pub fn shrink_to(&mut self, max_rows: usize) -> f64 {
+        while self.heap.len() > max_rows {
+            if let Some(Reverse(ByKey(e))) = self.heap.pop() {
+                // Δ must exceed the evicted key so the invariant
+                // "retained ⇔ key ≥ Δ" still holds.
+                self.delta = self.delta.max(next_up(e.key));
+            }
+        }
+        self.delta
+    }
+
+    /// Materialize into an immutable [`Sample`] with
+    /// `π_i = w_i/(Δ+w_i)`.
+    pub fn to_sample(&self) -> Result<Sample, SamplingError> {
+        let entries: Vec<&Entry> = self.heap.iter().map(|Reverse(ByKey(e))| e).collect();
+        let mut builder = PartitionBuilder::with_capacity(&self.schema, entries.len());
+        let mut pi = Vec::with_capacity(entries.len());
+        for e in &entries {
+            builder.push_raw_row(&e.dims, &e.measures)?;
+            pi.push(if self.delta == 0.0 { 1.0 } else { e.weight / (self.delta + e.weight) });
+        }
+        Sample::new(
+            self.schema.clone(),
+            builder.finish(),
+            pi,
+            self.population,
+            format!("incremental_gsw[d{}]", self.delta),
+            MeasureScope::All,
+        )
+    }
+}
+
+/// Smallest f64 strictly greater than `x` (for finite positive `x`).
+fn next_up(x: f64) -> f64 {
+    if x == 0.0 {
+        return f64::MIN_POSITIVE;
+    }
+    f64::from_bits(x.to_bits() + 1)
+}
+
+/// Build a [`Partition`]'s worth of rows into an incremental sample using
+/// per-row weights (convenience for tests and the engine's streaming
+/// ingestion path).
+pub fn offer_partition(
+    sample: &mut IncrementalGswSample,
+    partition: &Partition,
+    weights: &[f64],
+    rng: &mut StdRng,
+) -> Result<usize, SamplingError> {
+    let mut kept = 0;
+    for i in 0..partition.num_rows() {
+        let dims: Vec<i64> = partition.dims().iter().map(|c| c.get_i64(i)).collect();
+        let measures: Vec<f64> = partition.measures().iter().map(|m| m[i]).collect();
+        if sample.insert(dims, measures, weights[i], rng)? {
+            kept += 1;
+        }
+    }
+    Ok(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashp_storage::{DataType, Schema};
+    use rand::SeedableRng;
+
+    fn schema() -> SchemaRef {
+        Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared()
+    }
+
+    #[test]
+    fn membership_matches_direct_rule() {
+        // Row kept iff p ≤ w/(Δ+w) ⇔ key ≥ Δ — check both directions with
+        // explicit p draws.
+        let mut s = IncrementalGswSample::new(schema(), 10.0).unwrap();
+        // w = 10, Δ = 10 → π = 0.5. p = 0.4 keeps; p = 0.6 drops.
+        assert!(s.insert_with_p(vec![0], vec![1.0], 10.0, 0.4).unwrap());
+        assert!(!s.insert_with_p(vec![1], vec![1.0], 10.0, 0.6).unwrap());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.population_rows(), 2);
+    }
+
+    #[test]
+    fn raising_delta_equals_resampling() {
+        // With the same p draws, the incremental sample raised Δ→Δ′ must
+        // contain exactly the rows a direct GSW draw at Δ′ would keep.
+        let schema = schema();
+        let n = 2000;
+        let mut rng = StdRng::seed_from_u64(9);
+        let ps: Vec<f64> = (0..n).map(|_| rng.gen::<f64>().max(1e-12)).collect();
+        let ws: Vec<f64> = (0..n).map(|i| 1.0 + (i % 50) as f64).collect();
+
+        let mut inc = IncrementalGswSample::new(schema.clone(), 5.0).unwrap();
+        for i in 0..n {
+            inc.insert_with_p(vec![i as i64], vec![ws[i]], ws[i], ps[i]).unwrap();
+        }
+        let before = inc.len();
+        inc.raise_delta(40.0).unwrap();
+        assert!(inc.len() < before);
+
+        // Direct membership at Δ′ = 40.
+        let direct: Vec<bool> =
+            (0..n).map(|i| ps[i] <= ws[i] / (40.0 + ws[i])).collect();
+        let direct_count = direct.iter().filter(|b| **b).count();
+        assert_eq!(inc.len(), direct_count);
+        let s = inc.to_sample().unwrap();
+        for r in 0..s.num_rows() {
+            let row_id = s.rows().dim(0).get_i64(r) as usize;
+            assert!(direct[row_id], "row {row_id} kept incrementally but not directly");
+        }
+    }
+
+    #[test]
+    fn lowering_delta_rejected() {
+        let mut s = IncrementalGswSample::new(schema(), 5.0).unwrap();
+        assert!(s.raise_delta(4.0).is_err());
+        assert!(s.raise_delta(5.0).is_ok());
+    }
+
+    #[test]
+    fn shrink_to_bounds_size() {
+        let mut s = IncrementalGswSample::new(schema(), 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        for i in 0..5000i64 {
+            s.insert(vec![i], vec![1.0], 1.0, &mut rng).unwrap();
+        }
+        let before_delta = s.delta();
+        s.shrink_to(100);
+        assert!(s.len() <= 100);
+        assert!(s.delta() >= before_delta);
+        // Invariant: every retained key ≥ Δ.
+        let sample = s.to_sample().unwrap();
+        assert_eq!(sample.num_rows(), s.len());
+    }
+
+    #[test]
+    fn materialized_sample_estimates_unbiasedly() {
+        let schema = schema();
+        let n = 3000usize;
+        let truth: f64 = (0..n).map(|i| 1.0 + (i % 10) as f64).sum();
+        let mut total = 0.0;
+        let reps = 200;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = IncrementalGswSample::new(schema.clone(), 50.0).unwrap();
+            for i in 0..n {
+                let m = 1.0 + (i % 10) as f64;
+                s.insert(vec![i as i64], vec![m], m, &mut rng).unwrap();
+            }
+            let sample = s.to_sample().unwrap();
+            let est: f64 =
+                (0..sample.num_rows()).map(|r| sample.calibrated(0, r)).sum();
+            total += est;
+        }
+        let mean = total / reps as f64;
+        assert!((mean - truth).abs() / truth < 0.03, "mean {mean} vs {truth}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut s = IncrementalGswSample::new(schema(), 1.0).unwrap();
+        assert!(s.insert_with_p(vec![0], vec![1.0], 0.0, 0.5).is_err());
+        assert!(s.insert_with_p(vec![0], vec![1.0], 1.0, 0.0).is_err());
+        assert!(s.insert_with_p(vec![0], vec![1.0], 1.0, 1.1).is_err());
+        assert!(IncrementalGswSample::new(schema(), -1.0).is_err());
+        assert!(IncrementalGswSample::new(schema(), f64::NAN).is_err());
+    }
+}

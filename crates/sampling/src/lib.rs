@@ -1,0 +1,58 @@
+//! # flashp-sampling
+//!
+//! Samplers and estimators for approximate aggregation — the technical
+//! core of FlashP (§4 of the paper).
+//!
+//! The star is **GSW (Generalized Smoothed Weighted) sampling**
+//! ([`gsw`]): every row `i` enters the sample independently with
+//! probability `w_i / (Δ + w_i)` for arbitrary positive weights `w`; the
+//! Horvitz–Thompson-style calibrated measure `m̂_i = m_i (Δ + w_i)/w_i`
+//! makes subset-sum estimates unbiased for *any* constraint chosen online.
+//! Weight choices ([`weights`]):
+//!
+//! * `w = m` — the **optimal GSW sampler** (Corollary 4, RSTD ≤ √(1/E|S|));
+//! * `w = arithmetic/geometric mean of several measures` — **compressed
+//!   GSW** (Corollaries 5–6), one sample serving many measures;
+//!
+//! with error behaviour governed by the *(θ, θ̄)-consistency* of weights
+//! and measures (Theorem 3, [`consistency`]).
+//!
+//! Baselines for the paper's experiments live alongside: uniform Bernoulli
+//! ([`uniform`]), priority [21] ([`priority`]), threshold [20]
+//! ([`threshold`]), plus the §7 extension samplers (stratified, universe).
+//! [`incremental`] maintains a GSW sample under row arrivals by raising Δ
+//! without touching unsampled rows (§4.1); [`multilayer`] keeps samples of
+//! several sizes for the response-time/accuracy tradeoff (§5);
+//! [`grouping`] partitions measures into compressed-sample groups via the
+//! KCENTER greedy algorithm on normalized L1 distance (§4.2).
+
+pub mod consistency;
+pub mod error;
+pub mod estimator;
+pub mod grouping;
+pub mod gsw;
+pub mod incremental;
+pub mod multilayer;
+pub mod priority;
+pub mod sample;
+pub mod sampler;
+pub mod stratified;
+pub mod threshold;
+pub mod uniform;
+pub mod universe;
+pub mod weights;
+
+pub use error::SamplingError;
+pub use estimator::{estimate_agg, Estimate};
+pub use grouping::{group_measures, MeasureGroups};
+pub use gsw::{delta_for_expected_size, GswSampler};
+pub use incremental::IncrementalGswSample;
+pub use multilayer::{LayerSelection, MultiLayerSamples};
+pub use priority::PrioritySampler;
+pub use sample::Sample;
+pub use sampler::{SampleSize, Sampler};
+pub use stratified::StratifiedSampler;
+pub use threshold::ThresholdSampler;
+pub use uniform::UniformSampler;
+pub use universe::UniverseSampler;
+pub use weights::WeightStrategy;

@@ -1,0 +1,174 @@
+//! Multi-layer samples (§5): the offline preprocessor stores samples of
+//! several sizes (increasing Δ ⇒ decreasing rate) per relation; the online
+//! service picks a layer per query for the response-time / accuracy
+//! tradeoff.
+
+use crate::sample::Sample;
+use flashp_storage::Timestamp;
+use std::collections::BTreeMap;
+
+/// One layer: all partitions sampled at a common nominal rate.
+#[derive(Debug)]
+pub struct Layer {
+    /// Nominal sampling rate of the layer (e.g. 0.001 for "0.1 %").
+    pub rate: f64,
+    samples: BTreeMap<Timestamp, Sample>,
+}
+
+impl Layer {
+    /// The sample for timestamp `t`, if present.
+    pub fn sample_at(&self, t: Timestamp) -> Option<&Sample> {
+        self.samples.get(&t)
+    }
+
+    /// Iterate `(t, sample)` in time order.
+    pub fn samples(&self) -> impl Iterator<Item = (Timestamp, &Sample)> {
+        self.samples.iter().map(|(t, s)| (*t, s))
+    }
+
+    /// Number of timestamps covered.
+    pub fn num_partitions(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Total bytes across all per-timestamp samples.
+    pub fn byte_size(&self) -> usize {
+        self.samples.values().map(Sample::byte_size).sum()
+    }
+
+    /// Total sampled rows across all timestamps.
+    pub fn total_rows(&self) -> usize {
+        self.samples.values().map(Sample::num_rows).sum()
+    }
+}
+
+/// How to choose a layer for a requested rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerSelection {
+    /// The cheapest (smallest-rate) layer whose rate is ≥ the request —
+    /// accuracy at least as good as asked, minimal work.
+    CheapestAdequate,
+    /// The layer whose rate is closest to the request (log-scale).
+    Closest,
+}
+
+/// A stack of sample layers for one relation.
+#[derive(Debug, Default)]
+pub struct MultiLayerSamples {
+    /// Layers sorted by rate, descending (largest/most accurate first).
+    layers: Vec<Layer>,
+}
+
+impl MultiLayerSamples {
+    /// Create with the given nominal rates (deduplicated, sorted
+    /// descending).
+    pub fn new(rates: &[f64]) -> Self {
+        let mut rates: Vec<f64> = rates.iter().copied().filter(|r| *r > 0.0 && *r <= 1.0).collect();
+        rates.sort_by(|a, b| b.partial_cmp(a).expect("finite rates"));
+        rates.dedup();
+        MultiLayerSamples {
+            layers: rates.into_iter().map(|rate| Layer { rate, samples: BTreeMap::new() }).collect(),
+        }
+    }
+
+    /// All layers, largest rate first.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Insert a sample for `(layer_rate, t)`; the layer must exist.
+    pub fn insert(&mut self, layer_rate: f64, t: Timestamp, sample: Sample) -> bool {
+        match self.layers.iter_mut().find(|l| l.rate == layer_rate) {
+            Some(layer) => {
+                layer.samples.insert(t, sample);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pick a layer for the requested rate.
+    pub fn select(&self, requested_rate: f64, policy: LayerSelection) -> Option<&Layer> {
+        if self.layers.is_empty() {
+            return None;
+        }
+        match policy {
+            LayerSelection::CheapestAdequate => self
+                .layers
+                .iter()
+                .filter(|l| l.rate >= requested_rate)
+                .last() // layers sorted descending → last adequate = smallest adequate
+                .or(self.layers.first()),
+            LayerSelection::Closest => self.layers.iter().min_by(|a, b| {
+                let da = (a.rate.ln() - requested_rate.ln()).abs();
+                let db = (b.rate.ln() - requested_rate.ln()).abs();
+                da.total_cmp(&db)
+            }),
+        }
+    }
+
+    /// Total bytes across all layers (Fig. 15's space cost).
+    pub fn byte_size(&self) -> usize {
+        self.layers.iter().map(Layer::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::MeasureScope;
+    use flashp_storage::{DataType, DimensionColumn, Partition, Schema};
+
+    fn dummy_sample(rows: usize) -> Sample {
+        let schema = Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let p = Partition::from_columns(
+            vec![DimensionColumn::Int64((0..rows as i64).collect())],
+            vec![vec![1.0; rows]],
+        )
+        .unwrap();
+        Sample::new(schema, p, vec![0.5; rows], rows * 2, "dummy", MeasureScope::All).unwrap()
+    }
+
+    #[test]
+    fn layers_sorted_descending_and_dedup() {
+        let ml = MultiLayerSamples::new(&[0.001, 0.01, 0.001, 1.0, -0.5]);
+        let rates: Vec<f64> = ml.layers().iter().map(|l| l.rate).collect();
+        assert_eq!(rates, vec![1.0, 0.01, 0.001]);
+    }
+
+    #[test]
+    fn cheapest_adequate_selection() {
+        let ml = MultiLayerSamples::new(&[1.0, 0.01, 0.001, 0.0002]);
+        assert_eq!(ml.select(0.001, LayerSelection::CheapestAdequate).unwrap().rate, 0.001);
+        assert_eq!(ml.select(0.005, LayerSelection::CheapestAdequate).unwrap().rate, 0.01);
+        assert_eq!(ml.select(0.5, LayerSelection::CheapestAdequate).unwrap().rate, 1.0);
+        // Larger than every layer: fall back to the most accurate.
+        assert_eq!(ml.select(2.0, LayerSelection::CheapestAdequate).unwrap().rate, 1.0);
+    }
+
+    #[test]
+    fn closest_selection_log_scale() {
+        let ml = MultiLayerSamples::new(&[0.01, 0.001]);
+        assert_eq!(ml.select(0.002, LayerSelection::Closest).unwrap().rate, 0.001);
+        assert_eq!(ml.select(0.006, LayerSelection::Closest).unwrap().rate, 0.01);
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut ml = MultiLayerSamples::new(&[0.01]);
+        let t = Timestamp(10);
+        assert!(ml.insert(0.01, t, dummy_sample(5)));
+        assert!(!ml.insert(0.5, t, dummy_sample(5)), "unknown layer rejected");
+        let layer = ml.select(0.01, LayerSelection::CheapestAdequate).unwrap();
+        assert_eq!(layer.sample_at(t).unwrap().num_rows(), 5);
+        assert_eq!(layer.num_partitions(), 1);
+        assert_eq!(layer.total_rows(), 5);
+        assert!(ml.byte_size() > 0);
+    }
+
+    #[test]
+    fn empty_stack_selects_none() {
+        let ml = MultiLayerSamples::new(&[]);
+        assert!(ml.select(0.01, LayerSelection::CheapestAdequate).is_none());
+    }
+}

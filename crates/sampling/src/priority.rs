@@ -1,0 +1,224 @@
+//! Priority sampling (Duffield–Lund–Thorup [21], shown essentially optimal
+//! by Szegedy [37]): draw `u_i ~ U(0,1)`, give row `i` priority
+//! `q_i = m_i/u_i`, keep the `k` highest-priority rows, and let τ be the
+//! (k+1)-st priority. The estimator `m̂_i = max(m_i, τ)` is unbiased with
+//! `RSTD ≤ √(1/(k−1))`.
+//!
+//! Within our unified [`Sample`] representation, `π_i = min(1, m_i/τ)` is
+//! the conditional inclusion probability given τ, so `m_i/π_i = max(m_i,τ)`
+//! recovers exactly the DLT estimator — and also yields (unbounded-error)
+//! estimates for *other* measures, the open question Theorem 3 answers for
+//! GSW.
+//!
+//! Note the sample is drawn *per measure*: with `d_m` measures to serve,
+//! `d_m` independent priority samples are required (the space-cost problem
+//! compressed GSW solves).
+
+use crate::error::SamplingError;
+use crate::gsw::gather_rows;
+use crate::sample::{MeasureScope, Sample};
+use crate::sampler::{SampleSize, Sampler};
+use flashp_storage::{Partition, SchemaRef};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Priority sampler for one measure, keeping a fixed number of rows.
+#[derive(Debug, Clone, Copy)]
+pub struct PrioritySampler {
+    measure: usize,
+    size: SampleSize,
+}
+
+impl PrioritySampler {
+    /// Priority sampler on `measure` with the given size (resolved per
+    /// partition; `Rate(r)` keeps `⌈r·n⌉` rows).
+    pub fn new(measure: usize, size: SampleSize) -> Self {
+        PrioritySampler { measure, size }
+    }
+
+    /// The measure this sample is drawn for.
+    pub fn measure(&self) -> usize {
+        self.measure
+    }
+}
+
+impl Sampler for PrioritySampler {
+    fn name(&self) -> String {
+        match self.size {
+            SampleSize::Rate(r) => format!("priority[m{}]@{r}", self.measure),
+            SampleSize::Expected(k) => format!("priority[m{}]#{k}", self.measure),
+        }
+    }
+
+    fn sample(
+        &self,
+        schema: &SchemaRef,
+        partition: &Partition,
+        rng: &mut StdRng,
+    ) -> Result<Sample, SamplingError> {
+        let n = partition.num_rows();
+        if self.measure >= partition.measures().len() {
+            return Err(SamplingError::BadMeasure {
+                index: self.measure,
+                num_measures: partition.measures().len(),
+            });
+        }
+        let k = self.size.resolve(n)?.round().max(1.0) as usize;
+        let m = partition.measure(self.measure);
+        if k >= n {
+            // Keep everything exactly.
+            let indices: Vec<usize> = (0..n).collect();
+            let rows = gather_rows(partition, &indices);
+            return Sample::new(
+                schema.clone(),
+                rows,
+                vec![1.0; n],
+                n,
+                self.name(),
+                MeasureScope::Single(self.measure),
+            );
+        }
+        // Priorities q_i = m_i / u_i; rows with m_i = 0 never qualify
+        // (they contribute nothing to the sum anyway).
+        let mut priorities: Vec<(f64, usize)> = m
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                (if v > 0.0 { v / u } else { 0.0 }, i)
+            })
+            .collect();
+        // Partial sort: highest k+1 priorities first.
+        priorities
+            .select_nth_unstable_by(k, |a, b| b.0.total_cmp(&a.0));
+        let tau = priorities[k].0; // (k+1)-st largest priority
+        let mut kept: Vec<usize> = priorities[..k]
+            .iter()
+            .filter(|(q, _)| *q > 0.0)
+            .map(|(_, i)| *i)
+            .collect();
+        kept.sort_unstable();
+        let pi: Vec<f64> = kept
+            .iter()
+            .map(|&i| if tau > 0.0 { (m[i] / tau).min(1.0) } else { 1.0 })
+            .collect();
+        let rows = gather_rows(partition, &kept);
+        Sample::new(schema.clone(), rows, pi, n, self.name(), MeasureScope::Single(self.measure))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashp_storage::{DataType, DimensionColumn, Schema};
+    use rand::SeedableRng;
+
+    fn setup(values: Vec<f64>) -> (SchemaRef, Partition) {
+        let schema =
+            Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let n = values.len();
+        let p = Partition::from_columns(
+            vec![DimensionColumn::Int64((0..n as i64).collect())],
+            vec![values],
+        )
+        .unwrap();
+        (schema, p)
+    }
+
+    #[test]
+    fn keeps_exactly_k_rows() {
+        let (schema, p) = setup((1..=1000).map(|i| i as f64).collect());
+        let sampler = PrioritySampler::new(0, SampleSize::Expected(50));
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+        assert_eq!(s.num_rows(), 50);
+    }
+
+    #[test]
+    fn small_population_kept_exactly() {
+        let (schema, p) = setup(vec![1.0, 2.0, 3.0]);
+        let sampler = PrioritySampler::new(0, SampleSize::Expected(10));
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+        assert_eq!(s.num_rows(), 3);
+        let est: f64 = (0..3).map(|r| s.calibrated(0, r)).sum();
+        assert_eq!(est, 6.0);
+    }
+
+    #[test]
+    fn unbiased_over_replications() {
+        // Heavy-tailed data: a few large values among many small.
+        let values: Vec<f64> =
+            (0..2000).map(|i| if i % 200 == 0 { 1000.0 } else { 1.0 }).collect();
+        let truth: f64 = values.iter().sum();
+        let (schema, p) = setup(values);
+        let sampler = PrioritySampler::new(0, SampleSize::Expected(100));
+        let mut total = 0.0;
+        let reps = 400;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+            total += (0..s.num_rows()).map(|r| s.calibrated(0, r)).sum::<f64>();
+        }
+        let mean = total / reps as f64;
+        assert!((mean - truth).abs() / truth < 0.03, "mean {mean} vs {truth}");
+    }
+
+    #[test]
+    fn rstd_is_near_theoretical_optimum() {
+        // RSTD ≤ sqrt(1/(k−1)) per Szegedy's theorem.
+        let values: Vec<f64> = (0..3000)
+            .map(|i| if i % 100 == 0 { 300.0 } else { 1.0 + (i % 7) as f64 })
+            .collect();
+        let truth: f64 = values.iter().sum();
+        let (schema, p) = setup(values);
+        let k = 101;
+        let sampler = PrioritySampler::new(0, SampleSize::Expected(k));
+        let reps = 300;
+        let mut sq = 0.0;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+            let est: f64 = (0..s.num_rows()).map(|r| s.calibrated(0, r)).sum();
+            sq += ((est - truth) / truth).powi(2);
+        }
+        let rstd = (sq / reps as f64).sqrt();
+        let bound = (1.0 / (k as f64 - 1.0)).sqrt();
+        assert!(rstd <= bound * 1.2, "rstd {rstd} vs bound {bound}");
+    }
+
+    #[test]
+    fn heavy_hitters_enter_deterministically() {
+        // A row with m ≥ τ is kept with π = 1 — the long-tail behaviour the
+        // paper notes can hurt when the tail misses the constraint.
+        let values: Vec<f64> = (0..500).map(|i| if i == 5 { 1e9 } else { 1.0 }).collect();
+        let (schema, p) = setup(values);
+        let sampler = PrioritySampler::new(0, SampleSize::Expected(20));
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+            let found =
+                (0..s.num_rows()).any(|r| s.rows().measure(0)[r] == 1e9);
+            assert!(found, "seed {seed}: heavy hitter missing");
+        }
+    }
+
+    #[test]
+    fn zero_rows_never_sampled() {
+        let values: Vec<f64> = (0..100).map(|i| if i < 50 { 0.0 } else { 1.0 }).collect();
+        let (schema, p) = setup(values);
+        let sampler = PrioritySampler::new(0, SampleSize::Expected(30));
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+        assert!((0..s.num_rows()).all(|r| s.rows().measure(0)[r] > 0.0));
+    }
+
+    #[test]
+    fn bad_measure_rejected() {
+        let (schema, p) = setup(vec![1.0; 10]);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(PrioritySampler::new(3, SampleSize::Expected(5))
+            .sample(&schema, &p, &mut rng)
+            .is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! The common sampler interface: offline, per-partition, independent of
+//! the online constraint `C` (the requirement stated at the top of §4).
+
+use crate::error::SamplingError;
+use crate::sample::Sample;
+use flashp_storage::{Partition, SchemaRef};
+use rand::rngs::StdRng;
+
+/// How large a sample to draw. The paper parameterizes GSW by Δ and
+/// reports sampling *rates*; both are supported, plus absolute sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleSize {
+    /// Expected fraction of the partition's rows, in (0, 1].
+    Rate(f64),
+    /// Expected number of rows.
+    Expected(usize),
+}
+
+impl SampleSize {
+    /// Resolve to an expected number of rows for a partition of `n` rows.
+    pub fn resolve(self, n: usize) -> Result<f64, SamplingError> {
+        match self {
+            SampleSize::Rate(r) => {
+                if !(r > 0.0 && r <= 1.0) {
+                    return Err(SamplingError::InvalidParam(format!(
+                        "sampling rate must be in (0,1], got {r}"
+                    )));
+                }
+                Ok(r * n as f64)
+            }
+            SampleSize::Expected(k) => {
+                if k == 0 {
+                    return Err(SamplingError::InvalidParam(
+                        "expected sample size must be >= 1".to_string(),
+                    ));
+                }
+                Ok((k as f64).min(n as f64))
+            }
+        }
+    }
+}
+
+/// An offline sampler: draws a [`Sample`] from one time partition. Drawing
+/// is independent across partitions — this is what gives the estimation
+/// noise `ε_t` its independence across time stamps (§3's second required
+/// property).
+pub trait Sampler {
+    /// Human-readable name (appears in experiment output).
+    fn name(&self) -> String;
+
+    /// Draw a sample from `partition` using the supplied RNG.
+    fn sample(
+        &self,
+        schema: &SchemaRef,
+        partition: &Partition,
+        rng: &mut StdRng,
+    ) -> Result<Sample, SamplingError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_rate() {
+        assert_eq!(SampleSize::Rate(0.1).resolve(1000).unwrap(), 100.0);
+        assert!(SampleSize::Rate(0.0).resolve(10).is_err());
+        assert!(SampleSize::Rate(1.5).resolve(10).is_err());
+        assert_eq!(SampleSize::Rate(1.0).resolve(10).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn resolve_expected_caps_at_population() {
+        assert_eq!(SampleSize::Expected(50).resolve(1000).unwrap(), 50.0);
+        assert_eq!(SampleSize::Expected(5000).resolve(1000).unwrap(), 1000.0);
+        assert!(SampleSize::Expected(0).resolve(10).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Stratified sampling — one of the §7 extension samplers ("they can also
+//! be used in our system"). Rows are stratified by the value of one
+//! dimension; each stratum gets a Bernoulli rate that guarantees small
+//! strata are not starved (protecting rare groups, the classic
+//! congressional-sample motivation [5]).
+
+use crate::error::SamplingError;
+use crate::gsw::gather_rows;
+use crate::sample::{MeasureScope, Sample};
+use crate::sampler::{SampleSize, Sampler};
+use flashp_storage::{Partition, SchemaRef};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Stratified Bernoulli sampler over a single dimension.
+#[derive(Debug, Clone)]
+pub struct StratifiedSampler {
+    dimension: usize,
+    size: SampleSize,
+    /// Minimum expected rows kept per stratum (before capping at the
+    /// stratum's population).
+    min_per_stratum: usize,
+}
+
+impl StratifiedSampler {
+    /// Stratify on `dimension` with a global expected `size`; every
+    /// stratum keeps at least `min_per_stratum` expected rows.
+    pub fn new(dimension: usize, size: SampleSize, min_per_stratum: usize) -> Self {
+        StratifiedSampler { dimension, size, min_per_stratum }
+    }
+}
+
+impl Sampler for StratifiedSampler {
+    fn name(&self) -> String {
+        format!("stratified[d{}]", self.dimension)
+    }
+
+    fn sample(
+        &self,
+        schema: &SchemaRef,
+        partition: &Partition,
+        rng: &mut StdRng,
+    ) -> Result<Sample, SamplingError> {
+        let n = partition.num_rows();
+        if self.dimension >= partition.dims().len() {
+            return Err(SamplingError::InvalidParam(format!(
+                "stratification dimension {} out of range",
+                self.dimension
+            )));
+        }
+        let target = self.size.resolve(n)?;
+        let col = partition.dim(self.dimension);
+        // Stratum sizes.
+        let mut strata: HashMap<i64, usize> = HashMap::new();
+        for i in 0..n {
+            *strata.entry(col.get_i64(i)).or_insert(0) += 1;
+        }
+        // Proportional allocation with a per-stratum floor.
+        let global_rate = (target / n.max(1) as f64).min(1.0);
+        let mut rates: HashMap<i64, f64> = HashMap::with_capacity(strata.len());
+        for (&key, &size) in &strata {
+            let proportional = global_rate * size as f64;
+            let budget = proportional.max(self.min_per_stratum as f64).min(size as f64);
+            rates.insert(key, (budget / size as f64).min(1.0));
+        }
+        let mut indices = Vec::new();
+        let mut pi = Vec::new();
+        for i in 0..n {
+            let rate = rates[&col.get_i64(i)];
+            if rate >= 1.0 || rng.gen::<f64>() < rate {
+                indices.push(i);
+                pi.push(rate.min(1.0));
+            }
+        }
+        let rows = gather_rows(partition, &indices);
+        Sample::new(schema.clone(), rows, pi, n, self.name(), MeasureScope::All)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::estimate_agg;
+    use flashp_storage::{AggFunc, DataType, DimensionColumn, Predicate, Schema};
+    use rand::SeedableRng;
+
+    /// 1000 rows in a big stratum (g=0), 10 rows in a tiny one (g=1).
+    fn setup() -> (SchemaRef, Partition) {
+        let schema = Schema::from_names(&[("g", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let n = 1010;
+        let p = Partition::from_columns(
+            vec![DimensionColumn::Int64((0..n as i64).map(|i| i64::from(i >= 1000)).collect())],
+            vec![(0..n).map(|i| if i >= 1000 { 100.0 } else { 1.0 }).collect()],
+        )
+        .unwrap();
+        (schema, p)
+    }
+
+    #[test]
+    fn small_strata_are_protected() {
+        let (schema, p) = setup();
+        let sampler = StratifiedSampler::new(0, SampleSize::Expected(50), 8);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+        let tiny = (0..s.num_rows()).filter(|&r| s.rows().dim(0).get_i64(r) == 1).count();
+        // Expected 8 of 10 tiny-stratum rows; binomial spread is small.
+        assert!(tiny >= 4, "tiny stratum only kept {tiny} rows");
+    }
+
+    #[test]
+    fn unbiased_for_group_restricted_sums() {
+        let (schema, p) = setup();
+        let pred = Predicate::eq("g", 1).compile(&schema, &[None]).unwrap();
+        let sampler = StratifiedSampler::new(0, SampleSize::Expected(100), 5);
+        let mut total = 0.0;
+        let reps = 300;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+            total += estimate_agg(&s, 0, &pred, AggFunc::Sum).unwrap().value;
+        }
+        let mean = total / reps as f64;
+        assert!((mean - 1000.0).abs() / 1000.0 < 0.05, "mean {mean} vs 1000");
+    }
+
+    #[test]
+    fn bad_dimension_rejected() {
+        let (schema, p) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(StratifiedSampler::new(9, SampleSize::Expected(10), 1)
+            .sample(&schema, &p, &mut rng)
+            .is_err());
+    }
+}

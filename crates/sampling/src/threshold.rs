@@ -1,0 +1,172 @@
+//! Threshold sampling (Duffield–Lund–Thorup [20]): Poisson sampling with
+//! `π_i = min(1, m_i/τ)` and HT estimator `m̂_i = max(m_i, τ)`. It is the
+//! Poisson (independent-inclusion) analogue of priority sampling and the
+//! direct ancestor of GSW's "smoothed" inclusion probabilities.
+
+use crate::error::SamplingError;
+use crate::gsw::gather_rows;
+use crate::sample::{MeasureScope, Sample};
+use crate::sampler::{SampleSize, Sampler};
+use flashp_storage::{Partition, SchemaRef};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Threshold sampler for one measure.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdSampler {
+    measure: usize,
+    size: SampleSize,
+}
+
+impl ThresholdSampler {
+    /// Threshold sampler on `measure`, with τ calibrated per partition so
+    /// the expected size matches `size`.
+    pub fn new(measure: usize, size: SampleSize) -> Self {
+        ThresholdSampler { measure, size }
+    }
+}
+
+/// Solve `Σ min(1, m_i/τ) = target` for τ (strictly decreasing in τ).
+pub fn tau_for_expected_size(measures: &[f64], target: f64) -> Result<f64, SamplingError> {
+    let n = measures.len() as f64;
+    if target <= 0.0 {
+        return Err(SamplingError::InvalidParam(format!(
+            "target expected size must be positive, got {target}"
+        )));
+    }
+    if target >= n {
+        return Ok(0.0); // τ = 0 keeps everything (π = 1)
+    }
+    let expected = |tau: f64| -> f64 { measures.iter().map(|m| (m / tau).min(1.0)).sum() };
+    let mut lo = 0.0f64;
+    let mut hi = measures.iter().copied().fold(1.0, f64::max).max(1e-12);
+    while expected(hi) > target {
+        hi *= 2.0;
+        if !hi.is_finite() {
+            return Err(SamplingError::InvalidParam("cannot bracket tau".to_string()));
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if expected(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+impl Sampler for ThresholdSampler {
+    fn name(&self) -> String {
+        match self.size {
+            SampleSize::Rate(r) => format!("threshold[m{}]@{r}", self.measure),
+            SampleSize::Expected(k) => format!("threshold[m{}]#{k}", self.measure),
+        }
+    }
+
+    fn sample(
+        &self,
+        schema: &SchemaRef,
+        partition: &Partition,
+        rng: &mut StdRng,
+    ) -> Result<Sample, SamplingError> {
+        let n = partition.num_rows();
+        if self.measure >= partition.measures().len() {
+            return Err(SamplingError::BadMeasure {
+                index: self.measure,
+                num_measures: partition.measures().len(),
+            });
+        }
+        let target = self.size.resolve(n)?;
+        let m = partition.measure(self.measure);
+        let tau = tau_for_expected_size(m, target)?;
+        let mut indices = Vec::new();
+        let mut pi = Vec::new();
+        for (i, &v) in m.iter().enumerate() {
+            let p = if tau == 0.0 { 1.0 } else { (v / tau).min(1.0) };
+            if p >= 1.0 || (p > 0.0 && rng.gen::<f64>() < p) {
+                indices.push(i);
+                pi.push(p.max(f64::MIN_POSITIVE).min(1.0));
+            }
+        }
+        let rows = gather_rows(partition, &indices);
+        Sample::new(schema.clone(), rows, pi, n, self.name(), MeasureScope::Single(self.measure))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashp_storage::{DataType, DimensionColumn, Schema};
+    use rand::SeedableRng;
+
+    fn setup(values: Vec<f64>) -> (SchemaRef, Partition) {
+        let schema =
+            Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let n = values.len();
+        let p = Partition::from_columns(
+            vec![DimensionColumn::Int64((0..n as i64).collect())],
+            vec![values],
+        )
+        .unwrap();
+        (schema, p)
+    }
+
+    #[test]
+    fn tau_calibration() {
+        let m: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let tau = tau_for_expected_size(&m, 10.0).unwrap();
+        let e: f64 = m.iter().map(|v| (v / tau).min(1.0)).sum();
+        assert!((e - 10.0).abs() < 0.01, "E = {e}");
+        assert_eq!(tau_for_expected_size(&m, 200.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rows_above_tau_always_included() {
+        let values: Vec<f64> = (0..500).map(|i| if i < 5 { 1e6 } else { 1.0 }).collect();
+        let (schema, p) = setup(values);
+        let sampler = ThresholdSampler::new(0, SampleSize::Expected(20));
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+        let big = (0..s.num_rows()).filter(|&r| s.rows().measure(0)[r] == 1e6).count();
+        assert_eq!(big, 5, "all five heavy rows must be present");
+    }
+
+    #[test]
+    fn unbiased_over_replications() {
+        let values: Vec<f64> =
+            (0..1000).map(|i| if i % 100 == 0 { 400.0 } else { 2.0 }).collect();
+        let truth: f64 = values.iter().sum();
+        let (schema, p) = setup(values);
+        let sampler = ThresholdSampler::new(0, SampleSize::Expected(80));
+        let mut total = 0.0;
+        let reps = 300;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+            total += (0..s.num_rows()).map(|r| s.calibrated(0, r)).sum::<f64>();
+        }
+        let mean = total / reps as f64;
+        assert!((mean - truth).abs() / truth < 0.02, "mean {mean} vs {truth}");
+    }
+
+    #[test]
+    fn calibrated_is_max_m_tau() {
+        // For included rows with m < τ, m̂ = m/π = τ.
+        let values: Vec<f64> = (0..200).map(|i| (i + 1) as f64).collect();
+        let (schema, p) = setup(values);
+        let sampler = ThresholdSampler::new(0, SampleSize::Expected(50));
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+        let mut small_calibrated: Vec<f64> = (0..s.num_rows())
+            .filter(|&r| s.inclusion_probabilities()[r] < 1.0)
+            .map(|r| s.calibrated(0, r))
+            .collect();
+        small_calibrated.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        assert!(
+            small_calibrated.len() <= 1,
+            "all below-threshold rows share m̂ = τ, got {small_calibrated:?}"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Uniform (Bernoulli) sampling with Horvitz–Thompson estimation — the
+//! baseline of the paper's experiments (also used by the PIM paper [7]).
+//! Its error bound is proportional to the *range* of the measure
+//! (max − min) [28], which is why it loses badly on heavy-tailed measures.
+
+use crate::error::SamplingError;
+use crate::gsw::gather_rows;
+use crate::sample::{MeasureScope, Sample};
+use crate::sampler::{SampleSize, Sampler};
+use flashp_storage::{Partition, SchemaRef};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniform Bernoulli sampler: every row is kept independently with the
+/// same probability.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformSampler {
+    size: SampleSize,
+}
+
+impl UniformSampler {
+    /// Sampler keeping an expected `size` worth of rows.
+    pub fn new(size: SampleSize) -> Self {
+        UniformSampler { size }
+    }
+
+    /// Sampler with a fixed rate in (0, 1].
+    pub fn with_rate(rate: f64) -> Self {
+        UniformSampler { size: SampleSize::Rate(rate) }
+    }
+}
+
+impl Sampler for UniformSampler {
+    fn name(&self) -> String {
+        match self.size {
+            SampleSize::Rate(r) => format!("uniform@{r}"),
+            SampleSize::Expected(k) => format!("uniform#{k}"),
+        }
+    }
+
+    fn sample(
+        &self,
+        schema: &SchemaRef,
+        partition: &Partition,
+        rng: &mut StdRng,
+    ) -> Result<Sample, SamplingError> {
+        let n = partition.num_rows();
+        let expected = self.size.resolve(n)?;
+        let rate = if n == 0 { 1.0 } else { (expected / n as f64).min(1.0) };
+        let mut indices = Vec::with_capacity(expected.ceil() as usize);
+        if rate >= 1.0 {
+            indices.extend(0..n);
+        } else {
+            for i in 0..n {
+                if rng.gen::<f64>() < rate {
+                    indices.push(i);
+                }
+            }
+        }
+        let pi = vec![rate.min(1.0); indices.len()];
+        let rows = gather_rows(partition, &indices);
+        Sample::new(schema.clone(), rows, pi, n, self.name(), MeasureScope::All)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashp_storage::{DataType, DimensionColumn, Schema};
+    use rand::SeedableRng;
+
+    fn setup(n: usize) -> (SchemaRef, Partition) {
+        let schema =
+            Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let p = Partition::from_columns(
+            vec![DimensionColumn::Int64((0..n as i64).collect())],
+            vec![(0..n).map(|i| (i + 1) as f64).collect()],
+        )
+        .unwrap();
+        (schema, p)
+    }
+
+    #[test]
+    fn rate_one_keeps_all() {
+        let (schema, p) = setup(100);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = UniformSampler::with_rate(1.0).sample(&schema, &p, &mut rng).unwrap();
+        assert_eq!(s.num_rows(), 100);
+        assert!(s.inclusion_probabilities().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn unbiased_over_replications() {
+        let (schema, p) = setup(5000);
+        let truth: f64 = p.measure(0).iter().sum();
+        let sampler = UniformSampler::with_rate(0.05);
+        let mut total = 0.0;
+        let reps = 300;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+            total += (0..s.num_rows()).map(|r| s.calibrated(0, r)).sum::<f64>();
+        }
+        let mean = total / reps as f64;
+        assert!((mean - truth).abs() / truth < 0.02, "mean {mean} vs {truth}");
+    }
+
+    #[test]
+    fn expected_size_resolves_to_rate() {
+        let (schema, p) = setup(1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = UniformSampler::new(SampleSize::Expected(100))
+            .sample(&schema, &p, &mut rng)
+            .unwrap();
+        assert!((s.num_rows() as f64 - 100.0).abs() < 60.0);
+        assert!(s.inclusion_probabilities().iter().all(|&x| (x - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        let (schema, p) = setup(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(UniformSampler::with_rate(0.0).sample(&schema, &p, &mut rng).is_err());
+        assert!(UniformSampler::with_rate(1.2).sample(&schema, &p, &mut rng).is_err());
+    }
+}

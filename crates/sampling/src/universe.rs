@@ -1,0 +1,146 @@
+//! Universe (hashed) sampling — the other §7 extension sampler: a row is
+//! kept iff the hash of its key dimension falls under the rate. All rows
+//! sharing a key value are kept or dropped *together*, which preserves
+//! join/group-by semantics across tables sampled with the same seed. The
+//! per-row HT factor is still `1/rate`, so subset sums remain unbiased
+//! (over the hash draw), though inclusion is correlated within keys and
+//! the Poisson variance estimator no longer applies exactly.
+
+use crate::error::SamplingError;
+use crate::gsw::gather_rows;
+use crate::sample::{MeasureScope, Sample};
+use crate::sampler::{SampleSize, Sampler};
+use flashp_storage::{Partition, SchemaRef};
+use rand::rngs::StdRng;
+
+/// Universe sampler keyed on one dimension.
+#[derive(Debug, Clone, Copy)]
+pub struct UniverseSampler {
+    key_dimension: usize,
+    size: SampleSize,
+    seed: u64,
+}
+
+impl UniverseSampler {
+    /// Sample rows whose key hashes below `size`'s rate. The same
+    /// `(key_dimension, seed)` yields coordinated samples across
+    /// partitions and tables.
+    pub fn new(key_dimension: usize, size: SampleSize, seed: u64) -> Self {
+        UniverseSampler { key_dimension, size, seed }
+    }
+}
+
+/// SplitMix64 — small, fast, well-distributed hash for coordinating
+/// inclusion decisions on key values.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Sampler for UniverseSampler {
+    fn name(&self) -> String {
+        format!("universe[d{}]", self.key_dimension)
+    }
+
+    fn sample(
+        &self,
+        schema: &SchemaRef,
+        partition: &Partition,
+        _rng: &mut StdRng,
+    ) -> Result<Sample, SamplingError> {
+        let n = partition.num_rows();
+        if self.key_dimension >= partition.dims().len() {
+            return Err(SamplingError::InvalidParam(format!(
+                "universe key dimension {} out of range",
+                self.key_dimension
+            )));
+        }
+        let target = self.size.resolve(n)?;
+        let rate = (target / n.max(1) as f64).min(1.0);
+        let cutoff = (rate * u64::MAX as f64) as u64;
+        let col = partition.dim(self.key_dimension);
+        let mut indices = Vec::new();
+        for i in 0..n {
+            let h = splitmix64(col.get_i64(i) as u64 ^ self.seed);
+            if rate >= 1.0 || h <= cutoff {
+                indices.push(i);
+            }
+        }
+        let pi = vec![rate.min(1.0); indices.len()];
+        let rows = gather_rows(partition, &indices);
+        Sample::new(schema.clone(), rows, pi, n, self.name(), MeasureScope::All)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashp_storage::{DataType, DimensionColumn, Schema};
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn setup(keys: Vec<i64>) -> (SchemaRef, Partition) {
+        let schema =
+            Schema::from_names(&[("user", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let n = keys.len();
+        let p = Partition::from_columns(
+            vec![DimensionColumn::Int64(keys)],
+            vec![vec![1.0; n]],
+        )
+        .unwrap();
+        (schema, p)
+    }
+
+    #[test]
+    fn same_key_rows_move_together() {
+        // 100 distinct keys, each appearing 5 times.
+        let keys: Vec<i64> = (0..500).map(|i| i % 100).collect();
+        let (schema, p) = setup(keys);
+        let sampler = UniverseSampler::new(0, SampleSize::Rate(0.3), 42);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = sampler.sample(&schema, &p, &mut rng).unwrap();
+        let kept: HashSet<i64> =
+            (0..s.num_rows()).map(|r| s.rows().dim(0).get_i64(r)).collect();
+        // Every kept key must appear exactly 5 times.
+        for key in kept {
+            let count =
+                (0..s.num_rows()).filter(|&r| s.rows().dim(0).get_i64(r) == key).count();
+            assert_eq!(count, 5, "key {key} fragmented");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let keys: Vec<i64> = (0..1000).collect();
+        let (schema, p) = setup(keys);
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = UniverseSampler::new(0, SampleSize::Rate(0.2), 7)
+            .sample(&schema, &p, &mut rng)
+            .unwrap();
+        let b = UniverseSampler::new(0, SampleSize::Rate(0.2), 7)
+            .sample(&schema, &p, &mut rng)
+            .unwrap();
+        assert_eq!(a.num_rows(), b.num_rows());
+        // Different seed → different selection (w.h.p.).
+        let c = UniverseSampler::new(0, SampleSize::Rate(0.2), 8)
+            .sample(&schema, &p, &mut rng)
+            .unwrap();
+        let a_keys: Vec<i64> = (0..a.num_rows()).map(|r| a.rows().dim(0).get_i64(r)).collect();
+        let c_keys: Vec<i64> = (0..c.num_rows()).map(|r| c.rows().dim(0).get_i64(r)).collect();
+        assert_ne!(a_keys, c_keys);
+    }
+
+    #[test]
+    fn rate_is_approximately_respected() {
+        let keys: Vec<i64> = (0..20_000).collect();
+        let (schema, p) = setup(keys);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = UniverseSampler::new(0, SampleSize::Rate(0.1), 3)
+            .sample(&schema, &p, &mut rng)
+            .unwrap();
+        let rate = s.num_rows() as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "rate = {rate}");
+    }
+}

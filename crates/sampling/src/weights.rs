@@ -1,0 +1,199 @@
+//! Sampling-weight strategies for GSW (§4.1–§4.2).
+//!
+//! GSW accepts *arbitrary positive* weights; the choice decides accuracy:
+//!
+//! * [`WeightStrategy::SingleMeasure`] — `w = m`, the optimal GSW sampler
+//!   of Corollary 4;
+//! * [`WeightStrategy::ArithmeticMean`] — `w⁺_i = (1/k) Σ_j m_i^{(j)}`
+//!   (Eq. 9), error bound √(δ²/E|S|) via the range deviation δ;
+//! * [`WeightStrategy::GeometricMean`] — `w×_i = (Π_j m_i^{(j)})^{1/k}`
+//!   (Eq. 7), error bound via the trend deviation ρ;
+//! * [`WeightStrategy::Constant`] — degenerate case: equal weights make
+//!   GSW a uniform Bernoulli sampler (useful as an ablation).
+//!
+//! Zero measures would give zero weight, i.e. zero inclusion probability —
+//! biased if the row's measure of interest is non-zero. The paper
+//! implicitly assumes positive measures; we clamp weights to a small
+//! positive floor and document the deviation (DESIGN.md §5).
+
+use crate::error::SamplingError;
+use flashp_storage::Partition;
+
+/// Lower bound applied to all computed weights; keeps inclusion
+/// probabilities positive for rows whose weight source is zero.
+pub const WEIGHT_FLOOR: f64 = 1e-9;
+
+/// How GSW sampling weights are derived from a partition's measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightStrategy {
+    /// `w_i = m_i^{(j)}` — optimal for measure `j` (Corollary 4).
+    SingleMeasure(usize),
+    /// Arithmetic mean of the listed measures (compressed GSW, Eq. 9).
+    ArithmeticMean(Vec<usize>),
+    /// Geometric mean of the listed measures (compressed GSW, Eq. 7).
+    GeometricMean(Vec<usize>),
+    /// Equal weight for every row (Bernoulli/uniform as a GSW special
+    /// case).
+    Constant,
+}
+
+impl WeightStrategy {
+    /// Short label used in sampler names.
+    pub fn label(&self) -> String {
+        match self {
+            WeightStrategy::SingleMeasure(j) => format!("opt[m{j}]"),
+            WeightStrategy::ArithmeticMean(g) => format!("arith{g:?}"),
+            WeightStrategy::GeometricMean(g) => format!("geo{g:?}"),
+            WeightStrategy::Constant => "const".to_string(),
+        }
+    }
+
+    /// The measure indices this strategy reads.
+    pub fn measures(&self) -> Vec<usize> {
+        match self {
+            WeightStrategy::SingleMeasure(j) => vec![*j],
+            WeightStrategy::ArithmeticMean(g) | WeightStrategy::GeometricMean(g) => g.clone(),
+            WeightStrategy::Constant => Vec::new(),
+        }
+    }
+
+    /// Compute per-row weights for `partition`, validating measure indices
+    /// and clamping to [`WEIGHT_FLOOR`].
+    pub fn compute(&self, partition: &Partition) -> Result<Vec<f64>, SamplingError> {
+        let n = partition.num_rows();
+        let num_measures = partition.measures().len();
+        for &j in &self.measures() {
+            if j >= num_measures {
+                return Err(SamplingError::BadMeasure { index: j, num_measures });
+            }
+        }
+        let mut w = vec![0.0; n];
+        match self {
+            WeightStrategy::Constant => {
+                w.iter_mut().for_each(|v| *v = 1.0);
+            }
+            WeightStrategy::SingleMeasure(j) => {
+                w.copy_from_slice(partition.measure(*j));
+            }
+            WeightStrategy::ArithmeticMean(group) => {
+                if group.is_empty() {
+                    return Err(SamplingError::InvalidParam(
+                        "arithmetic-mean weights need at least one measure".to_string(),
+                    ));
+                }
+                for &j in group {
+                    let col = partition.measure(j);
+                    for (acc, v) in w.iter_mut().zip(col) {
+                        *acc += v;
+                    }
+                }
+                let k = group.len() as f64;
+                w.iter_mut().for_each(|v| *v /= k);
+            }
+            WeightStrategy::GeometricMean(group) => {
+                if group.is_empty() {
+                    return Err(SamplingError::InvalidParam(
+                        "geometric-mean weights need at least one measure".to_string(),
+                    ));
+                }
+                // Work in log space: w_i = exp(mean_j ln m_i^{(j)}), with
+                // zero measures clamped to the floor first.
+                let mut log_sum = vec![0.0; n];
+                for &j in group {
+                    let col = partition.measure(j);
+                    for (acc, v) in log_sum.iter_mut().zip(col) {
+                        *acc += v.max(WEIGHT_FLOOR).ln();
+                    }
+                }
+                let k = group.len() as f64;
+                for (out, ls) in w.iter_mut().zip(&log_sum) {
+                    *out = (ls / k).exp();
+                }
+            }
+        }
+        for v in w.iter_mut() {
+            if !v.is_finite() || *v < WEIGHT_FLOOR {
+                *v = WEIGHT_FLOOR;
+            }
+        }
+        Ok(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashp_storage::{DimensionColumn, Partition};
+
+    fn partition(m1: Vec<f64>, m2: Vec<f64>) -> Partition {
+        let n = m1.len();
+        Partition::from_columns(
+            vec![DimensionColumn::Int64((0..n as i64).collect())],
+            vec![m1, m2],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_means() {
+        // §4.2: m(1) = [100,100,200,400], m(2) = [1,1,2,1].
+        let p = partition(vec![100.0, 100.0, 200.0, 400.0], vec![1.0, 1.0, 2.0, 1.0]);
+        let geo = WeightStrategy::GeometricMean(vec![0, 1]).compute(&p).unwrap();
+        let expect_geo = [10.0, 10.0, 20.0, 20.0];
+        for (a, b) in geo.iter().zip(expect_geo) {
+            assert!((a - b).abs() < 1e-6, "geo {a} vs {b}");
+        }
+        let arith = WeightStrategy::ArithmeticMean(vec![0, 1]).compute(&p).unwrap();
+        let expect_arith = [50.5, 50.5, 101.0, 200.5];
+        for (a, b) in arith.iter().zip(expect_arith) {
+            assert!((a - b).abs() < 1e-9, "arith {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn single_measure_copies() {
+        let p = partition(vec![5.0, 7.0], vec![1.0, 1.0]);
+        let w = WeightStrategy::SingleMeasure(0).compute(&p).unwrap();
+        assert_eq!(w, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn constant_is_uniform() {
+        let p = partition(vec![5.0, 7.0], vec![1.0, 1.0]);
+        let w = WeightStrategy::Constant.compute(&p).unwrap();
+        assert_eq!(w, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_measures_get_floor() {
+        let p = partition(vec![0.0, 10.0], vec![0.0, 0.0]);
+        let w = WeightStrategy::SingleMeasure(0).compute(&p).unwrap();
+        assert_eq!(w[0], WEIGHT_FLOOR);
+        assert_eq!(w[1], 10.0);
+        let w = WeightStrategy::GeometricMean(vec![0, 1]).compute(&p).unwrap();
+        assert!(w.iter().all(|v| *v >= WEIGHT_FLOOR));
+    }
+
+    #[test]
+    fn bad_measure_index_rejected() {
+        let p = partition(vec![1.0], vec![1.0]);
+        assert!(WeightStrategy::SingleMeasure(5).compute(&p).is_err());
+        assert!(WeightStrategy::ArithmeticMean(vec![]).compute(&p).is_err());
+        assert!(WeightStrategy::GeometricMean(vec![9]).compute(&p).is_err());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            WeightStrategy::SingleMeasure(0),
+            WeightStrategy::ArithmeticMean(vec![0, 1]),
+            WeightStrategy::GeometricMean(vec![0, 1]),
+            WeightStrategy::Constant,
+        ]
+        .iter()
+        .map(|s| s.label())
+        .collect();
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

@@ -1,0 +1,151 @@
+//! SUM / COUNT / AVG aggregation over (masked) partitions — the inner loop
+//! of the per-timestamp aggregation queries in Eq. (4) of the paper.
+
+use crate::bitmask::Bitmask;
+use crate::partition::Partition;
+use std::fmt;
+
+/// Aggregate function of a forecasting task. The paper's primary target is
+/// `SUM`; `COUNT` and `AVG` are also supported (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Sum,
+    Count,
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Avg => "AVG",
+        }
+    }
+
+    /// Parse a (case-insensitive) SQL name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "SUM" => Some(AggFunc::Sum),
+            "COUNT" => Some(AggFunc::Count),
+            "AVG" => Some(AggFunc::Avg),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Running sum + count, combinable across partitions/threads, finalized
+/// into any [`AggFunc`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AggState {
+    pub sum: f64,
+    pub count: u64,
+}
+
+impl AggState {
+    /// Merge another partial state into this one.
+    pub fn merge(&mut self, other: AggState) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Finalize into the requested aggregate. `AVG` of zero rows is `NaN`
+    /// (there is no meaningful value), matching SQL's `NULL` semantics as
+    /// closely as a float can.
+    pub fn finalize(&self, func: AggFunc) -> f64 {
+        match func {
+            AggFunc::Sum => self.sum,
+            AggFunc::Count => self.count as f64,
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+        }
+    }
+}
+
+/// Aggregate measure `measure_idx` over the rows selected by `mask`.
+pub fn aggregate_masked(partition: &Partition, measure_idx: usize, mask: &Bitmask) -> AggState {
+    let values = partition.measure(measure_idx);
+    debug_assert_eq!(values.len(), mask.len());
+    let mut state = AggState::default();
+    for i in mask.iter_ones() {
+        state.sum += values[i];
+        state.count += 1;
+    }
+    state
+}
+
+/// Aggregate measure `measure_idx` over all rows of the partition.
+pub fn aggregate_all(partition: &Partition, measure_idx: usize) -> AggState {
+    let values = partition.measure(measure_idx);
+    AggState { sum: values.iter().sum(), count: values.len() as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DimensionColumn;
+
+    fn partition(measure: Vec<f64>) -> Partition {
+        let n = measure.len();
+        Partition::from_columns(
+            vec![DimensionColumn::Int64((0..n as i64).collect())],
+            vec![measure],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn masked_sum_and_count() {
+        let p = partition(vec![5.0, 1.0, 10.0, 20.0]);
+        let mut mask = Bitmask::zeros(4);
+        mask.set(0);
+        mask.set(2);
+        let s = aggregate_masked(&p, 0, &mask);
+        assert_eq!(s.finalize(AggFunc::Sum), 15.0);
+        assert_eq!(s.finalize(AggFunc::Count), 2.0);
+        assert_eq!(s.finalize(AggFunc::Avg), 7.5);
+    }
+
+    #[test]
+    fn empty_avg_is_nan() {
+        let p = partition(vec![5.0]);
+        let mask = Bitmask::zeros(1);
+        let s = aggregate_masked(&p, 0, &mask);
+        assert_eq!(s.finalize(AggFunc::Sum), 0.0);
+        assert!(s.finalize(AggFunc::Avg).is_nan());
+    }
+
+    #[test]
+    fn merge_is_associative_enough() {
+        let mut a = AggState { sum: 1.0, count: 2 };
+        a.merge(AggState { sum: 3.0, count: 4 });
+        assert_eq!(a, AggState { sum: 4.0, count: 6 });
+    }
+
+    #[test]
+    fn aggregate_all_matches_full_mask() {
+        let p = partition(vec![1.0, 2.0, 3.0]);
+        let all = aggregate_all(&p, 0);
+        let masked = aggregate_masked(&p, 0, &Bitmask::ones(3));
+        assert_eq!(all, masked);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(AggFunc::parse("sum"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::parse("CoUnT"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::parse("median"), None);
+    }
+}

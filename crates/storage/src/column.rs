@@ -1,0 +1,274 @@
+//! Columnar storage for dimension values.
+//!
+//! Numeric dimensions are stored in tightly packed vectors; categorical
+//! dimensions are dictionary-encoded with the dictionary owned at the table
+//! level (shared across partitions) so that a string predicate is resolved
+//! to a code once per query rather than once per row.
+
+use crate::error::StorageError;
+use crate::types::{DataType, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Dictionary mapping strings to dense `u32` codes for one categorical
+/// column. Shared across all partitions of a table.
+#[derive(Debug, Default)]
+pub struct Dictionary {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Code for `value`, inserting it if unseen.
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&code) = self.index.get(value) {
+            return code;
+        }
+        let code = self.values.len() as u32;
+        self.values.push(value.to_string());
+        self.index.insert(value.to_string(), code);
+        code
+    }
+
+    /// Code for `value` if present (read-only lookup for predicates).
+    pub fn lookup(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// String for `code`.
+    pub fn value(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct values interned so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Shared dictionary handle; `None` slots in a table's dictionary vector
+/// correspond to non-categorical dimensions.
+pub type DictionaryRef = Arc<Dictionary>;
+
+/// One dimension column within a partition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DimensionColumn {
+    UInt8(Vec<u8>),
+    UInt16(Vec<u16>),
+    Int64(Vec<i64>),
+    /// Dictionary codes; the dictionary itself lives on the table.
+    Dict(Vec<u32>),
+}
+
+impl DimensionColumn {
+    /// Create an empty column of the given type.
+    pub fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::UInt8 => DimensionColumn::UInt8(Vec::new()),
+            DataType::UInt16 => DimensionColumn::UInt16(Vec::new()),
+            DataType::Int64 => DimensionColumn::Int64(Vec::new()),
+            DataType::Categorical => DimensionColumn::Dict(Vec::new()),
+        }
+    }
+
+    /// Create an empty column with room for `capacity` rows.
+    pub fn with_capacity(dtype: DataType, capacity: usize) -> Self {
+        match dtype {
+            DataType::UInt8 => DimensionColumn::UInt8(Vec::with_capacity(capacity)),
+            DataType::UInt16 => DimensionColumn::UInt16(Vec::with_capacity(capacity)),
+            DataType::Int64 => DimensionColumn::Int64(Vec::with_capacity(capacity)),
+            DataType::Categorical => DimensionColumn::Dict(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// The column's logical type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            DimensionColumn::UInt8(_) => DataType::UInt8,
+            DimensionColumn::UInt16(_) => DataType::UInt16,
+            DimensionColumn::Int64(_) => DataType::Int64,
+            DimensionColumn::Dict(_) => DataType::Categorical,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            DimensionColumn::UInt8(v) => v.len(),
+            DimensionColumn::UInt16(v) => v.len(),
+            DimensionColumn::Int64(v) => v.len(),
+            DimensionColumn::Dict(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a numeric value, checking range for narrow types.
+    pub fn push_int(&mut self, name: &str, v: i64) -> Result<(), StorageError> {
+        match self {
+            DimensionColumn::UInt8(col) => {
+                let v = u8::try_from(v).map_err(|_| StorageError::TypeMismatch {
+                    column: name.to_string(),
+                    expected: "uint8",
+                    got: v.to_string(),
+                })?;
+                col.push(v);
+            }
+            DimensionColumn::UInt16(col) => {
+                let v = u16::try_from(v).map_err(|_| StorageError::TypeMismatch {
+                    column: name.to_string(),
+                    expected: "uint16",
+                    got: v.to_string(),
+                })?;
+                col.push(v);
+            }
+            DimensionColumn::Int64(col) => col.push(v),
+            DimensionColumn::Dict(_) => {
+                return Err(StorageError::TypeMismatch {
+                    column: name.to_string(),
+                    expected: "categorical",
+                    got: v.to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a pre-interned dictionary code.
+    pub fn push_code(&mut self, name: &str, code: u32) -> Result<(), StorageError> {
+        match self {
+            DimensionColumn::Dict(col) => {
+                col.push(code);
+                Ok(())
+            }
+            other => Err(StorageError::TypeMismatch {
+                column: name.to_string(),
+                expected: "numeric",
+                got: format!("code {} into {}", code, other.dtype()),
+            }),
+        }
+    }
+
+    /// Numeric value of row `i` widened to `i64` (codes for dict columns).
+    #[inline]
+    pub fn get_i64(&self, i: usize) -> i64 {
+        match self {
+            DimensionColumn::UInt8(v) => i64::from(v[i]),
+            DimensionColumn::UInt16(v) => i64::from(v[i]),
+            DimensionColumn::Int64(v) => v[i],
+            DimensionColumn::Dict(v) => i64::from(v[i]),
+        }
+    }
+
+    /// Render row `i` using the dictionary where needed.
+    pub fn display_value(&self, i: usize, dict: Option<&Dictionary>) -> Value {
+        match self {
+            DimensionColumn::Dict(v) => {
+                let code = v[i];
+                match dict.and_then(|d| d.value(code)) {
+                    Some(s) => Value::Str(s.to_string()),
+                    None => Value::Int(i64::from(code)),
+                }
+            }
+            _ => Value::Int(self.get_i64(i)),
+        }
+    }
+
+    /// Approximate heap footprint in bytes (for space-cost experiments).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            DimensionColumn::UInt8(v) => v.len(),
+            DimensionColumn::UInt16(v) => v.len() * 2,
+            DimensionColumn::Int64(v) => v.len() * 8,
+            DimensionColumn::Dict(v) => v.len() * 4,
+        }
+    }
+
+    /// Gather rows at `indices` into a new column (used when materializing
+    /// samples).
+    pub fn gather(&self, indices: &[usize]) -> DimensionColumn {
+        match self {
+            DimensionColumn::UInt8(v) => {
+                DimensionColumn::UInt8(indices.iter().map(|&i| v[i]).collect())
+            }
+            DimensionColumn::UInt16(v) => {
+                DimensionColumn::UInt16(indices.iter().map(|&i| v[i]).collect())
+            }
+            DimensionColumn::Int64(v) => {
+                DimensionColumn::Int64(indices.iter().map(|&i| v[i]).collect())
+            }
+            DimensionColumn::Dict(v) => {
+                DimensionColumn::Dict(indices.iter().map(|&i| v[i]).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_interning() {
+        let mut d = Dictionary::new();
+        let f = d.intern("F");
+        let m = d.intern("M");
+        assert_eq!(d.intern("F"), f);
+        assert_ne!(f, m);
+        assert_eq!(d.lookup("M"), Some(m));
+        assert_eq!(d.lookup("X"), None);
+        assert_eq!(d.value(f), Some("F"));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn push_and_get_numeric() {
+        let mut c = DimensionColumn::new(DataType::UInt8);
+        c.push_int("Age", 30).unwrap();
+        c.push_int("Age", 255).unwrap();
+        assert!(c.push_int("Age", 256).is_err());
+        assert!(c.push_int("Age", -1).is_err());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get_i64(0), 30);
+        assert_eq!(c.get_i64(1), 255);
+    }
+
+    #[test]
+    fn type_confusion_rejected() {
+        let mut c = DimensionColumn::new(DataType::Categorical);
+        assert!(c.push_int("Gender", 1).is_err());
+        c.push_code("Gender", 0).unwrap();
+        let mut n = DimensionColumn::new(DataType::Int64);
+        assert!(n.push_code("x", 0).is_err());
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let mut c = DimensionColumn::new(DataType::Int64);
+        for v in [10, 20, 30, 40] {
+            c.push_int("x", v).unwrap();
+        }
+        let g = c.gather(&[3, 1]);
+        assert_eq!(g.get_i64(0), 40);
+        assert_eq!(g.get_i64(1), 20);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        let mut c = DimensionColumn::new(DataType::UInt16);
+        c.push_int("x", 5).unwrap();
+        c.push_int("x", 6).unwrap();
+        assert_eq!(c.byte_size(), 4);
+    }
+}

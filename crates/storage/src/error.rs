@@ -1,0 +1,64 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors raised by storage operations (schema violations, unknown columns,
+/// type mismatches, malformed timestamps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A column name was not found in the schema.
+    UnknownColumn(String),
+    /// A column index was out of range for the schema.
+    ColumnIndexOutOfRange { index: usize, len: usize },
+    /// A value's type does not match the column's declared type.
+    TypeMismatch { column: String, expected: &'static str, got: String },
+    /// A row batch had mismatched column lengths.
+    LengthMismatch { expected: usize, got: usize },
+    /// A date literal could not be parsed (e.g. month 13).
+    InvalidDate(String),
+    /// The requested partition does not exist.
+    NoSuchPartition(i64),
+    /// A comparison operator is not supported on this column type
+    /// (e.g. `<` on a dictionary-encoded categorical column).
+    UnsupportedOperation(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            StorageError::ColumnIndexOutOfRange { index, len } => {
+                write!(f, "column index {index} out of range (schema has {len})")
+            }
+            StorageError::TypeMismatch { column, expected, got } => {
+                write!(f, "type mismatch on column {column}: expected {expected}, got {got}")
+            }
+            StorageError::LengthMismatch { expected, got } => {
+                write!(f, "column length mismatch: expected {expected}, got {got}")
+            }
+            StorageError::InvalidDate(s) => write!(f, "invalid date literal: {s}"),
+            StorageError::NoSuchPartition(t) => write!(f, "no partition for timestamp {t}"),
+            StorageError::UnsupportedOperation(msg) => write!(f, "unsupported operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::UnknownColumn("Age".into());
+        assert!(e.to_string().contains("Age"));
+        let e = StorageError::TypeMismatch {
+            column: "Gender".into(),
+            expected: "categorical",
+            got: "Int(3)".into(),
+        };
+        assert!(e.to_string().contains("Gender"));
+        assert!(e.to_string().contains("categorical"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # flashp-storage
+//!
+//! Columnar, time-partitioned storage for time series of relational data —
+//! the substrate FlashP (VLDB 2021) runs on.
+//!
+//! A [`TimeSeriesTable`] models the paper's relation
+//! `T(a(1), …, a(da); m(1), …, m(dm); t)`: every row belongs to exactly one
+//! time partition `t`, carries dimension values used for filtering and
+//! measure values that are aggregated and forecast. Partitioning by time is
+//! what lets the 91 per-day aggregation queries of Fig. 2 be answered with a
+//! single pass, and what lets samples be drawn and maintained per partition.
+//!
+//! The crate provides:
+//! * compact dimension columns ([`column`]) with dictionary encoding for
+//!   strings,
+//! * a predicate language ([`predicate`]) matching the constraint class `C`
+//!   of the paper (any logical expression over dimension values),
+//! * vectorized predicate evaluation into [`bitmask::Bitmask`]es,
+//! * SUM / COUNT / AVG aggregation ([`aggregate`]) per partition and over
+//!   time ranges, with parallel partition scans ([`scan`]),
+//! * zone-map statistics ([`stats`]) for partition pruning,
+//! * calendar-aware [`timestamp::Timestamp`]s (`YYYYMMDD` literal support).
+
+pub mod aggregate;
+pub mod bitmask;
+pub mod column;
+pub mod error;
+pub mod parallel;
+pub mod partition;
+pub mod predicate;
+pub mod scan;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod timestamp;
+pub mod types;
+
+pub use aggregate::{AggFunc, AggState};
+pub use bitmask::Bitmask;
+pub use column::{DimensionColumn, Dictionary};
+pub use error::StorageError;
+pub use partition::{Partition, PartitionBuilder};
+pub use predicate::{CmpOp, CompiledPredicate, Predicate};
+pub use scan::{aggregate_range, selectivity_range, ScanOptions};
+pub use schema::{DimensionDef, MeasureDef, Schema, SchemaRef};
+pub use table::TimeSeriesTable;
+pub use timestamp::{Date, Timestamp};
+pub use types::{DataType, Value};

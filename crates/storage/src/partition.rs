@@ -1,0 +1,259 @@
+//! Time partitions: all rows observed at one timestamp.
+
+use crate::column::{Dictionary, DimensionColumn};
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::stats::ZoneMaps;
+use crate::types::Value;
+
+/// The rows of one time partition in columnar form: one
+/// [`DimensionColumn`] per dimension and one dense `f64` vector per
+/// measure. Partitions are immutable once inserted into a table except via
+/// [`Partition::push_row`], which the table uses for row-level ingestion.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    dims: Vec<DimensionColumn>,
+    measures: Vec<Vec<f64>>,
+    num_rows: usize,
+    zone_maps: ZoneMaps,
+}
+
+impl Partition {
+    /// An empty partition shaped like `schema`.
+    pub fn empty(schema: &Schema) -> Self {
+        Partition {
+            dims: schema.dimensions().iter().map(|d| DimensionColumn::new(d.dtype)).collect(),
+            measures: vec![Vec::new(); schema.num_measures()],
+            num_rows: 0,
+            zone_maps: ZoneMaps::empty(schema.num_dimensions()),
+        }
+    }
+
+    /// Assemble a partition from pre-built columns. All columns must have
+    /// equal length.
+    pub fn from_columns(
+        dims: Vec<DimensionColumn>,
+        measures: Vec<Vec<f64>>,
+    ) -> Result<Self, StorageError> {
+        let num_rows = dims.first().map(|c| c.len()).or_else(|| measures.first().map(|m| m.len())).unwrap_or(0);
+        for c in &dims {
+            if c.len() != num_rows {
+                return Err(StorageError::LengthMismatch { expected: num_rows, got: c.len() });
+            }
+        }
+        for m in &measures {
+            if m.len() != num_rows {
+                return Err(StorageError::LengthMismatch { expected: num_rows, got: m.len() });
+            }
+        }
+        let zone_maps = ZoneMaps::compute(&dims);
+        Ok(Partition { dims, measures, num_rows, zone_maps })
+    }
+
+    /// Number of rows in this partition (the paper's per-timestamp `N`).
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.num_rows == 0
+    }
+
+    /// Dimension column `idx`.
+    pub fn dim(&self, idx: usize) -> &DimensionColumn {
+        &self.dims[idx]
+    }
+
+    /// All dimension columns.
+    pub fn dims(&self) -> &[DimensionColumn] {
+        &self.dims
+    }
+
+    /// Measure column `idx` (`m(idx)` in the paper).
+    pub fn measure(&self, idx: usize) -> &[f64] {
+        &self.measures[idx]
+    }
+
+    /// All measure columns.
+    pub fn measures(&self) -> &[Vec<f64>] {
+        &self.measures
+    }
+
+    /// Zone maps (per-dimension min/max) for partition pruning.
+    pub fn zone_maps(&self) -> &ZoneMaps {
+        &self.zone_maps
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.dims.iter().map(|c| c.byte_size()).sum::<usize>() + self.measures.len() * self.num_rows * 8
+    }
+
+    /// Append one row. `dims` must match the schema's dimension order and
+    /// `measures` its measure order; categorical values are interned into
+    /// `dicts`.
+    pub fn push_row(
+        &mut self,
+        schema: &Schema,
+        dicts: &mut [Option<Dictionary>],
+        dims: &[Value],
+        measures: &[f64],
+    ) -> Result<(), StorageError> {
+        if dims.len() != schema.num_dimensions() {
+            return Err(StorageError::LengthMismatch {
+                expected: schema.num_dimensions(),
+                got: dims.len(),
+            });
+        }
+        if measures.len() != schema.num_measures() {
+            return Err(StorageError::LengthMismatch {
+                expected: schema.num_measures(),
+                got: measures.len(),
+            });
+        }
+        for (i, (col, value)) in self.dims.iter_mut().zip(dims).enumerate() {
+            let name = &schema.dimensions()[i].name;
+            match value {
+                Value::Int(v) => col.push_int(name, *v)?,
+                Value::Str(s) => {
+                    let dict = dicts[i].get_or_insert_with(Dictionary::new);
+                    let code = dict.intern(s);
+                    col.push_code(name, code)?;
+                }
+            }
+        }
+        for (col, v) in self.measures.iter_mut().zip(measures) {
+            col.push(*v);
+        }
+        self.num_rows += 1;
+        self.zone_maps.observe_row(&self.dims, self.num_rows - 1);
+        Ok(())
+    }
+}
+
+/// Bulk columnar builder for a partition — the fast path used by data
+/// generators and samplers. Rows are appended column-at-a-time or
+/// row-at-a-time with pre-interned codes.
+#[derive(Debug)]
+pub struct PartitionBuilder {
+    dims: Vec<DimensionColumn>,
+    measures: Vec<Vec<f64>>,
+    num_rows: usize,
+}
+
+impl PartitionBuilder {
+    /// New builder shaped like `schema`, pre-allocating `capacity` rows.
+    pub fn with_capacity(schema: &Schema, capacity: usize) -> Self {
+        PartitionBuilder {
+            dims: schema
+                .dimensions()
+                .iter()
+                .map(|d| DimensionColumn::with_capacity(d.dtype, capacity))
+                .collect(),
+            measures: vec![Vec::with_capacity(capacity); schema.num_measures()],
+            num_rows: 0,
+        }
+    }
+
+    /// Append one row of raw numeric dimension values (dictionary codes for
+    /// categorical columns) and measures. The caller is responsible for
+    /// having interned any categorical codes beforehand.
+    pub fn push_raw_row(&mut self, dim_values: &[i64], measures: &[f64]) -> Result<(), StorageError> {
+        if dim_values.len() != self.dims.len() {
+            return Err(StorageError::LengthMismatch { expected: self.dims.len(), got: dim_values.len() });
+        }
+        if measures.len() != self.measures.len() {
+            return Err(StorageError::LengthMismatch { expected: self.measures.len(), got: measures.len() });
+        }
+        for (col, &v) in self.dims.iter_mut().zip(dim_values) {
+            match col {
+                DimensionColumn::Dict(_) => {
+                    let code = u32::try_from(v).map_err(|_| StorageError::TypeMismatch {
+                        column: "<raw>".to_string(),
+                        expected: "u32 code",
+                        got: v.to_string(),
+                    })?;
+                    col.push_code("<raw>", code)?;
+                }
+                _ => col.push_int("<raw>", v)?,
+            }
+        }
+        for (col, &v) in self.measures.iter_mut().zip(measures) {
+            col.push(v);
+        }
+        self.num_rows += 1;
+        Ok(())
+    }
+
+    /// Rows appended so far.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Finish, computing zone maps.
+    pub fn finish(self) -> Partition {
+        let zone_maps = ZoneMaps::compute(&self.dims);
+        Partition { dims: self.dims, measures: self.measures, num_rows: self.num_rows, zone_maps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_names(
+            &[("Age", DataType::UInt8), ("Gender", DataType::Categorical)],
+            &["Impression", "ViewTime"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_row_interns_and_counts() {
+        let s = schema();
+        let mut dicts: Vec<Option<Dictionary>> = vec![None, None];
+        let mut p = Partition::empty(&s);
+        p.push_row(&s, &mut dicts, &[Value::Int(30), Value::from("F")], &[5.0, 1.6]).unwrap();
+        p.push_row(&s, &mut dicts, &[Value::Int(60), Value::from("M")], &[1.0, 1.8]).unwrap();
+        p.push_row(&s, &mut dicts, &[Value::Int(20), Value::from("F")], &[10.0, 3.2]).unwrap();
+        assert_eq!(p.num_rows(), 3);
+        assert_eq!(p.measure(0), &[5.0, 1.0, 10.0]);
+        // "F" interned once.
+        assert_eq!(dicts[1].as_ref().unwrap().len(), 2);
+        assert_eq!(p.dim(1).get_i64(0), p.dim(1).get_i64(2));
+    }
+
+    #[test]
+    fn push_row_validates_arity() {
+        let s = schema();
+        let mut dicts: Vec<Option<Dictionary>> = vec![None, None];
+        let mut p = Partition::empty(&s);
+        assert!(p.push_row(&s, &mut dicts, &[Value::Int(30)], &[5.0, 1.6]).is_err());
+        assert!(p
+            .push_row(&s, &mut dicts, &[Value::Int(30), Value::from("F")], &[5.0])
+            .is_err());
+    }
+
+    #[test]
+    fn builder_bulk_path() {
+        let s = schema();
+        let mut b = PartitionBuilder::with_capacity(&s, 4);
+        b.push_raw_row(&[30, 0], &[5.0, 1.6]).unwrap();
+        b.push_raw_row(&[60, 1], &[1.0, 1.8]).unwrap();
+        let p = b.finish();
+        assert_eq!(p.num_rows(), 2);
+        assert_eq!(p.zone_maps().range(0), Some((30, 60)));
+    }
+
+    #[test]
+    fn from_columns_validates_lengths() {
+        let dims = vec![DimensionColumn::Int64(vec![1, 2, 3])];
+        let bad = vec![vec![1.0, 2.0]];
+        assert!(Partition::from_columns(dims.clone(), bad).is_err());
+        let ok = vec![vec![1.0, 2.0, 3.0]];
+        let p = Partition::from_columns(dims, ok).unwrap();
+        assert_eq!(p.num_rows(), 3);
+    }
+}

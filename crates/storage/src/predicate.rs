@@ -1,0 +1,531 @@
+//! The constraint language `C` of forecasting tasks.
+//!
+//! A [`Predicate`] is any logical expression over dimension values — the
+//! exact class the paper allows in `FORECAST … WHERE C` (Eq. 1). Before
+//! evaluation a predicate is *compiled* against a table: names resolve to
+//! column indices, string literals resolve to dictionary codes, and
+//! type/operator compatibility is checked once. The resulting
+//! [`CompiledPredicate`] evaluates vectorized into a [`Bitmask`] and can be
+//! shared across partitions and samples of the same table.
+
+use crate::bitmask::Bitmask;
+use crate::column::{Dictionary, DimensionColumn};
+use crate::error::StorageError;
+use crate::partition::Partition;
+use crate::schema::Schema;
+use crate::stats::ZoneMaps;
+use crate::types::{DataType, Value};
+use std::fmt;
+
+/// Comparison operators supported in constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// SQL spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    #[inline]
+    fn apply(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// An unbound constraint over dimension names, e.g.
+/// `Age <= 30 AND Gender = 'F'`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `column op literal`.
+    Cmp { column: String, op: CmpOp, value: Value },
+    /// `column IN (v1, v2, …)`.
+    In { column: String, values: Vec<Value> },
+    /// Conjunction; empty conjunction is `TRUE`.
+    And(Vec<Predicate>),
+    /// Disjunction; empty disjunction is `FALSE`.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Always true (select everything).
+    True,
+}
+
+impl Predicate {
+    /// Convenience: `column op value`.
+    pub fn cmp(column: &str, op: CmpOp, value: impl Into<Value>) -> Self {
+        Predicate::Cmp { column: column.to_string(), op, value: value.into() }
+    }
+
+    /// Convenience: equality.
+    pub fn eq(column: &str, value: impl Into<Value>) -> Self {
+        Predicate::cmp(column, CmpOp::Eq, value)
+    }
+
+    /// Convenience: conjunction of two predicates.
+    pub fn and(self, other: Predicate) -> Self {
+        match self {
+            Predicate::And(mut v) => {
+                v.push(other);
+                Predicate::And(v)
+            }
+            p => Predicate::And(vec![p, other]),
+        }
+    }
+
+    /// Compile against a schema + dictionaries, resolving names and codes.
+    pub fn compile(
+        &self,
+        schema: &Schema,
+        dicts: &[Option<Dictionary>],
+    ) -> Result<CompiledPredicate, StorageError> {
+        match self {
+            Predicate::True => Ok(CompiledPredicate::Const(true)),
+            Predicate::And(children) => {
+                let mut compiled = Vec::with_capacity(children.len());
+                for c in children {
+                    match c.compile(schema, dicts)? {
+                        CompiledPredicate::Const(true) => {}
+                        CompiledPredicate::Const(false) => {
+                            return Ok(CompiledPredicate::Const(false))
+                        }
+                        other => compiled.push(other),
+                    }
+                }
+                Ok(match compiled.len() {
+                    0 => CompiledPredicate::Const(true),
+                    1 => compiled.pop().expect("len checked"),
+                    _ => CompiledPredicate::And(compiled),
+                })
+            }
+            Predicate::Or(children) => {
+                let mut compiled = Vec::with_capacity(children.len());
+                for c in children {
+                    match c.compile(schema, dicts)? {
+                        CompiledPredicate::Const(false) => {}
+                        CompiledPredicate::Const(true) => {
+                            return Ok(CompiledPredicate::Const(true))
+                        }
+                        other => compiled.push(other),
+                    }
+                }
+                Ok(match compiled.len() {
+                    0 => CompiledPredicate::Const(false),
+                    1 => compiled.pop().expect("len checked"),
+                    _ => CompiledPredicate::Or(compiled),
+                })
+            }
+            Predicate::Not(child) => Ok(match child.compile(schema, dicts)? {
+                CompiledPredicate::Const(b) => CompiledPredicate::Const(!b),
+                other => CompiledPredicate::Not(Box::new(other)),
+            }),
+            Predicate::Cmp { column, op, value } => {
+                let dim = schema.dimension_index(column)?;
+                let dtype = schema.dimensions()[dim].dtype;
+                match (dtype, value) {
+                    (DataType::Categorical, Value::Str(s)) => {
+                        if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                            return Err(StorageError::UnsupportedOperation(format!(
+                                "{} on categorical column {column}",
+                                op.symbol()
+                            )));
+                        }
+                        match dicts[dim].as_ref().and_then(|d| d.lookup(s)) {
+                            Some(code) => {
+                                Ok(CompiledPredicate::Cmp { dim, op: *op, value: i64::from(code) })
+                            }
+                            // Unseen string: Eq matches nothing, Ne everything.
+                            None => Ok(CompiledPredicate::Const(*op == CmpOp::Ne)),
+                        }
+                    }
+                    (DataType::Categorical, Value::Int(v)) => Err(StorageError::TypeMismatch {
+                        column: column.clone(),
+                        expected: "string literal",
+                        got: v.to_string(),
+                    }),
+                    (_, Value::Int(v)) => Ok(CompiledPredicate::Cmp { dim, op: *op, value: *v }),
+                    (_, Value::Str(s)) => Err(StorageError::TypeMismatch {
+                        column: column.clone(),
+                        expected: "integer literal",
+                        got: format!("'{s}'"),
+                    }),
+                }
+            }
+            Predicate::In { column, values } => {
+                let dim = schema.dimension_index(column)?;
+                let dtype = schema.dimensions()[dim].dtype;
+                let mut resolved = Vec::with_capacity(values.len());
+                for v in values {
+                    match (dtype, v) {
+                        (DataType::Categorical, Value::Str(s)) => {
+                            // Unseen strings simply cannot match; drop them.
+                            if let Some(code) = dicts[dim].as_ref().and_then(|d| d.lookup(s)) {
+                                resolved.push(i64::from(code));
+                            }
+                        }
+                        (DataType::Categorical, Value::Int(v)) => {
+                            return Err(StorageError::TypeMismatch {
+                                column: column.clone(),
+                                expected: "string literal",
+                                got: v.to_string(),
+                            })
+                        }
+                        (_, Value::Int(v)) => resolved.push(*v),
+                        (_, Value::Str(s)) => {
+                            return Err(StorageError::TypeMismatch {
+                                column: column.clone(),
+                                expected: "integer literal",
+                                got: format!("'{s}'"),
+                            })
+                        }
+                    }
+                }
+                if resolved.is_empty() {
+                    return Ok(CompiledPredicate::Const(false));
+                }
+                resolved.sort_unstable();
+                resolved.dedup();
+                Ok(CompiledPredicate::InSet { dim, values: resolved })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Cmp { column, op, value } => {
+                write!(f, "{column} {} {value}", op.symbol())
+            }
+            Predicate::In { column, values } => {
+                write!(f, "{column} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::And(children) => {
+                if children.is_empty() {
+                    return write!(f, "TRUE");
+                }
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "({c})")?;
+                }
+                Ok(())
+            }
+            Predicate::Or(children) => {
+                if children.is_empty() {
+                    return write!(f, "FALSE");
+                }
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "({c})")?;
+                }
+                Ok(())
+            }
+            Predicate::Not(c) => write!(f, "NOT ({c})"),
+            Predicate::True => write!(f, "TRUE"),
+        }
+    }
+}
+
+/// A predicate bound to a concrete table: names resolved to dimension
+/// indices, strings resolved to dictionary codes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledPredicate {
+    Cmp { dim: usize, op: CmpOp, value: i64 },
+    InSet { dim: usize, values: Vec<i64> },
+    And(Vec<CompiledPredicate>),
+    Or(Vec<CompiledPredicate>),
+    Not(Box<CompiledPredicate>),
+    Const(bool),
+}
+
+impl CompiledPredicate {
+    /// Evaluate over every row of `partition`, producing a selection mask.
+    pub fn evaluate(&self, partition: &Partition) -> Bitmask {
+        let n = partition.num_rows();
+        match self {
+            CompiledPredicate::Const(true) => Bitmask::ones(n),
+            CompiledPredicate::Const(false) => Bitmask::zeros(n),
+            CompiledPredicate::Cmp { dim, op, value } => {
+                eval_cmp(partition.dim(*dim), *op, *value)
+            }
+            CompiledPredicate::InSet { dim, values } => {
+                let col = partition.dim(*dim);
+                Bitmask::from_fn(n, |i| values.binary_search(&col.get_i64(i)).is_ok())
+            }
+            CompiledPredicate::And(children) => {
+                let mut mask = children[0].evaluate(partition);
+                for c in &children[1..] {
+                    if mask.count_ones() == 0 {
+                        break;
+                    }
+                    mask.and_inplace(&c.evaluate(partition));
+                }
+                mask
+            }
+            CompiledPredicate::Or(children) => {
+                let mut mask = children[0].evaluate(partition);
+                for c in &children[1..] {
+                    mask.or_inplace(&c.evaluate(partition));
+                }
+                mask
+            }
+            CompiledPredicate::Not(child) => {
+                let mut mask = child.evaluate(partition);
+                mask.not_inplace();
+                mask
+            }
+        }
+    }
+
+    /// Evaluate for a single row (used by row-at-a-time consumers such as
+    /// stratified samplers).
+    pub fn matches_row(&self, partition: &Partition, row: usize) -> bool {
+        match self {
+            CompiledPredicate::Const(b) => *b,
+            CompiledPredicate::Cmp { dim, op, value } => {
+                op.apply(partition.dim(*dim).get_i64(row), *value)
+            }
+            CompiledPredicate::InSet { dim, values } => {
+                values.binary_search(&partition.dim(*dim).get_i64(row)).is_ok()
+            }
+            CompiledPredicate::And(children) => {
+                children.iter().all(|c| c.matches_row(partition, row))
+            }
+            CompiledPredicate::Or(children) => {
+                children.iter().any(|c| c.matches_row(partition, row))
+            }
+            CompiledPredicate::Not(child) => !child.matches_row(partition, row),
+        }
+    }
+
+    /// Conservative zone-map check: returns `false` only if the partition
+    /// provably contains no matching row.
+    pub fn may_match(&self, zone_maps: &ZoneMaps) -> bool {
+        match self {
+            CompiledPredicate::Const(b) => *b,
+            CompiledPredicate::Cmp { dim, op, value } => match zone_maps.range(*dim) {
+                None => true,
+                Some((lo, hi)) => match op {
+                    CmpOp::Eq => (lo..=hi).contains(value),
+                    CmpOp::Ne => !(lo == hi && lo == *value),
+                    CmpOp::Lt => lo < *value,
+                    CmpOp::Le => lo <= *value,
+                    CmpOp::Gt => hi > *value,
+                    CmpOp::Ge => hi >= *value,
+                },
+            },
+            CompiledPredicate::InSet { dim, values } => match zone_maps.range(*dim) {
+                None => true,
+                Some((lo, hi)) => values.iter().any(|v| (lo..=hi).contains(v)),
+            },
+            CompiledPredicate::And(children) => children.iter().all(|c| c.may_match(zone_maps)),
+            CompiledPredicate::Or(children) => children.iter().any(|c| c.may_match(zone_maps)),
+            // NOT over an approximate summary cannot prove emptiness.
+            CompiledPredicate::Not(_) => true,
+        }
+    }
+}
+
+fn eval_cmp(col: &DimensionColumn, op: CmpOp, value: i64) -> Bitmask {
+    // Monomorphize the hot loop per column representation so the compiler
+    // can vectorize the comparison.
+    macro_rules! scan {
+        ($v:expr, $cast:ty) => {{
+            let data = $v;
+            let mut mask = Bitmask::zeros(data.len());
+            match <$cast>::try_from(value) {
+                Ok(rhs) => {
+                    for (i, x) in data.iter().enumerate() {
+                        if op.apply(i64::from(*x), i64::from(rhs)) {
+                            mask.set(i);
+                        }
+                    }
+                }
+                // The literal is outside the column type's range: compare in
+                // i64 space (still correct, just not narrowed).
+                Err(_) => {
+                    for (i, x) in data.iter().enumerate() {
+                        if op.apply(i64::from(*x), value) {
+                            mask.set(i);
+                        }
+                    }
+                }
+            }
+            mask
+        }};
+    }
+    match col {
+        DimensionColumn::UInt8(v) => scan!(v, u8),
+        DimensionColumn::UInt16(v) => scan!(v, u16),
+        DimensionColumn::Dict(v) => scan!(v, u32),
+        DimensionColumn::Int64(v) => {
+            let mut mask = Bitmask::zeros(v.len());
+            for (i, x) in v.iter().enumerate() {
+                if op.apply(*x, value) {
+                    mask.set(i);
+                }
+            }
+            mask
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::types::DataType;
+
+    fn setup() -> (Schema, Vec<Option<Dictionary>>, Partition) {
+        let schema = Schema::from_names(
+            &[("Age", DataType::UInt8), ("Gender", DataType::Categorical)],
+            &["Impression"],
+        )
+        .unwrap();
+        let mut dicts: Vec<Option<Dictionary>> = vec![None, None];
+        let mut p = Partition::empty(&schema);
+        // Rows of Fig. 1 (minus Location).
+        for (age, g, imp) in [(30, "F", 5.0), (60, "M", 1.0), (20, "F", 10.0), (40, "M", 20.0)] {
+            p.push_row(&schema, &mut dicts, &[Value::Int(age), Value::from(g)], &[imp]).unwrap();
+        }
+        (schema, dicts, p)
+    }
+
+    #[test]
+    fn paper_example_constraint() {
+        // Age <= 30 AND Gender = 'F' matches rows 0 and 2 (Fig. 1 yellow).
+        let (schema, dicts, p) = setup();
+        let pred = Predicate::cmp("Age", CmpOp::Le, 30).and(Predicate::eq("Gender", "F"));
+        let compiled = pred.compile(&schema, &dicts).unwrap();
+        let mask = compiled.evaluate(&p);
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn or_and_not() {
+        let (schema, dicts, p) = setup();
+        let pred = Predicate::Or(vec![
+            Predicate::cmp("Age", CmpOp::Ge, 60),
+            Predicate::cmp("Age", CmpOp::Lt, 25),
+        ]);
+        let mask = pred.compile(&schema, &dicts).unwrap().evaluate(&p);
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+
+        let pred = Predicate::Not(Box::new(Predicate::eq("Gender", "F")));
+        let mask = pred.compile(&schema, &dicts).unwrap().evaluate(&p);
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn in_set() {
+        let (schema, dicts, p) = setup();
+        let pred = Predicate::In {
+            column: "Age".to_string(),
+            values: vec![Value::Int(20), Value::Int(60), Value::Int(99)],
+        };
+        let mask = pred.compile(&schema, &dicts).unwrap().evaluate(&p);
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn unseen_string_folds_to_constant() {
+        let (schema, dicts, p) = setup();
+        let pred = Predicate::eq("Gender", "X");
+        let compiled = pred.compile(&schema, &dicts).unwrap();
+        assert_eq!(compiled, CompiledPredicate::Const(false));
+        assert_eq!(compiled.evaluate(&p).count_ones(), 0);
+
+        let pred = Predicate::cmp("Gender", CmpOp::Ne, "X");
+        let compiled = pred.compile(&schema, &dicts).unwrap();
+        assert_eq!(compiled, CompiledPredicate::Const(true));
+    }
+
+    #[test]
+    fn range_on_categorical_rejected() {
+        let (schema, dicts, _) = setup();
+        let pred = Predicate::cmp("Gender", CmpOp::Lt, "F");
+        assert!(pred.compile(&schema, &dicts).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let (schema, dicts, _) = setup();
+        assert!(Predicate::eq("Age", "thirty").compile(&schema, &dicts).is_err());
+        assert!(Predicate::eq("Gender", 1).compile(&schema, &dicts).is_err());
+        assert!(Predicate::eq("Nope", 1).compile(&schema, &dicts).is_err());
+    }
+
+    #[test]
+    fn matches_row_agrees_with_evaluate() {
+        let (schema, dicts, p) = setup();
+        let pred = Predicate::cmp("Age", CmpOp::Le, 30).and(Predicate::eq("Gender", "F"));
+        let compiled = pred.compile(&schema, &dicts).unwrap();
+        let mask = compiled.evaluate(&p);
+        for i in 0..p.num_rows() {
+            assert_eq!(mask.get(i), compiled.matches_row(&p, i));
+        }
+    }
+
+    #[test]
+    fn zone_map_pruning() {
+        let (schema, dicts, p) = setup();
+        // Ages span [20, 60]; Age > 100 cannot match.
+        let pred = Predicate::cmp("Age", CmpOp::Gt, 100).compile(&schema, &dicts).unwrap();
+        assert!(!pred.may_match(p.zone_maps()));
+        let pred = Predicate::cmp("Age", CmpOp::Le, 30).compile(&schema, &dicts).unwrap();
+        assert!(pred.may_match(p.zone_maps()));
+        // NOT is conservative.
+        let pred = Predicate::Not(Box::new(Predicate::cmp("Age", CmpOp::Le, 100)))
+            .compile(&schema, &dicts)
+            .unwrap();
+        assert!(pred.may_match(p.zone_maps()));
+    }
+
+    #[test]
+    fn literal_outside_narrow_type_range() {
+        let (schema, dicts, p) = setup();
+        // 1000 does not fit u8 but `Age <= 1000` must still select all rows.
+        let pred = Predicate::cmp("Age", CmpOp::Le, 1000).compile(&schema, &dicts).unwrap();
+        assert_eq!(pred.evaluate(&p).count_ones(), 4);
+        let pred = Predicate::cmp("Age", CmpOp::Ge, -5).compile(&schema, &dicts).unwrap();
+        assert_eq!(pred.evaluate(&p).count_ones(), 4);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let pred = Predicate::cmp("Age", CmpOp::Le, 30).and(Predicate::eq("Gender", "F"));
+        assert_eq!(pred.to_string(), "(Age <= 30) AND (Gender = 'F')");
+    }
+}

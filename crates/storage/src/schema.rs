@@ -1,0 +1,182 @@
+//! Table schemas: ordered dimensions and measures plus the implicit time
+//! column, mirroring the paper's
+//! `(a(1), …, a(da); m(1), …, m(dm); t)` layout.
+
+use crate::error::StorageError;
+use crate::types::DataType;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Definition of a dimension column `a(i)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimensionDef {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+/// Definition of a measure column `m(j)`. Measures are always `f64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasureDef {
+    pub name: String,
+}
+
+/// Immutable table schema. Cheap to clone (wrap in [`Arc`] via
+/// [`Schema::into_shared`]) because every partition and sample references
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    dimensions: Vec<DimensionDef>,
+    measures: Vec<MeasureDef>,
+    dim_index: HashMap<String, usize>,
+    measure_index: HashMap<String, usize>,
+}
+
+/// Shared handle to a schema.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from dimension `(name, type)` pairs and measure names.
+    /// Column names are case-sensitive and must be unique across both lists.
+    pub fn new<D, M>(dimensions: D, measures: M) -> Result<Self, StorageError>
+    where
+        D: IntoIterator<Item = (String, DataType)>,
+        M: IntoIterator<Item = String>,
+    {
+        let dimensions: Vec<DimensionDef> = dimensions
+            .into_iter()
+            .map(|(name, dtype)| DimensionDef { name, dtype })
+            .collect();
+        let measures: Vec<MeasureDef> =
+            measures.into_iter().map(|name| MeasureDef { name }).collect();
+
+        let mut dim_index = HashMap::with_capacity(dimensions.len());
+        for (i, d) in dimensions.iter().enumerate() {
+            if dim_index.insert(d.name.clone(), i).is_some() {
+                return Err(StorageError::UnknownColumn(format!(
+                    "duplicate dimension name {}",
+                    d.name
+                )));
+            }
+        }
+        let mut measure_index = HashMap::with_capacity(measures.len());
+        for (i, m) in measures.iter().enumerate() {
+            if dim_index.contains_key(&m.name) || measure_index.insert(m.name.clone(), i).is_some()
+            {
+                return Err(StorageError::UnknownColumn(format!(
+                    "duplicate column name {}",
+                    m.name
+                )));
+            }
+        }
+        Ok(Schema { dimensions, measures, dim_index, measure_index })
+    }
+
+    /// Convenience constructor from `&str` slices.
+    pub fn from_names(
+        dimensions: &[(&str, DataType)],
+        measures: &[&str],
+    ) -> Result<Self, StorageError> {
+        Schema::new(
+            dimensions.iter().map(|(n, t)| (n.to_string(), *t)),
+            measures.iter().map(|n| n.to_string()),
+        )
+    }
+
+    /// Wrap into an [`Arc`] for sharing across partitions and samples.
+    pub fn into_shared(self) -> SchemaRef {
+        Arc::new(self)
+    }
+
+    pub fn dimensions(&self) -> &[DimensionDef] {
+        &self.dimensions
+    }
+
+    pub fn measures(&self) -> &[MeasureDef] {
+        &self.measures
+    }
+
+    pub fn num_dimensions(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    pub fn num_measures(&self) -> usize {
+        self.measures.len()
+    }
+
+    /// Index of the dimension named `name`.
+    pub fn dimension_index(&self, name: &str) -> Result<usize, StorageError> {
+        self.dim_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    /// Index of the measure named `name`.
+    pub fn measure_index(&self, name: &str) -> Result<usize, StorageError> {
+        self.measure_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    /// Definition of dimension `idx`.
+    pub fn dimension(&self, idx: usize) -> Result<&DimensionDef, StorageError> {
+        self.dimensions
+            .get(idx)
+            .ok_or(StorageError::ColumnIndexOutOfRange { index: idx, len: self.dimensions.len() })
+    }
+
+    /// Definition of measure `idx`.
+    pub fn measure(&self, idx: usize) -> Result<&MeasureDef, StorageError> {
+        self.measures
+            .get(idx)
+            .ok_or(StorageError::ColumnIndexOutOfRange { index: idx, len: self.measures.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_schema() -> Schema {
+        // The running example of Fig. 1.
+        Schema::from_names(
+            &[
+                ("Age", DataType::UInt8),
+                ("Gender", DataType::Categorical),
+                ("Location", DataType::Categorical),
+            ],
+            &["Impression", "ViewTime"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = figure1_schema();
+        assert_eq!(s.dimension_index("Age").unwrap(), 0);
+        assert_eq!(s.dimension_index("Location").unwrap(), 2);
+        assert_eq!(s.measure_index("ViewTime").unwrap(), 1);
+        assert!(s.dimension_index("Impression").is_err());
+        assert!(s.measure_index("Age").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(Schema::from_names(
+            &[("Age", DataType::UInt8), ("Age", DataType::Int64)],
+            &["m"],
+        )
+        .is_err());
+        assert!(Schema::from_names(&[("x", DataType::UInt8)], &["x"]).is_err());
+    }
+
+    #[test]
+    fn counts() {
+        let s = figure1_schema();
+        assert_eq!(s.num_dimensions(), 3);
+        assert_eq!(s.num_measures(), 2);
+        assert_eq!(s.dimension(1).unwrap().name, "Gender");
+        assert!(s.dimension(9).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Per-partition zone maps: min/max of each ordered dimension, used to
+//! skip partitions that provably contain no matching rows.
+//!
+//! Zone maps matter less for FlashP's main path (the constraint `C` rarely
+//! excludes whole days) but they make the exact-scan baseline competitive
+//! for highly selective range constraints and they are cheap to maintain.
+
+use crate::column::DimensionColumn;
+
+/// Min/max summaries for the ordered dimension columns of one partition.
+/// Categorical (dictionary) columns have no meaningful order, so their slot
+/// is `None`.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneMaps {
+    ranges: Vec<Option<(i64, i64)>>,
+}
+
+impl ZoneMaps {
+    /// Zone maps with no observations for `num_dims` dimensions.
+    pub fn empty(num_dims: usize) -> Self {
+        ZoneMaps { ranges: vec![None; num_dims] }
+    }
+
+    /// Compute zone maps for a full set of columns.
+    pub fn compute(dims: &[DimensionColumn]) -> Self {
+        let mut zm = ZoneMaps::empty(dims.len());
+        for (d, slot) in dims.iter().zip(&mut zm.ranges) {
+            if matches!(d, DimensionColumn::Dict(_)) || d.is_empty() {
+                continue;
+            }
+            let mut lo = i64::MAX;
+            let mut hi = i64::MIN;
+            for i in 0..d.len() {
+                let v = d.get_i64(i);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            *slot = Some((lo, hi));
+        }
+        zm
+    }
+
+    /// Extend the zone maps with one newly appended row.
+    pub fn observe_row(&mut self, dims: &[DimensionColumn], row: usize) {
+        if self.ranges.len() != dims.len() {
+            self.ranges.resize(dims.len(), None);
+        }
+        for (d, slot) in dims.iter().zip(&mut self.ranges) {
+            if matches!(d, DimensionColumn::Dict(_)) {
+                continue;
+            }
+            let v = d.get_i64(row);
+            *slot = match *slot {
+                Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+                None => Some((v, v)),
+            };
+        }
+    }
+
+    /// The `(min, max)` of ordered dimension `idx`, if known.
+    pub fn range(&self, idx: usize) -> Option<(i64, i64)> {
+        self.ranges.get(idx).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_skips_dict_columns() {
+        let dims = vec![
+            DimensionColumn::Int64(vec![5, -3, 9]),
+            DimensionColumn::Dict(vec![0, 1, 0]),
+        ];
+        let zm = ZoneMaps::compute(&dims);
+        assert_eq!(zm.range(0), Some((-3, 9)));
+        assert_eq!(zm.range(1), None);
+    }
+
+    #[test]
+    fn observe_row_extends() {
+        let mut dims = vec![DimensionColumn::Int64(vec![5])];
+        let mut zm = ZoneMaps::empty(1);
+        zm.observe_row(&dims, 0);
+        assert_eq!(zm.range(0), Some((5, 5)));
+        if let DimensionColumn::Int64(v) = &mut dims[0] {
+            v.push(11);
+        }
+        zm.observe_row(&dims, 1);
+        assert_eq!(zm.range(0), Some((5, 11)));
+    }
+
+    #[test]
+    fn empty_column_has_no_range() {
+        let dims = vec![DimensionColumn::Int64(vec![])];
+        let zm = ZoneMaps::compute(&dims);
+        assert_eq!(zm.range(0), None);
+        assert_eq!(zm.range(7), None);
+    }
+}

@@ -1,0 +1,260 @@
+//! The time series of relation `T` — partitions keyed by timestamp plus
+//! table-level dictionaries and schema.
+
+use crate::aggregate::{aggregate_masked, AggFunc, AggState};
+use crate::column::Dictionary;
+use crate::error::StorageError;
+use crate::partition::Partition;
+use crate::predicate::{CompiledPredicate, Predicate};
+use crate::schema::SchemaRef;
+use crate::timestamp::Timestamp;
+use crate::types::Value;
+use std::collections::BTreeMap;
+
+/// A time series of relational data: the input of the FlashP pipeline
+/// (Fig. 1 of the paper). Rows live in per-timestamp [`Partition`]s;
+/// categorical dictionaries are shared table-wide so a predicate binds to
+/// the same codes in every partition and in every sample drawn from the
+/// table.
+#[derive(Debug)]
+pub struct TimeSeriesTable {
+    schema: SchemaRef,
+    dicts: Vec<Option<Dictionary>>,
+    partitions: BTreeMap<Timestamp, Partition>,
+}
+
+impl TimeSeriesTable {
+    /// Create an empty table with the given schema.
+    pub fn new(schema: SchemaRef) -> Self {
+        let dims = schema.num_dimensions();
+        TimeSeriesTable { schema, dicts: (0..dims).map(|_| None).collect(), partitions: BTreeMap::new() }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Table-level dictionaries, indexed by dimension (non-categorical
+    /// dimensions are `None`).
+    pub fn dictionaries(&self) -> &[Option<Dictionary>] {
+        &self.dicts
+    }
+
+    /// Intern a categorical value for dimension `dim` and return its code —
+    /// used by bulk generators that build partitions columnar-fashion.
+    pub fn intern(&mut self, dim: usize, value: &str) -> Result<u32, StorageError> {
+        let def = self.schema.dimension(dim)?;
+        if def.dtype != crate::types::DataType::Categorical {
+            return Err(StorageError::TypeMismatch {
+                column: def.name.clone(),
+                expected: "categorical",
+                got: value.to_string(),
+            });
+        }
+        Ok(self.dicts[dim].get_or_insert_with(Dictionary::new).intern(value))
+    }
+
+    /// Insert (or replace) the partition at `t`.
+    pub fn insert_partition(&mut self, t: Timestamp, partition: Partition) {
+        self.partitions.insert(t, partition);
+    }
+
+    /// Append a single row at timestamp `t`, creating the partition if
+    /// needed. This is the slow, convenient ingestion path.
+    pub fn append_row(
+        &mut self,
+        t: Timestamp,
+        dims: &[Value],
+        measures: &[f64],
+    ) -> Result<(), StorageError> {
+        let schema = self.schema.clone();
+        let partition =
+            self.partitions.entry(t).or_insert_with(|| Partition::empty(&schema));
+        partition.push_row(&schema, &mut self.dicts, dims, measures)
+    }
+
+    /// The partition at `t`, if any.
+    pub fn partition(&self, t: Timestamp) -> Option<&Partition> {
+        self.partitions.get(&t)
+    }
+
+    /// Iterate `(timestamp, partition)` in time order.
+    pub fn partitions(&self) -> impl Iterator<Item = (Timestamp, &Partition)> {
+        self.partitions.iter().map(|(t, p)| (*t, p))
+    }
+
+    /// Iterate partitions restricted to `[start, end]` inclusive.
+    pub fn partitions_in(
+        &self,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> impl Iterator<Item = (Timestamp, &Partition)> {
+        self.partitions.range(start..=end).map(|(t, p)| (*t, p))
+    }
+
+    /// Number of partitions (distinct timestamps).
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of rows across all partitions.
+    pub fn num_rows(&self) -> usize {
+        self.partitions.values().map(Partition::num_rows).sum()
+    }
+
+    /// Earliest and latest timestamps, if the table is non-empty.
+    pub fn time_bounds(&self) -> Option<(Timestamp, Timestamp)> {
+        let first = *self.partitions.keys().next()?;
+        let last = *self.partitions.keys().next_back()?;
+        Some((first, last))
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.partitions.values().map(Partition::byte_size).sum()
+    }
+
+    /// Bind a predicate to this table (resolve names and dictionary codes).
+    pub fn compile_predicate(&self, pred: &Predicate) -> Result<CompiledPredicate, StorageError> {
+        pred.compile(&self.schema, &self.dicts)
+    }
+
+    /// Exact aggregate of `measure_idx` under `pred` at one timestamp —
+    /// one query of the batch in Eq. (4).
+    pub fn aggregate_at(
+        &self,
+        t: Timestamp,
+        measure_idx: usize,
+        pred: &CompiledPredicate,
+        func: AggFunc,
+    ) -> Result<f64, StorageError> {
+        let p = self.partitions.get(&t).ok_or(StorageError::NoSuchPartition(t.0))?;
+        Ok(eval_partition(p, measure_idx, pred).finalize(func))
+    }
+
+    /// Fraction of rows at `t` matching `pred` (the paper's *selectivity*).
+    pub fn selectivity_at(
+        &self,
+        t: Timestamp,
+        pred: &CompiledPredicate,
+    ) -> Result<f64, StorageError> {
+        let p = self.partitions.get(&t).ok_or(StorageError::NoSuchPartition(t.0))?;
+        if p.num_rows() == 0 {
+            return Ok(0.0);
+        }
+        Ok(pred.evaluate(p).count_ones() as f64 / p.num_rows() as f64)
+    }
+}
+
+/// Evaluate one partition: zone-map prune, then mask + aggregate.
+pub(crate) fn eval_partition(
+    partition: &Partition,
+    measure_idx: usize,
+    pred: &CompiledPredicate,
+) -> AggState {
+    if !pred.may_match(partition.zone_maps()) {
+        return AggState::default();
+    }
+    let mask = pred.evaluate(partition);
+    aggregate_masked(partition, measure_idx, &mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::schema::Schema;
+    use crate::types::DataType;
+
+    fn figure1_table() -> TimeSeriesTable {
+        let schema = Schema::from_names(
+            &[
+                ("Age", DataType::UInt8),
+                ("Gender", DataType::Categorical),
+                ("Location", DataType::Categorical),
+            ],
+            &["Impression", "ViewTime"],
+        )
+        .unwrap()
+        .into_shared();
+        let mut table = TimeSeriesTable::new(schema);
+        let d1 = Timestamp::from_yyyymmdd(20200301).unwrap();
+        let d2 = Timestamp::from_yyyymmdd(20200302).unwrap();
+        let rows = [
+            (30, "F", "WA", 5.0, 1.6, d1),
+            (60, "M", "WA", 1.0, 1.8, d1),
+            (20, "F", "NY", 10.0, 3.2, d1),
+            (40, "M", "NY", 20.0, 6.3, d2),
+        ];
+        for (age, g, loc, imp, vt, t) in rows {
+            table
+                .append_row(
+                    t,
+                    &[Value::Int(age), Value::from(g), Value::from(loc)],
+                    &[imp, vt],
+                )
+                .unwrap();
+        }
+        table
+    }
+
+    #[test]
+    fn figure2_aggregation() {
+        // SELECT SUM(Impression) WHERE Age <= 30 AND Gender = 'F' AND t = 20200301
+        let table = figure1_table();
+        let pred = Predicate::cmp("Age", CmpOp::Le, 30).and(Predicate::eq("Gender", "F"));
+        let compiled = table.compile_predicate(&pred).unwrap();
+        let t = Timestamp::from_yyyymmdd(20200301).unwrap();
+        let m = table.aggregate_at(t, 0, &compiled, AggFunc::Sum).unwrap();
+        assert_eq!(m, 15.0);
+        // Day 2 has no matching rows.
+        let t2 = Timestamp::from_yyyymmdd(20200302).unwrap();
+        assert_eq!(table.aggregate_at(t2, 0, &compiled, AggFunc::Sum).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn count_and_avg() {
+        let table = figure1_table();
+        let pred = table.compile_predicate(&Predicate::True).unwrap();
+        let t = Timestamp::from_yyyymmdd(20200301).unwrap();
+        assert_eq!(table.aggregate_at(t, 0, &pred, AggFunc::Count).unwrap(), 3.0);
+        assert!((table.aggregate_at(t, 1, &pred, AggFunc::Avg).unwrap() - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selectivity() {
+        let table = figure1_table();
+        let pred = table.compile_predicate(&Predicate::eq("Gender", "F")).unwrap();
+        let t = Timestamp::from_yyyymmdd(20200301).unwrap();
+        assert!((table.selectivity_at(t, &pred).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_and_sizes() {
+        let table = figure1_table();
+        let (lo, hi) = table.time_bounds().unwrap();
+        assert_eq!(lo.to_yyyymmdd(), 20200301);
+        assert_eq!(hi.to_yyyymmdd(), 20200302);
+        assert_eq!(table.num_partitions(), 2);
+        assert_eq!(table.num_rows(), 4);
+        assert!(table.byte_size() > 0);
+    }
+
+    #[test]
+    fn missing_partition_errors() {
+        let table = figure1_table();
+        let pred = table.compile_predicate(&Predicate::True).unwrap();
+        let t = Timestamp::from_yyyymmdd(20210101).unwrap();
+        assert!(table.aggregate_at(t, 0, &pred, AggFunc::Sum).is_err());
+    }
+
+    #[test]
+    fn intern_rejects_numeric_dims() {
+        let mut table = figure1_table();
+        assert!(table.intern(0, "x").is_err());
+        let code = table.intern(1, "F").unwrap();
+        // Already interned by append_row — must return the same code.
+        assert_eq!(table.dictionaries()[1].as_ref().unwrap().lookup("F"), Some(code));
+    }
+}

@@ -1,0 +1,226 @@
+//! Discrete time stamps with calendar support.
+//!
+//! The paper treats time as a discrete variable and writes literals as
+//! `YYYYMMDD` integers (e.g. `USING (20200101, 20200331)`). Internally we
+//! store a [`Timestamp`] as a day index (days since 1970-01-01) so that
+//! arithmetic (`t + 1`, ranges, differences) is O(1); [`Date`] converts to
+//! and from calendar form using Howard Hinnant's `days_from_civil`
+//! algorithm.
+
+use crate::error::StorageError;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A discrete point on the table's time axis, stored as days since the Unix
+/// epoch. `Timestamp` is `Copy`, totally ordered, and supports day
+/// arithmetic; use [`Date`] / [`Timestamp::from_yyyymmdd`] for calendar
+/// conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp(pub i64);
+
+/// A Gregorian calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Date {
+    pub year: i32,
+    pub month: u32,
+    pub day: u32,
+}
+
+impl Date {
+    /// Construct a date, validating month/day ranges (including leap years).
+    pub fn new(year: i32, month: u32, day: u32) -> Result<Self, StorageError> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(StorageError::InvalidDate(format!("{year:04}-{month:02}-{day:02}")));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Days since 1970-01-01 (can be negative for earlier dates).
+    pub fn to_days(self) -> i64 {
+        days_from_civil(self.year, self.month, self.day)
+    }
+
+    /// Inverse of [`Date::to_days`].
+    pub fn from_days(days: i64) -> Self {
+        let (year, month, day) = civil_from_days(days);
+        Date { year, month, day }
+    }
+}
+
+impl Timestamp {
+    /// Parse a `YYYYMMDD` integer literal, e.g. `20200301`.
+    pub fn from_yyyymmdd(v: i64) -> Result<Self, StorageError> {
+        if !(101..=9999_12_31).contains(&v) {
+            return Err(StorageError::InvalidDate(v.to_string()));
+        }
+        let year = (v / 10_000) as i32;
+        let month = ((v / 100) % 100) as u32;
+        let day = (v % 100) as u32;
+        Ok(Timestamp(Date::new(year, month, day)?.to_days()))
+    }
+
+    /// Render back to a `YYYYMMDD` integer.
+    pub fn to_yyyymmdd(self) -> i64 {
+        let d = Date::from_days(self.0);
+        d.year as i64 * 10_000 + d.month as i64 * 100 + d.day as i64
+    }
+
+    /// The calendar date of this timestamp.
+    pub fn date(self) -> Date {
+        Date::from_days(self.0)
+    }
+
+    /// Day-of-week with 0 = Monday … 6 = Sunday (useful for weekly
+    /// seasonality in workload generators).
+    pub fn weekday(self) -> u32 {
+        // 1970-01-01 was a Thursday (index 3 with Monday = 0).
+        (self.0 + 3).rem_euclid(7) as u32
+    }
+
+    /// Iterate `self..=end` one day at a time.
+    pub fn range_inclusive(self, end: Timestamp) -> impl Iterator<Item = Timestamp> {
+        (self.0..=end.0).map(Timestamp)
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, days: i64) -> Timestamp {
+        Timestamp(self.0 + days)
+    }
+}
+
+impl Sub<i64> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, days: i64) -> Timestamp {
+        Timestamp(self.0 - days)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = i64;
+    fn sub(self, other: Timestamp) -> i64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_yyyymmdd())
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Howard Hinnant's `days_from_civil`: days since 1970-01-01 for y-m-d.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Timestamp::from_yyyymmdd(19700101).unwrap(), Timestamp(0));
+        assert_eq!(Timestamp(0).to_yyyymmdd(), 19700101);
+    }
+
+    #[test]
+    fn paper_dates_round_trip() {
+        for v in [20200101, 20200131, 20200301, 20200331, 20200229] {
+            let t = Timestamp::from_yyyymmdd(v).unwrap();
+            assert_eq!(t.to_yyyymmdd(), v, "round trip for {v}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(Timestamp::from_yyyymmdd(20201301).is_err()); // month 13
+        assert!(Timestamp::from_yyyymmdd(20200230).is_err()); // Feb 30
+        assert!(Timestamp::from_yyyymmdd(20190229).is_err()); // not a leap year
+        assert!(Timestamp::from_yyyymmdd(0).is_err());
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2000));
+        assert!(is_leap(2020));
+        assert!(!is_leap(1900));
+        assert!(!is_leap(2019));
+    }
+
+    #[test]
+    fn arithmetic_crosses_month_and_year_boundaries() {
+        let t = Timestamp::from_yyyymmdd(20200131).unwrap();
+        assert_eq!((t + 1).to_yyyymmdd(), 20200201);
+        let t = Timestamp::from_yyyymmdd(20201231).unwrap();
+        assert_eq!((t + 1).to_yyyymmdd(), 20210101);
+        let a = Timestamp::from_yyyymmdd(20200101).unwrap();
+        let b = Timestamp::from_yyyymmdd(20200331).unwrap();
+        assert_eq!(b - a, 90); // 91 data points inclusive, as in Fig. 2
+    }
+
+    #[test]
+    fn weekday_is_consistent() {
+        // 2020-03-01 was a Sunday.
+        let t = Timestamp::from_yyyymmdd(20200301).unwrap();
+        assert_eq!(t.weekday(), 6);
+        // 1970-01-01 was a Thursday.
+        assert_eq!(Timestamp(0).weekday(), 3);
+    }
+
+    #[test]
+    fn range_inclusive_counts_points() {
+        let a = Timestamp::from_yyyymmdd(20200101).unwrap();
+        let b = Timestamp::from_yyyymmdd(20200331).unwrap();
+        assert_eq!(a.range_inclusive(b).count(), 91);
+    }
+
+    #[test]
+    fn civil_round_trip_broad_range() {
+        for z in (-200_000..200_000).step_by(97) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Logical value and column types.
+
+use std::fmt;
+
+/// Physical/logical type of a dimension column.
+///
+/// Dimensions are the `a(i)` attributes the paper filters on. Measures are
+/// always `f64` and are kept separate (see
+/// [`MeasureDef`](crate::schema::MeasureDef)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Small unsigned integers (e.g. `Age`), stored as one byte per row.
+    UInt8,
+    /// Medium unsigned integers (e.g. a city id), two bytes per row.
+    UInt16,
+    /// General integers, eight bytes per row.
+    Int64,
+    /// Dictionary-encoded strings (e.g. `Gender`, `Location`).
+    Categorical,
+}
+
+impl DataType {
+    /// Human-readable name used in error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::UInt8 => "uint8",
+            DataType::UInt16 => "uint16",
+            DataType::Int64 => "int64",
+            DataType::Categorical => "categorical",
+        }
+    }
+
+    /// Whether `<`, `<=`, `>`, `>=` are meaningful on this type.
+    pub fn is_ordered(self) -> bool {
+        !matches!(self, DataType::Categorical)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dynamically typed scalar used for ingestion and predicate literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Str(String),
+}
+
+impl Value {
+    /// The integer payload, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The string payload, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_support_matches_type() {
+        assert!(DataType::UInt8.is_ordered());
+        assert!(DataType::Int64.is_ordered());
+        assert!(!DataType::Categorical.is_ordered());
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_str(), None);
+        assert_eq!(Value::from("F").as_str(), Some("F"));
+        assert_eq!(Value::from("F").to_string(), "'F'");
+    }
+}

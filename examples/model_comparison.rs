@@ -1,0 +1,75 @@
+//! Compare the pluggable forecasting models (§5: "Other forecasting
+//! models can be plugged in here, too") on the same task, scoring each
+//! against the held-out true future aggregates.
+//!
+//! ```text
+//! cargo run --release --example model_comparison
+//! ```
+
+use flashp::core::{EngineConfig, FlashPEngine};
+use flashp::data::{generate_dataset, DatasetConfig};
+use flashp::forecast::metrics::mean_relative_error;
+use flashp::storage::{AggFunc, Predicate, Timestamp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 70 days: train on the first 60, hold out the last 7 for scoring.
+    let dataset = generate_dataset(&DatasetConfig::small(5))?;
+    let mut engine = FlashPEngine::new(
+        dataset.table,
+        EngineConfig { layer_rates: vec![0.05], default_rate: 0.05, ..Default::default() },
+    );
+    engine.build_samples()?;
+
+    let constraint = "age <= 30 AND gender = 'F'";
+    let train_end = 20200229; // 60 training days
+    let horizon = 7;
+
+    // Ground truth for the held-out week.
+    let pred = engine
+        .table()
+        .compile_predicate(&Predicate::cmp("age", flashp::storage::CmpOp::Le, 30).and(
+            Predicate::eq("gender", "F"),
+        ))?;
+    let t_end = Timestamp::from_yyyymmdd(train_end)?;
+    let (truth_points, _, _) = engine.estimate_series(
+        0,
+        &pred,
+        AggFunc::Sum,
+        t_end + 1,
+        t_end + horizon,
+        1.0,
+    )?;
+    let truth: Vec<f64> = truth_points.iter().map(|p| p.value).collect();
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "model", "err %", "width", "sigma", "fit time"
+    );
+    for model in
+        ["arima", "arima(1,1,1)", "lstm", "holt", "holt_winters(7)", "seasonal_naive(7)", "naive", "drift"]
+    {
+        let sql = format!(
+            "FORECAST SUM(Impression) FROM ads WHERE {constraint} \
+             USING (20200101, {train_end}) \
+             OPTION (MODEL = '{model}', FORE_PERIOD = {horizon})"
+        );
+        match engine.forecast(&sql) {
+            Ok(result) => {
+                let err = mean_relative_error(&result.forecast_values(), &truth)
+                    .map(|e| e * 100.0)
+                    .unwrap_or(f64::NAN);
+                println!(
+                    "{:<22} {:>9.2}% {:>12.0} {:>12.1} {:>9.1?}",
+                    result.model,
+                    err,
+                    result.mean_interval_width(),
+                    result.sigma2.sqrt(),
+                    result.timing.forecasting
+                );
+            }
+            Err(e) => println!("{model:<22} failed: {e}"),
+        }
+    }
+    println!("\n(err % = mean relative error vs the held-out true week)");
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Quickstart: generate a small synthetic ads dataset, build offline GSW
+//! samples, and run one real-time forecasting task — the Fig. 2 / Fig. 3
+//! flow of the paper.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use flashp::core::{EngineConfig, FlashPEngine};
+use flashp::data::{generate_dataset, DatasetConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Offline: a 70-day, 2k-rows/day synthetic ads table
+    //    (11 dimensions; measures Impression, Click, Favorite, Cart).
+    println!("generating dataset…");
+    let dataset = generate_dataset(&DatasetConfig::small(42))?;
+    println!(
+        "  {} rows across {} daily partitions ({:.1} MiB)",
+        dataset.table.num_rows(),
+        dataset.table.num_partitions(),
+        dataset.table.byte_size() as f64 / (1024.0 * 1024.0),
+    );
+
+    // 2. Offline: build multi-layer optimal-GSW samples (one per measure).
+    let mut engine = FlashPEngine::new(
+        dataset.table,
+        EngineConfig { layer_rates: vec![0.05, 0.01], ..Default::default() },
+    );
+    let stats = engine.build_samples()?;
+    println!(
+        "  built {} sample layers in {:?} ({} KiB total)",
+        stats.layers.len(),
+        stats.duration,
+        stats.total_bytes / 1024
+    );
+
+    // 3. Online: the paper's example task — impressions by young women —
+    //    trained on 60 days of estimates, forecasting the next 7 days.
+    let sql = "FORECAST SUM(Impression) FROM ads \
+               WHERE age <= 30 AND gender = 'F' \
+               USING (20200101, 20200229) \
+               OPTION (MODEL = 'arima', FORE_PERIOD = 7, SAMPLE_RATE = 0.05)";
+    println!("\n{sql}\n");
+    let result = engine.forecast(sql)?;
+
+    println!(
+        "model {} fitted on {} estimated points (sampler: {}, rate {}):",
+        result.model,
+        result.estimates.len(),
+        result.sampler,
+        result.rate_used
+    );
+    let tail = &result.estimates[result.estimates.len() - 5..];
+    for p in tail {
+        println!("  {}  M̂ = {:>12.1}", p.t, p.value);
+    }
+    println!("forecasts ({}% intervals):", (result.confidence * 100.0) as u32);
+    for f in &result.forecasts {
+        println!("  {}  {:>12.1}   [{:>12.1}, {:>12.1}]", f.t, f.value, f.lo, f.hi);
+    }
+    println!(
+        "\ntiming: aggregation {:?}, forecasting {:?} (total {:?})",
+        result.timing.aggregation,
+        result.timing.forecasting,
+        result.timing.total()
+    );
+
+    // 4. Compare against the exact (full scan) answer.
+    let exact = engine.forecast(&sql.replace("SAMPLE_RATE = 0.05", "SAMPLE_RATE = 1.0"))?;
+    println!(
+        "full-scan timing: aggregation {:?} — sampling gave a {:.0}x speedup on aggregation",
+        exact.timing.aggregation,
+        exact.timing.aggregation.as_secs_f64() / result.timing.aggregation.as_secs_f64().max(1e-9)
+    );
+    Ok(())
+}

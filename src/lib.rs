@@ -1,0 +1,61 @@
+//! # FlashP
+//!
+//! A from-scratch Rust reproduction of **FlashP: An Analytical Pipeline for
+//! Real-time Forecasting of Time-Series Relational Data** (PVLDB 14(5),
+//! 2021).
+//!
+//! FlashP answers forecasting tasks such as
+//!
+//! ```sql
+//! FORECAST SUM(Impression) FROM T
+//! WHERE Age <= 30 AND Gender = 'F'
+//! USING (20200101, 20200331)
+//! OPTION (MODEL = 'arima', FORE_PERIOD = 7)
+//! ```
+//!
+//! interactively by (1) estimating the per-day aggregates from offline
+//! **GSW samples** instead of scanning the base table, and (2) fitting a
+//! forecasting model (ARIMA or LSTM) on the estimates to predict future
+//! values with confidence intervals.
+//!
+//! This facade crate re-exports the component crates:
+//!
+//! * [`storage`] — columnar time-partitioned tables, predicates, exact
+//!   aggregation (the Hologres-like substrate),
+//! * [`query`] — the `FORECAST`/`SELECT` query language,
+//! * [`sampling`] — GSW / uniform / priority / threshold samplers,
+//!   estimators, error bounds, measure grouping,
+//! * [`forecast`] — ARMA/ARIMA/auto-ARIMA, LSTM, ETS, naive models with
+//!   forecast intervals,
+//! * [`data`] — synthetic ads-style dataset and workload generators plus
+//!   the PIM baseline,
+//! * [`core`] — the FlashP engine tying everything together.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```no_run
+//! use flashp::core::{EngineConfig, FlashPEngine};
+//! use flashp::data::{DatasetConfig, generate_dataset};
+//!
+//! let dataset = generate_dataset(&DatasetConfig::small(42)).unwrap();
+//! let mut engine = FlashPEngine::new(dataset.table, EngineConfig::default());
+//! engine.build_samples().unwrap();
+//! let result = engine
+//!     .forecast(
+//!         "FORECAST SUM(Impression) FROM ads WHERE age <= 30 AND gender = 'F' \
+//!          USING (20200101, 20200229) OPTION (MODEL = 'arima', FORE_PERIOD = 7)",
+//!     )
+//!     .unwrap();
+//! for point in &result.forecasts {
+//!     println!("{} {:.1} [{:.1}, {:.1}]", point.t, point.value, point.lo, point.hi);
+//! }
+//! ```
+
+pub use flashp_core as core;
+pub use flashp_data as data;
+pub use flashp_forecast as forecast;
+pub use flashp_query as query;
+pub use flashp_sampling as sampling;
+pub use flashp_storage as storage;

@@ -1,0 +1,138 @@
+//! Empirical checks of the §4 error theory: the measured RSTD of GSW
+//! estimators must respect Theorem 3 and Corollaries 4–6.
+
+use flashp::sampling::consistency::{
+    arithmetic_bound, consistency_scale, geometric_bound, max_trend_deviation, optimal_gsw_bound,
+    range_deviation, theorem3_bound,
+};
+use flashp::sampling::{estimate_agg, GswSampler, SampleSize, Sampler, WeightStrategy};
+use flashp::storage::{AggFunc, DimensionColumn, Partition, Predicate, Schema, SchemaRef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn schema() -> SchemaRef {
+    Schema::from_names(
+        &[("k", flashp::storage::DataType::Int64)],
+        &["m1", "m2"],
+    )
+    .unwrap()
+    .into_shared()
+}
+
+/// Two positively correlated heavy-tailed measures.
+fn partition(n: usize, seed: u64) -> Partition {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m1 = Vec::with_capacity(n);
+    let mut m2 = Vec::with_capacity(n);
+    for _ in 0..n {
+        let base: f64 = if rng.gen::<f64>() < 0.01 { 200.0 } else { 1.0 };
+        let v1 = base * (1.0 + rng.gen::<f64>());
+        // m2 follows m1's shape with a bounded ratio wobble in [0.5, 1.5].
+        let v2 = v1 * (0.5 + rng.gen::<f64>());
+        m1.push(v1);
+        m2.push(v2);
+    }
+    Partition::from_columns(vec![DimensionColumn::Int64((0..n as i64).collect())], vec![m1, m2])
+        .unwrap()
+}
+
+/// Empirical RSTD of a sampler estimating SUM(measure) over everything.
+fn empirical_rstd(
+    sampler: &GswSampler,
+    partition: &Partition,
+    measure: usize,
+    reps: u64,
+) -> (f64, f64) {
+    let schema = schema();
+    let truth: f64 = partition.measure(measure).iter().sum();
+    let pred = Predicate::True.compile(&schema, &[None]).unwrap();
+    let mut sq = 0.0;
+    let mut sizes = 0.0;
+    for seed in 0..reps {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let s = sampler.sample(&schema, partition, &mut rng).unwrap();
+        let est = estimate_agg(&s, measure, &pred, AggFunc::Sum).unwrap();
+        sq += ((est.value - truth) / truth).powi(2);
+        sizes += s.num_rows() as f64;
+    }
+    ((sq / reps as f64).sqrt(), sizes / reps as f64)
+}
+
+#[test]
+fn corollary4_optimal_gsw_bound_holds() {
+    let p = partition(20_000, 1);
+    let sampler = GswSampler::optimal(0, SampleSize::Expected(400));
+    let (rstd, mean_size) = empirical_rstd(&sampler, &p, 0, 120);
+    let bound = optimal_gsw_bound(mean_size);
+    assert!(rstd <= bound * 1.05, "RSTD {rstd} exceeds Corollary 4 bound {bound}");
+}
+
+#[test]
+fn theorem3_bound_holds_for_mismatched_weights() {
+    // Sample with weights from m2 but estimate m1: Theorem 3's bound with
+    // the measured consistency scale must still cover the RSTD.
+    let p = partition(20_000, 2);
+    let weights = WeightStrategy::SingleMeasure(1).compute(&p).unwrap();
+    let scale = consistency_scale(&weights, p.measure(0)).unwrap();
+    assert!(scale.is_finite() && scale >= 1.0);
+    let sampler = GswSampler::with_size(WeightStrategy::SingleMeasure(1), SampleSize::Expected(400));
+    let (rstd, mean_size) = empirical_rstd(&sampler, &p, 0, 120);
+    let bound = theorem3_bound(scale, mean_size);
+    assert!(rstd <= bound * 1.05, "RSTD {rstd} exceeds Theorem 3 bound {bound} (scale {scale})");
+    // And the bound is meaningfully tighter than trivial: scale is small
+    // for trend-similar measures.
+    assert!(scale < 4.0, "scale {scale} should be small for correlated measures");
+}
+
+#[test]
+fn corollary5_and_6_bounds_hold_for_compressed_samples() {
+    let p = partition(20_000, 3);
+    let measures: Vec<&[f64]> = vec![p.measure(0), p.measure(1)];
+    let rho = max_trend_deviation(&measures).unwrap();
+    let delta = range_deviation(&measures).unwrap();
+
+    let geo = GswSampler::geometric_compressed(vec![0, 1], SampleSize::Expected(400));
+    let (rstd_geo, size_geo) = empirical_rstd(&geo, &p, 0, 120);
+    let bound_geo = geometric_bound(rho, 2, size_geo);
+    assert!(
+        rstd_geo <= bound_geo * 1.05,
+        "geometric RSTD {rstd_geo} exceeds Corollary 5 bound {bound_geo} (rho {rho})"
+    );
+
+    let arith = GswSampler::arithmetic_compressed(vec![0, 1], SampleSize::Expected(400));
+    let (rstd_arith, size_arith) = empirical_rstd(&arith, &p, 0, 120);
+    let bound_arith = arithmetic_bound(delta, size_arith);
+    assert!(
+        rstd_arith <= bound_arith * 1.05,
+        "arithmetic RSTD {rstd_arith} exceeds Corollary 6 bound {bound_arith} (delta {delta})"
+    );
+}
+
+#[test]
+fn compressed_bounds_are_looser_than_optimal() {
+    // Structural sanity: for k ≥ 2 measures with any dissimilarity,
+    // the compressed bounds must be at least the optimal bound.
+    let p = partition(5_000, 4);
+    let measures: Vec<&[f64]> = vec![p.measure(0), p.measure(1)];
+    let rho = max_trend_deviation(&measures).unwrap();
+    let delta = range_deviation(&measures).unwrap();
+    let size = 300.0;
+    assert!(geometric_bound(rho, 2, size) >= optimal_gsw_bound(size));
+    assert!(arithmetic_bound(delta, size) >= optimal_gsw_bound(size));
+}
+
+#[test]
+fn rstd_scales_inversely_with_sqrt_sample_size() {
+    // Corollary 4's 1/√|S| law, observed empirically.
+    let p = partition(30_000, 5);
+    let small = GswSampler::optimal(0, SampleSize::Expected(100));
+    let large = GswSampler::optimal(0, SampleSize::Expected(1600));
+    let (rstd_small, _) = empirical_rstd(&small, &p, 0, 150);
+    let (rstd_large, _) = empirical_rstd(&large, &p, 0, 150);
+    let ratio = rstd_small / rstd_large;
+    // Expected ratio = √(1600/100) = 4; allow generous noise.
+    assert!(
+        ratio > 2.0 && ratio < 8.0,
+        "RSTD ratio {ratio} should be near 4 (1/√|S| scaling)"
+    );
+}
