@@ -1,9 +1,11 @@
 //! Run every experiment in sequence on one shared dataset, regenerating
 //! all tables and figures of the paper. See crate docs for env knobs.
 
+type Experiment = fn(&flashp_bench::Harness) -> serde_json::Value;
+
 fn main() {
     let harness = flashp_bench::Harness::load();
-    let experiments: Vec<(&str, fn(&flashp_bench::Harness) -> serde_json::Value)> = vec![
+    let experiments: Vec<(&str, Experiment)> = vec![
         ("Proposition 1", flashp_bench::experiments::prop1::run),
         ("Fig. 3 example", flashp_bench::experiments::fig3_example::run),
         ("Fig. 5 grouping", flashp_bench::experiments::fig5_grouping::run),

@@ -3,7 +3,7 @@
 //! intervals (green lines). Printed as aligned series rows suitable for
 //! plotting.
 
-use crate::{forecast_eval, print_table, runs, Harness};
+use crate::{forecast_eval, print_table, Harness};
 use flashp_core::SamplerChoice;
 use serde_json::json;
 
@@ -12,7 +12,7 @@ pub fn run(h: &Harness) -> serde_json::Value {
         crate::EngineSet::build(h.table.clone(), &[SamplerChoice::OptimalGsw], &[0.01]);
     let engine = engines.get(&SamplerChoice::OptimalGsw);
     let (t0, t1) = h.train_range(90.min(h.num_days - 8));
-    let task = h.tasks(0, 0.1, runs().min(1).max(1), 42).pop().unwrap();
+    let task = h.tasks(0, 0.1, 1, 42).pop().unwrap();
     let pred = h.table.compile_predicate(&task.predicate).unwrap();
     let truth_train = h.truth(0, &pred, t0, t1);
     let truth_future = h.truth(0, &pred, t1 + 1, t1 + 7);

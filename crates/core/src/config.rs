@@ -92,7 +92,7 @@ impl Default for EngineConfig {
             layer_rates: vec![0.01, 0.001, 0.0005, 0.0002],
             sampler: SamplerChoice::OptimalGsw,
             grouping: GroupingPolicy::Auto { num_groups: 2 },
-            seed: 0xF1A5_4B,
+            seed: 0x00F1_A54B,
             default_model: "arima".to_string(),
             default_horizon: 7,
             default_confidence: 0.9,
@@ -152,17 +152,16 @@ mod tests {
 
     #[test]
     fn invalid_configs_caught() {
-        let mut c = EngineConfig::default();
-        c.layer_rates = vec![0.0];
+        let c = EngineConfig { layer_rates: vec![0.0], ..Default::default() };
         assert!(c.validate().is_err());
-        let mut c = EngineConfig::default();
-        c.default_confidence = 1.0;
+        let c = EngineConfig { default_confidence: 1.0, ..Default::default() };
         assert!(c.validate().is_err());
-        let mut c = EngineConfig::default();
-        c.default_horizon = 0;
+        let c = EngineConfig { default_horizon: 0, ..Default::default() };
         assert!(c.validate().is_err());
-        let mut c = EngineConfig::default();
-        c.grouping = GroupingPolicy::Auto { num_groups: 0 };
+        let c = EngineConfig {
+            grouping: GroupingPolicy::Auto { num_groups: 0 },
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -402,8 +402,7 @@ impl FlashPEngine {
         let layer = self
             .layers
             .iter()
-            .filter(|l| l.rate >= rate)
-            .last()
+            .rfind(|l| l.rate >= rate)
             .or_else(|| self.layers.first())
             .ok_or_else(|| {
                 EngineError::SamplesUnavailable(
@@ -620,13 +619,9 @@ mod tests {
         let e = engine(SamplerChoice::OptimalGsw);
         let base = e.forecast(FORECAST_SQL).unwrap();
         let wide = e
-            .forecast(&format!(
-                "{}",
-                FORECAST_SQL.replace(
-                    "FORE_PERIOD = 5",
-                    "FORE_PERIOD = 5, NOISE_AWARE = 1"
-                )
-            ))
+            .forecast(
+                &FORECAST_SQL.replace("FORE_PERIOD = 5", "FORE_PERIOD = 5, NOISE_AWARE = 1"),
+            )
             .unwrap();
         assert!(wide.mean_interval_width() > base.mean_interval_width());
     }

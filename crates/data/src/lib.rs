@@ -20,7 +20,7 @@
 //! [`workload`] draws random constraints calibrated to a target
 //! selectivity, as in "forecasting tasks are randomly picked … with some
 //! (approximately) fixed selectivity". [`pim`] implements the Partwise
-//! Independence Model baseline of Agarwal et al. [7].
+//! Independence Model baseline of Agarwal et al. \[7\].
 
 pub mod config;
 pub mod dimensions;

@@ -1,4 +1,4 @@
-//! PIM — the Partwise Independence Model baseline of Agarwal et al. [7],
+//! PIM — the Partwise Independence Model baseline of Agarwal et al. \[7\],
 //! as evaluated in the paper's Table 1.
 //!
 //! PIM precomputes, per timestamp, the total of each measure and its
@@ -14,7 +14,7 @@
 //! distribution correlates across dimensions (which it does, by
 //! construction, in our synthetic data and in any real ads data) — this is
 //! why the paper finds uniform sampling beats the Bayesian variants of
-//! [7] and why FlashP's samplers beat uniform.
+//! \[7\] and why FlashP's samplers beat uniform.
 
 use crate::error::DataError;
 use flashp_storage::{CompiledPredicate, Timestamp, TimeSeriesTable};

@@ -41,7 +41,7 @@ pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(max_lag + 1);
     if denom <= 0.0 || n == 0 {
         out.push(1.0);
-        out.extend(std::iter::repeat(0.0).take(max_lag));
+        out.extend(std::iter::repeat_n(0.0, max_lag));
         return out;
     }
     for lag in 0..=max_lag {
@@ -109,7 +109,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];

@@ -1,0 +1,170 @@
+//! Smoke tests for every forecasting-model family: each model fits a
+//! deterministic seasonal series (weekly cycle + mild trend + fixed-seed
+//! noise — the shape of the paper's ads traffic) and must produce finite
+//! point forecasts with non-degenerate confidence intervals.
+
+use flashp_forecast::model::ForecastModel;
+use flashp_forecast::{
+    ArModel, ArimaModel, ArmaModel, AutoArima, DriftModel, EtsModel, EtsVariant, NaiveModel,
+    SeasonalNaiveModel,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 120;
+const HORIZON: usize = 7;
+const CONFIDENCE: f64 = 0.9;
+
+/// Weekly-seasonal series with trend and fixed-seed noise; identical on
+/// every run.
+fn seasonal_series() -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(2020);
+    (0..N)
+        .map(|t| {
+            let trend = 1000.0 + 2.0 * t as f64;
+            let season = 150.0 * (2.0 * std::f64::consts::PI * (t % 7) as f64 / 7.0).sin();
+            let noise = 20.0 * (rng.gen::<f64>() - 0.5);
+            trend + season + noise
+        })
+        .collect()
+}
+
+fn models() -> Vec<Box<dyn ForecastModel>> {
+    vec![
+        Box::new(ArModel::new(7)),
+        Box::new(ArmaModel::new(2, 1)),
+        Box::new(ArimaModel::new(1, 1, 1)),
+        Box::new(AutoArima::default()),
+        Box::new(EtsModel::new(EtsVariant::Simple)),
+        Box::new(EtsModel::new(EtsVariant::Holt)),
+        Box::new(EtsModel::new(EtsVariant::HoltWinters { period: 7 })),
+        Box::new(NaiveModel::new()),
+        Box::new(SeasonalNaiveModel::new(7)),
+        Box::new(DriftModel::new()),
+    ]
+}
+
+#[test]
+fn every_model_fits_and_forecasts_finitely() {
+    let series = seasonal_series();
+    for mut model in models() {
+        let summary = model
+            .fit(&series)
+            .unwrap_or_else(|e| panic!("{} failed to fit: {e}", model.name()));
+        assert!(summary.sigma2.is_finite() && summary.sigma2 >= 0.0, "{}", model.name());
+        assert!(summary.n_obs > 0, "{} reported zero observations", model.name());
+
+        let f = model.forecast(HORIZON, CONFIDENCE).unwrap();
+        assert_eq!(f.points.len(), HORIZON, "{}", model.name());
+        assert_eq!(f.confidence, CONFIDENCE, "{}", model.name());
+        for (i, p) in f.points.iter().enumerate() {
+            let name = model.name();
+            assert_eq!(p.step, i + 1, "{name}");
+            assert!(p.value.is_finite(), "{name} step {i}: non-finite point forecast");
+            assert!(p.lo.is_finite() && p.hi.is_finite(), "{name} step {i}: non-finite bound");
+            // Non-degenerate interval containing the point forecast.
+            assert!(p.hi > p.lo, "{name} step {i}: degenerate interval [{}, {}]", p.lo, p.hi);
+            assert!(p.lo <= p.value && p.value <= p.hi, "{name} step {i}: point outside interval");
+            assert!(p.std_err > 0.0, "{name} step {i}: zero std error");
+        }
+    }
+}
+
+#[test]
+fn forecasts_stay_near_the_series_scale() {
+    // Point forecasts of a ~1000–1400 series must not run away; this
+    // catches sign/scale bugs that finite-ness checks miss.
+    let series = seasonal_series();
+    let last = *series.last().unwrap();
+    for mut model in models() {
+        model.fit(&series).unwrap();
+        let f = model.forecast(HORIZON, CONFIDENCE).unwrap();
+        for p in &f.points {
+            assert!(
+                (p.value - last).abs() < 1000.0,
+                "{} drifted to {} (last train value {})",
+                model.name(),
+                p.value,
+                last
+            );
+        }
+    }
+}
+
+#[test]
+fn interval_width_grows_with_horizon_for_stochastic_models() {
+    // σ_h is non-decreasing in h for AR/ARMA/ARIMA psi-weight intervals.
+    let series = seasonal_series();
+    for mut model in [
+        Box::new(ArModel::new(3)) as Box<dyn ForecastModel>,
+        Box::new(ArmaModel::new(1, 1)),
+        Box::new(ArimaModel::new(0, 1, 1)),
+    ] {
+        model.fit(&series).unwrap();
+        let f = model.forecast(14, CONFIDENCE).unwrap();
+        for w in f.points.windows(2) {
+            assert!(
+                w[1].std_err >= w[0].std_err - 1e-9,
+                "{}: std_err shrank from {} to {}",
+                model.name(),
+                w[0].std_err,
+                w[1].std_err
+            );
+        }
+    }
+}
+
+#[test]
+fn wider_confidence_means_wider_intervals() {
+    let series = seasonal_series();
+    for mut model in models() {
+        model.fit(&series).unwrap();
+        let narrow = model.forecast(HORIZON, 0.5).unwrap().mean_interval_width();
+        let wide = model.forecast(HORIZON, 0.99).unwrap().mean_interval_width();
+        assert!(
+            wide > narrow,
+            "{}: 99% interval ({wide}) not wider than 50% ({narrow})",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn seasonal_models_track_the_cycle() {
+    // Holt–Winters and seasonal-naive must reproduce the weekly pattern:
+    // the forecast's max-min spread should be comparable to the seasonal
+    // amplitude (300), not flattened to the mean.
+    let series = seasonal_series();
+    for mut model in [
+        Box::new(EtsModel::new(EtsVariant::HoltWinters { period: 7 })) as Box<dyn ForecastModel>,
+        Box::new(SeasonalNaiveModel::new(7)),
+    ] {
+        model.fit(&series).unwrap();
+        let f = model.forecast(7, CONFIDENCE).unwrap();
+        let values = f.values();
+        let spread = values.iter().cloned().fold(f64::MIN, f64::max)
+            - values.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            spread > 100.0,
+            "{} flattened the weekly cycle (spread {spread:.1})",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn refitting_on_new_data_replaces_the_old_fit() {
+    let series = seasonal_series();
+    let mut model = ArModel::new(2);
+    model.fit(&series).unwrap();
+    let f1 = model.forecast(3, CONFIDENCE).unwrap();
+    let shifted: Vec<f64> = series.iter().map(|v| v + 5000.0).collect();
+    model.fit(&shifted).unwrap();
+    let f2 = model.forecast(3, CONFIDENCE).unwrap();
+    assert!(
+        (f2.points[0].value - f1.points[0].value) > 2500.0,
+        "refit ignored the new series: {} vs {}",
+        f1.points[0].value,
+        f2.points[0].value
+    );
+}

@@ -1,0 +1,121 @@
+//! Parser → AST → binder round-trips for the quickstart `FORECAST` query
+//! (the exact statement from the facade crate's doc example), including
+//! `OPTION` clauses, plus the textual round-trip `parse(stmt.to_string())
+//! == stmt` that keeps `Display` and the grammar in sync.
+
+use flashp_query::{parse, Expr, Literal, OptionValue, Statement};
+use flashp_storage::AggFunc;
+
+const QUICKSTART: &str = "FORECAST SUM(Impression) FROM ads \
+     WHERE age <= 30 AND gender = 'F' \
+     USING (20200101, 20200229) \
+     OPTION (MODEL = 'arima', FORE_PERIOD = 7)";
+
+fn forecast_stmt(sql: &str) -> flashp_query::ForecastStmt {
+    match parse(sql).unwrap() {
+        Statement::Forecast(stmt) => stmt,
+        other => panic!("expected FORECAST, parsed {other:?}"),
+    }
+}
+
+#[test]
+fn quickstart_parses_into_the_expected_ast() {
+    let stmt = forecast_stmt(QUICKSTART);
+    assert_eq!(stmt.agg, AggFunc::Sum);
+    assert_eq!(stmt.measure, "Impression");
+    assert_eq!(stmt.table, "ads");
+    assert_eq!(stmt.t_start, 20200101);
+    assert_eq!(stmt.t_end, 20200229);
+
+    // WHERE age <= 30 AND gender = 'F'
+    match &stmt.constraint {
+        Expr::And(children) => {
+            assert_eq!(children.len(), 2);
+            assert!(children[0].references("age"), "first conjunct should constrain age");
+            assert!(children[1].references("gender"), "second conjunct should constrain gender");
+        }
+        other => panic!("expected AND conjunction, got {other:?}"),
+    }
+}
+
+#[test]
+fn quickstart_option_clauses_survive() {
+    let stmt = forecast_stmt(QUICKSTART);
+    assert_eq!(stmt.options.len(), 2);
+    // Source order is preserved and lookup is case-insensitive.
+    assert_eq!(stmt.options[0].0.to_uppercase(), "MODEL");
+    assert_eq!(stmt.option("model").and_then(OptionValue::as_str), Some("arima"));
+    assert_eq!(stmt.option("FORE_PERIOD").and_then(OptionValue::as_int), Some(7));
+    assert_eq!(stmt.option("no_such_option"), None);
+}
+
+#[test]
+fn quickstart_round_trips_through_display() {
+    let parsed = parse(QUICKSTART).unwrap();
+    let printed = parsed.to_string();
+    assert!(printed.contains("OPTION ("), "Display must keep OPTION clauses: {printed}");
+    let reparsed = parse(&printed)
+        .unwrap_or_else(|e| panic!("Display output failed to reparse: {printed}\n{e}"));
+    assert_eq!(parsed, reparsed, "parse → print → parse must be a fixed point");
+    // And printing again is stable.
+    assert_eq!(printed, reparsed.to_string());
+}
+
+#[test]
+fn option_value_types_round_trip() {
+    let stmt = forecast_stmt(
+        "FORECAST AVG(Click) FROM t WHERE a = 1 USING (20200101, 20200131) \
+         OPTION (MODEL = 'ets', FORE_PERIOD = 3, SAMPLE_RATE = 0.01)",
+    );
+    assert_eq!(stmt.option("sample_rate").and_then(OptionValue::as_float), Some(0.01));
+    // Integers coerce to float on demand but not the other way round.
+    assert_eq!(stmt.option("fore_period").and_then(OptionValue::as_float), Some(3.0));
+    assert_eq!(stmt.option("sample_rate").and_then(OptionValue::as_int), None);
+    let reparsed = parse(&Statement::Forecast(stmt.clone()).to_string()).unwrap();
+    assert_eq!(Statement::Forecast(stmt), reparsed);
+}
+
+#[test]
+fn constraint_binds_against_the_ads_schema() {
+    // parser → binder: the bound predicate must evaluate the same rows the
+    // AST describes. `bind_expr` produces a storage predicate by name.
+    let stmt = forecast_stmt(QUICKSTART);
+    let pred = flashp_query::bind_expr(&stmt.constraint).unwrap();
+    let printed = format!("{pred}");
+    assert!(printed.to_lowercase().contains("age"), "bound predicate lost age: {printed}");
+    assert!(printed.to_lowercase().contains("gender"), "bound predicate lost gender: {printed}");
+}
+
+#[test]
+fn select_round_trips_too() {
+    let sql = "SELECT SUM(Impression) FROM ads WHERE age <= 30 AND t = 20200105";
+    let parsed = parse(sql).unwrap();
+    let Statement::Select(stmt) = &parsed else { panic!("expected SELECT") };
+    assert_eq!(stmt.agg, AggFunc::Sum);
+    assert!(!stmt.group_by_time);
+    let reparsed = parse(&parsed.to_string()).unwrap();
+    assert_eq!(parsed, reparsed);
+
+    let grouped = parse("SELECT COUNT(Click) FROM ads WHERE age <= 30 GROUP BY t").unwrap();
+    let Statement::Select(stmt) = &grouped else { panic!("expected SELECT") };
+    assert!(stmt.group_by_time);
+    assert_eq!(grouped, parse(&grouped.to_string()).unwrap());
+}
+
+#[test]
+fn literals_compare_structurally() {
+    let a = forecast_stmt(QUICKSTART);
+    let b = forecast_stmt(QUICKSTART);
+    assert_eq!(a, b);
+    match a.constraint {
+        Expr::And(ref children) => {
+            // gender = 'F' keeps its string literal.
+            let printed = format!("{}", children[1]);
+            assert!(printed.contains('F'), "string literal lost: {printed}");
+        }
+        _ => unreachable!(),
+    }
+    // Literal equality is type- and value-sensitive.
+    assert_ne!(Literal::Int(1), Literal::Int(2));
+    assert_ne!(Literal::Int(1), Literal::Str("1".to_string()));
+}

@@ -60,7 +60,7 @@ pub struct IncrementalGswSample {
 impl IncrementalGswSample {
     /// Empty sample at the given Δ ≥ 0.
     pub fn new(schema: SchemaRef, delta: f64) -> Result<Self, SamplingError> {
-        if !(delta >= 0.0) || !delta.is_finite() {
+        if !delta.is_finite() || delta < 0.0 {
             return Err(SamplingError::InvalidParam(format!("invalid delta {delta}")));
         }
         Ok(IncrementalGswSample { schema, delta, heap: BinaryHeap::new(), population: 0 })
@@ -107,7 +107,7 @@ impl IncrementalGswSample {
         weight: f64,
         p: f64,
     ) -> Result<bool, SamplingError> {
-        if !(weight > 0.0) || !weight.is_finite() {
+        if !weight.is_finite() || weight <= 0.0 {
             return Err(SamplingError::InvalidParam(format!("weight must be positive, got {weight}")));
         }
         if !(p > 0.0 && p <= 1.0) {

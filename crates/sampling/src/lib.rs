@@ -18,7 +18,7 @@
 //! and measures (Theorem 3, [`consistency`]).
 //!
 //! Baselines for the paper's experiments live alongside: uniform Bernoulli
-//! ([`uniform`]), priority [21] ([`priority`]), threshold [20]
+//! ([`uniform`]), priority \[21\] ([`priority`]), threshold \[20\]
 //! ([`threshold`]), plus the §7 extension samplers (stratified, universe).
 //! [`incremental`] maintains a GSW sample under row arrivals by raising Δ
 //! without touching unsampled rows (§4.1); [`multilayer`] keeps samples of

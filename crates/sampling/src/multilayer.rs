@@ -93,11 +93,12 @@ impl MultiLayerSamples {
             return None;
         }
         match policy {
+            // Layers are sorted descending, so the last adequate layer is
+            // the smallest adequate one.
             LayerSelection::CheapestAdequate => self
                 .layers
                 .iter()
-                .filter(|l| l.rate >= requested_rate)
-                .last() // layers sorted descending → last adequate = smallest adequate
+                .rfind(|l| l.rate >= requested_rate)
                 .or(self.layers.first()),
             LayerSelection::Closest => self.layers.iter().min_by(|a, b| {
                 let da = (a.rate.ln() - requested_rate.ln()).abs();

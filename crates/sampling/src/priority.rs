@@ -1,5 +1,5 @@
-//! Priority sampling (Duffield–Lund–Thorup [21], shown essentially optimal
-//! by Szegedy [37]): draw `u_i ~ U(0,1)`, give row `i` priority
+//! Priority sampling (Duffield–Lund–Thorup \[21\], shown essentially optimal
+//! by Szegedy \[37\]): draw `u_i ~ U(0,1)`, give row `i` priority
 //! `q_i = m_i/u_i`, keep the `k` highest-priority rows, and let τ be the
 //! (k+1)-st priority. The estimator `m̂_i = max(m_i, τ)` is unbiased with
 //! `RSTD ≤ √(1/(k−1))`.

@@ -2,7 +2,7 @@
 //! be used in our system"). Rows are stratified by the value of one
 //! dimension; each stratum gets a Bernoulli rate that guarantees small
 //! strata are not starved (protecting rare groups, the classic
-//! congressional-sample motivation [5]).
+//! congressional-sample motivation \[5\]).
 
 use crate::error::SamplingError;
 use crate::gsw::gather_rows;

@@ -1,4 +1,4 @@
-//! Threshold sampling (Duffield–Lund–Thorup [20]): Poisson sampling with
+//! Threshold sampling (Duffield–Lund–Thorup \[20\]): Poisson sampling with
 //! `π_i = min(1, m_i/τ)` and HT estimator `m̂_i = max(m_i, τ)`. It is the
 //! Poisson (independent-inclusion) analogue of priority sampling and the
 //! direct ancestor of GSW's "smoothed" inclusion probabilities.
@@ -87,7 +87,7 @@ impl Sampler for ThresholdSampler {
             let p = if tau == 0.0 { 1.0 } else { (v / tau).min(1.0) };
             if p >= 1.0 || (p > 0.0 && rng.gen::<f64>() < p) {
                 indices.push(i);
-                pi.push(p.max(f64::MIN_POSITIVE).min(1.0));
+                pi.push(p.clamp(f64::MIN_POSITIVE, 1.0));
             }
         }
         let rows = gather_rows(partition, &indices);

@@ -1,7 +1,7 @@
 //! Uniform (Bernoulli) sampling with Horvitz–Thompson estimation — the
-//! baseline of the paper's experiments (also used by the PIM paper [7]).
+//! baseline of the paper's experiments (also used by the PIM paper \[7\]).
 //! Its error bound is proportional to the *range* of the measure
-//! (max − min) [28], which is why it loses badly on heavy-tailed measures.
+//! (max − min) \[28\], which is why it loses badly on heavy-tailed measures.
 
 use crate::error::SamplingError;
 use crate::gsw::gather_rows;

@@ -11,7 +11,7 @@
 //! single pass, and what lets samples be drawn and maintained per partition.
 //!
 //! The crate provides:
-//! * compact dimension columns ([`column`]) with dictionary encoding for
+//! * compact dimension columns ([`mod@column`]) with dictionary encoding for
 //!   strings,
 //! * a predicate language ([`predicate`]) matching the constraint class `C`
 //!   of the paper (any logical expression over dimension values),

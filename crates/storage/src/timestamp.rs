@@ -50,7 +50,7 @@ impl Date {
 impl Timestamp {
     /// Parse a `YYYYMMDD` integer literal, e.g. `20200301`.
     pub fn from_yyyymmdd(v: i64) -> Result<Self, StorageError> {
-        if !(101..=9999_12_31).contains(&v) {
+        if !(101..=99_991_231).contains(&v) {
             return Err(StorageError::InvalidDate(v.to_string()));
         }
         let year = (v / 10_000) as i32;

@@ -35,7 +35,7 @@
 //!
 //! See `examples/quickstart.rs`; the short version:
 //!
-//! ```no_run
+//! ```
 //! use flashp::core::{EngineConfig, FlashPEngine};
 //! use flashp::data::{DatasetConfig, generate_dataset};
 //!

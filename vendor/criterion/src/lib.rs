@@ -1,0 +1,265 @@
+//! Offline drop-in subset of the [`criterion`](https://crates.io/crates/criterion)
+//! bench API.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the slice the FlashP benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, sample_size, bench_function,
+//! bench_with_input, finish}`, `Bencher::{iter, iter_with_setup}`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! It is a *timing harness*, not a statistics engine: each benchmark is
+//! warmed up once, then timed over a capped number of iterations, and a
+//! single `name/id  mean  (throughput)` line is printed. That keeps
+//! `cargo bench` runnable (and CI-checkable) without criterion's plotting
+//! and bootstrap machinery. Relative numbers are still meaningful; use the
+//! real crate for publication-grade measurements.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for the throughput line (`criterion::Throughput` subset).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`criterion::BenchmarkId` subset).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the measured routine (`criterion::Bencher` subset).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, excluded from timing
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_with_setup<S, O, FS, F>(&mut self, mut setup: FS, mut routine: F)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        black_box(routine(setup())); // warm-up, excluded from timing
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// A named group of related benchmarks (`criterion::BenchmarkGroup`
+/// subset).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let iters = self.iters();
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let iters = self.iters();
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn iters(&self) -> u64 {
+        // The stub keeps runs short: a handful of timed iterations, capped
+        // well below criterion's default 100 samples.
+        self.sample_size.min(self.criterion.max_iters)
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let mean = bencher.elapsed.as_secs_f64() / bencher.iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:.3e} elem/s", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:.3e} B/s", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}  {:>12}{}", self.name, id, format_time(mean), rate);
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// The harness entry point (`criterion::Criterion` subset).
+pub struct Criterion {
+    max_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let max_iters = std::env::var("FLASHP_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion { max_iters }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup { criterion: self, name, throughput: None, sample_size: u64::MAX }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut group = c.benchmark_group("smoke");
+            group.throughput(Throughput::Elements(4)).sample_size(3);
+            group.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+            group.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+                b.iter_with_setup(
+                    || n,
+                    |n| {
+                        calls += 1;
+                        n * 2
+                    },
+                )
+            });
+            group.finish();
+        }
+        // sample_size(3) + 1 warm-up call
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("gsw").to_string(), "gsw");
+        assert_eq!(BenchmarkId::new("fit", 128).to_string(), "fit/128");
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline drop-in subset of the [`proptest`](https://crates.io/crates/proptest)
+//! API.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the slice FlashP's unit tests use: the [`proptest!`] macro over
+//! `arg in strategy` parameters, [`any`], range strategies for floats and
+//! integers, [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! Unlike the real crate this runs a **fixed-seed** loop (256 cases per
+//! property, overridable via `PROPTEST_CASES`) and does no shrinking: a
+//! failing case panics with the standard assert message plus the case
+//! index. Determinism is a feature here — the workspace's tier-1 gate
+//! requires identical results across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+use std::ops::Range;
+
+// Re-exported so `proptest!` can name rand types via `$crate::` without
+// requiring the caller to depend on `rand` itself.
+#[doc(hidden)]
+pub extern crate rand;
+
+/// A generator of values for one `proptest!` parameter.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Types with a canonical "anything goes" strategy (`Arbitrary` subset).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite floats spanning a broad magnitude range (the real crate also
+    /// yields non-finite values; FlashP's properties only need finite).
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mag = rng.gen_range(-300.0..300.0);
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        sign * 10f64.powf(mag / 10.0)
+    }
+}
+
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// `proptest::prelude::any::<T>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Vector lengths accepted by [`collection::vec`] (`SizeRange` subset).
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_exclusive: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi_exclusive: r.end }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element_strategy, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn num_cases() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+}
+
+/// Define property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// becomes a regular test that samples all strategies from a fixed-seed
+/// RNG and runs the body for [`num_cases`] cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )+) => {$(
+        $(#[$attr])*
+        fn $name() {
+            // Different properties get different (but fixed) streams.
+            let seed = $crate::fnv1a(stringify!($name));
+            let mut prop_rng =
+                <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(seed);
+            for case in 0..$crate::num_cases() {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut prop_rng);)+
+                let run = || -> () { $body };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(payload) = outcome {
+                    eprintln!("proptest case {case} of {} failed", stringify!($name));
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )+};
+}
+
+#[doc(hidden)]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// `prop_assert!` — panics on failure (this stub does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — panics on failure (this stub does not shrink).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — panics on failure (this stub does not shrink).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use rand;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn vec_lengths_respect_size_range(
+            bits in collection::vec(any::<bool>(), 2..5),
+            exact in collection::vec(-1.0f64..1.0, 3),
+        ) {
+            prop_assert!((2..5).contains(&bits.len()));
+            prop_assert_eq!(exact.len(), 3);
+            for v in &exact {
+                prop_assert!((-1.0..1.0).contains(v));
+            }
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -0.6f64..0.6, n in 1u64..10) {
+            prop_assert!((-0.6..0.6).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+    }
+
+    #[test]
+    fn fixed_seed_is_deterministic() {
+        let mut a = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(crate::fnv1a("p"));
+        let mut b = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(crate::fnv1a("p"));
+        let sa = crate::collection::vec(any::<u64>(), 0..10).sample(&mut a);
+        let sb = crate::collection::vec(any::<u64>(), 0..10).sample(&mut b);
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,554 @@
+//! Offline drop-in subset of the [`serde_json`](https://crates.io/crates/serde_json)
+//! API.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the slice FlashP's bench harness uses: the [`Value`] tree, an
+//! insertion-ordered [`Map`], the [`json!`] macro, and
+//! [`to_string`]/[`to_string_pretty`] over `Value`s. There is no serde
+//! integration and no parser — values are *built*, not deserialized, and
+//! conversions go through `Value: From<T>` instead of `Serialize`.
+
+use std::fmt;
+
+/// A JSON number: integers keep their integer formatting, everything else
+/// is an `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::UInt(u) => u as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::UInt(u) => write!(f, "{u}"),
+            Number::Float(x) if x.is_finite() => {
+                // Make sure floats survive a JSON round trip as floats.
+                if x == x.trunc() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            // Real JSON has no NaN/Inf; serde_json emits null. Do the same.
+            Number::Float(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// An insertion-ordered `String -> Value` map (`serde_json::Map` subset).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON value (`serde_json::Value` subset).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::Int(v as i64))
+            }
+        }
+    )*};
+}
+
+from_int!(i8, i16, i32, i64, isize);
+
+macro_rules! from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::UInt(v as u64))
+            }
+        }
+    )*};
+}
+
+from_uint!(u8, u16, u32, u64, usize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&Vec<T>> for Value {
+    fn from(v: &Vec<T>) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<A: Into<Value>, B: Into<Value>> From<(A, B)> for Value {
+    fn from((a, b): (A, B)) -> Value {
+        Value::Array(vec![a.into(), b.into()])
+    }
+}
+
+impl<A: Into<Value>, B: Into<Value>, C: Into<Value>> From<(A, B, C)> for Value {
+    fn from((a, b, c): (A, B, C)) -> Value {
+        Value::Array(vec![a.into(), b.into(), c.into()])
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// By-reference conversion into a [`Value`] — the stub's stand-in for
+/// `Serialize`. The [`json!`] macro converts through `&expr`, matching the
+/// real crate's semantics (expressions are borrowed, not moved).
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! to_json_via_from {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+    )*};
+}
+
+to_json_via_from!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64, bool);
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for Map {
+    fn to_json(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        self.as_ref().map_or(Value::Null, ToJson::to_json)
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, value: &Value, indent: usize, pretty: bool) {
+    let (nl, pad, pad_in) = if pretty {
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(out, key);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, 0, false);
+        f.write_str(&out)
+    }
+}
+
+/// Compact serialization. Infallible here, but keeps `serde_json`'s
+/// `Result` signature so call sites don't change.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, fmt::Error> {
+    Ok(value.to_json().to_string())
+}
+
+/// Two-space-indented serialization, matching `serde_json`'s pretty layout.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, fmt::Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json(), 0, true);
+    Ok(out)
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+/// Build a [`Value`] from JSON-ish syntax. Supports nested object and
+/// array literals, `null`/`true`/`false`, and arbitrary expressions with a
+/// `Value: From` conversion — the same shapes `serde_json::json!` accepts
+/// (minus spread/`..` forms, which this repo never uses).
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+
+    // ---- array elements ----------------------------------------------
+    (@array [$($elems:expr,)*]) => {
+        ::std::vec![$($elems,)*]
+    };
+    (@array [$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*]),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] {$($obj:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($obj)*}),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] $value:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::ToJson::to_json(&$value),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $value:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::ToJson::to_json(&$value),])
+    };
+
+    // ---- object entries ----------------------------------------------
+    // Done.
+    (@object $object:ident () ()) => {};
+    // Value is null / a nested array / a nested object.
+    (@object $object:ident ($($key:tt)+) (: null $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).to_string(), $crate::Value::Null);
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($arr:tt)*] $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).to_string(), $crate::json_internal!([$($arr)*]));
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($obj:tt)*} $(, $($rest:tt)*)?)) => {
+        $object.insert(($($key)+).to_string(), $crate::json_internal!({$($obj)*}));
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    // Value is a general expression (consumes up to the next top-level
+    // comma; `expr` may legally be followed by `,`).
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*)) => {
+        $object.insert(($($key)+).to_string(), $crate::ToJson::to_json(&$value));
+        $crate::json_internal!(@object $object () ($($rest)*));
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr)) => {
+        $object.insert(($($key)+).to_string(), $crate::ToJson::to_json(&$value));
+    };
+    // Munch one token into the key accumulator.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_from() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(3i64), Value::Number(Number::Int(3)));
+        assert_eq!(json!(1.5).as_f64(), Some(1.5));
+        assert_eq!(json!("hi").as_str(), Some("hi"));
+        let v: Vec<f64> = vec![1.0, 2.0];
+        assert_eq!(json!(v).as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn object_and_array_literals() {
+        let xs = vec![1.0, 2.5];
+        let name = "gsw".to_string();
+        let v = json!({
+            "sampler": name,
+            "rates": xs,
+            "nested": { "a": 1, "b": [true, null, 2.0] },
+            "expr": 1 + 2,
+        });
+        assert_eq!(v.get("sampler").unwrap().as_str(), Some("gsw"));
+        assert_eq!(v.get("expr").unwrap().as_f64(), Some(3.0));
+        let nested = v.get("nested").unwrap();
+        assert_eq!(nested.get("a").unwrap().as_f64(), Some(1.0));
+        assert_eq!(nested.get("b").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn pretty_round_layout() {
+        let v = json!({ "k": [1, 2], "s": "a\"b" });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\"k\": ["));
+        assert!(text.contains("\\\""));
+        let compact = v.to_string();
+        assert_eq!(compact, r#"{"k":[1,2],"s":"a\"b"}"#);
+    }
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m = Map::new();
+        assert!(m.insert("a".into(), json!(1)).is_none());
+        assert_eq!(m.insert("a".into(), json!(2)), Some(json!(1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("a").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+        assert_eq!(json!(f64::INFINITY).to_string(), "null");
+    }
+}
