@@ -43,9 +43,19 @@ fn bench_exact_vs_sampled(c: &mut Criterion) {
     let mut group = c.benchmark_group("aggregation_1M_rows");
     group.throughput(Throughput::Elements(n as u64));
     group.bench_function("exact_masked_scan", |b| {
+        let mut scratch = flashp_storage::MaskScratch::new();
         b.iter(|| {
-            let mask = pred.evaluate(&partition);
-            flashp_storage::aggregate::aggregate_masked(&partition, 0, &mask)
+            let mask = pred.evaluate_into(&partition, &mut scratch);
+            let state = flashp_storage::aggregate::aggregate_masked(&partition, 0, &mask);
+            scratch.release(mask);
+            state.finalize(AggFunc::Sum)
+        })
+    });
+    // Pre-vectorization baseline, kept so `cargo bench` shows the spread.
+    group.bench_function("exact_masked_scan_scalar", |b| {
+        b.iter(|| {
+            let mask = flashp_storage::reference::evaluate_scalar(&pred, &partition);
+            flashp_storage::reference::aggregate_masked_scalar(&partition, 0, &mask)
                 .finalize(AggFunc::Sum)
         })
     });

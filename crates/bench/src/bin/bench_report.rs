@@ -1,0 +1,191 @@
+//! Scan-kernel throughput report, tracked in-tree.
+//!
+//! Measures the scalar (pre-vectorization) reference loops against the
+//! word-at-a-time kernels on a fixed-seed 1 M-row partition — exact masked
+//! aggregation, predicate evaluation, the fused single-comparison scan,
+//! and sampled estimation — and writes `BENCH_scan.json` at the repo root
+//! so every PR records both numbers and the speedup.
+//!
+//! Run with `cargo run -p flashp-bench --release --bin bench_report`.
+
+use flashp_sampling::{estimate_agg_with, GswSampler, SampleSize, Sampler};
+use flashp_storage::reference::{aggregate_masked_scalar, evaluate_scalar};
+use flashp_storage::{
+    aggregate::aggregate_masked, aggregate_filtered, AggFunc, CmpOp, CompiledPredicate, DataType,
+    DimensionColumn, MaskScratch, Partition, Predicate, Schema, SchemaRef,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+
+const ROWS: usize = 1_000_000;
+const SEED: u64 = 3;
+const REPS: usize = 15;
+
+fn setup() -> (SchemaRef, Partition) {
+    let schema = Schema::from_names(
+        &[("age", DataType::UInt8), ("seg", DataType::UInt16)],
+        &["m"],
+    )
+    .unwrap()
+    .into_shared();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut age = DimensionColumn::new(DataType::UInt8);
+    let mut seg = DimensionColumn::new(DataType::UInt16);
+    let mut m = Vec::with_capacity(ROWS);
+    for _ in 0..ROWS {
+        age.push_int("age", rng.gen_range(18..=70)).unwrap();
+        seg.push_int("seg", rng.gen_range(0..500)).unwrap();
+        m.push(if rng.gen::<f64>() < 0.01 { 300.0 } else { 1.0 + rng.gen::<f64>() });
+    }
+    (schema, Partition::from_columns(vec![age, seg], vec![m]).unwrap())
+}
+
+/// Median seconds per call over `REPS` timed calls (after warmup).
+fn time_median<R>(mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let mut times = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        black_box(f());
+        times.push(t.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    times[REPS / 2]
+}
+
+struct Bench {
+    name: &'static str,
+    rows: usize,
+    scalar_secs: f64,
+    vectorized_secs: f64,
+}
+
+impl Bench {
+    fn report(&self) -> serde_json::Value {
+        let scalar = self.rows as f64 / self.scalar_secs;
+        let vectorized = self.rows as f64 / self.vectorized_secs;
+        println!(
+            "{:<28} scalar {:>12.0} rows/s   vectorized {:>12.0} rows/s   speedup {:>5.2}x",
+            self.name,
+            scalar,
+            vectorized,
+            vectorized / scalar
+        );
+        json!({
+            "name": self.name,
+            "rows": self.rows,
+            "scalar_rows_per_sec": scalar,
+            "vectorized_rows_per_sec": vectorized,
+            "speedup": vectorized / scalar,
+        })
+    }
+}
+
+fn main() {
+    let (schema, partition) = setup();
+    let conj = Predicate::cmp("age", CmpOp::Le, 30)
+        .and(Predicate::cmp("seg", CmpOp::Lt, 100))
+        .compile(&schema, &[None, None])
+        .unwrap();
+    let single = CompiledPredicate::Cmp { dim: 0, op: CmpOp::Le, value: 30 };
+    let mut scratch = MaskScratch::new();
+    let mut benches = Vec::new();
+
+    // Exact masked aggregation (the paper's "Full" bottleneck): predicate
+    // evaluation + masked SUM over 1 M rows.
+    benches.push(Bench {
+        name: "exact_masked_aggregation",
+        rows: ROWS,
+        scalar_secs: time_median(|| {
+            let mask = evaluate_scalar(&conj, &partition);
+            aggregate_masked_scalar(&partition, 0, &mask).finalize(AggFunc::Sum)
+        }),
+        vectorized_secs: time_median(|| {
+            let mask = conj.evaluate_into(&partition, &mut scratch);
+            let state = aggregate_masked(&partition, 0, &mask);
+            scratch.release(mask);
+            state.finalize(AggFunc::Sum)
+        }),
+    });
+
+    // Predicate evaluation alone (mask construction throughput).
+    benches.push(Bench {
+        name: "predicate_eval",
+        rows: ROWS,
+        scalar_secs: time_median(|| evaluate_scalar(&conj, &partition).count_ones()),
+        vectorized_secs: time_median(|| {
+            let mask = conj.evaluate_into(&partition, &mut scratch);
+            let ones = mask.count_ones();
+            scratch.release(mask);
+            ones
+        }),
+    });
+
+    // Fused single-comparison scan: no mask materialized at all.
+    benches.push(Bench {
+        name: "fused_single_cmp_scan",
+        rows: ROWS,
+        scalar_secs: time_median(|| {
+            let mask = evaluate_scalar(&single, &partition);
+            aggregate_masked_scalar(&partition, 0, &mask).finalize(AggFunc::Sum)
+        }),
+        vectorized_secs: time_median(|| {
+            aggregate_filtered(&partition, 0, 0, CmpOp::Le, 30).finalize(AggFunc::Sum)
+        }),
+    });
+
+    // Sampled estimation (FlashP's online path) on a 1 % GSW sample:
+    // scalar = the pre-change estimate_agg loop — scalar predicate
+    // evaluation, then per matched row a division by π plus the full HT
+    // sum/count/variance accumulation.
+    let sampler = GswSampler::optimal(0, SampleSize::Rate(0.01));
+    let mut rng = StdRng::seed_from_u64(1);
+    let sample = sampler.sample(&schema, &partition, &mut rng).unwrap();
+    let sample_rows = sample.num_rows();
+    benches.push(Bench {
+        name: "sampled_estimation",
+        rows: sample_rows,
+        scalar_secs: time_median(|| {
+            let mask = evaluate_scalar(&conj, sample.rows());
+            let values = sample.rows().measure(0);
+            let pi = sample.inclusion_probabilities();
+            let mut sum_hat = 0.0;
+            let mut sum_var = 0.0;
+            let mut count_hat = 0.0;
+            let mut count_var = 0.0;
+            let mut matched = 0usize;
+            for i in mask.iter_ones() {
+                let p = pi[i];
+                let m = values[i];
+                sum_hat += m / p;
+                count_hat += 1.0 / p;
+                let q = (1.0 - p) / (p * p);
+                sum_var += m * m * q;
+                count_var += q;
+                matched += 1;
+            }
+            (sum_hat, sum_var, count_hat, count_var, matched)
+        }),
+        vectorized_secs: time_median(|| {
+            estimate_agg_with(&sample, 0, &conj, AggFunc::Sum, &mut scratch).unwrap().value
+        }),
+    });
+
+    let reports: Vec<serde_json::Value> = benches.iter().map(Bench::report).collect();
+    let doc = json!({
+        "bench": "BENCH_scan",
+        "rows": ROWS,
+        "seed": SEED,
+        "reps": REPS,
+        "unit": "rows_per_sec",
+        "benches": reports,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();
+    println!("wrote {path}");
+}

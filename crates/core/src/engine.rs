@@ -15,12 +15,12 @@ use crate::models::build_model;
 use crate::result::{ExecOutput, ForecastOut, ForecastResult, SelectResult, SeriesPoint, Timing};
 use flashp_query::{bind_expr, bind_select_constraint, parse, ForecastStmt, SelectStmt, Statement};
 use flashp_sampling::{
-    estimate_agg, group_measures, GswSampler, PrioritySampler, Sample, SampleSize, Sampler,
+    estimate_agg_with, group_measures, GswSampler, PrioritySampler, Sample, SampleSize, Sampler,
     ThresholdSampler, UniformSampler,
 };
-use flashp_storage::parallel::parallel_map;
+use flashp_storage::parallel::{parallel_map, parallel_map_with};
 use flashp_storage::{
-    AggFunc, AggState, CompiledPredicate, ScanOptions, Timestamp, TimeSeriesTable,
+    AggFunc, CompiledPredicate, MaskScratch, ScanOptions, Timestamp, TimeSeriesTable,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -413,12 +413,13 @@ impl FlashPEngine {
         let ts: Vec<Timestamp> = start.range_inclusive(end).collect();
         // Thread spawn costs dwarf the estimation work on small layers.
         let threads = if layer.total_rows < 200_000 { 1 } else { self.config.threads };
+        // One scratch per worker: the whole Eq. 4 batch shares mask buffers.
         let estimates: Vec<Result<SeriesPoint, EngineError>> =
-            parallel_map(&ts, threads, |&t| {
+            parallel_map_with(&ts, threads, MaskScratch::new, |scratch, &t| {
                 let sample = bucket.get(&t).ok_or_else(|| {
                     EngineError::SamplesUnavailable(format!("no sample for timestamp {t}"))
                 })?;
-                let e = estimate_agg(sample, measure, pred, agg)?;
+                let e = estimate_agg_with(sample, measure, pred, agg, scratch)?;
                 Ok(SeriesPoint { t, value: e.value, variance: e.variance })
             });
         let mut points = Vec::with_capacity(estimates.len());
@@ -457,17 +458,16 @@ impl FlashPEngine {
             )?;
             return Ok(SelectResult { rows, approximate: false });
         }
-        // Scalar aggregate across the range.
-        let parts: Vec<(Timestamp, &flashp_storage::Partition)> =
-            self.table.partitions_in(lo, hi).collect();
-        let states: Vec<AggState> = parallel_map(&parts, self.config.threads, |(_, p)| {
-            let mask = compiled.evaluate(p);
-            flashp_storage::aggregate::aggregate_masked(p, measure, &mask)
-        });
-        let mut total = AggState::default();
-        for s in states {
-            total.merge(s);
-        }
+        // Scalar aggregate across the range, through the same fused /
+        // scratch-reusing kernels as the grouped path.
+        let total = flashp_storage::aggregate_total(
+            &self.table,
+            measure,
+            &compiled,
+            lo,
+            hi,
+            ScanOptions { threads: self.config.threads },
+        )?;
         Ok(SelectResult { rows: vec![(lo, total.finalize(stmt.agg))], approximate: false })
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::error::SamplingError;
 use crate::sample::Sample;
-use flashp_storage::{AggFunc, CompiledPredicate};
+use flashp_storage::{AggFunc, CompiledPredicate, MaskScratch};
 
 /// An estimate of one aggregation query from one sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,29 +42,47 @@ pub fn estimate_agg(
     pred: &CompiledPredicate,
     agg: AggFunc,
 ) -> Result<Estimate, SamplingError> {
+    estimate_agg_with(sample, measure_idx, pred, agg, &mut MaskScratch::new())
+}
+
+/// [`estimate_agg`] drawing mask buffers from `scratch`, so a caller
+/// estimating many timestamps (the Eq. 4 query batch) reuses one set of
+/// buffers across all of them.
+///
+/// The matched-row loop is word-at-a-time over the selection mask and uses
+/// the sample's build-time precomputed `w = 1/π_i` (the HT variance weight
+/// `(1−π)/π²` falls out as `w² − w`) — no division per matched row.
+pub fn estimate_agg_with(
+    sample: &Sample,
+    measure_idx: usize,
+    pred: &CompiledPredicate,
+    agg: AggFunc,
+    scratch: &mut MaskScratch,
+) -> Result<Estimate, SamplingError> {
     let num_measures = sample.rows().measures().len();
     if measure_idx >= num_measures {
         return Err(SamplingError::BadMeasure { index: measure_idx, num_measures });
     }
-    let mask = sample.evaluate(pred);
+    let mask = sample.evaluate_into(pred, scratch);
     let values = sample.rows().measure(measure_idx);
-    let pi = sample.inclusion_probabilities();
+    let inv_pi = sample.inverse_inclusion_probabilities();
 
     let mut sum_hat = 0.0;
     let mut sum_var = 0.0;
     let mut count_hat = 0.0;
     let mut count_var = 0.0;
     let mut matched = 0usize;
-    for i in mask.iter_ones() {
-        let p = pi[i];
+    mask.for_each_one(|i| {
+        let w = inv_pi[i];
         let m = values[i];
-        sum_hat += m / p;
-        count_hat += 1.0 / p;
-        let q = (1.0 - p) / (p * p);
+        sum_hat += m * w;
+        count_hat += w;
+        let q = w * w - w; // (1−π)/π² expressed in the precomputed 1/π
         sum_var += m * m * q;
         count_var += q;
         matched += 1;
-    }
+    });
+    scratch.release(mask);
 
     let estimate = match agg {
         AggFunc::Sum => Estimate { value: sum_hat, variance: Some(sum_var), matched_rows: matched },

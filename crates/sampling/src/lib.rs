@@ -43,7 +43,7 @@ pub mod universe;
 pub mod weights;
 
 pub use error::SamplingError;
-pub use estimator::{estimate_agg, Estimate};
+pub use estimator::{estimate_agg, estimate_agg_with, Estimate};
 pub use grouping::{group_measures, MeasureGroups};
 pub use gsw::{delta_for_expected_size, GswSampler};
 pub use incremental::IncrementalGswSample;

@@ -9,7 +9,7 @@
 //! `m̂_i = m_i (Δ+w_i)/w_i`; for priority/threshold sampling `π_i =
 //! min(1, m_i/τ)` recovers `m̂_i = max(m_i, τ)`.
 
-use flashp_storage::{CompiledPredicate, Partition, SchemaRef};
+use flashp_storage::{CompiledPredicate, MaskScratch, Partition, SchemaRef};
 
 use crate::error::SamplingError;
 
@@ -45,6 +45,11 @@ pub struct Sample {
     rows: Partition,
     /// Per-sampled-row inclusion probability π ∈ (0, 1].
     pi: Vec<f64>,
+    /// Precomputed `1/π_i`, so estimation multiplies instead of dividing
+    /// per matched row per query. The HT variance weight `(1−π)/π²` is
+    /// derived from this as `w² − w` at estimation time — one mul+sub,
+    /// not worth a third per-row array.
+    inv_pi: Vec<f64>,
     /// Number of rows in the population partition this was drawn from.
     population_rows: usize,
     /// Sampler that produced this sample (diagnostics).
@@ -76,7 +81,10 @@ impl Sample {
                 pi[i]
             )));
         }
-        Ok(Sample { schema, rows, pi, population_rows, method: method.into(), scope })
+        // Build-time precomputation: estimation touches every matched row
+        // of every query, so the per-row divisions are paid once here.
+        let inv_pi: Vec<f64> = pi.iter().map(|&p| 1.0 / p).collect();
+        Ok(Sample { schema, rows, pi, inv_pi, population_rows, method: method.into(), scope })
     }
 
     /// The schema shared with the source table.
@@ -92,6 +100,11 @@ impl Sample {
     /// Inclusion probabilities, aligned with [`Sample::rows`].
     pub fn inclusion_probabilities(&self) -> &[f64] {
         &self.pi
+    }
+
+    /// Precomputed `1/π_i`, aligned with [`Sample::rows`].
+    pub fn inverse_inclusion_probabilities(&self) -> &[f64] {
+        &self.inv_pi
     }
 
     /// Number of sampled rows.
@@ -125,7 +138,7 @@ impl Sample {
     /// Calibrated measure value `m̂_i = m_i / π_i` of sampled row `i`.
     #[inline]
     pub fn calibrated(&self, measure_idx: usize, row: usize) -> f64 {
-        self.rows.measure(measure_idx)[row] / self.pi[row]
+        self.rows.measure(measure_idx)[row] * self.inv_pi[row]
     }
 
     /// Evaluate a compiled predicate over the sampled rows.
@@ -133,10 +146,21 @@ impl Sample {
         pred.evaluate(&self.rows)
     }
 
+    /// Evaluate a compiled predicate over the sampled rows, drawing mask
+    /// buffers from `scratch` (release the result back when done).
+    pub fn evaluate_into(
+        &self,
+        pred: &CompiledPredicate,
+        scratch: &mut MaskScratch,
+    ) -> flashp_storage::Bitmask {
+        pred.evaluate_into(&self.rows, scratch)
+    }
+
     /// Approximate heap footprint in bytes (dimension columns + measures +
-    /// probabilities) — the quantity stacked in Fig. 15(a).
+    /// probabilities and their precomputed inverses) — the quantity
+    /// stacked in Fig. 15(a).
     pub fn byte_size(&self) -> usize {
-        self.rows.byte_size() + self.pi.len() * 8
+        self.rows.byte_size() + (self.pi.len() + self.inv_pi.len()) * 8
     }
 }
 

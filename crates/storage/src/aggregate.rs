@@ -2,7 +2,9 @@
 //! of the per-timestamp aggregation queries in Eq. (4) of the paper.
 
 use crate::bitmask::Bitmask;
+use crate::column::DimensionColumn;
 use crate::partition::Partition;
+use crate::predicate::CmpOp;
 use std::fmt;
 
 /// Aggregate function of a forecasting task. The paper's primary target is
@@ -26,11 +28,14 @@ impl AggFunc {
 
     /// Parse a (case-insensitive) SQL name.
     pub fn parse(s: &str) -> Option<Self> {
-        match s.to_ascii_uppercase().as_str() {
-            "SUM" => Some(AggFunc::Sum),
-            "COUNT" => Some(AggFunc::Count),
-            "AVG" => Some(AggFunc::Avg),
-            _ => None,
+        if s.eq_ignore_ascii_case("SUM") {
+            Some(AggFunc::Sum)
+        } else if s.eq_ignore_ascii_case("COUNT") {
+            Some(AggFunc::Count)
+        } else if s.eq_ignore_ascii_case("AVG") {
+            Some(AggFunc::Avg)
+        } else {
+            None
         }
     }
 }
@@ -74,16 +79,106 @@ impl AggState {
     }
 }
 
-/// Aggregate measure `measure_idx` over the rows selected by `mask`.
+/// Aggregate measure `measure_idx` over the rows selected by `mask`,
+/// walking the mask word-at-a-time via [`Bitmask::for_each_one`].
 pub fn aggregate_masked(partition: &Partition, measure_idx: usize, mask: &Bitmask) -> AggState {
     let values = partition.measure(measure_idx);
     debug_assert_eq!(values.len(), mask.len());
-    let mut state = AggState::default();
-    for i in mask.iter_ones() {
-        state.sum += values[i];
-        state.count += 1;
+    let mut sum = 0.0f64;
+    let mut count = 0u64;
+    mask.for_each_one(|i| {
+        sum += values[i];
+        count += 1;
+    });
+    AggState { sum, count }
+}
+
+/// Fused filter + aggregate for a single comparison predicate: per 64-row
+/// chunk the comparison result selects the measure or 0.0 branchlessly, so
+/// no mask is ever materialized. This is the kernel behind
+/// single-comparison constraints on the exact scan path.
+pub fn aggregate_filtered(
+    partition: &Partition,
+    measure_idx: usize,
+    dim: usize,
+    op: CmpOp,
+    value: i64,
+) -> AggState {
+    let values = partition.measure(measure_idx);
+    let col = partition.dim(dim);
+    macro_rules! narrow {
+        ($v:expr, $t:ty) => {{
+            match <$t>::try_from(value) {
+                Ok(rhs) => fused_kernel($v, values, op, rhs),
+                // Literal outside the representation's range: matches all
+                // rows or none (see `out_of_range_matches_all`).
+                Err(_) => {
+                    if crate::predicate::out_of_range_matches_all(op, value > 0) {
+                        aggregate_all(partition, measure_idx)
+                    } else {
+                        AggState::default()
+                    }
+                }
+            }
+        }};
     }
-    state
+    match col {
+        DimensionColumn::UInt8(v) => narrow!(v, u8),
+        DimensionColumn::UInt16(v) => narrow!(v, u16),
+        DimensionColumn::Dict(v) => narrow!(v, u32),
+        DimensionColumn::Int64(v) => fused_kernel(v, values, op, value),
+    }
+}
+
+/// Per 64-row chunk: pack the comparison results into one register word
+/// (branchless, autovectorizable), then feed only the matching rows into
+/// the sum via `trailing_zeros`. The word never touches memory — that is
+/// the fusion — and matching rows are added in ascending order, so the
+/// sum is bit-identical to mask-then-aggregate.
+fn fused_kernel<T: Copy + PartialOrd>(dims: &[T], values: &[f64], op: CmpOp, rhs: T) -> AggState {
+    debug_assert_eq!(dims.len(), values.len());
+    macro_rules! run {
+        ($f:expr) => {{
+            let f = $f;
+            let mut sum = 0.0f64;
+            let mut count = 0u64;
+            let mut chunks = dims.chunks_exact(64);
+            let mut base = 0usize;
+            for chunk in chunks.by_ref() {
+                let mut word = 0u64;
+                for (bit, &x) in chunk.iter().enumerate() {
+                    word |= (f(x) as u64) << bit;
+                }
+                count += u64::from(word.count_ones());
+                if word == u64::MAX {
+                    for &m in &values[base..base + 64] {
+                        sum += m;
+                    }
+                } else {
+                    while word != 0 {
+                        sum += values[base + word.trailing_zeros() as usize];
+                        word &= word - 1;
+                    }
+                }
+                base += 64;
+            }
+            for (&x, &m) in chunks.remainder().iter().zip(&values[base..]) {
+                if f(x) {
+                    sum += m;
+                    count += 1;
+                }
+            }
+            AggState { sum, count }
+        }};
+    }
+    match op {
+        CmpOp::Eq => run!(|x| x == rhs),
+        CmpOp::Ne => run!(|x| x != rhs),
+        CmpOp::Lt => run!(|x| x < rhs),
+        CmpOp::Le => run!(|x| x <= rhs),
+        CmpOp::Gt => run!(|x| x > rhs),
+        CmpOp::Ge => run!(|x| x >= rhs),
+    }
 }
 
 /// Aggregate measure `measure_idx` over all rows of the partition.
@@ -95,7 +190,7 @@ pub fn aggregate_all(partition: &Partition, measure_idx: usize) -> AggState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::column::DimensionColumn;
+    use crate::predicate::CompiledPredicate;
 
     fn partition(measure: Vec<f64>) -> Partition {
         let n = measure.len();
@@ -147,5 +242,58 @@ mod tests {
         assert_eq!(AggFunc::parse("sum"), Some(AggFunc::Sum));
         assert_eq!(AggFunc::parse("CoUnT"), Some(AggFunc::Count));
         assert_eq!(AggFunc::parse("median"), None);
+        assert_eq!(AggFunc::parse(""), None);
+    }
+
+    #[test]
+    fn word_walk_handles_dense_sparse_and_tail_words() {
+        // 130 rows: word 0 all-ones (dense path), word 1 mixed, word 2 a
+        // two-bit tail.
+        let n = 130;
+        let p = partition((0..n).map(|i| i as f64).collect());
+        let mut mask = Bitmask::zeros(n);
+        for i in 0..64 {
+            mask.set(i);
+        }
+        for i in (64..128).step_by(3) {
+            mask.set(i);
+        }
+        mask.set(129);
+        let got = aggregate_masked(&p, 0, &mask);
+        let want = crate::reference::aggregate_masked_scalar(&p, 0, &mask);
+        assert_eq!(got, want);
+        assert_eq!(got.count as usize, mask.count_ones());
+    }
+
+    #[test]
+    fn fused_filter_matches_mask_then_aggregate() {
+        let n = 200usize;
+        let dims = DimensionColumn::Int64((0..n as i64).map(|i| i % 17).collect());
+        let measures: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 100.0).collect();
+        let p = Partition::from_columns(vec![dims], vec![measures]).unwrap();
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for value in [-1i64, 0, 5, 16, 17, 100] {
+                let fused = aggregate_filtered(&p, 0, 0, op, value);
+                let pred = CompiledPredicate::Cmp { dim: 0, op, value };
+                let exact =
+                    crate::reference::aggregate_masked_scalar(&p, 0, &pred.evaluate(&p));
+                assert_eq!(fused, exact, "op {op:?} value {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_filter_out_of_range_literal_on_narrow_column() {
+        let mut c = DimensionColumn::new(crate::types::DataType::UInt8);
+        for v in [10i64, 20, 30] {
+            c.push_int("x", v).unwrap();
+        }
+        let p = Partition::from_columns(vec![c], vec![vec![1.0, 2.0, 4.0]]).unwrap();
+        let all = aggregate_filtered(&p, 0, 0, CmpOp::Le, 1000);
+        assert_eq!(all, AggState { sum: 7.0, count: 3 });
+        let none = aggregate_filtered(&p, 0, 0, CmpOp::Ge, 1000);
+        assert_eq!(none, AggState::default());
+        let below = aggregate_filtered(&p, 0, 0, CmpOp::Ne, -5);
+        assert_eq!(below, AggState { sum: 7.0, count: 3 });
     }
 }

@@ -51,6 +51,54 @@ impl Bitmask {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// True if at least one row is selected. Unlike `count_ones() != 0`
+    /// this exits on the first non-zero word, so it is the cheap emptiness
+    /// test for AND short-circuiting.
+    pub fn any_set(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Mutable packed words for the crate's kernel writers (64 rows each,
+    /// low bit = lowest row index). Callers must keep the bits at or
+    /// beyond `len` in the last word zero.
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Reshape this mask to `len` all-zero rows, reusing the existing word
+    /// allocation. This is the reuse hook behind `MaskScratch`.
+    pub fn reset_zeros(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    /// Reshape to `len` rows *without* clearing reused words — for the
+    /// crate's kernels, which overwrite every word anyway (a full-buffer
+    /// memset on the hot path would be pure waste). The words are garbage
+    /// (tail invariant included) until written, which is why this and
+    /// [`Bitmask::words_mut`] stay crate-private.
+    pub(crate) fn reset_for_overwrite(&mut self, len: usize) {
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    /// Clear every row.
+    pub fn fill_zeros(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Set every row, keeping the tail invariant.
+    pub fn fill_ones(&mut self) {
+        for w in &mut self.words {
+            *w = u64::MAX;
+        }
+        self.clear_tail();
+    }
+
     /// In-place intersection. Panics if lengths differ.
     pub fn and_inplace(&mut self, other: &Bitmask) {
         assert_eq!(self.len, other.len, "bitmask length mismatch");
@@ -84,6 +132,33 @@ impl Bitmask {
             }
         }
         m
+    }
+
+    /// Visit each selected row index in ascending order, word-at-a-time:
+    /// all-zero words cost one compare, all-one words take a straight
+    /// 64-index run (in bounds because tail bits beyond `len` are kept
+    /// zero, so the last word is never all-ones unless complete), and
+    /// mixed words gather set bits via `trailing_zeros`. This is the one
+    /// shared walk behind masked aggregation and sample estimation.
+    #[inline]
+    pub fn for_each_one(&self, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            let base = wi * 64;
+            if word == u64::MAX {
+                for i in base..base + 64 {
+                    f(i);
+                }
+            } else {
+                let mut w = word;
+                while w != 0 {
+                    f(base + w.trailing_zeros() as usize);
+                    w &= w - 1;
+                }
+            }
+        }
     }
 
     /// Iterate indices of selected rows in ascending order.
@@ -156,6 +231,35 @@ mod tests {
         assert!(!m.get(1) && !m.get(65));
         assert_eq!(m.count_ones(), 4);
         assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 99]);
+    }
+
+    #[test]
+    fn any_set_and_reuse() {
+        let mut m = Bitmask::zeros(130);
+        assert!(!m.any_set());
+        m.set(129);
+        assert!(m.any_set());
+        m.reset_zeros(70);
+        assert_eq!(m.len(), 70);
+        assert!(!m.any_set());
+        m.fill_ones();
+        assert_eq!(m.count_ones(), 70);
+        m.fill_zeros();
+        assert!(!m.any_set());
+        // Dirty reuse: fill_ones/fill_zeros must leave no stale bits even
+        // after reshaping without a clear.
+        m.fill_ones();
+        m.reset_for_overwrite(100);
+        m.fill_ones();
+        assert_eq!(m.count_ones(), 100);
+    }
+
+    #[test]
+    fn for_each_one_matches_iter_ones() {
+        let m = Bitmask::from_fn(200, |i| i % 3 == 0 || (64..128).contains(&i));
+        let mut visited = Vec::new();
+        m.for_each_one(|i| visited.push(i));
+        assert_eq!(visited, m.iter_ones().collect::<Vec<_>>());
     }
 
     #[test]

@@ -11,11 +11,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Dictionary mapping strings to dense `u32` codes for one categorical
-/// column. Shared across all partitions of a table.
+/// column. Shared across all partitions of a table. The string storage is
+/// `Arc<str>` shared between the code-indexed vector and the hash index,
+/// so interning an unseen value costs one allocation and a hit costs none.
 #[derive(Debug, Default)]
 pub struct Dictionary {
-    values: Vec<String>,
-    index: HashMap<String, u32>,
+    values: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u32>,
 }
 
 impl Dictionary {
@@ -29,8 +31,9 @@ impl Dictionary {
             return code;
         }
         let code = self.values.len() as u32;
-        self.values.push(value.to_string());
-        self.index.insert(value.to_string(), code);
+        let shared: Arc<str> = Arc::from(value);
+        self.values.push(shared.clone());
+        self.index.insert(shared, code);
         code
     }
 
@@ -41,7 +44,7 @@ impl Dictionary {
 
     /// String for `code`.
     pub fn value(&self, code: u32) -> Option<&str> {
-        self.values.get(code as usize).map(|s| s.as_str())
+        self.values.get(code as usize).map(|s| &**s)
     }
 
     /// Number of distinct values interned so far.

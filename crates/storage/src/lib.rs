@@ -28,6 +28,7 @@ pub mod error;
 pub mod parallel;
 pub mod partition;
 pub mod predicate;
+pub mod reference;
 pub mod scan;
 pub mod schema;
 pub mod stats;
@@ -35,13 +36,13 @@ pub mod table;
 pub mod timestamp;
 pub mod types;
 
-pub use aggregate::{AggFunc, AggState};
+pub use aggregate::{aggregate_filtered, AggFunc, AggState};
 pub use bitmask::Bitmask;
 pub use column::{DimensionColumn, Dictionary};
 pub use error::StorageError;
 pub use partition::{Partition, PartitionBuilder};
-pub use predicate::{CmpOp, CompiledPredicate, Predicate};
-pub use scan::{aggregate_range, selectivity_range, ScanOptions};
+pub use predicate::{CmpOp, CompiledPredicate, InLookup, MaskScratch, Predicate};
+pub use scan::{aggregate_range, aggregate_total, selectivity_range, ScanOptions};
 pub use schema::{DimensionDef, MeasureDef, Schema, SchemaRef};
 pub use table::TimeSeriesTable;
 pub use timestamp::{Date, Timestamp};

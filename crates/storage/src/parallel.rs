@@ -28,13 +28,29 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_with(items, threads, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker mutable state: each worker thread calls
+/// `init` once and hands `f` a `&mut` to its state for every item it
+/// processes. This is how scan and estimation loops reuse one
+/// [`crate::MaskScratch`] (and its mask buffers) across all partitions a
+/// worker touches, instead of allocating per partition.
+pub fn parallel_map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
     let threads = threads.max(1).min(n);
     if threads == 1 {
-        return items.iter().map(&f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
 
     let mut results: Vec<Option<R>> = Vec::with_capacity(n);
@@ -49,14 +65,16 @@ where
         for _ in 0..threads {
             let next = &next;
             let f = &f;
+            let init = &init;
             handles.push(scope.spawn(move || {
+                let mut state = init();
                 let mut local = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    local.push((i, f(&items[i])));
+                    local.push((i, f(&mut state, &items[i])));
                 }
                 local
             }));
@@ -111,5 +129,29 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_within_a_worker() {
+        // Each worker's state counts how many items it processed; the
+        // counts must sum to the item count (every item handled once by
+        // exactly one worker-owned state).
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<u64> = (0..500).collect();
+        let total = AtomicUsize::new(0);
+        let out = parallel_map_with(
+            &items,
+            4,
+            || 0usize,
+            |seen, &x| {
+                *seen += 1;
+                total.fetch_max(*seen, Ordering::Relaxed);
+                x + 1
+            },
+        );
+        assert_eq!(out, (1..=500).collect::<Vec<u64>>());
+        // At least one worker processed more than one item, proving state
+        // persistence across items (500 items over 4 workers).
+        assert!(total.load(Ordering::Relaxed) > 1);
     }
 }

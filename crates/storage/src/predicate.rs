@@ -42,7 +42,7 @@ impl CmpOp {
     }
 
     #[inline]
-    fn apply(self, lhs: i64, rhs: i64) -> bool {
+    pub(crate) fn apply(self, lhs: i64, rhs: i64) -> bool {
         match self {
             CmpOp::Eq => lhs == rhs,
             CmpOp::Ne => lhs != rhs,
@@ -206,7 +206,8 @@ impl Predicate {
                 }
                 resolved.sort_unstable();
                 resolved.dedup();
-                Ok(CompiledPredicate::InSet { dim, values: resolved })
+                let lookup = InLookup::build(&resolved);
+                Ok(CompiledPredicate::InSet { dim, values: resolved, lookup })
             }
         }
     }
@@ -258,12 +259,103 @@ impl fmt::Display for Predicate {
     }
 }
 
+/// Small-domain membership bitset for IN-lists, precomputed once at
+/// predicate compile time. Covers the contiguous value span
+/// `[offset, offset + 64·bits.len())`; membership is two shifts and a
+/// bounds check instead of a binary search per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InLookup {
+    offset: i64,
+    bits: Vec<u64>,
+}
+
+impl InLookup {
+    /// Largest value span worth materializing: 64 Ki values = 8 KiB of
+    /// bits, small enough to stay L1/L2-resident during a scan. `UInt8`
+    /// and dictionary-coded columns are always under this.
+    const MAX_SPAN: i64 = 64 * 1024;
+
+    /// Build from a sorted, deduplicated value list; `None` when the span
+    /// is too wide (evaluation then falls back to binary search).
+    fn build(values: &[i64]) -> Option<InLookup> {
+        let (&lo, &hi) = (values.first()?, values.last()?);
+        let span = hi.checked_sub(lo)?.checked_add(1)?;
+        if span > Self::MAX_SPAN {
+            return None;
+        }
+        let mut bits = vec![0u64; (span as usize).div_ceil(64)];
+        for &v in values {
+            let d = (v - lo) as usize;
+            bits[d / 64] |= 1 << (d % 64);
+        }
+        Some(InLookup { offset: lo, bits })
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, x: i64) -> bool {
+        // Wrapping keeps the true difference for any (x, offset) pair once
+        // reinterpreted as u64; out-of-span values fail the range check.
+        let d = x.wrapping_sub(self.offset) as u64;
+        d < self.bits.len() as u64 * 64 && (self.bits[(d / 64) as usize] >> (d % 64)) & 1 == 1
+    }
+}
+
+/// Pool of reusable [`Bitmask`] buffers threaded through predicate
+/// evaluation. AND/OR/NOT trees borrow child masks from the pool and
+/// return them when combined, so evaluating a predicate over many
+/// partitions of similar size performs no allocation after the first.
+#[derive(Debug, Default)]
+pub struct MaskScratch {
+    pool: Vec<Bitmask>,
+}
+
+impl MaskScratch {
+    pub fn new() -> Self {
+        MaskScratch::default()
+    }
+
+    /// An all-zero mask over `len` rows, reusing a pooled buffer when one
+    /// is available.
+    pub fn acquire_zeros(&mut self, len: usize) -> Bitmask {
+        match self.pool.pop() {
+            Some(mut m) => {
+                m.reset_zeros(len);
+                m
+            }
+            None => Bitmask::zeros(len),
+        }
+    }
+
+    /// A mask over `len` rows whose words are garbage until written — for
+    /// kernels that overwrite every word, which would make the zeroing of
+    /// [`MaskScratch::acquire_zeros`] a wasted memset.
+    fn acquire_for_overwrite(&mut self, len: usize) -> Bitmask {
+        match self.pool.pop() {
+            Some(mut m) => {
+                m.reset_for_overwrite(len);
+                m
+            }
+            None => Bitmask::zeros(len),
+        }
+    }
+
+    /// Return a mask's buffer to the pool for later reuse.
+    pub fn release(&mut self, mask: Bitmask) {
+        // A predicate tree holds at most depth-many masks live at once;
+        // a small cap keeps pathological trees from hoarding memory.
+        if self.pool.len() < 32 {
+            self.pool.push(mask);
+        }
+    }
+}
+
 /// A predicate bound to a concrete table: names resolved to dimension
 /// indices, strings resolved to dictionary codes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompiledPredicate {
     Cmp { dim: usize, op: CmpOp, value: i64 },
-    InSet { dim: usize, values: Vec<i64> },
+    InSet { dim: usize, values: Vec<i64>, lookup: Option<InLookup> },
     And(Vec<CompiledPredicate>),
     Or(Vec<CompiledPredicate>),
     Not(Box<CompiledPredicate>),
@@ -272,37 +364,59 @@ pub enum CompiledPredicate {
 
 impl CompiledPredicate {
     /// Evaluate over every row of `partition`, producing a selection mask.
+    ///
+    /// Convenience wrapper over [`CompiledPredicate::evaluate_into`] with a
+    /// throwaway scratch; hot paths that visit many partitions should hold
+    /// a [`MaskScratch`] and call `evaluate_into` to amortize allocations.
     pub fn evaluate(&self, partition: &Partition) -> Bitmask {
+        self.evaluate_into(partition, &mut MaskScratch::new())
+    }
+
+    /// Evaluate over every row of `partition`, drawing all mask buffers
+    /// (the result included) from `scratch`. Callers may hand the returned
+    /// mask back via [`MaskScratch::release`] once consumed.
+    pub fn evaluate_into(&self, partition: &Partition, scratch: &mut MaskScratch) -> Bitmask {
         let n = partition.num_rows();
         match self {
-            CompiledPredicate::Const(true) => Bitmask::ones(n),
-            CompiledPredicate::Const(false) => Bitmask::zeros(n),
-            CompiledPredicate::Cmp { dim, op, value } => {
-                eval_cmp(partition.dim(*dim), *op, *value)
+            CompiledPredicate::Const(true) => {
+                let mut mask = scratch.acquire_for_overwrite(n);
+                mask.fill_ones();
+                mask
             }
-            CompiledPredicate::InSet { dim, values } => {
-                let col = partition.dim(*dim);
-                Bitmask::from_fn(n, |i| values.binary_search(&col.get_i64(i)).is_ok())
+            CompiledPredicate::Const(false) => scratch.acquire_zeros(n),
+            CompiledPredicate::Cmp { dim, op, value } => {
+                let mut mask = scratch.acquire_for_overwrite(n);
+                eval_cmp_into(partition.dim(*dim), *op, *value, &mut mask);
+                mask
+            }
+            CompiledPredicate::InSet { dim, values, lookup } => {
+                let mut mask = scratch.acquire_for_overwrite(n);
+                eval_in_into(partition.dim(*dim), values, lookup.as_ref(), &mut mask);
+                mask
             }
             CompiledPredicate::And(children) => {
-                let mut mask = children[0].evaluate(partition);
+                let mut mask = children[0].evaluate_into(partition, scratch);
                 for c in &children[1..] {
-                    if mask.count_ones() == 0 {
+                    if !mask.any_set() {
                         break;
                     }
-                    mask.and_inplace(&c.evaluate(partition));
+                    let child = c.evaluate_into(partition, scratch);
+                    mask.and_inplace(&child);
+                    scratch.release(child);
                 }
                 mask
             }
             CompiledPredicate::Or(children) => {
-                let mut mask = children[0].evaluate(partition);
+                let mut mask = children[0].evaluate_into(partition, scratch);
                 for c in &children[1..] {
-                    mask.or_inplace(&c.evaluate(partition));
+                    let child = c.evaluate_into(partition, scratch);
+                    mask.or_inplace(&child);
+                    scratch.release(child);
                 }
                 mask
             }
             CompiledPredicate::Not(child) => {
-                let mut mask = child.evaluate(partition);
+                let mut mask = child.evaluate_into(partition, scratch);
                 mask.not_inplace();
                 mask
             }
@@ -317,7 +431,7 @@ impl CompiledPredicate {
             CompiledPredicate::Cmp { dim, op, value } => {
                 op.apply(partition.dim(*dim).get_i64(row), *value)
             }
-            CompiledPredicate::InSet { dim, values } => {
+            CompiledPredicate::InSet { dim, values, .. } => {
                 values.binary_search(&partition.dim(*dim).get_i64(row)).is_ok()
             }
             CompiledPredicate::And(children) => {
@@ -346,7 +460,7 @@ impl CompiledPredicate {
                     CmpOp::Ge => hi >= *value,
                 },
             },
-            CompiledPredicate::InSet { dim, values } => match zone_maps.range(*dim) {
+            CompiledPredicate::InSet { dim, values, .. } => match zone_maps.range(*dim) {
                 None => true,
                 Some((lo, hi)) => values.iter().any(|v| (lo..=hi).contains(v)),
             },
@@ -358,47 +472,109 @@ impl CompiledPredicate {
     }
 }
 
-fn eval_cmp(col: &DimensionColumn, op: CmpOp, value: i64) -> Bitmask {
-    // Monomorphize the hot loop per column representation so the compiler
-    // can vectorize the comparison.
-    macro_rules! scan {
-        ($v:expr, $cast:ty) => {{
-            let data = $v;
-            let mut mask = Bitmask::zeros(data.len());
-            match <$cast>::try_from(value) {
-                Ok(rhs) => {
-                    for (i, x) in data.iter().enumerate() {
-                        if op.apply(i64::from(*x), i64::from(rhs)) {
-                            mask.set(i);
-                        }
-                    }
-                }
-                // The literal is outside the column type's range: compare in
-                // i64 space (still correct, just not narrowed).
+/// Pack per-row predicate results into mask words 64 rows at a time:
+/// `word |= (pred as u64) << bit`, no per-row branch and no per-row bounds
+/// check, so comparisons over primitive slices autovectorize.
+#[inline]
+fn fill_mask<T: Copy>(data: &[T], mask: &mut Bitmask, f: impl Fn(T) -> bool) {
+    debug_assert_eq!(data.len(), mask.len());
+    let words = mask.words_mut();
+    let mut chunks = data.chunks_exact(64);
+    let mut wi = 0;
+    for chunk in chunks.by_ref() {
+        let mut w = 0u64;
+        for (bit, &x) in chunk.iter().enumerate() {
+            w |= (f(x) as u64) << bit;
+        }
+        words[wi] = w;
+        wi += 1;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = 0u64;
+        for (bit, &x) in rem.iter().enumerate() {
+            w |= (f(x) as u64) << bit;
+        }
+        words[wi] = w;
+    }
+}
+
+/// Monomorphized comparison kernel: the operator is resolved once, then a
+/// single branchless [`fill_mask`] pass builds the words.
+fn cmp_kernel<T: Copy + PartialOrd>(data: &[T], op: CmpOp, rhs: T, mask: &mut Bitmask) {
+    match op {
+        CmpOp::Eq => fill_mask(data, mask, |x| x == rhs),
+        CmpOp::Ne => fill_mask(data, mask, |x| x != rhs),
+        CmpOp::Lt => fill_mask(data, mask, |x| x < rhs),
+        CmpOp::Le => fill_mask(data, mask, |x| x <= rhs),
+        CmpOp::Gt => fill_mask(data, mask, |x| x > rhs),
+        CmpOp::Ge => fill_mask(data, mask, |x| x >= rhs),
+    }
+}
+
+/// Whether `col op value` matches every row when `value` is outside the
+/// column representation's range (`above` = beyond its max, else below 0).
+/// The alternative — per-row comparison in widened i64 space — would cost
+/// the narrow types their vectorized loop for a literal that cannot
+/// discriminate between rows anyway.
+pub(crate) fn out_of_range_matches_all(op: CmpOp, above: bool) -> bool {
+    match op {
+        CmpOp::Eq => false,
+        CmpOp::Ne => true,
+        CmpOp::Lt | CmpOp::Le => above,
+        CmpOp::Gt | CmpOp::Ge => !above,
+    }
+}
+
+/// Evaluate `col op value` into `mask`, per column representation. Every
+/// word of `mask` is written (the buffer may arrive with garbage words).
+fn eval_cmp_into(col: &DimensionColumn, op: CmpOp, value: i64, mask: &mut Bitmask) {
+    macro_rules! narrow {
+        ($v:expr, $t:ty) => {{
+            match <$t>::try_from(value) {
+                Ok(rhs) => cmp_kernel($v, op, rhs, mask),
                 Err(_) => {
-                    for (i, x) in data.iter().enumerate() {
-                        if op.apply(i64::from(*x), value) {
-                            mask.set(i);
-                        }
+                    if out_of_range_matches_all(op, value > 0) {
+                        mask.fill_ones();
+                    } else {
+                        mask.fill_zeros();
                     }
                 }
             }
-            mask
         }};
     }
     match col {
-        DimensionColumn::UInt8(v) => scan!(v, u8),
-        DimensionColumn::UInt16(v) => scan!(v, u16),
-        DimensionColumn::Dict(v) => scan!(v, u32),
-        DimensionColumn::Int64(v) => {
-            let mut mask = Bitmask::zeros(v.len());
-            for (i, x) in v.iter().enumerate() {
-                if op.apply(*x, value) {
-                    mask.set(i);
-                }
+        DimensionColumn::UInt8(v) => narrow!(v, u8),
+        DimensionColumn::UInt16(v) => narrow!(v, u16),
+        DimensionColumn::Dict(v) => narrow!(v, u32),
+        DimensionColumn::Int64(v) => cmp_kernel(v, op, value, mask),
+    }
+}
+
+/// Evaluate `col IN (values)` into `mask`, via the compile-time lookup
+/// bitset when available, else binary search — both packed word-at-a-time.
+fn eval_in_into(
+    col: &DimensionColumn,
+    values: &[i64],
+    lookup: Option<&InLookup>,
+    mask: &mut Bitmask,
+) {
+    macro_rules! scan {
+        ($v:expr) => {{
+            match lookup {
+                Some(l) => fill_mask($v, mask, |x| l.contains(i64::from(x))),
+                None => fill_mask($v, mask, |x| values.binary_search(&i64::from(x)).is_ok()),
             }
-            mask
-        }
+        }};
+    }
+    match col {
+        DimensionColumn::UInt8(v) => scan!(v),
+        DimensionColumn::UInt16(v) => scan!(v),
+        DimensionColumn::Dict(v) => scan!(v),
+        DimensionColumn::Int64(v) => match lookup {
+            Some(l) => fill_mask(v, mask, |x| l.contains(x)),
+            None => fill_mask(v, mask, |x| values.binary_search(&x).is_ok()),
+        },
     }
 }
 
@@ -521,6 +697,47 @@ mod tests {
         assert_eq!(pred.evaluate(&p).count_ones(), 4);
         let pred = Predicate::cmp("Age", CmpOp::Ge, -5).compile(&schema, &dicts).unwrap();
         assert_eq!(pred.evaluate(&p).count_ones(), 4);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_evaluate() {
+        let (schema, dicts, p) = setup();
+        let pred = Predicate::Or(vec![
+            Predicate::cmp("Age", CmpOp::Le, 30).and(Predicate::eq("Gender", "F")),
+            Predicate::Not(Box::new(Predicate::cmp("Age", CmpOp::Lt, 60))),
+        ])
+        .compile(&schema, &dicts)
+        .unwrap();
+        let mut scratch = MaskScratch::new();
+        for _ in 0..3 {
+            let mask = pred.evaluate_into(&p, &mut scratch);
+            assert_eq!(mask, pred.evaluate(&p));
+            scratch.release(mask);
+        }
+    }
+
+    #[test]
+    fn in_lookup_small_and_wide_domains() {
+        let small = InLookup::build(&[-3, 0, 7]).unwrap();
+        assert!(small.contains(-3) && small.contains(0) && small.contains(7));
+        assert!(!small.contains(-4) && !small.contains(1) && !small.contains(8));
+        assert!(!small.contains(i64::MIN) && !small.contains(i64::MAX));
+        // Span too wide (or overflowing) falls back to binary search.
+        assert!(InLookup::build(&[0, InLookup::MAX_SPAN]).is_none());
+        assert!(InLookup::build(&[i64::MIN, i64::MAX]).is_none());
+        // Compiled IN over a narrow column gets a lookup.
+        let (schema, dicts, p) = setup();
+        let pred = Predicate::In {
+            column: "Age".to_string(),
+            values: vec![Value::Int(20), Value::Int(60)],
+        }
+        .compile(&schema, &dicts)
+        .unwrap();
+        match &pred {
+            CompiledPredicate::InSet { lookup, .. } => assert!(lookup.is_some()),
+            other => panic!("expected InSet, got {other:?}"),
+        }
+        assert_eq!(pred.evaluate(&p).iter_ones().collect::<Vec<_>>(), vec![1, 2]);
     }
 
     #[test]

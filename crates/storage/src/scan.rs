@@ -3,9 +3,9 @@
 
 use crate::aggregate::{AggFunc, AggState};
 use crate::error::StorageError;
-use crate::parallel::{default_threads, parallel_map};
-use crate::predicate::CompiledPredicate;
-use crate::table::{eval_partition, TimeSeriesTable};
+use crate::parallel::{default_threads, parallel_map_with};
+use crate::predicate::{CompiledPredicate, MaskScratch};
+use crate::table::{eval_partition_with, TimeSeriesTable};
 use crate::timestamp::Timestamp;
 
 /// Options controlling a range scan.
@@ -34,6 +34,26 @@ pub fn aggregate_range(
     end: Timestamp,
     options: ScanOptions,
 ) -> Result<Vec<(Timestamp, f64)>, StorageError> {
+    let (parts, states) = scan_states(table, measure_idx, pred, start, end, options)?;
+    Ok(parts
+        .iter()
+        .zip(states)
+        .map(|((t, _), s)| (*t, s.finalize(func)))
+        .collect())
+}
+
+/// Shared scan body: bounds-check the measure, collect the partitions in
+/// range and evaluate each in parallel, one [`MaskScratch`] per worker so
+/// every partition a worker scans reuses the same mask buffers.
+#[allow(clippy::type_complexity)]
+fn scan_states<'a>(
+    table: &'a TimeSeriesTable,
+    measure_idx: usize,
+    pred: &CompiledPredicate,
+    start: Timestamp,
+    end: Timestamp,
+    options: ScanOptions,
+) -> Result<(Vec<(Timestamp, &'a crate::partition::Partition)>, Vec<AggState>), StorageError> {
     if measure_idx >= table.schema().num_measures() {
         return Err(StorageError::ColumnIndexOutOfRange {
             index: measure_idx,
@@ -42,13 +62,33 @@ pub fn aggregate_range(
     }
     let parts: Vec<(Timestamp, &crate::partition::Partition)> =
         table.partitions_in(start, end).collect();
-    let states: Vec<AggState> =
-        parallel_map(&parts, options.threads, |(_, p)| eval_partition(p, measure_idx, pred));
-    Ok(parts
-        .iter()
-        .zip(states)
-        .map(|((t, _), s)| (*t, s.finalize(func)))
-        .collect())
+    let states: Vec<AggState> = parallel_map_with(
+        &parts,
+        options.threads,
+        MaskScratch::new,
+        |scratch, (_, p)| eval_partition_with(p, measure_idx, pred, scratch),
+    );
+    Ok((parts, states))
+}
+
+/// Scalar aggregate of `measure_idx` under `pred` across all partitions in
+/// `[start, end]`, merged into one [`AggState`] — the non-grouped SELECT
+/// path. Runs the same fused / scratch-reusing per-partition kernels as
+/// [`aggregate_range`].
+pub fn aggregate_total(
+    table: &TimeSeriesTable,
+    measure_idx: usize,
+    pred: &CompiledPredicate,
+    start: Timestamp,
+    end: Timestamp,
+    options: ScanOptions,
+) -> Result<AggState, StorageError> {
+    let (_, states) = scan_states(table, measure_idx, pred, start, end, options)?;
+    let mut total = AggState::default();
+    for s in states {
+        total.merge(s);
+    }
+    Ok(total)
 }
 
 /// Per-timestamp selectivity over a range (fraction of rows matching), used
@@ -62,13 +102,17 @@ pub fn selectivity_range(
 ) -> Vec<(Timestamp, f64)> {
     let parts: Vec<(Timestamp, &crate::partition::Partition)> =
         table.partitions_in(start, end).collect();
-    let sel: Vec<f64> = parallel_map(&parts, options.threads, |(_, p)| {
-        if p.num_rows() == 0 {
-            0.0
-        } else {
-            pred.evaluate(p).count_ones() as f64 / p.num_rows() as f64
-        }
-    });
+    let sel: Vec<f64> =
+        parallel_map_with(&parts, options.threads, MaskScratch::new, |scratch, (_, p)| {
+            if p.num_rows() == 0 {
+                0.0
+            } else {
+                let mask = pred.evaluate_into(p, scratch);
+                let matched = mask.count_ones();
+                scratch.release(mask);
+                matched as f64 / p.num_rows() as f64
+            }
+        });
     parts.iter().zip(sel).map(|((t, _), s)| (*t, s)).collect()
 }
 
@@ -157,6 +201,32 @@ mod tests {
             ScanOptions::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn total_matches_sum_of_range() {
+        let table = table(10, 20);
+        let pred = table
+            .compile_predicate(&Predicate::cmp("k", CmpOp::Lt, 5))
+            .unwrap();
+        let start = Timestamp::from_yyyymmdd(20200101).unwrap();
+        let per_day = aggregate_range(
+            &table,
+            0,
+            &pred,
+            AggFunc::Sum,
+            start,
+            start + 9,
+            ScanOptions { threads: 3 },
+        )
+        .unwrap();
+        let total =
+            aggregate_total(&table, 0, &pred, start, start + 9, ScanOptions { threads: 3 })
+                .unwrap();
+        assert_eq!(total.finalize(AggFunc::Sum), per_day.iter().map(|(_, v)| v).sum::<f64>());
+        assert_eq!(total.count, 50);
+        assert!(aggregate_total(&table, 9, &pred, start, start + 9, ScanOptions::default())
+            .is_err());
     }
 
     #[test]

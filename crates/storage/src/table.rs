@@ -5,7 +5,7 @@ use crate::aggregate::{aggregate_masked, AggFunc, AggState};
 use crate::column::Dictionary;
 use crate::error::StorageError;
 use crate::partition::Partition;
-use crate::predicate::{CompiledPredicate, Predicate};
+use crate::predicate::{CompiledPredicate, MaskScratch, Predicate};
 use crate::schema::SchemaRef;
 use crate::timestamp::Timestamp;
 use crate::types::Value;
@@ -153,11 +153,36 @@ pub(crate) fn eval_partition(
     measure_idx: usize,
     pred: &CompiledPredicate,
 ) -> AggState {
+    eval_partition_with(partition, measure_idx, pred, &mut MaskScratch::new())
+}
+
+/// [`eval_partition`] drawing mask buffers from `scratch` so range scans
+/// reuse allocations across partitions. Single-comparison predicates and
+/// constants skip mask materialization entirely via the fused kernels.
+pub(crate) fn eval_partition_with(
+    partition: &Partition,
+    measure_idx: usize,
+    pred: &CompiledPredicate,
+    scratch: &mut MaskScratch,
+) -> AggState {
     if !pred.may_match(partition.zone_maps()) {
         return AggState::default();
     }
-    let mask = pred.evaluate(partition);
-    aggregate_masked(partition, measure_idx, &mask)
+    match pred {
+        CompiledPredicate::Const(false) => AggState::default(),
+        CompiledPredicate::Const(true) => {
+            crate::aggregate::aggregate_all(partition, measure_idx)
+        }
+        CompiledPredicate::Cmp { dim, op, value } => {
+            crate::aggregate::aggregate_filtered(partition, measure_idx, *dim, *op, *value)
+        }
+        _ => {
+            let mask = pred.evaluate_into(partition, scratch);
+            let state = aggregate_masked(partition, measure_idx, &mask);
+            scratch.release(mask);
+            state
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,249 @@
+//! Kernel-equivalence properties: the word-at-a-time predicate and
+//! aggregation kernels must be bit-for-bit (masks) and sum-exact
+//! (aggregates) identical to the scalar reference implementations in
+//! `flashp_storage::reference`, over random schemas, column types, row
+//! counts (including `len % 64` tails), masks, and predicate trees.
+
+use flashp_storage::reference::{aggregate_masked_scalar, evaluate_scalar};
+use flashp_storage::{
+    aggregate_filtered, AggFunc, Bitmask, CmpOp, CompiledPredicate, DataType, Dictionary,
+    DimensionColumn, MaskScratch, Partition, Predicate, Schema, Value,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DTYPES: [DataType; 4] =
+    [DataType::UInt8, DataType::UInt16, DataType::Int64, DataType::Categorical];
+
+/// Dictionary value pool for categorical dimensions; predicates may also
+/// reference strings outside this pool (unseen values).
+const CAT_POOL: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+
+struct Fixture {
+    schema: Schema,
+    dicts: Vec<Option<Dictionary>>,
+    partition: Partition,
+}
+
+/// Random schema (1–3 dimensions of random types, 1 measure) and a random
+/// partition. Row counts concentrate on word-boundary neighborhoods so the
+/// `len % 64` tail paths are exercised every run.
+fn random_fixture(rng: &mut StdRng) -> Fixture {
+    let num_dims = rng.gen_range(1..=3usize);
+    let dtypes: Vec<DataType> = (0..num_dims).map(|_| DTYPES[rng.gen_range(0..4usize)]).collect();
+    let names = ["d0", "d1", "d2"];
+    let dims_def: Vec<(&str, DataType)> =
+        dtypes.iter().enumerate().map(|(i, &t)| (names[i], t)).collect();
+    let schema = Schema::from_names(&dims_def, &["m"]).unwrap();
+
+    let n = match rng.gen_range(0..6u32) {
+        0 => rng.gen_range(0..4usize),            // tiny, incl. empty
+        1 => 64 * rng.gen_range(1..3usize),       // exact word multiples
+        2 => 64 * rng.gen_range(1..3usize) + rng.gen_range(1..64usize), // tails
+        _ => rng.gen_range(1..200usize),
+    };
+
+    let mut dicts: Vec<Option<Dictionary>> = Vec::new();
+    let mut columns: Vec<DimensionColumn> = Vec::new();
+    for &dtype in &dtypes {
+        match dtype {
+            DataType::UInt8 => {
+                columns.push(DimensionColumn::UInt8(
+                    (0..n).map(|_| rng.gen_range(0..=255u8)).collect(),
+                ));
+                dicts.push(None);
+            }
+            DataType::UInt16 => {
+                // Narrow value range so comparisons and IN-lists match rows.
+                columns.push(DimensionColumn::UInt16(
+                    (0..n).map(|_| rng.gen_range(0..300u16)).collect(),
+                ));
+                dicts.push(None);
+            }
+            DataType::Int64 => {
+                // Mix small values with i64 extremes.
+                columns.push(DimensionColumn::Int64(
+                    (0..n)
+                        .map(|_| match rng.gen_range(0..10u32) {
+                            0 => i64::MIN,
+                            1 => i64::MAX,
+                            _ => rng.gen_range(-50..50i64),
+                        })
+                        .collect(),
+                ));
+                dicts.push(None);
+            }
+            DataType::Categorical => {
+                let mut dict = Dictionary::new();
+                let codes: Vec<u32> =
+                    (0..n).map(|_| dict.intern(CAT_POOL[rng.gen_range(0..CAT_POOL.len())])).collect();
+                columns.push(DimensionColumn::Dict(codes));
+                dicts.push(Some(dict));
+            }
+        }
+    }
+    let measure: Vec<f64> = (0..n).map(|_| rng.gen_range(-1000.0..1000.0)).collect();
+    let partition = Partition::from_columns(columns, vec![measure]).unwrap();
+    Fixture { schema, dicts, partition }
+}
+
+/// Random literal for a numeric dimension, deliberately spanning in-range,
+/// boundary, and out-of-representation values.
+fn random_literal(rng: &mut StdRng) -> i64 {
+    match rng.gen_range(0..8u32) {
+        0 => -1,
+        1 => 256,     // just beyond u8
+        2 => 65_536,  // just beyond u16
+        3 => i64::MIN,
+        4 => i64::MAX,
+        _ => rng.gen_range(-60..310),
+    }
+}
+
+/// Random predicate tree over the fixture's dimensions.
+fn random_predicate(rng: &mut StdRng, schema: &Schema, depth: usize) -> Predicate {
+    let num_dims = schema.num_dimensions();
+    let leaf = depth == 0 || rng.gen_range(0..3u32) == 0;
+    if leaf {
+        let dim = rng.gen_range(0..num_dims);
+        let def = &schema.dimensions()[dim];
+        let categorical = def.dtype == DataType::Categorical;
+        match rng.gen_range(0..3u32) {
+            0 if categorical => {
+                // Eq/Ne on a pool value or an unseen string.
+                let s = if rng.gen_range(0..4u32) == 0 {
+                    "unseen"
+                } else {
+                    CAT_POOL[rng.gen_range(0..CAT_POOL.len())]
+                };
+                let op = if rng.gen::<bool>() { CmpOp::Eq } else { CmpOp::Ne };
+                Predicate::cmp(&def.name, op, s)
+            }
+            0 => {
+                let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+                    [rng.gen_range(0..6usize)];
+                Predicate::cmp(&def.name, op, random_literal(rng))
+            }
+            1 => {
+                let k = rng.gen_range(1..6usize);
+                let values: Vec<Value> = (0..k)
+                    .map(|_| {
+                        if categorical {
+                            Value::from(CAT_POOL[rng.gen_range(0..CAT_POOL.len())])
+                        } else {
+                            Value::Int(random_literal(rng))
+                        }
+                    })
+                    .collect();
+                Predicate::In { column: def.name.clone(), values }
+            }
+            _ => Predicate::True,
+        }
+    } else {
+        match rng.gen_range(0..3u32) {
+            0 => Predicate::And(
+                (0..rng.gen_range(1..4usize))
+                    .map(|_| random_predicate(rng, schema, depth - 1))
+                    .collect(),
+            ),
+            1 => Predicate::Or(
+                (0..rng.gen_range(1..4usize))
+                    .map(|_| random_predicate(rng, schema, depth - 1))
+                    .collect(),
+            ),
+            _ => Predicate::Not(Box::new(random_predicate(rng, schema, depth - 1))),
+        }
+    }
+}
+
+proptest! {
+    /// Vectorized predicate evaluation (fresh and scratch-reusing) is
+    /// bit-for-bit identical to the row-at-a-time reference over random
+    /// schemas and predicate trees.
+    #[test]
+    fn predicate_kernels_match_scalar_reference(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fx = random_fixture(&mut rng);
+        let mut scratch = MaskScratch::new();
+        for _ in 0..4 {
+            let pred = random_predicate(&mut rng, &fx.schema, 3);
+            let compiled = pred.compile(&fx.schema, &fx.dicts).unwrap();
+            let reference = evaluate_scalar(&compiled, &fx.partition);
+            let fresh = compiled.evaluate(&fx.partition);
+            prop_assert_eq!(&fresh, &reference);
+            // The same scratch serves every tree in sequence — buffer
+            // reuse must never leak bits between evaluations.
+            let reused = compiled.evaluate_into(&fx.partition, &mut scratch);
+            prop_assert_eq!(&reused, &reference);
+            scratch.release(reused);
+        }
+    }
+
+    /// Word-walk masked aggregation is sum-exact against the
+    /// index-at-a-time reference over random masks (incl. dense words and
+    /// ragged tails).
+    #[test]
+    fn masked_aggregation_matches_scalar_reference(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fx = random_fixture(&mut rng);
+        let n = fx.partition.num_rows();
+        // Random mask with block structure: runs of all-ones words, all-
+        // zero words, and uniform bits, to hit all three word paths.
+        let mut mask = Bitmask::zeros(n);
+        let mut i = 0;
+        while i < n {
+            match rng.gen_range(0..3u32) {
+                0 => i += 64,                                  // zero word
+                1 => {
+                    let end = (i + 64).min(n);
+                    for j in i..end {
+                        mask.set(j);
+                    }
+                    i = end;
+                }
+                _ => {
+                    let end = (i + 64).min(n);
+                    for j in i..end {
+                        if rng.gen::<bool>() {
+                            mask.set(j);
+                        }
+                    }
+                    i = end;
+                }
+            }
+        }
+        let got = flashp_storage::aggregate::aggregate_masked(&fx.partition, 0, &mask);
+        let want = aggregate_masked_scalar(&fx.partition, 0, &mask);
+        prop_assert_eq!(got.count, want.count);
+        prop_assert!(
+            got.sum == want.sum,
+            "sum mismatch: vectorized {} vs scalar {}", got.sum, want.sum
+        );
+    }
+
+    /// The fused filter+aggregate kernel equals scalar-mask-then-
+    /// scalar-aggregate for every comparison op over every column type.
+    #[test]
+    fn fused_filter_aggregate_matches_scalar_reference(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fx = random_fixture(&mut rng);
+        for dim in 0..fx.schema.num_dimensions() {
+            for _ in 0..3 {
+                let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+                    [rng.gen_range(0..6usize)];
+                let value = random_literal(&mut rng);
+                let compiled = CompiledPredicate::Cmp { dim, op, value };
+                let fused = aggregate_filtered(&fx.partition, 0, dim, op, value);
+                let reference =
+                    aggregate_masked_scalar(&fx.partition, 0, &evaluate_scalar(&compiled, &fx.partition));
+                prop_assert_eq!(fused.count, reference.count, "op {:?} value {}", op, value);
+                prop_assert!(
+                    fused.finalize(AggFunc::Sum) == reference.finalize(AggFunc::Sum),
+                    "op {:?} value {}: fused {} vs scalar {}",
+                    op, value, fused.sum, reference.sum
+                );
+            }
+        }
+    }
+}
