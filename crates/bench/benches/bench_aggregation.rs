@@ -11,12 +11,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn setup(n: usize) -> (SchemaRef, Partition) {
-    let schema = Schema::from_names(
-        &[("age", DataType::UInt8), ("seg", DataType::UInt16)],
-        &["m"],
-    )
-    .unwrap()
-    .into_shared();
+    let schema = Schema::from_names(&[("age", DataType::UInt8), ("seg", DataType::UInt16)], &["m"])
+        .unwrap()
+        .into_shared();
     let mut rng = StdRng::seed_from_u64(3);
     let age: Vec<i64> = (0..n).map(|_| rng.gen_range(18..=70)).collect();
     let seg: Vec<i64> = (0..n).map(|_| rng.gen_range(0..500)).collect();

@@ -2,24 +2,20 @@
 //! criterion companion of Fig. 7 (Exp-II).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flashp_core::{EngineConfig, FlashPEngine, SamplerChoice};
+use flashp_core::{EngineConfig, FlashPEngine, SampleCatalog, SamplerChoice};
 use flashp_data::{generate_dataset, DatasetConfig};
-use std::sync::Arc;
 
 fn engine() -> FlashPEngine {
     // Small dataset for the harness-managed benchmark (criterion repeats
     // the query many times; the dataset is built once).
     let ds = generate_dataset(&DatasetConfig::new(5_000, 100, 1_234)).unwrap();
-    let mut engine = FlashPEngine::new(
-        Arc::new(ds.table),
-        EngineConfig {
-            sampler: SamplerChoice::OptimalGsw,
-            layer_rates: vec![0.1, 0.01, 0.002],
-            ..Default::default()
-        },
-    );
-    engine.build_samples().unwrap();
-    engine
+    let config = EngineConfig {
+        sampler: SamplerChoice::OptimalGsw,
+        layer_rates: vec![0.1, 0.01, 0.002],
+        ..Default::default()
+    };
+    let catalog = SampleCatalog::build(&ds.table, &config).unwrap();
+    FlashPEngine::with_catalog(ds.table, config, catalog)
 }
 
 fn bench_forecast_sql(c: &mut Criterion) {
@@ -43,9 +39,7 @@ fn bench_aggregation_phase_only(c: &mut Criterion) {
     let engine = engine();
     let pred = engine
         .table()
-        .compile_predicate(
-            &flashp_storage::Predicate::cmp("age", flashp_storage::CmpOp::Le, 30),
-        )
+        .compile_predicate(&flashp_storage::Predicate::cmp("age", flashp_storage::CmpOp::Le, 30))
         .unwrap();
     let t0 = flashp_storage::Timestamp::from_yyyymmdd(20200101).unwrap();
     let t1 = flashp_storage::Timestamp::from_yyyymmdd(20200331).unwrap();

@@ -39,8 +39,7 @@ fn bench_shrink(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(target), &target, |b, &target| {
             b.iter_with_setup(
                 || {
-                    let mut sample =
-                        IncrementalGswSample::new(schema.clone(), 0.1).unwrap();
+                    let mut sample = IncrementalGswSample::new(schema.clone(), 0.1).unwrap();
                     let mut rng = StdRng::seed_from_u64(6);
                     for i in 0..100_000u64 {
                         let m = 1.0 + rng.gen::<f64>();

@@ -1,13 +1,21 @@
-//! Scan-kernel throughput report, tracked in-tree.
+//! Scan-kernel and query-pipeline throughput report, tracked in-tree.
 //!
-//! Measures the scalar (pre-vectorization) reference loops against the
-//! word-at-a-time kernels on a fixed-seed 1 M-row partition — exact masked
-//! aggregation, predicate evaluation, the fused single-comparison scan,
-//! and sampled estimation — and writes `BENCH_scan.json` at the repo root
-//! so every PR records both numbers and the speedup.
+//! Part 1 measures the scalar (pre-vectorization) reference loops against
+//! the word-at-a-time kernels on a fixed-seed 1 M-row partition — exact
+//! masked aggregation, predicate evaluation, the fused single-comparison
+//! scan, and sampled estimation — and writes `BENCH_scan.json` at the
+//! repo root so every PR records both numbers and the speedup.
+//!
+//! Part 2 measures the statement lifecycle: one-shot execution
+//! (parse + plan + execute per call) vs the cached-plan string API vs a
+//! `PreparedQuery`, in statements/sec at sample rate 0.01, driven from 1
+//! and 8 client threads over one shared engine handle — written to
+//! `BENCH_query.json`.
 //!
 //! Run with `cargo run -p flashp-bench --release --bin bench_report`.
 
+use flashp_core::{parse, EngineConfig, FlashPEngine, SampleCatalog, Statement};
+use flashp_data::{generate_dataset, DatasetConfig};
 use flashp_sampling::{estimate_agg_with, GswSampler, SampleSize, Sampler};
 use flashp_storage::reference::{aggregate_masked_scalar, evaluate_scalar};
 use flashp_storage::{
@@ -25,12 +33,9 @@ const SEED: u64 = 3;
 const REPS: usize = 15;
 
 fn setup() -> (SchemaRef, Partition) {
-    let schema = Schema::from_names(
-        &[("age", DataType::UInt8), ("seg", DataType::UInt16)],
-        &["m"],
-    )
-    .unwrap()
-    .into_shared();
+    let schema = Schema::from_names(&[("age", DataType::UInt8), ("seg", DataType::UInt16)], &["m"])
+        .unwrap()
+        .into_shared();
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut age = DimensionColumn::new(DataType::UInt8);
     let mut seg = DimensionColumn::new(DataType::UInt16);
@@ -186,6 +191,98 @@ fn main() {
         "benches": reports,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();
+    println!("wrote {path}");
+
+    query_pipeline_report();
+}
+
+/// Statements per client thread in each timed query-pipeline run.
+const STATEMENTS: usize = 2_000;
+
+/// Wall-clock statements/sec for `threads` client threads each issuing
+/// [`STATEMENTS`] calls of `f` against shared state.
+fn statements_per_sec(threads: usize, f: impl Fn() + Sync) -> f64 {
+    // Warmup (also populates the plan cache for the cached mode).
+    for _ in 0..50 {
+        f();
+    }
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Each closure already consumes its query result (the
+                // error check), so no black_box is needed here.
+                for _ in 0..STATEMENTS {
+                    f();
+                }
+            });
+        }
+    });
+    (threads * STATEMENTS) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Part 2: statement-lifecycle throughput (`BENCH_query.json`).
+fn query_pipeline_report() {
+    // An interactive-scale task: 2 k rows/day, 60 days, 1 % GSW samples.
+    let dataset = generate_dataset(&DatasetConfig::new(2_000, 60, SEED)).expect("dataset");
+    let config = EngineConfig {
+        layer_rates: vec![0.01],
+        default_rate: 0.01,
+        // Per-statement work is tiny; parallelism comes from the client
+        // threads, not from intra-query scans.
+        threads: 1,
+        ..Default::default()
+    };
+    let catalog = SampleCatalog::build(&dataset.table, &config).expect("catalog");
+    let engine = FlashPEngine::with_catalog(dataset.table, config, catalog);
+
+    let sql = "FORECAST SUM(Impression) FROM ads WHERE age <= 30 AND gender = 'F' \
+               USING (20200101, 20200130) OPTION (MODEL = 'naive', FORE_PERIOD = 7)";
+    let prepared = engine.prepare(sql).expect("prepare");
+
+    println!("\nquery pipeline: statements/sec at rate 0.01 ({STATEMENTS} statements/thread)");
+    let mut modes = Vec::new();
+    for threads in [1usize, 8] {
+        // One-shot: parse + plan + execute on every call (the pre-staged
+        // API's behavior; run_forecast bypasses the plan cache).
+        let one_shot = statements_per_sec(threads, || {
+            let stmt = match parse(sql).expect("parse") {
+                Statement::Forecast(f) => f,
+                _ => unreachable!(),
+            };
+            engine.run_forecast(&stmt).expect("one-shot forecast");
+        });
+        // Cached: the string API served from the LRU plan cache.
+        let cached = statements_per_sec(threads, || {
+            engine.forecast(sql).expect("cached forecast");
+        });
+        // Prepared: plan owned by the statement, no parsing, no lock.
+        let prepared_rate = statements_per_sec(threads, || {
+            prepared.forecast_with(&[]).expect("prepared forecast");
+        });
+        println!(
+            "{threads} thread(s): one-shot {one_shot:>9.0}   plan-cache {cached:>9.0}   \
+             prepared {prepared_rate:>9.0}   (prepared/one-shot {:.2}x)",
+            prepared_rate / one_shot
+        );
+        modes.push(json!({
+            "threads": threads,
+            "one_shot_stmts_per_sec": one_shot,
+            "plan_cache_stmts_per_sec": cached,
+            "prepared_stmts_per_sec": prepared_rate,
+            "prepared_vs_one_shot_speedup": prepared_rate / one_shot,
+        }));
+    }
+    let doc = json!({
+        "bench": "BENCH_query",
+        "statement": sql,
+        "rate": 0.01,
+        "statements_per_thread": STATEMENTS,
+        "unit": "statements_per_sec",
+        "modes": modes,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
     std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();
     println!("wrote {path}");
 }

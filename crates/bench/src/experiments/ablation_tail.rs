@@ -17,8 +17,7 @@ use rand::{Rng, SeedableRng};
 use serde_json::json;
 
 pub fn run(_h: &crate::Harness) -> serde_json::Value {
-    let schema =
-        Schema::from_names(&[("segment", DataType::Int64)], &["m"]).unwrap().into_shared();
+    let schema = Schema::from_names(&[("segment", DataType::Int64)], &["m"]).unwrap().into_shared();
     let n = 50_000;
     let mut rng = StdRng::seed_from_u64(4242);
     let mut seg = Vec::with_capacity(n);
@@ -34,11 +33,7 @@ pub fn run(_h: &crate::Harness) -> serde_json::Value {
         };
         m.push(value);
     }
-    let partition = Partition::from_columns(
-        vec![DimensionColumn::Int64(seg)],
-        vec![m],
-    )
-    .unwrap();
+    let partition = Partition::from_columns(vec![DimensionColumn::Int64(seg)], vec![m]).unwrap();
     let pred_b = Predicate::cmp("segment", CmpOp::Eq, 1).compile(&schema, &[None]).unwrap();
     let pred_all = Predicate::True.compile(&schema, &[None]).unwrap();
     let truth_b: f64 = {

@@ -62,9 +62,15 @@ pub fn run(h: &Harness) -> serde_json::Value {
     let mut panel_b = serde_json::Map::new();
     for sampler in &samplers {
         let engine = engines.get(sampler);
-        if let Ok(eval) =
-            forecast_eval(engine, MEASURE, &pred, (t0, t1), "arima", (0.0002 * rate_scale()).min(1.0), &truth)
-        {
+        if let Ok(eval) = forecast_eval(
+            engine,
+            MEASURE,
+            &pred,
+            (t0, t1),
+            "arima",
+            (0.0002 * rate_scale()).min(1.0),
+            &truth,
+        ) {
             for (i, ((lo, hi), fc)) in eval.intervals.iter().zip(&eval.forecasts).enumerate() {
                 rows_b.push(vec![
                     sampler.label().to_string(),

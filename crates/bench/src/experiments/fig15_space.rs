@@ -12,9 +12,8 @@ use crate::{
     agg_error, forecast_eval, mean_std, paper_rates, print_table, rate_label, rate_scale, runs,
     Harness, MEASURES,
 };
-use flashp_core::{EngineConfig, FlashPEngine, GroupingPolicy, SamplerChoice};
+use flashp_core::{EngineConfig, FlashPEngine, GroupingPolicy, SampleCatalog, SamplerChoice};
 use serde_json::json;
-
 
 pub fn run(h: &Harness) -> serde_json::Value {
     let c_rates = paper_rates();
@@ -24,25 +23,23 @@ pub fn run(h: &Harness) -> serde_json::Value {
 
     // One compressed engine with all rates; one optimal engine with all
     // rates (reference measurements for the scaling law).
-    let mut c_engine = FlashPEngine::new(
-        h.table.clone(),
-        EngineConfig {
-            sampler: SamplerChoice::ArithmeticGsw,
-            grouping: GroupingPolicy::Single,
-            layer_rates: c_rates.clone(),
-            ..Default::default()
-        },
-    );
-    let c_stats = c_engine.build_samples().expect("compressed build");
-    let mut o_engine = FlashPEngine::new(
-        h.table.clone(),
-        EngineConfig {
-            sampler: SamplerChoice::OptimalGsw,
-            layer_rates: c_rates.clone(),
-            ..Default::default()
-        },
-    );
-    let o_stats = o_engine.build_samples().expect("optimal build");
+    let c_config = EngineConfig {
+        sampler: SamplerChoice::ArithmeticGsw,
+        grouping: GroupingPolicy::Single,
+        layer_rates: c_rates.clone(),
+        ..Default::default()
+    };
+    let c_catalog = SampleCatalog::build(&h.table, &c_config).expect("compressed build");
+    let c_stats = c_catalog.stats().clone();
+    let c_engine = FlashPEngine::with_catalog(h.table.clone(), c_config, c_catalog);
+    let o_config = EngineConfig {
+        sampler: SamplerChoice::OptimalGsw,
+        layer_rates: c_rates.clone(),
+        ..Default::default()
+    };
+    let o_catalog = SampleCatalog::build(&h.table, &o_config).expect("optimal build");
+    let o_stats = o_catalog.stats().clone();
+    let o_engine = FlashPEngine::with_catalog(h.table.clone(), o_config, o_catalog);
 
     let mean_err = |engine: &FlashPEngine, m: usize, rate: f64| -> f64 {
         let errs: Vec<f64> = tasks
@@ -59,7 +56,7 @@ pub fn run(h: &Harness) -> serde_json::Value {
     let mut out = Vec::new();
     for (ri, &rate) in c_rates.iter().enumerate() {
         // Compressed: one sample of `rate` serves all measures.
-        let c_rows = c_stats.layers[ri].1 as f64;
+        let c_rows = c_stats.layers[ri].rows as f64;
         // Per measure: error target from compressed, matched optimal size.
         let mut total_opt_rows = 0.0;
         let mut max_c_err = 0.0f64;
@@ -115,10 +112,26 @@ pub fn run(h: &Harness) -> serde_json::Value {
         for task in &tasks {
             let pred = h.table.compile_predicate(&task.predicate).unwrap();
             let truth = h.truth(m, &pred, t1 + 1, t1 + 7);
-            if let Ok(e) = forecast_eval(&c_engine, m, &pred, (t0, t1), "arima", (0.001 * rate_scale()).min(1.0), &truth) {
+            if let Ok(e) = forecast_eval(
+                &c_engine,
+                m,
+                &pred,
+                (t0, t1),
+                "arima",
+                (0.001 * rate_scale()).min(1.0),
+                &truth,
+            ) {
                 errs_c.push(e.forecast_error);
             }
-            if let Ok(e) = forecast_eval(&o_engine, m, &pred, (t0, t1), "arima", (0.001 * rate_scale()).min(1.0), &truth) {
+            if let Ok(e) = forecast_eval(
+                &o_engine,
+                m,
+                &pred,
+                (t0, t1),
+                "arima",
+                (0.001 * rate_scale()).min(1.0),
+                &truth,
+            ) {
                 errs_o.push(e.forecast_error);
             }
         }

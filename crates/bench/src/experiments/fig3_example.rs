@@ -8,16 +8,15 @@ use flashp_core::SamplerChoice;
 use serde_json::json;
 
 pub fn run(h: &Harness) -> serde_json::Value {
-    let engines =
-        crate::EngineSet::build(h.table.clone(), &[SamplerChoice::OptimalGsw], &[0.01]);
+    let engines = crate::EngineSet::build(h.table.clone(), &[SamplerChoice::OptimalGsw], &[0.01]);
     let engine = engines.get(&SamplerChoice::OptimalGsw);
     let (t0, t1) = h.train_range(90.min(h.num_days - 8));
     let task = h.tasks(0, 0.1, 1, 42).pop().unwrap();
     let pred = h.table.compile_predicate(&task.predicate).unwrap();
     let truth_train = h.truth(0, &pred, t0, t1);
     let truth_future = h.truth(0, &pred, t1 + 1, t1 + 7);
-    let eval = forecast_eval(engine, 0, &pred, (t0, t1), "arima", 0.01, &truth_future)
-        .expect("pipeline");
+    let eval =
+        forecast_eval(engine, 0, &pred, (t0, t1), "arima", 0.01, &truth_future).expect("pipeline");
 
     // Print the last two weeks of training estimates + the forecast week.
     let mut rows = Vec::new();

@@ -38,16 +38,14 @@ pub fn run(h: &Harness) -> serde_json::Value {
     let mut rows_b = Vec::new();
     let mut out = Vec::new();
     for (g1, g2, label) in GROUPINGS {
-        let mut engine = FlashPEngine::new(
-            h.table.clone(),
-            EngineConfig {
-                sampler: SamplerChoice::ArithmeticGsw,
-                grouping: GroupingPolicy::Explicit(vec![g1.to_vec(), g2.to_vec()]),
-                layer_rates: vec![rate],
-                ..Default::default()
-            },
-        );
-        engine.build_samples().expect("build");
+        let config = EngineConfig {
+            sampler: SamplerChoice::ArithmeticGsw,
+            grouping: GroupingPolicy::Explicit(vec![g1.to_vec(), g2.to_vec()]),
+            layer_rates: vec![rate],
+            ..Default::default()
+        };
+        let catalog = flashp_core::SampleCatalog::build(&h.table, &config).expect("build");
+        let engine = FlashPEngine::with_catalog(h.table.clone(), config, catalog);
 
         let mut errs_per_measure = Vec::new();
         let mut l1_per_measure = Vec::new();
@@ -91,7 +89,10 @@ pub fn run(h: &Harness) -> serde_json::Value {
     }
     let headers: Vec<&str> = std::iter::once("grouping").chain(MEASURES).collect();
     print_table(
-        &format!("Fig. 5a: aggregation error by grouping (arith C-GSW, {})", crate::rate_label(rate)),
+        &format!(
+            "Fig. 5a: aggregation error by grouping (arith C-GSW, {})",
+            crate::rate_label(rate)
+        ),
         &headers,
         &rows_a,
     );

@@ -13,8 +13,7 @@ const MEASURE: usize = 0; // Impression
 const TRAIN_LENS: [usize; 4] = [30, 60, 90, 150];
 
 pub fn run(h: &Harness) -> serde_json::Value {
-    let engines =
-        EngineSet::build(h.table.clone(), &[SamplerChoice::OptimalGsw], &paper_rates());
+    let engines = EngineSet::build(h.table.clone(), &[SamplerChoice::OptimalGsw], &paper_rates());
     let sweep = sweep_rates();
     let engine = engines.get(&SamplerChoice::OptimalGsw);
     let tasks = h.tasks(MEASURE, 0.05, runs(), 801);

@@ -39,8 +39,9 @@ pub fn run(h: &Harness) -> serde_json::Value {
             panel.insert(sampler.label().to_string(), json!(series));
             rows.push(row);
         }
-        let headers: Vec<String> =
-            std::iter::once("sampler".to_string()).chain(rates.iter().map(|r| rate_label(*r))).collect();
+        let headers: Vec<String> = std::iter::once("sampler".to_string())
+            .chain(rates.iter().map(|r| rate_label(*r)))
+            .collect();
         let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
         print_table(
             &format!(

@@ -42,8 +42,7 @@ pub fn run(h: &Harness) -> serde_json::Value {
                 continue;
             }
         }
-        let tasks =
-            h.tasks(panel.measure, panel.selectivity, n_tasks, 1_300 + idx as u64 * 17);
+        let tasks = h.tasks(panel.measure, panel.selectivity, n_tasks, 1_300 + idx as u64 * 17);
         let mut panel_json = serde_json::Map::new();
         for model in ["arima", "lstm"] {
             let mut rows = Vec::new();
@@ -93,7 +92,10 @@ pub fn run(h: &Harness) -> serde_json::Value {
                 &rows,
             );
         }
-        out.insert(panel.fig.replace(". ", "").to_lowercase(), serde_json::Value::Object(panel_json));
+        out.insert(
+            panel.fig.replace(". ", "").to_lowercase(),
+            serde_json::Value::Object(panel_json),
+        );
     }
     println!(
         "expected shape: error grows as rate shrinks; ≥1% rates ≈ full data; \

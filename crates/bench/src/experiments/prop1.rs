@@ -20,8 +20,7 @@ pub fn run(_h: &crate::Harness) -> serde_json::Value {
             let clean = simulate_arma(&spec, 150_000, &mut rng);
             let noisy = add_estimation_noise(&clean, sigma_eps, &mut rng);
             let observed = sample_variance(&noisy);
-            let predicted =
-                arma11_noisy_variance(alpha, beta, 1.0, sigma_eps * sigma_eps).unwrap();
+            let predicted = arma11_noisy_variance(alpha, beta, 1.0, sigma_eps * sigma_eps).unwrap();
             rows.push(vec![
                 format!("({alpha}, {beta})"),
                 format!("{sigma_eps}"),

@@ -106,7 +106,10 @@ pub fn run(h: &Harness) -> serde_json::Value {
     }
 
     print_table(
-        &format!("Table 1: forecast error, {} sample, {n_tasks} tasks, ARIMA", crate::rate_label(rate)),
+        &format!(
+            "Table 1: forecast error, {} sample, {n_tasks} tasks, ARIMA",
+            crate::rate_label(rate)
+        ),
         &["measure", "Full", "PIM", "Uniform", "Opt-GSW", "C-GSW"],
         &rows,
     );

@@ -20,10 +20,10 @@
 
 pub mod experiments;
 
-use flashp_core::{build_model, EngineConfig, FlashPEngine, SamplerChoice};
+use flashp_core::{build_model, EngineConfig, FlashPEngine, SampleCatalog, SamplerChoice};
 use flashp_data::workload::{Task, WorkloadConfig, WorkloadGenerator};
 use flashp_data::{generate_dataset, DatasetConfig};
-use flashp_storage::{AggFunc, CompiledPredicate, Timestamp, TimeSeriesTable};
+use flashp_storage::{AggFunc, CompiledPredicate, TimeSeriesTable, Timestamp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -165,22 +165,22 @@ impl EngineSet {
         let mut engines = Vec::with_capacity(samplers.len());
         for sampler in samplers {
             let t0 = Instant::now();
-            let mut engine = FlashPEngine::new(
-                table.clone(),
-                EngineConfig {
-                    sampler: sampler.clone(),
-                    layer_rates: rates.to_vec(),
-                    ..Default::default()
-                },
-            );
-            let stats = engine.build_samples().expect("sample build");
+            let config = EngineConfig {
+                sampler: sampler.clone(),
+                layer_rates: rates.to_vec(),
+                ..Default::default()
+            };
+            let catalog = SampleCatalog::build(&table, &config).expect("sample build");
             eprintln!(
                 "[harness] built {} samples: {} KiB in {:.1?}",
                 sampler.label(),
-                stats.total_bytes / 1024,
+                catalog.stats().total_bytes / 1024,
                 t0.elapsed()
             );
-            engines.push((sampler.clone(), engine));
+            engines.push((
+                sampler.clone(),
+                FlashPEngine::with_catalog(table.clone(), config, catalog),
+            ));
         }
         EngineSet { engines }
     }
@@ -301,8 +301,7 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     if clean.len() < 2 {
         return (mean, 0.0);
     }
-    let var =
-        clean.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (clean.len() - 1) as f64;
+    let var = clean.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (clean.len() - 1) as f64;
     (mean, var.sqrt())
 }
 

@@ -1,0 +1,354 @@
+//! The immutable sample catalog: every layer × bucket × partition sample
+//! drawn by the offline preprocessor (§5's *Offline Sample Preprocessor*).
+//!
+//! [`SampleCatalog::build`] is a free-standing builder — it borrows the
+//! table and configuration only for the duration of the build, so the
+//! resulting catalog can be wrapped in an [`std::sync::Arc`] and shared by
+//! any number of engine handles and prepared queries. Once built, a
+//! catalog is never mutated; concurrent readers need no locks.
+
+use crate::config::{EngineConfig, GroupingPolicy, SamplerChoice};
+use crate::error::EngineError;
+use flashp_sampling::{
+    group_measures, GswSampler, PrioritySampler, Sample, SampleSize, Sampler, ThresholdSampler,
+    UniformSampler,
+};
+use flashp_storage::parallel::parallel_map;
+use flashp_storage::{TimeSeriesTable, Timestamp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One layer of the sample catalog.
+pub(crate) struct CatalogLayer {
+    pub(crate) rate: f64,
+    /// Sample sets; indexing via `measure_bucket`.
+    pub(crate) buckets: Vec<BTreeMap<Timestamp, Sample>>,
+    /// Bucket index serving each measure.
+    pub(crate) measure_bucket: Vec<usize>,
+    /// Human-readable sampler label.
+    pub(crate) sampler_label: String,
+    /// Total sampled rows across buckets (drives the threading decision
+    /// at query time: tiny layers are cheaper to scan sequentially).
+    pub(crate) total_rows: usize,
+}
+
+impl CatalogLayer {
+    /// The bucket serving `measure`.
+    pub(crate) fn bucket_for(&self, measure: usize) -> usize {
+        self.measure_bucket[measure]
+    }
+
+    /// Total sampled rows stored for `measure` over `[start, end]` — the
+    /// rows an estimation over that range will scan.
+    pub(crate) fn rows_in_range(&self, measure: usize, start: Timestamp, end: Timestamp) -> usize {
+        self.buckets[self.bucket_for(measure)].range(start..=end).map(|(_, s)| s.num_rows()).sum()
+    }
+}
+
+/// Per-layer build statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerStats {
+    /// Sampling rate of the layer.
+    pub rate: f64,
+    /// Total sampled rows across buckets and partitions.
+    pub rows: usize,
+    /// Total bytes across buckets and partitions.
+    pub bytes: usize,
+}
+
+/// Statistics returned by [`SampleCatalog::build`].
+#[derive(Debug, Clone)]
+pub struct BuildStats {
+    /// Wall-clock build time.
+    pub duration: std::time::Duration,
+    /// Total bytes across all layers and buckets.
+    pub total_bytes: usize,
+    /// Per-layer statistics, in configuration order.
+    pub layers: Vec<LayerStats>,
+    /// Resolved measure groups (empty unless a compressed sampler).
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// The immutable multi-layer sample catalog.
+pub struct SampleCatalog {
+    /// Layers sorted by rate descending (selection walks from the back).
+    layers: Vec<CatalogLayer>,
+    /// Schema of the table the catalog was drawn from; planning validates
+    /// it against the serving table so a mismatched catalog is a typed
+    /// error, not a panic or a silently wrong answer.
+    schema: flashp_storage::SchemaRef,
+    stats: BuildStats,
+}
+
+impl SampleCatalog {
+    /// Run the offline sample preprocessor: draw every layer × bucket ×
+    /// partition sample. Deterministic given `config.seed`. Borrows the
+    /// table only for the build; the catalog holds copies of the sampled
+    /// rows, not references.
+    pub fn build(table: &TimeSeriesTable, config: &EngineConfig) -> Result<Self, EngineError> {
+        config.validate().map_err(EngineError::Config)?;
+        let start_time = Instant::now();
+        let num_measures = table.schema().num_measures();
+        if num_measures == 0 {
+            return Err(EngineError::Config("table has no measures".to_string()));
+        }
+
+        // Resolve buckets.
+        let (bucket_defs, measure_bucket, groups) = resolve_buckets(table, config, num_measures)?;
+
+        let schema = table.schema().clone();
+        let label = config.sampler.label().to_string();
+        let parts: Vec<(Timestamp, &flashp_storage::Partition)> = table.partitions().collect();
+        let mut layers = Vec::with_capacity(config.layer_rates.len());
+        let mut stats_layers = Vec::new();
+        let mut total_bytes = 0usize;
+        for (layer_idx, &rate) in config.layer_rates.iter().enumerate() {
+            let mut buckets = Vec::with_capacity(bucket_defs.len());
+            let mut layer_rows = 0usize;
+            let mut layer_bytes = 0usize;
+            for (bucket_idx, def) in bucket_defs.iter().enumerate() {
+                let sampler = make_sampler(&config.sampler, def, rate);
+                let seed_base = mix(config.seed, layer_idx as u64, bucket_idx as u64);
+                let samples: Vec<Result<Sample, flashp_sampling::SamplingError>> =
+                    parallel_map(&parts, config.threads, |(t, p)| {
+                        let mut rng = StdRng::seed_from_u64(mix(seed_base, t.0 as u64, 0x5A));
+                        sampler.sample(&schema, p, &mut rng)
+                    });
+                let mut map = BTreeMap::new();
+                for ((t, _), s) in parts.iter().zip(samples) {
+                    let s = s?;
+                    layer_rows += s.num_rows();
+                    layer_bytes += s.byte_size();
+                    map.insert(*t, s);
+                }
+                buckets.push(map);
+            }
+            total_bytes += layer_bytes;
+            stats_layers.push(LayerStats { rate, rows: layer_rows, bytes: layer_bytes });
+            layers.push(CatalogLayer {
+                rate,
+                buckets,
+                measure_bucket: measure_bucket.clone(),
+                sampler_label: label.clone(),
+                total_rows: layer_rows,
+            });
+        }
+        // Keep layers sorted by rate descending for selection.
+        layers.sort_by(|a, b| b.rate.total_cmp(&a.rate));
+        let stats = BuildStats {
+            duration: start_time.elapsed(),
+            total_bytes,
+            layers: stats_layers,
+            groups,
+        };
+        Ok(SampleCatalog { layers, schema, stats })
+    }
+
+    /// Build statistics recorded when the catalog was drawn.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Resolved measure groups (empty unless a compressed sampler).
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.stats.groups
+    }
+
+    /// Schema of the table this catalog was drawn from.
+    pub fn schema(&self) -> &flashp_storage::SchemaRef {
+        &self.schema
+    }
+
+    /// Validate that `table` is the one this catalog describes (same
+    /// schema; pointer equality short-circuits the structural compare).
+    /// A catalog attached to a table with a different schema would index
+    /// measures out of bounds or estimate from unrelated sampled rows.
+    pub(crate) fn check_schema(&self, table: &TimeSeriesTable) -> Result<(), EngineError> {
+        if std::sync::Arc::ptr_eq(&self.schema, table.schema()) || *self.schema == **table.schema()
+        {
+            return Ok(());
+        }
+        Err(EngineError::Config(
+            "sample catalog was built for a table with a different schema".to_string(),
+        ))
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The cheapest layer whose rate still covers `rate`, as
+    /// `(index, layer)`; falls back to the densest layer when every layer
+    /// is sparser than requested. `None` when the catalog has no layers.
+    pub(crate) fn select_layer(&self, rate: f64) -> Option<(usize, &CatalogLayer)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .rfind(|(_, l)| l.rate >= rate)
+            .or_else(|| self.layers.first().map(|l| (0, l)))
+    }
+
+    /// Layer by index (as chosen by a plan).
+    pub(crate) fn layer(&self, idx: usize) -> &CatalogLayer {
+        &self.layers[idx]
+    }
+}
+
+/// Resolve bucket definitions: which measures each sample set serves.
+#[allow(clippy::type_complexity)]
+fn resolve_buckets(
+    table: &TimeSeriesTable,
+    config: &EngineConfig,
+    num_measures: usize,
+) -> Result<(Vec<Vec<usize>>, Vec<usize>, Vec<Vec<usize>>), EngineError> {
+    if config.sampler.per_measure() {
+        let defs: Vec<Vec<usize>> = (0..num_measures).map(|j| vec![j]).collect();
+        let mapping: Vec<usize> = (0..num_measures).collect();
+        return Ok((defs, mapping, Vec::new()));
+    }
+    if !config.sampler.grouped() {
+        // Uniform: one shared bucket.
+        return Ok((vec![(0..num_measures).collect()], vec![0; num_measures], Vec::new()));
+    }
+    // Compressed samplers: need groups.
+    let groups: Vec<Vec<usize>> = match &config.grouping {
+        GroupingPolicy::Single => vec![(0..num_measures).collect()],
+        GroupingPolicy::Explicit(groups) => {
+            let mut seen = vec![false; num_measures];
+            for g in groups {
+                for &j in g {
+                    if j >= num_measures || seen[j] {
+                        return Err(EngineError::Config(format!(
+                            "invalid or duplicate measure {j} in explicit groups"
+                        )));
+                    }
+                    seen[j] = true;
+                }
+            }
+            if seen.iter().any(|s| !s) {
+                return Err(EngineError::Config(
+                    "explicit groups must cover every measure".to_string(),
+                ));
+            }
+            groups.clone()
+        }
+        GroupingPolicy::Auto { num_groups } => {
+            // Group on a middle partition (representative day).
+            let (lo, hi) = table
+                .time_bounds()
+                .ok_or_else(|| EngineError::Config("empty table".to_string()))?;
+            let mid = Timestamp(lo.0 + (hi.0 - lo.0) / 2);
+            let partition = table
+                .partition(mid)
+                .or_else(|| table.partitions().next().map(|(_, p)| p))
+                .ok_or_else(|| EngineError::Config("empty table".to_string()))?;
+            let all: Vec<usize> = (0..num_measures).collect();
+            let mut rng = StdRng::seed_from_u64(mix(config.seed, 0xC1, 0xC2));
+            let result = group_measures(partition, &all, *num_groups, 20_000, &mut rng)?;
+            result.groups
+        }
+    };
+    let mut mapping = vec![usize::MAX; num_measures];
+    for (b, g) in groups.iter().enumerate() {
+        for &j in g {
+            mapping[j] = b;
+        }
+    }
+    Ok((groups.clone(), mapping, groups))
+}
+
+/// Build the sampler instance for one bucket at one rate.
+fn make_sampler(
+    choice: &SamplerChoice,
+    bucket_measures: &[usize],
+    rate: f64,
+) -> Box<dyn Sampler + Send + Sync> {
+    let size = SampleSize::Rate(rate);
+    match choice {
+        SamplerChoice::Uniform => Box::new(UniformSampler::new(size)),
+        SamplerChoice::OptimalGsw => Box::new(GswSampler::optimal(bucket_measures[0], size)),
+        SamplerChoice::Priority => Box::new(PrioritySampler::new(bucket_measures[0], size)),
+        SamplerChoice::Threshold => Box::new(ThresholdSampler::new(bucket_measures[0], size)),
+        SamplerChoice::ArithmeticGsw => {
+            Box::new(GswSampler::arithmetic_compressed(bucket_measures.to_vec(), size))
+        }
+        SamplerChoice::GeometricGsw => {
+            Box::new(GswSampler::geometric_compressed(bucket_measures.to_vec(), size))
+        }
+    }
+}
+
+/// SplitMix-style seed mixing.
+pub(crate) fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ c.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::test_table;
+
+    #[test]
+    fn build_without_engine_borrow() {
+        let table = test_table();
+        let config = EngineConfig {
+            layer_rates: vec![0.2, 0.05],
+            sampler: SamplerChoice::Uniform,
+            ..Default::default()
+        };
+        let catalog = SampleCatalog::build(&table, &config).unwrap();
+        // The table is still freely usable here — no engine was borrowed.
+        assert!(table.num_rows() > 0);
+        assert_eq!(catalog.num_layers(), 2);
+        let stats = catalog.stats();
+        assert_eq!(stats.layers.len(), 2);
+        for layer in &stats.layers {
+            assert!(layer.rows > 0);
+            assert!(layer.bytes > 0);
+        }
+        assert_eq!(stats.total_bytes, stats.layers.iter().map(|l| l.bytes).sum::<usize>());
+    }
+
+    #[test]
+    fn layer_selection_prefers_cheapest_adequate() {
+        let table = test_table();
+        let config = EngineConfig {
+            layer_rates: vec![0.2, 0.05],
+            sampler: SamplerChoice::Uniform,
+            ..Default::default()
+        };
+        let catalog = SampleCatalog::build(&table, &config).unwrap();
+        // Exactly-matching and in-between rates pick the cheapest layer
+        // that still covers the request.
+        assert_eq!(catalog.select_layer(0.05).unwrap().1.rate, 0.05);
+        assert_eq!(catalog.select_layer(0.1).unwrap().1.rate, 0.2);
+        assert_eq!(catalog.select_layer(0.2).unwrap().1.rate, 0.2);
+        // Sparser than every layer: fall back to the densest.
+        assert_eq!(catalog.select_layer(0.001).unwrap().1.rate, 0.05);
+        // Denser than every layer: fall back to the densest.
+        assert_eq!(catalog.select_layer(0.5).unwrap().1.rate, 0.2);
+    }
+
+    #[test]
+    fn rows_in_range_counts_sampled_rows() {
+        let table = test_table();
+        let config = EngineConfig {
+            layer_rates: vec![0.2],
+            sampler: SamplerChoice::Uniform,
+            ..Default::default()
+        };
+        let catalog = SampleCatalog::build(&table, &config).unwrap();
+        let (_, layer) = catalog.select_layer(0.2).unwrap();
+        let t0 = Timestamp::from_yyyymmdd(20200101).unwrap();
+        let all = layer.rows_in_range(0, t0, t0 + 39);
+        assert_eq!(all, layer.total_rows);
+        let half = layer.rows_in_range(0, t0, t0 + 19);
+        assert!(half > 0 && half < all);
+    }
+}

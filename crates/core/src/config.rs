@@ -158,10 +158,8 @@ mod tests {
         assert!(c.validate().is_err());
         let c = EngineConfig { default_horizon: 0, ..Default::default() };
         assert!(c.validate().is_err());
-        let c = EngineConfig {
-            grouping: GroupingPolicy::Auto { num_groups: 0 },
-            ..Default::default()
-        };
+        let c =
+            EngineConfig { grouping: GroupingPolicy::Auto { num_groups: 0 }, ..Default::default() };
         assert!(c.validate().is_err());
     }
 
@@ -176,9 +174,7 @@ mod tests {
 
     #[test]
     fn builder_helpers() {
-        let c = EngineConfig::default()
-            .with_sampler(SamplerChoice::Uniform)
-            .with_layers(&[0.5]);
+        let c = EngineConfig::default().with_sampler(SamplerChoice::Uniform).with_layers(&[0.5]);
         assert_eq!(c.sampler, SamplerChoice::Uniform);
         assert_eq!(c.layer_rates, vec![0.5]);
     }

@@ -1,76 +1,226 @@
-//! The FlashP engine: offline sample preprocessing + online forecasting.
+//! The FlashP engine: a cheap, concurrently shareable handle over an
+//! immutable table + sample catalog, fronting the staged query pipeline
+//! `parse → plan → prepare → execute`.
 //!
-//! Mirrors the deployment of §5: an *Offline Sample Preprocessor* draws
-//! multi-layer samples per partition (one sample set per measure for
-//! measure-dependent samplers, one per measure group for compressed GSW,
-//! one shared set for uniform), and an *Online Forecasting Service*
-//! rewrites a FORECAST task into per-timestamp aggregation queries
-//! (Eq. 4), estimates them from the chosen sample layer, fits the
-//! requested model and returns forecasts with intervals — reporting the
-//! aggregation/forecasting time split of Fig. 7.
+//! Mirrors the deployment of §5: the *Offline Sample Preprocessor*
+//! ([`crate::SampleCatalog::build`]) draws multi-layer samples per
+//! partition once; the *Online Forecasting Service* — this engine — then
+//! serves many concurrent FORECAST/SELECT tasks against it. The engine is
+//! `Clone + Send + Sync`: every field sits behind an [`Arc`], so handing a
+//! handle to each worker thread copies pointers, not samples.
+//!
+//! One-shot [`FlashPEngine::execute`] keeps an LRU plan cache keyed on the
+//! normalized statement text; repeated statements skip parse/plan.
+//! [`FlashPEngine::prepare`] goes further and returns a
+//! [`PreparedQuery`] that owns its plan and compiled predicate — the hot
+//! path for a service loop, with no lock anywhere.
 
-use crate::config::{EngineConfig, GroupingPolicy, SamplerChoice};
+use crate::catalog::{BuildStats, SampleCatalog};
+use crate::config::EngineConfig;
 use crate::error::EngineError;
-use crate::models::build_model;
-use crate::result::{ExecOutput, ForecastOut, ForecastResult, SelectResult, SeriesPoint, Timing};
-use flashp_query::{bind_expr, bind_select_constraint, parse, ForecastStmt, SelectStmt, Statement};
-use flashp_sampling::{
-    estimate_agg_with, group_measures, GswSampler, PrioritySampler, Sample, SampleSize, Sampler,
-    ThresholdSampler, UniformSampler,
-};
-use flashp_storage::parallel::{parallel_map, parallel_map_with};
-use flashp_storage::{
-    AggFunc, CompiledPredicate, MaskScratch, ScanOptions, Timestamp, TimeSeriesTable,
-};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::BTreeMap;
-use std::sync::Arc;
-use std::time::Instant;
+use crate::explain::{explain_plan, PlanNode};
+use crate::planner::{LogicalPlan, Planner};
+use crate::prepared::{ExecCtx, PreparedQuery};
+use crate::result::{ExecOutput, ForecastResult, SelectResult, SeriesPoint};
+use flashp_query::{parse, ForecastStmt, SelectStmt, Statement};
+use flashp_storage::{AggFunc, CompiledPredicate, TimeSeriesTable, Timestamp};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// One layer of the sample catalog.
-struct CatalogLayer {
-    rate: f64,
-    /// Sample sets; indexing via `measure_bucket`.
-    buckets: Vec<BTreeMap<Timestamp, Sample>>,
-    /// Bucket index serving each measure.
-    measure_bucket: Vec<usize>,
-    /// Human-readable sampler label.
-    sampler_label: String,
-    /// Total sampled rows across buckets (drives the threading decision
-    /// at query time: tiny layers are cheaper to scan sequentially).
-    total_rows: usize,
+/// Default number of plans the statement cache retains.
+const PLAN_CACHE_CAPACITY: usize = 128;
+
+/// Counters describing plan-cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan from scratch.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
 }
 
-/// Statistics returned by [`FlashPEngine::build_samples`].
-#[derive(Debug, Clone)]
-pub struct BuildStats {
-    /// Wall-clock build time.
-    pub duration: std::time::Duration,
-    /// Total bytes across all layers and buckets.
-    pub total_bytes: usize,
-    /// Per layer: (rate, total sampled rows, bytes).
-    pub layers: Vec<(f64, usize, usize)>,
-    /// Resolved measure groups (empty unless a compressed sampler).
-    pub groups: Vec<Vec<usize>>,
+/// LRU plan cache keyed on normalized statement text. Shared (via `Arc`)
+/// by every clone of an engine handle. Only the one-shot string APIs
+/// touch it; prepared queries bypass it entirely.
+///
+/// Every entry records the identity of the catalog it was planned against
+/// (plans embed layer indices): a lookup from a handle holding a
+/// different catalog — e.g. a clone that never attached one — misses and
+/// re-plans instead of executing a stale plan.
+struct PlanCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
-/// The FlashP engine.
+struct CacheEntry {
+    last_used: u64,
+    /// [`FlashPEngine::catalog_id`] of the planning handle — `None` for
+    /// plans that never touch the catalog (full scans), which any handle
+    /// may reuse regardless of its catalog.
+    catalog_id: Option<usize>,
+    plan: Arc<LogicalPlan>,
+}
+
+struct CacheInner {
+    map: HashMap<String, CacheEntry>,
+    tick: u64,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            inner: Mutex::new(CacheInner { map: HashMap::new(), tick: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn get(&self, key: &str, catalog_id: usize) -> Option<Arc<LogicalPlan>> {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) if entry.catalog_id.is_none() || entry.catalog_id == Some(catalog_id) => {
+                entry.last_used = tick;
+                let plan = entry.plan.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            // A plan over a different catalog is useless to this handle:
+            // miss and re-plan. The entry stays — a successful re-plan
+            // overwrites it, while a handle that cannot plan (e.g. a clone
+            // with no catalog) must not evict another handle's good plan.
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: String, catalog_id: Option<usize>, plan: Arc<LogicalPlan>) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            // Evict the least recently used entry.
+            if let Some(lru) =
+                inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+            }
+        }
+        inner.map.insert(key, CacheEntry { last_used: tick, catalog_id, plan });
+    }
+
+    fn clear(&self) {
+        self.inner.lock().expect("plan cache poisoned").map.clear();
+    }
+
+    fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("plan cache poisoned").map.len(),
+        }
+    }
+}
+
+/// Normalize statement text for plan-cache keying: collapse whitespace
+/// runs outside string literals into single spaces and trim the ends.
+/// Identifier and literal case is preserved (only whitespace differs
+/// between equivalent spellings this cheap pass can prove equal).
+fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut quote: Option<char> = None;
+    let mut pending_space = false;
+    for c in sql.chars() {
+        match quote {
+            Some(q) => {
+                out.push(c);
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => {
+                if c == '\'' || c == '"' {
+                    if pending_space && !out.is_empty() {
+                        out.push(' ');
+                    }
+                    pending_space = false;
+                    out.push(c);
+                    quote = Some(c);
+                } else if c.is_whitespace() {
+                    pending_space = true;
+                } else {
+                    if pending_space && !out.is_empty() {
+                        out.push(' ');
+                    }
+                    pending_space = false;
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The resolution of a one-shot statement string.
+enum Resolved {
+    Plan(Arc<LogicalPlan>),
+    Explain(PlanNode),
+}
+
+/// The FlashP engine handle. See the [module docs](self) for the
+/// pipeline; see [`SampleCatalog::build`] for the offline stage.
+#[derive(Clone)]
 pub struct FlashPEngine {
     table: Arc<TimeSeriesTable>,
-    config: EngineConfig,
-    layers: Vec<CatalogLayer>,
-    groups: Vec<Vec<usize>>,
+    config: Arc<EngineConfig>,
+    catalog: Option<Arc<SampleCatalog>>,
+    plan_cache: Arc<PlanCache>,
 }
 
 impl FlashPEngine {
     /// Wrap a table with the given configuration. The table is shared via
     /// [`Arc`], so several engines (e.g. one per sampler in an experiment)
-    /// can serve the same data without copying it. Call
-    /// [`FlashPEngine::build_samples`] before issuing sampled queries;
-    /// exact (rate = 1) queries work immediately.
+    /// can serve the same data without copying it. Exact (rate = 1)
+    /// queries work immediately; attach a catalog — via
+    /// [`FlashPEngine::with_catalog`] or the legacy
+    /// [`FlashPEngine::build_samples`] — before issuing sampled queries.
     pub fn new(table: impl Into<Arc<TimeSeriesTable>>, config: EngineConfig) -> Self {
-        FlashPEngine { table: table.into(), config, layers: Vec::new(), groups: Vec::new() }
+        FlashPEngine {
+            table: table.into(),
+            config: Arc::new(config),
+            catalog: None,
+            plan_cache: Arc::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
+        }
+    }
+
+    /// An engine over a pre-built sample catalog (the staged replacement
+    /// for `new` + `build_samples`): build the catalog once with
+    /// [`SampleCatalog::build`], then hand it to any number of engines.
+    ///
+    /// The catalog must have been built from this `table` (planning
+    /// validates the schemas match and returns a configuration error for
+    /// a mismatched catalog; a same-schema table with different contents
+    /// cannot be detected).
+    pub fn with_catalog(
+        table: impl Into<Arc<TimeSeriesTable>>,
+        config: EngineConfig,
+        catalog: impl Into<Arc<SampleCatalog>>,
+    ) -> Self {
+        FlashPEngine {
+            table: table.into(),
+            config: Arc::new(config),
+            catalog: Some(catalog.into()),
+            plan_cache: Arc::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
+        }
     }
 
     /// The underlying table.
@@ -83,290 +233,166 @@ impl FlashPEngine {
         &self.config
     }
 
-    /// Resolved measure groups (populated by `build_samples` when a
-    /// compressed sampler is configured).
+    /// The attached sample catalog, if any.
+    pub fn catalog(&self) -> Option<&SampleCatalog> {
+        self.catalog.as_deref()
+    }
+
+    /// Resolved measure groups (populated when a catalog built with a
+    /// compressed sampler is attached).
     pub fn groups(&self) -> &[Vec<usize>] {
-        &self.groups
+        self.catalog.as_deref().map(|c| c.groups()).unwrap_or(&[])
     }
 
-    /// Run the offline sample preprocessor: draw every layer × bucket ×
-    /// partition sample. Deterministic given `config.seed`.
+    /// Plan-cache hit/miss counters for this handle's shared cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Deprecated shim: run the offline sample preprocessor in place.
+    ///
+    /// Prefer [`SampleCatalog::build`] + [`FlashPEngine::with_catalog`],
+    /// which never borrow an engine mutably — the staged API for services
+    /// that share one engine handle across threads. This wrapper builds a
+    /// catalog from the engine's own table and configuration, attaches
+    /// it to *this* handle (clones made earlier keep their old catalog),
+    /// and clears the plan cache (cached plans reference catalog layers).
     pub fn build_samples(&mut self) -> Result<BuildStats, EngineError> {
-        self.config.validate().map_err(EngineError::Config)?;
-        let start_time = Instant::now();
-        let num_measures = self.table.schema().num_measures();
-        if num_measures == 0 {
-            return Err(EngineError::Config("table has no measures".to_string()));
-        }
-
-        // Resolve buckets.
-        let (bucket_defs, measure_bucket, groups) = self.resolve_buckets(num_measures)?;
-        self.groups = groups.clone();
-
-        let schema = self.table.schema().clone();
-        let mut layers = Vec::with_capacity(self.config.layer_rates.len());
-        let mut stats_layers = Vec::new();
-        let mut total_bytes = 0usize;
-        for (layer_idx, &rate) in self.config.layer_rates.iter().enumerate() {
-            let mut buckets = Vec::with_capacity(bucket_defs.len());
-            let mut layer_rows = 0usize;
-            let mut layer_bytes = 0usize;
-            let mut label = String::new();
-            for (bucket_idx, def) in bucket_defs.iter().enumerate() {
-                let sampler = make_sampler(&self.config.sampler, def, rate);
-                label = self.config.sampler.label().to_string();
-                let parts: Vec<(Timestamp, &flashp_storage::Partition)> =
-                    self.table.partitions().collect();
-                let seed_base = mix(self.config.seed, layer_idx as u64, bucket_idx as u64);
-                let samples: Vec<Result<Sample, flashp_sampling::SamplingError>> =
-                    parallel_map(&parts, self.config.threads, |(t, p)| {
-                        let mut rng = StdRng::seed_from_u64(mix(seed_base, t.0 as u64, 0x5A));
-                        sampler.sample(&schema, p, &mut rng)
-                    });
-                let mut map = BTreeMap::new();
-                for ((t, _), s) in parts.iter().zip(samples) {
-                    let s = s?;
-                    layer_rows += s.num_rows();
-                    layer_bytes += s.byte_size();
-                    map.insert(*t, s);
-                }
-                buckets.push(map);
-            }
-            total_bytes += layer_bytes;
-            stats_layers.push((rate, layer_rows, layer_bytes));
-            layers.push(CatalogLayer {
-                rate,
-                buckets,
-                measure_bucket: measure_bucket.clone(),
-                sampler_label: label,
-                total_rows: layer_rows,
-            });
-        }
-        // Keep layers sorted by rate descending for selection.
-        layers.sort_by(|a, b| b.rate.total_cmp(&a.rate));
-        self.layers = layers;
-        Ok(BuildStats {
-            duration: start_time.elapsed(),
-            total_bytes,
-            layers: stats_layers,
-            groups,
-        })
+        let catalog = SampleCatalog::build(&self.table, &self.config)?;
+        let stats = catalog.stats().clone();
+        self.catalog = Some(Arc::new(catalog));
+        self.plan_cache.clear();
+        Ok(stats)
     }
 
-    /// Resolve bucket definitions: which measures each sample set serves.
-    #[allow(clippy::type_complexity)]
-    fn resolve_buckets(
-        &self,
-        num_measures: usize,
-    ) -> Result<(Vec<Vec<usize>>, Vec<usize>, Vec<Vec<usize>>), EngineError> {
-        if self.config.sampler.per_measure() {
-            let defs: Vec<Vec<usize>> = (0..num_measures).map(|j| vec![j]).collect();
-            let mapping: Vec<usize> = (0..num_measures).collect();
-            return Ok((defs, mapping, Vec::new()));
+    /// Identity of the attached catalog for plan-cache scoping: the
+    /// catalog `Arc`'s address, or 0 when none is attached. Two handles
+    /// share cached plans only while they share a catalog.
+    fn catalog_id(&self) -> usize {
+        self.catalog.as_ref().map(|c| Arc::as_ptr(c) as usize).unwrap_or(0)
+    }
+
+    fn ctx(&self) -> ExecCtx<'_> {
+        ExecCtx { table: &self.table, config: &self.config, catalog: self.catalog.as_deref() }
+    }
+
+    fn planner(&self) -> Planner<'_> {
+        Planner::new(&self.table, &self.config, self.catalog.as_deref())
+    }
+
+    /// Plan a parsed statement (the `plan` stage, exposed for callers that
+    /// parse or build statements themselves).
+    pub fn plan(&self, stmt: &Statement) -> Result<LogicalPlan, EngineError> {
+        self.planner().plan(stmt)
+    }
+
+    /// Prepare a statement: parse, plan, and package into a `Send + Sync`
+    /// [`PreparedQuery`] executable repeatedly (and concurrently) through
+    /// `&self`. `?` placeholders in the constraint become parameters of
+    /// [`PreparedQuery::execute_with`].
+    pub fn prepare(&self, sql: &str) -> Result<PreparedQuery, EngineError> {
+        let stmt = parse(sql)?;
+        if matches!(stmt, Statement::Explain(_)) {
+            return Err(EngineError::WrongStatement { expected: "FORECAST or SELECT" });
         }
-        if !self.config.sampler.grouped() {
-            // Uniform: one shared bucket.
-            return Ok((vec![(0..num_measures).collect()], vec![0; num_measures], Vec::new()));
-        }
-        // Compressed samplers: need groups.
-        let groups: Vec<Vec<usize>> = match &self.config.grouping {
-            GroupingPolicy::Single => vec![(0..num_measures).collect()],
-            GroupingPolicy::Explicit(groups) => {
-                let mut seen = vec![false; num_measures];
-                for g in groups {
-                    for &j in g {
-                        if j >= num_measures || seen[j] {
-                            return Err(EngineError::Config(format!(
-                                "invalid or duplicate measure {j} in explicit groups"
-                            )));
-                        }
-                        seen[j] = true;
-                    }
-                }
-                if seen.iter().any(|s| !s) {
-                    return Err(EngineError::Config(
-                        "explicit groups must cover every measure".to_string(),
-                    ));
-                }
-                groups.clone()
-            }
-            GroupingPolicy::Auto { num_groups } => {
-                // Group on a middle partition (representative day).
-                let (lo, hi) = self
-                    .table
-                    .time_bounds()
-                    .ok_or_else(|| EngineError::Config("empty table".to_string()))?;
-                let mid = Timestamp(lo.0 + (hi.0 - lo.0) / 2);
-                let partition = self
-                    .table
-                    .partition(mid)
-                    .or_else(|| self.table.partitions().next().map(|(_, p)| p))
-                    .ok_or_else(|| EngineError::Config("empty table".to_string()))?;
-                let all: Vec<usize> = (0..num_measures).collect();
-                let mut rng = StdRng::seed_from_u64(mix(self.config.seed, 0xC1, 0xC2));
-                let result = group_measures(partition, &all, *num_groups, 20_000, &mut rng)?;
-                result.groups
-            }
+        let plan = self.planner().plan(&stmt)?;
+        Ok(PreparedQuery::new(
+            self.table.clone(),
+            self.config.clone(),
+            self.catalog.clone(),
+            stmt,
+            plan,
+        ))
+    }
+
+    /// Plan a statement and render it as an `EXPLAIN` tree without
+    /// executing. Accepts the statement with or without a leading
+    /// `EXPLAIN` keyword.
+    pub fn explain(&self, sql: &str) -> Result<PlanNode, EngineError> {
+        let stmt = match parse(sql)? {
+            Statement::Explain(inner) => *inner,
+            other => other,
         };
-        let mut mapping = vec![usize::MAX; num_measures];
-        for (b, g) in groups.iter().enumerate() {
-            for &j in g {
-                mapping[j] = b;
-            }
-        }
-        Ok((groups.clone(), mapping, groups))
+        let plan = self.planner().plan(&stmt)?;
+        Ok(explain_plan(&plan, self.table.schema()))
     }
 
-    /// Execute any statement.
+    /// Resolve a one-shot statement string: serve the plan from the LRU
+    /// cache when the normalized text matches, otherwise parse + plan and
+    /// cache. `EXPLAIN` statements plan but render instead of executing
+    /// (and are never cached — their output *is* the plan).
+    fn resolve(&self, sql: &str) -> Result<Resolved, EngineError> {
+        let key = normalize_sql(sql);
+        let catalog_id = self.catalog_id();
+        if let Some(plan) = self.plan_cache.get(&key, catalog_id) {
+            return Ok(Resolved::Plan(plan));
+        }
+        match parse(sql)? {
+            Statement::Explain(inner) => {
+                let plan = self.planner().plan(&inner)?;
+                Ok(Resolved::Explain(explain_plan(&plan, self.table.schema())))
+            }
+            stmt => {
+                let plan = Arc::new(self.planner().plan(&stmt)?);
+                // Full-scan plans never reference the catalog; cache them
+                // unscoped so every handle sharing the cache can hit.
+                let scope = match plan.source() {
+                    crate::planner::ScanSource::SampleLayer { .. } => Some(catalog_id),
+                    crate::planner::ScanSource::FullScan { .. } => None,
+                };
+                self.plan_cache.insert(key, scope, plan.clone());
+                Ok(Resolved::Plan(plan))
+            }
+        }
+    }
+
+    /// Execute any statement. `EXPLAIN <stmt>` returns the rendered plan.
     pub fn execute(&self, sql: &str) -> Result<ExecOutput, EngineError> {
-        match parse(sql)? {
-            Statement::Forecast(stmt) => {
-                Ok(ExecOutput::Forecast(Box::new(self.run_forecast(&stmt)?)))
-            }
-            Statement::Select(stmt) => Ok(ExecOutput::Select(self.run_select(&stmt)?)),
+        match self.resolve(sql)? {
+            Resolved::Plan(plan) => self.ctx().execute_plan(&plan, &[]),
+            Resolved::Explain(node) => Ok(ExecOutput::Plan(node)),
         }
     }
 
-    /// Execute a FORECAST statement (errors on SELECT).
+    /// Execute a FORECAST statement (errors on SELECT/EXPLAIN).
     pub fn forecast(&self, sql: &str) -> Result<ForecastResult, EngineError> {
-        match parse(sql)? {
-            Statement::Forecast(stmt) => self.run_forecast(&stmt),
-            Statement::Select(_) => Err(EngineError::WrongStatement { expected: "FORECAST" }),
+        match self.resolve(sql)? {
+            Resolved::Plan(plan) => match &*plan {
+                LogicalPlan::Forecast(p) => self.ctx().execute_forecast(p, &[]),
+                LogicalPlan::Select(_) => Err(EngineError::WrongStatement { expected: "FORECAST" }),
+            },
+            Resolved::Explain(_) => Err(EngineError::WrongStatement { expected: "FORECAST" }),
         }
     }
 
-    /// Execute a SELECT statement (errors on FORECAST).
+    /// Execute a SELECT statement (errors on FORECAST/EXPLAIN).
     pub fn select(&self, sql: &str) -> Result<SelectResult, EngineError> {
-        match parse(sql)? {
-            Statement::Select(stmt) => self.run_select(&stmt),
-            Statement::Forecast(_) => Err(EngineError::WrongStatement { expected: "SELECT" }),
+        match self.resolve(sql)? {
+            Resolved::Plan(plan) => match &*plan {
+                LogicalPlan::Select(p) => self.ctx().execute_select(p, &[]),
+                LogicalPlan::Forecast(_) => Err(EngineError::WrongStatement { expected: "SELECT" }),
+            },
+            Resolved::Explain(_) => Err(EngineError::WrongStatement { expected: "SELECT" }),
         }
     }
 
-    fn check_table(&self, name: &str) -> Result<(), EngineError> {
-        if let Some(expected) = &self.config.table_name {
-            if !expected.eq_ignore_ascii_case(name) {
-                return Err(EngineError::Config(format!(
-                    "unknown table '{name}' (registered: '{expected}')"
-                )));
-            }
-        }
-        Ok(())
-    }
-
-    fn resolve_measure(&self, name: &str, agg: AggFunc) -> Result<usize, EngineError> {
-        if name == "*" {
-            if agg != AggFunc::Count {
-                return Err(EngineError::Config("'*' is only valid in COUNT(*)".to_string()));
-            }
-            // COUNT(*) needs no measure values; use column 0 for masking.
-            return Ok(0);
-        }
-        Ok(self.table.schema().measure_index(name)?)
-    }
-
-    /// Run a forecasting task (the full two-phase pipeline of §2.1).
+    /// Run a forecasting task from a parsed statement (plans, then runs
+    /// the full two-phase pipeline of §2.1). Bypasses the plan cache.
     pub fn run_forecast(&self, stmt: &ForecastStmt) -> Result<ForecastResult, EngineError> {
-        self.check_table(&stmt.table)?;
-        let measure = self.resolve_measure(&stmt.measure, stmt.agg)?;
-        let predicate = bind_expr(&stmt.constraint)?;
-        let compiled = self.table.compile_predicate(&predicate)?;
-        let t_start = Timestamp::from_yyyymmdd(stmt.t_start)?;
-        let t_end = Timestamp::from_yyyymmdd(stmt.t_end)?;
-        if t_end < t_start {
-            return Err(EngineError::Config(format!(
-                "USING range is reversed: {} > {}",
-                stmt.t_start, stmt.t_end
-            )));
-        }
+        let plan = self.planner().plan_forecast(stmt)?;
+        self.ctx().execute_forecast(&plan, &[])
+    }
 
-        // Options.
-        let rate = match stmt.option("SAMPLE_RATE") {
-            Some(v) => v.as_float().ok_or_else(|| {
-                EngineError::Config("SAMPLE_RATE must be numeric".to_string())
-            })?,
-            None => self.config.default_rate,
-        };
-        if !(rate > 0.0 && rate <= 1.0) {
-            return Err(EngineError::Config(format!("SAMPLE_RATE {rate} outside (0, 1]")));
-        }
-        let model_name = match stmt.option("MODEL") {
-            Some(v) => v
-                .as_str()
-                .ok_or_else(|| EngineError::Config("MODEL must be a string".to_string()))?
-                .to_string(),
-            None => self.config.default_model.clone(),
-        };
-        let horizon = match stmt.option("FORE_PERIOD") {
-            Some(v) => v.as_int().ok_or_else(|| {
-                EngineError::Config("FORE_PERIOD must be an integer".to_string())
-            })? as usize,
-            None => self.config.default_horizon,
-        };
-        let confidence = match stmt.option("CONFIDENCE") {
-            Some(v) => v.as_float().ok_or_else(|| {
-                EngineError::Config("CONFIDENCE must be numeric".to_string())
-            })?,
-            None => self.config.default_confidence,
-        };
-        let noise_aware = stmt
-            .option("NOISE_AWARE")
-            .and_then(|v| v.as_int())
-            .map(|v| v != 0)
-            .unwrap_or(false);
-
-        // Phase 1: estimate the training series (Eq. 4).
-        let agg_start = Instant::now();
-        let (estimates, sampler_label, rate_used) =
-            self.estimate_series(measure, &compiled, stmt.agg, t_start, t_end, rate)?;
-        let aggregation = agg_start.elapsed();
-
-        // Phase 2: fit + forecast.
-        let fit_start = Instant::now();
-        let values: Vec<f64> = estimates.iter().map(|p| p.value).collect();
-        let mut model = build_model(&model_name)?;
-        let summary = model.fit(&values)?;
-        let mut fc = model.forecast(horizon, confidence)?;
-        let mean_noise_variance = {
-            let vars: Vec<f64> = estimates.iter().filter_map(|p| p.variance).collect();
-            if vars.is_empty() {
-                0.0
-            } else {
-                vars.iter().sum::<f64>() / vars.len() as f64
-            }
-        };
-        if noise_aware && mean_noise_variance > 0.0 {
-            fc = flashp_forecast::noise::widen_with_noise(&fc, mean_noise_variance)?;
-        }
-        let forecasting = fit_start.elapsed();
-
-        let forecasts: Vec<ForecastOut> = fc
-            .points
-            .iter()
-            .map(|p| ForecastOut {
-                t: t_end + p.step as i64,
-                value: p.value,
-                lo: p.lo,
-                hi: p.hi,
-                std_err: p.std_err,
-            })
-            .collect();
-        Ok(ForecastResult {
-            estimates,
-            forecasts,
-            model: model.name(),
-            sampler: sampler_label,
-            rate_used,
-            confidence,
-            sigma2: summary.sigma2,
-            mean_noise_variance,
-            timing: Timing { aggregation, forecasting },
-        })
+    /// Run a SELECT from a parsed statement. Bypasses the plan cache.
+    pub fn run_select(&self, stmt: &SelectStmt) -> Result<SelectResult, EngineError> {
+        let plan = self.planner().plan_select(stmt)?;
+        self.ctx().execute_select(&plan, &[])
     }
 
     /// Estimate the per-timestamp aggregates over `[start, end]`. Rate 1
     /// runs the exact parallel scan; otherwise the cheapest adequate
-    /// sample layer answers.
+    /// sample layer answers. Returns the points, the sampler label, and
+    /// the rate actually used.
     pub fn estimate_series(
         &self,
         measure: usize,
@@ -376,170 +402,33 @@ impl FlashPEngine {
         end: Timestamp,
         rate: f64,
     ) -> Result<(Vec<SeriesPoint>, String, f64), EngineError> {
-        let expected_points = (end - start + 1) as usize;
+        let ctx = self.ctx();
         if rate >= 1.0 {
-            let rows = flashp_storage::aggregate_range(
-                &self.table,
-                measure,
-                pred,
-                agg,
-                start,
-                end,
-                ScanOptions { threads: self.config.threads },
-            )?;
-            if rows.len() != expected_points {
-                return Err(EngineError::SamplesUnavailable(format!(
-                    "table covers {} of {} requested timestamps",
-                    rows.len(),
-                    expected_points
-                )));
-            }
-            let points =
-                rows.into_iter().map(|(t, value)| SeriesPoint { t, value, variance: None }).collect();
+            let points = ctx.estimate_exact(measure, pred, agg, start, end)?;
             return Ok((points, "full scan".to_string(), 1.0));
         }
-
-        let layer = self
-            .layers
-            .iter()
-            .rfind(|l| l.rate >= rate)
-            .or_else(|| self.layers.first())
-            .ok_or_else(|| {
-                EngineError::SamplesUnavailable(
-                    "no sample layers built; call build_samples()".to_string(),
-                )
-            })?;
-        let bucket = &layer.buckets[layer.measure_bucket[measure]];
-        let ts: Vec<Timestamp> = start.range_inclusive(end).collect();
-        // Thread spawn costs dwarf the estimation work on small layers.
-        let threads = if layer.total_rows < 200_000 { 1 } else { self.config.threads };
-        // One scratch per worker: the whole Eq. 4 batch shares mask buffers.
-        let estimates: Vec<Result<SeriesPoint, EngineError>> =
-            parallel_map_with(&ts, threads, MaskScratch::new, |scratch, &t| {
-                let sample = bucket.get(&t).ok_or_else(|| {
-                    EngineError::SamplesUnavailable(format!("no sample for timestamp {t}"))
-                })?;
-                let e = estimate_agg_with(sample, measure, pred, agg, scratch)?;
-                Ok(SeriesPoint { t, value: e.value, variance: e.variance })
-            });
-        let mut points = Vec::with_capacity(estimates.len());
-        for e in estimates {
-            points.push(e?);
-        }
+        let catalog = self.catalog.as_deref().ok_or_else(EngineError::no_samples)?;
+        catalog.check_schema(&self.table)?;
+        let (_, layer) = catalog.select_layer(rate).ok_or_else(EngineError::no_samples)?;
+        let points = ctx.estimate_from_layer(
+            layer,
+            layer.bucket_for(measure),
+            measure,
+            pred,
+            agg,
+            start,
+            end,
+            crate::prepared::Missing::Error,
+        )?;
         Ok((points, layer.sampler_label.clone(), layer.rate))
     }
-
-    /// Run a SELECT (exact, over the base table).
-    pub fn run_select(&self, stmt: &SelectStmt) -> Result<SelectResult, EngineError> {
-        self.check_table(&stmt.table)?;
-        let measure = self.resolve_measure(&stmt.measure, stmt.agg)?;
-        let bound = bind_select_constraint(stmt)?;
-        let compiled = self.table.compile_predicate(&bound.predicate)?;
-        let (table_lo, table_hi) = self
-            .table
-            .time_bounds()
-            .ok_or_else(|| EngineError::Config("empty table".to_string()))?;
-        let (lo, hi) = match bound.time_range {
-            Some((a, b)) => (a.max(table_lo), b.min(table_hi)),
-            None => (table_lo, table_hi),
-        };
-        if hi < lo {
-            return Ok(SelectResult { rows: Vec::new(), approximate: false });
-        }
-        if stmt.group_by_time {
-            let rows = flashp_storage::aggregate_range(
-                &self.table,
-                measure,
-                &compiled,
-                stmt.agg,
-                lo,
-                hi,
-                ScanOptions { threads: self.config.threads },
-            )?;
-            return Ok(SelectResult { rows, approximate: false });
-        }
-        // Scalar aggregate across the range, through the same fused /
-        // scratch-reusing kernels as the grouped path.
-        let total = flashp_storage::aggregate_total(
-            &self.table,
-            measure,
-            &compiled,
-            lo,
-            hi,
-            ScanOptions { threads: self.config.threads },
-        )?;
-        Ok(SelectResult { rows: vec![(lo, total.finalize(stmt.agg))], approximate: false })
-    }
-}
-
-/// Build the sampler instance for one bucket at one rate.
-fn make_sampler(
-    choice: &SamplerChoice,
-    bucket_measures: &[usize],
-    rate: f64,
-) -> Box<dyn Sampler + Send + Sync> {
-    let size = SampleSize::Rate(rate);
-    match choice {
-        SamplerChoice::Uniform => Box::new(UniformSampler::new(size)),
-        SamplerChoice::OptimalGsw => Box::new(GswSampler::optimal(bucket_measures[0], size)),
-        SamplerChoice::Priority => Box::new(PrioritySampler::new(bucket_measures[0], size)),
-        SamplerChoice::Threshold => Box::new(ThresholdSampler::new(bucket_measures[0], size)),
-        SamplerChoice::ArithmeticGsw => {
-            Box::new(GswSampler::arithmetic_compressed(bucket_measures.to_vec(), size))
-        }
-        SamplerChoice::GeometricGsw => {
-            Box::new(GswSampler::geometric_compressed(bucket_measures.to_vec(), size))
-        }
-    }
-}
-
-/// SplitMix-style seed mixing.
-fn mix(a: u64, b: u64, c: u64) -> u64 {
-    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ c.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flashp_storage::{DataType, Schema, Value};
-
-    /// Small deterministic table: 40 days, 400 rows/day, one heavy-tailed
-    /// measure plus a proportional one.
-    fn test_table() -> TimeSeriesTable {
-        let schema = Schema::from_names(
-            &[("seg", DataType::Int64), ("grp", DataType::Categorical)],
-            &["m1", "m2"],
-        )
-        .unwrap()
-        .into_shared();
-        let mut table = TimeSeriesTable::new(schema);
-        let start = Timestamp::from_yyyymmdd(20200101).unwrap();
-        let mut state = 777u64;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            (state >> 11) as f64 / (1u64 << 53) as f64
-        };
-        for day in 0..40i64 {
-            let level = 100.0 + day as f64 + 10.0 * ((day % 7) as f64);
-            for row in 0..400i64 {
-                let heavy = if row % 97 == 0 { 50.0 } else { 1.0 };
-                let m1 = level * heavy * (0.5 + next());
-                table
-                    .append_row(
-                        start + day,
-                        &[Value::Int(row % 10), Value::from(if row % 2 == 0 { "a" } else { "b" })],
-                        &[m1, m1 * 0.1],
-                    )
-                    .unwrap();
-            }
-        }
-        table
-    }
+    use crate::config::{GroupingPolicy, SamplerChoice};
+    use crate::test_support::test_table;
 
     fn engine(sampler: SamplerChoice) -> FlashPEngine {
         let config = EngineConfig {
@@ -583,11 +472,14 @@ mod tests {
             SamplerChoice::GeometricGsw,
         ] {
             let e = engine(sampler.clone());
-            let pred = e.table.compile_predicate(&flashp_storage::Predicate::cmp(
-                "seg",
-                flashp_storage::CmpOp::Le,
-                5,
-            )).unwrap();
+            let pred = e
+                .table
+                .compile_predicate(&flashp_storage::Predicate::cmp(
+                    "seg",
+                    flashp_storage::CmpOp::Le,
+                    5,
+                ))
+                .unwrap();
             let start = Timestamp::from_yyyymmdd(20200101).unwrap();
             let end = start + 32;
             let (exact_points, _, _) =
@@ -598,8 +490,8 @@ mod tests {
             assert_eq!(label, sampler.label());
             let exact_vals: Vec<f64> = exact_points.iter().map(|p| p.value).collect();
             let approx_vals: Vec<f64> = approx_points.iter().map(|p| p.value).collect();
-            let err = flashp_forecast::metrics::mean_relative_error(&approx_vals, &exact_vals)
-                .unwrap();
+            let err =
+                flashp_forecast::metrics::mean_relative_error(&approx_vals, &exact_vals).unwrap();
             assert!(err < 0.5, "{}: mean relative error {err}", sampler.label());
         }
     }
@@ -619,9 +511,7 @@ mod tests {
         let e = engine(SamplerChoice::OptimalGsw);
         let base = e.forecast(FORECAST_SQL).unwrap();
         let wide = e
-            .forecast(
-                &FORECAST_SQL.replace("FORE_PERIOD = 5", "FORE_PERIOD = 5, NOISE_AWARE = 1"),
-            )
+            .forecast(&FORECAST_SQL.replace("FORE_PERIOD = 5", "FORE_PERIOD = 5, NOISE_AWARE = 1"))
             .unwrap();
         assert!(wide.mean_interval_width() > base.mean_interval_width());
     }
@@ -630,18 +520,16 @@ mod tests {
     fn select_group_by_time() {
         let e = engine(SamplerChoice::Uniform);
         let r = e
-            .select("SELECT SUM(m1) FROM T WHERE seg <= 5 AND t >= 20200101 AND t <= 20200105 GROUP BY t")
+            .select(
+                "SELECT SUM(m1) FROM T WHERE seg <= 5 AND t >= 20200101 AND t <= 20200105 GROUP BY t",
+            )
             .unwrap();
         assert_eq!(r.rows.len(), 5);
         assert!(!r.approximate);
         // Matches the per-day engine estimate at rate 1.
         let pred = e
             .table
-            .compile_predicate(&flashp_storage::Predicate::cmp(
-                "seg",
-                flashp_storage::CmpOp::Le,
-                5,
-            ))
+            .compile_predicate(&flashp_storage::Predicate::cmp("seg", flashp_storage::CmpOp::Le, 5))
             .unwrap();
         let t0 = Timestamp::from_yyyymmdd(20200101).unwrap();
         let exact = e.table.aggregate_at(t0, 0, &pred, AggFunc::Sum).unwrap();
@@ -654,13 +542,128 @@ mod tests {
         let one = e.select("SELECT COUNT(*) FROM T WHERE t = 20200101").unwrap();
         assert_eq!(one.rows.len(), 1);
         assert_eq!(one.rows[0].1, 400.0);
-        let range = e
-            .select("SELECT COUNT(*) FROM T WHERE t BETWEEN 20200101 AND 20200103")
-            .unwrap();
+        let range =
+            e.select("SELECT COUNT(*) FROM T WHERE t BETWEEN 20200101 AND 20200103").unwrap();
         assert_eq!(range.rows[0].1, 1200.0);
         // Out-of-table range clamps to empty.
         let empty = e.select("SELECT SUM(m1) FROM T WHERE t >= 20300101").unwrap();
         assert!(empty.rows.is_empty());
+    }
+
+    #[test]
+    fn approximate_select_carries_std_err() {
+        let e = engine(SamplerChoice::OptimalGsw);
+        let r = e
+            .select(
+                "SELECT SUM(m1) FROM T WHERE seg <= 5 AND t BETWEEN 20200101 AND 20200105 \
+                 GROUP BY t OPTION (SAMPLE_RATE = 0.2)",
+            )
+            .unwrap();
+        assert!(r.approximate);
+        assert_eq!(r.rows.len(), 5);
+        assert!(r.rows.iter().all(|(_, v, se)| *v > 0.0 && se.unwrap() > 0.0));
+        // Scalar approximate SUM: std_err adds in quadrature over days.
+        let scalar = e
+            .select(
+                "SELECT SUM(m1) FROM T WHERE seg <= 5 AND t BETWEEN 20200101 AND 20200105 \
+                 OPTION (SAMPLE_RATE = 0.2)",
+            )
+            .unwrap();
+        assert!(scalar.approximate);
+        assert_eq!(scalar.rows.len(), 1);
+        let (_, value, std_err) = scalar.rows[0];
+        assert_eq!(value, r.rows.iter().map(|(_, v, _)| v).sum::<f64>());
+        let var_sum: f64 = r.rows.iter().map(|(_, _, se)| se.unwrap().powi(2)).sum();
+        assert!((std_err.unwrap() - var_sum.sqrt()).abs() < 1e-9);
+        // AVG has no plug-in variance but still estimates.
+        let avg = e
+            .select(
+                "SELECT AVG(m1) FROM T WHERE t BETWEEN 20200101 AND 20200105 \
+                 OPTION (SAMPLE_RATE = 0.2)",
+            )
+            .unwrap();
+        assert!(avg.approximate);
+        assert!(avg.rows[0].1 > 0.0);
+        assert!(avg.rows[0].2.is_none());
+    }
+
+    #[test]
+    fn mismatched_catalog_is_a_typed_error() {
+        use flashp_storage::{DataType, Schema, Value};
+        // Catalog built from a 1-measure table…
+        let schema = Schema::from_names(&[("seg", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let mut small = flashp_storage::TimeSeriesTable::new(schema);
+        let t0 = Timestamp::from_yyyymmdd(20200101).unwrap();
+        for day in 0..5i64 {
+            for row in 0..100i64 {
+                small.append_row(t0 + day, &[Value::Int(row % 10)], &[1.0]).unwrap();
+            }
+        }
+        let config = EngineConfig {
+            layer_rates: vec![0.5],
+            sampler: SamplerChoice::OptimalGsw,
+            ..Default::default()
+        };
+        let catalog = SampleCatalog::build(&small, &config).unwrap();
+        // …attached to a 2-measure table: sampled queries on the second
+        // measure must error cleanly, not index out of bounds.
+        let e = FlashPEngine::with_catalog(test_table(), config, catalog);
+        let err = e.forecast("FORECAST SUM(m2) FROM T USING (20200101, 20200105)").unwrap_err();
+        assert!(
+            matches!(err, EngineError::Config(ref msg) if msg.contains("different schema")),
+            "got: {err}"
+        );
+        // Exact queries never touch the catalog and still work.
+        assert!(e
+            .forecast(
+                "FORECAST SUM(m2) FROM T USING (20200101, 20200105) \
+                 OPTION (SAMPLE_RATE = 1.0, MODEL = 'naive')"
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn approximate_select_tolerates_partition_gaps() {
+        // A table with a hole (no rows on day 2): the sampled SELECT must
+        // answer wherever the exact SELECT answers, skipping absent days.
+        use flashp_storage::{DataType, Schema, Value};
+        let schema = Schema::from_names(&[("seg", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let mut table = flashp_storage::TimeSeriesTable::new(schema);
+        let t0 = Timestamp::from_yyyymmdd(20200101).unwrap();
+        for day in [0i64, 2, 3] {
+            for row in 0..200i64 {
+                table.append_row(t0 + day, &[Value::Int(row % 10)], &[1.0 + row as f64]).unwrap();
+            }
+        }
+        let config = EngineConfig {
+            layer_rates: vec![0.5],
+            sampler: SamplerChoice::Uniform,
+            ..Default::default()
+        };
+        let mut e = FlashPEngine::new(table, config);
+        e.build_samples().unwrap();
+        let sql = "SELECT SUM(m) FROM T WHERE t BETWEEN 20200101 AND 20200104 GROUP BY t";
+        let exact = e.select(sql).unwrap();
+        assert_eq!(exact.rows.len(), 3, "exact path skips the missing day");
+        let approx = e.select(&format!("{sql} OPTION (SAMPLE_RATE = 0.5)")).unwrap();
+        assert_eq!(approx.rows.len(), 3, "sampled path must skip it too");
+        assert_eq!(
+            exact.rows.iter().map(|r| r.0).collect::<Vec<_>>(),
+            approx.rows.iter().map(|r| r.0).collect::<Vec<_>>()
+        );
+        // Scalar form too.
+        let scalar = e
+            .select(
+                "SELECT SUM(m) FROM T WHERE t BETWEEN 20200101 AND 20200104 \
+                 OPTION (SAMPLE_RATE = 0.5)",
+            )
+            .unwrap();
+        assert_eq!(scalar.rows.len(), 1);
+        assert!(scalar.rows[0].1 > 0.0);
+        // FORECAST still requires a contiguous training series.
+        let fc = e
+            .forecast("FORECAST SUM(m) FROM T USING (20200101, 20200104) OPTION (MODEL = 'naive')");
+        assert!(matches!(fc, Err(EngineError::SamplesUnavailable(_))));
     }
 
     #[test]
@@ -674,10 +677,108 @@ mod tests {
             ExecOutput::Select(s) => assert_eq!(s.rows.len(), 1),
             _ => panic!("expected select output"),
         }
+        match e.execute(&format!("EXPLAIN {FORECAST_SQL}")).unwrap() {
+            ExecOutput::Plan(node) => assert_eq!(node.name, "Forecast"),
+            _ => panic!("expected a plan"),
+        }
+        assert!(matches!(e.select(FORECAST_SQL), Err(EngineError::WrongStatement { .. })));
+    }
+
+    #[test]
+    fn plan_cache_hits_and_results_are_identical() {
+        let e = engine(SamplerChoice::OptimalGsw);
+        let first = e.forecast(FORECAST_SQL).unwrap();
+        let before = e.plan_cache_stats();
+        // Same statement, different whitespace: normalization still hits.
+        let respaced = FORECAST_SQL.replace(' ', "  ");
+        let second = e.forecast(&respaced).unwrap();
+        let after = e.plan_cache_stats();
+        assert!(after.hits > before.hits, "expected a plan-cache hit");
+        assert_eq!(first.estimate_values(), second.estimate_values());
+        assert_eq!(first.forecast_values(), second.forecast_values());
+        // Clones share the cache.
+        let clone = e.clone();
+        let third = clone.forecast(FORECAST_SQL).unwrap();
+        assert!(clone.plan_cache_stats().hits > after.hits);
+        assert_eq!(first.forecast_values(), third.forecast_values());
+    }
+
+    #[test]
+    fn prepared_query_matches_one_shot() {
+        let e = engine(SamplerChoice::OptimalGsw);
+        let prepared = e.prepare(FORECAST_SQL).unwrap();
+        assert_eq!(prepared.num_params(), 0);
+        let one_shot = e.forecast(FORECAST_SQL).unwrap();
+        for _ in 0..3 {
+            let r = prepared.forecast_with(&[]).unwrap();
+            assert_eq!(r.estimate_values(), one_shot.estimate_values());
+            assert_eq!(r.forecast_values(), one_shot.forecast_values());
+            assert_eq!(r.sampler, one_shot.sampler);
+            assert_eq!(r.rate_used, one_shot.rate_used);
+        }
+    }
+
+    #[test]
+    fn prepared_parameters_rebind() {
+        use flashp_query::Literal;
+        let e = engine(SamplerChoice::OptimalGsw);
+        let template = e
+            .prepare(
+                "FORECAST SUM(m1) FROM T WHERE seg <= ? USING (20200101, 20200202) \
+                 OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)",
+            )
+            .unwrap();
+        assert_eq!(template.num_params(), 1);
+        for bound in [3i64, 5, 7] {
+            let from_template = template.forecast_with(&[Literal::Int(bound)]).unwrap();
+            let fresh =
+                e.forecast(&FORECAST_SQL.replace("seg <= 5", &format!("seg <= {bound}"))).unwrap();
+            assert_eq!(from_template.estimate_values(), fresh.estimate_values());
+            assert_eq!(from_template.forecast_values(), fresh.forecast_values());
+        }
+        // Wrong arity errors cleanly.
+        assert!(matches!(template.forecast_with(&[]), Err(EngineError::Parameter(_))));
         assert!(matches!(
-            e.select(FORECAST_SQL),
-            Err(EngineError::WrongStatement { .. })
+            template.forecast_with(&[Literal::Int(1), Literal::Int(2)]),
+            Err(EngineError::Parameter(_))
         ));
+        // One-shot execution of a parameterized statement is an error.
+        assert!(e
+            .forecast("FORECAST SUM(m1) FROM T WHERE seg <= ? USING (20200101, 20200202)")
+            .is_err());
+    }
+
+    #[test]
+    fn engine_handle_is_cheap_and_shareable() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<FlashPEngine>();
+        assert_send_sync::<std::sync::Arc<PreparedQuery>>();
+
+        let e = engine(SamplerChoice::Uniform);
+        let prepared = std::sync::Arc::new(e.prepare(FORECAST_SQL).unwrap());
+        let baseline = prepared.forecast_with(&[]).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let prepared = prepared.clone();
+                let baseline = baseline.forecast_values();
+                scope.spawn(move || {
+                    let r = prepared.forecast_with(&[]).unwrap();
+                    assert_eq!(r.forecast_values(), baseline);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn explain_reports_what_executes() {
+        let e = engine(SamplerChoice::OptimalGsw);
+        let node = e.explain(FORECAST_SQL).unwrap();
+        let est = node.find("SampleEstimate").expect("sampled plan");
+        let planned_rate: f64 = est.prop("rate").unwrap().parse().unwrap();
+        let planned_sampler = est.prop("sampler").unwrap().to_string();
+        let r = e.forecast(FORECAST_SQL).unwrap();
+        assert_eq!(r.rate_used, planned_rate);
+        assert_eq!(r.sampler, planned_sampler);
     }
 
     #[test]
@@ -695,9 +796,25 @@ mod tests {
                 "FORECAST SUM(m1) FROM T USING (20200101, 20200131) OPTION (SAMPLE_RATE = 3.0)"
             )
             .is_err());
+        // Non-positive horizon must not wrap through `as usize`.
+        assert!(e
+            .forecast(
+                "FORECAST SUM(m1) FROM T USING (20200101, 20200131) OPTION (FORE_PERIOD = -1)"
+            )
+            .is_err());
+        assert!(e
+            .forecast("FORECAST SUM(m1) FROM T USING (20200101, 20200131) OPTION (FORE_PERIOD = 0)")
+            .is_err());
+        // A template referencing an unknown column fails at prepare, not
+        // at first execution.
+        assert!(e
+            .prepare("FORECAST SUM(m1) FROM T WHERE no_such_col <= ? USING (20200101, 20200131)")
+            .is_err());
         // Range beyond the table at full rate.
         assert!(e
-            .forecast("FORECAST SUM(m1) FROM T USING (20200101, 20300101) OPTION (SAMPLE_RATE = 1.0)")
+            .forecast(
+                "FORECAST SUM(m1) FROM T USING (20200101, 20300101) OPTION (SAMPLE_RATE = 1.0)"
+            )
             .is_err());
     }
 
@@ -715,14 +832,17 @@ mod tests {
 
     #[test]
     fn table_name_validation() {
-        let config =
-            EngineConfig { table_name: Some("ads".to_string()), ..Default::default() };
+        let config = EngineConfig { table_name: Some("ads".to_string()), ..Default::default() };
         let e = FlashPEngine::new(test_table(), config);
         assert!(e
-            .forecast("FORECAST SUM(m1) FROM wrong USING (20200101, 20200131) OPTION (SAMPLE_RATE = 1.0)")
+            .forecast(
+                "FORECAST SUM(m1) FROM wrong USING (20200101, 20200131) OPTION (SAMPLE_RATE = 1.0)"
+            )
             .is_err());
         assert!(e
-            .forecast("FORECAST SUM(m1) FROM ADS USING (20200101, 20200202) OPTION (SAMPLE_RATE = 1.0, MODEL = 'naive')")
+            .forecast(
+                "FORECAST SUM(m1) FROM ADS USING (20200101, 20200202) OPTION (SAMPLE_RATE = 1.0, MODEL = 'naive')"
+            )
             .is_ok());
     }
 
@@ -768,5 +888,72 @@ mod tests {
             points.iter().map(|p| p.value).collect::<Vec<f64>>()
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn normalize_sql_collapses_whitespace_outside_strings() {
+        assert_eq!(normalize_sql("  SELECT   SUM(m)\n FROM  T "), "SELECT SUM(m) FROM T");
+        assert_eq!(normalize_sql("x = 'a  b'  AND y = 1"), "x = 'a  b' AND y = 1");
+        assert_eq!(normalize_sql("x = \"a  b\""), "x = \"a  b\"");
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        let plan = || {
+            Arc::new(LogicalPlan::Select(crate::planner::SelectPlan {
+                agg: AggFunc::Sum,
+                measure: 0,
+                measure_name: "m".to_string(),
+                predicate: crate::planner::PredicateSlot::Compiled(
+                    flashp_storage::CompiledPredicate::Const(true),
+                ),
+                range: None,
+                group_by_time: false,
+                source: crate::planner::ScanSource::FullScan { est_rows: 0 },
+            }))
+        };
+        cache.insert("a".to_string(), Some(1), plan());
+        cache.insert("b".to_string(), Some(1), plan());
+        assert!(cache.get("a", 1).is_some()); // refresh a
+        cache.insert("c".to_string(), Some(1), plan()); // evicts b
+        assert!(cache.get("a", 1).is_some());
+        assert!(cache.get("b", 1).is_none());
+        assert!(cache.get("c", 1).is_some());
+        assert_eq!(cache.stats().entries, 2);
+        // A different catalog identity never sees another catalog's
+        // sampled plans, but the entry survives for its planning handle.
+        assert!(cache.get("a", 2).is_none());
+        assert!(cache.get("a", 1).is_some());
+        // Catalog-independent (full-scan) plans hit from any handle.
+        cache.insert("d".to_string(), None, plan());
+        assert!(cache.get("d", 1).is_some());
+        assert!(cache.get("d", 2).is_some());
+    }
+
+    #[test]
+    fn cache_hits_are_scoped_to_the_handle_catalog() {
+        // A clone taken before build_samples holds no catalog; the shared
+        // plan cache must not hand it a sampled plan cached by the built
+        // handle — it re-plans and fails with the plan-time error.
+        let config = EngineConfig {
+            layer_rates: vec![0.2, 0.05],
+            sampler: SamplerChoice::OptimalGsw,
+            default_rate: 0.05,
+            ..Default::default()
+        };
+        let mut built = FlashPEngine::new(test_table(), config);
+        let unbuilt = built.clone();
+        built.build_samples().unwrap();
+        built.forecast(FORECAST_SQL).unwrap(); // caches a sampled plan
+        let err = unbuilt.forecast(FORECAST_SQL).unwrap_err();
+        assert!(
+            matches!(err, EngineError::SamplesUnavailable(ref msg) if msg.contains("build_samples")),
+            "expected the plan-time no-samples error, got: {err}"
+        );
+        // And the built handle still hits its own cached plan.
+        let before = built.plan_cache_stats().hits;
+        built.forecast(FORECAST_SQL).unwrap();
+        assert!(built.plan_cache_stats().hits > before);
     }
 }

@@ -18,8 +18,22 @@ pub enum EngineError {
     /// Samples have not been built yet (call `build_samples` first) or do
     /// not cover the requested range/measure.
     SamplesUnavailable(String),
+    /// A `?` parameter problem: wrong arity, a parameter where none is
+    /// allowed, or parameters supplied to a parameterless statement.
+    Parameter(String),
     /// The statement was of the wrong kind for the API called.
     WrongStatement { expected: &'static str },
+}
+
+impl EngineError {
+    /// The shared "sampled query but no catalog" error.
+    pub(crate) fn no_samples() -> Self {
+        EngineError::SamplesUnavailable(
+            "no sample layers built; attach a catalog (SampleCatalog::build + \
+             FlashPEngine::with_catalog, or the legacy build_samples())"
+                .to_string(),
+        )
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -31,6 +45,7 @@ impl fmt::Display for EngineError {
             EngineError::Forecast(e) => write!(f, "forecast error: {e}"),
             EngineError::Config(msg) => write!(f, "configuration error: {msg}"),
             EngineError::SamplesUnavailable(msg) => write!(f, "samples unavailable: {msg}"),
+            EngineError::Parameter(msg) => write!(f, "parameter error: {msg}"),
             EngineError::WrongStatement { expected } => {
                 write!(f, "wrong statement kind: expected {expected}")
             }

@@ -16,15 +16,87 @@
 //! The result carries the aggregation/forecasting wall-clock split
 //! (Fig. 7), per-timestamp estimator variances (the σ_ε² of §3) and an
 //! optional noise-aware interval widening per Proposition 1.
+//!
+//! ## The staged query pipeline
+//!
+//! Statements move through four explicit stages:
+//!
+//! 1. **parse** — [`flashp_query::parse`] produces a [`Statement`] AST;
+//! 2. **plan** — a [`planner::Planner`] resolves names and options,
+//!    constant-folds the predicate and picks the serving sample layer,
+//!    yielding a typed [`planner::LogicalPlan`];
+//! 3. **prepare** — [`FlashPEngine::prepare`] packages the plan into a
+//!    `Send + Sync` [`PreparedQuery`] executable repeatedly via `&self`,
+//!    with `?` placeholders bound per call;
+//! 4. **execute** — runs the plan; `EXPLAIN <stmt>` instead renders it as
+//!    a [`explain::PlanNode`] tree.
+//!
+//! The offline stage lives in [`catalog`]: [`SampleCatalog::build`] draws
+//! every layer × bucket × partition sample without borrowing an engine,
+//! and the resulting catalog is immutable and freely shareable.
 
+pub mod catalog;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod models;
+pub mod planner;
+pub mod prepared;
 pub mod result;
 
+pub use catalog::{BuildStats, LayerStats, SampleCatalog};
 pub use config::{EngineConfig, GroupingPolicy, SamplerChoice};
-pub use engine::{BuildStats, FlashPEngine};
+pub use engine::{FlashPEngine, PlanCacheStats};
 pub use error::EngineError;
+pub use explain::PlanNode;
 pub use models::build_model;
-pub use result::{ExecOutput, ForecastOut, ForecastResult, SelectResult, SeriesPoint, Timing};
+pub use planner::{LogicalPlan, Planner, ScanSource};
+pub use prepared::PreparedQuery;
+pub use result::{
+    ExecOutput, ForecastOut, ForecastResult, SelectResult, SelectRow, SeriesPoint, Timing,
+};
+
+// Re-exported so engine users can parse statements and bind parameters
+// without depending on flashp-query directly.
+pub use flashp_query::{parse, Literal, Statement};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use flashp_storage::{DataType, Schema, TimeSeriesTable, Timestamp, Value};
+
+    /// Small deterministic table: 40 days, 400 rows/day, one heavy-tailed
+    /// measure plus a proportional one.
+    pub(crate) fn test_table() -> TimeSeriesTable {
+        let schema = Schema::from_names(
+            &[("seg", DataType::Int64), ("grp", DataType::Categorical)],
+            &["m1", "m2"],
+        )
+        .unwrap()
+        .into_shared();
+        let mut table = TimeSeriesTable::new(schema);
+        let start = Timestamp::from_yyyymmdd(20200101).unwrap();
+        let mut state = 777u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for day in 0..40i64 {
+            let level = 100.0 + day as f64 + 10.0 * ((day % 7) as f64);
+            for row in 0..400i64 {
+                let heavy = if row % 97 == 0 { 50.0 } else { 1.0 };
+                let m1 = level * heavy * (0.5 + next());
+                table
+                    .append_row(
+                        start + day,
+                        &[Value::Int(row % 10), Value::from(if row % 2 == 0 { "a" } else { "b" })],
+                        &[m1, m1 * 0.1],
+                    )
+                    .unwrap();
+            }
+        }
+        table
+    }
+}

@@ -26,18 +26,13 @@ pub fn build_model(name: &str) -> Result<Box<dyn ForecastModel>, EngineError> {
     match base {
         "arima" | "auto_arima" => match args.len() {
             0 => Ok(Box::new(AutoArima::new(AutoArimaConfig::default()))),
-            3 => Ok(Box::new(ArimaModel::new(
-                args[0] as usize,
-                args[1] as usize,
-                args[2] as usize,
-            ))),
+            3 => {
+                Ok(Box::new(ArimaModel::new(args[0] as usize, args[1] as usize, args[2] as usize)))
+            }
             n => Err(EngineError::Config(format!("arima takes 0 or 3 arguments, got {n}"))),
         },
         "arma" => match args.len() {
-            2 => Ok(Box::new(flashp_forecast::ArmaModel::new(
-                args[0] as usize,
-                args[1] as usize,
-            ))),
+            2 => Ok(Box::new(flashp_forecast::ArmaModel::new(args[0] as usize, args[1] as usize))),
             n => Err(EngineError::Config(format!("arma takes 2 arguments, got {n}"))),
         },
         "ar" => match args.len() {
@@ -56,17 +51,13 @@ pub fn build_model(name: &str) -> Result<Box<dyn ForecastModel>, EngineError> {
         "ets" | "ses" => Ok(Box::new(EtsModel::new(EtsVariant::Simple))),
         "holt" => Ok(Box::new(EtsModel::new(EtsVariant::Holt))),
         "holt_winters" => match args.len() {
-            1 => Ok(Box::new(EtsModel::new(EtsVariant::HoltWinters {
-                period: args[0] as usize,
-            }))),
+            1 => Ok(Box::new(EtsModel::new(EtsVariant::HoltWinters { period: args[0] as usize }))),
             n => Err(EngineError::Config(format!("holt_winters takes 1 argument, got {n}"))),
         },
         "naive" => Ok(Box::new(NaiveModel::new())),
         "seasonal_naive" => match args.len() {
             1 => Ok(Box::new(SeasonalNaiveModel::new(args[0] as usize))),
-            n => {
-                Err(EngineError::Config(format!("seasonal_naive takes 1 argument, got {n}")))
-            }
+            n => Err(EngineError::Config(format!("seasonal_naive takes 1 argument, got {n}"))),
         },
         "drift" => Ok(Box::new(DriftModel::new())),
         other => Err(EngineError::Config(format!("unknown model '{other}'"))),

@@ -1,0 +1,494 @@
+//! The planning stage of the staged query pipeline:
+//! `parse → plan → prepare → execute`.
+//!
+//! A [`Planner`] turns a parsed [`Statement`] into a typed [`LogicalPlan`]
+//! with every name resolved, every option defaulted and validated, the
+//! predicate constant-folded against the table's dictionaries, and —
+//! for sampled queries — the serving sample layer chosen up front, with
+//! its selection rationale recorded. Executing a plan performs no further
+//! binding, so a plan (or a [`crate::PreparedQuery`] wrapping one) can run
+//! repeatedly and concurrently.
+
+use crate::catalog::SampleCatalog;
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::models::build_model;
+use flashp_query::{
+    bind_expr, split_select_constraint, Expr, ForecastStmt, OptionValue, SelectStmt, Statement,
+};
+use flashp_storage::{AggFunc, CompiledPredicate, TimeSeriesTable, Timestamp};
+
+/// Resolve and validate a `SAMPLE_RATE` option (shared by FORECAST and
+/// SELECT planning).
+fn sample_rate_option(option: Option<&OptionValue>, default: f64) -> Result<f64, EngineError> {
+    let rate = match option {
+        Some(v) => v
+            .as_float()
+            .ok_or_else(|| EngineError::Config("SAMPLE_RATE must be numeric".to_string()))?,
+        None => default,
+    };
+    if !(rate > 0.0 && rate <= 1.0) {
+        return Err(EngineError::Config(format!("SAMPLE_RATE {rate} outside (0, 1]")));
+    }
+    Ok(rate)
+}
+
+/// Where a plan reads its rows from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanSource {
+    /// Exact scan over the base table partitions in range.
+    FullScan {
+        /// Base-table rows inside the scan range.
+        est_rows: usize,
+    },
+    /// Estimation from one sample-catalog layer.
+    SampleLayer {
+        /// Index into the catalog's layer list.
+        layer: usize,
+        /// The layer's sampling rate.
+        rate: f64,
+        /// Sampler family label (e.g. `"Optimal GSW"`).
+        sampler: String,
+        /// Bucket index serving the plan's measure.
+        bucket: usize,
+        /// Sampled rows inside the scan range (the rows estimation scans).
+        est_rows: usize,
+        /// Why this layer was chosen over the others.
+        rationale: String,
+    },
+}
+
+impl ScanSource {
+    /// Sampler label as reported in results (`"full scan"` for exact).
+    pub fn sampler_label(&self) -> &str {
+        match self {
+            ScanSource::FullScan { .. } => "full scan",
+            ScanSource::SampleLayer { sampler, .. } => sampler,
+        }
+    }
+
+    /// Effective rate (`1.0` for exact scans).
+    pub fn rate_used(&self) -> f64 {
+        match self {
+            ScanSource::FullScan { .. } => 1.0,
+            ScanSource::SampleLayer { rate, .. } => *rate,
+        }
+    }
+
+    /// Estimated rows scanned per execution.
+    pub fn est_rows(&self) -> usize {
+        match self {
+            ScanSource::FullScan { est_rows } | ScanSource::SampleLayer { est_rows, .. } => {
+                *est_rows
+            }
+        }
+    }
+}
+
+/// The predicate of a plan: compiled once at plan time when the statement
+/// has no parameters, or kept as a template to be bound per execution.
+#[derive(Debug, Clone)]
+pub enum PredicateSlot {
+    /// Fully compiled (constant-folded, dictionary codes resolved).
+    Compiled(CompiledPredicate),
+    /// Dimension constraint with `?` placeholders; compiled per binding.
+    Template {
+        /// The dimension-only constraint, placeholders intact.
+        constraint: Expr,
+        /// Number of `?` placeholders.
+        num_params: usize,
+    },
+}
+
+impl PredicateSlot {
+    /// Number of `?` placeholders this slot needs bound.
+    pub fn num_params(&self) -> usize {
+        match self {
+            PredicateSlot::Compiled(_) => 0,
+            PredicateSlot::Template { num_params, .. } => *num_params,
+        }
+    }
+}
+
+/// A fully planned FORECAST task.
+#[derive(Debug, Clone)]
+pub struct ForecastPlan {
+    pub agg: AggFunc,
+    /// Resolved measure column index.
+    pub measure: usize,
+    /// Measure name as written in the statement.
+    pub measure_name: String,
+    pub predicate: PredicateSlot,
+    /// Training window (inclusive).
+    pub t_start: Timestamp,
+    pub t_end: Timestamp,
+    /// Requested sampling rate (after defaulting).
+    pub rate: f64,
+    /// Resolved model name.
+    pub model: String,
+    /// Forecast horizon (`FORE_PERIOD`).
+    pub horizon: usize,
+    /// Confidence level for intervals.
+    pub confidence: f64,
+    /// Noise-aware interval widening (Proposition 1).
+    pub noise_aware: bool,
+    pub source: ScanSource,
+}
+
+/// A fully planned SELECT query.
+#[derive(Debug, Clone)]
+pub struct SelectPlan {
+    pub agg: AggFunc,
+    /// Resolved measure column index.
+    pub measure: usize,
+    /// Measure name as written in the statement.
+    pub measure_name: String,
+    pub predicate: PredicateSlot,
+    /// Scan range clamped to the table's bounds; `None` when the clamped
+    /// range is empty (the plan returns zero rows).
+    pub range: Option<(Timestamp, Timestamp)>,
+    /// One row per timestamp (`GROUP BY t`) vs a single scalar row.
+    pub group_by_time: bool,
+    pub source: ScanSource,
+}
+
+/// A typed, executable plan.
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    Forecast(ForecastPlan),
+    Select(SelectPlan),
+}
+
+impl LogicalPlan {
+    /// Number of `?` placeholders the plan needs bound at execution.
+    pub fn num_params(&self) -> usize {
+        match self {
+            LogicalPlan::Forecast(p) => p.predicate.num_params(),
+            LogicalPlan::Select(p) => p.predicate.num_params(),
+        }
+    }
+
+    /// The plan's scan source.
+    pub fn source(&self) -> &ScanSource {
+        match self {
+            LogicalPlan::Forecast(p) => &p.source,
+            LogicalPlan::Select(p) => &p.source,
+        }
+    }
+}
+
+/// Plans statements against a table + configuration + optional catalog.
+pub struct Planner<'a> {
+    table: &'a TimeSeriesTable,
+    config: &'a EngineConfig,
+    catalog: Option<&'a SampleCatalog>,
+}
+
+impl<'a> Planner<'a> {
+    pub fn new(
+        table: &'a TimeSeriesTable,
+        config: &'a EngineConfig,
+        catalog: Option<&'a SampleCatalog>,
+    ) -> Self {
+        Planner { table, config, catalog }
+    }
+
+    /// Plan any statement. `EXPLAIN` plans its inner statement (rendering
+    /// is the caller's concern).
+    pub fn plan(&self, stmt: &Statement) -> Result<LogicalPlan, EngineError> {
+        match stmt {
+            Statement::Forecast(s) => Ok(LogicalPlan::Forecast(self.plan_forecast(s)?)),
+            Statement::Select(s) => Ok(LogicalPlan::Select(self.plan_select(s)?)),
+            Statement::Explain(inner) => self.plan(inner),
+        }
+    }
+
+    fn check_table(&self, name: &str) -> Result<(), EngineError> {
+        if let Some(expected) = &self.config.table_name {
+            if !expected.eq_ignore_ascii_case(name) {
+                return Err(EngineError::Config(format!(
+                    "unknown table '{name}' (registered: '{expected}')"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_measure(&self, name: &str, agg: AggFunc) -> Result<usize, EngineError> {
+        if name == "*" {
+            if agg != AggFunc::Count {
+                return Err(EngineError::Config("'*' is only valid in COUNT(*)".to_string()));
+            }
+            // COUNT(*) needs no measure values; use column 0 for masking.
+            return Ok(0);
+        }
+        Ok(self.table.schema().measure_index(name)?)
+    }
+
+    /// Compile a (time-free) constraint now, or keep it as a template when
+    /// it contains `?` placeholders.
+    fn predicate_slot(&self, constraint: &Expr) -> Result<PredicateSlot, EngineError> {
+        let num_params = constraint.num_params();
+        if num_params > 0 {
+            // Literal types (and thus full compilation) depend on the
+            // values bound later, but column names can — and must — be
+            // validated now so prepare() rejects typos before traffic.
+            self.check_template_columns(constraint)?;
+            return Ok(PredicateSlot::Template { constraint: constraint.clone(), num_params });
+        }
+        let predicate = bind_expr(constraint)?;
+        Ok(PredicateSlot::Compiled(self.table.compile_predicate(&predicate)?))
+    }
+
+    /// Every column a template constraint references must exist in the
+    /// schema (type checks happen per binding, where literal types are
+    /// known).
+    fn check_template_columns(&self, constraint: &Expr) -> Result<(), EngineError> {
+        match constraint {
+            Expr::Cmp { column, .. } | Expr::In { column, .. } | Expr::Between { column, .. } => {
+                self.table.schema().dimension_index(column)?;
+                Ok(())
+            }
+            Expr::And(children) | Expr::Or(children) => {
+                children.iter().try_for_each(|c| self.check_template_columns(c))
+            }
+            Expr::Not(child) => self.check_template_columns(child),
+            Expr::True => Ok(()),
+        }
+    }
+
+    /// Choose the scan source for a query over `[start, end]` at `rate`.
+    fn choose_source(
+        &self,
+        measure: usize,
+        start: Timestamp,
+        end: Timestamp,
+        rate: f64,
+    ) -> Result<ScanSource, EngineError> {
+        if rate >= 1.0 {
+            let est_rows = self.table.partitions_in(start, end).map(|(_, p)| p.num_rows()).sum();
+            return Ok(ScanSource::FullScan { est_rows });
+        }
+        let catalog = self.catalog.ok_or_else(EngineError::no_samples)?;
+        catalog.check_schema(self.table)?;
+        let (layer_idx, layer) = catalog.select_layer(rate).ok_or_else(EngineError::no_samples)?;
+        let rationale = if layer.rate >= rate {
+            format!("cheapest layer with rate >= requested {rate}")
+        } else {
+            format!("densest available layer (no layer covers requested rate {rate})")
+        };
+        Ok(ScanSource::SampleLayer {
+            layer: layer_idx,
+            rate: layer.rate,
+            sampler: layer.sampler_label.clone(),
+            bucket: layer.bucket_for(measure),
+            est_rows: layer.rows_in_range(measure, start, end),
+            rationale,
+        })
+    }
+
+    /// Plan a FORECAST statement: resolve names and options, validate the
+    /// window and model, choose the serving layer.
+    pub fn plan_forecast(&self, stmt: &ForecastStmt) -> Result<ForecastPlan, EngineError> {
+        self.check_table(&stmt.table)?;
+        let measure = self.resolve_measure(&stmt.measure, stmt.agg)?;
+        let predicate = self.predicate_slot(&stmt.constraint)?;
+        let t_start = Timestamp::from_yyyymmdd(stmt.t_start)?;
+        let t_end = Timestamp::from_yyyymmdd(stmt.t_end)?;
+        if t_end < t_start {
+            return Err(EngineError::Config(format!(
+                "USING range is reversed: {} > {}",
+                stmt.t_start, stmt.t_end
+            )));
+        }
+
+        // Options.
+        let rate = sample_rate_option(stmt.option("SAMPLE_RATE"), self.config.default_rate)?;
+        let model = match stmt.option("MODEL") {
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| EngineError::Config("MODEL must be a string".to_string()))?
+                .to_string(),
+            None => self.config.default_model.clone(),
+        };
+        // Validate the model name at plan time so prepare/EXPLAIN surface
+        // typos before any execution.
+        build_model(&model)?;
+        let horizon = match stmt.option("FORE_PERIOD") {
+            Some(v) => {
+                let n = v.as_int().ok_or_else(|| {
+                    EngineError::Config("FORE_PERIOD must be an integer".to_string())
+                })?;
+                if n < 1 {
+                    return Err(EngineError::Config(format!("FORE_PERIOD {n} must be >= 1")));
+                }
+                n as usize
+            }
+            None => self.config.default_horizon,
+        };
+        let confidence = match stmt.option("CONFIDENCE") {
+            Some(v) => v
+                .as_float()
+                .ok_or_else(|| EngineError::Config("CONFIDENCE must be numeric".to_string()))?,
+            None => self.config.default_confidence,
+        };
+        let noise_aware =
+            stmt.option("NOISE_AWARE").and_then(|v| v.as_int()).map(|v| v != 0).unwrap_or(false);
+
+        let source = self.choose_source(measure, t_start, t_end, rate)?;
+        Ok(ForecastPlan {
+            agg: stmt.agg,
+            measure,
+            measure_name: stmt.measure.clone(),
+            predicate,
+            t_start,
+            t_end,
+            rate,
+            model,
+            horizon,
+            confidence,
+            noise_aware,
+            source,
+        })
+    }
+
+    /// Plan a SELECT query: split the time range out of the constraint,
+    /// clamp it to the table, and choose exact scan vs sample layer from
+    /// the `SAMPLE_RATE` option (default exact).
+    pub fn plan_select(&self, stmt: &SelectStmt) -> Result<SelectPlan, EngineError> {
+        self.check_table(&stmt.table)?;
+        let measure = self.resolve_measure(&stmt.measure, stmt.agg)?;
+        let split = split_select_constraint(stmt)?;
+        let predicate = self.predicate_slot(&split.dims)?;
+        // SELECT is exact unless a rate is requested.
+        let rate = sample_rate_option(stmt.option("SAMPLE_RATE"), 1.0)?;
+        let (table_lo, table_hi) = self
+            .table
+            .time_bounds()
+            .ok_or_else(|| EngineError::Config("empty table".to_string()))?;
+        let (lo, hi) = match split.time_range {
+            Some((a, b)) => (a.max(table_lo), b.min(table_hi)),
+            None => (table_lo, table_hi),
+        };
+        if hi < lo {
+            // Empty range: a degenerate full scan of zero rows.
+            return Ok(SelectPlan {
+                agg: stmt.agg,
+                measure,
+                measure_name: stmt.measure.clone(),
+                predicate,
+                range: None,
+                group_by_time: stmt.group_by_time,
+                source: ScanSource::FullScan { est_rows: 0 },
+            });
+        }
+        let source = self.choose_source(measure, lo, hi, rate)?;
+        Ok(SelectPlan {
+            agg: stmt.agg,
+            measure,
+            measure_name: stmt.measure.clone(),
+            predicate,
+            range: Some((lo, hi)),
+            group_by_time: stmt.group_by_time,
+            source,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SamplerChoice;
+    use crate::test_support::test_table;
+    use flashp_query::parse;
+
+    fn planned(sql: &str, rates: &[f64]) -> LogicalPlan {
+        let table = test_table();
+        let config = EngineConfig {
+            layer_rates: rates.to_vec(),
+            sampler: SamplerChoice::OptimalGsw,
+            default_rate: 0.05,
+            ..Default::default()
+        };
+        let catalog = SampleCatalog::build(&table, &config).unwrap();
+        let planner = Planner::new(&table, &config, Some(&catalog));
+        planner.plan(&parse(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn forecast_plan_resolves_everything() {
+        let plan = planned(
+            "FORECAST SUM(m2) FROM T WHERE seg <= 5 USING (20200101, 20200202) \
+             OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)",
+            &[0.2, 0.05],
+        );
+        let LogicalPlan::Forecast(p) = plan else { panic!("expected forecast plan") };
+        assert_eq!(p.measure, 1);
+        assert_eq!(p.model, "ar(7)");
+        assert_eq!(p.horizon, 5);
+        assert_eq!(p.rate, 0.05);
+        assert!(matches!(p.predicate, PredicateSlot::Compiled(_)));
+        let ScanSource::SampleLayer { rate, bucket, est_rows, .. } = &p.source else {
+            panic!("expected a sample layer source")
+        };
+        assert_eq!(*rate, 0.05);
+        assert_eq!(*bucket, 1, "per-measure sampler serves m2 from bucket 1");
+        assert!(*est_rows > 0);
+    }
+
+    #[test]
+    fn parameterized_plan_keeps_template() {
+        let plan =
+            planned("FORECAST SUM(m1) FROM T WHERE seg <= ? USING (20200101, 20200202)", &[0.2]);
+        assert_eq!(plan.num_params(), 1);
+        let LogicalPlan::Forecast(p) = plan else { panic!() };
+        assert!(matches!(p.predicate, PredicateSlot::Template { num_params: 1, .. }));
+    }
+
+    #[test]
+    fn select_plan_clamps_range() {
+        let plan = planned(
+            "SELECT SUM(m1) FROM T WHERE t >= 20191201 AND t <= 20200103 GROUP BY t",
+            &[0.2],
+        );
+        let LogicalPlan::Select(p) = plan else { panic!() };
+        let (lo, hi) = p.range.unwrap();
+        assert_eq!(lo.to_yyyymmdd(), 20200101, "clamped to the table start");
+        assert_eq!(hi.to_yyyymmdd(), 20200103);
+        assert!(matches!(p.source, ScanSource::FullScan { est_rows } if est_rows == 1200));
+    }
+
+    #[test]
+    fn select_sample_rate_option_plans_a_layer() {
+        let plan = planned("SELECT SUM(m1) FROM T GROUP BY t OPTION (SAMPLE_RATE = 0.2)", &[0.2]);
+        let LogicalPlan::Select(p) = plan else { panic!() };
+        assert!(matches!(p.source, ScanSource::SampleLayer { rate, .. } if rate == 0.2));
+    }
+
+    #[test]
+    fn missing_catalog_fails_at_plan_time() {
+        let table = test_table();
+        let config = EngineConfig::default();
+        let planner = Planner::new(&table, &config, None);
+        let stmt = parse("FORECAST SUM(m1) FROM T USING (20200101, 20200110)").unwrap();
+        assert!(matches!(planner.plan(&stmt), Err(EngineError::SamplesUnavailable(_))));
+        // Exact queries plan fine without a catalog.
+        let stmt =
+            parse("FORECAST SUM(m1) FROM T USING (20200101, 20200110) OPTION (SAMPLE_RATE = 1.0)")
+                .unwrap();
+        assert!(planner.plan(&stmt).is_ok());
+    }
+
+    #[test]
+    fn bad_model_caught_at_plan_time() {
+        let table = test_table();
+        let config = EngineConfig::default();
+        let planner = Planner::new(&table, &config, None);
+        let stmt = parse(
+            "FORECAST SUM(m1) FROM T USING (20200101, 20200110) \
+             OPTION (SAMPLE_RATE = 1.0, MODEL = 'unknown_model')",
+        )
+        .unwrap();
+        assert!(planner.plan(&stmt).is_err());
+    }
+}

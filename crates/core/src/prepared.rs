@@ -1,0 +1,462 @@
+//! Prepared statements and plan execution.
+//!
+//! A [`PreparedQuery`] owns a typed [`LogicalPlan`] plus `Arc`s of the
+//! table, configuration and sample catalog it was planned against. It is
+//! `Send + Sync` and executes through `&self` — many threads can run the
+//! same prepared statement concurrently with no locks; each call draws
+//! fresh [`MaskScratch`] buffers that are reused across the whole Eq. (4)
+//! per-timestamp batch of that call.
+
+use crate::catalog::SampleCatalog;
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::explain::{explain_plan, PlanNode};
+use crate::models::build_model;
+use crate::planner::{ForecastPlan, LogicalPlan, PredicateSlot, ScanSource, SelectPlan};
+use crate::result::{ExecOutput, ForecastOut, ForecastResult, SelectResult, SeriesPoint, Timing};
+use flashp_query::{bind_expr, substitute_params, Literal, Statement};
+use flashp_sampling::{estimate_agg_with, estimate_components_with, EstimateComponents, Sample};
+use flashp_storage::parallel::parallel_map_with;
+use flashp_storage::{
+    AggFunc, CompiledPredicate, MaskScratch, ScanOptions, TimeSeriesTable, Timestamp,
+};
+use std::borrow::Cow;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How per-timestamp estimation treats a timestamp with no stored sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Missing {
+    /// Fail: the caller needs a contiguous series (FORECAST training).
+    Error,
+    /// Skip the day: the caller aggregates whatever exists (SELECT).
+    Skip,
+}
+
+/// Everything plan execution needs, borrowed for the duration of one call.
+pub(crate) struct ExecCtx<'a> {
+    pub table: &'a TimeSeriesTable,
+    pub config: &'a EngineConfig,
+    pub catalog: Option<&'a SampleCatalog>,
+}
+
+impl ExecCtx<'_> {
+    /// Resolve a plan's predicate slot against the call's parameters.
+    fn resolve_predicate<'p>(
+        &self,
+        slot: &'p PredicateSlot,
+        params: &[Literal],
+    ) -> Result<Cow<'p, CompiledPredicate>, EngineError> {
+        match slot {
+            PredicateSlot::Compiled(pred) => {
+                if !params.is_empty() {
+                    return Err(EngineError::Parameter(format!(
+                        "statement takes no parameters, {} supplied",
+                        params.len()
+                    )));
+                }
+                Ok(Cow::Borrowed(pred))
+            }
+            PredicateSlot::Template { constraint, num_params } => {
+                if params.len() != *num_params {
+                    return Err(EngineError::Parameter(format!(
+                        "statement takes {num_params} parameter(s), {} supplied",
+                        params.len()
+                    )));
+                }
+                let bound = substitute_params(constraint, params)?;
+                let predicate = bind_expr(&bound)?;
+                Ok(Cow::Owned(self.table.compile_predicate(&predicate)?))
+            }
+        }
+    }
+
+    /// The catalog layer a plan's source references.
+    fn layer(&self, source: &ScanSource) -> Result<&crate::catalog::CatalogLayer, EngineError> {
+        let ScanSource::SampleLayer { layer, .. } = source else {
+            unreachable!("layer() is only called for sampled sources")
+        };
+        let catalog = self.catalog.ok_or_else(|| {
+            EngineError::SamplesUnavailable(
+                "plan references a sample catalog the engine no longer holds".to_string(),
+            )
+        })?;
+        Ok(catalog.layer(*layer))
+    }
+
+    /// Exact per-timestamp aggregates over `[start, end]`.
+    pub(crate) fn estimate_exact(
+        &self,
+        measure: usize,
+        pred: &CompiledPredicate,
+        agg: AggFunc,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<Vec<SeriesPoint>, EngineError> {
+        let expected_points = (end - start + 1) as usize;
+        let rows = flashp_storage::aggregate_range(
+            self.table,
+            measure,
+            pred,
+            agg,
+            start,
+            end,
+            ScanOptions { threads: self.config.threads },
+        )?;
+        if rows.len() != expected_points {
+            return Err(EngineError::SamplesUnavailable(format!(
+                "table covers {} of {} requested timestamps",
+                rows.len(),
+                expected_points
+            )));
+        }
+        Ok(rows.into_iter().map(|(t, value)| SeriesPoint { t, value, variance: None }).collect())
+    }
+
+    /// The shared per-day estimation driver: apply `f` to every timestamp
+    /// in `[start, end]` (and whatever sample the layer's bucket holds for
+    /// it), in parallel with one [`MaskScratch`] per worker so the whole
+    /// Eq. 4 batch reuses mask buffers. Sequential below 200 k sampled
+    /// rows — thread spawn costs dwarf the estimation work on small
+    /// layers.
+    fn map_days<R: Send>(
+        &self,
+        layer: &crate::catalog::CatalogLayer,
+        bucket: usize,
+        start: Timestamp,
+        end: Timestamp,
+        f: impl Fn(&mut MaskScratch, Timestamp, Option<&Sample>) -> Result<R, EngineError> + Sync,
+    ) -> Result<Vec<R>, EngineError> {
+        let bucket = &layer.buckets[bucket];
+        let ts: Vec<Timestamp> = start.range_inclusive(end).collect();
+        let threads = if layer.total_rows < 200_000 { 1 } else { self.config.threads };
+        parallel_map_with(&ts, threads, MaskScratch::new, |scratch, &t| {
+            f(scratch, t, bucket.get(&t))
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Per-timestamp estimates from one catalog layer/bucket.
+    ///
+    /// `missing` controls timestamps with no stored sample: a FORECAST
+    /// training series must be contiguous ([`Missing::Error`]), while a
+    /// SELECT aggregate skips absent days ([`Missing::Skip`]) exactly as
+    /// the exact path iterates only existing partitions.
+    pub(crate) fn estimate_from_layer(
+        &self,
+        layer: &crate::catalog::CatalogLayer,
+        bucket: usize,
+        measure: usize,
+        pred: &CompiledPredicate,
+        agg: AggFunc,
+        start: Timestamp,
+        end: Timestamp,
+        missing: Missing,
+    ) -> Result<Vec<SeriesPoint>, EngineError> {
+        let points = self.map_days(layer, bucket, start, end, |scratch, t, sample| {
+            let Some(sample) = sample else {
+                return match missing {
+                    Missing::Skip => Ok(None),
+                    Missing::Error => {
+                        Err(EngineError::SamplesUnavailable(format!("no sample for timestamp {t}")))
+                    }
+                };
+            };
+            let e = estimate_agg_with(sample, measure, pred, agg, scratch)?;
+            Ok(Some(SeriesPoint { t, value: e.value, variance: e.variance }))
+        })?;
+        Ok(points.into_iter().flatten().collect())
+    }
+
+    /// Raw HT accumulators for `[start, end]` from one catalog
+    /// layer/bucket, merged across timestamps: per-partition samples are
+    /// independent, so sums and variances add. One pass serves any
+    /// aggregate (a range AVG finalizes as total SUM / total COUNT).
+    /// Absent timestamps contribute nothing, mirroring the exact scalar
+    /// path over existing partitions.
+    fn components_from_layer(
+        &self,
+        layer: &crate::catalog::CatalogLayer,
+        bucket: usize,
+        measure: usize,
+        pred: &CompiledPredicate,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<EstimateComponents, EngineError> {
+        let per_day =
+            self.map_days(layer, bucket, start, end, |scratch, _, sample| match sample {
+                Some(sample) => Ok(estimate_components_with(sample, measure, pred, scratch)?),
+                None => Ok(EstimateComponents::default()),
+            })?;
+        let mut total = EstimateComponents::default();
+        for c in &per_day {
+            total.merge(c);
+        }
+        Ok(total)
+    }
+
+    /// Per-timestamp series for a plan's scan source.
+    fn estimate_series_for(
+        &self,
+        source: &ScanSource,
+        measure: usize,
+        pred: &CompiledPredicate,
+        agg: AggFunc,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<Vec<SeriesPoint>, EngineError> {
+        match source {
+            ScanSource::FullScan { .. } => self.estimate_exact(measure, pred, agg, start, end),
+            ScanSource::SampleLayer { bucket, .. } => {
+                let layer = self.layer(source)?;
+                self.estimate_from_layer(
+                    layer,
+                    *bucket,
+                    measure,
+                    pred,
+                    agg,
+                    start,
+                    end,
+                    Missing::Error,
+                )
+            }
+        }
+    }
+
+    /// Execute any plan.
+    pub(crate) fn execute_plan(
+        &self,
+        plan: &LogicalPlan,
+        params: &[Literal],
+    ) -> Result<ExecOutput, EngineError> {
+        match plan {
+            LogicalPlan::Forecast(p) => {
+                Ok(ExecOutput::Forecast(Box::new(self.execute_forecast(p, params)?)))
+            }
+            LogicalPlan::Select(p) => Ok(ExecOutput::Select(self.execute_select(p, params)?)),
+        }
+    }
+
+    /// Execute a FORECAST plan: estimate the training series (Eq. 4), fit
+    /// the model, forecast with intervals — the two-phase pipeline of §2.1.
+    pub(crate) fn execute_forecast(
+        &self,
+        plan: &ForecastPlan,
+        params: &[Literal],
+    ) -> Result<ForecastResult, EngineError> {
+        let pred = self.resolve_predicate(&plan.predicate, params)?;
+
+        // Phase 1: estimate the training series (Eq. 4).
+        let agg_start = Instant::now();
+        let estimates = self.estimate_series_for(
+            &plan.source,
+            plan.measure,
+            &pred,
+            plan.agg,
+            plan.t_start,
+            plan.t_end,
+        )?;
+        let aggregation = agg_start.elapsed();
+
+        // Phase 2: fit + forecast.
+        let fit_start = Instant::now();
+        let values: Vec<f64> = estimates.iter().map(|p| p.value).collect();
+        let mut model = build_model(&plan.model)?;
+        let summary = model.fit(&values)?;
+        let mut fc = model.forecast(plan.horizon, plan.confidence)?;
+        let mean_noise_variance = {
+            let vars: Vec<f64> = estimates.iter().filter_map(|p| p.variance).collect();
+            if vars.is_empty() {
+                0.0
+            } else {
+                vars.iter().sum::<f64>() / vars.len() as f64
+            }
+        };
+        if plan.noise_aware && mean_noise_variance > 0.0 {
+            fc = flashp_forecast::noise::widen_with_noise(&fc, mean_noise_variance)?;
+        }
+        let forecasting = fit_start.elapsed();
+
+        let forecasts: Vec<ForecastOut> = fc
+            .points
+            .iter()
+            .map(|p| ForecastOut {
+                t: plan.t_end + p.step as i64,
+                value: p.value,
+                lo: p.lo,
+                hi: p.hi,
+                std_err: p.std_err,
+            })
+            .collect();
+        Ok(ForecastResult {
+            estimates,
+            forecasts,
+            model: model.name(),
+            sampler: plan.source.sampler_label().to_string(),
+            rate_used: plan.source.rate_used(),
+            confidence: plan.confidence,
+            sigma2: summary.sigma2,
+            mean_noise_variance,
+            timing: Timing { aggregation, forecasting },
+        })
+    }
+
+    /// Execute a SELECT plan (exact scan or sampled estimation).
+    pub(crate) fn execute_select(
+        &self,
+        plan: &SelectPlan,
+        params: &[Literal],
+    ) -> Result<SelectResult, EngineError> {
+        let pred = self.resolve_predicate(&plan.predicate, params)?;
+        let Some((lo, hi)) = plan.range else {
+            return Ok(SelectResult { rows: Vec::new(), approximate: false });
+        };
+        match &plan.source {
+            ScanSource::FullScan { .. } => {
+                if plan.group_by_time {
+                    let rows = flashp_storage::aggregate_range(
+                        self.table,
+                        plan.measure,
+                        &pred,
+                        plan.agg,
+                        lo,
+                        hi,
+                        ScanOptions { threads: self.config.threads },
+                    )?;
+                    let rows = rows.into_iter().map(|(t, v)| (t, v, None)).collect();
+                    return Ok(SelectResult { rows, approximate: false });
+                }
+                // Scalar aggregate across the range, through the same fused /
+                // scratch-reusing kernels as the grouped path.
+                let total = flashp_storage::aggregate_total(
+                    self.table,
+                    plan.measure,
+                    &pred,
+                    lo,
+                    hi,
+                    ScanOptions { threads: self.config.threads },
+                )?;
+                Ok(SelectResult {
+                    rows: vec![(lo, total.finalize(plan.agg), None)],
+                    approximate: false,
+                })
+            }
+            source @ ScanSource::SampleLayer { bucket, .. } => {
+                let layer = self.layer(source)?;
+                if plan.group_by_time {
+                    let points = self.estimate_from_layer(
+                        layer,
+                        *bucket,
+                        plan.measure,
+                        &pred,
+                        plan.agg,
+                        lo,
+                        hi,
+                        Missing::Skip,
+                    )?;
+                    let rows = points
+                        .into_iter()
+                        .map(|p| (p.t, p.value, p.variance.map(f64::sqrt)))
+                        .collect();
+                    return Ok(SelectResult { rows, approximate: true });
+                }
+                // Scalar estimate across the range: one pass accumulates
+                // the HT components over every day, then finalizes into
+                // the requested aggregate — SUM/COUNT variances add across
+                // independent per-partition samples; AVG is the ratio of
+                // the two totals (no plug-in variance).
+                let total =
+                    self.components_from_layer(layer, *bucket, plan.measure, &pred, lo, hi)?;
+                let est = total.finalize(plan.agg);
+                Ok(SelectResult {
+                    rows: vec![(lo, est.value, est.variance.map(f64::sqrt))],
+                    approximate: true,
+                })
+            }
+        }
+    }
+}
+
+/// A planned, repeatedly executable statement.
+///
+/// Created by [`crate::FlashPEngine::prepare`]. The query's names are
+/// bound, its options validated, its predicate constant-folded (unless it
+/// has `?` placeholders) and its serving sample layer chosen — once.
+/// Execution through [`PreparedQuery::execute`] / [`execute_with`] repeats
+/// none of that work.
+///
+/// `PreparedQuery` is `Send + Sync` and cheap to share: wrap it in an
+/// [`Arc`] (or just reference it from scoped threads) and execute from as
+/// many threads as you like — there is no interior mutability and no lock.
+///
+/// [`execute_with`]: PreparedQuery::execute_with
+pub struct PreparedQuery {
+    table: Arc<TimeSeriesTable>,
+    config: Arc<EngineConfig>,
+    catalog: Option<Arc<SampleCatalog>>,
+    statement: Statement,
+    plan: LogicalPlan,
+}
+
+impl PreparedQuery {
+    pub(crate) fn new(
+        table: Arc<TimeSeriesTable>,
+        config: Arc<EngineConfig>,
+        catalog: Option<Arc<SampleCatalog>>,
+        statement: Statement,
+        plan: LogicalPlan,
+    ) -> Self {
+        PreparedQuery { table, config, catalog, statement, plan }
+    }
+
+    /// The parsed statement this query was prepared from.
+    pub fn statement(&self) -> &Statement {
+        &self.statement
+    }
+
+    /// The plan the executor will run.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// Number of `?` parameters [`PreparedQuery::execute_with`] expects.
+    pub fn num_params(&self) -> usize {
+        self.plan.num_params()
+    }
+
+    /// Render the plan as an `EXPLAIN` tree without executing.
+    pub fn explain(&self) -> PlanNode {
+        explain_plan(&self.plan, self.table.schema())
+    }
+
+    fn ctx(&self) -> ExecCtx<'_> {
+        ExecCtx { table: &self.table, config: &self.config, catalog: self.catalog.as_deref() }
+    }
+
+    /// Execute a parameterless prepared statement.
+    pub fn execute(&self) -> Result<ExecOutput, EngineError> {
+        self.execute_with(&[])
+    }
+
+    /// Execute, binding `?` placeholder `i` to `params[i]`.
+    pub fn execute_with(&self, params: &[Literal]) -> Result<ExecOutput, EngineError> {
+        self.ctx().execute_plan(&self.plan, params)
+    }
+
+    /// Execute a prepared FORECAST (errors on SELECT).
+    pub fn forecast_with(&self, params: &[Literal]) -> Result<ForecastResult, EngineError> {
+        match &self.plan {
+            LogicalPlan::Forecast(p) => self.ctx().execute_forecast(p, params),
+            LogicalPlan::Select(_) => Err(EngineError::WrongStatement { expected: "FORECAST" }),
+        }
+    }
+
+    /// Execute a prepared SELECT (errors on FORECAST).
+    pub fn select_with(&self, params: &[Literal]) -> Result<SelectResult, EngineError> {
+        match &self.plan {
+            LogicalPlan::Select(p) => self.ctx().execute_select(p, params),
+            LogicalPlan::Forecast(_) => Err(EngineError::WrongStatement { expected: "SELECT" }),
+        }
+    }
+}

@@ -87,11 +87,17 @@ impl ForecastResult {
     }
 }
 
+/// One SELECT result row: timestamp, aggregate value, and — for
+/// approximate answers — the Horvitz-Thompson standard error of the
+/// estimate (`None` for exact scans and for AVG, whose ratio estimator
+/// has no unbiased plug-in variance).
+pub type SelectRow = (Timestamp, f64, Option<f64>);
+
 /// Result of a SELECT statement: one row per timestamp (a single row for
-/// point lookups).
+/// scalar aggregates).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectResult {
-    pub rows: Vec<(Timestamp, f64)>,
+    pub rows: Vec<SelectRow>,
     /// Whether the answer came from samples (approximate) or a full scan.
     pub approximate: bool,
 }
@@ -101,6 +107,8 @@ pub struct SelectResult {
 pub enum ExecOutput {
     Forecast(Box<ForecastResult>),
     Select(SelectResult),
+    /// `EXPLAIN <statement>`: the rendered plan, nothing executed.
+    Plan(crate::explain::PlanNode),
 }
 
 #[cfg(test)]

@@ -48,8 +48,7 @@ impl DatasetConfig {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(50_000);
-        let days =
-            std::env::var("FLASHP_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+        let days = std::env::var("FLASHP_DAYS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
         DatasetConfig::new(rows, days, seed)
     }
 

@@ -104,14 +104,11 @@ fn zipf_like(rng: &mut StdRng, n: usize) -> usize {
 /// Sample one user's dimensions with the documented correlations.
 pub fn sample_dims(rng: &mut StdRng) -> DimValues {
     // Age: mixture of young (20s) and broad adult range.
-    let age: i64 = if rng.gen::<f64>() < 0.55 {
-        rng.gen_range(18..=34)
-    } else {
-        rng.gen_range(35..=70)
-    };
+    let age: i64 =
+        if rng.gen::<f64>() < 0.55 { rng.gen_range(18..=34) } else { rng.gen_range(35..=70) };
     // Gender skews slightly female for shopping traffic.
     let gender = i64::from(rng.gen::<f64>() >= 0.54); // 0 = F, 1 = M
-    // Cities are heavily skewed (big cities dominate).
+                                                      // Cities are heavily skewed (big cities dominate).
     let city = zipf_like(rng, NUM_CITIES) as i64;
     // Device: mobile-heavy; young users even more so.
     let mobile_p = if age < 35 { 0.85 } else { 0.6 };
@@ -127,8 +124,8 @@ pub fn sample_dims(rng: &mut StdRng) -> DimValues {
     };
     // OS correlated with device: mobile → android/ios, pc → windows/mac.
     let os: i64 = match device {
-        0 | 2 => i64::from(rng.gen::<f64>() >= 0.6),      // android 60% / ios
-        _ => 2 + i64::from(rng.gen::<f64>() >= 0.75),     // windows 75% / mac
+        0 | 2 => i64::from(rng.gen::<f64>() >= 0.6), // android 60% / ios
+        _ => 2 + i64::from(rng.gen::<f64>() >= 0.75), // windows 75% / mac
     };
     // Interest tags skewed; intent correlated with interest.
     let interest = zipf_like(rng, NUM_INTERESTS as usize) as i64;
@@ -155,9 +152,7 @@ pub fn sample_dims(rng: &mut StdRng) -> DimValues {
     let daypart = rng.gen_range(0..i64::from(NUM_DAYPARTS));
     // Tier correlated with city: big cities are tier 1-2.
     let tier: i64 = 1 + (city / (NUM_CITIES as i64 / i64::from(NUM_TIERS))).min(3);
-    DimValues([
-        age, gender, city, device, os, interest, intent, membership, channel, daypart, tier,
-    ])
+    DimValues([age, gender, city, device, os, interest, intent, membership, channel, daypart, tier])
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use crate::error::DataError;
 use crate::measures::sample_measures;
 use crate::temporal::day_context;
 use flashp_storage::parallel::{default_threads, parallel_map};
-use flashp_storage::{Partition, PartitionBuilder, Timestamp, TimeSeriesTable};
+use flashp_storage::{Partition, PartitionBuilder, TimeSeriesTable, Timestamp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -62,9 +62,8 @@ pub fn generate_dataset(config: &DatasetConfig) -> Result<Dataset, DataError> {
 
     let start = Timestamp::from_yyyymmdd(config.start_date)?;
     let days: Vec<usize> = (0..config.num_days).collect();
-    let partitions: Vec<Partition> = parallel_map(&days, default_threads(), |&day| {
-        generate_day(config, &schema, start, day)
-    });
+    let partitions: Vec<Partition> =
+        parallel_map(&days, default_threads(), |&day| generate_day(config, &schema, start, day));
     for (day, partition) in partitions.into_iter().enumerate() {
         table.insert_partition(start + day as i64, partition);
     }
@@ -87,7 +86,8 @@ fn generate_day(
     start: Timestamp,
     day: usize,
 ) -> Partition {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ (day as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let mut rng =
+        StdRng::seed_from_u64(config.seed ^ (day as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let t = start + day as i64;
     // Day-level multiplicative shock (σ = 0.05 in log space) plus row-count
     // variation by weekday.
@@ -141,12 +141,24 @@ mod tests {
         let b = tiny();
         let pred = a.table.compile_predicate(&Predicate::True).unwrap();
         let sa = flashp_storage::aggregate_range(
-            &a.table, 0, &pred, AggFunc::Sum, a.start(), a.end(), ScanOptions { threads: 1 },
+            &a.table,
+            0,
+            &pred,
+            AggFunc::Sum,
+            a.start(),
+            a.end(),
+            ScanOptions { threads: 1 },
         )
         .unwrap();
         let pred_b = b.table.compile_predicate(&Predicate::True).unwrap();
         let sb = flashp_storage::aggregate_range(
-            &b.table, 0, &pred_b, AggFunc::Sum, b.start(), b.end(), ScanOptions { threads: 4 },
+            &b.table,
+            0,
+            &pred_b,
+            AggFunc::Sum,
+            b.start(),
+            b.end(),
+            ScanOptions { threads: 4 },
         )
         .unwrap();
         assert_eq!(sa, sb, "generation must not depend on threading");
@@ -166,7 +178,12 @@ mod tests {
         let ds = generate_dataset(&DatasetConfig::new(500, 28, 7)).unwrap();
         let pred = ds.table.compile_predicate(&Predicate::True).unwrap();
         let series = flashp_storage::aggregate_range(
-            &ds.table, 0, &pred, AggFunc::Sum, ds.start(), ds.end(),
+            &ds.table,
+            0,
+            &pred,
+            AggFunc::Sum,
+            ds.start(),
+            ds.end(),
             ScanOptions::default(),
         )
         .unwrap();
@@ -201,7 +218,10 @@ mod tests {
             dicts[crate::dimensions::dim::DEVICE].as_ref().unwrap().lookup("mobile"),
             Some(0)
         );
-        assert_eq!(dicts[crate::dimensions::dim::CITY].as_ref().unwrap().lookup("city_00"), Some(0));
+        assert_eq!(
+            dicts[crate::dimensions::dim::CITY].as_ref().unwrap().lookup("city_00"),
+            Some(0)
+        );
     }
 
     #[test]

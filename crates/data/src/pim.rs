@@ -17,7 +17,7 @@
 //! \[7\] and why FlashP's samplers beat uniform.
 
 use crate::error::DataError;
-use flashp_storage::{CompiledPredicate, Timestamp, TimeSeriesTable};
+use flashp_storage::{CompiledPredicate, TimeSeriesTable, Timestamp};
 use std::collections::{BTreeMap, HashMap};
 
 /// Per-day marginal statistics.
@@ -135,9 +135,7 @@ impl PimModel {
 
 /// Decompose into per-dimension groups of conjuncts, merging conjuncts
 /// that touch the same dimension into one part.
-fn decompose(
-    pred: &CompiledPredicate,
-) -> Result<Vec<(usize, Vec<&CompiledPredicate>)>, DataError> {
+fn decompose(pred: &CompiledPredicate) -> Result<Vec<(usize, Vec<&CompiledPredicate>)>, DataError> {
     let conjuncts: Vec<&CompiledPredicate> = match pred {
         CompiledPredicate::And(children) => children.iter().collect(),
         other => vec![other],
@@ -183,9 +181,7 @@ fn decompose(
 
 fn collect_dims(pred: &CompiledPredicate, out: &mut Vec<usize>) {
     match pred {
-        CompiledPredicate::Cmp { dim, .. } | CompiledPredicate::InSet { dim, .. } => {
-            out.push(*dim)
-        }
+        CompiledPredicate::Cmp { dim, .. } | CompiledPredicate::InSet { dim, .. } => out.push(*dim),
         CompiledPredicate::And(children) | CompiledPredicate::Or(children) => {
             for c in children {
                 collect_dims(c, out);
@@ -306,10 +302,7 @@ mod tests {
         let ds = dataset();
         let pim = PimModel::build(&ds.table);
         // (gender = F OR device = pc) cannot be decomposed per dimension.
-        let pred = Predicate::Or(vec![
-            Predicate::eq("gender", "F"),
-            Predicate::eq("device", "pc"),
-        ]);
+        let pred = Predicate::Or(vec![Predicate::eq("gender", "F"), Predicate::eq("device", "pc")]);
         let compiled = ds.table.compile_predicate(&pred).unwrap();
         assert!(pim.estimate(ds.start(), 0, &compiled).is_err());
     }

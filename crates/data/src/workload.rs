@@ -10,7 +10,7 @@
 use crate::dimensions::{NUM_CITIES, NUM_DAYPARTS, NUM_INTERESTS, NUM_MEMBERSHIP};
 use crate::error::DataError;
 use crate::generator::Dataset;
-use flashp_storage::{CmpOp, Predicate, Timestamp, TimeSeriesTable, Value};
+use flashp_storage::{CmpOp, Predicate, TimeSeriesTable, Timestamp, Value};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -93,10 +93,9 @@ impl<'a> WorkloadGenerator<'a> {
     fn random_condition(&self, rng: &mut StdRng) -> Predicate {
         match rng.gen_range(0..7u8) {
             0 => Predicate::eq("gender", if rng.gen::<bool>() { "F" } else { "M" }),
-            1 => Predicate::eq(
-                "device",
-                *["mobile", "pc", "tablet"].choose(rng).expect("non-empty"),
-            ),
+            1 => {
+                Predicate::eq("device", *["mobile", "pc", "tablet"].choose(rng).expect("non-empty"))
+            }
             2 => {
                 // A band of interests.
                 let lo = rng.gen_range(0..i64::from(NUM_INTERESTS) - 4);
@@ -120,11 +119,9 @@ impl<'a> WorkloadGenerator<'a> {
                         .collect(),
                 }
             }
-            4 => Predicate::cmp(
-                "membership",
-                CmpOp::Ge,
-                rng.gen_range(1..i64::from(NUM_MEMBERSHIP)),
-            ),
+            4 => {
+                Predicate::cmp("membership", CmpOp::Ge, rng.gen_range(1..i64::from(NUM_MEMBERSHIP)))
+            }
             5 => Predicate::eq(
                 "channel",
                 *["search", "feed", "social", "direct"].choose(rng).expect("non-empty"),

@@ -54,7 +54,14 @@ pub struct ArModel {
 impl ArModel {
     /// New unfitted model of order `p`.
     pub fn new(p: usize) -> Self {
-        ArModel { p, coeffs: Vec::new(), intercept: 0.0, sigma2: 0.0, history: Vec::new(), fitted: false }
+        ArModel {
+            p,
+            coeffs: Vec::new(),
+            intercept: 0.0,
+            sigma2: 0.0,
+            history: Vec::new(),
+            fitted: false,
+        }
     }
 
     /// Fitted AR coefficients (empty before fitting).
@@ -82,13 +89,18 @@ impl ForecastModel for ArModel {
         }
         let rows = n - self.p;
         // Design matrix [1, y_{t-1}, …, y_{t-p}].
-        let x = Matrix::from_fn(rows, self.p + 1, |r, c| {
-            if c == 0 {
-                1.0
-            } else {
-                series[self.p + r - c]
-            }
-        });
+        let x =
+            Matrix::from_fn(
+                rows,
+                self.p + 1,
+                |r, c| {
+                    if c == 0 {
+                        1.0
+                    } else {
+                        series[self.p + r - c]
+                    }
+                },
+            );
         let y: Vec<f64> = series[self.p..].to_vec();
         let beta = least_squares(&x, &y)?;
         self.intercept = beta[0];
@@ -153,7 +165,7 @@ impl ForecastModel for ArModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simulate::{ArmaSpec, simulate_arma};
+    use crate::simulate::{simulate_arma, ArmaSpec};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -89,11 +89,8 @@ impl ForecastModel for ArimaModel {
             }
         }
         // Integrate psi weights: dividing by (1−B)^d means d cumulative sums.
-        let mut psi = psi_weights(
-            self.inner.ar_coefficients(),
-            self.inner.ma_coefficients(),
-            horizon,
-        );
+        let mut psi =
+            psi_weights(self.inner.ar_coefficients(), self.inner.ma_coefficients(), horizon);
         for _ in 0..self.d {
             for j in 1..psi.len() {
                 psi[j] += psi[j - 1];

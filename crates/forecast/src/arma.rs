@@ -172,10 +172,7 @@ impl ArmaModel {
             return Ok((ar, Vec::new()));
         }
         // Long AR order: enough lags to whiten, but leave regression rows.
-        let long = ((10.0 * (n as f64).log10()) as usize)
-            .max(self.p + self.q)
-            .min(n / 3)
-            .max(1);
+        let long = ((10.0 * (n as f64).log10()) as usize).max(self.p + self.q).min(n / 3).max(1);
         let (_, ehat) = fit_ar_ols(w, long)?;
         let start = long.max(self.p).max(self.q);
         let rows = n - start;
@@ -402,8 +399,16 @@ mod tests {
         let series = simulate_arma(&spec, 4000, &mut rng);
         let mut model = ArmaModel::new(1, 1);
         let summary = model.fit(&series).unwrap();
-        assert!((model.ar_coefficients()[0] - 0.8).abs() < 0.08, "alpha = {}", model.ar_coefficients()[0]);
-        assert!((model.ma_coefficients()[0] - 0.1).abs() < 0.12, "beta = {}", model.ma_coefficients()[0]);
+        assert!(
+            (model.ar_coefficients()[0] - 0.8).abs() < 0.08,
+            "alpha = {}",
+            model.ar_coefficients()[0]
+        );
+        assert!(
+            (model.ma_coefficients()[0] - 0.1).abs() < 0.12,
+            "beta = {}",
+            model.ma_coefficients()[0]
+        );
         assert!((model.mean() - 50.0).abs() < 1.0);
         assert!((summary.sigma2 - 1.0).abs() < 0.1, "sigma2 = {}", summary.sigma2);
     }
@@ -415,7 +420,11 @@ mod tests {
         let series = simulate_arma(&spec, 4000, &mut rng);
         let mut model = ArmaModel::new(0, 1);
         model.fit(&series).unwrap();
-        assert!((model.ma_coefficients()[0] - 0.6).abs() < 0.08, "beta = {}", model.ma_coefficients()[0]);
+        assert!(
+            (model.ma_coefficients()[0] - 0.6).abs() < 0.08,
+            "beta = {}",
+            model.ma_coefficients()[0]
+        );
         assert!((model.sigma2() - 4.0).abs() < 0.4);
     }
 

@@ -50,14 +50,8 @@ mod tests {
     #[test]
     fn check_finite_finds_bad_values() {
         assert!(check_finite(&[1.0, 2.0]).is_ok());
-        assert_eq!(
-            check_finite(&[1.0, f64::NAN]),
-            Err(ForecastError::NonFinite { index: 1 })
-        );
-        assert_eq!(
-            check_finite(&[f64::INFINITY]),
-            Err(ForecastError::NonFinite { index: 0 })
-        );
+        assert_eq!(check_finite(&[1.0, f64::NAN]), Err(ForecastError::NonFinite { index: 1 }));
+        assert_eq!(check_finite(&[f64::INFINITY]), Err(ForecastError::NonFinite { index: 0 }));
     }
 
     #[test]

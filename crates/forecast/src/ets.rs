@@ -82,13 +82,7 @@ impl EtsModel {
     }
 
     /// One smoothing pass: returns `(sse, n_pred, final_state)`.
-    fn run(
-        &self,
-        series: &[f64],
-        alpha: f64,
-        beta: f64,
-        gamma: f64,
-    ) -> (f64, usize, EtsState) {
+    fn run(&self, series: &[f64], alpha: f64, beta: f64, gamma: f64) -> (f64, usize, EtsState) {
         let m = self.period();
         let mut state = EtsState::default();
         // Initialization: level = first value (or first-season mean),
@@ -276,9 +270,8 @@ mod tests {
     fn holt_winters_reproduces_seasonality() {
         let mut rng = StdRng::seed_from_u64(32);
         let season = [10.0, -5.0, 0.0, -5.0];
-        let series: Vec<f64> = (0..160)
-            .map(|t| 100.0 + season[t % 4] + 0.3 * randn(&mut rng))
-            .collect();
+        let series: Vec<f64> =
+            (0..160).map(|t| 100.0 + season[t % 4] + 0.3 * randn(&mut rng)).collect();
         let mut m = EtsModel::new(EtsVariant::HoltWinters { period: 4 });
         m.fit(&series).unwrap();
         let f = m.forecast(8, 0.9).unwrap();

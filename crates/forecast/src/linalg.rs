@@ -246,10 +246,7 @@ mod tests {
     #[test]
     fn least_squares_underdetermined_errors() {
         let x = Matrix::zeros(1, 3);
-        assert!(matches!(
-            least_squares(&x, &[1.0]),
-            Err(ForecastError::TooShort { .. })
-        ));
+        assert!(matches!(least_squares(&x, &[1.0]), Err(ForecastError::TooShort { .. })));
     }
 
     #[test]

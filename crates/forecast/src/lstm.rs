@@ -178,16 +178,7 @@ impl LstmForecaster {
                 tanh_c[k] = c[k].tanh();
                 h[k] = o_g[k] * tanh_c[k];
             }
-            caches.push(StepCache {
-                x,
-                h_prev,
-                c_prev,
-                i: i_g,
-                f: f_g,
-                g: g_g,
-                o: o_g,
-                tanh_c,
-            });
+            caches.push(StepCache { x, h_prev, c_prev, i: i_g, f: f_g, g: g_g, o: o_g, tanh_c });
         }
         let mut y = theta[l.by];
         for k in 0..hd {
@@ -221,7 +212,8 @@ impl LstmForecaster {
                 let mut dz = vec![0.0; 4 * hd];
                 for k in 0..hd {
                     let do_k = dh[k] * cache.tanh_c[k];
-                    let dc_k = dc[k] + dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]);
+                    let dc_k =
+                        dc[k] + dh[k] * cache.o[k] * (1.0 - cache.tanh_c[k] * cache.tanh_c[k]);
                     let di = dc_k * cache.g[k];
                     let df = dc_k * cache.c_prev[k];
                     let dg = dc_k * cache.i[k];
@@ -273,9 +265,7 @@ impl ForecastModel for LstmForecaster {
     fn fit(&mut self, series: &[f64]) -> Result<FitSummary, ForecastError> {
         check_finite(series)?;
         if self.config.window == 0 || self.config.hidden == 0 {
-            return Err(ForecastError::InvalidParam(
-                "window and hidden must be >= 1".to_string(),
-            ));
+            return Err(ForecastError::InvalidParam("window and hidden must be >= 1".to_string()));
         }
         let needed = self.config.window + 3;
         if series.len() < needed {
@@ -343,8 +333,7 @@ impl ForecastModel for LstmForecaster {
         }
         validate_forecast_args(horizon, confidence)?;
         let k = self.config.window;
-        let mut normed: Vec<f64> =
-            self.history.iter().map(|x| self.normalize(*x)).collect();
+        let mut normed: Vec<f64> = self.history.iter().map(|x| self.normalize(*x)).collect();
         let mut means = Vec::with_capacity(horizon);
         for _ in 0..horizon {
             let xs = normed[normed.len() - k..].to_vec();
@@ -353,8 +342,7 @@ impl ForecastModel for LstmForecaster {
             means.push(self.denormalize(y));
         }
         let sigma = self.sigma2.sqrt();
-        let std_errs: Vec<f64> =
-            (1..=horizon).map(|h| sigma * (h as f64).sqrt()).collect();
+        let std_errs: Vec<f64> = (1..=horizon).map(|h| sigma * (h as f64).sqrt()).collect();
         Ok(Forecast {
             points: points_from_std_errs(&means, &std_errs, confidence),
             confidence,
@@ -403,10 +391,7 @@ mod tests {
     #[test]
     fn learns_a_sine_wave() {
         let series = sine_series(120);
-        let mut model = LstmForecaster::new(LstmConfig {
-            epochs: 400,
-            ..Default::default()
-        });
+        let mut model = LstmForecaster::new(LstmConfig { epochs: 400, ..Default::default() });
         model.fit(&series).unwrap();
         let f = model.forecast(12, 0.9).unwrap();
         // Compare against the true continuation.

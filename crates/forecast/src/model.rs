@@ -88,7 +88,11 @@ pub fn validate_forecast_args(horizon: usize, confidence: f64) -> Result<(), For
 }
 
 /// Build interval-bearing forecast points from means and standard errors.
-pub fn points_from_std_errs(means: &[f64], std_errs: &[f64], confidence: f64) -> Vec<ForecastPoint> {
+pub fn points_from_std_errs(
+    means: &[f64],
+    std_errs: &[f64],
+    confidence: f64,
+) -> Vec<ForecastPoint> {
     let z = crate::stats::z_for_confidence(confidence);
     means
         .iter()

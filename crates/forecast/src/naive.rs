@@ -54,8 +54,7 @@ impl ForecastModel for NaiveModel {
         }
         validate_forecast_args(horizon, confidence)?;
         let means = vec![self.last; horizon];
-        let std_errs: Vec<f64> =
-            (1..=horizon).map(|h| (self.sigma2 * h as f64).sqrt()).collect();
+        let std_errs: Vec<f64> = (1..=horizon).map(|h| (self.sigma2 * h as f64).sqrt()).collect();
         Ok(Forecast {
             points: points_from_std_errs(&means, &std_errs, confidence),
             confidence,
@@ -113,8 +112,7 @@ impl ForecastModel for SeasonalNaiveModel {
             return Err(ForecastError::NotFitted);
         }
         validate_forecast_args(horizon, confidence)?;
-        let means: Vec<f64> =
-            (0..horizon).map(|h| self.last_season[h % self.period]).collect();
+        let means: Vec<f64> = (0..horizon).map(|h| self.last_season[h % self.period]).collect();
         let std_errs: Vec<f64> = (0..horizon)
             .map(|h| {
                 let k = (h / self.period + 1) as f64; // completed seasonal cycles
@@ -176,8 +174,7 @@ impl ForecastModel for DriftModel {
             return Err(ForecastError::NotFitted);
         }
         validate_forecast_args(horizon, confidence)?;
-        let means: Vec<f64> =
-            (1..=horizon).map(|h| self.last + self.slope * h as f64).collect();
+        let means: Vec<f64> = (1..=horizon).map(|h| self.last + self.slope * h as f64).collect();
         let std_errs: Vec<f64> = (1..=horizon)
             .map(|h| {
                 let h = h as f64;

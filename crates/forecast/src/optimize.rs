@@ -61,7 +61,11 @@ pub fn nelder_mead(
     simplex.push(x0.to_vec());
     for i in 0..n {
         let mut p = x0.to_vec();
-        let step = if p[i].abs() > 1e-8 { options.initial_step * p[i].abs() } else { options.initial_step };
+        let step = if p[i].abs() > 1e-8 {
+            options.initial_step * p[i].abs()
+        } else {
+            options.initial_step
+        };
         p[i] += step;
         simplex.push(p);
     }
@@ -98,11 +102,7 @@ pub fn nelder_mead(
         }
 
         let point_along = |coef: f64| -> Vec<f64> {
-            centroid
-                .iter()
-                .zip(&simplex[worst])
-                .map(|(c, w)| c + coef * (c - w))
-                .collect()
+            centroid.iter().zip(&simplex[worst]).map(|(c, w)| c + coef * (c - w)).collect()
         };
 
         // Reflection.
@@ -178,8 +178,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock() {
-        let rosen =
-            |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
+        let rosen = |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
         let r = nelder_mead(
             rosen,
             &[-1.2, 1.0],

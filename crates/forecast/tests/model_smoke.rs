@@ -48,9 +48,8 @@ fn models() -> Vec<Box<dyn ForecastModel>> {
 fn every_model_fits_and_forecasts_finitely() {
     let series = seasonal_series();
     for mut model in models() {
-        let summary = model
-            .fit(&series)
-            .unwrap_or_else(|e| panic!("{} failed to fit: {e}", model.name()));
+        let summary =
+            model.fit(&series).unwrap_or_else(|e| panic!("{} failed to fit: {e}", model.name()));
         assert!(summary.sigma2.is_finite() && summary.sigma2 >= 0.0, "{}", model.name());
         assert!(summary.n_obs > 0, "{} reported zero observations", model.name());
 
@@ -144,11 +143,7 @@ fn seasonal_models_track_the_cycle() {
         let values = f.values();
         let spread = values.iter().cloned().fold(f64::MIN, f64::max)
             - values.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(
-            spread > 100.0,
-            "{} flattened the weekly cycle (spread {spread:.1})",
-            model.name()
-        );
+        assert!(spread > 100.0, "{} flattened the weekly cycle (spread {spread:.1})", model.name());
     }
 }
 

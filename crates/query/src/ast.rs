@@ -11,6 +11,10 @@ pub const TIME_COLUMN: &str = "t";
 pub enum Literal {
     Int(i64),
     Str(String),
+    /// A `?` placeholder, numbered left-to-right from 0 at parse time.
+    /// Substituted with a concrete literal before binding (prepared
+    /// statements rebind the same template many times).
+    Param(usize),
 }
 
 impl fmt::Display for Literal {
@@ -18,6 +22,9 @@ impl fmt::Display for Literal {
         match self {
             Literal::Int(v) => write!(f, "{v}"),
             Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            // Parameters number left-to-right, so the printed `?` re-parses
+            // to the same index.
+            Literal::Param(_) => write!(f, "?"),
         }
     }
 }
@@ -52,6 +59,34 @@ impl Expr {
             Expr::Not(child) => child.references(column),
             Expr::True => false,
         }
+    }
+
+    /// Number of `?` parameter placeholders (the parser numbers them
+    /// contiguously left-to-right, so this is `max index + 1`).
+    pub fn num_params(&self) -> usize {
+        fn max_index(e: &Expr, acc: &mut Option<usize>) {
+            let mut see = |l: &Literal| {
+                if let Literal::Param(i) = l {
+                    *acc = Some(acc.map_or(*i, |a| a.max(*i)));
+                }
+            };
+            match e {
+                Expr::Cmp { value, .. } => see(value),
+                Expr::In { values, .. } => values.iter().for_each(see),
+                Expr::Between { lo, hi, .. } => {
+                    see(lo);
+                    see(hi);
+                }
+                Expr::And(children) | Expr::Or(children) => {
+                    children.iter().for_each(|c| max_index(c, acc));
+                }
+                Expr::Not(child) => max_index(child, acc),
+                Expr::True => {}
+            }
+        }
+        let mut acc = None;
+        max_index(self, &mut acc);
+        acc.map_or(0, |i| i + 1)
     }
 }
 
@@ -140,6 +175,9 @@ impl fmt::Display for OptionValue {
         match self {
             OptionValue::Str(s) => write!(f, "'{s}'"),
             OptionValue::Int(v) => write!(f, "{v}"),
+            // Whole-valued floats keep a decimal point so the printed form
+            // re-parses as a Float, not an Int (display fixed-point).
+            OptionValue::Float(v) if v.fract() == 0.0 && v.is_finite() => write!(f, "{v:.1}"),
             OptionValue::Float(v) => write!(f, "{v}"),
         }
     }
@@ -163,15 +201,26 @@ pub struct ForecastStmt {
 impl ForecastStmt {
     /// Look up an option by (case-insensitive) key.
     pub fn option(&self, key: &str) -> Option<&OptionValue> {
-        self.options
-            .iter()
-            .find(|(k, _)| k.eq_ignore_ascii_case(key))
-            .map(|(_, v)| v)
+        lookup_option(&self.options, key)
+    }
+
+    /// Number of `?` placeholders in the constraint.
+    pub fn num_params(&self) -> usize {
+        self.constraint.num_params()
     }
 }
 
-/// `SELECT agg(m) FROM T [WHERE C] [GROUP BY t]` — the rewritten
-/// aggregation queries of Eq. (4).
+/// Case-insensitive key lookup in an `OPTION (…)` list.
+pub(crate) fn lookup_option<'a>(
+    options: &'a [(String, OptionValue)],
+    key: &str,
+) -> Option<&'a OptionValue> {
+    options.iter().find(|(k, _)| k.eq_ignore_ascii_case(key)).map(|(_, v)| v)
+}
+
+/// `SELECT agg(m) FROM T [WHERE C] [GROUP BY t] [OPTION (…)]` — the
+/// rewritten aggregation queries of Eq. (4). `OPTION (SAMPLE_RATE = r)`
+/// with `r < 1` answers from the sample catalog instead of a full scan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {
     pub agg: AggFunc,
@@ -181,6 +230,20 @@ pub struct SelectStmt {
     pub constraint: Expr,
     /// True for `GROUP BY t` (one result row per timestamp).
     pub group_by_time: bool,
+    /// `OPTION (key = value, …)` pairs in source order.
+    pub options: Vec<(String, OptionValue)>,
+}
+
+impl SelectStmt {
+    /// Look up an option by (case-insensitive) key.
+    pub fn option(&self, key: &str) -> Option<&OptionValue> {
+        lookup_option(&self.options, key)
+    }
+
+    /// Number of `?` placeholders in the constraint.
+    pub fn num_params(&self) -> usize {
+        self.constraint.num_params()
+    }
 }
 
 /// A parsed statement.
@@ -188,6 +251,20 @@ pub struct SelectStmt {
 pub enum Statement {
     Forecast(ForecastStmt),
     Select(SelectStmt),
+    /// `EXPLAIN <statement>`: plan the inner statement and render the plan
+    /// instead of executing it.
+    Explain(Box<Statement>),
+}
+
+impl Statement {
+    /// Number of `?` placeholders in the statement's constraint.
+    pub fn num_params(&self) -> usize {
+        match self {
+            Statement::Forecast(s) => s.num_params(),
+            Statement::Select(s) => s.num_params(),
+            Statement::Explain(inner) => inner.num_params(),
+        }
+    }
 }
 
 impl fmt::Display for Statement {
@@ -199,17 +276,7 @@ impl fmt::Display for Statement {
                     "FORECAST {}({}) FROM {} WHERE {} USING ({}, {})",
                     s.agg, s.measure, s.table, s.constraint, s.t_start, s.t_end
                 )?;
-                if !s.options.is_empty() {
-                    write!(f, " OPTION (")?;
-                    for (i, (k, v)) in s.options.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{k} = {v}")?;
-                    }
-                    write!(f, ")")?;
-                }
-                Ok(())
+                write_options(f, &s.options)
             }
             Statement::Select(s) => {
                 write!(f, "SELECT {}({}) FROM {}", s.agg, s.measure, s.table)?;
@@ -219,10 +286,25 @@ impl fmt::Display for Statement {
                 if s.group_by_time {
                     write!(f, " GROUP BY {TIME_COLUMN}")?;
                 }
-                Ok(())
+                write_options(f, &s.options)
             }
+            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
         }
     }
+}
+
+fn write_options(f: &mut fmt::Formatter<'_>, options: &[(String, OptionValue)]) -> fmt::Result {
+    if options.is_empty() {
+        return Ok(());
+    }
+    write!(f, " OPTION (")?;
+    for (i, (k, v)) in options.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{k} = {v}")?;
+    }
+    write!(f, ")")
 }
 
 #[cfg(test)]
@@ -263,6 +345,33 @@ mod tests {
         };
         assert_eq!(s.option("model").unwrap().as_str(), Some("arima"));
         assert!(s.option("missing").is_none());
+    }
+
+    #[test]
+    fn option_value_display_preserves_type() {
+        assert_eq!(OptionValue::Float(1.0).to_string(), "1.0");
+        assert_eq!(OptionValue::Float(0.01).to_string(), "0.01");
+        assert_eq!(OptionValue::Int(1).to_string(), "1");
+    }
+
+    #[test]
+    fn param_literal_displays_as_question_mark() {
+        assert_eq!(Literal::Param(3).to_string(), "?");
+    }
+
+    #[test]
+    fn num_params_counts_placeholders() {
+        let e = Expr::And(vec![
+            Expr::Cmp { column: "a".into(), op: CmpOp::Le, value: Literal::Param(0) },
+            Expr::In { column: "b".into(), values: vec![Literal::Param(1), Literal::Int(3)] },
+            Expr::Not(Box::new(Expr::Between {
+                column: "c".into(),
+                lo: Literal::Param(2),
+                hi: Literal::Int(9),
+            })),
+        ]);
+        assert_eq!(e.num_params(), 3);
+        assert_eq!(Expr::True.num_params(), 0);
     }
 
     #[test]

@@ -5,11 +5,60 @@ use crate::ast::{Expr, Literal, SelectStmt, TIME_COLUMN};
 use crate::error::ParseError;
 use flashp_storage::{CmpOp, Predicate, Timestamp, Value};
 
-fn literal_to_value(lit: &Literal) -> Value {
+fn literal_to_value(lit: &Literal) -> Result<Value, ParseError> {
     match lit {
-        Literal::Int(v) => Value::Int(*v),
-        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Int(v) => Ok(Value::Int(*v)),
+        Literal::Str(s) => Ok(Value::Str(s.clone())),
+        Literal::Param(i) => Err(ParseError::new(
+            format!("unbound parameter ?{i}: substitute parameters before binding"),
+            0,
+        )),
     }
+}
+
+/// Replace every `?` placeholder with the corresponding literal from
+/// `params` (placeholder `i` takes `params[i]`). Errors when a
+/// placeholder index is out of range or a parameter value is itself a
+/// placeholder. Extra parameters are ignored here; callers that know the
+/// statement's [`Expr::num_params`] should length-check first for a
+/// clearer diagnostic.
+pub fn substitute_params(expr: &Expr, params: &[Literal]) -> Result<Expr, ParseError> {
+    let subst = |lit: &Literal| -> Result<Literal, ParseError> {
+        match lit {
+            Literal::Param(i) => match params.get(*i) {
+                Some(Literal::Param(_)) => Err(ParseError::new(
+                    "parameter values may not themselves be placeholders".to_string(),
+                    0,
+                )),
+                Some(v) => Ok(v.clone()),
+                None => Err(ParseError::new(
+                    format!("parameter ?{i} has no value ({} supplied)", params.len()),
+                    0,
+                )),
+            },
+            concrete => Ok(concrete.clone()),
+        }
+    };
+    Ok(match expr {
+        Expr::True => Expr::True,
+        Expr::Cmp { column, op, value } => {
+            Expr::Cmp { column: column.clone(), op: *op, value: subst(value)? }
+        }
+        Expr::In { column, values } => Expr::In {
+            column: column.clone(),
+            values: values.iter().map(subst).collect::<Result<Vec<_>, _>>()?,
+        },
+        Expr::Between { column, lo, hi } => {
+            Expr::Between { column: column.clone(), lo: subst(lo)?, hi: subst(hi)? }
+        }
+        Expr::And(children) => Expr::And(
+            children.iter().map(|c| substitute_params(c, params)).collect::<Result<Vec<_>, _>>()?,
+        ),
+        Expr::Or(children) => Expr::Or(
+            children.iter().map(|c| substitute_params(c, params)).collect::<Result<Vec<_>, _>>()?,
+        ),
+        Expr::Not(child) => Expr::Not(Box::new(substitute_params(child, params)?)),
+    })
 }
 
 /// Convert a (time-free) AST expression into an unbound storage
@@ -24,22 +73,22 @@ pub fn bind_expr(expr: &Expr) -> Result<Predicate, ParseError> {
                     0,
                 ));
             }
-            Ok(Predicate::Cmp { column: column.clone(), op: *op, value: literal_to_value(value) })
+            Ok(Predicate::Cmp { column: column.clone(), op: *op, value: literal_to_value(value)? })
         }
         Expr::In { column, values } => Ok(Predicate::In {
             column: column.clone(),
-            values: values.iter().map(literal_to_value).collect(),
+            values: values.iter().map(literal_to_value).collect::<Result<Vec<_>, _>>()?,
         }),
         Expr::Between { column, lo, hi } => Ok(Predicate::And(vec![
-            Predicate::Cmp { column: column.clone(), op: CmpOp::Ge, value: literal_to_value(lo) },
-            Predicate::Cmp { column: column.clone(), op: CmpOp::Le, value: literal_to_value(hi) },
+            Predicate::Cmp { column: column.clone(), op: CmpOp::Ge, value: literal_to_value(lo)? },
+            Predicate::Cmp { column: column.clone(), op: CmpOp::Le, value: literal_to_value(hi)? },
         ])),
-        Expr::And(children) => Ok(Predicate::And(
-            children.iter().map(bind_expr).collect::<Result<Vec<_>, _>>()?,
-        )),
-        Expr::Or(children) => Ok(Predicate::Or(
-            children.iter().map(bind_expr).collect::<Result<Vec<_>, _>>()?,
-        )),
+        Expr::And(children) => {
+            Ok(Predicate::And(children.iter().map(bind_expr).collect::<Result<Vec<_>, _>>()?))
+        }
+        Expr::Or(children) => {
+            Ok(Predicate::Or(children.iter().map(bind_expr).collect::<Result<Vec<_>, _>>()?))
+        }
         Expr::Not(child) => Ok(Predicate::Not(Box::new(bind_expr(child)?))),
     }
 }
@@ -53,53 +102,84 @@ pub struct BoundSelect {
     pub time_range: Option<(Timestamp, Timestamp)>,
 }
 
+/// A SELECT constraint split like [`BoundSelect`], but with the dimension
+/// part still in AST form — `?` placeholders intact — so a prepared
+/// statement can rebind it per execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitSelect {
+    /// Dimension-only constraint (may contain `?` placeholders).
+    pub dims: Expr,
+    /// Inclusive time range extracted from `t` conditions, if any.
+    pub time_range: Option<(Timestamp, Timestamp)>,
+}
+
+/// [`split_select_constraint`] followed by [`bind_expr`] on the dimension
+/// part: the one-shot form for statements without parameters.
+pub fn bind_select_constraint(stmt: &SelectStmt) -> Result<BoundSelect, ParseError> {
+    let split = split_select_constraint(stmt)?;
+    Ok(BoundSelect { predicate: bind_expr(&split.dims)?, time_range: split.time_range })
+}
+
 /// Split a SELECT statement's constraint: top-level conjuncts on `t`
-/// become the time range; the rest binds as a dimension predicate.
+/// become the time range; the rest stays as a dimension-only expression.
 /// Supported time forms: `t = v`, `t >= v`, `t > v`, `t <= v`, `t < v`,
-/// `t BETWEEN a AND b` (values are `YYYYMMDD` literals). Time conditions
+/// `t BETWEEN a AND b` (values are `YYYYMMDD` literals; `?` parameters are
+/// rejected on `t` so the planned scan range is static). Time conditions
 /// under OR/NOT are rejected — they would not describe a contiguous scan
 /// range.
-pub fn bind_select_constraint(stmt: &SelectStmt) -> Result<BoundSelect, ParseError> {
+pub fn split_select_constraint(stmt: &SelectStmt) -> Result<SplitSelect, ParseError> {
     let conjuncts: Vec<&Expr> = match &stmt.constraint {
         Expr::And(children) => children.iter().collect(),
         other => vec![other],
     };
     let mut lo: Option<Timestamp> = None;
     let mut hi: Option<Timestamp> = None;
-    let mut dims: Vec<Predicate> = Vec::new();
+    let mut dims: Vec<Expr> = Vec::new();
 
-    let apply_time =
-        |op: CmpOp, v: i64, lo: &mut Option<Timestamp>, hi: &mut Option<Timestamp>| -> Result<(), ParseError> {
-            let t = Timestamp::from_yyyymmdd(v)
-                .map_err(|e| ParseError::new(format!("bad time literal: {e}"), 0))?;
-            match op {
-                CmpOp::Eq => {
-                    *lo = Some(lo.map_or(t, |x| x.max(t)));
-                    *hi = Some(hi.map_or(t, |x| x.min(t)));
-                }
-                CmpOp::Ge => *lo = Some(lo.map_or(t, |x| x.max(t))),
-                CmpOp::Gt => *lo = Some(lo.map_or(t + 1, |x| x.max(t + 1))),
-                CmpOp::Le => *hi = Some(hi.map_or(t, |x| x.min(t))),
-                CmpOp::Lt => *hi = Some(hi.map_or(t - 1, |x| x.min(t - 1))),
-                CmpOp::Ne => {
-                    return Err(ParseError::new(
-                        "t <> … is not a contiguous time range".to_string(),
-                        0,
-                    ))
-                }
+    let apply_time = |op: CmpOp,
+                      v: i64,
+                      lo: &mut Option<Timestamp>,
+                      hi: &mut Option<Timestamp>|
+     -> Result<(), ParseError> {
+        let t = Timestamp::from_yyyymmdd(v)
+            .map_err(|e| ParseError::new(format!("bad time literal: {e}"), 0))?;
+        match op {
+            CmpOp::Eq => {
+                *lo = Some(lo.map_or(t, |x| x.max(t)));
+                *hi = Some(hi.map_or(t, |x| x.min(t)));
             }
-            Ok(())
-        };
+            CmpOp::Ge => *lo = Some(lo.map_or(t, |x| x.max(t))),
+            CmpOp::Gt => *lo = Some(lo.map_or(t + 1, |x| x.max(t + 1))),
+            CmpOp::Le => *hi = Some(hi.map_or(t, |x| x.min(t))),
+            CmpOp::Lt => *hi = Some(hi.map_or(t - 1, |x| x.min(t - 1))),
+            CmpOp::Ne => {
+                return Err(ParseError::new("t <> … is not a contiguous time range".to_string(), 0))
+            }
+        }
+        Ok(())
+    };
 
     for c in conjuncts {
         match c {
             Expr::Cmp { column, op, value } if column == TIME_COLUMN => {
+                if matches!(value, Literal::Param(_)) {
+                    return Err(ParseError::new(
+                        format!("'?' parameters may not constrain '{TIME_COLUMN}'"),
+                        0,
+                    ));
+                }
                 let Literal::Int(v) = value else {
                     return Err(ParseError::new("time literals must be integers".to_string(), 0));
                 };
                 apply_time(*op, *v, &mut lo, &mut hi)?;
             }
             Expr::Between { column, lo: l, hi: h } if column == TIME_COLUMN => {
+                if matches!(l, Literal::Param(_)) || matches!(h, Literal::Param(_)) {
+                    return Err(ParseError::new(
+                        format!("'?' parameters may not constrain '{TIME_COLUMN}'"),
+                        0,
+                    ));
+                }
                 let (Literal::Int(a), Literal::Int(b)) = (l, h) else {
                     return Err(ParseError::new("time literals must be integers".to_string(), 0));
                 };
@@ -112,14 +192,14 @@ pub fn bind_select_constraint(stmt: &SelectStmt) -> Result<BoundSelect, ParseErr
                     0,
                 ));
             }
-            other => dims.push(bind_expr(other)?),
+            other => dims.push(other.clone()),
         }
     }
 
-    let predicate = match dims.len() {
-        0 => Predicate::True,
+    let dims = match dims.len() {
+        0 => Expr::True,
         1 => dims.pop().expect("len checked"),
-        _ => Predicate::And(dims),
+        _ => Expr::And(dims),
     };
     let time_range = match (lo, hi) {
         (None, None) => None,
@@ -127,7 +207,7 @@ pub fn bind_select_constraint(stmt: &SelectStmt) -> Result<BoundSelect, ParseErr
         (Some(a), None) => Some((a, Timestamp(i64::MAX / 2))),
         (None, Some(b)) => Some((Timestamp(i64::MIN / 2), b)),
     };
-    Ok(BoundSelect { predicate, time_range })
+    Ok(SplitSelect { dims, time_range })
 }
 
 #[cfg(test)]
@@ -210,6 +290,50 @@ mod tests {
         })
         .unwrap();
         assert_eq!(p.to_string(), "(Age >= 20) AND (Age <= 30)");
+    }
+
+    #[test]
+    fn unbound_parameters_rejected() {
+        let s = select("SELECT SUM(m) FROM T WHERE Age <= ?");
+        let e = bind_expr(&s.constraint).unwrap_err();
+        assert!(e.message.contains("unbound parameter"));
+    }
+
+    #[test]
+    fn substitution_matches_a_fresh_parse() {
+        let template = select("SELECT SUM(m) FROM T WHERE Age <= ? AND Location IN (?, ?)");
+        let bound = substitute_params(
+            &template.constraint,
+            &[Literal::Int(30), Literal::Str("NY".into()), Literal::Str("WA".into())],
+        )
+        .unwrap();
+        let fresh = select("SELECT SUM(m) FROM T WHERE Age <= 30 AND Location IN ('NY', 'WA')");
+        assert_eq!(bound, fresh.constraint);
+        // Same predicate after binding, too.
+        assert_eq!(
+            bind_expr(&bound).unwrap().to_string(),
+            bind_expr(&fresh.constraint).unwrap().to_string()
+        );
+    }
+
+    #[test]
+    fn substitution_errors() {
+        let template = select("SELECT SUM(m) FROM T WHERE Age <= ?");
+        // Missing value.
+        assert!(substitute_params(&template.constraint, &[]).is_err());
+        // A placeholder as a value.
+        assert!(substitute_params(&template.constraint, &[Literal::Param(0)]).is_err());
+        // Extra values are tolerated by substitution itself.
+        let ok = substitute_params(&template.constraint, &[Literal::Int(1), Literal::Int(2)]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn time_parameters_rejected() {
+        let s = select("SELECT SUM(m) FROM T WHERE t = ?");
+        assert!(bind_select_constraint(&s).unwrap_err().message.contains("parameters"));
+        let s = select("SELECT SUM(m) FROM T WHERE t BETWEEN ? AND 20200131");
+        assert!(bind_select_constraint(&s).is_err());
     }
 
     #[test]

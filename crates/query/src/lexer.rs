@@ -27,6 +27,8 @@ pub enum TokenKind {
     Gt,
     Ge,
     Star,
+    /// `?` — a positional parameter placeholder.
+    Question,
     Eof,
 }
 
@@ -48,6 +50,7 @@ impl TokenKind {
             TokenKind::Gt => "'>'".to_string(),
             TokenKind::Ge => "'>='".to_string(),
             TokenKind::Star => "'*'".to_string(),
+            TokenKind::Question => "'?'".to_string(),
             TokenKind::Eof => "end of input".to_string(),
         }
     }
@@ -80,6 +83,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
             }
             '*' => {
                 tokens.push(Token { kind: TokenKind::Star, position: start });
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token { kind: TokenKind::Question, position: start });
                 i += 1;
             }
             '=' => {
@@ -236,15 +243,18 @@ mod tests {
 
     #[test]
     fn operators() {
-        assert_eq!(kinds("<> != < <= > >= =")[..7].to_vec(), vec![
-            TokenKind::Ne,
-            TokenKind::Ne,
-            TokenKind::Lt,
-            TokenKind::Le,
-            TokenKind::Gt,
-            TokenKind::Ge,
-            TokenKind::Eq,
-        ]);
+        assert_eq!(
+            kinds("<> != < <= > >= =")[..7].to_vec(),
+            vec![
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+            ]
+        );
     }
 
     #[test]
@@ -261,6 +271,19 @@ mod tests {
         assert!(e.message.contains("unterminated"));
         assert!(tokenize("! 3").is_err());
         assert!(tokenize("- x").is_err());
+    }
+
+    #[test]
+    fn question_marks_tokenize() {
+        assert_eq!(
+            kinds("age <= ?"),
+            vec![
+                TokenKind::Ident("age".to_string()),
+                TokenKind::Le,
+                TokenKind::Question,
+                TokenKind::Eof,
+            ]
+        );
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{Expr, ForecastStmt, Literal, OptionValue, SelectStmt, Statement, TIME_COLUMN};
-pub use binder::{bind_expr, bind_select_constraint, BoundSelect};
+pub use binder::{
+    bind_expr, bind_select_constraint, split_select_constraint, substitute_params, BoundSelect,
+    SplitSelect,
+};
 pub use error::ParseError;
 pub use parser::parse;

@@ -10,7 +10,7 @@ use flashp_storage::AggFunc;
 /// Parse one statement.
 pub fn parse(input: &str) -> Result<Statement, ParseError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, params: 0 };
     let stmt = p.statement()?;
     p.expect_eof()?;
     Ok(stmt)
@@ -19,6 +19,9 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Number of `?` placeholders consumed so far; placeholders are
+    /// numbered left-to-right in source order.
+    params: usize,
 }
 
 impl Parser {
@@ -83,7 +86,9 @@ impl Parser {
                 self.advance();
                 Ok(s)
             }
-            other => Err(self.error_here(format!("expected identifier, found {}", other.describe()))),
+            other => {
+                Err(self.error_here(format!("expected identifier, found {}", other.describe())))
+            }
         }
     }
 
@@ -103,14 +108,18 @@ impl Parser {
         if self.peek().kind == TokenKind::Eof {
             Ok(())
         } else {
-            Err(self.error_here(format!(
-                "unexpected trailing input: {}",
-                self.peek().kind.describe()
-            )))
+            Err(self
+                .error_here(format!("unexpected trailing input: {}", self.peek().kind.describe())))
         }
     }
 
     fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.accept_keyword("EXPLAIN") {
+            if self.at_keyword("EXPLAIN") {
+                return Err(self.error_here("EXPLAIN cannot be nested"));
+            }
+            return Ok(Statement::Explain(Box::new(self.statement()?)));
+        }
         if self.accept_keyword("FORECAST") {
             return Ok(Statement::Forecast(self.forecast_body()?));
         }
@@ -118,7 +127,7 @@ impl Parser {
             return Ok(Statement::Select(self.select_body()?));
         }
         Err(self.error_here(format!(
-            "expected FORECAST or SELECT, found {}",
+            "expected FORECAST, SELECT or EXPLAIN, found {}",
             self.peek().kind.describe()
         )))
     }
@@ -153,6 +162,38 @@ impl Parser {
         self.expect_token(&TokenKind::Comma)?;
         let t_end = self.expect_int()?;
         self.expect_token(&TokenKind::RParen)?;
+        let options = self.options_clause()?;
+        if constraint.references(TIME_COLUMN) {
+            return Err(ParseError::new(
+                format!("FORECAST constraints may not reference '{TIME_COLUMN}'; use USING (start, end)"),
+                0,
+            ));
+        }
+        Ok(ForecastStmt { agg, measure, table, constraint, t_start, t_end, options })
+    }
+
+    fn select_body(&mut self) -> Result<SelectStmt, ParseError> {
+        let (agg, measure, table) = self.agg_from()?;
+        let constraint = if self.accept_keyword("WHERE") { self.expr()? } else { Expr::True };
+        let mut group_by_time = false;
+        if self.accept_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            let pos = self.peek().position;
+            let col = self.expect_ident()?;
+            if col != TIME_COLUMN {
+                return Err(ParseError::new(
+                    format!("only GROUP BY {TIME_COLUMN} is supported, got '{col}'"),
+                    pos,
+                ));
+            }
+            group_by_time = true;
+        }
+        let options = self.options_clause()?;
+        Ok(SelectStmt { agg, measure, table, constraint, group_by_time, options })
+    }
+
+    /// `OPTION (key = value, …)`, if present.
+    fn options_clause(&mut self) -> Result<Vec<(String, OptionValue)>, ParseError> {
         let mut options = Vec::new();
         if self.accept_keyword("OPTION") {
             self.expect_token(&TokenKind::LParen)?;
@@ -179,32 +220,7 @@ impl Parser {
             }
             self.expect_token(&TokenKind::RParen)?;
         }
-        if constraint.references(TIME_COLUMN) {
-            return Err(ParseError::new(
-                format!("FORECAST constraints may not reference '{TIME_COLUMN}'; use USING (start, end)"),
-                0,
-            ));
-        }
-        Ok(ForecastStmt { agg, measure, table, constraint, t_start, t_end, options })
-    }
-
-    fn select_body(&mut self) -> Result<SelectStmt, ParseError> {
-        let (agg, measure, table) = self.agg_from()?;
-        let constraint = if self.accept_keyword("WHERE") { self.expr()? } else { Expr::True };
-        let mut group_by_time = false;
-        if self.accept_keyword("GROUP") {
-            self.expect_keyword("BY")?;
-            let pos = self.peek().position;
-            let col = self.expect_ident()?;
-            if col != TIME_COLUMN {
-                return Err(ParseError::new(
-                    format!("only GROUP BY {TIME_COLUMN} is supported, got '{col}'"),
-                    pos,
-                ));
-            }
-            group_by_time = true;
-        }
-        Ok(SelectStmt { agg, measure, table, constraint, group_by_time })
+        Ok(options)
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
@@ -216,7 +232,11 @@ impl Parser {
         while self.accept_keyword("OR") {
             children.push(self.and_expr()?);
         }
-        Ok(if children.len() == 1 { children.pop().expect("non-empty") } else { Expr::Or(children) })
+        Ok(if children.len() == 1 {
+            children.pop().expect("non-empty")
+        } else {
+            Expr::Or(children)
+        })
     }
 
     fn and_expr(&mut self) -> Result<Expr, ParseError> {
@@ -224,7 +244,11 @@ impl Parser {
         while self.accept_keyword("AND") {
             children.push(self.not_expr()?);
         }
-        Ok(if children.len() == 1 { children.pop().expect("non-empty") } else { Expr::And(children) })
+        Ok(if children.len() == 1 {
+            children.pop().expect("non-empty")
+        } else {
+            Expr::And(children)
+        })
     }
 
     fn not_expr(&mut self) -> Result<Expr, ParseError> {
@@ -294,9 +318,12 @@ impl Parser {
         match self.advance().kind {
             TokenKind::Int(v) => Ok(Literal::Int(v)),
             TokenKind::Str(s) => Ok(Literal::Str(s)),
-            other => {
-                Err(self.error_here(format!("expected literal, found {}", other.describe())))
+            TokenKind::Question => {
+                let index = self.params;
+                self.params += 1;
+                Ok(Literal::Param(index))
             }
+            other => Err(self.error_here(format!("expected literal, found {}", other.describe()))),
         }
     }
 }
@@ -322,7 +349,11 @@ mod tests {
             f.constraint,
             Expr::And(vec![
                 Expr::Cmp { column: "Age".into(), op: CmpOp::Le, value: Literal::Int(30) },
-                Expr::Cmp { column: "Gender".into(), op: CmpOp::Eq, value: Literal::Str("F".into()) },
+                Expr::Cmp {
+                    column: "Gender".into(),
+                    op: CmpOp::Eq,
+                    value: Literal::Str("F".into())
+                },
             ])
         );
     }
@@ -354,8 +385,7 @@ mod tests {
 
     #[test]
     fn parses_group_by_t() {
-        let stmt =
-            parse("SELECT COUNT(*) FROM T WHERE Age > 50 GROUP BY t").unwrap();
+        let stmt = parse("SELECT COUNT(*) FROM T WHERE Age > 50 GROUP BY t").unwrap();
         let Statement::Select(s) = stmt else { panic!() };
         assert!(s.group_by_time);
         assert_eq!(s.measure, "*");
@@ -404,10 +434,8 @@ mod tests {
 
     #[test]
     fn forecast_constraint_on_time_rejected() {
-        let e = parse(
-            "FORECAST SUM(m) FROM T WHERE t = 20200101 USING (20200101, 20200201)",
-        )
-        .unwrap_err();
+        let e = parse("FORECAST SUM(m) FROM T WHERE t = 20200101 USING (20200101, 20200201)")
+            .unwrap_err();
         assert!(e.message.contains("USING"));
     }
 
@@ -420,6 +448,63 @@ mod tests {
         assert!(e.message.contains("expected"));
         let e = parse("SELECT SUM(m) FROM T extra").unwrap_err();
         assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn parses_parameters_in_source_order() {
+        let stmt = parse(
+            "FORECAST SUM(m) FROM T WHERE age <= ? AND city IN (?, ?) AND seg BETWEEN ? AND 9 \
+             USING (20200101, 20200131)",
+        )
+        .unwrap();
+        let Statement::Forecast(f) = stmt else { panic!() };
+        assert_eq!(f.num_params(), 4);
+        let Expr::And(parts) = &f.constraint else { panic!() };
+        assert_eq!(
+            parts[0],
+            Expr::Cmp { column: "age".into(), op: CmpOp::Le, value: Literal::Param(0) }
+        );
+        assert!(matches!(&parts[1], Expr::In { values, .. }
+            if values == &[Literal::Param(1), Literal::Param(2)]));
+        assert!(matches!(&parts[2], Expr::Between { lo: Literal::Param(3), .. }));
+    }
+
+    #[test]
+    fn parameterized_statement_display_round_trips() {
+        let text = "SELECT SUM(m) FROM T WHERE (age <= ?) AND (gender = ?) GROUP BY t";
+        let stmt = parse(text).unwrap();
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        assert_eq!(stmt, reparsed, "? placeholders must re-parse to the same indices");
+    }
+
+    #[test]
+    fn parses_explain() {
+        let stmt =
+            parse("EXPLAIN FORECAST SUM(m) FROM T WHERE a = 1 USING (20200101, 20200131)").unwrap();
+        let Statement::Explain(inner) = &stmt else { panic!("expected EXPLAIN") };
+        assert!(matches!(**inner, Statement::Forecast(_)));
+        // Display round-trips with the prefix.
+        assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+        // EXPLAIN of SELECT works too; nesting is rejected.
+        assert!(parse("EXPLAIN SELECT SUM(m) FROM T").is_ok());
+        let e = parse("EXPLAIN EXPLAIN SELECT SUM(m) FROM T").unwrap_err();
+        assert!(e.message.contains("nested"));
+    }
+
+    #[test]
+    fn parses_select_options() {
+        let stmt = parse("SELECT SUM(m) FROM T GROUP BY t OPTION (SAMPLE_RATE = 0.01)").unwrap();
+        let Statement::Select(s) = &stmt else { panic!() };
+        assert_eq!(s.option("sample_rate").unwrap().as_float(), Some(0.01));
+        assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+    }
+
+    #[test]
+    fn parameters_rejected_outside_literal_positions() {
+        // USING range takes integers, not parameters.
+        assert!(parse("FORECAST SUM(m) FROM T USING (?, 20200131)").is_err());
+        // Option values are not parameterizable.
+        assert!(parse("SELECT SUM(m) FROM T OPTION (SAMPLE_RATE = ?)").is_err());
     }
 
     #[test]

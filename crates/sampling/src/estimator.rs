@@ -45,20 +45,69 @@ pub fn estimate_agg(
     estimate_agg_with(sample, measure_idx, pred, agg, &mut MaskScratch::new())
 }
 
-/// [`estimate_agg`] drawing mask buffers from `scratch`, so a caller
-/// estimating many timestamps (the Eq. 4 query batch) reuses one set of
-/// buffers across all of them.
+/// The raw Horvitz–Thompson accumulators of one estimation pass — every
+/// aggregate finalizes from these, so a caller that needs several (e.g. a
+/// range AVG built from total SUM and COUNT) pays for one scan.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EstimateComponents {
+    /// `Σ m_i/π_i` over matched sampled rows.
+    pub sum_hat: f64,
+    /// HT variance estimate of `sum_hat`.
+    pub sum_var: f64,
+    /// `Σ 1/π_i` over matched sampled rows.
+    pub count_hat: f64,
+    /// HT variance estimate of `count_hat`.
+    pub count_var: f64,
+    /// Number of sampled rows that matched the constraint.
+    pub matched_rows: usize,
+}
+
+impl EstimateComponents {
+    /// Merge accumulators from an independent sample (per-partition
+    /// samples are drawn independently, so variances add).
+    pub fn merge(&mut self, other: &EstimateComponents) {
+        self.sum_hat += other.sum_hat;
+        self.sum_var += other.sum_var;
+        self.count_hat += other.count_hat;
+        self.count_var += other.count_var;
+        self.matched_rows += other.matched_rows;
+    }
+
+    /// Finalize into the requested aggregate.
+    pub fn finalize(&self, agg: AggFunc) -> Estimate {
+        match agg {
+            AggFunc::Sum => Estimate {
+                value: self.sum_hat,
+                variance: Some(self.sum_var),
+                matched_rows: self.matched_rows,
+            },
+            AggFunc::Count => Estimate {
+                value: self.count_hat,
+                variance: Some(self.count_var),
+                matched_rows: self.matched_rows,
+            },
+            AggFunc::Avg => {
+                let value =
+                    if self.count_hat > 0.0 { self.sum_hat / self.count_hat } else { f64::NAN };
+                // Ratio estimator: approximately unbiased; no plug-in
+                // variance.
+                Estimate { value, variance: None, matched_rows: self.matched_rows }
+            }
+        }
+    }
+}
+
+/// One estimation pass producing the raw HT accumulators.
 ///
 /// The matched-row loop is word-at-a-time over the selection mask and uses
 /// the sample's build-time precomputed `w = 1/π_i` (the HT variance weight
 /// `(1−π)/π²` falls out as `w² − w`) — no division per matched row.
-pub fn estimate_agg_with(
+pub fn estimate_components_with(
     sample: &Sample,
     measure_idx: usize,
     pred: &CompiledPredicate,
-    agg: AggFunc,
     scratch: &mut MaskScratch,
-) -> Result<Estimate, SamplingError> {
+) -> Result<EstimateComponents, SamplingError> {
     let num_measures = sample.rows().measures().len();
     if measure_idx >= num_measures {
         return Err(SamplingError::BadMeasure { index: measure_idx, num_measures });
@@ -67,35 +116,32 @@ pub fn estimate_agg_with(
     let values = sample.rows().measure(measure_idx);
     let inv_pi = sample.inverse_inclusion_probabilities();
 
-    let mut sum_hat = 0.0;
-    let mut sum_var = 0.0;
-    let mut count_hat = 0.0;
-    let mut count_var = 0.0;
-    let mut matched = 0usize;
+    let mut c = EstimateComponents::default();
     mask.for_each_one(|i| {
         let w = inv_pi[i];
         let m = values[i];
-        sum_hat += m * w;
-        count_hat += w;
+        c.sum_hat += m * w;
+        c.count_hat += w;
         let q = w * w - w; // (1−π)/π² expressed in the precomputed 1/π
-        sum_var += m * m * q;
-        count_var += q;
-        matched += 1;
+        c.sum_var += m * m * q;
+        c.count_var += q;
+        c.matched_rows += 1;
     });
     scratch.release(mask);
+    Ok(c)
+}
 
-    let estimate = match agg {
-        AggFunc::Sum => Estimate { value: sum_hat, variance: Some(sum_var), matched_rows: matched },
-        AggFunc::Count => {
-            Estimate { value: count_hat, variance: Some(count_var), matched_rows: matched }
-        }
-        AggFunc::Avg => {
-            let value = if count_hat > 0.0 { sum_hat / count_hat } else { f64::NAN };
-            // Ratio estimator: approximately unbiased; no plug-in variance.
-            Estimate { value, variance: None, matched_rows: matched }
-        }
-    };
-    Ok(estimate)
+/// [`estimate_agg`] drawing mask buffers from `scratch`, so a caller
+/// estimating many timestamps (the Eq. 4 query batch) reuses one set of
+/// buffers across all of them.
+pub fn estimate_agg_with(
+    sample: &Sample,
+    measure_idx: usize,
+    pred: &CompiledPredicate,
+    agg: AggFunc,
+    scratch: &mut MaskScratch,
+) -> Result<Estimate, SamplingError> {
+    Ok(estimate_components_with(sample, measure_idx, pred, scratch)?.finalize(agg))
 }
 
 #[cfg(test)]
@@ -110,8 +156,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup(n: usize) -> (SchemaRef, Partition, CompiledPredicate, CompiledPredicate) {
-        let schema =
-            Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let schema = Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
         let p = Partition::from_columns(
             vec![DimensionColumn::Int64((0..n as i64).collect())],
             vec![(0..n).map(|i| 1.0 + (i % 97) as f64).collect()],
@@ -148,7 +193,8 @@ mod tests {
         // Empirical Var(M̂) over many replications ≈ mean of HT variance
         // estimates.
         let (schema, p, half, _) = setup(4000);
-        let sampler = GswSampler::with_size(WeightStrategy::SingleMeasure(0), SampleSize::Rate(0.05));
+        let sampler =
+            GswSampler::with_size(WeightStrategy::SingleMeasure(0), SampleSize::Rate(0.05));
         let mut estimates = Vec::new();
         let mut var_estimates = Vec::new();
         for seed in 0..400 {

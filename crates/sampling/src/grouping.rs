@@ -73,7 +73,10 @@ pub fn measure_distances(
 /// is the point with the largest total distance (a deterministic,
 /// reasonable seed); each further center is the point farthest from its
 /// nearest existing center; finally every point joins its nearest center.
-pub fn kcenter_groups(dist: &[Vec<f64>], num_groups: usize) -> Result<MeasureGroups, SamplingError> {
+pub fn kcenter_groups(
+    dist: &[Vec<f64>],
+    num_groups: usize,
+) -> Result<MeasureGroups, SamplingError> {
     let k = dist.len();
     if k == 0 {
         return Err(SamplingError::InvalidParam("no measures to group".to_string()));
@@ -94,9 +97,7 @@ pub fn kcenter_groups(dist: &[Vec<f64>], num_groups: usize) -> Result<MeasureGro
     let mut centers = vec![first];
     let mut nearest: Vec<f64> = (0..k).map(|i| dist[first][i]).collect();
     while centers.len() < g {
-        let far = (0..k)
-            .max_by(|&a, &b| nearest[a].total_cmp(&nearest[b]))
-            .expect("k > 0");
+        let far = (0..k).max_by(|&a, &b| nearest[a].total_cmp(&nearest[b])).expect("k > 0");
         if nearest[far] == 0.0 {
             break; // all points coincide with existing centers
         }

@@ -162,11 +162,8 @@ impl Sampler for GswSampler {
 /// Materialize the rows at `indices` into a new partition.
 pub(crate) fn gather_rows(partition: &Partition, indices: &[usize]) -> Partition {
     let dims = partition.dims().iter().map(|c| c.gather(indices)).collect();
-    let measures = partition
-        .measures()
-        .iter()
-        .map(|m| indices.iter().map(|&i| m[i]).collect())
-        .collect();
+    let measures =
+        partition.measures().iter().map(|m| indices.iter().map(|&i| m[i]).collect()).collect();
     Partition::from_columns(dims, measures).expect("gathered columns have equal length")
 }
 
@@ -177,12 +174,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn schema() -> SchemaRef {
-        flashp_storage::Schema::from_names(
-            &[("k", flashp_storage::DataType::Int64)],
-            &["m1", "m2"],
-        )
-        .unwrap()
-        .into_shared()
+        flashp_storage::Schema::from_names(&[("k", flashp_storage::DataType::Int64)], &["m1", "m2"])
+            .unwrap()
+            .into_shared()
     }
 
     fn partition(n: usize, value: impl Fn(usize) -> f64) -> Partition {
@@ -228,11 +222,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let s = sampler.sample(&schema, &p, &mut rng).unwrap();
         // |S| is a sum of independent Bernoullis with E = 500; 5σ ≈ 110.
-        assert!(
-            (s.num_rows() as f64 - 500.0).abs() < 120.0,
-            "sample size = {}",
-            s.num_rows()
-        );
+        assert!((s.num_rows() as f64 - 500.0).abs() < 120.0, "sample size = {}", s.num_rows());
     }
 
     #[test]

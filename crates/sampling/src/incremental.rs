@@ -108,7 +108,9 @@ impl IncrementalGswSample {
         p: f64,
     ) -> Result<bool, SamplingError> {
         if !weight.is_finite() || weight <= 0.0 {
-            return Err(SamplingError::InvalidParam(format!("weight must be positive, got {weight}")));
+            return Err(SamplingError::InvalidParam(format!(
+                "weight must be positive, got {weight}"
+            )));
         }
         if !(p > 0.0 && p <= 1.0) {
             return Err(SamplingError::InvalidParam(format!("p must be in (0,1], got {p}")));
@@ -247,8 +249,7 @@ mod tests {
         assert!(inc.len() < before);
 
         // Direct membership at Δ′ = 40.
-        let direct: Vec<bool> =
-            (0..n).map(|i| ps[i] <= ws[i] / (40.0 + ws[i])).collect();
+        let direct: Vec<bool> = (0..n).map(|i| ps[i] <= ws[i] / (40.0 + ws[i])).collect();
         let direct_count = direct.iter().filter(|b| **b).count();
         assert_eq!(inc.len(), direct_count);
         let s = inc.to_sample().unwrap();
@@ -296,8 +297,7 @@ mod tests {
                 s.insert(vec![i as i64], vec![m], m, &mut rng).unwrap();
             }
             let sample = s.to_sample().unwrap();
-            let est: f64 =
-                (0..sample.num_rows()).map(|r| sample.calibrated(0, r)).sum();
+            let est: f64 = (0..sample.num_rows()).map(|r| sample.calibrated(0, r)).sum();
             total += est;
         }
         let mean = total / reps as f64;

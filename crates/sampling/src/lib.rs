@@ -43,7 +43,9 @@ pub mod universe;
 pub mod weights;
 
 pub use error::SamplingError;
-pub use estimator::{estimate_agg, estimate_agg_with, Estimate};
+pub use estimator::{
+    estimate_agg, estimate_agg_with, estimate_components_with, Estimate, EstimateComponents,
+};
 pub use grouping::{group_measures, MeasureGroups};
 pub use gsw::{delta_for_expected_size, GswSampler};
 pub use incremental::IncrementalGswSample;

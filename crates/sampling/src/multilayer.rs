@@ -67,7 +67,10 @@ impl MultiLayerSamples {
         rates.sort_by(|a, b| b.partial_cmp(a).expect("finite rates"));
         rates.dedup();
         MultiLayerSamples {
-            layers: rates.into_iter().map(|rate| Layer { rate, samples: BTreeMap::new() }).collect(),
+            layers: rates
+                .into_iter()
+                .map(|rate| Layer { rate, samples: BTreeMap::new() })
+                .collect(),
         }
     }
 
@@ -95,11 +98,9 @@ impl MultiLayerSamples {
         match policy {
             // Layers are sorted descending, so the last adequate layer is
             // the smallest adequate one.
-            LayerSelection::CheapestAdequate => self
-                .layers
-                .iter()
-                .rfind(|l| l.rate >= requested_rate)
-                .or(self.layers.first()),
+            LayerSelection::CheapestAdequate => {
+                self.layers.iter().rfind(|l| l.rate >= requested_rate).or(self.layers.first())
+            }
             LayerSelection::Closest => self.layers.iter().min_by(|a, b| {
                 let da = (a.rate.ln() - requested_rate.ln()).abs();
                 let db = (b.rate.ln() - requested_rate.ln()).abs();

@@ -89,19 +89,13 @@ impl Sampler for PrioritySampler {
             })
             .collect();
         // Partial sort: highest k+1 priorities first.
-        priorities
-            .select_nth_unstable_by(k, |a, b| b.0.total_cmp(&a.0));
+        priorities.select_nth_unstable_by(k, |a, b| b.0.total_cmp(&a.0));
         let tau = priorities[k].0; // (k+1)-st largest priority
-        let mut kept: Vec<usize> = priorities[..k]
-            .iter()
-            .filter(|(q, _)| *q > 0.0)
-            .map(|(_, i)| *i)
-            .collect();
+        let mut kept: Vec<usize> =
+            priorities[..k].iter().filter(|(q, _)| *q > 0.0).map(|(_, i)| *i).collect();
         kept.sort_unstable();
-        let pi: Vec<f64> = kept
-            .iter()
-            .map(|&i| if tau > 0.0 { (m[i] / tau).min(1.0) } else { 1.0 })
-            .collect();
+        let pi: Vec<f64> =
+            kept.iter().map(|&i| if tau > 0.0 { (m[i] / tau).min(1.0) } else { 1.0 }).collect();
         let rows = gather_rows(partition, &kept);
         Sample::new(schema.clone(), rows, pi, n, self.name(), MeasureScope::Single(self.measure))
     }
@@ -114,8 +108,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup(values: Vec<f64>) -> (SchemaRef, Partition) {
-        let schema =
-            Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let schema = Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
         let n = values.len();
         let p = Partition::from_columns(
             vec![DimensionColumn::Int64((0..n as i64).collect())],
@@ -148,8 +141,7 @@ mod tests {
     #[test]
     fn unbiased_over_replications() {
         // Heavy-tailed data: a few large values among many small.
-        let values: Vec<f64> =
-            (0..2000).map(|i| if i % 200 == 0 { 1000.0 } else { 1.0 }).collect();
+        let values: Vec<f64> = (0..2000).map(|i| if i % 200 == 0 { 1000.0 } else { 1.0 }).collect();
         let truth: f64 = values.iter().sum();
         let (schema, p) = setup(values);
         let sampler = PrioritySampler::new(0, SampleSize::Expected(100));
@@ -167,9 +159,8 @@ mod tests {
     #[test]
     fn rstd_is_near_theoretical_optimum() {
         // RSTD ≤ sqrt(1/(k−1)) per Szegedy's theorem.
-        let values: Vec<f64> = (0..3000)
-            .map(|i| if i % 100 == 0 { 300.0 } else { 1.0 + (i % 7) as f64 })
-            .collect();
+        let values: Vec<f64> =
+            (0..3000).map(|i| if i % 100 == 0 { 300.0 } else { 1.0 + (i % 7) as f64 }).collect();
         let truth: f64 = values.iter().sum();
         let (schema, p) = setup(values);
         let k = 101;
@@ -197,8 +188,7 @@ mod tests {
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(seed);
             let s = sampler.sample(&schema, &p, &mut rng).unwrap();
-            let found =
-                (0..s.num_rows()).any(|r| s.rows().measure(0)[r] == 1e9);
+            let found = (0..s.num_rows()).any(|r| s.rows().measure(0)[r] == 1e9);
             assert!(found, "seed {seed}: heavy hitter missing");
         }
     }

@@ -102,8 +102,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup(values: Vec<f64>) -> (SchemaRef, Partition) {
-        let schema =
-            Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let schema = Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
         let n = values.len();
         let p = Partition::from_columns(
             vec![DimensionColumn::Int64((0..n as i64).collect())],
@@ -135,8 +134,7 @@ mod tests {
 
     #[test]
     fn unbiased_over_replications() {
-        let values: Vec<f64> =
-            (0..1000).map(|i| if i % 100 == 0 { 400.0 } else { 2.0 }).collect();
+        let values: Vec<f64> = (0..1000).map(|i| if i % 100 == 0 { 400.0 } else { 2.0 }).collect();
         let truth: f64 = values.iter().sum();
         let (schema, p) = setup(values);
         let sampler = ThresholdSampler::new(0, SampleSize::Expected(80));

@@ -70,8 +70,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup(n: usize) -> (SchemaRef, Partition) {
-        let schema =
-            Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let schema = Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
         let p = Partition::from_columns(
             vec![DimensionColumn::Int64((0..n as i64).collect())],
             vec![(0..n).map(|i| (i + 1) as f64).collect()],
@@ -109,9 +108,8 @@ mod tests {
     fn expected_size_resolves_to_rate() {
         let (schema, p) = setup(1000);
         let mut rng = StdRng::seed_from_u64(1);
-        let s = UniformSampler::new(SampleSize::Expected(100))
-            .sample(&schema, &p, &mut rng)
-            .unwrap();
+        let s =
+            UniformSampler::new(SampleSize::Expected(100)).sample(&schema, &p, &mut rng).unwrap();
         assert!((s.num_rows() as f64 - 100.0).abs() < 60.0);
         assert!(s.inclusion_probabilities().iter().all(|&x| (x - 0.1).abs() < 1e-12));
     }

@@ -85,11 +85,8 @@ mod tests {
         let schema =
             Schema::from_names(&[("user", DataType::Int64)], &["m"]).unwrap().into_shared();
         let n = keys.len();
-        let p = Partition::from_columns(
-            vec![DimensionColumn::Int64(keys)],
-            vec![vec![1.0; n]],
-        )
-        .unwrap();
+        let p = Partition::from_columns(vec![DimensionColumn::Int64(keys)], vec![vec![1.0; n]])
+            .unwrap();
         (schema, p)
     }
 
@@ -101,12 +98,10 @@ mod tests {
         let sampler = UniverseSampler::new(0, SampleSize::Rate(0.3), 42);
         let mut rng = StdRng::seed_from_u64(0);
         let s = sampler.sample(&schema, &p, &mut rng).unwrap();
-        let kept: HashSet<i64> =
-            (0..s.num_rows()).map(|r| s.rows().dim(0).get_i64(r)).collect();
+        let kept: HashSet<i64> = (0..s.num_rows()).map(|r| s.rows().dim(0).get_i64(r)).collect();
         // Every kept key must appear exactly 5 times.
         for key in kept {
-            let count =
-                (0..s.num_rows()).filter(|&r| s.rows().dim(0).get_i64(r) == key).count();
+            let count = (0..s.num_rows()).filter(|&r| s.rows().dim(0).get_i64(r) == key).count();
             assert_eq!(count, 5, "key {key} fragmented");
         }
     }

@@ -127,11 +127,8 @@ mod tests {
 
     fn partition(m1: Vec<f64>, m2: Vec<f64>) -> Partition {
         let n = m1.len();
-        Partition::from_columns(
-            vec![DimensionColumn::Int64((0..n as i64).collect())],
-            vec![m1, m2],
-        )
-        .unwrap()
+        Partition::from_columns(vec![DimensionColumn::Int64((0..n as i64).collect())], vec![m1, m2])
+            .unwrap()
     }
 
     #[test]

@@ -25,13 +25,18 @@ const REPS: usize = 300;
 /// A two-measure partition with ~1% heavy-tail rows and a `seg` dimension
 /// for selective predicates. Fixed seed → identical across runs.
 fn heavy_tail_partition() -> (SchemaRef, Partition) {
-    let schema = Schema::from_names(&[("seg", DataType::Int64)], &["m1", "m2"])
-        .unwrap()
-        .into_shared();
+    let schema =
+        Schema::from_names(&[("seg", DataType::Int64)], &["m1", "m2"]).unwrap().into_shared();
     let mut rng = StdRng::seed_from_u64(0xF1A5);
     let seg: Vec<i64> = (0..ROWS).map(|_| rng.gen_range(0..100i64)).collect();
     let m1: Vec<f64> = (0..ROWS)
-        .map(|_| if rng.gen::<f64>() < 0.01 { 400.0 + 100.0 * rng.gen::<f64>() } else { 1.0 + rng.gen::<f64>() })
+        .map(|_| {
+            if rng.gen::<f64>() < 0.01 {
+                400.0 + 100.0 * rng.gen::<f64>()
+            } else {
+                1.0 + rng.gen::<f64>()
+            }
+        })
         .collect();
     // m2 correlated with m1 (the compressed-GSW use case).
     let m2: Vec<f64> = m1.iter().map(|v| v * (0.5 + rng.gen::<f64>())).collect();
@@ -206,8 +211,5 @@ fn optimal_gsw_beats_uniform_on_heavy_tail() {
     };
     let gsw = spread(&GswSampler::optimal(0, SampleSize::Rate(0.05)), 5);
     let uni = spread(&UniformSampler::new(SampleSize::Rate(0.05)), 5);
-    assert!(
-        gsw < 0.5 * uni,
-        "optimal GSW RMSE {gsw:.1} not clearly below uniform RMSE {uni:.1}"
-    );
+    assert!(gsw < 0.5 * uni, "optimal GSW RMSE {gsw:.1} not clearly below uniform RMSE {uni:.1}");
 }

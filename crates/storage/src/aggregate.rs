@@ -275,8 +275,7 @@ mod tests {
             for value in [-1i64, 0, 5, 16, 17, 100] {
                 let fused = aggregate_filtered(&p, 0, 0, op, value);
                 let pred = CompiledPredicate::Cmp { dim: 0, op, value };
-                let exact =
-                    crate::reference::aggregate_masked_scalar(&p, 0, &pred.evaluate(&p));
+                let exact = crate::reference::aggregate_masked_scalar(&p, 0, &pred.evaluate(&p));
                 assert_eq!(fused, exact, "op {op:?} value {value}");
             }
         }

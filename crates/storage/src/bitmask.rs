@@ -163,7 +163,12 @@ impl Bitmask {
 
     /// Iterate indices of selected rows in ascending order.
     pub fn iter_ones(&self) -> OnesIter<'_> {
-        OnesIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0), len: self.len }
+        OnesIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            len: self.len,
+        }
     }
 
     /// Zero any bits beyond `len` in the last word (they must stay zero for

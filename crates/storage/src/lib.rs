@@ -38,7 +38,7 @@ pub mod types;
 
 pub use aggregate::{aggregate_filtered, AggFunc, AggState};
 pub use bitmask::Bitmask;
-pub use column::{DimensionColumn, Dictionary};
+pub use column::{Dictionary, DimensionColumn};
 pub use error::StorageError;
 pub use partition::{Partition, PartitionBuilder};
 pub use predicate::{CmpOp, CompiledPredicate, InLookup, MaskScratch, Predicate};

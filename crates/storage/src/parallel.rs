@@ -115,13 +115,18 @@ mod tests {
         // One heavy item plus many light ones; dynamic scheduling must not
         // deadlock or drop results.
         let items: Vec<usize> = (0..64).collect();
-        let out = parallel_map(&items, 8, |&x| {
-            if x == 0 {
-                (0..100_000u64).sum::<u64>() as usize
-            } else {
-                x
-            }
-        });
+        let out =
+            parallel_map(
+                &items,
+                8,
+                |&x| {
+                    if x == 0 {
+                        (0..100_000u64).sum::<u64>() as usize
+                    } else {
+                        x
+                    }
+                },
+            );
         assert_eq!(out.len(), 64);
         assert_eq!(out[1], 1);
     }

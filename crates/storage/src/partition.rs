@@ -35,7 +35,11 @@ impl Partition {
         dims: Vec<DimensionColumn>,
         measures: Vec<Vec<f64>>,
     ) -> Result<Self, StorageError> {
-        let num_rows = dims.first().map(|c| c.len()).or_else(|| measures.first().map(|m| m.len())).unwrap_or(0);
+        let num_rows = dims
+            .first()
+            .map(|c| c.len())
+            .or_else(|| measures.first().map(|m| m.len()))
+            .unwrap_or(0);
         for c in &dims {
             if c.len() != num_rows {
                 return Err(StorageError::LengthMismatch { expected: num_rows, got: c.len() });
@@ -86,7 +90,8 @@ impl Partition {
 
     /// Approximate heap footprint in bytes.
     pub fn byte_size(&self) -> usize {
-        self.dims.iter().map(|c| c.byte_size()).sum::<usize>() + self.measures.len() * self.num_rows * 8
+        self.dims.iter().map(|c| c.byte_size()).sum::<usize>()
+            + self.measures.len() * self.num_rows * 8
     }
 
     /// Append one row. `dims` must match the schema's dimension order and
@@ -158,12 +163,22 @@ impl PartitionBuilder {
     /// Append one row of raw numeric dimension values (dictionary codes for
     /// categorical columns) and measures. The caller is responsible for
     /// having interned any categorical codes beforehand.
-    pub fn push_raw_row(&mut self, dim_values: &[i64], measures: &[f64]) -> Result<(), StorageError> {
+    pub fn push_raw_row(
+        &mut self,
+        dim_values: &[i64],
+        measures: &[f64],
+    ) -> Result<(), StorageError> {
         if dim_values.len() != self.dims.len() {
-            return Err(StorageError::LengthMismatch { expected: self.dims.len(), got: dim_values.len() });
+            return Err(StorageError::LengthMismatch {
+                expected: self.dims.len(),
+                got: dim_values.len(),
+            });
         }
         if measures.len() != self.measures.len() {
-            return Err(StorageError::LengthMismatch { expected: self.measures.len(), got: measures.len() });
+            return Err(StorageError::LengthMismatch {
+                expected: self.measures.len(),
+                got: measures.len(),
+            });
         }
         for (col, &v) in self.dims.iter_mut().zip(dim_values) {
             match col {
@@ -231,9 +246,7 @@ mod tests {
         let mut dicts: Vec<Option<Dictionary>> = vec![None, None];
         let mut p = Partition::empty(&s);
         assert!(p.push_row(&s, &mut dicts, &[Value::Int(30)], &[5.0, 1.6]).is_err());
-        assert!(p
-            .push_row(&s, &mut dicts, &[Value::Int(30), Value::from("F")], &[5.0])
-            .is_err());
+        assert!(p.push_row(&s, &mut dicts, &[Value::Int(30), Value::from("F")], &[5.0]).is_err());
     }
 
     #[test]

@@ -136,8 +136,7 @@ mod tests {
             vec![vec![10.0, 20.0, 30.0, 40.0]],
         )
         .unwrap();
-        let pred =
-            Predicate::cmp("k", CmpOp::Ge, 3).compile(&schema, &[None]).unwrap();
+        let pred = Predicate::cmp("k", CmpOp::Ge, 3).compile(&schema, &[None]).unwrap();
         let mask = evaluate_scalar(&pred, &p);
         assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![2, 3]);
         let s = aggregate_masked_scalar(&p, 0, &mask);

@@ -35,11 +35,7 @@ pub fn aggregate_range(
     options: ScanOptions,
 ) -> Result<Vec<(Timestamp, f64)>, StorageError> {
     let (parts, states) = scan_states(table, measure_idx, pred, start, end, options)?;
-    Ok(parts
-        .iter()
-        .zip(states)
-        .map(|((t, _), s)| (*t, s.finalize(func)))
-        .collect())
+    Ok(parts.iter().zip(states).map(|((t, _), s)| (*t, s.finalize(func))).collect())
 }
 
 /// Shared scan body: bounds-check the measure, collect the partitions in
@@ -62,12 +58,10 @@ fn scan_states<'a>(
     }
     let parts: Vec<(Timestamp, &crate::partition::Partition)> =
         table.partitions_in(start, end).collect();
-    let states: Vec<AggState> = parallel_map_with(
-        &parts,
-        options.threads,
-        MaskScratch::new,
-        |scratch, (_, p)| eval_partition_with(p, measure_idx, pred, scratch),
-    );
+    let states: Vec<AggState> =
+        parallel_map_with(&parts, options.threads, MaskScratch::new, |scratch, (_, p)| {
+            eval_partition_with(p, measure_idx, pred, scratch)
+        });
     Ok((parts, states))
 }
 
@@ -129,9 +123,7 @@ mod tests {
         let start = Timestamp::from_yyyymmdd(20200101).unwrap();
         for d in 0..days {
             for r in 0..rows_per_day {
-                table
-                    .append_row(start + d, &[Value::Int(r)], &[(d + 1) as f64])
-                    .unwrap();
+                table.append_row(start + d, &[Value::Int(r)], &[(d + 1) as f64]).unwrap();
             }
         }
         table
@@ -140,9 +132,7 @@ mod tests {
     #[test]
     fn range_scan_matches_per_day_queries() {
         let table = table(10, 20);
-        let pred = table
-            .compile_predicate(&Predicate::cmp("k", CmpOp::Lt, 5))
-            .unwrap();
+        let pred = table.compile_predicate(&Predicate::cmp("k", CmpOp::Lt, 5)).unwrap();
         let start = Timestamp::from_yyyymmdd(20200101).unwrap();
         let out = aggregate_range(
             &table,
@@ -206,9 +196,7 @@ mod tests {
     #[test]
     fn total_matches_sum_of_range() {
         let table = table(10, 20);
-        let pred = table
-            .compile_predicate(&Predicate::cmp("k", CmpOp::Lt, 5))
-            .unwrap();
+        let pred = table.compile_predicate(&Predicate::cmp("k", CmpOp::Lt, 5)).unwrap();
         let start = Timestamp::from_yyyymmdd(20200101).unwrap();
         let per_day = aggregate_range(
             &table,
@@ -220,21 +208,19 @@ mod tests {
             ScanOptions { threads: 3 },
         )
         .unwrap();
-        let total =
-            aggregate_total(&table, 0, &pred, start, start + 9, ScanOptions { threads: 3 })
-                .unwrap();
+        let total = aggregate_total(&table, 0, &pred, start, start + 9, ScanOptions { threads: 3 })
+            .unwrap();
         assert_eq!(total.finalize(AggFunc::Sum), per_day.iter().map(|(_, v)| v).sum::<f64>());
         assert_eq!(total.count, 50);
-        assert!(aggregate_total(&table, 9, &pred, start, start + 9, ScanOptions::default())
-            .is_err());
+        assert!(
+            aggregate_total(&table, 9, &pred, start, start + 9, ScanOptions::default()).is_err()
+        );
     }
 
     #[test]
     fn selectivity_over_range() {
         let table = table(3, 10);
-        let pred = table
-            .compile_predicate(&Predicate::cmp("k", CmpOp::Lt, 3))
-            .unwrap();
+        let pred = table.compile_predicate(&Predicate::cmp("k", CmpOp::Lt, 3)).unwrap();
         let start = Timestamp::from_yyyymmdd(20200101).unwrap();
         let sel = selectivity_range(&table, &pred, start, start + 2, ScanOptions::default());
         assert_eq!(sel.len(), 3);

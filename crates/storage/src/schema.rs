@@ -42,10 +42,8 @@ impl Schema {
         D: IntoIterator<Item = (String, DataType)>,
         M: IntoIterator<Item = String>,
     {
-        let dimensions: Vec<DimensionDef> = dimensions
-            .into_iter()
-            .map(|(name, dtype)| DimensionDef { name, dtype })
-            .collect();
+        let dimensions: Vec<DimensionDef> =
+            dimensions.into_iter().map(|(name, dtype)| DimensionDef { name, dtype }).collect();
         let measures: Vec<MeasureDef> =
             measures.into_iter().map(|name| MeasureDef { name }).collect();
 
@@ -163,11 +161,8 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        assert!(Schema::from_names(
-            &[("Age", DataType::UInt8), ("Age", DataType::Int64)],
-            &["m"],
-        )
-        .is_err());
+        assert!(Schema::from_names(&[("Age", DataType::UInt8), ("Age", DataType::Int64)], &["m"],)
+            .is_err());
         assert!(Schema::from_names(&[("x", DataType::UInt8)], &["x"]).is_err());
     }
 

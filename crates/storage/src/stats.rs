@@ -69,10 +69,8 @@ mod tests {
 
     #[test]
     fn compute_skips_dict_columns() {
-        let dims = vec![
-            DimensionColumn::Int64(vec![5, -3, 9]),
-            DimensionColumn::Dict(vec![0, 1, 0]),
-        ];
+        let dims =
+            vec![DimensionColumn::Int64(vec![5, -3, 9]), DimensionColumn::Dict(vec![0, 1, 0])];
         let zm = ZoneMaps::compute(&dims);
         assert_eq!(zm.range(0), Some((-3, 9)));
         assert_eq!(zm.range(1), None);

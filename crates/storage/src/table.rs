@@ -27,7 +27,11 @@ impl TimeSeriesTable {
     /// Create an empty table with the given schema.
     pub fn new(schema: SchemaRef) -> Self {
         let dims = schema.num_dimensions();
-        TimeSeriesTable { schema, dicts: (0..dims).map(|_| None).collect(), partitions: BTreeMap::new() }
+        TimeSeriesTable {
+            schema,
+            dicts: (0..dims).map(|_| None).collect(),
+            partitions: BTreeMap::new(),
+        }
     }
 
     /// The table's schema.
@@ -69,8 +73,7 @@ impl TimeSeriesTable {
         measures: &[f64],
     ) -> Result<(), StorageError> {
         let schema = self.schema.clone();
-        let partition =
-            self.partitions.entry(t).or_insert_with(|| Partition::empty(&schema));
+        let partition = self.partitions.entry(t).or_insert_with(|| Partition::empty(&schema));
         partition.push_row(&schema, &mut self.dicts, dims, measures)
     }
 
@@ -170,9 +173,7 @@ pub(crate) fn eval_partition_with(
     }
     match pred {
         CompiledPredicate::Const(false) => AggState::default(),
-        CompiledPredicate::Const(true) => {
-            crate::aggregate::aggregate_all(partition, measure_idx)
-        }
+        CompiledPredicate::Const(true) => crate::aggregate::aggregate_all(partition, measure_idx),
         CompiledPredicate::Cmp { dim, op, value } => {
             crate::aggregate::aggregate_filtered(partition, measure_idx, *dim, *op, *value)
         }
@@ -214,11 +215,7 @@ mod tests {
         ];
         for (age, g, loc, imp, vt, t) in rows {
             table
-                .append_row(
-                    t,
-                    &[Value::Int(age), Value::from(g), Value::from(loc)],
-                    &[imp, vt],
-                )
+                .append_row(t, &[Value::Int(age), Value::from(g), Value::from(loc)], &[imp, vt])
                 .unwrap();
         }
         table

@@ -38,8 +38,8 @@ fn random_fixture(rng: &mut StdRng) -> Fixture {
     let schema = Schema::from_names(&dims_def, &["m"]).unwrap();
 
     let n = match rng.gen_range(0..6u32) {
-        0 => rng.gen_range(0..4usize),            // tiny, incl. empty
-        1 => 64 * rng.gen_range(1..3usize),       // exact word multiples
+        0 => rng.gen_range(0..4usize),      // tiny, incl. empty
+        1 => 64 * rng.gen_range(1..3usize), // exact word multiples
         2 => 64 * rng.gen_range(1..3usize) + rng.gen_range(1..64usize), // tails
         _ => rng.gen_range(1..200usize),
     };
@@ -76,8 +76,9 @@ fn random_fixture(rng: &mut StdRng) -> Fixture {
             }
             DataType::Categorical => {
                 let mut dict = Dictionary::new();
-                let codes: Vec<u32> =
-                    (0..n).map(|_| dict.intern(CAT_POOL[rng.gen_range(0..CAT_POOL.len())])).collect();
+                let codes: Vec<u32> = (0..n)
+                    .map(|_| dict.intern(CAT_POOL[rng.gen_range(0..CAT_POOL.len())]))
+                    .collect();
                 columns.push(DimensionColumn::Dict(codes));
                 dicts.push(Some(dict));
             }
@@ -93,8 +94,8 @@ fn random_fixture(rng: &mut StdRng) -> Fixture {
 fn random_literal(rng: &mut StdRng) -> i64 {
     match rng.gen_range(0..8u32) {
         0 => -1,
-        1 => 256,     // just beyond u8
-        2 => 65_536,  // just beyond u16
+        1 => 256,    // just beyond u8
+        2 => 65_536, // just beyond u16
         3 => i64::MIN,
         4 => i64::MAX,
         _ => rng.gen_range(-60..310),

@@ -9,16 +9,14 @@
 //! cargo run --release --example ads_targeting
 //! ```
 
-use flashp::core::{EngineConfig, FlashPEngine};
+use flashp::core::{EngineConfig, FlashPEngine, SampleCatalog};
 use flashp::data::{generate_dataset, DatasetConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = generate_dataset(&DatasetConfig::small(7))?;
-    let mut engine = FlashPEngine::new(
-        dataset.table,
-        EngineConfig { layer_rates: vec![0.05], default_rate: 0.05, ..Default::default() },
-    );
-    engine.build_samples()?;
+    let config = EngineConfig { layer_rates: vec![0.05], default_rate: 0.05, ..Default::default() };
+    let catalog = SampleCatalog::build(&dataset.table, &config)?;
+    let engine = FlashPEngine::with_catalog(dataset.table, config, catalog);
 
     // Candidate segments the advertiser wants to compare, exactly like
     // "20-30 year old females interested in sports located in some
@@ -35,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("premium members", "membership >= 3"),
     ];
 
-    println!(
-        "{:<42} {:>14} {:>14} {:>10}",
-        "segment", "7d impressions", "interval ±", "latency"
-    );
+    println!("{:<42} {:>14} {:>14} {:>10}", "segment", "7d impressions", "interval ±", "latency");
     for (name, constraint) in segments {
         let sql = format!(
             "FORECAST SUM(Impression) FROM ads WHERE {constraint} \

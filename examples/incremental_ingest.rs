@@ -13,11 +13,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let schema = Schema::from_names(
-        &[("segment", DataType::Int64)],
-        &["Impression"],
-    )?
-    .into_shared();
+    let schema =
+        Schema::from_names(&[("segment", DataType::Int64)], &["Impression"])?.into_shared();
 
     // The stream arrives in 10 batches of 20k rows; we keep the retained
     // sample under 2,000 rows by raising Δ whenever it overflows.

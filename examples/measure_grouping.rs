@@ -10,7 +10,7 @@
 //! cargo run --release --example measure_grouping
 //! ```
 
-use flashp::core::{EngineConfig, FlashPEngine, GroupingPolicy, SamplerChoice};
+use flashp::core::{EngineConfig, FlashPEngine, GroupingPolicy, SampleCatalog, SamplerChoice};
 use flashp::data::{generate_dataset, DatasetConfig, WorkloadConfig, WorkloadGenerator};
 use flashp::forecast::metrics::mean_relative_error;
 use flashp::storage::{AggFunc, Predicate, Timestamp};
@@ -35,27 +35,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = Arc::new(dataset.table);
 
     // Engine A: one optimal GSW sample per measure.
-    let mut per_measure = FlashPEngine::new(
-        table.clone(),
-        EngineConfig {
-            sampler: SamplerChoice::OptimalGsw,
-            layer_rates: vec![0.02],
-            ..Default::default()
-        },
-    );
-    let stats_a = per_measure.build_samples()?;
+    let config_a = EngineConfig {
+        sampler: SamplerChoice::OptimalGsw,
+        layer_rates: vec![0.02],
+        ..Default::default()
+    };
+    let catalog_a = SampleCatalog::build(&table, &config_a)?;
+    let stats_a = catalog_a.stats().clone();
+    let per_measure = FlashPEngine::with_catalog(table.clone(), config_a, catalog_a);
 
     // Engine B: auto-grouped arithmetic compressed GSW (2 groups).
-    let mut compressed = FlashPEngine::new(
-        table.clone(),
-        EngineConfig {
-            sampler: SamplerChoice::ArithmeticGsw,
-            grouping: GroupingPolicy::Auto { num_groups: 2 },
-            layer_rates: vec![0.02],
-            ..Default::default()
-        },
-    );
-    let stats_b = compressed.build_samples()?;
+    let config_b = EngineConfig {
+        sampler: SamplerChoice::ArithmeticGsw,
+        grouping: GroupingPolicy::Auto { num_groups: 2 },
+        layer_rates: vec![0.02],
+        ..Default::default()
+    };
+    let catalog_b = SampleCatalog::build(&table, &config_b)?;
+    let stats_b = catalog_b.stats().clone();
+    let compressed = FlashPEngine::with_catalog(table.clone(), config_b, catalog_b);
 
     println!("KCENTER grouping of the four measures (normalized L1):");
     for (i, group) in stats_b.groups.iter().enumerate() {
@@ -79,9 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let (exact, _, _) =
                 per_measure.estimate_series(j, &compiled, AggFunc::Sum, start, end, 1.0)?;
             let exact_vals: Vec<f64> = exact.iter().map(|p| p.value).collect();
-            for (engine, out) in
-                [(&per_measure, &mut err_opt), (&compressed, &mut err_cmp)]
-            {
+            for (engine, out) in [(&per_measure, &mut err_opt), (&compressed, &mut err_cmp)] {
                 let (est, _, _) =
                     engine.estimate_series(j, &compiled, AggFunc::Sum, start, end, 0.02)?;
                 let est_vals: Vec<f64> = est.iter().map(|p| p.value).collect();

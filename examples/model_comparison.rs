@@ -6,7 +6,7 @@
 //! cargo run --release --example model_comparison
 //! ```
 
-use flashp::core::{EngineConfig, FlashPEngine};
+use flashp::core::{EngineConfig, FlashPEngine, SampleCatalog};
 use flashp::data::{generate_dataset, DatasetConfig};
 use flashp::forecast::metrics::mean_relative_error;
 use flashp::storage::{AggFunc, Predicate, Timestamp};
@@ -14,40 +14,34 @@ use flashp::storage::{AggFunc, Predicate, Timestamp};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 70 days: train on the first 60, hold out the last 7 for scoring.
     let dataset = generate_dataset(&DatasetConfig::small(5))?;
-    let mut engine = FlashPEngine::new(
-        dataset.table,
-        EngineConfig { layer_rates: vec![0.05], default_rate: 0.05, ..Default::default() },
-    );
-    engine.build_samples()?;
+    let config = EngineConfig { layer_rates: vec![0.05], default_rate: 0.05, ..Default::default() };
+    let catalog = SampleCatalog::build(&dataset.table, &config)?;
+    let engine = FlashPEngine::with_catalog(dataset.table, config, catalog);
 
     let constraint = "age <= 30 AND gender = 'F'";
     let train_end = 20200229; // 60 training days
     let horizon = 7;
 
     // Ground truth for the held-out week.
-    let pred = engine
-        .table()
-        .compile_predicate(&Predicate::cmp("age", flashp::storage::CmpOp::Le, 30).and(
-            Predicate::eq("gender", "F"),
-        ))?;
-    let t_end = Timestamp::from_yyyymmdd(train_end)?;
-    let (truth_points, _, _) = engine.estimate_series(
-        0,
-        &pred,
-        AggFunc::Sum,
-        t_end + 1,
-        t_end + horizon,
-        1.0,
+    let pred = engine.table().compile_predicate(
+        &Predicate::cmp("age", flashp::storage::CmpOp::Le, 30).and(Predicate::eq("gender", "F")),
     )?;
+    let t_end = Timestamp::from_yyyymmdd(train_end)?;
+    let (truth_points, _, _) =
+        engine.estimate_series(0, &pred, AggFunc::Sum, t_end + 1, t_end + horizon, 1.0)?;
     let truth: Vec<f64> = truth_points.iter().map(|p| p.value).collect();
 
-    println!(
-        "{:<22} {:>10} {:>12} {:>12} {:>10}",
-        "model", "err %", "width", "sigma", "fit time"
-    );
-    for model in
-        ["arima", "arima(1,1,1)", "lstm", "holt", "holt_winters(7)", "seasonal_naive(7)", "naive", "drift"]
-    {
+    println!("{:<22} {:>10} {:>12} {:>12} {:>10}", "model", "err %", "width", "sigma", "fit time");
+    for model in [
+        "arima",
+        "arima(1,1,1)",
+        "lstm",
+        "holt",
+        "holt_winters(7)",
+        "seasonal_naive(7)",
+        "naive",
+        "drift",
+    ] {
         let sql = format!(
             "FORECAST SUM(Impression) FROM ads WHERE {constraint} \
              USING (20200101, {train_end}) \

@@ -8,7 +8,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use flashp::core::{EngineConfig, FlashPEngine};
+use flashp::core::{EngineConfig, FlashPEngine, SampleCatalog};
 use flashp::data::{generate_dataset, DatasetConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,18 +23,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.table.byte_size() as f64 / (1024.0 * 1024.0),
     );
 
-    // 2. Offline: build multi-layer optimal-GSW samples (one per measure).
-    let mut engine = FlashPEngine::new(
-        dataset.table,
-        EngineConfig { layer_rates: vec![0.05, 0.01], ..Default::default() },
-    );
-    let stats = engine.build_samples()?;
+    // 2. Offline: build multi-layer optimal-GSW samples (one per measure)
+    //    with the free-standing builder, then wrap table + catalog in a
+    //    shareable engine handle.
+    let config = EngineConfig { layer_rates: vec![0.05, 0.01], ..Default::default() };
+    let catalog = SampleCatalog::build(&dataset.table, &config)?;
+    let stats = catalog.stats();
     println!(
         "  built {} sample layers in {:?} ({} KiB total)",
         stats.layers.len(),
         stats.duration,
         stats.total_bytes / 1024
     );
+    let engine = FlashPEngine::with_catalog(dataset.table, config, catalog);
 
     // 3. Online: the paper's example task — impressions by young women —
     //    trained on 60 days of estimates, forecasting the next 7 days.
@@ -43,6 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                USING (20200101, 20200229) \
                OPTION (MODEL = 'arima', FORE_PERIOD = 7, SAMPLE_RATE = 0.05)";
     println!("\n{sql}\n");
+
+    // EXPLAIN first: which layer/sampler will serve this, and how many
+    // rows will it scan?
+    println!("{}", engine.explain(sql)?);
     let result = engine.forecast(sql)?;
 
     println!(
@@ -74,5 +79,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         exact.timing.aggregation,
         exact.timing.aggregation.as_secs_f64() / result.timing.aggregation.as_secs_f64().max(1e-9)
     );
+
+    // 5. Approximate SELECT: per-day estimates with their HT standard
+    //    errors (the ± column), straight from the sample catalog.
+    let select = "SELECT SUM(Impression) FROM ads WHERE age <= 30 AND gender = 'F' \
+                  AND t BETWEEN 20200223 AND 20200229 GROUP BY t OPTION (SAMPLE_RATE = 0.05)";
+    println!("\n{select}\n");
+    let rows = engine.select(select)?;
+    for (t, value, std_err) in &rows.rows {
+        match std_err {
+            Some(se) => println!("  {t}  {value:>12.1} ± {se:>10.1}"),
+            None => println!("  {t}  {value:>12.1}"),
+        }
+    }
     Ok(())
 }

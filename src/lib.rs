@@ -29,19 +29,22 @@
 //!   forecast intervals,
 //! * [`data`] — synthetic ads-style dataset and workload generators plus
 //!   the PIM baseline,
-//! * [`core`] — the FlashP engine tying everything together.
+//! * [`core`] — the FlashP engine tying everything together through the
+//!   staged pipeline `parse → plan → prepare → execute`.
 //!
 //! ## Quickstart
 //!
-//! See `examples/quickstart.rs`; the short version:
+//! See `examples/quickstart.rs`; the short version — build the sample
+//! catalog once offline, wrap it in a shareable engine handle, forecast:
 //!
 //! ```
-//! use flashp::core::{EngineConfig, FlashPEngine};
+//! use flashp::core::{EngineConfig, FlashPEngine, SampleCatalog};
 //! use flashp::data::{DatasetConfig, generate_dataset};
 //!
 //! let dataset = generate_dataset(&DatasetConfig::small(42)).unwrap();
-//! let mut engine = FlashPEngine::new(dataset.table, EngineConfig::default());
-//! engine.build_samples().unwrap();
+//! let config = EngineConfig::default();
+//! let catalog = SampleCatalog::build(&dataset.table, &config).unwrap();
+//! let engine = FlashPEngine::with_catalog(dataset.table, config, catalog);
 //! let result = engine
 //!     .forecast(
 //!         "FORECAST SUM(Impression) FROM ads WHERE age <= 30 AND gender = 'F' \
@@ -51,6 +54,32 @@
 //! for point in &result.forecasts {
 //!     println!("{} {:.1} [{:.1}, {:.1}]", point.t, point.value, point.lo, point.hi);
 //! }
+//! ```
+//!
+//! The engine handle is `Clone + Send + Sync`; for a service loop,
+//! [`core::FlashPEngine::prepare`] turns a statement (optionally with `?`
+//! parameter placeholders) into a lock-free, repeatedly executable
+//! [`core::PreparedQuery`], and `EXPLAIN <statement>` renders the chosen
+//! plan — sampler, layer rate, estimated rows scanned — without executing:
+//!
+//! ```
+//! # use flashp::core::{EngineConfig, FlashPEngine, Literal, SampleCatalog};
+//! # use flashp::data::{DatasetConfig, generate_dataset};
+//! # let dataset = generate_dataset(&DatasetConfig::small(42)).unwrap();
+//! # let config = EngineConfig::default();
+//! # let catalog = SampleCatalog::build(&dataset.table, &config).unwrap();
+//! # let engine = FlashPEngine::with_catalog(dataset.table, config, catalog);
+//! let prepared = engine
+//!     .prepare(
+//!         "FORECAST SUM(Impression) FROM ads WHERE age <= ? \
+//!          USING (20200101, 20200229) OPTION (MODEL = 'ar(7)', FORE_PERIOD = 7)",
+//!     )
+//!     .unwrap();
+//! println!("{}", prepared.explain());
+//! let under_30 = prepared.forecast_with(&[Literal::Int(30)]).unwrap();
+//! let under_50 = prepared.forecast_with(&[Literal::Int(50)]).unwrap();
+//! assert_eq!(under_30.forecasts.len(), 7);
+//! assert_eq!(under_50.forecasts.len(), 7);
 //! ```
 
 pub use flashp_core as core;

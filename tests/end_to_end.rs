@@ -11,7 +11,10 @@ fn dataset_table() -> Arc<flashp::storage::TimeSeriesTable> {
     Arc::new(ds.table)
 }
 
-fn engine_with(table: Arc<flashp::storage::TimeSeriesTable>, sampler: SamplerChoice) -> FlashPEngine {
+fn engine_with(
+    table: Arc<flashp::storage::TimeSeriesTable>,
+    sampler: SamplerChoice,
+) -> FlashPEngine {
     let mut e = FlashPEngine::new(
         table,
         EngineConfig {
@@ -61,8 +64,7 @@ fn forecast_via_sql_for_every_sampler() {
                  OPTION (MODEL = 'ar(7)', FORE_PERIOD = 7, SAMPLE_RATE = 1.0)",
             )
             .unwrap();
-        let err =
-            mean_relative_error(&result.estimate_values(), &exact.estimate_values()).unwrap();
+        let err = mean_relative_error(&result.estimate_values(), &exact.estimate_values()).unwrap();
         assert!(err < 0.35, "{label}: estimate error vs exact = {err}");
     }
 }
@@ -107,11 +109,13 @@ fn forecasts_are_in_a_sane_range() {
              OPTION (MODEL = 'arima', FORE_PERIOD = 7, SAMPLE_RATE = 0.1)",
         )
         .unwrap();
-    let pred = engine.table().compile_predicate(&flashp::storage::Predicate::eq("device", "mobile")).unwrap();
-    let t0 = flashp::storage::Timestamp::from_yyyymmdd(20200301).unwrap();
-    let (truth, _, _) = engine
-        .estimate_series(0, &pred, flashp::storage::AggFunc::Sum, t0, t0 + 6, 1.0)
+    let pred = engine
+        .table()
+        .compile_predicate(&flashp::storage::Predicate::eq("device", "mobile"))
         .unwrap();
+    let t0 = flashp::storage::Timestamp::from_yyyymmdd(20200301).unwrap();
+    let (truth, _, _) =
+        engine.estimate_series(0, &pred, flashp::storage::AggFunc::Sum, t0, t0 + 6, 1.0).unwrap();
     let truth_vals: Vec<f64> = truth.iter().map(|p| p.value).collect();
     let err = mean_relative_error(&result.forecast_values(), &truth_vals).unwrap();
     assert!(err < 0.6, "forecast error vs held-out week = {err}");
@@ -133,9 +137,12 @@ fn timing_breakdown_reported() {
              OPTION (MODEL = 'naive', SAMPLE_RATE = 1.0)",
         )
         .unwrap();
-    assert!(sampled.timing.aggregation < exact.timing.aggregation,
+    assert!(
+        sampled.timing.aggregation < exact.timing.aggregation,
         "sampled aggregation ({:?}) should beat the full scan ({:?})",
-        sampled.timing.aggregation, exact.timing.aggregation);
+        sampled.timing.aggregation,
+        exact.timing.aggregation
+    );
     assert!(sampled.timing.total() > std::time::Duration::ZERO);
 }
 

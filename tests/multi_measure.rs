@@ -65,8 +65,7 @@ fn every_measure_estimable_from_one_compressed_sample() {
     for m in 0..4 {
         let (exact, _, _) =
             engine.estimate_series(m, &pred, AggFunc::Sum, start, end, 1.0).unwrap();
-        let (est, _, _) =
-            engine.estimate_series(m, &pred, AggFunc::Sum, start, end, 0.05).unwrap();
+        let (est, _, _) = engine.estimate_series(m, &pred, AggFunc::Sum, start, end, 0.05).unwrap();
         let exact_v: Vec<f64> = exact.iter().map(|p| p.value).collect();
         let est_v: Vec<f64> = est.iter().map(|p| p.value).collect();
         let err = flashp::forecast::metrics::mean_relative_error(&est_v, &exact_v).unwrap();

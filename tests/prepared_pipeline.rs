@@ -1,0 +1,240 @@
+//! Lifecycle tests for the staged query pipeline:
+//! parse → plan → prepare → execute, plus EXPLAIN and the plan cache.
+//!
+//! The invariants under test: preparing a statement changes *when* work
+//! happens, never *what* is computed — prepared re-execution, `?`
+//! rebinding, and plan-cache hits are all bit-identical to fresh one-shot
+//! execution — and EXPLAIN describes exactly what the executor then does.
+
+use flashp::core::{
+    EngineConfig, EngineError, ExecOutput, FlashPEngine, Literal, SampleCatalog, SamplerChoice,
+};
+use flashp::data::{generate_dataset, DatasetConfig};
+use std::sync::Arc;
+
+fn engine_for(sampler: SamplerChoice, seed: u64) -> FlashPEngine {
+    let ds = generate_dataset(&DatasetConfig::new(800, 45, seed)).unwrap();
+    let config = EngineConfig {
+        sampler,
+        layer_rates: vec![0.2, 0.05],
+        default_rate: 0.05,
+        ..Default::default()
+    };
+    let catalog = SampleCatalog::build(&ds.table, &config).unwrap();
+    FlashPEngine::with_catalog(ds.table, config, catalog)
+}
+
+const FORECAST: &str = "FORECAST SUM(Impression) FROM ads WHERE age <= 30 AND gender = 'F' \
+     USING (20200101, 20200210) OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)";
+
+/// Every statement shape the language supports, including the quickstart
+/// statement of the forecast_roundtrip corpus (crates/query/tests).
+const CORPUS: &[&str] = &[
+    "FORECAST SUM(Impression) FROM ads WHERE age <= 30 AND gender = 'F' \
+     USING (20200101, 20200229) OPTION (MODEL = 'arima', FORE_PERIOD = 7)",
+    "FORECAST AVG(Click) FROM ads WHERE age = 1 USING (20200101, 20200131) \
+     OPTION (MODEL = 'ets', FORE_PERIOD = 3, SAMPLE_RATE = 0.05)",
+    "FORECAST COUNT(*) FROM ads USING (20200101, 20200131) \
+     OPTION (MODEL = 'naive', SAMPLE_RATE = 1.0)",
+    "SELECT SUM(Impression) FROM ads WHERE age <= 30 AND t = 20200105",
+    "SELECT COUNT(Click) FROM ads WHERE age <= 30 GROUP BY t",
+    "SELECT SUM(Impression) FROM ads WHERE t BETWEEN 20200101 AND 20200107 \
+     GROUP BY t OPTION (SAMPLE_RATE = 0.05)",
+];
+
+#[test]
+fn prepared_reexecution_is_bit_identical_across_samplers_and_seeds() {
+    for sampler in [SamplerChoice::Uniform, SamplerChoice::OptimalGsw, SamplerChoice::Priority] {
+        for seed in [7u64, 4242] {
+            let label = format!("{sampler:?}/seed {seed}");
+            let engine = engine_for(sampler.clone(), seed);
+            let one_shot = engine.forecast(FORECAST).unwrap();
+            let prepared = engine.prepare(FORECAST).unwrap();
+            for round in 0..3 {
+                let r = prepared.forecast_with(&[]).unwrap();
+                assert_eq!(
+                    r.estimate_values(),
+                    one_shot.estimate_values(),
+                    "{label}: estimates diverged on round {round}"
+                );
+                assert_eq!(
+                    r.forecast_values(),
+                    one_shot.forecast_values(),
+                    "{label}: forecasts diverged on round {round}"
+                );
+                assert_eq!(r.sampler, one_shot.sampler, "{label}");
+                assert_eq!(r.rate_used, one_shot.rate_used, "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn parameter_rebinding_matches_fresh_parse() {
+    let engine = engine_for(SamplerChoice::OptimalGsw, 99);
+    let template = engine
+        .prepare(
+            "FORECAST SUM(Impression) FROM ads WHERE age <= ? AND gender = ? \
+             USING (20200101, 20200210) OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)",
+        )
+        .unwrap();
+    assert_eq!(template.num_params(), 2);
+    for (age, gender) in [(20i64, "F"), (35, "M"), (50, "F")] {
+        let bound =
+            template.forecast_with(&[Literal::Int(age), Literal::Str(gender.to_string())]).unwrap();
+        let fresh = engine
+            .forecast(&format!(
+                "FORECAST SUM(Impression) FROM ads WHERE age <= {age} AND gender = '{gender}' \
+                 USING (20200101, 20200210) OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)"
+            ))
+            .unwrap();
+        assert_eq!(bound.estimate_values(), fresh.estimate_values(), "age {age} {gender}");
+        assert_eq!(bound.forecast_values(), fresh.forecast_values(), "age {age} {gender}");
+    }
+    // Parameterized SELECT templates rebind too.
+    let select =
+        engine.prepare("SELECT SUM(Impression) FROM ads WHERE age <= ? AND t = 20200105").unwrap();
+    for age in [20i64, 40] {
+        let bound = select.select_with(&[Literal::Int(age)]).unwrap();
+        let fresh = engine
+            .select(&format!("SELECT SUM(Impression) FROM ads WHERE age <= {age} AND t = 20200105"))
+            .unwrap();
+        assert_eq!(bound, fresh, "age {age}");
+    }
+}
+
+#[test]
+fn parameter_arity_is_enforced() {
+    let engine = engine_for(SamplerChoice::Uniform, 1);
+    let template =
+        engine.prepare("SELECT SUM(Impression) FROM ads WHERE age <= ? AND t = 20200105").unwrap();
+    assert!(matches!(template.select_with(&[]), Err(EngineError::Parameter(_))));
+    assert!(matches!(
+        template.select_with(&[Literal::Int(1), Literal::Int(2)]),
+        Err(EngineError::Parameter(_))
+    ));
+    // One-shot APIs refuse parameterized statements outright.
+    assert!(engine.select("SELECT SUM(Impression) FROM ads WHERE age <= ?").is_err());
+}
+
+#[test]
+fn plan_cache_hits_return_identical_results() {
+    let engine = engine_for(SamplerChoice::OptimalGsw, 11);
+    let first = engine.forecast(FORECAST).unwrap();
+    let miss_stats = engine.plan_cache_stats();
+    assert!(miss_stats.misses > 0);
+    // Re-issue with scrambled whitespace: normalization makes it a hit.
+    let respaced = FORECAST.replace(' ', "   ");
+    let second = engine.forecast(&respaced).unwrap();
+    let hit_stats = engine.plan_cache_stats();
+    assert!(hit_stats.hits > miss_stats.hits, "whitespace variant should hit the cache");
+    assert_eq!(first.estimate_values(), second.estimate_values());
+    assert_eq!(first.forecast_values(), second.forecast_values());
+    // A cloned handle shares the cache and gets the same answer.
+    let clone = engine.clone();
+    let third = clone.forecast(FORECAST).unwrap();
+    assert!(clone.plan_cache_stats().hits > hit_stats.hits);
+    assert_eq!(first.forecast_values(), third.forecast_values());
+}
+
+#[test]
+fn explain_round_trips_for_the_corpus() {
+    let engine = engine_for(SamplerChoice::OptimalGsw, 3);
+    for sql in CORPUS {
+        // Textual round-trip: EXPLAIN <stmt> parses, displays, re-parses.
+        let explain_sql = format!("EXPLAIN {sql}");
+        let parsed = flashp::query::parse(&explain_sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        assert!(matches!(parsed, flashp::query::Statement::Explain(_)));
+        let reparsed = flashp::query::parse(&parsed.to_string()).unwrap();
+        assert_eq!(parsed, reparsed, "EXPLAIN display must re-parse: {sql}");
+
+        // Engine round-trip: the rendered plan parses back as a tree with
+        // a scan source, and executing the EXPLAIN never runs the query.
+        let node = engine.explain(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let source = node
+            .find("SampleEstimate")
+            .or_else(|| node.find("FullScan"))
+            .unwrap_or_else(|| panic!("{sql}: plan has no scan source:\n{node}"));
+        assert!(source.prop("est_rows").unwrap().parse::<usize>().is_ok());
+        match engine.execute(&explain_sql).unwrap() {
+            ExecOutput::Plan(executed) => assert_eq!(executed, node, "{sql}"),
+            other => panic!("{sql}: EXPLAIN produced {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn explain_names_what_the_executor_uses() {
+    // Acceptance: EXPLAIN on a sampled FORECAST names the layer, rate and
+    // sampler that the executor then actually uses.
+    for sampler in [SamplerChoice::Uniform, SamplerChoice::OptimalGsw] {
+        let engine = engine_for(sampler, 17);
+        let node = engine.explain(FORECAST).unwrap();
+        let est = node.find("SampleEstimate").expect("sampled forecast must use a layer");
+        let planned_sampler = est.prop("sampler").unwrap().to_string();
+        let planned_rate: f64 = est.prop("rate").unwrap().parse().unwrap();
+        let planned_layer: usize = est.prop("layer").unwrap().parse().unwrap();
+
+        let result = engine.forecast(FORECAST).unwrap();
+        assert_eq!(result.sampler, planned_sampler, "executor used a different sampler");
+        assert_eq!(result.rate_used, planned_rate, "executor used a different rate");
+        // The planned layer is the one select_layer picks for this rate.
+        assert_eq!(planned_layer, 1, "rate 0.05 is served by the second (sparser) layer");
+    }
+}
+
+#[test]
+fn prepared_queries_share_one_engine_across_threads() {
+    let engine = engine_for(SamplerChoice::OptimalGsw, 23);
+    let prepared = Arc::new(
+        engine
+            .prepare(
+                "FORECAST SUM(Impression) FROM ads WHERE age <= ? \
+                 USING (20200101, 20200210) OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)",
+            )
+            .unwrap(),
+    );
+    let ages: Vec<i64> = vec![20, 30, 40, 50];
+    let reference: Vec<Vec<f64>> = ages
+        .iter()
+        .map(|&a| prepared.forecast_with(&[Literal::Int(a)]).unwrap().forecast_values())
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let prepared = prepared.clone();
+            let ages = &ages;
+            let reference = &reference;
+            scope.spawn(move || {
+                for (i, &a) in ages.iter().enumerate() {
+                    let r = prepared.forecast_with(&[Literal::Int(a)]).unwrap();
+                    assert_eq!(r.forecast_values(), reference[i]);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn approximate_select_surfaces_std_err() {
+    let engine = engine_for(SamplerChoice::OptimalGsw, 5);
+    let exact = engine
+        .select("SELECT SUM(Impression) FROM ads WHERE t BETWEEN 20200101 AND 20200105 GROUP BY t")
+        .unwrap();
+    assert!(!exact.approximate);
+    assert!(exact.rows.iter().all(|(_, _, se)| se.is_none()));
+    let approx = engine
+        .select(
+            "SELECT SUM(Impression) FROM ads WHERE t BETWEEN 20200101 AND 20200105 \
+             GROUP BY t OPTION (SAMPLE_RATE = 0.05)",
+        )
+        .unwrap();
+    assert!(approx.approximate);
+    assert_eq!(approx.rows.len(), exact.rows.len());
+    for ((t_e, v_e, _), (t_a, v_a, se)) in exact.rows.iter().zip(&approx.rows) {
+        assert_eq!(t_e, t_a);
+        let se = se.expect("approximate SUM rows carry a standard error");
+        assert!(se > 0.0);
+        // The estimate should be within a few standard errors of truth.
+        assert!((v_a - v_e).abs() < 6.0 * se, "estimate {v_a} too far from exact {v_e} (se {se})");
+    }
+}

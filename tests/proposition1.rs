@@ -33,10 +33,7 @@ fn stationary_variance_matches_formula() {
             arma11_noisy_variance(ALPHA, BETA, SIGMA_U * SIGMA_U, sigma_eps * sigma_eps).unwrap();
         let observed = sample_variance(&noisy);
         let rel = (observed - predicted).abs() / predicted;
-        assert!(
-            rel < 0.05,
-            "sigma_eps {sigma_eps}: observed {observed} vs predicted {predicted}"
-        );
+        assert!(rel < 0.05, "sigma_eps {sigma_eps}: observed {observed} vs predicted {predicted}");
     }
 }
 
@@ -115,16 +112,11 @@ fn unbiasedness_and_independence_of_engine_estimates() {
         },
     );
     engine.build_samples().unwrap();
-    let pred = engine
-        .table()
-        .compile_predicate(&Predicate::eq("gender", "F"))
-        .unwrap();
+    let pred = engine.table().compile_predicate(&Predicate::eq("gender", "F")).unwrap();
     let start = Timestamp::from_yyyymmdd(20200101).unwrap();
     let end = start + 59;
-    let (exact, _, _) =
-        engine.estimate_series(0, &pred, AggFunc::Sum, start, end, 1.0).unwrap();
-    let (est, _, _) =
-        engine.estimate_series(0, &pred, AggFunc::Sum, start, end, 0.05).unwrap();
+    let (exact, _, _) = engine.estimate_series(0, &pred, AggFunc::Sum, start, end, 1.0).unwrap();
+    let (est, _, _) = engine.estimate_series(0, &pred, AggFunc::Sum, start, end, 0.05).unwrap();
 
     let errors: Vec<f64> =
         est.iter().zip(&exact).map(|(e, x)| (e.value - x.value) / x.value).collect();

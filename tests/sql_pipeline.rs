@@ -32,12 +32,8 @@ fn options_control_the_pipeline() {
     let r = e.forecast(&format!("{base} OPTION (MODEL = 'naive')")).unwrap();
     assert_eq!(r.forecasts.len(), 7);
     // CONFIDENCE: wider at 0.99 than 0.5.
-    let lo = e
-        .forecast(&format!("{base} OPTION (MODEL = 'naive', CONFIDENCE = 0.5)"))
-        .unwrap();
-    let hi = e
-        .forecast(&format!("{base} OPTION (MODEL = 'naive', CONFIDENCE = 0.99)"))
-        .unwrap();
+    let lo = e.forecast(&format!("{base} OPTION (MODEL = 'naive', CONFIDENCE = 0.5)")).unwrap();
+    let hi = e.forecast(&format!("{base} OPTION (MODEL = 'naive', CONFIDENCE = 0.99)")).unwrap();
     assert!(hi.mean_interval_width() > lo.mean_interval_width());
     assert_eq!(hi.confidence, 0.99);
     // MODEL flows into the result name.
@@ -64,31 +60,21 @@ fn option_validation_errors() {
 #[test]
 fn unknown_names_error_cleanly() {
     let e = engine();
+    assert!(e.forecast("FORECAST SUM(Impression) FROM typo USING (20200101, 20200131)").is_err());
+    assert!(e.forecast("FORECAST SUM(Revenue) FROM ads USING (20200101, 20200131)").is_err());
     assert!(e
-        .forecast("FORECAST SUM(Impression) FROM typo USING (20200101, 20200131)")
-        .is_err());
-    assert!(e
-        .forecast("FORECAST SUM(Revenue) FROM ads USING (20200101, 20200131)")
-        .is_err());
-    assert!(e
-        .forecast(
-            "FORECAST SUM(Impression) FROM ads WHERE nocolumn = 1 USING (20200101, 20200131)"
-        )
+        .forecast("FORECAST SUM(Impression) FROM ads WHERE nocolumn = 1 USING (20200101, 20200131)")
         .is_err());
     // Range predicate on a categorical column.
     assert!(e
-        .forecast(
-            "FORECAST SUM(Impression) FROM ads WHERE gender < 'F' USING (20200101, 20200131)"
-        )
+        .forecast("FORECAST SUM(Impression) FROM ads WHERE gender < 'F' USING (20200101, 20200131)")
         .is_err());
 }
 
 #[test]
 fn execute_round_trips_statement_kinds() {
     let e = engine();
-    let out = e
-        .execute("SELECT COUNT(*) FROM ads WHERE t = 20200102")
-        .unwrap();
+    let out = e.execute("SELECT COUNT(*) FROM ads WHERE t = 20200102").unwrap();
     match out {
         ExecOutput::Select(s) => {
             assert_eq!(s.rows.len(), 1);
@@ -97,9 +83,7 @@ fn execute_round_trips_statement_kinds() {
         _ => panic!("expected select"),
     }
     let out = e
-        .execute(
-            "FORECAST AVG(Click) FROM ads USING (20200101, 20200131) OPTION (MODEL = 'naive')",
-        )
+        .execute("FORECAST AVG(Click) FROM ads USING (20200101, 20200131) OPTION (MODEL = 'naive')")
         .unwrap();
     match out {
         ExecOutput::Forecast(f) => assert_eq!(f.forecasts.len(), 7),
@@ -111,17 +95,11 @@ fn execute_round_trips_statement_kinds() {
 fn select_semantics_match_manual_aggregation() {
     let e = engine();
     // Manual: sum over three specific days of female impressions.
-    let pred = e
-        .table()
-        .compile_predicate(&flashp::storage::Predicate::eq("gender", "F"))
-        .unwrap();
+    let pred = e.table().compile_predicate(&flashp::storage::Predicate::eq("gender", "F")).unwrap();
     let mut manual = 0.0;
     for d in 0..3 {
         let t = flashp::storage::Timestamp::from_yyyymmdd(20200105).unwrap() + d;
-        manual += e
-            .table()
-            .aggregate_at(t, 0, &pred, flashp::storage::AggFunc::Sum)
-            .unwrap();
+        manual += e.table().aggregate_at(t, 0, &pred, flashp::storage::AggFunc::Sum).unwrap();
     }
     let sql = e
         .select(

@@ -11,12 +11,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn schema() -> SchemaRef {
-    Schema::from_names(
-        &[("k", flashp::storage::DataType::Int64)],
-        &["m1", "m2"],
-    )
-    .unwrap()
-    .into_shared()
+    Schema::from_names(&[("k", flashp::storage::DataType::Int64)], &["m1", "m2"])
+        .unwrap()
+        .into_shared()
 }
 
 /// Two positively correlated heavy-tailed measures.
@@ -75,7 +72,8 @@ fn theorem3_bound_holds_for_mismatched_weights() {
     let weights = WeightStrategy::SingleMeasure(1).compute(&p).unwrap();
     let scale = consistency_scale(&weights, p.measure(0)).unwrap();
     assert!(scale.is_finite() && scale >= 1.0);
-    let sampler = GswSampler::with_size(WeightStrategy::SingleMeasure(1), SampleSize::Expected(400));
+    let sampler =
+        GswSampler::with_size(WeightStrategy::SingleMeasure(1), SampleSize::Expected(400));
     let (rstd, mean_size) = empirical_rstd(&sampler, &p, 0, 120);
     let bound = theorem3_bound(scale, mean_size);
     assert!(rstd <= bound * 1.05, "RSTD {rstd} exceeds Theorem 3 bound {bound} (scale {scale})");
@@ -131,8 +129,5 @@ fn rstd_scales_inversely_with_sqrt_sample_size() {
     let (rstd_large, _) = empirical_rstd(&large, &p, 0, 150);
     let ratio = rstd_small / rstd_large;
     // Expected ratio = √(1600/100) = 4; allow generous noise.
-    assert!(
-        ratio > 2.0 && ratio < 8.0,
-        "RSTD ratio {ratio} should be near 4 (1/√|S| scaling)"
-    );
+    assert!(ratio > 2.0 && ratio < 8.0, "RSTD ratio {ratio} should be near 4 (1/√|S| scaling)");
 }

@@ -186,10 +186,8 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        let max_iters = std::env::var("FLASHP_BENCH_ITERS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(10);
+        let max_iters =
+            std::env::var("FLASHP_BENCH_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(10);
         Criterion { max_iters }
     }
 }
