@@ -12,10 +12,15 @@
 //! and 8 client threads over one shared engine handle — written to
 //! `BENCH_query.json`.
 //!
+//! Part 3 measures live ingest: row staging throughput, publish latency
+//! for the incremental catalog derivation (new-day cells vs grown-day
+//! absorbs) against a full rebuild, and prepared-query latency right
+//! after a version swap — written to `BENCH_ingest.json`.
+//!
 //! Run with `cargo run -p flashp-bench --release --bin bench_report`.
 
-use flashp_core::{parse, EngineConfig, FlashPEngine, SampleCatalog, Statement};
-use flashp_data::{generate_dataset, DatasetConfig};
+use flashp_core::{parse, EngineConfig, FlashPEngine, IngestBatch, SampleCatalog, Statement};
+use flashp_data::{generate_dataset, BatchStream, DatasetConfig, StreamConfig};
 use flashp_sampling::{estimate_agg_with, GswSampler, SampleSize, Sampler};
 use flashp_storage::reference::{aggregate_masked_scalar, evaluate_scalar};
 use flashp_storage::{
@@ -49,18 +54,8 @@ fn setup() -> (SchemaRef, Partition) {
 }
 
 /// Median seconds per call over `REPS` timed calls (after warmup).
-fn time_median<R>(mut f: impl FnMut() -> R) -> f64 {
-    for _ in 0..2 {
-        black_box(f());
-    }
-    let mut times = Vec::with_capacity(REPS);
-    for _ in 0..REPS {
-        let t = Instant::now();
-        black_box(f());
-        times.push(t.elapsed().as_secs_f64());
-    }
-    times.sort_by(f64::total_cmp);
-    times[REPS / 2]
+fn time_median<R>(f: impl FnMut() -> R) -> f64 {
+    time_median_k(REPS, f)
 }
 
 struct Bench {
@@ -195,6 +190,7 @@ fn main() {
     println!("wrote {path}");
 
     query_pipeline_report();
+    ingest_report();
 }
 
 /// Statements per client thread in each timed query-pipeline run.
@@ -283,6 +279,142 @@ fn query_pipeline_report() {
         "modes": modes,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();
+    println!("wrote {path}");
+}
+
+/// Median seconds per call over `reps` timed calls (after warmup).
+fn time_median_k<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        times.push(t.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    times[reps / 2]
+}
+
+/// Part 3: live-ingest throughput and publish latency
+/// (`BENCH_ingest.json`).
+fn ingest_report() {
+    let rows_per_day = 5_000usize;
+    let dataset_config = DatasetConfig::new(rows_per_day, 90, SEED);
+    let dataset = generate_dataset(&dataset_config).expect("dataset");
+    let config = EngineConfig {
+        layer_rates: vec![0.05, 0.01],
+        default_rate: 0.01,
+        threads: 1,
+        ..Default::default()
+    };
+    let catalog = SampleCatalog::build(&dataset.table, &config).expect("catalog");
+    let engine = FlashPEngine::with_catalog(dataset.table, config.clone(), catalog);
+
+    let sql = "FORECAST SUM(Impression) FROM ads WHERE age <= 30 \
+               USING (20200201, 20200330) OPTION (MODEL = 'naive', FORE_PERIOD = 7)";
+    let prepared = engine.prepare(sql).expect("prepare");
+    let query_before = time_median_k(15, || prepared.forecast_with(&[]).expect("forecast"));
+
+    // Staging throughput: columnar day-batches into the pending table.
+    let mut stream =
+        BatchStream::continuing(&dataset_config, StreamConfig::new(rows_per_day, SEED));
+    let staged_batches = 5usize;
+    let stage_t0 = Instant::now();
+    for _ in 0..staged_batches {
+        let b = stream.next().expect("unbounded stream");
+        let mut batch = IngestBatch::new();
+        batch.push_partition(b.t, b.partition);
+        engine.ingest(batch).expect("ingest");
+    }
+    let ingest_rows_per_sec =
+        (staged_batches * rows_per_day) as f64 / stage_t0.elapsed().as_secs_f64();
+
+    // Publish the 5 staged days at once, then measure steady-state
+    // publish latency: one new day per publish, then repeated growth of
+    // one existing day (the §4.1 absorb path).
+    engine.publish().expect("publish staged days");
+    let mut new_day_secs = Vec::new();
+    for _ in 0..5 {
+        let b = stream.next().expect("unbounded stream");
+        let mut batch = IngestBatch::new();
+        batch.push_partition(b.t, b.partition);
+        engine.ingest(batch).expect("ingest");
+        let stats = engine.publish().expect("publish");
+        assert_eq!(stats.changed_partitions, 1);
+        new_day_secs.push(stats.duration.as_secs_f64());
+    }
+    new_day_secs.sort_by(f64::total_cmp);
+    let publish_new_day = new_day_secs[new_day_secs.len() / 2];
+
+    let grow_day = 95usize; // an already-published streamed day
+    let mut grow_secs = Vec::new();
+    let mut absorbed_cells = 0usize;
+    let mut rebuilt_cells = 0usize;
+    let mut grow_stream = BatchStream::starting_at_day(
+        &dataset_config,
+        StreamConfig::new(rows_per_day / 5, SEED ^ 0x517),
+        grow_day,
+    );
+    for _ in 0..5 {
+        let b = grow_stream.next().expect("unbounded stream");
+        let mut batch = IngestBatch::new();
+        batch.push_partition(b.t, b.partition);
+        engine.ingest(batch).expect("ingest");
+        let stats = engine.publish().expect("publish");
+        absorbed_cells += stats.delta.absorbed_cells;
+        rebuilt_cells += stats.delta.rebuilt_cells;
+        grow_secs.push(stats.duration.as_secs_f64());
+    }
+    grow_secs.sort_by(f64::total_cmp);
+    let publish_grow_day = grow_secs[grow_secs.len() / 2];
+
+    // Baseline: a full offline rebuild over the post-ingest table.
+    let table = engine.table();
+    let full_rebuild = time_median_k(3, || SampleCatalog::build(&table, &config).expect("build"));
+
+    // Post-swap query latency from the *same* prepared handle.
+    let query_after = time_median_k(15, || prepared.forecast_with(&[]).expect("forecast"));
+
+    println!("\nlive ingest ({rows_per_day} rows/day, {} days + streamed):", 90);
+    println!("ingest staging           {ingest_rows_per_sec:>12.0} rows/s");
+    println!(
+        "publish (1 new day)      {:>12.2} ms   vs full rebuild {:>8.1} ms ({:.1}x)",
+        publish_new_day * 1e3,
+        full_rebuild * 1e3,
+        full_rebuild / publish_new_day
+    );
+    println!(
+        "publish (grow 1 day)     {:>12.2} ms   ({} cells absorbed, {} rebuilt over 5 publishes)",
+        publish_grow_day * 1e3,
+        absorbed_cells,
+        rebuilt_cells
+    );
+    println!(
+        "prepared query latency   {:>12.2} ms before ingest, {:.2} ms after swap",
+        query_before * 1e3,
+        query_after * 1e3
+    );
+
+    let doc = json!({
+        "bench": "BENCH_ingest",
+        "rows_per_day": rows_per_day,
+        "base_days": 90,
+        "layer_rates": [0.05, 0.01],
+        "seed": SEED,
+        "ingest_rows_per_sec": ingest_rows_per_sec,
+        "publish_new_day_secs": publish_new_day,
+        "publish_grow_day_secs": publish_grow_day,
+        "full_rebuild_secs": full_rebuild,
+        "full_rebuild_vs_publish_speedup": full_rebuild / publish_new_day,
+        "grow_absorbed_cells": absorbed_cells,
+        "grow_rebuilt_cells": rebuilt_cells,
+        "prepared_query_secs_before": query_before,
+        "prepared_query_secs_after_swap": query_after,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
     std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();
     println!("wrote {path}");
 }

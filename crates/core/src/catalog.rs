@@ -6,25 +6,57 @@
 //! resulting catalog can be wrapped in an [`std::sync::Arc`] and shared by
 //! any number of engine handles and prepared queries. Once built, a
 //! catalog is never mutated; concurrent readers need no locks.
+//!
+//! Catalogs are *versioned*: every instance carries a process-unique,
+//! monotonically increasing [`SampleCatalog::version`], and
+//! [`SampleCatalog::apply_delta`] derives a **new** catalog version from
+//! an ingest delta by rebuilding only the (layer, bucket, partition)
+//! cells whose source partition changed — unchanged cells are shared
+//! between versions via `Arc`, and GSW cells whose Δ grew are absorbed
+//! incrementally per §4.1 instead of re-drawn. The derived catalog is
+//! bit-for-bit identical to what a full [`SampleCatalog::build`] over the
+//! post-ingest table would produce (cell seeds depend only on the
+//! configuration seed and the cell's coordinates).
 
 use crate::config::{EngineConfig, GroupingPolicy, SamplerChoice};
 use crate::error::EngineError;
+use crate::version::CatalogDelta;
 use flashp_sampling::{
-    group_measures, GswSampler, PrioritySampler, Sample, SampleSize, Sampler, ThresholdSampler,
-    UniformSampler,
+    group_measures, GswCellState, GswSampler, PrioritySampler, Sample, SampleSize, Sampler,
+    SamplingError, ThresholdSampler, UniformSampler,
 };
 use flashp_storage::parallel::parallel_map;
 use flashp_storage::{TimeSeriesTable, Timestamp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Process-wide monotone version source shared by sample catalogs and
+/// engine snapshots, so "newer" is always comparable across instances.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate the next process-unique version number.
+pub(crate) fn next_version_id() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One (layer, bucket, partition) cell: the materialized sample plus —
+/// for GSW-family samplers — the recorded draw state that lets the cell
+/// absorb appended rows incrementally (§4.1).
+pub(crate) struct CatalogCell {
+    pub(crate) sample: Arc<Sample>,
+    /// Incremental-maintenance state; `None` for non-GSW samplers.
+    pub(crate) gsw: Option<GswCellState>,
+}
 
 /// One layer of the sample catalog.
 pub(crate) struct CatalogLayer {
     pub(crate) rate: f64,
-    /// Sample sets; indexing via `measure_bucket`.
-    pub(crate) buckets: Vec<BTreeMap<Timestamp, Sample>>,
+    /// Sample cells; indexing via `measure_bucket`.
+    pub(crate) buckets: Vec<BTreeMap<Timestamp, Arc<CatalogCell>>>,
     /// Bucket index serving each measure.
     pub(crate) measure_bucket: Vec<usize>,
     /// Human-readable sampler label.
@@ -32,6 +64,10 @@ pub(crate) struct CatalogLayer {
     /// Total sampled rows across buckets (drives the threading decision
     /// at query time: tiny layers are cheaper to scan sequentially).
     pub(crate) total_rows: usize,
+    /// Index of this layer in the configuration's `layer_rates` (layers
+    /// are stored sorted by rate, but cell seeds and build statistics are
+    /// keyed by configuration order).
+    pub(crate) config_idx: usize,
 }
 
 impl CatalogLayer {
@@ -40,10 +76,18 @@ impl CatalogLayer {
         self.measure_bucket[measure]
     }
 
+    /// The sample stored for `(measure, t)`, if any.
+    pub(crate) fn sample_at(&self, measure: usize, t: Timestamp) -> Option<&Sample> {
+        self.buckets[self.bucket_for(measure)].get(&t).map(|c| &*c.sample)
+    }
+
     /// Total sampled rows stored for `measure` over `[start, end]` — the
     /// rows an estimation over that range will scan.
     pub(crate) fn rows_in_range(&self, measure: usize, start: Timestamp, end: Timestamp) -> usize {
-        self.buckets[self.bucket_for(measure)].range(start..=end).map(|(_, s)| s.num_rows()).sum()
+        self.buckets[self.bucket_for(measure)]
+            .range(start..=end)
+            .map(|(_, c)| c.sample.num_rows())
+            .sum()
     }
 }
 
@@ -71,6 +115,16 @@ pub struct BuildStats {
     pub groups: Vec<Vec<usize>>,
 }
 
+/// Statistics returned by [`SampleCatalog::apply_delta`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Cells re-drawn from scratch over their (new or changed) partition.
+    pub rebuilt_cells: usize,
+    /// GSW cells absorbed incrementally (§4.1): only the appended rows
+    /// drew inclusion decisions; evictions walked the stored keys.
+    pub absorbed_cells: usize,
+}
+
 /// The immutable multi-layer sample catalog.
 pub struct SampleCatalog {
     /// Layers sorted by rate descending (selection walks from the back).
@@ -79,7 +133,12 @@ pub struct SampleCatalog {
     /// it against the serving table so a mismatched catalog is a typed
     /// error, not a panic or a silently wrong answer.
     schema: flashp_storage::SchemaRef,
+    /// Which measures each bucket serves (shared by every layer); kept so
+    /// [`SampleCatalog::apply_delta`] can reconstruct each cell's sampler.
+    bucket_defs: Vec<Vec<usize>>,
     stats: BuildStats,
+    /// Process-unique, monotonically increasing catalog version.
+    version: u64,
 }
 
 impl SampleCatalog {
@@ -111,17 +170,17 @@ impl SampleCatalog {
             for (bucket_idx, def) in bucket_defs.iter().enumerate() {
                 let sampler = make_sampler(&config.sampler, def, rate);
                 let seed_base = mix(config.seed, layer_idx as u64, bucket_idx as u64);
-                let samples: Vec<Result<Sample, flashp_sampling::SamplingError>> =
+                let cells: Vec<Result<(Sample, Option<GswCellState>), SamplingError>> =
                     parallel_map(&parts, config.threads, |(t, p)| {
                         let mut rng = StdRng::seed_from_u64(mix(seed_base, t.0 as u64, 0x5A));
-                        sampler.sample(&schema, p, &mut rng)
+                        sampler.draw(&schema, p, &mut rng)
                     });
                 let mut map = BTreeMap::new();
-                for ((t, _), s) in parts.iter().zip(samples) {
-                    let s = s?;
-                    layer_rows += s.num_rows();
-                    layer_bytes += s.byte_size();
-                    map.insert(*t, s);
+                for ((t, _), cell) in parts.iter().zip(cells) {
+                    let (sample, gsw) = cell?;
+                    layer_rows += sample.num_rows();
+                    layer_bytes += sample.byte_size();
+                    map.insert(*t, Arc::new(CatalogCell { sample: Arc::new(sample), gsw }));
                 }
                 buckets.push(map);
             }
@@ -133,6 +192,7 @@ impl SampleCatalog {
                 measure_bucket: measure_bucket.clone(),
                 sampler_label: label.clone(),
                 total_rows: layer_rows,
+                config_idx: layer_idx,
             });
         }
         // Keep layers sorted by rate descending for selection.
@@ -143,10 +203,109 @@ impl SampleCatalog {
             layers: stats_layers,
             groups,
         };
-        Ok(SampleCatalog { layers, schema, stats })
+        Ok(SampleCatalog { layers, schema, bucket_defs, stats, version: next_version_id() })
     }
 
-    /// Build statistics recorded when the catalog was drawn.
+    /// Derive a **new catalog version** from this one after an ingest
+    /// delta: only the (layer, bucket, partition) cells whose timestamp
+    /// appears in `delta` are recomputed; every other cell is shared with
+    /// this catalog via `Arc`. `table` must be the post-ingest table and
+    /// `config` the configuration this catalog was built with.
+    ///
+    /// Changed GSW cells whose recorded Δ can only grow are *absorbed*
+    /// incrementally (§4.1's key rule — see
+    /// [`flashp_sampling::GswCellState`]); all other changed cells are
+    /// re-drawn with their deterministic per-cell seed. Either way the
+    /// result is bit-for-bit identical to a full [`SampleCatalog::build`]
+    /// over `table`.
+    pub fn apply_delta(
+        &self,
+        table: &TimeSeriesTable,
+        config: &EngineConfig,
+        delta: &CatalogDelta,
+    ) -> Result<(SampleCatalog, DeltaStats), EngineError> {
+        self.check_schema(table)?;
+        let start_time = Instant::now();
+        let mut delta_stats = DeltaStats::default();
+        let mut layers = Vec::with_capacity(self.layers.len());
+        let mut stats_layers = self.stats.layers.clone();
+        let mut total_bytes = 0usize;
+        for layer in &self.layers {
+            let mut buckets = Vec::with_capacity(layer.buckets.len());
+            for (bucket_idx, bucket) in layer.buckets.iter().enumerate() {
+                let sampler =
+                    make_sampler(&config.sampler, &self.bucket_defs[bucket_idx], layer.rate);
+                let seed_base = mix(config.seed, layer.config_idx as u64, bucket_idx as u64);
+                let mut map = bucket.clone();
+                for &t in delta.changed() {
+                    let Some(partition) = table.partition(t) else { continue };
+                    let absorbed = match (&sampler, map.get(&t).and_then(|c| c.gsw.as_ref())) {
+                        (CellSampler::Gsw(g), Some(state)) => g
+                            .absorb(state, &self.schema, partition)
+                            .map_err(EngineError::Sampling)?,
+                        _ => None,
+                    };
+                    let cell = match absorbed {
+                        Some((sample, next)) => {
+                            delta_stats.absorbed_cells += 1;
+                            CatalogCell { sample: Arc::new(sample), gsw: Some(next) }
+                        }
+                        None => {
+                            delta_stats.rebuilt_cells += 1;
+                            let mut rng = StdRng::seed_from_u64(mix(seed_base, t.0 as u64, 0x5A));
+                            let (sample, gsw) = sampler
+                                .draw(&self.schema, partition, &mut rng)
+                                .map_err(EngineError::Sampling)?;
+                            CatalogCell { sample: Arc::new(sample), gsw }
+                        }
+                    };
+                    map.insert(t, Arc::new(cell));
+                }
+                buckets.push(map);
+            }
+            let rows: usize =
+                buckets.iter().flat_map(|b| b.values()).map(|c| c.sample.num_rows()).sum();
+            let bytes: usize =
+                buckets.iter().flat_map(|b| b.values()).map(|c| c.sample.byte_size()).sum();
+            total_bytes += bytes;
+            stats_layers[layer.config_idx] = LayerStats { rate: layer.rate, rows, bytes };
+            layers.push(CatalogLayer {
+                rate: layer.rate,
+                buckets,
+                measure_bucket: layer.measure_bucket.clone(),
+                sampler_label: layer.sampler_label.clone(),
+                total_rows: rows,
+                config_idx: layer.config_idx,
+            });
+        }
+        let stats = BuildStats {
+            duration: start_time.elapsed(),
+            total_bytes,
+            layers: stats_layers,
+            groups: self.stats.groups.clone(),
+        };
+        Ok((
+            SampleCatalog {
+                layers,
+                schema: self.schema.clone(),
+                bucket_defs: self.bucket_defs.clone(),
+                stats,
+                version: next_version_id(),
+            },
+            delta_stats,
+        ))
+    }
+
+    /// This catalog's process-unique version. Newer catalogs (from later
+    /// [`SampleCatalog::build`]s or [`SampleCatalog::apply_delta`]s)
+    /// always compare greater. `EXPLAIN` reports the version a plan was
+    /// planned against.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Build statistics recorded when the catalog was drawn (or last
+    /// updated by [`SampleCatalog::apply_delta`]).
     pub fn stats(&self) -> &BuildStats {
         &self.stats
     }
@@ -159,6 +318,13 @@ impl SampleCatalog {
     /// Schema of the table this catalog was drawn from.
     pub fn schema(&self) -> &flashp_storage::SchemaRef {
         &self.schema
+    }
+
+    /// The sample serving `measure` at timestamp `t` in layer `layer_idx`
+    /// (layers ordered by rate descending) — a diagnostics window used by
+    /// equivalence tests; estimation goes through the planner.
+    pub fn sample_for(&self, layer_idx: usize, measure: usize, t: Timestamp) -> Option<&Sample> {
+        self.layers.get(layer_idx).and_then(|l| l.sample_at(measure, t))
     }
 
     /// Validate that `table` is the one this catalog describes (same
@@ -194,6 +360,31 @@ impl SampleCatalog {
     /// Layer by index (as chosen by a plan).
     pub(crate) fn layer(&self, idx: usize) -> &CatalogLayer {
         &self.layers[idx]
+    }
+}
+
+/// A bucket's sampler: GSW-family samplers are held concretely so cell
+/// draws can record incremental-maintenance state; everything else goes
+/// through the [`Sampler`] trait object.
+enum CellSampler {
+    Gsw(GswSampler),
+    Dyn(Box<dyn Sampler + Send + Sync>),
+}
+
+impl CellSampler {
+    /// Draw one cell, recording absorb state for GSW samplers.
+    fn draw(
+        &self,
+        schema: &flashp_storage::SchemaRef,
+        partition: &flashp_storage::Partition,
+        rng: &mut StdRng,
+    ) -> Result<(Sample, Option<GswCellState>), SamplingError> {
+        match self {
+            CellSampler::Gsw(g) => {
+                g.sample_recording(schema, partition, rng).map(|(s, st)| (s, Some(st)))
+            }
+            CellSampler::Dyn(d) => d.sample(schema, partition, rng).map(|s| (s, None)),
+        }
     }
 }
 
@@ -261,22 +452,24 @@ fn resolve_buckets(
 }
 
 /// Build the sampler instance for one bucket at one rate.
-fn make_sampler(
-    choice: &SamplerChoice,
-    bucket_measures: &[usize],
-    rate: f64,
-) -> Box<dyn Sampler + Send + Sync> {
+fn make_sampler(choice: &SamplerChoice, bucket_measures: &[usize], rate: f64) -> CellSampler {
     let size = SampleSize::Rate(rate);
     match choice {
-        SamplerChoice::Uniform => Box::new(UniformSampler::new(size)),
-        SamplerChoice::OptimalGsw => Box::new(GswSampler::optimal(bucket_measures[0], size)),
-        SamplerChoice::Priority => Box::new(PrioritySampler::new(bucket_measures[0], size)),
-        SamplerChoice::Threshold => Box::new(ThresholdSampler::new(bucket_measures[0], size)),
+        SamplerChoice::Uniform => CellSampler::Dyn(Box::new(UniformSampler::new(size))),
+        SamplerChoice::OptimalGsw => {
+            CellSampler::Gsw(GswSampler::optimal(bucket_measures[0], size))
+        }
+        SamplerChoice::Priority => {
+            CellSampler::Dyn(Box::new(PrioritySampler::new(bucket_measures[0], size)))
+        }
+        SamplerChoice::Threshold => {
+            CellSampler::Dyn(Box::new(ThresholdSampler::new(bucket_measures[0], size)))
+        }
         SamplerChoice::ArithmeticGsw => {
-            Box::new(GswSampler::arithmetic_compressed(bucket_measures.to_vec(), size))
+            CellSampler::Gsw(GswSampler::arithmetic_compressed(bucket_measures.to_vec(), size))
         }
         SamplerChoice::GeometricGsw => {
-            Box::new(GswSampler::geometric_compressed(bucket_measures.to_vec(), size))
+            CellSampler::Gsw(GswSampler::geometric_compressed(bucket_measures.to_vec(), size))
         }
     }
 }
@@ -350,5 +543,121 @@ mod tests {
         assert_eq!(all, layer.total_rows);
         let half = layer.rows_in_range(0, t0, t0 + 19);
         assert!(half > 0 && half < all);
+    }
+
+    #[test]
+    fn versions_are_unique_and_monotone() {
+        let table = test_table();
+        let config = EngineConfig {
+            layer_rates: vec![0.2],
+            sampler: SamplerChoice::OptimalGsw,
+            ..Default::default()
+        };
+        let a = SampleCatalog::build(&table, &config).unwrap();
+        let b = SampleCatalog::build(&table, &config).unwrap();
+        assert!(b.version() > a.version());
+        let (c, _) = a.apply_delta(&table, &config, &CatalogDelta::default()).unwrap();
+        assert!(c.version() > b.version());
+    }
+
+    #[test]
+    fn delta_shares_unchanged_cells_and_matches_full_rebuild() {
+        use flashp_storage::Value;
+        let mut table = test_table();
+        let config = EngineConfig {
+            layer_rates: vec![0.2, 0.05],
+            sampler: SamplerChoice::OptimalGsw,
+            ..Default::default()
+        };
+        let catalog = SampleCatalog::build(&table, &config).unwrap();
+
+        // Grow one existing day and add one new day.
+        let grown_t = Timestamp::from_yyyymmdd(20200115).unwrap();
+        let new_t = Timestamp::from_yyyymmdd(20200210).unwrap();
+        let mut delta = CatalogDelta::default();
+        for (t, n) in [(grown_t, 300usize), (new_t, 500)] {
+            for row in 0..n as i64 {
+                table
+                    .append_row(
+                        t,
+                        &[Value::Int(row % 10), Value::from(if row % 2 == 0 { "a" } else { "b" })],
+                        &[200.0 + row as f64, 20.0 + row as f64],
+                    )
+                    .unwrap();
+            }
+            delta.record(t, n);
+        }
+
+        let (derived, stats) = catalog.apply_delta(&table, &config, &delta).unwrap();
+        assert!(derived.version() > catalog.version());
+        // 2 layers × 2 per-measure buckets × 2 changed days = 8 cells;
+        // the grown day's cells absorb when Δ grows, the new day rebuilds.
+        assert_eq!(stats.rebuilt_cells + stats.absorbed_cells, 8);
+        assert!(stats.absorbed_cells > 0, "grown GSW cells should absorb");
+
+        // Bit-for-bit identical to a full rebuild of the post-ingest
+        // table (cell seeds depend only on config + coordinates).
+        let full = SampleCatalog::build(&table, &config).unwrap();
+        for layer_idx in 0..full.num_layers() {
+            for measure in 0..2 {
+                for (t, _) in table.partitions() {
+                    let a = derived.sample_for(layer_idx, measure, t).unwrap();
+                    let b = full.sample_for(layer_idx, measure, t).unwrap();
+                    assert_eq!(a.num_rows(), b.num_rows(), "layer {layer_idx} m{measure} {t}");
+                    assert_eq!(a.inclusion_probabilities(), b.inclusion_probabilities());
+                    assert_eq!(a.rows().measure(measure), b.rows().measure(measure));
+                }
+            }
+        }
+        assert_eq!(derived.stats().total_bytes, full.stats().total_bytes);
+
+        // Unchanged cells are physically shared with the parent catalog.
+        let untouched = Timestamp::from_yyyymmdd(20200102).unwrap();
+        assert!(std::ptr::eq(
+            catalog.sample_for(0, 0, untouched).unwrap(),
+            derived.sample_for(0, 0, untouched).unwrap()
+        ));
+        // Changed cells are not.
+        assert!(!std::ptr::eq(
+            catalog.sample_for(0, 0, grown_t).unwrap(),
+            derived.sample_for(0, 0, grown_t).unwrap()
+        ));
+    }
+
+    #[test]
+    fn delta_matches_full_rebuild_for_every_sampler() {
+        use flashp_storage::Value;
+        for sampler in [
+            SamplerChoice::Uniform,
+            SamplerChoice::OptimalGsw,
+            SamplerChoice::Priority,
+            SamplerChoice::Threshold,
+            SamplerChoice::ArithmeticGsw,
+            SamplerChoice::GeometricGsw,
+        ] {
+            let mut table = test_table();
+            let config = EngineConfig {
+                layer_rates: vec![0.1],
+                sampler: sampler.clone(),
+                ..Default::default()
+            };
+            let catalog = SampleCatalog::build(&table, &config).unwrap();
+            let t = Timestamp::from_yyyymmdd(20200120).unwrap();
+            let mut delta = CatalogDelta::default();
+            for row in 0..200i64 {
+                table
+                    .append_row(t, &[Value::Int(row % 10), Value::from("a")], &[300.0, 30.0])
+                    .unwrap();
+            }
+            delta.record(t, 200);
+            let (derived, _) = catalog.apply_delta(&table, &config, &delta).unwrap();
+            let full = SampleCatalog::build(&table, &config).unwrap();
+            for measure in 0..2 {
+                let a = derived.sample_for(0, measure, t).unwrap();
+                let b = full.sample_for(0, measure, t).unwrap();
+                assert_eq!(a.num_rows(), b.num_rows(), "{}", sampler.label());
+                assert_eq!(a.inclusion_probabilities(), b.inclusion_probabilities());
+            }
+        }
     }
 }

@@ -51,7 +51,10 @@ impl SamplerChoice {
 pub enum GroupingPolicy {
     /// KCENTER on normalized-L1 distance over a reference partition
     /// (§4.2), producing `num_groups` groups.
-    Auto { num_groups: usize },
+    Auto {
+        /// Number of groups (compressed samples) to produce.
+        num_groups: usize,
+    },
     /// Explicit groups of measure indices.
     Explicit(Vec<Vec<usize>>),
     /// One group holding every measure.

@@ -1,5 +1,5 @@
-//! The FlashP engine: a cheap, concurrently shareable handle over an
-//! immutable table + sample catalog, fronting the staged query pipeline
+//! The FlashP engine: a cheap, concurrently shareable handle over a
+//! versioned table + sample catalog, fronting the staged query pipeline
 //! `parse → plan → prepare → execute`.
 //!
 //! Mirrors the deployment of §5: the *Offline Sample Preprocessor*
@@ -9,11 +9,23 @@
 //! `Clone + Send + Sync`: every field sits behind an [`Arc`], so handing a
 //! handle to each worker thread copies pointers, not samples.
 //!
+//! The engine serves queries from an **active [`CatalogVersion`]** — an
+//! immutable `(table, catalog)` snapshot behind an atomically swappable
+//! `Arc`. [`FlashPEngine::ingest`] stages new rows invisibly;
+//! [`FlashPEngine::publish`] derives a new catalog version incrementally
+//! (only changed cells recomputed, §4.1) and swaps it in. Every
+//! execution snapshots the active version exactly once, so answers are
+//! never torn across versions and in-flight executions are never blocked
+//! by a swap. All clones of a handle observe publishes; prepared queries
+//! re-snapshot per execution, so the same prepared handle serves fresh
+//! data after each publish.
+//!
 //! One-shot [`FlashPEngine::execute`] keeps an LRU plan cache keyed on the
-//! normalized statement text; repeated statements skip parse/plan.
+//! normalized statement text and scoped to the version it was planned
+//! against; a publish invalidates the replaced version's entries.
 //! [`FlashPEngine::prepare`] goes further and returns a
 //! [`PreparedQuery`] that owns its plan and compiled predicate — the hot
-//! path for a service loop, with no lock anywhere.
+//! path for a service loop, with no lock on the execution path.
 
 use crate::catalog::{BuildStats, SampleCatalog};
 use crate::config::EngineConfig;
@@ -22,11 +34,13 @@ use crate::explain::{explain_plan, PlanNode};
 use crate::planner::{LogicalPlan, Planner};
 use crate::prepared::{ExecCtx, PreparedQuery};
 use crate::result::{ExecOutput, ForecastResult, SelectResult, SeriesPoint};
+use crate::version::{CatalogDelta, CatalogVersion, IngestBatch, PublishStats};
 use flashp_query::{parse, ForecastStmt, SelectStmt, Statement};
 use flashp_storage::{AggFunc, CompiledPredicate, TimeSeriesTable, Timestamp};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Default number of plans the statement cache retains.
 const PLAN_CACHE_CAPACITY: usize = 128;
@@ -46,10 +60,12 @@ pub struct PlanCacheStats {
 /// by every clone of an engine handle. Only the one-shot string APIs
 /// touch it; prepared queries bypass it entirely.
 ///
-/// Every entry records the identity of the catalog it was planned against
-/// (plans embed layer indices): a lookup from a handle holding a
-/// different catalog — e.g. a clone that never attached one — misses and
-/// re-plans instead of executing a stale plan.
+/// Every entry records the [`CatalogVersion::version`] it was planned
+/// against: plans embed layer indices, clamped time ranges and
+/// dictionary-folded predicates, all of which a publish may invalidate,
+/// so a lookup only hits when the requesting handle's active version
+/// matches. [`PlanCache::purge_version`] drops a replaced version's
+/// entries eagerly after a swap.
 struct PlanCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
@@ -59,10 +75,8 @@ struct PlanCache {
 
 struct CacheEntry {
     last_used: u64,
-    /// [`FlashPEngine::catalog_id`] of the planning handle — `None` for
-    /// plans that never touch the catalog (full scans), which any handle
-    /// may reuse regardless of its catalog.
-    catalog_id: Option<usize>,
+    /// [`CatalogVersion::version`] of the planning snapshot.
+    version: u64,
     plan: Arc<LogicalPlan>,
 }
 
@@ -81,18 +95,18 @@ impl PlanCache {
         }
     }
 
-    fn get(&self, key: &str, catalog_id: usize) -> Option<Arc<LogicalPlan>> {
+    fn get(&self, key: &str, version: u64) -> Option<Arc<LogicalPlan>> {
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
-            Some(entry) if entry.catalog_id.is_none() || entry.catalog_id == Some(catalog_id) => {
+            Some(entry) if entry.version == version => {
                 entry.last_used = tick;
                 let plan = entry.plan.clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(plan)
             }
-            // A plan over a different catalog is useless to this handle:
+            // A plan over a different version is useless to this handle:
             // miss and re-plan. The entry stays — a successful re-plan
             // overwrites it, while a handle that cannot plan (e.g. a clone
             // with no catalog) must not evict another handle's good plan.
@@ -103,7 +117,7 @@ impl PlanCache {
         }
     }
 
-    fn insert(&self, key: String, catalog_id: Option<usize>, plan: Arc<LogicalPlan>) {
+    fn insert(&self, key: String, version: u64, plan: Arc<LogicalPlan>) {
         let mut inner = self.inner.lock().expect("plan cache poisoned");
         inner.tick += 1;
         let tick = inner.tick;
@@ -115,11 +129,14 @@ impl PlanCache {
                 inner.map.remove(&lru);
             }
         }
-        inner.map.insert(key, CacheEntry { last_used: tick, catalog_id, plan });
+        inner.map.insert(key, CacheEntry { last_used: tick, version, plan });
     }
 
-    fn clear(&self) {
-        self.inner.lock().expect("plan cache poisoned").map.clear();
+    /// Drop every entry scoped to `version` — called after a publish
+    /// replaces that version, whose entries can never hit again (version
+    /// numbers are process-unique and never reused).
+    fn purge_version(&self, version: u64) {
+        self.inner.lock().expect("plan cache poisoned").map.retain(|_, e| e.version != version);
     }
 
     fn stats(&self) -> PlanCacheStats {
@@ -170,6 +187,41 @@ fn normalize_sql(sql: &str) -> String {
     out
 }
 
+/// The shared, swappable state behind every clone of an engine handle
+/// (and behind every [`PreparedQuery`] prepared from it).
+pub(crate) struct EngineShared {
+    /// The active version. Readers briefly take the read lock to clone
+    /// the `Arc` (one snapshot per execution); a publish takes the write
+    /// lock only for the pointer swap.
+    active: RwLock<Arc<CatalogVersion>>,
+    /// Rows ingested but not yet published, plus the delta of changed
+    /// partitions. Writers (ingest/publish) serialize on this lock;
+    /// readers never touch it.
+    pending: Mutex<PendingIngest>,
+}
+
+#[derive(Default)]
+struct PendingIngest {
+    /// Copy-on-write working table, lazily cloned from the active
+    /// version at the first ingest after a publish.
+    table: Option<TimeSeriesTable>,
+    delta: CatalogDelta,
+}
+
+impl EngineShared {
+    pub(crate) fn new(version: CatalogVersion) -> Self {
+        EngineShared {
+            active: RwLock::new(Arc::new(version)),
+            pending: Mutex::new(PendingIngest::default()),
+        }
+    }
+
+    /// Snapshot the active version (a brief read lock to clone the Arc).
+    pub(crate) fn snapshot(&self) -> Arc<CatalogVersion> {
+        self.active.read().expect("engine version lock poisoned").clone()
+    }
+}
+
 /// The resolution of a one-shot statement string.
 enum Resolved {
     Plan(Arc<LogicalPlan>),
@@ -180,9 +232,8 @@ enum Resolved {
 /// pipeline; see [`SampleCatalog::build`] for the offline stage.
 #[derive(Clone)]
 pub struct FlashPEngine {
-    table: Arc<TimeSeriesTable>,
+    shared: Arc<EngineShared>,
     config: Arc<EngineConfig>,
-    catalog: Option<Arc<SampleCatalog>>,
     plan_cache: Arc<PlanCache>,
 }
 
@@ -195,9 +246,8 @@ impl FlashPEngine {
     /// [`FlashPEngine::build_samples`] — before issuing sampled queries.
     pub fn new(table: impl Into<Arc<TimeSeriesTable>>, config: EngineConfig) -> Self {
         FlashPEngine {
-            table: table.into(),
+            shared: Arc::new(EngineShared::new(CatalogVersion::new(table.into(), None))),
             config: Arc::new(config),
-            catalog: None,
             plan_cache: Arc::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
         }
     }
@@ -215,17 +265,32 @@ impl FlashPEngine {
         config: EngineConfig,
         catalog: impl Into<Arc<SampleCatalog>>,
     ) -> Self {
+        let version = CatalogVersion::new(table.into(), Some(catalog.into()));
         FlashPEngine {
-            table: table.into(),
+            shared: Arc::new(EngineShared::new(version)),
             config: Arc::new(config),
-            catalog: Some(catalog.into()),
             plan_cache: Arc::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
         }
     }
 
-    /// The underlying table.
-    pub fn table(&self) -> &TimeSeriesTable {
-        &self.table
+    /// Snapshot the active [`CatalogVersion`]: the immutable `(table,
+    /// catalog)` pair queries issued *now* would execute against.
+    /// Everything reachable from the snapshot stays valid (and unchanged)
+    /// for as long as the `Arc` is held, regardless of later publishes.
+    pub fn snapshot(&self) -> Arc<CatalogVersion> {
+        self.shared.snapshot()
+    }
+
+    /// The version number of the active snapshot; bumps on every
+    /// [`FlashPEngine::publish`] (and on the legacy
+    /// [`FlashPEngine::build_samples`]).
+    pub fn version(&self) -> u64 {
+        self.snapshot().version()
+    }
+
+    /// The active version's table.
+    pub fn table(&self) -> Arc<TimeSeriesTable> {
+        self.snapshot().table().clone()
     }
 
     /// The engine configuration.
@@ -233,15 +298,15 @@ impl FlashPEngine {
         &self.config
     }
 
-    /// The attached sample catalog, if any.
-    pub fn catalog(&self) -> Option<&SampleCatalog> {
-        self.catalog.as_deref()
+    /// The active version's sample catalog, if any.
+    pub fn catalog(&self) -> Option<Arc<SampleCatalog>> {
+        self.snapshot().catalog().cloned()
     }
 
     /// Resolved measure groups (populated when a catalog built with a
     /// compressed sampler is attached).
-    pub fn groups(&self) -> &[Vec<usize>] {
-        self.catalog.as_deref().map(|c| c.groups()).unwrap_or(&[])
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        self.snapshot().catalog().map(|c| c.groups().to_vec()).unwrap_or_default()
     }
 
     /// Plan-cache hit/miss counters for this handle's shared cache.
@@ -249,98 +314,186 @@ impl FlashPEngine {
         self.plan_cache.stats()
     }
 
+    /// Stage a batch of rows for ingestion. The rows are applied to a
+    /// pending copy-on-write table and are **invisible to queries** until
+    /// the next [`FlashPEngine::publish`]; several batches may accumulate
+    /// into one publish. Returns the number of rows staged. Staging is
+    /// all-or-nothing: a batch that fails partway (e.g. a type mismatch
+    /// in its third item) leaves the pending state exactly as it was.
+    /// Concurrent ingests (and an ingest racing a publish) serialize on
+    /// an internal lock; queries are never blocked.
+    pub fn ingest(&self, batch: IngestBatch) -> Result<usize, EngineError> {
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let mut pending = self.shared.pending.lock().expect("ingest lock poisoned");
+        if pending.table.is_none() {
+            pending.table = Some(self.shared.snapshot().table().as_ref().clone());
+        }
+        // Apply to a copy-on-write scratch clone so a mid-batch error
+        // cannot leave the pending state half-staged (cloning shares
+        // every partition via `Arc`; only the days the batch touches are
+        // physically copied, and on the scratch, not the original).
+        let mut table = pending.table.clone().expect("just initialized");
+        let mut delta = pending.delta.clone();
+        let appended = batch.apply(&mut table, &mut delta)?;
+        pending.table = Some(table);
+        pending.delta = delta;
+        Ok(appended)
+    }
+
+    /// Publish everything staged since the last publish as a new
+    /// [`CatalogVersion`]: derive the new sample catalog incrementally
+    /// ([`SampleCatalog::apply_delta`] — only changed cells recomputed,
+    /// grown GSW cells absorbed per §4.1), swap the active version
+    /// atomically, and invalidate the replaced version's plan-cache
+    /// entries.
+    ///
+    /// In-flight executions keep running, lock-free, against whichever
+    /// version they snapshotted; new executions (including new calls on
+    /// existing [`PreparedQuery`] handles) see the published version. A
+    /// publish with nothing staged is a no-op that reports the current
+    /// version.
+    pub fn publish(&self) -> Result<PublishStats, EngineError> {
+        let start = Instant::now();
+        let mut pending = self.shared.pending.lock().expect("ingest lock poisoned");
+        let old = self.shared.snapshot();
+        if pending.table.is_none() || pending.delta.is_empty() {
+            return Ok(PublishStats {
+                version: old.version(),
+                catalog_version: old.catalog().map(|c| c.version()),
+                appended_rows: 0,
+                changed_partitions: 0,
+                delta: Default::default(),
+                duration: start.elapsed(),
+            });
+        }
+        // Derive the new catalog while still serving the old version —
+        // the expensive part happens outside the swap lock and *before*
+        // the pending state is consumed, so a derivation error leaves
+        // every staged row in place for a later retry.
+        let staged = pending.table.as_ref().expect("checked above");
+        let (catalog, delta_stats) = match old.catalog() {
+            Some(catalog) => {
+                let (derived, stats) = catalog.apply_delta(staged, &self.config, &pending.delta)?;
+                (Some(Arc::new(derived)), stats)
+            }
+            None => (None, Default::default()),
+        };
+        let table = pending.table.take().expect("checked above");
+        let delta = std::mem::take(&mut pending.delta);
+        let next = Arc::new(CatalogVersion::new(Arc::new(table), catalog));
+        let stats = PublishStats {
+            version: next.version(),
+            catalog_version: next.catalog().map(|c| c.version()),
+            appended_rows: delta.appended_rows(),
+            changed_partitions: delta.num_changed(),
+            delta: delta_stats,
+            duration: start.elapsed(),
+        };
+        // The swap: a brief write lock — readers only ever hold this lock
+        // long enough to clone the Arc, so no execution waits on another.
+        *self.shared.active.write().expect("engine version lock poisoned") = next;
+        self.plan_cache.purge_version(old.version());
+        Ok(stats)
+    }
+
     /// Deprecated shim: run the offline sample preprocessor in place.
     ///
     /// Prefer [`SampleCatalog::build`] + [`FlashPEngine::with_catalog`],
     /// which never borrow an engine mutably — the staged API for services
     /// that share one engine handle across threads. This wrapper builds a
-    /// catalog from the engine's own table and configuration, attaches
-    /// it to *this* handle (clones made earlier keep their old catalog),
-    /// and clears the plan cache (cached plans reference catalog layers).
+    /// catalog from the engine's own table and configuration and attaches
+    /// it to *this* handle under a fresh version (clones made earlier
+    /// keep serving their old version; cached plans are version-scoped,
+    /// so no stale plan can execute).
     pub fn build_samples(&mut self) -> Result<BuildStats, EngineError> {
-        let catalog = SampleCatalog::build(&self.table, &self.config)?;
+        let snapshot = self.shared.snapshot();
+        let catalog = SampleCatalog::build(snapshot.table(), &self.config)?;
         let stats = catalog.stats().clone();
-        self.catalog = Some(Arc::new(catalog));
-        self.plan_cache.clear();
+        let version = CatalogVersion::new(snapshot.table().clone(), Some(Arc::new(catalog)));
+        // Detach: this handle moves to a fresh shared slot so earlier
+        // clones keep their catalog-less version, preserving the legacy
+        // per-handle attachment semantics.
+        self.shared = Arc::new(EngineShared::new(version));
         Ok(stats)
     }
 
-    /// Identity of the attached catalog for plan-cache scoping: the
-    /// catalog `Arc`'s address, or 0 when none is attached. Two handles
-    /// share cached plans only while they share a catalog.
-    fn catalog_id(&self) -> usize {
-        self.catalog.as_ref().map(|c| Arc::as_ptr(c) as usize).unwrap_or(0)
+    fn planner<'a>(&'a self, snapshot: &'a CatalogVersion) -> Planner<'a> {
+        Planner::new(snapshot.table(), &self.config, snapshot.catalog().map(|c| c.as_ref()))
     }
 
-    fn ctx(&self) -> ExecCtx<'_> {
-        ExecCtx { table: &self.table, config: &self.config, catalog: self.catalog.as_deref() }
-    }
-
-    fn planner(&self) -> Planner<'_> {
-        Planner::new(&self.table, &self.config, self.catalog.as_deref())
+    fn ctx<'a>(&'a self, snapshot: &'a CatalogVersion) -> ExecCtx<'a> {
+        ExecCtx {
+            table: snapshot.table(),
+            config: &self.config,
+            catalog: snapshot.catalog().map(|c| c.as_ref()),
+        }
     }
 
     /// Plan a parsed statement (the `plan` stage, exposed for callers that
-    /// parse or build statements themselves).
+    /// parse or build statements themselves). Plans against the active
+    /// version at the time of the call.
     pub fn plan(&self, stmt: &Statement) -> Result<LogicalPlan, EngineError> {
-        self.planner().plan(stmt)
+        self.planner(&self.snapshot()).plan(stmt)
     }
 
     /// Prepare a statement: parse, plan, and package into a `Send + Sync`
     /// [`PreparedQuery`] executable repeatedly (and concurrently) through
     /// `&self`. `?` placeholders in the constraint become parameters of
-    /// [`PreparedQuery::execute_with`].
+    /// [`PreparedQuery::execute_with`]. Each execution snapshots the
+    /// engine's *then-active* version (re-planning lazily when a publish
+    /// moved it), so the same prepared handle serves newly published
+    /// data — including days outside the range the plan originally
+    /// clamped to.
     pub fn prepare(&self, sql: &str) -> Result<PreparedQuery, EngineError> {
         let stmt = parse(sql)?;
         if matches!(stmt, Statement::Explain(_)) {
             return Err(EngineError::WrongStatement { expected: "FORECAST or SELECT" });
         }
-        let plan = self.planner().plan(&stmt)?;
+        let snapshot = self.snapshot();
+        let plan = self.planner(&snapshot).plan(&stmt)?;
         Ok(PreparedQuery::new(
-            self.table.clone(),
+            self.shared.clone(),
             self.config.clone(),
-            self.catalog.clone(),
             stmt,
+            snapshot.version(),
             plan,
         ))
     }
 
     /// Plan a statement and render it as an `EXPLAIN` tree without
     /// executing. Accepts the statement with or without a leading
-    /// `EXPLAIN` keyword.
+    /// `EXPLAIN` keyword. Sampled plans name the catalog version they
+    /// were planned against.
     pub fn explain(&self, sql: &str) -> Result<PlanNode, EngineError> {
         let stmt = match parse(sql)? {
             Statement::Explain(inner) => *inner,
             other => other,
         };
-        let plan = self.planner().plan(&stmt)?;
-        Ok(explain_plan(&plan, self.table.schema()))
+        let snapshot = self.snapshot();
+        let plan = self.planner(&snapshot).plan(&stmt)?;
+        Ok(explain_plan(&plan, snapshot.table().schema()))
     }
 
-    /// Resolve a one-shot statement string: serve the plan from the LRU
-    /// cache when the normalized text matches, otherwise parse + plan and
+    /// Resolve a one-shot statement string against `snapshot`: serve the
+    /// plan from the LRU cache when the normalized text matches and was
+    /// planned against the same version, otherwise parse + plan and
     /// cache. `EXPLAIN` statements plan but render instead of executing
     /// (and are never cached — their output *is* the plan).
-    fn resolve(&self, sql: &str) -> Result<Resolved, EngineError> {
+    fn resolve(&self, snapshot: &CatalogVersion, sql: &str) -> Result<Resolved, EngineError> {
         let key = normalize_sql(sql);
-        let catalog_id = self.catalog_id();
-        if let Some(plan) = self.plan_cache.get(&key, catalog_id) {
+        if let Some(plan) = self.plan_cache.get(&key, snapshot.version()) {
             return Ok(Resolved::Plan(plan));
         }
         match parse(sql)? {
             Statement::Explain(inner) => {
-                let plan = self.planner().plan(&inner)?;
-                Ok(Resolved::Explain(explain_plan(&plan, self.table.schema())))
+                let plan = self.planner(snapshot).plan(&inner)?;
+                Ok(Resolved::Explain(explain_plan(&plan, snapshot.table().schema())))
             }
             stmt => {
-                let plan = Arc::new(self.planner().plan(&stmt)?);
-                // Full-scan plans never reference the catalog; cache them
-                // unscoped so every handle sharing the cache can hit.
-                let scope = match plan.source() {
-                    crate::planner::ScanSource::SampleLayer { .. } => Some(catalog_id),
-                    crate::planner::ScanSource::FullScan { .. } => None,
-                };
-                self.plan_cache.insert(key, scope, plan.clone());
+                let plan = Arc::new(self.planner(snapshot).plan(&stmt)?);
+                self.plan_cache.insert(key, snapshot.version(), plan.clone());
                 Ok(Resolved::Plan(plan))
             }
         }
@@ -348,17 +501,19 @@ impl FlashPEngine {
 
     /// Execute any statement. `EXPLAIN <stmt>` returns the rendered plan.
     pub fn execute(&self, sql: &str) -> Result<ExecOutput, EngineError> {
-        match self.resolve(sql)? {
-            Resolved::Plan(plan) => self.ctx().execute_plan(&plan, &[]),
+        let snapshot = self.snapshot();
+        match self.resolve(&snapshot, sql)? {
+            Resolved::Plan(plan) => self.ctx(&snapshot).execute_plan(&plan, &[]),
             Resolved::Explain(node) => Ok(ExecOutput::Plan(node)),
         }
     }
 
     /// Execute a FORECAST statement (errors on SELECT/EXPLAIN).
     pub fn forecast(&self, sql: &str) -> Result<ForecastResult, EngineError> {
-        match self.resolve(sql)? {
+        let snapshot = self.snapshot();
+        match self.resolve(&snapshot, sql)? {
             Resolved::Plan(plan) => match &*plan {
-                LogicalPlan::Forecast(p) => self.ctx().execute_forecast(p, &[]),
+                LogicalPlan::Forecast(p) => self.ctx(&snapshot).execute_forecast(p, &[]),
                 LogicalPlan::Select(_) => Err(EngineError::WrongStatement { expected: "FORECAST" }),
             },
             Resolved::Explain(_) => Err(EngineError::WrongStatement { expected: "FORECAST" }),
@@ -367,9 +522,10 @@ impl FlashPEngine {
 
     /// Execute a SELECT statement (errors on FORECAST/EXPLAIN).
     pub fn select(&self, sql: &str) -> Result<SelectResult, EngineError> {
-        match self.resolve(sql)? {
+        let snapshot = self.snapshot();
+        match self.resolve(&snapshot, sql)? {
             Resolved::Plan(plan) => match &*plan {
-                LogicalPlan::Select(p) => self.ctx().execute_select(p, &[]),
+                LogicalPlan::Select(p) => self.ctx(&snapshot).execute_select(p, &[]),
                 LogicalPlan::Forecast(_) => Err(EngineError::WrongStatement { expected: "SELECT" }),
             },
             Resolved::Explain(_) => Err(EngineError::WrongStatement { expected: "SELECT" }),
@@ -379,14 +535,16 @@ impl FlashPEngine {
     /// Run a forecasting task from a parsed statement (plans, then runs
     /// the full two-phase pipeline of §2.1). Bypasses the plan cache.
     pub fn run_forecast(&self, stmt: &ForecastStmt) -> Result<ForecastResult, EngineError> {
-        let plan = self.planner().plan_forecast(stmt)?;
-        self.ctx().execute_forecast(&plan, &[])
+        let snapshot = self.snapshot();
+        let plan = self.planner(&snapshot).plan_forecast(stmt)?;
+        self.ctx(&snapshot).execute_forecast(&plan, &[])
     }
 
     /// Run a SELECT from a parsed statement. Bypasses the plan cache.
     pub fn run_select(&self, stmt: &SelectStmt) -> Result<SelectResult, EngineError> {
-        let plan = self.planner().plan_select(stmt)?;
-        self.ctx().execute_select(&plan, &[])
+        let snapshot = self.snapshot();
+        let plan = self.planner(&snapshot).plan_select(stmt)?;
+        self.ctx(&snapshot).execute_select(&plan, &[])
     }
 
     /// Estimate the per-timestamp aggregates over `[start, end]`. Rate 1
@@ -402,13 +560,14 @@ impl FlashPEngine {
         end: Timestamp,
         rate: f64,
     ) -> Result<(Vec<SeriesPoint>, String, f64), EngineError> {
-        let ctx = self.ctx();
+        let snapshot = self.snapshot();
+        let ctx = self.ctx(&snapshot);
         if rate >= 1.0 {
             let points = ctx.estimate_exact(measure, pred, agg, start, end)?;
             return Ok((points, "full scan".to_string(), 1.0));
         }
-        let catalog = self.catalog.as_deref().ok_or_else(EngineError::no_samples)?;
-        catalog.check_schema(&self.table)?;
+        let catalog = snapshot.catalog().ok_or_else(EngineError::no_samples)?;
+        catalog.check_schema(snapshot.table())?;
         let (_, layer) = catalog.select_layer(rate).ok_or_else(EngineError::no_samples)?;
         let points = ctx.estimate_from_layer(
             layer,
@@ -429,6 +588,7 @@ mod tests {
     use super::*;
     use crate::config::{GroupingPolicy, SamplerChoice};
     use crate::test_support::test_table;
+    use flashp_storage::Value;
 
     fn engine(sampler: SamplerChoice) -> FlashPEngine {
         let config = EngineConfig {
@@ -473,7 +633,7 @@ mod tests {
         ] {
             let e = engine(sampler.clone());
             let pred = e
-                .table
+                .table()
                 .compile_predicate(&flashp_storage::Predicate::cmp(
                     "seg",
                     flashp_storage::CmpOp::Le,
@@ -527,12 +687,12 @@ mod tests {
         assert_eq!(r.rows.len(), 5);
         assert!(!r.approximate);
         // Matches the per-day engine estimate at rate 1.
-        let pred = e
-            .table
+        let table = e.table();
+        let pred = table
             .compile_predicate(&flashp_storage::Predicate::cmp("seg", flashp_storage::CmpOp::Le, 5))
             .unwrap();
         let t0 = Timestamp::from_yyyymmdd(20200101).unwrap();
-        let exact = e.table.aggregate_at(t0, 0, &pred, AggFunc::Sum).unwrap();
+        let exact = table.aggregate_at(t0, 0, &pred, AggFunc::Sum).unwrap();
         assert_eq!(r.rows[0].1, exact);
     }
 
@@ -589,7 +749,7 @@ mod tests {
 
     #[test]
     fn mismatched_catalog_is_a_typed_error() {
-        use flashp_storage::{DataType, Schema, Value};
+        use flashp_storage::{DataType, Schema};
         // Catalog built from a 1-measure table…
         let schema = Schema::from_names(&[("seg", DataType::Int64)], &["m"]).unwrap().into_shared();
         let mut small = flashp_storage::TimeSeriesTable::new(schema);
@@ -626,7 +786,7 @@ mod tests {
     fn approximate_select_tolerates_partition_gaps() {
         // A table with a hole (no rows on day 2): the sampled SELECT must
         // answer wherever the exact SELECT answers, skipping absent days.
-        use flashp_storage::{DataType, Schema, Value};
+        use flashp_storage::{DataType, Schema};
         let schema = Schema::from_names(&[("seg", DataType::Int64)], &["m"]).unwrap().into_shared();
         let mut table = flashp_storage::TimeSeriesTable::new(schema);
         let t0 = Timestamp::from_yyyymmdd(20200101).unwrap();
@@ -776,6 +936,9 @@ mod tests {
         let est = node.find("SampleEstimate").expect("sampled plan");
         let planned_rate: f64 = est.prop("rate").unwrap().parse().unwrap();
         let planned_sampler = est.prop("sampler").unwrap().to_string();
+        // The catalog version in the plan is the active catalog's.
+        let planned_version: u64 = est.prop("catalog_version").unwrap().parse().unwrap();
+        assert_eq!(planned_version, e.catalog().unwrap().version());
         let r = e.forecast(FORECAST_SQL).unwrap();
         assert_eq!(r.rate_used, planned_rate);
         assert_eq!(r.sampler, planned_sampler);
@@ -881,7 +1044,7 @@ mod tests {
             };
             let mut e = FlashPEngine::new(test_table(), config);
             e.build_samples().unwrap();
-            let pred = e.table.compile_predicate(&flashp_storage::Predicate::True).unwrap();
+            let pred = e.table().compile_predicate(&flashp_storage::Predicate::True).unwrap();
             let start = Timestamp::from_yyyymmdd(20200101).unwrap();
             let (points, _, _) =
                 e.estimate_series(0, &pred, AggFunc::Sum, start, start + 10, 0.1).unwrap();
@@ -913,22 +1076,24 @@ mod tests {
                 source: crate::planner::ScanSource::FullScan { est_rows: 0 },
             }))
         };
-        cache.insert("a".to_string(), Some(1), plan());
-        cache.insert("b".to_string(), Some(1), plan());
+        cache.insert("a".to_string(), 1, plan());
+        cache.insert("b".to_string(), 1, plan());
         assert!(cache.get("a", 1).is_some()); // refresh a
-        cache.insert("c".to_string(), Some(1), plan()); // evicts b
+        cache.insert("c".to_string(), 1, plan()); // evicts b
         assert!(cache.get("a", 1).is_some());
         assert!(cache.get("b", 1).is_none());
         assert!(cache.get("c", 1).is_some());
         assert_eq!(cache.stats().entries, 2);
-        // A different catalog identity never sees another catalog's
-        // sampled plans, but the entry survives for its planning handle.
+        // A different version never sees another version's plans, but the
+        // entry survives for handles still serving its version.
         assert!(cache.get("a", 2).is_none());
         assert!(cache.get("a", 1).is_some());
-        // Catalog-independent (full-scan) plans hit from any handle.
-        cache.insert("d".to_string(), None, plan());
-        assert!(cache.get("d", 1).is_some());
+        // Purging a replaced version drops exactly its entries.
+        cache.insert("d".to_string(), 2, plan());
+        cache.purge_version(1);
+        assert!(cache.get("a", 1).is_none());
         assert!(cache.get("d", 2).is_some());
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]
@@ -955,5 +1120,84 @@ mod tests {
         let before = built.plan_cache_stats().hits;
         built.forecast(FORECAST_SQL).unwrap();
         assert!(built.plan_cache_stats().hits > before);
+    }
+
+    #[test]
+    fn ingest_is_invisible_until_publish() {
+        let e = engine(SamplerChoice::OptimalGsw);
+        let v0 = e.version();
+        let count_sql = "SELECT COUNT(*) FROM T WHERE t = 20200101";
+        assert_eq!(e.select(count_sql).unwrap().rows[0].1, 400.0);
+
+        let mut batch = IngestBatch::new();
+        let t = Timestamp::from_yyyymmdd(20200101).unwrap();
+        for row in 0..50i64 {
+            batch.push_row(t, &[Value::Int(row % 10), Value::from("a")], &[500.0, 50.0]);
+        }
+        assert_eq!(e.ingest(batch).unwrap(), 50);
+        // Still invisible: same version, same answer.
+        assert_eq!(e.version(), v0);
+        assert_eq!(e.select(count_sql).unwrap().rows[0].1, 400.0);
+
+        let stats = e.publish().unwrap();
+        assert!(stats.version > v0);
+        assert_eq!(stats.appended_rows, 50);
+        assert_eq!(stats.changed_partitions, 1);
+        assert_eq!(e.version(), stats.version);
+        assert_eq!(e.select(count_sql).unwrap().rows[0].1, 450.0);
+        // Clones observe the publish (same shared slot).
+        assert_eq!(e.clone().select(count_sql).unwrap().rows[0].1, 450.0);
+
+        // Publishing with nothing staged is a no-op.
+        let idle = e.publish().unwrap();
+        assert_eq!(idle.version, stats.version);
+        assert_eq!(idle.appended_rows, 0);
+    }
+
+    #[test]
+    fn prepared_handle_serves_published_data() {
+        let e = engine(SamplerChoice::Uniform);
+        let prepared = e.prepare("SELECT SUM(m1) FROM T WHERE t = 20200102").unwrap();
+        let before = prepared.select_with(&[]).unwrap().rows[0].1;
+
+        let mut batch = IngestBatch::new();
+        let t = Timestamp::from_yyyymmdd(20200102).unwrap();
+        batch.push_row(t, &[Value::Int(0), Value::from("a")], &[1000.0, 100.0]);
+        e.ingest(batch).unwrap();
+        // Unpublished: the prepared handle still answers from the old
+        // version.
+        assert_eq!(prepared.select_with(&[]).unwrap().rows[0].1, before);
+        e.publish().unwrap();
+        // Published: the *same* prepared handle sees the new rows.
+        let after = prepared.select_with(&[]).unwrap().rows[0].1;
+        assert!((after - (before + 1000.0)).abs() < 1e-6, "{after} vs {before}");
+    }
+
+    #[test]
+    fn publish_scopes_plan_cache_to_the_new_version() {
+        let e = engine(SamplerChoice::OptimalGsw);
+        e.forecast(FORECAST_SQL).unwrap(); // plan cached at v0
+        let hits0 = e.plan_cache_stats().hits;
+        e.forecast(FORECAST_SQL).unwrap(); // hits at v0
+        assert!(e.plan_cache_stats().hits > hits0);
+
+        let mut batch = IngestBatch::new();
+        let t = Timestamp::from_yyyymmdd(20200103).unwrap();
+        batch.push_row(t, &[Value::Int(1), Value::from("b")], &[900.0, 90.0]);
+        e.ingest(batch).unwrap();
+        e.publish().unwrap();
+
+        // The v0-scoped entry was purged; the first post-publish execution
+        // re-plans (miss), the second hits at the new version.
+        let (hits1, misses1) = {
+            let s = e.plan_cache_stats();
+            (s.hits, s.misses)
+        };
+        e.forecast(FORECAST_SQL).unwrap();
+        let s = e.plan_cache_stats();
+        assert_eq!(s.hits, hits1, "stale plan must not be served");
+        assert!(s.misses > misses1);
+        e.forecast(FORECAST_SQL).unwrap();
+        assert!(e.plan_cache_stats().hits > hits1);
     }
 }

@@ -22,7 +22,10 @@ pub enum EngineError {
     /// allowed, or parameters supplied to a parameterless statement.
     Parameter(String),
     /// The statement was of the wrong kind for the API called.
-    WrongStatement { expected: &'static str },
+    WrongStatement {
+        /// The statement kind the API expected (e.g. `"FORECAST"`).
+        expected: &'static str,
+    },
 }
 
 impl EngineError {

@@ -114,15 +114,22 @@ fn source_node(source: &ScanSource) -> PlanNode {
         ScanSource::FullScan { est_rows } => {
             PlanNode::new("FullScan").with("sampler", "full scan").with("est_rows", est_rows)
         }
-        ScanSource::SampleLayer { layer, rate, sampler, bucket, est_rows, rationale } => {
-            PlanNode::new("SampleEstimate")
-                .with("sampler", sampler)
-                .with("layer", layer)
-                .with("rate", rate)
-                .with("bucket", bucket)
-                .with("est_rows", est_rows)
-                .with("rationale", rationale)
-        }
+        ScanSource::SampleLayer {
+            layer,
+            rate,
+            sampler,
+            bucket,
+            est_rows,
+            rationale,
+            catalog_version,
+        } => PlanNode::new("SampleEstimate")
+            .with("sampler", sampler)
+            .with("layer", layer)
+            .with("rate", rate)
+            .with("bucket", bucket)
+            .with("est_rows", est_rows)
+            .with("catalog_version", catalog_version)
+            .with("rationale", rationale),
     }
 }
 

@@ -34,6 +34,19 @@
 //! The offline stage lives in [`catalog`]: [`SampleCatalog::build`] draws
 //! every layer × bucket × partition sample without borrowing an engine,
 //! and the resulting catalog is immutable and freely shareable.
+//!
+//! ## Live ingest and versioned catalogs
+//!
+//! Tables and catalogs are *versioned* ([`version`]): the engine serves
+//! queries from an immutable [`CatalogVersion`] snapshot behind an
+//! atomically swappable `Arc`. [`FlashPEngine::ingest`] stages new rows
+//! invisibly; [`FlashPEngine::publish`] derives the next catalog version
+//! incrementally — only changed (layer, bucket, partition) cells are
+//! recomputed, and grown GSW cells are absorbed via the §4.1 key rule —
+//! then swaps it in without blocking in-flight executions. See
+//! `ARCHITECTURE.md` at the repository root for the full lifecycle.
+
+#![warn(missing_docs)]
 
 pub mod catalog;
 pub mod config;
@@ -44,8 +57,9 @@ pub mod models;
 pub mod planner;
 pub mod prepared;
 pub mod result;
+pub mod version;
 
-pub use catalog::{BuildStats, LayerStats, SampleCatalog};
+pub use catalog::{BuildStats, DeltaStats, LayerStats, SampleCatalog};
 pub use config::{EngineConfig, GroupingPolicy, SamplerChoice};
 pub use engine::{FlashPEngine, PlanCacheStats};
 pub use error::EngineError;
@@ -56,6 +70,7 @@ pub use prepared::PreparedQuery;
 pub use result::{
     ExecOutput, ForecastOut, ForecastResult, SelectResult, SelectRow, SeriesPoint, Timing,
 };
+pub use version::{CatalogDelta, CatalogVersion, IngestBatch, PublishStats};
 
 // Re-exported so engine users can parse statements and bind parameters
 // without depending on flashp-query directly.

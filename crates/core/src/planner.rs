@@ -55,6 +55,12 @@ pub enum ScanSource {
         est_rows: usize,
         /// Why this layer was chosen over the others.
         rationale: String,
+        /// [`SampleCatalog::version`] of the catalog the plan was made
+        /// against — reported by `EXPLAIN`. Catalog versions derived via
+        /// [`SampleCatalog::apply_delta`] keep the same layer/bucket
+        /// structure, so the plan stays executable after a publish; the
+        /// version records which samples sized its estimates.
+        catalog_version: u64,
     },
 }
 
@@ -110,17 +116,21 @@ impl PredicateSlot {
     }
 }
 
-/// A fully planned FORECAST task.
+/// A fully planned FORECAST task (the two-phase pipeline of §2.1: the
+/// per-timestamp aggregation batch of Eq. 4, then model fit + predict).
 #[derive(Debug, Clone)]
 pub struct ForecastPlan {
+    /// Bound aggregate function.
     pub agg: AggFunc,
     /// Resolved measure column index.
     pub measure: usize,
     /// Measure name as written in the statement.
     pub measure_name: String,
+    /// Compiled (or templated) dimension constraint `C`.
     pub predicate: PredicateSlot,
     /// Training window (inclusive).
     pub t_start: Timestamp,
+    /// End of the training window (inclusive).
     pub t_end: Timestamp,
     /// Requested sampling rate (after defaulting).
     pub rate: f64,
@@ -132,30 +142,36 @@ pub struct ForecastPlan {
     pub confidence: f64,
     /// Noise-aware interval widening (Proposition 1).
     pub noise_aware: bool,
+    /// Where the training estimates come from (full scan vs sample layer).
     pub source: ScanSource,
 }
 
 /// A fully planned SELECT query.
 #[derive(Debug, Clone)]
 pub struct SelectPlan {
+    /// Bound aggregate function.
     pub agg: AggFunc,
     /// Resolved measure column index.
     pub measure: usize,
     /// Measure name as written in the statement.
     pub measure_name: String,
+    /// Compiled (or templated) dimension constraint.
     pub predicate: PredicateSlot,
     /// Scan range clamped to the table's bounds; `None` when the clamped
     /// range is empty (the plan returns zero rows).
     pub range: Option<(Timestamp, Timestamp)>,
     /// One row per timestamp (`GROUP BY t`) vs a single scalar row.
     pub group_by_time: bool,
+    /// Where the answer comes from (full scan vs sample layer).
     pub source: ScanSource,
 }
 
 /// A typed, executable plan.
 #[derive(Debug, Clone)]
 pub enum LogicalPlan {
+    /// A planned FORECAST task.
     Forecast(ForecastPlan),
+    /// A planned SELECT query.
     Select(SelectPlan),
 }
 
@@ -185,6 +201,8 @@ pub struct Planner<'a> {
 }
 
 impl<'a> Planner<'a> {
+    /// A planner over one table + configuration + optional catalog
+    /// snapshot (everything borrowed for the planning call only).
     pub fn new(
         table: &'a TimeSeriesTable,
         config: &'a EngineConfig,
@@ -284,6 +302,7 @@ impl<'a> Planner<'a> {
             bucket: layer.bucket_for(measure),
             est_rows: layer.rows_in_range(measure, start, end),
             rationale,
+            catalog_version: catalog.version(),
         })
     }
 

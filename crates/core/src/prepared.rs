@@ -1,11 +1,15 @@
 //! Prepared statements and plan execution.
 //!
-//! A [`PreparedQuery`] owns a typed [`LogicalPlan`] plus `Arc`s of the
-//! table, configuration and sample catalog it was planned against. It is
-//! `Send + Sync` and executes through `&self` — many threads can run the
-//! same prepared statement concurrently with no locks; each call draws
-//! fresh [`MaskScratch`] buffers that are reused across the whole Eq. (4)
-//! per-timestamp batch of that call.
+//! A [`PreparedQuery`] owns a typed [`LogicalPlan`] plus a handle to the
+//! engine's shared version slot. It is `Send + Sync` and executes through
+//! `&self` — many threads can run the same prepared statement
+//! concurrently; each call snapshots the engine's active
+//! [`crate::CatalogVersion`] exactly once and then runs lock-free against
+//! it, drawing fresh [`MaskScratch`] buffers that are reused across the
+//! whole Eq. (4) per-timestamp batch of that call. Because the snapshot
+//! is per-execution, the same prepared handle serves newly published
+//! data after every [`crate::FlashPEngine::publish`], and no execution
+//! can ever straddle two versions.
 
 use crate::catalog::SampleCatalog;
 use crate::config::EngineConfig;
@@ -21,7 +25,7 @@ use flashp_storage::{
     AggFunc, CompiledPredicate, MaskScratch, ScanOptions, TimeSeriesTable, Timestamp,
 };
 use std::borrow::Cow;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// How per-timestamp estimation treats a timestamp with no stored sample.
@@ -131,7 +135,7 @@ impl ExecCtx<'_> {
         let ts: Vec<Timestamp> = start.range_inclusive(end).collect();
         let threads = if layer.total_rows < 200_000 { 1 } else { self.config.threads };
         parallel_map_with(&ts, threads, MaskScratch::new, |scratch, &t| {
-            f(scratch, t, bucket.get(&t))
+            f(scratch, t, bucket.get(&t).map(|c| c.sample.as_ref()))
         })
         .into_iter()
         .collect()
@@ -382,32 +386,54 @@ impl ExecCtx<'_> {
 ///
 /// Created by [`crate::FlashPEngine::prepare`]. The query's names are
 /// bound, its options validated, its predicate constant-folded (unless it
-/// has `?` placeholders) and its serving sample layer chosen — once.
-/// Execution through [`PreparedQuery::execute`] / [`execute_with`] repeats
-/// none of that work.
+/// has `?` placeholders) and its serving sample layer chosen — once per
+/// engine version. Execution through [`PreparedQuery::execute`] /
+/// [`execute_with`] repeats none of that work while the engine version is
+/// unchanged; the first execution after a
+/// [`crate::FlashPEngine::publish`] re-plans against the new version, so
+/// version-dependent plan constants (the clamped time range, dictionary
+/// codes folded into the predicate, the layer's estimated row counts)
+/// never go stale — a prepared `SELECT` whose statement covers a
+/// newly published day includes it, exactly like a fresh one-shot of the
+/// same text.
 ///
 /// `PreparedQuery` is `Send + Sync` and cheap to share: wrap it in an
 /// [`Arc`] (or just reference it from scoped threads) and execute from as
-/// many threads as you like — there is no interior mutability and no lock.
+/// many threads as you like. The only synchronization on the execution
+/// path is the per-execution snapshot of the engine's active version (a
+/// read-lock held just long enough to clone an `Arc`) and a same-version
+/// check on the handle's internal plan slot; estimation and forecasting
+/// themselves run lock-free against the snapshot.
 ///
 /// [`execute_with`]: PreparedQuery::execute_with
 pub struct PreparedQuery {
-    table: Arc<TimeSeriesTable>,
+    shared: Arc<crate::engine::EngineShared>,
     config: Arc<EngineConfig>,
-    catalog: Option<Arc<SampleCatalog>>,
     statement: Statement,
-    plan: LogicalPlan,
+    /// The plan for `cached.version`; re-planned lazily when the engine
+    /// version moves.
+    cached: Mutex<CachedPlan>,
+}
+
+struct CachedPlan {
+    version: u64,
+    plan: Arc<LogicalPlan>,
 }
 
 impl PreparedQuery {
     pub(crate) fn new(
-        table: Arc<TimeSeriesTable>,
+        shared: Arc<crate::engine::EngineShared>,
         config: Arc<EngineConfig>,
-        catalog: Option<Arc<SampleCatalog>>,
         statement: Statement,
+        version: u64,
         plan: LogicalPlan,
     ) -> Self {
-        PreparedQuery { table, config, catalog, statement, plan }
+        PreparedQuery {
+            shared,
+            config,
+            statement,
+            cached: Mutex::new(CachedPlan { version, plan: Arc::new(plan) }),
+        }
     }
 
     /// The parsed statement this query was prepared from.
@@ -415,23 +441,53 @@ impl PreparedQuery {
         &self.statement
     }
 
-    /// The plan the executor will run.
-    pub fn plan(&self) -> &LogicalPlan {
-        &self.plan
+    /// The plan the executor would run against the engine's current
+    /// version (re-planning first if a publish happened since the last
+    /// execution).
+    pub fn plan(&self) -> Result<Arc<LogicalPlan>, EngineError> {
+        self.current_plan(&self.shared.snapshot())
     }
 
     /// Number of `?` parameters [`PreparedQuery::execute_with`] expects.
+    /// Fixed by the statement text, independent of re-planning.
     pub fn num_params(&self) -> usize {
-        self.plan.num_params()
+        self.cached.lock().expect("prepared plan poisoned").plan.num_params()
     }
 
-    /// Render the plan as an `EXPLAIN` tree without executing.
-    pub fn explain(&self) -> PlanNode {
-        explain_plan(&self.plan, self.table.schema())
+    /// Render the current plan as an `EXPLAIN` tree without executing.
+    /// Sampled plans name the catalog version the next execution will
+    /// answer from.
+    pub fn explain(&self) -> Result<PlanNode, EngineError> {
+        let snapshot = self.shared.snapshot();
+        let plan = self.current_plan(&snapshot)?;
+        Ok(explain_plan(&plan, snapshot.table().schema()))
     }
 
-    fn ctx(&self) -> ExecCtx<'_> {
-        ExecCtx { table: &self.table, config: &self.config, catalog: self.catalog.as_deref() }
+    /// The plan for `snapshot`'s version: the cached one when the version
+    /// is unchanged, otherwise a fresh plan (planning runs outside the
+    /// slot lock; the statement was validated at prepare time, so
+    /// re-planning only fails if the engine state regressed, e.g. a
+    /// handle whose catalog was never attached).
+    fn current_plan(
+        &self,
+        snapshot: &crate::version::CatalogVersion,
+    ) -> Result<Arc<LogicalPlan>, EngineError> {
+        {
+            let cached = self.cached.lock().expect("prepared plan poisoned");
+            if cached.version == snapshot.version() {
+                return Ok(cached.plan.clone());
+            }
+        }
+        let planner = crate::planner::Planner::new(
+            snapshot.table(),
+            &self.config,
+            snapshot.catalog().map(|c| c.as_ref()),
+        );
+        let plan = Arc::new(planner.plan(&self.statement)?);
+        let mut cached = self.cached.lock().expect("prepared plan poisoned");
+        cached.version = snapshot.version();
+        cached.plan = plan.clone();
+        Ok(plan)
     }
 
     /// Execute a parameterless prepared statement.
@@ -439,24 +495,40 @@ impl PreparedQuery {
         self.execute_with(&[])
     }
 
-    /// Execute, binding `?` placeholder `i` to `params[i]`.
+    /// Execute, binding `?` placeholder `i` to `params[i]`. Snapshots the
+    /// engine's active version once; the whole execution answers from
+    /// exactly that version.
     pub fn execute_with(&self, params: &[Literal]) -> Result<ExecOutput, EngineError> {
-        self.ctx().execute_plan(&self.plan, params)
+        let snapshot = self.shared.snapshot();
+        let plan = self.current_plan(&snapshot)?;
+        self.ctx(&snapshot).execute_plan(&plan, params)
     }
 
     /// Execute a prepared FORECAST (errors on SELECT).
     pub fn forecast_with(&self, params: &[Literal]) -> Result<ForecastResult, EngineError> {
-        match &self.plan {
-            LogicalPlan::Forecast(p) => self.ctx().execute_forecast(p, params),
+        let snapshot = self.shared.snapshot();
+        let plan = self.current_plan(&snapshot)?;
+        match &*plan {
+            LogicalPlan::Forecast(p) => self.ctx(&snapshot).execute_forecast(p, params),
             LogicalPlan::Select(_) => Err(EngineError::WrongStatement { expected: "FORECAST" }),
         }
     }
 
     /// Execute a prepared SELECT (errors on FORECAST).
     pub fn select_with(&self, params: &[Literal]) -> Result<SelectResult, EngineError> {
-        match &self.plan {
-            LogicalPlan::Select(p) => self.ctx().execute_select(p, params),
+        let snapshot = self.shared.snapshot();
+        let plan = self.current_plan(&snapshot)?;
+        match &*plan {
+            LogicalPlan::Select(p) => self.ctx(&snapshot).execute_select(p, params),
             LogicalPlan::Forecast(_) => Err(EngineError::WrongStatement { expected: "SELECT" }),
+        }
+    }
+
+    fn ctx<'a>(&'a self, snapshot: &'a crate::version::CatalogVersion) -> ExecCtx<'a> {
+        ExecCtx {
+            table: snapshot.table(),
+            config: &self.config,
+            catalog: snapshot.catalog().map(|c| c.as_ref()),
         }
     }
 }

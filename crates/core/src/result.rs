@@ -7,7 +7,9 @@ use std::time::Duration;
 /// One estimated historical point `M̂_t` with its HT variance estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeriesPoint {
+    /// The timestamp the aggregate describes.
     pub t: Timestamp,
+    /// The (estimated or exact) aggregate value `M̂_t`.
     pub value: f64,
     /// Estimator variance (σ_ε² at this timestamp), when available.
     pub variance: Option<f64>,
@@ -16,10 +18,15 @@ pub struct SeriesPoint {
 /// One forecast point with its interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForecastOut {
+    /// The future timestamp the forecast describes.
     pub t: Timestamp,
+    /// Point forecast.
     pub value: f64,
+    /// Lower bound of the confidence interval.
     pub lo: f64,
+    /// Upper bound of the confidence interval.
     pub hi: f64,
+    /// Standard error of the point forecast.
     pub std_err: f64,
 }
 
@@ -28,11 +35,14 @@ pub struct ForecastOut {
 /// prediction.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Timing {
+    /// Time spent estimating the per-timestamp aggregates (Eq. 4).
     pub aggregation: Duration,
+    /// Time spent fitting the model and predicting.
     pub forecasting: Duration,
 }
 
 impl Timing {
+    /// Total wall-clock time of the task.
     pub fn total(&self) -> Duration {
         self.aggregation + self.forecasting
     }
@@ -97,6 +107,7 @@ pub type SelectRow = (Timestamp, f64, Option<f64>);
 /// scalar aggregates).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectResult {
+    /// The result rows, in time order.
     pub rows: Vec<SelectRow>,
     /// Whether the answer came from samples (approximate) or a full scan.
     pub approximate: bool,
@@ -105,7 +116,9 @@ pub struct SelectResult {
 /// Output of [`crate::engine::FlashPEngine::execute`].
 #[derive(Debug, Clone)]
 pub enum ExecOutput {
+    /// A FORECAST task's answer.
     Forecast(Box<ForecastResult>),
+    /// A SELECT query's answer.
     Select(SelectResult),
     /// `EXPLAIN <statement>`: the rendered plan, nothing executed.
     Plan(crate::explain::PlanNode),

@@ -1,0 +1,228 @@
+//! Versioned engine snapshots and the live-ingest delta layer.
+//!
+//! FlashP's online service must keep answering forecasting tasks while
+//! new time-series rows stream in (§4.1 argues GSW samples are exactly
+//! the samples that make this cheap). The unit of visibility is the
+//! [`CatalogVersion`]: an immutable `(table, catalog)` pair with a
+//! process-unique version number. The engine holds the *active* version
+//! behind an atomically swappable `Arc`; every execution — one-shot or
+//! prepared — snapshots the active version once and runs entirely
+//! against it, so an execution can never observe half of an ingest.
+//!
+//! Ingest is staged: [`crate::FlashPEngine::ingest`] buffers an
+//! [`IngestBatch`] into a pending copy-on-write table (appended rows are
+//! invisible to queries), accumulating a [`CatalogDelta`] of changed
+//! partitions; [`crate::FlashPEngine::publish`] then derives a new
+//! catalog version via [`crate::SampleCatalog::apply_delta`] — only
+//! changed (layer, bucket, partition) cells recomputed — and swaps the
+//! active version. In-flight executions keep running lock-free against
+//! the version they snapshotted; the swap itself is a brief write-lock
+//! that only delays the *next* snapshot acquisition.
+
+use crate::catalog::SampleCatalog;
+use crate::catalog::{next_version_id, DeltaStats};
+use flashp_storage::{Partition, TimeSeriesTable, Timestamp, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One immutable engine snapshot: the table and (optionally) the sample
+/// catalog a query executes against, tagged with a process-unique,
+/// monotonically increasing version number.
+///
+/// Everything reachable from a `CatalogVersion` is immutable; sharing it
+/// across threads needs no locks. Obtain the engine's current one with
+/// [`crate::FlashPEngine::snapshot`].
+pub struct CatalogVersion {
+    version: u64,
+    table: Arc<TimeSeriesTable>,
+    catalog: Option<Arc<SampleCatalog>>,
+}
+
+impl CatalogVersion {
+    /// Snapshot a table + optional catalog under a fresh version number.
+    pub(crate) fn new(table: Arc<TimeSeriesTable>, catalog: Option<Arc<SampleCatalog>>) -> Self {
+        CatalogVersion { version: next_version_id(), table, catalog }
+    }
+
+    /// The snapshot's process-unique version number. Monotone across
+    /// publishes: a later [`crate::FlashPEngine::publish`] always yields
+    /// a greater version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The snapshot's table.
+    pub fn table(&self) -> &Arc<TimeSeriesTable> {
+        &self.table
+    }
+
+    /// The snapshot's sample catalog, if one is attached.
+    pub fn catalog(&self) -> Option<&Arc<SampleCatalog>> {
+        self.catalog.as_ref()
+    }
+}
+
+/// The set of partitions an ingest touched since the last publish — what
+/// [`crate::SampleCatalog::apply_delta`] uses to decide which (layer,
+/// bucket, partition) cells to recompute.
+#[derive(Debug, Clone, Default)]
+pub struct CatalogDelta {
+    changed: BTreeSet<Timestamp>,
+    appended_rows: usize,
+}
+
+impl CatalogDelta {
+    /// Record `rows` appended at timestamp `t`.
+    pub fn record(&mut self, t: Timestamp, rows: usize) {
+        self.changed.insert(t);
+        self.appended_rows += rows;
+    }
+
+    /// Timestamps whose partitions changed, in time order.
+    pub fn changed(&self) -> impl Iterator<Item = &Timestamp> {
+        self.changed.iter()
+    }
+
+    /// Number of changed partitions.
+    pub fn num_changed(&self) -> usize {
+        self.changed.len()
+    }
+
+    /// Total rows appended since the last publish.
+    pub fn appended_rows(&self) -> usize {
+        self.appended_rows
+    }
+
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+    }
+}
+
+/// One batch of rows to ingest, addressed by timestamp. Batches mix the
+/// two append paths freely: row-at-a-time values (categorical strings
+/// interned on apply) and pre-built columnar [`Partition`]s (dictionary
+/// codes must already be interned against the engine's table — the shape
+/// produced by `flashp_data`'s stream generator).
+#[derive(Debug, Default)]
+pub struct IngestBatch {
+    items: Vec<IngestItem>,
+    rows: usize,
+}
+
+#[derive(Debug)]
+enum IngestItem {
+    Rows { t: Timestamp, rows: Vec<(Vec<Value>, Vec<f64>)> },
+    Partition { t: Timestamp, partition: Partition },
+}
+
+impl IngestBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        IngestBatch::default()
+    }
+
+    /// Queue one row at timestamp `t`.
+    pub fn push_row(&mut self, t: Timestamp, dims: &[Value], measures: &[f64]) {
+        self.rows += 1;
+        if let Some(IngestItem::Rows { t: last, rows }) = self.items.last_mut() {
+            if *last == t {
+                rows.push((dims.to_vec(), measures.to_vec()));
+                return;
+            }
+        }
+        self.items.push(IngestItem::Rows { t, rows: vec![(dims.to_vec(), measures.to_vec())] });
+    }
+
+    /// Queue a pre-built columnar partition of rows at timestamp `t`.
+    /// Empty partitions are dropped: they carry no rows, and admitting
+    /// one for a previously absent day would create a 0-row partition no
+    /// sampler can draw from.
+    pub fn push_partition(&mut self, t: Timestamp, partition: Partition) {
+        if partition.is_empty() {
+            return;
+        }
+        self.rows += partition.num_rows();
+        self.items.push(IngestItem::Partition { t, partition });
+    }
+
+    /// Total rows queued.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Apply the batch to a table, recording changed partitions in
+    /// `delta`. Returns the number of rows appended.
+    pub(crate) fn apply(
+        self,
+        table: &mut TimeSeriesTable,
+        delta: &mut CatalogDelta,
+    ) -> Result<usize, flashp_storage::StorageError> {
+        let mut appended = 0;
+        for item in self.items {
+            match item {
+                IngestItem::Rows { t, rows } => {
+                    let n = table
+                        .append_rows(t, rows.iter().map(|(d, m)| (d.as_slice(), m.as_slice())))?;
+                    delta.record(t, n);
+                    appended += n;
+                }
+                IngestItem::Partition { t, partition } => {
+                    let n = table.append_partition(t, partition)?;
+                    delta.record(t, n);
+                    appended += n;
+                }
+            }
+        }
+        Ok(appended)
+    }
+}
+
+/// What a [`crate::FlashPEngine::publish`] did.
+#[derive(Debug, Clone, Copy)]
+pub struct PublishStats {
+    /// Version number of the (now active) snapshot.
+    pub version: u64,
+    /// Version of the active sample catalog, if one is attached —
+    /// the number `EXPLAIN` reports for plans made against it.
+    pub catalog_version: Option<u64>,
+    /// Rows appended since the previous publish.
+    pub appended_rows: usize,
+    /// Partitions (days) those rows landed in.
+    pub changed_partitions: usize,
+    /// Catalog cells recomputed, split by path.
+    pub delta: DeltaStats,
+    /// Wall-clock time spent deriving the new catalog and swapping.
+    pub duration: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashp_storage::{DataType, Schema};
+
+    #[test]
+    fn batch_groups_consecutive_rows() {
+        let schema = Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let t0 = Timestamp::from_yyyymmdd(20200101).unwrap();
+        let mut batch = IngestBatch::new();
+        batch.push_row(t0, &[Value::Int(1)], &[1.0]);
+        batch.push_row(t0, &[Value::Int(2)], &[2.0]);
+        batch.push_row(t0 + 1, &[Value::Int(3)], &[3.0]);
+        assert_eq!(batch.num_rows(), 3);
+
+        let mut table = TimeSeriesTable::new(schema);
+        let mut delta = CatalogDelta::default();
+        assert_eq!(batch.apply(&mut table, &mut delta).unwrap(), 3);
+        assert_eq!(table.num_partitions(), 2);
+        assert_eq!(delta.num_changed(), 2);
+        assert_eq!(delta.appended_rows(), 3);
+        assert!(!delta.is_empty());
+    }
+}

@@ -28,6 +28,7 @@ pub mod error;
 pub mod generator;
 pub mod measures;
 pub mod pim;
+pub mod stream;
 pub mod temporal;
 pub mod workload;
 
@@ -35,4 +36,5 @@ pub use config::DatasetConfig;
 pub use error::DataError;
 pub use generator::{generate_dataset, Dataset};
 pub use pim::PimModel;
+pub use stream::{BatchStream, StreamBatch, StreamConfig};
 pub use workload::{Task, WorkloadConfig, WorkloadGenerator};

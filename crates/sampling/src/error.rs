@@ -10,9 +10,17 @@ pub enum SamplingError {
     InvalidParam(String),
     /// A weight was zero/negative for a row with a non-zero measure —
     /// Horvitz–Thompson calibration would be biased.
-    ZeroWeight { row: usize },
+    ZeroWeight {
+        /// Row index within the offending partition.
+        row: usize,
+    },
     /// Measure index outside the schema.
-    BadMeasure { index: usize, num_measures: usize },
+    BadMeasure {
+        /// The out-of-range measure index.
+        index: usize,
+        /// How many measures the schema has.
+        num_measures: usize,
+    },
     /// Underlying storage error (predicate compile, schema lookup).
     Storage(StorageError),
     /// The requested estimate is not supported by this sample kind

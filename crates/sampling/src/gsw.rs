@@ -7,6 +7,7 @@
 //! incremental maintenance (see [`crate::incremental`]).
 
 use crate::error::SamplingError;
+use crate::incremental::GswCellState;
 use crate::sample::{MeasureScope, Sample};
 use crate::sampler::{SampleSize, Sampler};
 use crate::weights::WeightStrategy;
@@ -111,6 +112,124 @@ impl GswSampler {
             WeightStrategy::Constant => MeasureScope::All,
         }
     }
+
+    /// Resolve the Δ this sampler uses for a partition with the given
+    /// per-row weights.
+    fn resolve_delta(&self, n: usize, weights: &[f64]) -> Result<f64, SamplingError> {
+        match &self.sizing {
+            Sizing::Auto(size) => {
+                let target = size.resolve(n)?;
+                delta_for_expected_size(weights, target)
+            }
+            Sizing::FixedDelta(d) => {
+                if *d < 0.0 || !d.is_finite() {
+                    return Err(SamplingError::InvalidParam(format!("invalid delta {d}")));
+                }
+                Ok(*d)
+            }
+        }
+    }
+
+    /// Like [`GswSampler::sample`] (bit-for-bit the same draw for the same
+    /// RNG state), additionally recording the per-cell
+    /// [`GswCellState`] that lets a later, grown version of the partition
+    /// be absorbed incrementally via [`GswSampler::absorb`] (§4.1).
+    pub fn sample_recording(
+        &self,
+        schema: &SchemaRef,
+        partition: &Partition,
+        rng: &mut StdRng,
+    ) -> Result<(Sample, GswCellState), SamplingError> {
+        let n = partition.num_rows();
+        let weights = self.strategy.compute(partition)?;
+        let delta = self.resolve_delta(n, &weights)?;
+        let mut indices = Vec::new();
+        let mut pi = Vec::new();
+        let mut draws = Vec::new();
+        if delta == 0.0 {
+            // Keep everything; `sample` consumes no draws in this case.
+            indices.extend(0..n);
+            pi.resize(n, 1.0);
+        } else {
+            for (i, &w) in weights.iter().enumerate() {
+                let p = w / (delta + w);
+                let u = rng.gen::<f64>();
+                if u < p {
+                    indices.push(i);
+                    pi.push(p);
+                    draws.push(u);
+                }
+            }
+        }
+        let rows = gather_rows(partition, &indices);
+        let sample = Sample::new(schema.clone(), rows, pi, n, self.name(), self.scope())?;
+        let state = GswCellState { delta, draws, indices, rng: rng.clone(), population: n };
+        Ok((sample, state))
+    }
+
+    /// Absorb a *grown* partition into a previously recorded cell — the
+    /// incremental maintenance procedure of §4.1, "without touching any
+    /// row in `[n] − S_Δ`":
+    ///
+    /// * retained rows are re-checked against the new Δ′ through their
+    ///   stored keys (evicting those with `κ < Δ′`);
+    /// * rejected rows are provably still rejected (Δ′ ≥ Δ) and are never
+    ///   revisited;
+    /// * only the `n′ − n` appended rows draw fresh inclusion decisions,
+    ///   continuing the cell's deterministic RNG stream.
+    ///
+    /// The result is bit-for-bit what [`GswSampler::sample`] would draw
+    /// over the grown partition from the cell's original seed. Returns
+    /// `Ok(None)` when the preconditions fail — the partition shrank, Δ
+    /// was 0 (everything retained, no draws recorded), or the recalibrated
+    /// Δ′ is below Δ (previously rejected rows could re-qualify) — in
+    /// which case the caller should fall back to a fresh
+    /// [`GswSampler::sample_recording`].
+    pub fn absorb(
+        &self,
+        state: &GswCellState,
+        schema: &SchemaRef,
+        partition: &Partition,
+    ) -> Result<Option<(Sample, GswCellState)>, SamplingError> {
+        let n_new = partition.num_rows();
+        if state.delta == 0.0 || n_new < state.population {
+            return Ok(None);
+        }
+        let weights = self.strategy.compute(partition)?;
+        let new_delta = self.resolve_delta(n_new, &weights)?;
+        if new_delta < state.delta || new_delta == 0.0 {
+            return Ok(None);
+        }
+        let mut indices = Vec::with_capacity(state.indices.len());
+        let mut draws = Vec::with_capacity(state.draws.len());
+        let mut pi = Vec::with_capacity(state.indices.len());
+        // Evict: retained rows whose key fell below Δ′. Old rows keep
+        // their original weights (appends never rewrite existing rows).
+        for (&i, &u) in state.indices.iter().zip(&state.draws) {
+            let w = weights[i];
+            let p = w / (new_delta + w);
+            if u < p {
+                indices.push(i);
+                draws.push(u);
+                pi.push(p);
+            }
+        }
+        // Offer: only the appended rows, continuing the draw stream.
+        let mut rng = state.rng.clone();
+        for (i, &w) in weights.iter().enumerate().skip(state.population) {
+            let p = w / (new_delta + w);
+            let u = rng.gen::<f64>();
+            if u < p {
+                indices.push(i);
+                draws.push(u);
+                pi.push(p);
+            }
+        }
+        let rows = gather_rows(partition, &indices);
+        let sample = Sample::new(schema.clone(), rows, pi, n_new, self.name(), self.scope())?;
+        let next = GswCellState { delta: new_delta, draws, indices, rng, population: n_new };
+        Ok(Some((sample, next)))
+    }
 }
 
 impl Sampler for GswSampler {
@@ -132,18 +251,7 @@ impl Sampler for GswSampler {
     ) -> Result<Sample, SamplingError> {
         let n = partition.num_rows();
         let weights = self.strategy.compute(partition)?;
-        let delta = match &self.sizing {
-            Sizing::Auto(size) => {
-                let target = size.resolve(n)?;
-                delta_for_expected_size(&weights, target)?
-            }
-            Sizing::FixedDelta(d) => {
-                if *d < 0.0 || !d.is_finite() {
-                    return Err(SamplingError::InvalidParam(format!("invalid delta {d}")));
-                }
-                *d
-            }
-        };
+        let delta = self.resolve_delta(n, &weights)?;
 
         let mut indices = Vec::new();
         let mut pi = Vec::new();
@@ -271,6 +379,119 @@ mod tests {
         assert!(GswSampler::with_delta(WeightStrategy::Constant, -1.0)
             .sample(&schema, &p, &mut rng)
             .is_err());
+    }
+
+    /// Concatenate two partitions (rows of `b` after rows of `a`).
+    fn grown(a: &Partition, b: &Partition) -> Partition {
+        let mut p = a.clone();
+        p.extend(b).unwrap();
+        p
+    }
+
+    fn assert_samples_identical(a: &Sample, b: &Sample) {
+        assert_eq!(a.num_rows(), b.num_rows(), "sample sizes differ");
+        assert_eq!(a.population_rows(), b.population_rows());
+        assert_eq!(a.method(), b.method());
+        assert_eq!(a.inclusion_probabilities(), b.inclusion_probabilities());
+        for d in 0..a.rows().dims().len() {
+            for r in 0..a.num_rows() {
+                assert_eq!(a.rows().dim(d).get_i64(r), b.rows().dim(d).get_i64(r));
+            }
+        }
+        for m in 0..a.rows().measures().len() {
+            assert_eq!(a.rows().measure(m), b.rows().measure(m));
+        }
+    }
+
+    #[test]
+    fn sample_recording_matches_plain_sample() {
+        let schema = schema();
+        let p = partition(5000, |i| 1.0 + (i % 37) as f64);
+        for sampler in [
+            GswSampler::optimal(0, SampleSize::Rate(0.05)),
+            GswSampler::arithmetic_compressed(vec![0, 1], SampleSize::Rate(0.1)),
+            GswSampler::with_delta(WeightStrategy::SingleMeasure(0), 500.0),
+            GswSampler::optimal(0, SampleSize::Rate(1.0)), // Δ = 0 path
+        ] {
+            let plain = sampler.sample(&schema, &p, &mut StdRng::seed_from_u64(11)).unwrap();
+            let (recorded, state) =
+                sampler.sample_recording(&schema, &p, &mut StdRng::seed_from_u64(11)).unwrap();
+            assert_samples_identical(&plain, &recorded);
+            assert_eq!(state.len(), plain.num_rows());
+            assert_eq!(state.population_rows(), 5000);
+        }
+    }
+
+    #[test]
+    fn absorb_is_bit_for_bit_a_fresh_draw() {
+        // Draw a cell over n rows, grow the partition, absorb — the result
+        // must equal a fresh same-seed draw over the grown partition, and
+        // the absorb must only have drawn for the appended rows.
+        let schema = schema();
+        let base = partition(4000, |i| 1.0 + (i % 23) as f64);
+        // Heavier appended rows: E|S| at the old Δ grows faster than the
+        // rate target, so the recalibrated Δ′ ≥ Δ and absorb applies.
+        let extra = partition(1000, |i| 20.0 + (i % 17) as f64);
+        let big = grown(&base, &extra);
+        for sampler in [
+            GswSampler::optimal(0, SampleSize::Rate(0.05)),
+            GswSampler::arithmetic_compressed(vec![0, 1], SampleSize::Rate(0.02)),
+            GswSampler::geometric_compressed(vec![0, 1], SampleSize::Rate(0.02)),
+            GswSampler::with_delta(WeightStrategy::SingleMeasure(0), 300.0),
+        ] {
+            let (_, state) =
+                sampler.sample_recording(&schema, &base, &mut StdRng::seed_from_u64(7)).unwrap();
+            let (absorbed, next) = sampler
+                .absorb(&state, &schema, &big)
+                .unwrap()
+                .expect("preconditions hold: Δ grows with the partition");
+            let fresh = sampler.sample(&schema, &big, &mut StdRng::seed_from_u64(7)).unwrap();
+            assert_samples_identical(&absorbed, &fresh);
+            assert!(next.delta() >= state.delta());
+            assert_eq!(next.population_rows(), 5000);
+        }
+    }
+
+    #[test]
+    fn chained_absorbs_stay_identical() {
+        let schema = schema();
+        let mut acc = partition(3000, |i| 1.0 + (i % 11) as f64);
+        let sampler = GswSampler::optimal(0, SampleSize::Rate(0.04));
+        let (_, mut state) =
+            sampler.sample_recording(&schema, &acc, &mut StdRng::seed_from_u64(42)).unwrap();
+        for round in 0..3 {
+            let extra = partition(700 + round * 100, |i| 15.0 + ((i + round) % 13) as f64);
+            acc = grown(&acc, &extra);
+            let (absorbed, next) =
+                sampler.absorb(&state, &schema, &acc).unwrap().expect("absorbable");
+            let fresh = sampler.sample(&schema, &acc, &mut StdRng::seed_from_u64(42)).unwrap();
+            assert_samples_identical(&absorbed, &fresh);
+            state = next;
+        }
+    }
+
+    #[test]
+    fn absorb_refuses_when_preconditions_fail() {
+        let schema = schema();
+        let base = partition(2000, |i| 1.0 + (i % 9) as f64);
+        // Rate 1 → Δ = 0: no draws recorded, nothing to absorb onto.
+        let full = GswSampler::optimal(0, SampleSize::Rate(1.0));
+        let (_, state) =
+            full.sample_recording(&schema, &base, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert!(full.absorb(&state, &schema, &grown(&base, &base)).unwrap().is_none());
+
+        // Appending many near-zero-weight rows leaves E|S| almost flat
+        // while the target grows with n → Δ′ < Δ → refused (previously
+        // rejected rows could re-qualify).
+        let sampler = GswSampler::optimal(0, SampleSize::Rate(0.05));
+        let (_, state) =
+            sampler.sample_recording(&schema, &base, &mut StdRng::seed_from_u64(2)).unwrap();
+        let tiny = partition(4000, |_| 1e-6);
+        assert!(sampler.absorb(&state, &schema, &grown(&base, &tiny)).unwrap().is_none());
+
+        // A shrunken partition can never be absorbed.
+        let small = partition(100, |i| 1.0 + i as f64);
+        assert!(sampler.absorb(&state, &schema, &small).unwrap().is_none());
     }
 
     #[test]

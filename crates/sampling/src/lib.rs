@@ -26,6 +26,8 @@
 //! [`grouping`] partitions measures into compressed-sample groups via the
 //! KCENTER greedy algorithm on normalized L1 distance (§4.2).
 
+#![warn(missing_docs)]
+
 pub mod consistency;
 pub mod error;
 pub mod estimator;
@@ -48,7 +50,7 @@ pub use estimator::{
 };
 pub use grouping::{group_measures, MeasureGroups};
 pub use gsw::{delta_for_expected_size, GswSampler};
-pub use incremental::IncrementalGswSample;
+pub use incremental::{GswCellState, IncrementalGswSample};
 pub use multilayer::{LayerSelection, MultiLayerSamples};
 pub use priority::PrioritySampler;
 pub use sample::Sample;

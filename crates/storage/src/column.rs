@@ -14,7 +14,7 @@ use std::sync::Arc;
 /// column. Shared across all partitions of a table. The string storage is
 /// `Arc<str>` shared between the code-indexed vector and the hash index,
 /// so interning an unseen value costs one allocation and a hit costs none.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Dictionary {
     values: Vec<Arc<str>>,
     index: HashMap<Arc<str>, u32>,
@@ -195,6 +195,25 @@ impl DimensionColumn {
             DimensionColumn::Int64(v) => v.len() * 8,
             DimensionColumn::Dict(v) => v.len() * 4,
         }
+    }
+
+    /// Append every row of `other` (which must have the same dtype) —
+    /// the columnar merge behind late-arriving partition ingest.
+    pub fn extend_from(&mut self, name: &str, other: &DimensionColumn) -> Result<(), StorageError> {
+        match (self, other) {
+            (DimensionColumn::UInt8(a), DimensionColumn::UInt8(b)) => a.extend_from_slice(b),
+            (DimensionColumn::UInt16(a), DimensionColumn::UInt16(b)) => a.extend_from_slice(b),
+            (DimensionColumn::Int64(a), DimensionColumn::Int64(b)) => a.extend_from_slice(b),
+            (DimensionColumn::Dict(a), DimensionColumn::Dict(b)) => a.extend_from_slice(b),
+            (a, b) => {
+                return Err(StorageError::TypeMismatch {
+                    column: name.to_string(),
+                    expected: "matching column type",
+                    got: format!("{} appended to {}", b.dtype(), a.dtype()),
+                })
+            }
+        }
+        Ok(())
     }
 
     /// Gather rows at `indices` into a new column (used when materializing

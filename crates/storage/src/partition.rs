@@ -94,6 +94,45 @@ impl Partition {
             + self.measures.len() * self.num_rows * 8
     }
 
+    /// Append every row of `other` column-wise — the merge step when a
+    /// batch of late-arriving rows lands on a day that already has a
+    /// partition. Column counts and types must match; zone maps extend by
+    /// merging the two partitions' ranges.
+    pub fn extend(&mut self, other: &Partition) -> Result<(), StorageError> {
+        if other.dims.len() != self.dims.len() {
+            return Err(StorageError::LengthMismatch {
+                expected: self.dims.len(),
+                got: other.dims.len(),
+            });
+        }
+        if other.measures.len() != self.measures.len() {
+            return Err(StorageError::LengthMismatch {
+                expected: self.measures.len(),
+                got: other.measures.len(),
+            });
+        }
+        // Validate every column type before mutating anything, so a
+        // mismatch cannot leave the partition with ragged columns.
+        for (i, (a, b)) in self.dims.iter().zip(&other.dims).enumerate() {
+            if a.dtype() != b.dtype() {
+                return Err(StorageError::TypeMismatch {
+                    column: format!("dim{i}"),
+                    expected: "matching column type",
+                    got: format!("{} appended to {}", b.dtype(), a.dtype()),
+                });
+            }
+        }
+        for (i, (a, b)) in self.dims.iter_mut().zip(&other.dims).enumerate() {
+            a.extend_from(&format!("dim{i}"), b)?;
+        }
+        for (a, b) in self.measures.iter_mut().zip(&other.measures) {
+            a.extend_from_slice(b);
+        }
+        self.num_rows += other.num_rows;
+        self.zone_maps.merge(&other.zone_maps);
+        Ok(())
+    }
+
     /// Append one row. `dims` must match the schema's dimension order and
     /// `measures` its measure order; categorical values are interned into
     /// `dicts`.

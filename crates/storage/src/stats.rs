@@ -57,6 +57,22 @@ impl ZoneMaps {
         }
     }
 
+    /// Merge another partition's zone maps into this one (union of
+    /// ranges), used when two partitions for the same timestamp are
+    /// concatenated during ingest.
+    pub fn merge(&mut self, other: &ZoneMaps) {
+        if self.ranges.len() < other.ranges.len() {
+            self.ranges.resize(other.ranges.len(), None);
+        }
+        for (slot, o) in self.ranges.iter_mut().zip(&other.ranges) {
+            *slot = match (*slot, *o) {
+                (Some((a, b)), Some((c, d))) => Some((a.min(c), b.max(d))),
+                (s, None) => s,
+                (None, o) => o,
+            };
+        }
+    }
+
     /// The `(min, max)` of ordered dimension `idx`, if known.
     pub fn range(&self, idx: usize) -> Option<(i64, i64)> {
         self.ranges.get(idx).copied().flatten()

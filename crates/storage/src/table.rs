@@ -10,17 +10,26 @@ use crate::schema::SchemaRef;
 use crate::timestamp::Timestamp;
 use crate::types::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A time series of relational data: the input of the FlashP pipeline
 /// (Fig. 1 of the paper). Rows live in per-timestamp [`Partition`]s;
 /// categorical dictionaries are shared table-wide so a predicate binds to
 /// the same codes in every partition and in every sample drawn from the
 /// table.
-#[derive(Debug)]
+///
+/// Partitions are held behind [`Arc`]s, so cloning a table is cheap —
+/// O(#partitions) pointer copies, no row data — and mutation after a
+/// clone is copy-on-write at partition granularity. This is what makes
+/// versioned live ingest possible: the engine clones the active table,
+/// appends a batch (touching only the affected days), and publishes the
+/// clone as a new immutable version while readers keep scanning the old
+/// one.
+#[derive(Debug, Clone)]
 pub struct TimeSeriesTable {
     schema: SchemaRef,
     dicts: Vec<Option<Dictionary>>,
-    partitions: BTreeMap<Timestamp, Partition>,
+    partitions: BTreeMap<Timestamp, Arc<Partition>>,
 }
 
 impl TimeSeriesTable {
@@ -61,7 +70,7 @@ impl TimeSeriesTable {
 
     /// Insert (or replace) the partition at `t`.
     pub fn insert_partition(&mut self, t: Timestamp, partition: Partition) {
-        self.partitions.insert(t, partition);
+        self.partitions.insert(t, Arc::new(partition));
     }
 
     /// Append a single row at timestamp `t`, creating the partition if
@@ -73,18 +82,95 @@ impl TimeSeriesTable {
         measures: &[f64],
     ) -> Result<(), StorageError> {
         let schema = self.schema.clone();
-        let partition = self.partitions.entry(t).or_insert_with(|| Partition::empty(&schema));
-        partition.push_row(&schema, &mut self.dicts, dims, measures)
+        let partition =
+            self.partitions.entry(t).or_insert_with(|| Arc::new(Partition::empty(&schema)));
+        Arc::make_mut(partition).push_row(&schema, &mut self.dicts, dims, measures)
+    }
+
+    /// Append a batch of rows at timestamp `t`, creating the partition if
+    /// needed. Categorical values are interned into the table's
+    /// dictionaries. Returns the number of rows appended. Copy-on-write:
+    /// if the partition is shared with an older table version (a clone),
+    /// it is cloned once before the batch lands; older versions never
+    /// observe the new rows.
+    pub fn append_rows<'a>(
+        &mut self,
+        t: Timestamp,
+        rows: impl IntoIterator<Item = (&'a [Value], &'a [f64])>,
+    ) -> Result<usize, StorageError> {
+        let schema = self.schema.clone();
+        let partition =
+            self.partitions.entry(t).or_insert_with(|| Arc::new(Partition::empty(&schema)));
+        let partition = Arc::make_mut(partition);
+        let mut appended = 0;
+        for (dims, measures) in rows {
+            partition.push_row(&schema, &mut self.dicts, dims, measures)?;
+            appended += 1;
+        }
+        Ok(appended)
+    }
+
+    /// Append a pre-built columnar partition of rows at timestamp `t` —
+    /// the fast ingest path for late-arriving days and streamed batches.
+    /// If a partition already exists at `t`, the new rows are concatenated
+    /// after the existing ones (copy-on-write when the existing partition
+    /// is shared with an older table version); otherwise the partition is
+    /// inserted as-is. Dictionary codes in categorical columns must have
+    /// been interned against this table (see [`TimeSeriesTable::intern`]).
+    /// Returns the number of rows appended.
+    pub fn append_partition(
+        &mut self,
+        t: Timestamp,
+        partition: Partition,
+    ) -> Result<usize, StorageError> {
+        self.check_partition_shape(&partition)?;
+        let appended = partition.num_rows();
+        match self.partitions.entry(t) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(Arc::new(partition));
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                Arc::make_mut(slot.get_mut()).extend(&partition)?;
+            }
+        }
+        Ok(appended)
+    }
+
+    /// Validate that a partition's columns match this table's schema in
+    /// count and type.
+    fn check_partition_shape(&self, partition: &Partition) -> Result<(), StorageError> {
+        if partition.dims().len() != self.schema.num_dimensions() {
+            return Err(StorageError::LengthMismatch {
+                expected: self.schema.num_dimensions(),
+                got: partition.dims().len(),
+            });
+        }
+        if partition.measures().len() != self.schema.num_measures() {
+            return Err(StorageError::LengthMismatch {
+                expected: self.schema.num_measures(),
+                got: partition.measures().len(),
+            });
+        }
+        for (def, col) in self.schema.dimensions().iter().zip(partition.dims()) {
+            if col.dtype() != def.dtype {
+                return Err(StorageError::TypeMismatch {
+                    column: def.name.clone(),
+                    expected: "schema column type",
+                    got: col.dtype().to_string(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The partition at `t`, if any.
     pub fn partition(&self, t: Timestamp) -> Option<&Partition> {
-        self.partitions.get(&t)
+        self.partitions.get(&t).map(|p| p.as_ref())
     }
 
     /// Iterate `(timestamp, partition)` in time order.
     pub fn partitions(&self) -> impl Iterator<Item = (Timestamp, &Partition)> {
-        self.partitions.iter().map(|(t, p)| (*t, p))
+        self.partitions.iter().map(|(t, p)| (*t, p.as_ref()))
     }
 
     /// Iterate partitions restricted to `[start, end]` inclusive.
@@ -93,7 +179,7 @@ impl TimeSeriesTable {
         start: Timestamp,
         end: Timestamp,
     ) -> impl Iterator<Item = (Timestamp, &Partition)> {
-        self.partitions.range(start..=end).map(|(t, p)| (*t, p))
+        self.partitions.range(start..=end).map(|(t, p)| (*t, p.as_ref()))
     }
 
     /// Number of partitions (distinct timestamps).
@@ -103,7 +189,7 @@ impl TimeSeriesTable {
 
     /// Total number of rows across all partitions.
     pub fn num_rows(&self) -> usize {
-        self.partitions.values().map(Partition::num_rows).sum()
+        self.partitions.values().map(|p| p.num_rows()).sum()
     }
 
     /// Earliest and latest timestamps, if the table is non-empty.
@@ -115,7 +201,7 @@ impl TimeSeriesTable {
 
     /// Approximate heap footprint in bytes.
     pub fn byte_size(&self) -> usize {
-        self.partitions.values().map(Partition::byte_size).sum()
+        self.partitions.values().map(|p| p.byte_size()).sum()
     }
 
     /// Bind a predicate to this table (resolve names and dictionary codes).
@@ -189,6 +275,7 @@ pub(crate) fn eval_partition_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::partition::PartitionBuilder;
     use crate::predicate::CmpOp;
     use crate::schema::Schema;
     use crate::types::DataType;
@@ -269,6 +356,83 @@ mod tests {
         let pred = table.compile_predicate(&Predicate::True).unwrap();
         let t = Timestamp::from_yyyymmdd(20210101).unwrap();
         assert!(table.aggregate_at(t, 0, &pred, AggFunc::Sum).is_err());
+    }
+
+    #[test]
+    fn append_rows_batches_into_one_partition() {
+        let mut table = figure1_table();
+        let t = Timestamp::from_yyyymmdd(20200302).unwrap();
+        let rows = [
+            (vec![Value::Int(25), Value::from("F"), Value::from("WA")], vec![3.0, 1.0]),
+            (vec![Value::Int(35), Value::from("M"), Value::from("NY")], vec![4.0, 2.0]),
+        ];
+        let appended =
+            table.append_rows(t, rows.iter().map(|(d, m)| (d.as_slice(), m.as_slice()))).unwrap();
+        assert_eq!(appended, 2);
+        assert_eq!(table.partition(t).unwrap().num_rows(), 3);
+        assert_eq!(table.num_rows(), 6);
+    }
+
+    #[test]
+    fn append_partition_merges_and_inserts() {
+        let mut table = figure1_table();
+        let schema = table.schema().clone();
+        // Codes for the categorical dims must come from the table's dicts.
+        let f = table.intern(1, "F").unwrap();
+        let wa = table.intern(2, "WA").unwrap();
+        let mut b = PartitionBuilder::with_capacity(&schema, 2);
+        b.push_raw_row(&[22, f as i64, wa as i64], &[7.0, 2.0]).unwrap();
+        b.push_raw_row(&[23, f as i64, wa as i64], &[8.0, 3.0]).unwrap();
+        // Merge into the existing 20200301 partition…
+        let t1 = Timestamp::from_yyyymmdd(20200301).unwrap();
+        assert_eq!(table.append_partition(t1, b.finish()).unwrap(), 2);
+        let p = table.partition(t1).unwrap();
+        assert_eq!(p.num_rows(), 5);
+        assert_eq!(p.zone_maps().range(0), Some((20, 60)), "zone maps merged");
+        // …and insert a brand-new day.
+        let mut b = PartitionBuilder::with_capacity(&schema, 1);
+        b.push_raw_row(&[50, f as i64, wa as i64], &[9.0, 4.0]).unwrap();
+        let t3 = Timestamp::from_yyyymmdd(20200303).unwrap();
+        assert_eq!(table.append_partition(t3, b.finish()).unwrap(), 1);
+        assert_eq!(table.num_partitions(), 3);
+        // Aggregates see the merged rows.
+        let pred = table.compile_predicate(&Predicate::eq("Gender", "F")).unwrap();
+        assert_eq!(table.aggregate_at(t1, 0, &pred, AggFunc::Sum).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn append_partition_rejects_mismatched_shape() {
+        let mut table = figure1_table();
+        let t = Timestamp::from_yyyymmdd(20200301).unwrap();
+        let bad = Partition::from_columns(
+            vec![crate::column::DimensionColumn::Int64(vec![1])],
+            vec![vec![1.0]],
+        )
+        .unwrap();
+        assert!(table.append_partition(t, bad).is_err());
+    }
+
+    #[test]
+    fn cloned_table_is_copy_on_write() {
+        let table = figure1_table();
+        let snapshot = table.clone();
+        let mut live = table;
+        let t = Timestamp::from_yyyymmdd(20200301).unwrap();
+        live.append_row(t, &[Value::Int(99), Value::from("F"), Value::from("WA")], &[100.0, 1.0])
+            .unwrap();
+        // The clone still sees the old contents; the mutated table sees
+        // the new row. Untouched partitions stay physically shared.
+        assert_eq!(snapshot.partition(t).unwrap().num_rows(), 3);
+        assert_eq!(live.partition(t).unwrap().num_rows(), 4);
+        let t2 = Timestamp::from_yyyymmdd(20200302).unwrap();
+        assert!(std::ptr::eq(snapshot.partition(t2).unwrap(), live.partition(t2).unwrap()));
+        // New dictionary entries in the live table don't leak backwards.
+        let mut live2 = snapshot.clone();
+        live2
+            .append_row(t, &[Value::Int(1), Value::from("X"), Value::from("ZZ")], &[1.0, 1.0])
+            .unwrap();
+        assert_eq!(snapshot.dictionaries()[1].as_ref().unwrap().lookup("X"), None);
+        assert!(live2.dictionaries()[1].as_ref().unwrap().lookup("X").is_some());
     }
 
     #[test]

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     OPTION (MODEL = 'ar(7)', FORE_PERIOD = 7)";
     let prepared = Arc::new(engine.prepare(template)?);
     println!("\nprepared: {template}");
-    println!("plan:\n{}", prepared.explain());
+    println!("plan:\n{}", prepared.explain()?);
 
     // Reference answers, computed single-threaded through the same
     // prepared statement.

@@ -30,7 +30,11 @@
 //! * [`data`] — synthetic ads-style dataset and workload generators plus
 //!   the PIM baseline,
 //! * [`core`] — the FlashP engine tying everything together through the
-//!   staged pipeline `parse → plan → prepare → execute`.
+//!   staged pipeline `parse → plan → prepare → execute`, with live
+//!   ingest publishing versioned, atomically swapped sample catalogs.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the crate map and
+//! the catalog lifecycle (build → version → swap → invalidate).
 //!
 //! ## Quickstart
 //!
@@ -75,7 +79,7 @@
 //!          USING (20200101, 20200229) OPTION (MODEL = 'ar(7)', FORE_PERIOD = 7)",
 //!     )
 //!     .unwrap();
-//! println!("{}", prepared.explain());
+//! println!("{}", prepared.explain().unwrap());
 //! let under_30 = prepared.forecast_with(&[Literal::Int(30)]).unwrap();
 //! let under_50 = prepared.forecast_with(&[Literal::Int(50)]).unwrap();
 //! assert_eq!(under_30.forecasts.len(), 7);

@@ -1,0 +1,347 @@
+//! Live ingest with versioned catalog swap (§4.1 + §5).
+//!
+//! Pins the three contracts of the ingest subsystem:
+//!
+//! * executions — prepared or one-shot — always answer from **exactly
+//!   one** catalog version, even while publishes race them;
+//! * an incrementally derived catalog (`apply_delta`) is **bit-for-bit**
+//!   the catalog a full rebuild over the post-ingest table would draw;
+//! * plan-cache entries are scoped to the version they were planned
+//!   against and miss after a publish;
+//! * `EXPLAIN` reports the catalog version a plan was made against.
+
+use flashp::core::{EngineConfig, FlashPEngine, IngestBatch, SampleCatalog, SamplerChoice};
+use flashp::storage::{DataType, Schema, TimeSeriesTable, Timestamp, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const DAYS: i64 = 20;
+const ROWS_PER_DAY: i64 = 200;
+
+fn base_table() -> TimeSeriesTable {
+    let schema = Schema::from_names(&[("seg", DataType::Int64)], &["m1"]).unwrap().into_shared();
+    let mut table = TimeSeriesTable::new(schema);
+    let t0 = Timestamp::from_yyyymmdd(20200101).unwrap();
+    for day in 0..DAYS {
+        for row in 0..ROWS_PER_DAY {
+            let value = 10.0 + (day as f64) + (row % 13) as f64;
+            table.append_row(t0 + day, &[Value::Int(row % 10)], &[value]).unwrap();
+        }
+    }
+    table
+}
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        layer_rates: vec![0.2, 0.05],
+        sampler: SamplerChoice::OptimalGsw,
+        default_rate: 0.05,
+        ..Default::default()
+    }
+}
+
+fn engine() -> FlashPEngine {
+    let table = base_table();
+    let cfg = config();
+    let catalog = SampleCatalog::build(&table, &cfg).unwrap();
+    FlashPEngine::with_catalog(table, cfg, catalog)
+}
+
+/// The deterministic ingest step `k`: heavy rows into days 5..=9, so a
+/// torn execution mixing two versions would produce a per-day vector
+/// matching no single version.
+fn step_batch(k: usize) -> IngestBatch {
+    let t0 = Timestamp::from_yyyymmdd(20200101).unwrap();
+    let mut batch = IngestBatch::new();
+    for day in 5..10i64 {
+        for row in 0..50i64 {
+            let value = 1000.0 * (k as f64 + 1.0) + day as f64 + row as f64;
+            batch.push_row(t0 + day, &[Value::Int(row % 10)], &[value]);
+        }
+    }
+    batch
+}
+
+const EXACT_SQL: &str = "SELECT SUM(m1) FROM T WHERE t BETWEEN 20200106 AND 20200110 GROUP BY t";
+const SAMPLED_SQL: &str = "SELECT SUM(m1) FROM T WHERE t BETWEEN 20200106 AND 20200110 \
+     GROUP BY t OPTION (SAMPLE_RATE = 0.2)";
+
+/// (a) Prepared queries executing across concurrent swaps return answers
+/// consistent with exactly one catalog version: every observed per-day
+/// row vector equals the vector some published version produces — never
+/// a mixture.
+#[test]
+fn concurrent_swap_answers_from_exactly_one_version() {
+    const STEPS: usize = 6;
+
+    // Oracle: replay the identical ingest sequence step by step and
+    // record the per-version expected answers (engine builds are
+    // deterministic given the seed, so a second engine answers
+    // identically version for version).
+    let oracle = engine();
+    let oracle_exact = oracle.prepare(EXACT_SQL).unwrap();
+    let oracle_sampled = oracle.prepare(SAMPLED_SQL).unwrap();
+    let mut expected_exact = vec![oracle_exact.select_with(&[]).unwrap().rows];
+    let mut expected_sampled = vec![oracle_sampled.select_with(&[]).unwrap().rows];
+    for k in 0..STEPS {
+        oracle.ingest(step_batch(k)).unwrap();
+        oracle.publish().unwrap();
+        expected_exact.push(oracle_exact.select_with(&[]).unwrap().rows);
+        expected_sampled.push(oracle_sampled.select_with(&[]).unwrap().rows);
+    }
+    // The appends make every version's answer distinct.
+    for w in expected_exact.windows(2) {
+        assert_ne!(w[0], w[1]);
+    }
+
+    // Live run: readers hammer the same prepared statements while the
+    // main thread replays the ingest sequence.
+    let live = engine();
+    let exact = Arc::new(live.prepare(EXACT_SQL).unwrap());
+    let sampled = Arc::new(live.prepare(SAMPLED_SQL).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let (exact, sampled, stop) = (exact.clone(), sampled.clone(), stop.clone());
+            readers.push(scope.spawn(move || {
+                let mut observed = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    observed.push((
+                        exact.select_with(&[]).unwrap().rows,
+                        sampled.select_with(&[]).unwrap().rows,
+                    ));
+                }
+                observed
+            }));
+        }
+        for k in 0..STEPS {
+            live.ingest(step_batch(k)).unwrap();
+            live.publish().unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut total = 0usize;
+        for reader in readers {
+            for (exact_rows, sampled_rows) in reader.join().unwrap() {
+                total += 1;
+                assert!(
+                    expected_exact.contains(&exact_rows),
+                    "exact answer matches no single version: {exact_rows:?}"
+                );
+                assert!(
+                    expected_sampled.contains(&sampled_rows),
+                    "sampled answer matches no single version: {sampled_rows:?}"
+                );
+            }
+        }
+        assert!(total > 0, "readers must have executed during the swaps");
+    });
+    // After the last publish the prepared handles serve the final version.
+    assert_eq!(exact.select_with(&[]).unwrap().rows, expected_exact[STEPS]);
+    assert_eq!(sampled.select_with(&[]).unwrap().rows, expected_sampled[STEPS]);
+}
+
+/// (b) The incrementally derived catalog equals a full rebuild of the
+/// post-ingest table bit-for-bit on the retained-sample invariant: same
+/// retained rows, same inclusion probabilities, cell for cell — and
+/// therefore identical sampled answers.
+#[test]
+fn incremental_catalog_equals_full_rebuild_bit_for_bit() {
+    let e = engine();
+    for k in 0..3 {
+        e.ingest(step_batch(k)).unwrap();
+        let stats = e.publish().unwrap();
+        assert_eq!(stats.changed_partitions, 5);
+        assert_eq!(stats.appended_rows, 250);
+        assert_eq!(stats.delta.rebuilt_cells + stats.delta.absorbed_cells, 2 * 5);
+    }
+
+    let table = e.table();
+    let live_catalog = e.catalog().expect("catalog attached");
+    let rebuilt = SampleCatalog::build(&table, e.config()).unwrap();
+    let t0 = Timestamp::from_yyyymmdd(20200101).unwrap();
+    for layer in 0..rebuilt.num_layers() {
+        for day in 0..DAYS {
+            let a = live_catalog.sample_for(layer, 0, t0 + day).unwrap();
+            let b = rebuilt.sample_for(layer, 0, t0 + day).unwrap();
+            assert_eq!(a.num_rows(), b.num_rows(), "layer {layer} day {day}");
+            assert_eq!(a.population_rows(), b.population_rows());
+            assert_eq!(
+                a.inclusion_probabilities(),
+                b.inclusion_probabilities(),
+                "layer {layer} day {day}: π vectors differ"
+            );
+            assert_eq!(a.rows().measure(0), b.rows().measure(0));
+            assert_eq!(a.method(), b.method());
+        }
+    }
+    assert_eq!(live_catalog.stats().total_bytes, rebuilt.stats().total_bytes);
+
+    // And an engine over the rebuilt catalog answers sampled queries
+    // bit-identically.
+    let fresh = FlashPEngine::with_catalog(table, e.config().clone(), rebuilt);
+    assert_eq!(e.select(SAMPLED_SQL).unwrap().rows, fresh.select(SAMPLED_SQL).unwrap().rows);
+}
+
+/// (c) Plan-cache entries are scoped to the catalog version they were
+/// planned against: they hit before a publish and miss (re-plan) after.
+#[test]
+fn plan_cache_entries_scoped_to_old_catalog_miss_after_publish() {
+    let e = engine();
+    e.select(SAMPLED_SQL).unwrap(); // plan + cache at v0
+    let s0 = e.plan_cache_stats();
+    e.select(SAMPLED_SQL).unwrap();
+    let s1 = e.plan_cache_stats();
+    assert_eq!(s1.hits, s0.hits + 1, "pre-publish repeat hits the cache");
+
+    e.ingest(step_batch(0)).unwrap();
+    e.publish().unwrap();
+
+    e.select(SAMPLED_SQL).unwrap();
+    let s2 = e.plan_cache_stats();
+    assert_eq!(s2.hits, s1.hits, "post-publish lookup must not serve the stale plan");
+    assert!(s2.misses > s1.misses, "post-publish lookup re-plans");
+    e.select(SAMPLED_SQL).unwrap();
+    let s3 = e.plan_cache_stats();
+    assert_eq!(s3.hits, s2.hits + 1, "the re-planned entry hits at the new version");
+}
+
+/// EXPLAIN names the catalog version a plan was made against, and the
+/// version it names advances with every publish.
+#[test]
+fn explain_reports_the_catalog_version() {
+    let e = engine();
+    let version_of = |e: &FlashPEngine| -> u64 {
+        let node = e.explain(SAMPLED_SQL).unwrap();
+        node.find("SampleEstimate").unwrap().prop("catalog_version").unwrap().parse().unwrap()
+    };
+    let v0 = version_of(&e);
+    assert_eq!(v0, e.catalog().unwrap().version());
+
+    e.ingest(step_batch(0)).unwrap();
+    let stats = e.publish().unwrap();
+    let v1 = version_of(&e);
+    assert!(v1 > v0, "publish must advance the catalog version");
+    assert_eq!(Some(v1), stats.catalog_version);
+    assert_eq!(v1, e.catalog().unwrap().version());
+
+    // A prepared query's EXPLAIN names the version its next execution
+    // answers from — it follows publishes, matching the lazy re-plan.
+    let prepared = e.prepare(SAMPLED_SQL).unwrap();
+    let prepared_version = |q: &flashp::core::PreparedQuery| -> u64 {
+        q.explain()
+            .unwrap()
+            .find("SampleEstimate")
+            .unwrap()
+            .prop("catalog_version")
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(prepared_version(&prepared), v1);
+    e.ingest(step_batch(1)).unwrap();
+    e.publish().unwrap();
+    let v2 = version_of(&e);
+    assert!(v2 > v1);
+    assert_eq!(
+        prepared_version(&prepared),
+        v2,
+        "a prepared plan re-plans against the published version"
+    );
+}
+
+/// A publish re-plans prepared statements, so version-dependent plan
+/// constants — the clamped time range, dictionary-folded predicate codes
+/// — never go stale: a prepared SELECT whose statement covers a day that
+/// only exists after a publish includes it, exactly like a fresh
+/// one-shot of the same text.
+#[test]
+fn prepared_plans_refresh_clamped_ranges_after_publish() {
+    let e = engine();
+    // The statement asks through 20200125; the table ends at 20200120,
+    // so the prepare-time plan clamps to day 20.
+    let sql = "SELECT SUM(m1) FROM T WHERE t BETWEEN 20200101 AND 20200125";
+    let prepared = e.prepare(sql).unwrap();
+    let before = prepared.select_with(&[]).unwrap().rows[0].1;
+
+    // Publish a brand-new day 21 inside the statement's range.
+    let mut batch = IngestBatch::new();
+    let new_day = Timestamp::from_yyyymmdd(20200121).unwrap();
+    for row in 0..100i64 {
+        batch.push_row(new_day, &[Value::Int(row % 10)], &[500.0]);
+    }
+    e.ingest(batch).unwrap();
+    e.publish().unwrap();
+
+    let after = prepared.select_with(&[]).unwrap().rows[0].1;
+    assert!(
+        (after - (before + 100.0 * 500.0)).abs() < 1e-6,
+        "prepared handle must include the newly published day: {before} -> {after}"
+    );
+    // And it answers exactly what a fresh one-shot answers.
+    assert_eq!(after, e.select(sql).unwrap().rows[0].1);
+}
+
+/// Zero-row partitions are dropped at batch construction: they would
+/// otherwise create a day no sampler can draw a cell from.
+#[test]
+fn empty_partitions_are_not_staged() {
+    use flashp::storage::PartitionBuilder;
+    let e = engine();
+    let schema = e.table().schema().clone();
+    let mut batch = IngestBatch::new();
+    batch.push_partition(
+        Timestamp::from_yyyymmdd(20200125).unwrap(),
+        PartitionBuilder::with_capacity(&schema, 0).finish(),
+    );
+    assert!(batch.is_empty());
+    assert_eq!(e.ingest(batch).unwrap(), 0);
+    let stats = e.publish().unwrap();
+    assert_eq!(stats.appended_rows, 0);
+    // The day was never created, and the catalog still rebuilds cleanly.
+    assert!(e.table().partition(Timestamp::from_yyyymmdd(20200125).unwrap()).is_none());
+    assert!(SampleCatalog::build(&e.table(), e.config()).is_ok());
+}
+
+/// A batch that fails partway stages nothing: the valid leading items
+/// must not be half-applied (a retry would double-ingest them).
+#[test]
+fn failed_batches_stage_nothing() {
+    let e = engine();
+    let t0 = Timestamp::from_yyyymmdd(20200103).unwrap();
+    let mut batch = IngestBatch::new();
+    // Valid row first…
+    batch.push_row(t0, &[Value::Int(1)], &[7.0]);
+    // …then a row with the wrong arity (2 dims against a 1-dim schema).
+    batch.push_row(t0 + 1, &[Value::Int(1), Value::Int(2)], &[7.0]);
+    assert!(e.ingest(batch).is_err());
+    // Nothing staged: the next publish is a no-op.
+    let stats = e.publish().unwrap();
+    assert_eq!(stats.appended_rows, 0);
+    let expected = (ROWS_PER_DAY * DAYS) as f64;
+    assert_eq!(e.select("SELECT COUNT(*) FROM T").unwrap().rows[0].1, expected);
+}
+
+/// Ingest is staged: nothing is visible until publish, batches
+/// accumulate, and the appended rows land exactly once.
+#[test]
+fn staged_ingest_is_atomic_and_accumulates() {
+    let e = engine();
+    let count_sql = "SELECT COUNT(*) FROM T";
+    let before = e.select(count_sql).unwrap().rows[0].1;
+
+    assert_eq!(e.ingest(step_batch(0)).unwrap(), 250);
+    assert_eq!(e.ingest(step_batch(1)).unwrap(), 250);
+    assert_eq!(e.select(count_sql).unwrap().rows[0].1, before, "staged rows invisible");
+
+    let stats = e.publish().unwrap();
+    assert_eq!(stats.appended_rows, 500);
+    assert_eq!(e.select(count_sql).unwrap().rows[0].1, before + 500.0);
+
+    // An empty publish changes nothing.
+    let idle = e.publish().unwrap();
+    assert_eq!(idle.appended_rows, 0);
+    assert_eq!(idle.version, stats.version);
+    assert_eq!(e.select(count_sql).unwrap().rows[0].1, before + 500.0);
+}
