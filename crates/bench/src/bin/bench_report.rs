@@ -1,10 +1,12 @@
 //! Scan-kernel and query-pipeline throughput report, tracked in-tree.
 //!
-//! Part 1 measures the scalar (pre-vectorization) reference loops against
-//! the word-at-a-time kernels on a fixed-seed 1 M-row partition — exact
-//! masked aggregation, predicate evaluation, the fused single-comparison
-//! scan, and sampled estimation — and writes `BENCH_scan.json` at the
-//! repo root so every PR records both numbers and the speedup.
+//! Part 1 measures three kernel tiers on a fixed-seed 1 M-row partition —
+//! the scalar (pre-vectorization) reference loops, the portable
+//! word-at-a-time kernels, and the runtime-dispatched SIMD tier — across
+//! exact masked aggregation, predicate evaluation, the fused
+//! single-comparison scan, and sampled estimation, and writes
+//! `BENCH_scan.json` at the repo root so every PR records the numbers and
+//! the SIMD-vs-word and word-vs-scalar speedups.
 //!
 //! Part 2 measures the statement lifecycle: one-shot execution
 //! (parse + plan + execute per call) vs the cached-plan string API vs a
@@ -14,18 +16,27 @@
 //!
 //! Part 3 measures live ingest: row staging throughput, publish latency
 //! for the incremental catalog derivation (new-day cells vs grown-day
-//! absorbs) against a full rebuild, and prepared-query latency right
-//! after a version swap — written to `BENCH_ingest.json`.
+//! absorbs) against a full rebuild, prepared-query latency right after a
+//! version swap, and the parallel work-queue scaling of `catalog build`
+//! and multi-day `apply_delta` backfills across worker counts — written
+//! to `BENCH_ingest.json`.
+//!
+//! Every report records the dispatched kernel tier (`kernel_tier`).
 //!
 //! Run with `cargo run -p flashp-bench --release --bin bench_report`.
 
-use flashp_core::{parse, EngineConfig, FlashPEngine, IngestBatch, SampleCatalog, Statement};
+use flashp_core::{
+    parse, CatalogDelta, EngineConfig, FlashPEngine, IngestBatch, SampleCatalog, Statement,
+};
 use flashp_data::{generate_dataset, BatchStream, DatasetConfig, StreamConfig};
-use flashp_sampling::{estimate_agg_with, GswSampler, SampleSize, Sampler};
+use flashp_sampling::{
+    estimate_agg_with, estimate_components_with_kernels, GswSampler, SampleSize, Sampler,
+};
 use flashp_storage::reference::{aggregate_masked_scalar, evaluate_scalar};
 use flashp_storage::{
-    aggregate::aggregate_masked, aggregate_filtered, AggFunc, CmpOp, CompiledPredicate, DataType,
-    DimensionColumn, MaskScratch, Partition, Predicate, Schema, SchemaRef,
+    aggregate::aggregate_masked, aggregate_filtered_with, simd, AggFunc, CmpOp, CompiledPredicate,
+    DataType, DimensionColumn, KernelSet, KernelTier, MaskScratch, Partition, Predicate, Schema,
+    SchemaRef,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -61,27 +72,39 @@ fn time_median<R>(f: impl FnMut() -> R) -> f64 {
 struct Bench {
     name: &'static str,
     rows: usize,
+    /// Pre-vectorization scalar reference loops.
     scalar_secs: f64,
-    vectorized_secs: f64,
+    /// Portable word-at-a-time tier.
+    word_secs: f64,
+    /// Dispatched SIMD tier (equals the word tier when dispatch is
+    /// forced off or unsupported).
+    simd_secs: f64,
 }
 
 impl Bench {
     fn report(&self) -> serde_json::Value {
         let scalar = self.rows as f64 / self.scalar_secs;
-        let vectorized = self.rows as f64 / self.vectorized_secs;
+        let word = self.rows as f64 / self.word_secs;
+        let simd = self.rows as f64 / self.simd_secs;
         println!(
-            "{:<28} scalar {:>12.0} rows/s   vectorized {:>12.0} rows/s   speedup {:>5.2}x",
+            "{:<26} scalar {:>11.0} r/s   word {:>11.0} r/s   simd {:>11.0} r/s   \
+             simd/word {:>5.2}x   simd/scalar {:>5.2}x",
             self.name,
             scalar,
-            vectorized,
-            vectorized / scalar
+            word,
+            simd,
+            simd / word,
+            simd / scalar
         );
         json!({
             "name": self.name,
             "rows": self.rows,
             "scalar_rows_per_sec": scalar,
-            "vectorized_rows_per_sec": vectorized,
-            "speedup": vectorized / scalar,
+            "word_rows_per_sec": word,
+            "simd_rows_per_sec": simd,
+            "word_vs_scalar_speedup": word / scalar,
+            "simd_vs_word_speedup": simd / word,
+            "simd_vs_scalar_speedup": simd / scalar,
         })
     }
 }
@@ -93,8 +116,12 @@ fn main() {
         .compile(&schema, &[None, None])
         .unwrap();
     let single = CompiledPredicate::Cmp { dim: 0, op: CmpOp::Le, value: 30 };
+    let word = KernelSet::for_tier(KernelTier::Portable).expect("portable tier always exists");
+    let dispatched = *simd::active();
     let mut scratch = MaskScratch::new();
     let mut benches = Vec::new();
+
+    println!("dispatched kernel tier: {}", dispatched.tier());
 
     // Exact masked aggregation (the paper's "Full" bottleneck): predicate
     // evaluation + masked SUM over 1 M rows.
@@ -105,8 +132,14 @@ fn main() {
             let mask = evaluate_scalar(&conj, &partition);
             aggregate_masked_scalar(&partition, 0, &mask).finalize(AggFunc::Sum)
         }),
-        vectorized_secs: time_median(|| {
-            let mask = conj.evaluate_into(&partition, &mut scratch);
+        word_secs: time_median(|| {
+            let mask = conj.evaluate_into_with(&partition, &mut scratch, &word);
+            let state = aggregate_masked(&partition, 0, &mask);
+            scratch.release(mask);
+            state.finalize(AggFunc::Sum)
+        }),
+        simd_secs: time_median(|| {
+            let mask = conj.evaluate_into_with(&partition, &mut scratch, &dispatched);
             let state = aggregate_masked(&partition, 0, &mask);
             scratch.release(mask);
             state.finalize(AggFunc::Sum)
@@ -118,8 +151,14 @@ fn main() {
         name: "predicate_eval",
         rows: ROWS,
         scalar_secs: time_median(|| evaluate_scalar(&conj, &partition).count_ones()),
-        vectorized_secs: time_median(|| {
-            let mask = conj.evaluate_into(&partition, &mut scratch);
+        word_secs: time_median(|| {
+            let mask = conj.evaluate_into_with(&partition, &mut scratch, &word);
+            let ones = mask.count_ones();
+            scratch.release(mask);
+            ones
+        }),
+        simd_secs: time_median(|| {
+            let mask = conj.evaluate_into_with(&partition, &mut scratch, &dispatched);
             let ones = mask.count_ones();
             scratch.release(mask);
             ones
@@ -134,8 +173,12 @@ fn main() {
             let mask = evaluate_scalar(&single, &partition);
             aggregate_masked_scalar(&partition, 0, &mask).finalize(AggFunc::Sum)
         }),
-        vectorized_secs: time_median(|| {
-            aggregate_filtered(&partition, 0, 0, CmpOp::Le, 30).finalize(AggFunc::Sum)
+        word_secs: time_median(|| {
+            aggregate_filtered_with(&word, &partition, 0, 0, CmpOp::Le, 30).finalize(AggFunc::Sum)
+        }),
+        simd_secs: time_median(|| {
+            aggregate_filtered_with(&dispatched, &partition, 0, 0, CmpOp::Le, 30)
+                .finalize(AggFunc::Sum)
         }),
     });
 
@@ -171,7 +214,13 @@ fn main() {
             }
             (sum_hat, sum_var, count_hat, count_var, matched)
         }),
-        vectorized_secs: time_median(|| {
+        word_secs: time_median(|| {
+            estimate_components_with_kernels(&sample, 0, &conj, &mut scratch, &word)
+                .unwrap()
+                .finalize(AggFunc::Sum)
+                .value
+        }),
+        simd_secs: time_median(|| {
             estimate_agg_with(&sample, 0, &conj, AggFunc::Sum, &mut scratch).unwrap().value
         }),
     });
@@ -183,6 +232,7 @@ fn main() {
         "seed": SEED,
         "reps": REPS,
         "unit": "rows_per_sec",
+        "kernel_tier": dispatched.tier().name(),
         "benches": reports,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");
@@ -276,6 +326,7 @@ fn query_pipeline_report() {
         "rate": 0.01,
         "statements_per_thread": STATEMENTS,
         "unit": "statements_per_sec",
+        "kernel_tier": simd::active_tier().name(),
         "modes": modes,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
@@ -378,6 +429,71 @@ fn ingest_report() {
     // Post-swap query latency from the *same* prepared handle.
     let query_after = time_median_k(15, || prepared.forecast_with(&[]).expect("forecast"));
 
+    // Parallel work-queue scaling: the full offline build and a
+    // multi-day bulk-backfill apply_delta, at increasing worker counts.
+    // Cell seeds are scheduling-independent, so every row of this table
+    // is bit-for-bit the same catalog.
+    let worker_counts = [1usize, 2, 4];
+    let build_secs: Vec<f64> = worker_counts
+        .iter()
+        .map(|&threads| {
+            let cfg = EngineConfig { threads, ..config.clone() };
+            time_median_k(3, || SampleCatalog::build(&table, &cfg).expect("build"))
+        })
+        .collect();
+    let build_scaling: Vec<serde_json::Value> = worker_counts
+        .iter()
+        .zip(&build_secs)
+        .map(|(&threads, &secs)| json!({ "threads": threads, "secs": secs }))
+        .collect();
+
+    // A 10-day backfill: the apply_delta shape the work queue exists for
+    // (a 1-day publish has too few changed cells to parallelize).
+    let backfill_catalog = SampleCatalog::build(&table, &config).expect("catalog");
+    let mut backfill_table = (*table).clone();
+    let mut backfill_delta = CatalogDelta::default();
+    let mut backfill_stream = BatchStream::starting_at_day(
+        &dataset_config,
+        StreamConfig::new(rows_per_day, SEED ^ 0x9E37),
+        200,
+    );
+    let backfill_days = 10usize;
+    for _ in 0..backfill_days {
+        let b = backfill_stream.next().expect("unbounded stream");
+        let n = b.partition.num_rows();
+        backfill_table.append_partition(b.t, b.partition).expect("append");
+        backfill_delta.record(b.t, n);
+    }
+    let delta_secs: Vec<f64> = worker_counts
+        .iter()
+        .map(|&threads| {
+            let cfg = EngineConfig { threads, ..config.clone() };
+            time_median_k(3, || {
+                backfill_catalog.apply_delta(&backfill_table, &cfg, &backfill_delta).expect("delta")
+            })
+        })
+        .collect();
+    let delta_scaling: Vec<serde_json::Value> = worker_counts
+        .iter()
+        .zip(&delta_secs)
+        .map(|(&threads, &secs)| json!({ "threads": threads, "secs": secs }))
+        .collect();
+    let best = |secs: &[f64]| secs.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "catalog build (work queue)   {:>9.1} ms sequential, {:>8.1} ms best ({:.2}x over {:?} workers)",
+        build_secs[0] * 1e3,
+        best(&build_secs) * 1e3,
+        build_secs[0] / best(&build_secs),
+        worker_counts,
+    );
+    println!(
+        "apply_delta ({backfill_days}-day backfill) {:>9.1} ms sequential, {:>8.1} ms best ({:.2}x over {:?} workers)",
+        delta_secs[0] * 1e3,
+        best(&delta_secs) * 1e3,
+        delta_secs[0] / best(&delta_secs),
+        worker_counts,
+    );
+
     println!("\nlive ingest ({rows_per_day} rows/day, {} days + streamed):", 90);
     println!("ingest staging           {ingest_rows_per_sec:>12.0} rows/s");
     println!(
@@ -404,6 +520,7 @@ fn ingest_report() {
         "base_days": 90,
         "layer_rates": [0.05, 0.01],
         "seed": SEED,
+        "kernel_tier": simd::active_tier().name(),
         "ingest_rows_per_sec": ingest_rows_per_sec,
         "publish_new_day_secs": publish_new_day,
         "publish_grow_day_secs": publish_grow_day,
@@ -413,6 +530,9 @@ fn ingest_report() {
         "grow_rebuilt_cells": rebuilt_cells,
         "prepared_query_secs_before": query_before,
         "prepared_query_secs_after_swap": query_after,
+        "catalog_build_scaling": build_scaling,
+        "apply_delta_backfill_days": backfill_days,
+        "apply_delta_backfill_scaling": delta_scaling,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
     std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();

@@ -146,6 +146,15 @@ impl SampleCatalog {
     /// partition sample. Deterministic given `config.seed`. Borrows the
     /// table only for the build; the catalog holds copies of the sampled
     /// rows, not references.
+    ///
+    /// All cells across every layer and bucket form a **single work
+    /// queue** drained by one pool of `config.threads` workers
+    /// (dynamically scheduled, so a skewed partition in one layer never
+    /// stalls the others and no per-(layer, bucket) pool is respawned).
+    /// Every cell's RNG is seeded only from
+    /// `(config.seed, layer, bucket, timestamp)`, so the result is
+    /// bit-for-bit identical regardless of thread count or completion
+    /// order.
     pub fn build(table: &TimeSeriesTable, config: &EngineConfig) -> Result<Self, EngineError> {
         config.validate().map_err(EngineError::Config)?;
         let start_time = Instant::now();
@@ -160,30 +169,55 @@ impl SampleCatalog {
         let schema = table.schema().clone();
         let label = config.sampler.label().to_string();
         let parts: Vec<(Timestamp, &flashp_storage::Partition)> = table.partitions().collect();
+
+        // One sampler per (layer, bucket), shared read-only by the pool.
+        let samplers: Vec<Vec<CellSampler>> = config
+            .layer_rates
+            .iter()
+            .map(|&rate| {
+                bucket_defs.iter().map(|def| make_sampler(&config.sampler, def, rate)).collect()
+            })
+            .collect();
+
+        // The flat work queue over layer × bucket × partition.
+        let tasks: Vec<(usize, usize, Timestamp, &flashp_storage::Partition)> =
+            (0..config.layer_rates.len())
+                .flat_map(|li| {
+                    let parts = &parts;
+                    (0..bucket_defs.len())
+                        .flat_map(move |bi| parts.iter().map(move |&(t, p)| (li, bi, t, p)))
+                })
+                .collect();
+        let drawn: Vec<Result<(Sample, Option<GswCellState>), SamplingError>> =
+            parallel_map(&tasks, config.threads, |&(li, bi, t, p)| {
+                let seed_base = mix(config.seed, li as u64, bi as u64);
+                let mut rng = StdRng::seed_from_u64(mix(seed_base, t.0 as u64, 0x5A));
+                samplers[li][bi].draw(&schema, p, &mut rng)
+            });
+
+        // Assemble deterministically in task order.
+        let mut buckets_by_layer: Vec<Vec<BTreeMap<Timestamp, Arc<CatalogCell>>>> =
+            (0..config.layer_rates.len())
+                .map(|_| (0..bucket_defs.len()).map(|_| BTreeMap::new()).collect())
+                .collect();
+        let mut rows_by_layer = vec![0usize; config.layer_rates.len()];
+        let mut bytes_by_layer = vec![0usize; config.layer_rates.len()];
+        for (&(li, bi, t, _), cell) in tasks.iter().zip(drawn) {
+            let (sample, gsw) = cell?;
+            rows_by_layer[li] += sample.num_rows();
+            bytes_by_layer[li] += sample.byte_size();
+            buckets_by_layer[li][bi]
+                .insert(t, Arc::new(CatalogCell { sample: Arc::new(sample), gsw }));
+        }
+
         let mut layers = Vec::with_capacity(config.layer_rates.len());
         let mut stats_layers = Vec::new();
         let mut total_bytes = 0usize;
-        for (layer_idx, &rate) in config.layer_rates.iter().enumerate() {
-            let mut buckets = Vec::with_capacity(bucket_defs.len());
-            let mut layer_rows = 0usize;
-            let mut layer_bytes = 0usize;
-            for (bucket_idx, def) in bucket_defs.iter().enumerate() {
-                let sampler = make_sampler(&config.sampler, def, rate);
-                let seed_base = mix(config.seed, layer_idx as u64, bucket_idx as u64);
-                let cells: Vec<Result<(Sample, Option<GswCellState>), SamplingError>> =
-                    parallel_map(&parts, config.threads, |(t, p)| {
-                        let mut rng = StdRng::seed_from_u64(mix(seed_base, t.0 as u64, 0x5A));
-                        sampler.draw(&schema, p, &mut rng)
-                    });
-                let mut map = BTreeMap::new();
-                for ((t, _), cell) in parts.iter().zip(cells) {
-                    let (sample, gsw) = cell?;
-                    layer_rows += sample.num_rows();
-                    layer_bytes += sample.byte_size();
-                    map.insert(*t, Arc::new(CatalogCell { sample: Arc::new(sample), gsw }));
-                }
-                buckets.push(map);
-            }
+        for (layer_idx, (&rate, buckets)) in
+            config.layer_rates.iter().zip(buckets_by_layer).enumerate()
+        {
+            let layer_rows = rows_by_layer[layer_idx];
+            let layer_bytes = bytes_by_layer[layer_idx];
             total_bytes += layer_bytes;
             stats_layers.push(LayerStats { rate, rows: layer_rows, bytes: layer_bytes });
             layers.push(CatalogLayer {
@@ -218,6 +252,12 @@ impl SampleCatalog {
     /// re-drawn with their deterministic per-cell seed. Either way the
     /// result is bit-for-bit identical to a full [`SampleCatalog::build`]
     /// over `table`.
+    ///
+    /// The changed (layer, bucket, day) cells form one work queue drained
+    /// by a pool of `config.threads` workers — a one-day publish costs
+    /// what it always did, while a bulk backfill recomputes its cells in
+    /// parallel. Absorb and re-draw are both deterministic per cell, so
+    /// the derived catalog is identical for any thread count.
     pub fn apply_delta(
         &self,
         table: &TimeSeriesTable,
@@ -227,42 +267,79 @@ impl SampleCatalog {
         self.check_schema(table)?;
         let start_time = Instant::now();
         let mut delta_stats = DeltaStats::default();
-        let mut layers = Vec::with_capacity(self.layers.len());
-        let mut stats_layers = self.stats.layers.clone();
-        let mut total_bytes = 0usize;
-        for layer in &self.layers {
-            let mut buckets = Vec::with_capacity(layer.buckets.len());
-            for (bucket_idx, bucket) in layer.buckets.iter().enumerate() {
-                let sampler =
-                    make_sampler(&config.sampler, &self.bucket_defs[bucket_idx], layer.rate);
-                let seed_base = mix(config.seed, layer.config_idx as u64, bucket_idx as u64);
-                let mut map = bucket.clone();
-                for &t in delta.changed() {
-                    let Some(partition) = table.partition(t) else { continue };
-                    let absorbed = match (&sampler, map.get(&t).and_then(|c| c.gsw.as_ref())) {
+
+        // One sampler per (layer, bucket), shared read-only by the pool.
+        let samplers: Vec<Vec<CellSampler>> = self
+            .layers
+            .iter()
+            .map(|layer| {
+                self.bucket_defs
+                    .iter()
+                    .map(|def| make_sampler(&config.sampler, def, layer.rate))
+                    .collect()
+            })
+            .collect();
+
+        // Resolve each changed day's partition once (days recorded in
+        // the delta but absent from the table contribute no cells).
+        let live: Vec<(Timestamp, &flashp_storage::Partition)> =
+            delta.changed().filter_map(|&t| table.partition(t).map(|p| (t, p))).collect();
+
+        // The flat work queue over changed cells with a live partition.
+        let tasks: Vec<(usize, usize, Timestamp, &flashp_storage::Partition)> = (0..self
+            .layers
+            .len())
+            .flat_map(|lp| {
+                let num_buckets = self.layers[lp].buckets.len();
+                let live = &live;
+                (0..num_buckets).flat_map(move |bi| live.iter().map(move |&(t, p)| (lp, bi, t, p)))
+            })
+            .collect();
+        let recomputed: Vec<Result<(Arc<CatalogCell>, bool), EngineError>> =
+            parallel_map(&tasks, config.threads, |&(lp, bi, t, partition)| {
+                let layer = &self.layers[lp];
+                let sampler = &samplers[lp][bi];
+                let absorbed =
+                    match (sampler, layer.buckets[bi].get(&t).and_then(|c| c.gsw.as_ref())) {
                         (CellSampler::Gsw(g), Some(state)) => g
                             .absorb(state, &self.schema, partition)
                             .map_err(EngineError::Sampling)?,
                         _ => None,
                     };
-                    let cell = match absorbed {
-                        Some((sample, next)) => {
-                            delta_stats.absorbed_cells += 1;
-                            CatalogCell { sample: Arc::new(sample), gsw: Some(next) }
-                        }
-                        None => {
-                            delta_stats.rebuilt_cells += 1;
-                            let mut rng = StdRng::seed_from_u64(mix(seed_base, t.0 as u64, 0x5A));
-                            let (sample, gsw) = sampler
-                                .draw(&self.schema, partition, &mut rng)
-                                .map_err(EngineError::Sampling)?;
-                            CatalogCell { sample: Arc::new(sample), gsw }
-                        }
-                    };
-                    map.insert(t, Arc::new(cell));
-                }
-                buckets.push(map);
+                Ok(match absorbed {
+                    Some((sample, next)) => {
+                        (Arc::new(CatalogCell { sample: Arc::new(sample), gsw: Some(next) }), true)
+                    }
+                    None => {
+                        let seed_base = mix(config.seed, layer.config_idx as u64, bi as u64);
+                        let mut rng = StdRng::seed_from_u64(mix(seed_base, t.0 as u64, 0x5A));
+                        let (sample, gsw) = sampler
+                            .draw(&self.schema, partition, &mut rng)
+                            .map_err(EngineError::Sampling)?;
+                        (Arc::new(CatalogCell { sample: Arc::new(sample), gsw }), false)
+                    }
+                })
+            });
+
+        // Merge deterministically: clone each bucket map once (unchanged
+        // cells stay Arc-shared with this catalog), then install the
+        // recomputed cells in task order.
+        let mut buckets_by_layer: Vec<Vec<BTreeMap<Timestamp, Arc<CatalogCell>>>> =
+            self.layers.iter().map(|layer| layer.buckets.clone()).collect();
+        for (&(lp, bi, t, _), cell) in tasks.iter().zip(recomputed) {
+            let (cell, absorbed) = cell?;
+            if absorbed {
+                delta_stats.absorbed_cells += 1;
+            } else {
+                delta_stats.rebuilt_cells += 1;
             }
+            buckets_by_layer[lp][bi].insert(t, cell);
+        }
+
+        let mut layers = Vec::with_capacity(self.layers.len());
+        let mut stats_layers = self.stats.layers.clone();
+        let mut total_bytes = 0usize;
+        for (layer, buckets) in self.layers.iter().zip(buckets_by_layer) {
             let rows: usize =
                 buckets.iter().flat_map(|b| b.values()).map(|c| c.sample.num_rows()).sum();
             let bytes: usize =
@@ -622,6 +699,99 @@ mod tests {
             catalog.sample_for(0, 0, grown_t).unwrap(),
             derived.sample_for(0, 0, grown_t).unwrap()
         ));
+    }
+
+    /// The single work queue must be bit-for-bit identical to the
+    /// sequential build (threads = 1) for any worker count: cell seeds
+    /// depend only on (seed, layer, bucket, timestamp), never on
+    /// scheduling.
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let table = test_table();
+        let base = EngineConfig {
+            layer_rates: vec![0.2, 0.05],
+            sampler: SamplerChoice::OptimalGsw,
+            ..Default::default()
+        };
+        let sequential =
+            SampleCatalog::build(&table, &EngineConfig { threads: 1, ..base.clone() }).unwrap();
+        for threads in [2usize, 8] {
+            let parallel =
+                SampleCatalog::build(&table, &EngineConfig { threads, ..base.clone() }).unwrap();
+            assert_eq!(sequential.stats().total_bytes, parallel.stats().total_bytes);
+            for layer_idx in 0..sequential.num_layers() {
+                for measure in 0..2 {
+                    for (t, _) in table.partitions() {
+                        let a = sequential.sample_for(layer_idx, measure, t).unwrap();
+                        let b = parallel.sample_for(layer_idx, measure, t).unwrap();
+                        assert_eq!(a.inclusion_probabilities(), b.inclusion_probabilities());
+                        assert_eq!(a.rows().measure(measure), b.rows().measure(measure));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parallel apply_delta (multi-day backfill) must equal the
+    /// sequential derivation cell for cell, with identical absorb/rebuild
+    /// accounting.
+    #[test]
+    fn apply_delta_is_thread_count_invariant() {
+        use flashp_storage::Value;
+        let mut table = test_table();
+        let base = EngineConfig {
+            layer_rates: vec![0.2, 0.05],
+            sampler: SamplerChoice::OptimalGsw,
+            ..Default::default()
+        };
+        let catalog =
+            SampleCatalog::build(&table, &EngineConfig { threads: 1, ..base.clone() }).unwrap();
+        // A bulk backfill: grow three existing days and add two new ones.
+        let mut delta = CatalogDelta::default();
+        for (ymd, n) in [
+            (20200105i64, 150usize),
+            (20200115, 200),
+            (20200125, 250),
+            (20200301, 400),
+            (20200302, 300),
+        ] {
+            let t = Timestamp::from_yyyymmdd(ymd).unwrap();
+            for row in 0..n as i64 {
+                table
+                    .append_row(
+                        t,
+                        &[Value::Int(row % 10), Value::from(if row % 3 == 0 { "a" } else { "b" })],
+                        &[100.0 + row as f64, 10.0 + row as f64],
+                    )
+                    .unwrap();
+            }
+            delta.record(t, n);
+        }
+        let (seq, seq_stats) = catalog
+            .apply_delta(&table, &EngineConfig { threads: 1, ..base.clone() }, &delta)
+            .unwrap();
+        for threads in [2usize, 8] {
+            let (par, par_stats) = catalog
+                .apply_delta(&table, &EngineConfig { threads, ..base.clone() }, &delta)
+                .unwrap();
+            assert_eq!(
+                seq_stats, par_stats,
+                "absorb/rebuild accounting must not depend on threads"
+            );
+            assert_eq!(seq.stats().total_bytes, par.stats().total_bytes);
+            for layer_idx in 0..seq.num_layers() {
+                for measure in 0..2 {
+                    for (t, _) in table.partitions() {
+                        let a = seq.sample_for(layer_idx, measure, t).unwrap();
+                        let b = par.sample_for(layer_idx, measure, t).unwrap();
+                        assert_eq!(a.inclusion_probabilities(), b.inclusion_probabilities());
+                        assert_eq!(a.rows().measure(measure), b.rows().measure(measure));
+                    }
+                }
+            }
+        }
+        assert!(seq_stats.absorbed_cells > 0, "grown GSW cells should absorb");
+        assert!(seq_stats.rebuilt_cells > 0, "new days should rebuild");
     }
 
     #[test]

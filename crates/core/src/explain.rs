@@ -110,10 +110,16 @@ fn explain_select(p: &SelectPlan, schema: &Schema) -> PlanNode {
 }
 
 fn source_node(source: &ScanSource) -> PlanNode {
+    // The scan-kernel tier is process-global (dispatched once at startup,
+    // see `flashp_storage::simd`), so it is reported on the scan source
+    // rather than stored in the plan: whatever tier is active is exactly
+    // what the executor's predicate and aggregation kernels will run.
+    let simd = flashp_storage::simd::active_tier();
     match source {
-        ScanSource::FullScan { est_rows } => {
-            PlanNode::new("FullScan").with("sampler", "full scan").with("est_rows", est_rows)
-        }
+        ScanSource::FullScan { est_rows } => PlanNode::new("FullScan")
+            .with("sampler", "full scan")
+            .with("est_rows", est_rows)
+            .with("simd", simd),
         ScanSource::SampleLayer {
             layer,
             rate,
@@ -129,6 +135,7 @@ fn source_node(source: &ScanSource) -> PlanNode {
             .with("bucket", bucket)
             .with("est_rows", est_rows)
             .with("catalog_version", catalog_version)
+            .with("simd", simd)
             .with("rationale", rationale),
     }
 }
@@ -209,6 +216,10 @@ mod tests {
         assert_eq!(est.prop("sampler"), Some("Optimal GSW"));
         assert_eq!(est.prop("rate"), Some("0.05"));
         assert!(est.prop("est_rows").unwrap().parse::<usize>().unwrap() > 0);
+        // The active scan-kernel tier is named on the source.
+        let simd = est.prop("simd").expect("scan source names its kernel tier");
+        assert!(["avx2", "sse2", "portable"].contains(&simd), "unknown tier {simd}");
+        assert_eq!(simd, flashp_storage::simd::active_tier().name());
         // Constant-folded predicate with names resolved.
         let pred = node.find("Predicate").unwrap();
         assert_eq!(pred.prop("folded"), Some("seg <= 5"));
@@ -241,5 +252,6 @@ mod tests {
         let scan = node.find("FullScan").unwrap();
         assert_eq!(scan.prop("sampler"), Some("full scan"));
         assert_eq!(scan.prop("est_rows"), Some("400"));
+        assert_eq!(scan.prop("simd"), Some(flashp_storage::simd::active_tier().name()));
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::error::SamplingError;
 use crate::sample::Sample;
-use flashp_storage::{AggFunc, CompiledPredicate, MaskScratch};
+use flashp_storage::{AggFunc, CompiledPredicate, KernelSet, MaskScratch};
 
 /// An estimate of one aggregation query from one sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,7 +99,9 @@ impl EstimateComponents {
 
 /// One estimation pass producing the raw HT accumulators.
 ///
-/// The matched-row loop is word-at-a-time over the selection mask and uses
+/// Constraint evaluation over the sampled rows runs on the
+/// process-wide dispatched kernel tier ([`flashp_storage::simd::active`]);
+/// the matched-row loop is word-at-a-time over the selection mask and uses
 /// the sample's build-time precomputed `w = 1/π_i` (the HT variance weight
 /// `(1−π)/π²` falls out as `w² − w`) — no division per matched row.
 pub fn estimate_components_with(
@@ -108,11 +110,30 @@ pub fn estimate_components_with(
     pred: &CompiledPredicate,
     scratch: &mut MaskScratch,
 ) -> Result<EstimateComponents, SamplingError> {
+    estimate_components_with_kernels(
+        sample,
+        measure_idx,
+        pred,
+        scratch,
+        flashp_storage::simd::active(),
+    )
+}
+
+/// [`estimate_components_with`] on an explicit kernel tier — the hook the
+/// bench harness uses to pit the SIMD and word-at-a-time tiers against
+/// each other on the estimation path.
+pub fn estimate_components_with_kernels(
+    sample: &Sample,
+    measure_idx: usize,
+    pred: &CompiledPredicate,
+    scratch: &mut MaskScratch,
+    kernels: &KernelSet,
+) -> Result<EstimateComponents, SamplingError> {
     let num_measures = sample.rows().measures().len();
     if measure_idx >= num_measures {
         return Err(SamplingError::BadMeasure { index: measure_idx, num_measures });
     }
-    let mask = sample.evaluate_into(pred, scratch);
+    let mask = pred.evaluate_into_with(sample.rows(), scratch, kernels);
     let values = sample.rows().measure(measure_idx);
     let inv_pi = sample.inverse_inclusion_probabilities();
 

@@ -9,7 +9,7 @@
 //! `m̂_i = m_i (Δ+w_i)/w_i`; for priority/threshold sampling `π_i =
 //! min(1, m_i/τ)` recovers `m̂_i = max(m_i, τ)`.
 
-use flashp_storage::{CompiledPredicate, MaskScratch, Partition, SchemaRef};
+use flashp_storage::{CompiledPredicate, Partition, SchemaRef};
 
 use crate::error::SamplingError;
 
@@ -141,19 +141,13 @@ impl Sample {
         self.rows.measure(measure_idx)[row] * self.inv_pi[row]
     }
 
-    /// Evaluate a compiled predicate over the sampled rows.
+    /// Evaluate a compiled predicate over the sampled rows (diagnostic
+    /// convenience; estimation goes through
+    /// [`crate::estimator::estimate_components_with_kernels`], which
+    /// evaluates against an explicit kernel tier and reuses mask
+    /// buffers).
     pub fn evaluate(&self, pred: &CompiledPredicate) -> flashp_storage::Bitmask {
         pred.evaluate(&self.rows)
-    }
-
-    /// Evaluate a compiled predicate over the sampled rows, drawing mask
-    /// buffers from `scratch` (release the result back when done).
-    pub fn evaluate_into(
-        &self,
-        pred: &CompiledPredicate,
-        scratch: &mut MaskScratch,
-    ) -> flashp_storage::Bitmask {
-        pred.evaluate_into(&self.rows, scratch)
     }
 
     /// Approximate heap footprint in bytes (dimension columns + measures +

@@ -5,6 +5,7 @@ use crate::bitmask::Bitmask;
 use crate::column::DimensionColumn;
 use crate::partition::Partition;
 use crate::predicate::CmpOp;
+use crate::simd::KernelSet;
 use std::fmt;
 
 /// Aggregate function of a forecasting task. The paper's primary target is
@@ -94,10 +95,25 @@ pub fn aggregate_masked(partition: &Partition, measure_idx: usize, mask: &Bitmas
 }
 
 /// Fused filter + aggregate for a single comparison predicate: per 64-row
-/// chunk the comparison result selects the measure or 0.0 branchlessly, so
-/// no mask is ever materialized. This is the kernel behind
-/// single-comparison constraints on the exact scan path.
+/// chunk the comparison result is packed into one register word, so no
+/// mask is ever materialized. This is the kernel behind single-comparison
+/// constraints on the exact scan path; the comparison runs on the
+/// process-wide dispatched kernel tier ([`crate::simd::active`]).
 pub fn aggregate_filtered(
+    partition: &Partition,
+    measure_idx: usize,
+    dim: usize,
+    op: CmpOp,
+    value: i64,
+) -> AggState {
+    aggregate_filtered_with(crate::simd::active(), partition, measure_idx, dim, op, value)
+}
+
+/// [`aggregate_filtered`] with an explicit kernel tier — the hook the
+/// kernel-equivalence suite and the bench harness use to pit tiers
+/// against each other on identical inputs.
+pub fn aggregate_filtered_with(
+    kernels: &KernelSet,
     partition: &Partition,
     measure_idx: usize,
     dim: usize,
@@ -107,9 +123,9 @@ pub fn aggregate_filtered(
     let values = partition.measure(measure_idx);
     let col = partition.dim(dim);
     macro_rules! narrow {
-        ($v:expr, $t:ty) => {{
+        ($v:expr, $t:ty, $fused:ident) => {{
             match <$t>::try_from(value) {
-                Ok(rhs) => fused_kernel($v, values, op, rhs),
+                Ok(rhs) => kernels.$fused($v, values, op, rhs),
                 // Literal outside the representation's range: matches all
                 // rows or none (see `out_of_range_matches_all`).
                 Err(_) => {
@@ -123,10 +139,10 @@ pub fn aggregate_filtered(
         }};
     }
     match col {
-        DimensionColumn::UInt8(v) => narrow!(v, u8),
-        DimensionColumn::UInt16(v) => narrow!(v, u16),
-        DimensionColumn::Dict(v) => narrow!(v, u32),
-        DimensionColumn::Int64(v) => fused_kernel(v, values, op, value),
+        DimensionColumn::UInt8(v) => narrow!(v, u8, fused_u8),
+        DimensionColumn::UInt16(v) => narrow!(v, u16, fused_u16),
+        DimensionColumn::Dict(v) => narrow!(v, u32, fused_u32),
+        DimensionColumn::Int64(v) => kernels.fused_i64(v, values, op, value),
     }
 }
 
@@ -134,8 +150,16 @@ pub fn aggregate_filtered(
 /// (branchless, autovectorizable), then feed only the matching rows into
 /// the sum via `trailing_zeros`. The word never touches memory — that is
 /// the fusion — and matching rows are added in ascending order, so the
-/// sum is bit-identical to mask-then-aggregate.
-fn fused_kernel<T: Copy + PartialOrd>(dims: &[T], values: &[f64], op: CmpOp, rhs: T) -> AggState {
+/// sum is bit-identical to mask-then-aggregate. This is the **portable**
+/// tier of the fused kernel; the SIMD tiers in [`crate::simd`] build the
+/// word with explicit compare+movemask and reuse the identical
+/// accumulation order.
+pub(crate) fn fused_kernel<T: Copy + PartialOrd>(
+    dims: &[T],
+    values: &[f64],
+    op: CmpOp,
+    rhs: T,
+) -> AggState {
     debug_assert_eq!(dims.len(), values.len());
     macro_rules! run {
         ($f:expr) => {{

@@ -15,7 +15,9 @@
 //!   strings,
 //! * a predicate language ([`predicate`]) matching the constraint class `C`
 //!   of the paper (any logical expression over dimension values),
-//! * vectorized predicate evaluation into [`bitmask::Bitmask`]es,
+//! * vectorized predicate evaluation into [`bitmask::Bitmask`]es, running
+//!   on runtime-dispatched kernel tiers ([`simd`]: AVX2 → SSE2 → portable
+//!   word-at-a-time, selected once at startup),
 //! * SUM / COUNT / AVG aggregation ([`aggregate`]) per partition and over
 //!   time ranges, with parallel partition scans ([`scan`]),
 //! * zone-map statistics ([`stats`]) for partition pruning,
@@ -31,12 +33,13 @@ pub mod predicate;
 pub mod reference;
 pub mod scan;
 pub mod schema;
+pub mod simd;
 pub mod stats;
 pub mod table;
 pub mod timestamp;
 pub mod types;
 
-pub use aggregate::{aggregate_filtered, AggFunc, AggState};
+pub use aggregate::{aggregate_filtered, aggregate_filtered_with, AggFunc, AggState};
 pub use bitmask::Bitmask;
 pub use column::{Dictionary, DimensionColumn};
 pub use error::StorageError;
@@ -44,6 +47,7 @@ pub use partition::{Partition, PartitionBuilder};
 pub use predicate::{CmpOp, CompiledPredicate, InLookup, MaskScratch, Predicate};
 pub use scan::{aggregate_range, aggregate_total, selectivity_range, ScanOptions};
 pub use schema::{DimensionDef, MeasureDef, Schema, SchemaRef};
+pub use simd::{KernelSet, KernelTier};
 pub use table::TimeSeriesTable;
 pub use timestamp::{Date, Timestamp};
 pub use types::{DataType, Value};

@@ -5,18 +5,30 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Number of worker threads to use: `FLASHP_THREADS` env var if set,
 /// otherwise the machine's available parallelism.
+///
+/// Resolved **once per process** and cached: callers that build a
+/// [`crate::ScanOptions`] or an engine configuration per query no longer
+/// re-read the environment each time, and every subsystem (scans, the
+/// catalog build work queue, parallel `apply_delta`) sizes its one pool
+/// from the same number — an engine passes its configured
+/// `config.threads` down instead of letting each layer re-derive its
+/// own, which is what used to oversubscribe nested parallel sections.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("FLASHP_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("FLASHP_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
             }
         }
-    }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    })
 }
 
 /// Apply `f` to every element of `items` in parallel, preserving order of

@@ -13,6 +13,7 @@ use crate::column::{Dictionary, DimensionColumn};
 use crate::error::StorageError;
 use crate::partition::Partition;
 use crate::schema::Schema;
+use crate::simd::KernelSet;
 use crate::stats::ZoneMaps;
 use crate::types::{DataType, Value};
 use std::fmt;
@@ -374,8 +375,22 @@ impl CompiledPredicate {
 
     /// Evaluate over every row of `partition`, drawing all mask buffers
     /// (the result included) from `scratch`. Callers may hand the returned
-    /// mask back via [`MaskScratch::release`] once consumed.
+    /// mask back via [`MaskScratch::release`] once consumed. Comparison
+    /// leaves run on the process-wide dispatched kernel tier
+    /// ([`crate::simd::active`]).
     pub fn evaluate_into(&self, partition: &Partition, scratch: &mut MaskScratch) -> Bitmask {
+        self.evaluate_into_with(partition, scratch, crate::simd::active())
+    }
+
+    /// [`CompiledPredicate::evaluate_into`] with an explicit kernel tier —
+    /// the hook the kernel-equivalence suite and the bench harness use to
+    /// pit tiers against each other on identical inputs.
+    pub fn evaluate_into_with(
+        &self,
+        partition: &Partition,
+        scratch: &mut MaskScratch,
+        kernels: &KernelSet,
+    ) -> Bitmask {
         let n = partition.num_rows();
         match self {
             CompiledPredicate::Const(true) => {
@@ -386,7 +401,7 @@ impl CompiledPredicate {
             CompiledPredicate::Const(false) => scratch.acquire_zeros(n),
             CompiledPredicate::Cmp { dim, op, value } => {
                 let mut mask = scratch.acquire_for_overwrite(n);
-                eval_cmp_into(partition.dim(*dim), *op, *value, &mut mask);
+                eval_cmp_into(kernels, partition.dim(*dim), *op, *value, &mut mask);
                 mask
             }
             CompiledPredicate::InSet { dim, values, lookup } => {
@@ -395,28 +410,28 @@ impl CompiledPredicate {
                 mask
             }
             CompiledPredicate::And(children) => {
-                let mut mask = children[0].evaluate_into(partition, scratch);
+                let mut mask = children[0].evaluate_into_with(partition, scratch, kernels);
                 for c in &children[1..] {
                     if !mask.any_set() {
                         break;
                     }
-                    let child = c.evaluate_into(partition, scratch);
+                    let child = c.evaluate_into_with(partition, scratch, kernels);
                     mask.and_inplace(&child);
                     scratch.release(child);
                 }
                 mask
             }
             CompiledPredicate::Or(children) => {
-                let mut mask = children[0].evaluate_into(partition, scratch);
+                let mut mask = children[0].evaluate_into_with(partition, scratch, kernels);
                 for c in &children[1..] {
-                    let child = c.evaluate_into(partition, scratch);
+                    let child = c.evaluate_into_with(partition, scratch, kernels);
                     mask.or_inplace(&child);
                     scratch.release(child);
                 }
                 mask
             }
             CompiledPredicate::Not(child) => {
-                let mut mask = child.evaluate_into(partition, scratch);
+                let mut mask = child.evaluate_into_with(partition, scratch, kernels);
                 mask.not_inplace();
                 mask
             }
@@ -499,9 +514,12 @@ fn fill_mask<T: Copy>(data: &[T], mask: &mut Bitmask, f: impl Fn(T) -> bool) {
     }
 }
 
-/// Monomorphized comparison kernel: the operator is resolved once, then a
-/// single branchless [`fill_mask`] pass builds the words.
-fn cmp_kernel<T: Copy + PartialOrd>(data: &[T], op: CmpOp, rhs: T, mask: &mut Bitmask) {
+/// Monomorphized word-at-a-time comparison kernel: the operator is
+/// resolved once, then a single branchless [`fill_mask`] pass builds the
+/// words. This is the **portable** tier of the kernel dispatch in
+/// [`crate::simd`]; the SIMD tiers replace it with explicit
+/// compare+movemask loops.
+pub(crate) fn cmp_kernel<T: Copy + PartialOrd>(data: &[T], op: CmpOp, rhs: T, mask: &mut Bitmask) {
     match op {
         CmpOp::Eq => fill_mask(data, mask, |x| x == rhs),
         CmpOp::Ne => fill_mask(data, mask, |x| x != rhs),
@@ -526,13 +544,20 @@ pub(crate) fn out_of_range_matches_all(op: CmpOp, above: bool) -> bool {
     }
 }
 
-/// Evaluate `col op value` into `mask`, per column representation. Every
-/// word of `mask` is written (the buffer may arrive with garbage words).
-fn eval_cmp_into(col: &DimensionColumn, op: CmpOp, value: i64, mask: &mut Bitmask) {
+/// Evaluate `col op value` into `mask` through the given kernel tier, per
+/// column representation. Every word of `mask` is written (the buffer may
+/// arrive with garbage words).
+fn eval_cmp_into(
+    kernels: &KernelSet,
+    col: &DimensionColumn,
+    op: CmpOp,
+    value: i64,
+    mask: &mut Bitmask,
+) {
     macro_rules! narrow {
-        ($v:expr, $t:ty) => {{
+        ($v:expr, $t:ty, $cmp:ident) => {{
             match <$t>::try_from(value) {
-                Ok(rhs) => cmp_kernel($v, op, rhs, mask),
+                Ok(rhs) => kernels.$cmp($v, op, rhs, mask),
                 Err(_) => {
                     if out_of_range_matches_all(op, value > 0) {
                         mask.fill_ones();
@@ -544,10 +569,10 @@ fn eval_cmp_into(col: &DimensionColumn, op: CmpOp, value: i64, mask: &mut Bitmas
         }};
     }
     match col {
-        DimensionColumn::UInt8(v) => narrow!(v, u8),
-        DimensionColumn::UInt16(v) => narrow!(v, u16),
-        DimensionColumn::Dict(v) => narrow!(v, u32),
-        DimensionColumn::Int64(v) => cmp_kernel(v, op, value, mask),
+        DimensionColumn::UInt8(v) => narrow!(v, u8, cmp_u8),
+        DimensionColumn::UInt16(v) => narrow!(v, u16, cmp_u16),
+        DimensionColumn::Dict(v) => narrow!(v, u32, cmp_u32),
+        DimensionColumn::Int64(v) => kernels.cmp_i64(v, op, value, mask),
     }
 }
 

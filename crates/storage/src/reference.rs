@@ -103,6 +103,29 @@ fn eval_cmp_scalar(col: &DimensionColumn, op: CmpOp, value: i64) -> Bitmask {
     }
 }
 
+/// Row-at-a-time `f64` comparison oracle with Rust's native IEEE
+/// semantics (ordered compares and `==` are `false` against NaN, `!=` is
+/// `true`). The SIMD `cmp_f64` kernels of [`crate::simd`] are proven
+/// bit-for-bit identical to this, including NaN / ±∞ / −0.0 / extreme
+/// literals.
+pub fn eval_cmp_f64_scalar(data: &[f64], op: CmpOp, rhs: f64) -> Bitmask {
+    let mut mask = Bitmask::zeros(data.len());
+    for (i, &x) in data.iter().enumerate() {
+        let hit = match op {
+            CmpOp::Eq => x == rhs,
+            CmpOp::Ne => x != rhs,
+            CmpOp::Lt => x < rhs,
+            CmpOp::Le => x <= rhs,
+            CmpOp::Gt => x > rhs,
+            CmpOp::Ge => x >= rhs,
+        };
+        if hit {
+            mask.set(i);
+        }
+    }
+    mask
+}
+
 /// Index-at-a-time masked aggregation: gather each selected row through
 /// the set-bit iterator, no word-level fast paths.
 pub fn aggregate_masked_scalar(

@@ -1,5 +1,10 @@
 //! Parallel time-range scans: the batched processing of the `t0`
 //! aggregation queries of Eq. (4) "with one scan of the data".
+//!
+//! Per-partition evaluation routes through the runtime-dispatched kernel
+//! tier ([`crate::simd::active`]): predicate leaves and the fused
+//! single-comparison filter+aggregate run on AVX2 / SSE2 / portable
+//! word-at-a-time kernels, selected once at startup.
 
 use crate::aggregate::{AggFunc, AggState};
 use crate::error::StorageError;

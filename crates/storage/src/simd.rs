@@ -1,0 +1,1070 @@
+//! Runtime-dispatched SIMD scan kernels.
+//!
+//! Three kernel tiers implement the same two scan primitives — the
+//! compare-into-mask kernel behind [`crate::CompiledPredicate`] leaves and
+//! the fused compare+aggregate kernel behind single-comparison exact
+//! scans:
+//!
+//! * **`avx2`** — explicit 256-bit compare + movemask intrinsics: 64 rows
+//!   of a `u8` column are two loads, two compares and two movemasks away
+//!   from a finished mask word.
+//! * **`sse2`** — the 128-bit fallback, always present on `x86_64`
+//!   (`i64` comparisons need `pcmpgtq`, which SSE2 lacks, so that one
+//!   slot stays on the portable kernel).
+//! * **`portable`** — the word-at-a-time kernels of
+//!   [`crate::predicate`] / [`crate::aggregate`]: branchless
+//!   `word |= (cmp as u64) << bit` packing that autovectorizes on any
+//!   architecture. This is the only tier on non-x86 targets.
+//!
+//! The active tier is chosen **once**, at first use, by
+//! [`active`] — `is_x86_feature_detected!` runtime dispatch captured in a
+//! [`KernelSet`] vtable of monomorphic function pointers that
+//! `predicate.rs`, `aggregate.rs`, `scan.rs` and `flashp-sampling`'s
+//! estimators all route through. Two environment variables override the
+//! choice (read once, before the first query):
+//!
+//! * `FLASHP_FORCE_SCALAR_KERNELS=1` — disable SIMD dispatch entirely and
+//!   run the portable word-at-a-time tier (CI runs the whole test suite
+//!   this way so the portable tier stays covered on every PR);
+//! * `FLASHP_KERNEL_TIER=avx2|sse2|portable` — pin a specific tier.
+//!   Unrecognized names and tiers the hardware cannot run fall back to
+//!   `portable` (fail safe: a typo'd pin never silently runs SIMD).
+//!
+//! Every tier is **bit-for-bit identical** to the scalar reference
+//! oracle in [`crate::reference`]: masks match bit by bit, and aggregate
+//! sums are produced by the exact same ascending-row addition order (the
+//! SIMD tiers vectorize the comparisons and the mask-word assembly, never
+//! the float accumulation — reassociating the sum would change low-order
+//! bits). The `kernel_equivalence` property suite proves this for every
+//! supported tier on every column type, including `f64` comparisons with
+//! NaN and non-finite literals.
+
+use crate::aggregate::AggState;
+use crate::bitmask::Bitmask;
+use crate::predicate::CmpOp;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// One of the scan-kernel implementation tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// 256-bit AVX2 compare + movemask kernels.
+    Avx2,
+    /// 128-bit SSE2 kernels (`i64` compares fall back to portable).
+    Sse2,
+    /// Word-at-a-time portable kernels (autovectorized).
+    Portable,
+}
+
+impl KernelTier {
+    /// All tiers, best first — the dispatch preference order.
+    pub const ALL: [KernelTier; 3] = [KernelTier::Avx2, KernelTier::Sse2, KernelTier::Portable];
+
+    /// Lower-case tier name as reported by `EXPLAIN` (`simd=<name>`) and
+    /// the bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Sse2 => "sse2",
+            KernelTier::Portable => "portable",
+        }
+    }
+}
+
+impl fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A vtable of monomorphic scan-kernel entry points for one tier.
+///
+/// All mask-producing kernels require `mask.len() == data.len()` and
+/// overwrite every mask word the data covers (the mask may arrive with
+/// garbage words — see [`crate::MaskScratch`]). The fused kernels return
+/// sums produced in ascending row order, bit-identical to
+/// mask-then-aggregate on every tier.
+#[derive(Clone, Copy)]
+pub struct KernelSet {
+    tier: KernelTier,
+    cmp_u8: fn(&[u8], CmpOp, u8, &mut Bitmask),
+    cmp_u16: fn(&[u16], CmpOp, u16, &mut Bitmask),
+    cmp_u32: fn(&[u32], CmpOp, u32, &mut Bitmask),
+    cmp_i64: fn(&[i64], CmpOp, i64, &mut Bitmask),
+    cmp_f64: fn(&[f64], CmpOp, f64, &mut Bitmask),
+    fused_u8: fn(&[u8], &[f64], CmpOp, u8) -> AggState,
+    fused_u16: fn(&[u16], &[f64], CmpOp, u16) -> AggState,
+    fused_u32: fn(&[u32], &[f64], CmpOp, u32) -> AggState,
+    fused_i64: fn(&[i64], &[f64], CmpOp, i64) -> AggState,
+}
+
+impl fmt::Debug for KernelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelSet").field("tier", &self.tier).finish_non_exhaustive()
+    }
+}
+
+impl KernelSet {
+    /// The tier these kernels implement.
+    pub fn tier(&self) -> KernelTier {
+        self.tier
+    }
+
+    /// `col op rhs` into `mask` for a `u8` column.
+    #[inline]
+    pub fn cmp_u8(&self, data: &[u8], op: CmpOp, rhs: u8, mask: &mut Bitmask) {
+        (self.cmp_u8)(data, op, rhs, mask)
+    }
+
+    /// `col op rhs` into `mask` for a `u16` column.
+    #[inline]
+    pub fn cmp_u16(&self, data: &[u16], op: CmpOp, rhs: u16, mask: &mut Bitmask) {
+        (self.cmp_u16)(data, op, rhs, mask)
+    }
+
+    /// `col op rhs` into `mask` for a dictionary-code (`u32`) column.
+    #[inline]
+    pub fn cmp_u32(&self, data: &[u32], op: CmpOp, rhs: u32, mask: &mut Bitmask) {
+        (self.cmp_u32)(data, op, rhs, mask)
+    }
+
+    /// `col op rhs` into `mask` for an `i64` column.
+    #[inline]
+    pub fn cmp_i64(&self, data: &[i64], op: CmpOp, rhs: i64, mask: &mut Bitmask) {
+        (self.cmp_i64)(data, op, rhs, mask)
+    }
+
+    /// `col op rhs` into `mask` for an `f64` column, with IEEE semantics
+    /// identical to Rust's scalar float comparisons: ordered compares and
+    /// `==` are `false` against NaN, `!=` is `true`.
+    #[inline]
+    pub fn cmp_f64(&self, data: &[f64], op: CmpOp, rhs: f64, mask: &mut Bitmask) {
+        (self.cmp_f64)(data, op, rhs, mask)
+    }
+
+    /// Fused `filter(dim op rhs) → sum/count(values)` for a `u8` column;
+    /// no mask is materialized.
+    #[inline]
+    pub fn fused_u8(&self, dims: &[u8], values: &[f64], op: CmpOp, rhs: u8) -> AggState {
+        (self.fused_u8)(dims, values, op, rhs)
+    }
+
+    /// Fused filter+aggregate for a `u16` column.
+    #[inline]
+    pub fn fused_u16(&self, dims: &[u16], values: &[f64], op: CmpOp, rhs: u16) -> AggState {
+        (self.fused_u16)(dims, values, op, rhs)
+    }
+
+    /// Fused filter+aggregate for a dictionary-code (`u32`) column.
+    #[inline]
+    pub fn fused_u32(&self, dims: &[u32], values: &[f64], op: CmpOp, rhs: u32) -> AggState {
+        (self.fused_u32)(dims, values, op, rhs)
+    }
+
+    /// Fused filter+aggregate for an `i64` column.
+    #[inline]
+    pub fn fused_i64(&self, dims: &[i64], values: &[f64], op: CmpOp, rhs: i64) -> AggState {
+        (self.fused_i64)(dims, values, op, rhs)
+    }
+
+    /// The portable word-at-a-time tier (always available).
+    pub fn portable() -> KernelSet {
+        KernelSet {
+            tier: KernelTier::Portable,
+            cmp_u8: portable::cmp_u8,
+            cmp_u16: portable::cmp_u16,
+            cmp_u32: portable::cmp_u32,
+            cmp_i64: portable::cmp_i64,
+            cmp_f64: portable::cmp_f64,
+            fused_u8: portable::fused_u8,
+            fused_u16: portable::fused_u16,
+            fused_u32: portable::fused_u32,
+            fused_i64: portable::fused_i64,
+        }
+    }
+
+    /// The kernels for `tier`, or `None` when this machine cannot run it.
+    pub fn for_tier(tier: KernelTier) -> Option<KernelSet> {
+        match tier {
+            KernelTier::Portable => Some(KernelSet::portable()),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Sse2 if std::arch::is_x86_feature_detected!("sse2") => {
+                Some(KernelSet {
+                    tier: KernelTier::Sse2,
+                    cmp_u8: x86::cmp_u8_sse2,
+                    cmp_u16: x86::cmp_u16_sse2,
+                    cmp_u32: x86::cmp_u32_sse2,
+                    // SSE2 has no 64-bit integer compare (`pcmpgtq` is
+                    // SSE4.2); the portable kernel serves that slot.
+                    cmp_i64: portable::cmp_i64,
+                    cmp_f64: x86::cmp_f64_sse2,
+                    fused_u8: x86::fused_u8_sse2,
+                    fused_u16: x86::fused_u16_sse2,
+                    fused_u32: x86::fused_u32_sse2,
+                    fused_i64: portable::fused_i64,
+                })
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 if std::arch::is_x86_feature_detected!("avx2") => Some(KernelSet {
+                tier: KernelTier::Avx2,
+                cmp_u8: x86::cmp_u8_avx2,
+                cmp_u16: x86::cmp_u16_avx2,
+                cmp_u32: x86::cmp_u32_avx2,
+                cmp_i64: x86::cmp_i64_avx2,
+                cmp_f64: x86::cmp_f64_avx2,
+                fused_u8: x86::fused_u8_avx2,
+                fused_u16: x86::fused_u16_avx2,
+                fused_u32: x86::fused_u32_avx2,
+                fused_i64: x86::fused_i64_avx2,
+            }),
+            #[allow(unreachable_patterns)]
+            _ => None,
+        }
+    }
+
+    /// Every tier this machine can run, best first (the portable tier is
+    /// always last and always present) — the equivalence tests and bench
+    /// harness iterate this.
+    pub fn supported() -> Vec<KernelSet> {
+        KernelTier::ALL.iter().filter_map(|&t| KernelSet::for_tier(t)).collect()
+    }
+}
+
+/// The process-wide kernel set, selected once at first use.
+static ACTIVE: OnceLock<KernelSet> = OnceLock::new();
+
+/// The dispatched kernel set every scan and estimation routes through.
+///
+/// Selected once: environment overrides first
+/// (`FLASHP_FORCE_SCALAR_KERNELS`, `FLASHP_KERNEL_TIER`), then the best
+/// tier the CPU supports.
+pub fn active() -> &'static KernelSet {
+    ACTIVE.get_or_init(select)
+}
+
+/// Tier of the dispatched kernel set (reported by `EXPLAIN` as
+/// `simd=<tier>` and recorded in the bench reports).
+pub fn active_tier() -> KernelTier {
+    active().tier()
+}
+
+fn select() -> KernelSet {
+    if std::env::var("FLASHP_FORCE_SCALAR_KERNELS")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+    {
+        return KernelSet::portable();
+    }
+    if let Ok(name) = std::env::var("FLASHP_KERNEL_TIER") {
+        // A pin must never silently dispatch a *faster* tier than asked
+        // for: unrecognized names and tiers this hardware cannot run
+        // both fail safe to portable, so a typo'd pin is at worst slow,
+        // never a benchmark or bug repro secretly running SIMD.
+        let requested = match name.trim().to_ascii_lowercase().as_str() {
+            "avx2" => Some(KernelTier::Avx2),
+            "sse2" => Some(KernelTier::Sse2),
+            "portable" | "scalar" => Some(KernelTier::Portable),
+            _ => None,
+        };
+        return requested.and_then(KernelSet::for_tier).unwrap_or_else(KernelSet::portable);
+    }
+    KernelSet::supported().into_iter().next().unwrap_or_else(KernelSet::portable)
+}
+
+/// Scalar comparison used for the `len % 64` tail rows of every SIMD
+/// kernel (and by the portable fallbacks' tests). For floats this is
+/// Rust's own IEEE semantics, which is exactly what the vector predicates
+/// were chosen to match.
+#[inline]
+fn scalar_bool<T: Copy + PartialOrd>(op: CmpOp, x: T, rhs: T) -> bool {
+    match op {
+        CmpOp::Eq => x == rhs,
+        CmpOp::Ne => x != rhs,
+        CmpOp::Lt => x < rhs,
+        CmpOp::Le => x <= rhs,
+        CmpOp::Gt => x > rhs,
+        CmpOp::Ge => x >= rhs,
+    }
+}
+
+/// Write the final partial mask word (rows `64·(len/64)..len`) with the
+/// scalar comparison; bits at or beyond `len` stay zero, preserving the
+/// mask tail invariant.
+fn scalar_tail<T: Copy + PartialOrd>(data: &[T], op: CmpOp, rhs: T, words: &mut [u64]) {
+    let full = data.len() / 64;
+    let rem = &data[full * 64..];
+    if rem.is_empty() {
+        return;
+    }
+    let mut w = 0u64;
+    for (bit, &x) in rem.iter().enumerate() {
+        w |= (scalar_bool(op, x, rhs) as u64) << bit;
+    }
+    words[full] = w;
+}
+
+/// Fold one finished 64-row mask word into the running fused aggregate,
+/// in exactly the order the portable fused kernel uses: count first, then
+/// an all-ones fast path or an ascending `trailing_zeros` walk — so the
+/// float sum is bit-identical across tiers.
+#[inline]
+fn accumulate_word(word: u64, values: &[f64], sum: &mut f64, count: &mut u64) {
+    debug_assert_eq!(values.len(), 64);
+    *count += u64::from(word.count_ones());
+    if word == u64::MAX {
+        for &m in values {
+            *sum += m;
+        }
+    } else {
+        let mut w = word;
+        while w != 0 {
+            *sum += values[w.trailing_zeros() as usize];
+            w &= w - 1;
+        }
+    }
+}
+
+/// Scalar accumulation of the `len % 64` tail rows of a fused kernel,
+/// identical to the portable fused kernel's remainder loop.
+fn fused_tail<T: Copy + PartialOrd>(
+    dims: &[T],
+    values: &[f64],
+    op: CmpOp,
+    rhs: T,
+    state: &mut AggState,
+) {
+    let full = dims.len() / 64;
+    for (&x, &m) in dims[full * 64..].iter().zip(&values[full * 64..]) {
+        if scalar_bool(op, x, rhs) {
+            state.sum += m;
+            state.count += 1;
+        }
+    }
+}
+
+/// The portable tier: monomorphic entry points over the word-at-a-time
+/// kernels in [`crate::predicate`] and [`crate::aggregate`].
+mod portable {
+    use super::*;
+
+    macro_rules! portable_pair {
+        ($cmp:ident, $fused:ident, $ty:ty) => {
+            pub(super) fn $cmp(data: &[$ty], op: CmpOp, rhs: $ty, mask: &mut Bitmask) {
+                crate::predicate::cmp_kernel(data, op, rhs, mask)
+            }
+            pub(super) fn $fused(dims: &[$ty], values: &[f64], op: CmpOp, rhs: $ty) -> AggState {
+                crate::aggregate::fused_kernel(dims, values, op, rhs)
+            }
+        };
+    }
+
+    portable_pair!(cmp_u8, fused_u8, u8);
+    portable_pair!(cmp_u16, fused_u16, u16);
+    portable_pair!(cmp_u32, fused_u32, u32);
+    portable_pair!(cmp_i64, fused_i64, i64);
+
+    pub(super) fn cmp_f64(data: &[f64], op: CmpOp, rhs: f64, mask: &mut Bitmask) {
+        crate::predicate::cmp_kernel(data, op, rhs, mask)
+    }
+}
+
+/// Explicit x86-64 SIMD kernels (AVX2 and SSE2 tiers).
+///
+/// Every integer comparison reduces, after operand normalization, to one
+/// of three vector primitives — `x == rhs`, `x > rhs`, `rhs > x` — plus
+/// an optional word-level complement (`Ne = !Eq`, `Le = !Gt`,
+/// `Ge = !Lt`). The complement is applied to the finished 64-bit mask
+/// word, never to the tail (which is computed scalar with the real
+/// operator), so tail bits beyond `len` stay zero. Unsigned columns are
+/// biased by XOR with the type's sign bit so the signed vector compare
+/// orders them correctly. Floats never use the complement trick — it is
+/// wrong under NaN — and instead select the exact IEEE predicate per
+/// operator.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// `x == rhs`.
+    const EQ: u8 = 0;
+    /// `x > rhs` (after unsigned bias where needed).
+    const GT_XR: u8 = 1;
+    /// `rhs > x`.
+    const GT_RX: u8 = 2;
+
+    /// Reduce an operator to a vector primitive plus a word complement.
+    fn decompose(op: CmpOp) -> (u8, bool) {
+        match op {
+            CmpOp::Eq => (EQ, false),
+            CmpOp::Ne => (EQ, true),
+            CmpOp::Gt => (GT_XR, false),
+            CmpOp::Le => (GT_XR, true),
+            CmpOp::Lt => (GT_RX, false),
+            CmpOp::Ge => (GT_RX, true),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // AVX2: one 64-row mask word per `word64_*` call.
+    // ---------------------------------------------------------------
+
+    /// 64 `u8` rows → one mask word: two 32-lane compares + movemasks.
+    ///
+    /// # Safety
+    /// `p` must be valid for reads of 64 `u8`s; requires AVX2.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn word64_u8_avx2<const MODE: u8>(
+        p: *const u8,
+        rhs_v: __m256i,
+        rhs_b: __m256i,
+        bias: __m256i,
+    ) -> u64 {
+        let a = _mm256_loadu_si256(p.cast());
+        let b = _mm256_loadu_si256(p.add(32).cast());
+        let (ma, mb) = match MODE {
+            EQ => (_mm256_cmpeq_epi8(a, rhs_v), _mm256_cmpeq_epi8(b, rhs_v)),
+            GT_XR => (
+                _mm256_cmpgt_epi8(_mm256_xor_si256(a, bias), rhs_b),
+                _mm256_cmpgt_epi8(_mm256_xor_si256(b, bias), rhs_b),
+            ),
+            _ => (
+                _mm256_cmpgt_epi8(rhs_b, _mm256_xor_si256(a, bias)),
+                _mm256_cmpgt_epi8(rhs_b, _mm256_xor_si256(b, bias)),
+            ),
+        };
+        let lo = _mm256_movemask_epi8(ma) as u32 as u64;
+        let hi = _mm256_movemask_epi8(mb) as u32 as u64;
+        lo | (hi << 32)
+    }
+
+    /// 64 `u16` rows → one mask word. `packs_epi16` interleaves the
+    /// 128-bit lanes as `[a_lo, b_lo, a_hi, b_hi]`; the `(0,2,1,3)`
+    /// qword permute restores row order before the byte movemask.
+    ///
+    /// # Safety
+    /// `p` must be valid for reads of 64 `u16`s; requires AVX2.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn word64_u16_avx2<const MODE: u8>(
+        p: *const u16,
+        rhs_v: __m256i,
+        rhs_b: __m256i,
+        bias: __m256i,
+    ) -> u64 {
+        let mut out = 0u64;
+        let mut k = 0usize;
+        while k < 2 {
+            let a = _mm256_loadu_si256(p.add(k * 32).cast());
+            let b = _mm256_loadu_si256(p.add(k * 32 + 16).cast());
+            let (ma, mb) = match MODE {
+                EQ => (_mm256_cmpeq_epi16(a, rhs_v), _mm256_cmpeq_epi16(b, rhs_v)),
+                GT_XR => (
+                    _mm256_cmpgt_epi16(_mm256_xor_si256(a, bias), rhs_b),
+                    _mm256_cmpgt_epi16(_mm256_xor_si256(b, bias), rhs_b),
+                ),
+                _ => (
+                    _mm256_cmpgt_epi16(rhs_b, _mm256_xor_si256(a, bias)),
+                    _mm256_cmpgt_epi16(rhs_b, _mm256_xor_si256(b, bias)),
+                ),
+            };
+            let packed = _mm256_permute4x64_epi64::<0b11011000>(_mm256_packs_epi16(ma, mb));
+            out |= (_mm256_movemask_epi8(packed) as u32 as u64) << (k * 32);
+            k += 1;
+        }
+        out
+    }
+
+    /// 64 `u32` (dictionary-code) rows → one mask word via 8-lane
+    /// compares and `movemask_ps`.
+    ///
+    /// # Safety
+    /// `p` must be valid for reads of 64 `u32`s; requires AVX2.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn word64_u32_avx2<const MODE: u8>(
+        p: *const u32,
+        rhs_v: __m256i,
+        rhs_b: __m256i,
+        bias: __m256i,
+    ) -> u64 {
+        let mut out = 0u64;
+        let mut k = 0usize;
+        while k < 8 {
+            let v = _mm256_loadu_si256(p.add(k * 8).cast());
+            let m = match MODE {
+                EQ => _mm256_cmpeq_epi32(v, rhs_v),
+                GT_XR => _mm256_cmpgt_epi32(_mm256_xor_si256(v, bias), rhs_b),
+                _ => _mm256_cmpgt_epi32(rhs_b, _mm256_xor_si256(v, bias)),
+            };
+            out |= (_mm256_movemask_ps(_mm256_castsi256_ps(m)) as u32 as u64) << (k * 8);
+            k += 1;
+        }
+        out
+    }
+
+    /// 64 `i64` rows → one mask word via 4-lane signed compares
+    /// (`pcmpgtq`/`pcmpeqq`, no bias needed) and `movemask_pd`.
+    ///
+    /// # Safety
+    /// `p` must be valid for reads of 64 `i64`s; requires AVX2.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn word64_i64_avx2<const MODE: u8>(
+        p: *const i64,
+        rhs_v: __m256i,
+        _rhs_b: __m256i,
+        _bias: __m256i,
+    ) -> u64 {
+        let mut out = 0u64;
+        let mut k = 0usize;
+        while k < 16 {
+            let v = _mm256_loadu_si256(p.add(k * 4).cast());
+            let m = match MODE {
+                EQ => _mm256_cmpeq_epi64(v, rhs_v),
+                GT_XR => _mm256_cmpgt_epi64(v, rhs_v),
+                _ => _mm256_cmpgt_epi64(rhs_v, v),
+            };
+            out |= (_mm256_movemask_pd(_mm256_castsi256_pd(m)) as u64) << (k * 4);
+            k += 1;
+        }
+        out
+    }
+
+    /// Generate the per-type AVX2 `cmp` + `fused` kernel pair from its
+    /// `word64` builder and broadcast setup.
+    macro_rules! avx2_int_kernels {
+        ($ty:ty, $word64:ident, $cmp_words:ident, $fused_words:ident,
+         $cmp_pub:ident, $fused_pub:ident, $set1:ident, $bias:expr) => {
+            /// # Safety
+            /// Requires AVX2; `words` must cover `data.len() / 64` full
+            /// mask words.
+            #[target_feature(enable = "avx2")]
+            unsafe fn $cmp_words<const MODE: u8>(
+                data: &[$ty],
+                rhs: $ty,
+                inv: u64,
+                words: &mut [u64],
+            ) {
+                let rhs_v = $set1(rhs as _);
+                let bias = $bias;
+                let rhs_b = _mm256_xor_si256(rhs_v, bias);
+                for (wi, chunk) in data.chunks_exact(64).enumerate() {
+                    words[wi] = $word64::<MODE>(chunk.as_ptr(), rhs_v, rhs_b, bias) ^ inv;
+                }
+            }
+
+            /// # Safety
+            /// Requires AVX2; `values.len() >= dims.len()`.
+            #[target_feature(enable = "avx2")]
+            unsafe fn $fused_words<const MODE: u8>(
+                dims: &[$ty],
+                values: &[f64],
+                rhs: $ty,
+                inv: u64,
+            ) -> AggState {
+                let rhs_v = $set1(rhs as _);
+                let bias = $bias;
+                let rhs_b = _mm256_xor_si256(rhs_v, bias);
+                let mut sum = 0.0f64;
+                let mut count = 0u64;
+                let mut base = 0usize;
+                for chunk in dims.chunks_exact(64) {
+                    let word = $word64::<MODE>(chunk.as_ptr(), rhs_v, rhs_b, bias) ^ inv;
+                    accumulate_word(word, &values[base..base + 64], &mut sum, &mut count);
+                    base += 64;
+                }
+                AggState { sum, count }
+            }
+
+            pub(super) fn $cmp_pub(data: &[$ty], op: CmpOp, rhs: $ty, mask: &mut Bitmask) {
+                debug_assert_eq!(data.len(), mask.len());
+                let (mode, complement) = decompose(op);
+                let inv = if complement { u64::MAX } else { 0 };
+                let words = mask.words_mut();
+                // SAFETY: this function is only installed in a KernelSet
+                // after `is_x86_feature_detected!("avx2")` succeeded.
+                unsafe {
+                    match mode {
+                        EQ => $cmp_words::<EQ>(data, rhs, inv, words),
+                        GT_XR => $cmp_words::<GT_XR>(data, rhs, inv, words),
+                        _ => $cmp_words::<GT_RX>(data, rhs, inv, words),
+                    }
+                }
+                scalar_tail(data, op, rhs, words);
+            }
+
+            pub(super) fn $fused_pub(
+                dims: &[$ty],
+                values: &[f64],
+                op: CmpOp,
+                rhs: $ty,
+            ) -> AggState {
+                debug_assert_eq!(dims.len(), values.len());
+                let (mode, complement) = decompose(op);
+                let inv = if complement { u64::MAX } else { 0 };
+                // SAFETY: as above — AVX2 was detected at dispatch time.
+                let mut state = unsafe {
+                    match mode {
+                        EQ => $fused_words::<EQ>(dims, values, rhs, inv),
+                        GT_XR => $fused_words::<GT_XR>(dims, values, rhs, inv),
+                        _ => $fused_words::<GT_RX>(dims, values, rhs, inv),
+                    }
+                };
+                fused_tail(dims, values, op, rhs, &mut state);
+                state
+            }
+        };
+    }
+
+    avx2_int_kernels!(
+        u8,
+        word64_u8_avx2,
+        cmp_words_u8_avx2,
+        fused_words_u8_avx2,
+        cmp_u8_avx2,
+        fused_u8_avx2,
+        _mm256_set1_epi8,
+        _mm256_set1_epi8(i8::MIN)
+    );
+    avx2_int_kernels!(
+        u16,
+        word64_u16_avx2,
+        cmp_words_u16_avx2,
+        fused_words_u16_avx2,
+        cmp_u16_avx2,
+        fused_u16_avx2,
+        _mm256_set1_epi16,
+        _mm256_set1_epi16(i16::MIN)
+    );
+    avx2_int_kernels!(
+        u32,
+        word64_u32_avx2,
+        cmp_words_u32_avx2,
+        fused_words_u32_avx2,
+        cmp_u32_avx2,
+        fused_u32_avx2,
+        _mm256_set1_epi32,
+        _mm256_set1_epi32(i32::MIN)
+    );
+    avx2_int_kernels!(
+        i64,
+        word64_i64_avx2,
+        cmp_words_i64_avx2,
+        fused_words_i64_avx2,
+        cmp_i64_avx2,
+        fused_i64_avx2,
+        _mm256_set1_epi64x,
+        _mm256_setzero_si256()
+    );
+
+    /// # Safety
+    /// Requires AVX2; `words` must cover `data.len() / 64` full words.
+    #[target_feature(enable = "avx2")]
+    unsafe fn cmp_f64_words_avx2<const IMM: i32>(data: &[f64], rhs: f64, words: &mut [u64]) {
+        let rhs_v = _mm256_set1_pd(rhs);
+        for (wi, chunk) in data.chunks_exact(64).enumerate() {
+            let p = chunk.as_ptr();
+            let mut w = 0u64;
+            let mut k = 0usize;
+            while k < 16 {
+                let v = _mm256_loadu_pd(p.add(k * 4));
+                let m = _mm256_cmp_pd::<IMM>(v, rhs_v);
+                w |= (_mm256_movemask_pd(m) as u64) << (k * 4);
+                k += 1;
+            }
+            words[wi] = w;
+        }
+    }
+
+    pub(super) fn cmp_f64_avx2(data: &[f64], op: CmpOp, rhs: f64, mask: &mut Bitmask) {
+        debug_assert_eq!(data.len(), mask.len());
+        let words = mask.words_mut();
+        // SAFETY: AVX2 was detected at dispatch time. The IEEE predicate
+        // per operator matches Rust scalar float comparison exactly
+        // (ordered + quiet, except `!=` which is unordered).
+        unsafe {
+            match op {
+                CmpOp::Eq => cmp_f64_words_avx2::<_CMP_EQ_OQ>(data, rhs, words),
+                CmpOp::Ne => cmp_f64_words_avx2::<_CMP_NEQ_UQ>(data, rhs, words),
+                CmpOp::Lt => cmp_f64_words_avx2::<_CMP_LT_OQ>(data, rhs, words),
+                CmpOp::Le => cmp_f64_words_avx2::<_CMP_LE_OQ>(data, rhs, words),
+                CmpOp::Gt => cmp_f64_words_avx2::<_CMP_GT_OQ>(data, rhs, words),
+                CmpOp::Ge => cmp_f64_words_avx2::<_CMP_GE_OQ>(data, rhs, words),
+            }
+        }
+        scalar_tail(data, op, rhs, words);
+    }
+
+    // ---------------------------------------------------------------
+    // SSE2: same structure at 128 bits.
+    // ---------------------------------------------------------------
+
+    /// # Safety
+    /// `p` must be valid for reads of 64 `u8`s; requires SSE2.
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    unsafe fn word64_u8_sse2<const MODE: u8>(
+        p: *const u8,
+        rhs_v: __m128i,
+        rhs_b: __m128i,
+        bias: __m128i,
+    ) -> u64 {
+        let mut out = 0u64;
+        let mut k = 0usize;
+        while k < 4 {
+            let v = _mm_loadu_si128(p.add(k * 16).cast());
+            let m = match MODE {
+                EQ => _mm_cmpeq_epi8(v, rhs_v),
+                GT_XR => _mm_cmpgt_epi8(_mm_xor_si128(v, bias), rhs_b),
+                _ => _mm_cmpgt_epi8(rhs_b, _mm_xor_si128(v, bias)),
+            };
+            out |= (_mm_movemask_epi8(m) as u32 as u64) << (k * 16);
+            k += 1;
+        }
+        out
+    }
+
+    /// # Safety
+    /// `p` must be valid for reads of 64 `u16`s; requires SSE2.
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    unsafe fn word64_u16_sse2<const MODE: u8>(
+        p: *const u16,
+        rhs_v: __m128i,
+        rhs_b: __m128i,
+        bias: __m128i,
+    ) -> u64 {
+        let mut out = 0u64;
+        let mut k = 0usize;
+        while k < 4 {
+            let a = _mm_loadu_si128(p.add(k * 16).cast());
+            let b = _mm_loadu_si128(p.add(k * 16 + 8).cast());
+            let (ma, mb) = match MODE {
+                EQ => (_mm_cmpeq_epi16(a, rhs_v), _mm_cmpeq_epi16(b, rhs_v)),
+                GT_XR => (
+                    _mm_cmpgt_epi16(_mm_xor_si128(a, bias), rhs_b),
+                    _mm_cmpgt_epi16(_mm_xor_si128(b, bias), rhs_b),
+                ),
+                _ => (
+                    _mm_cmpgt_epi16(rhs_b, _mm_xor_si128(a, bias)),
+                    _mm_cmpgt_epi16(rhs_b, _mm_xor_si128(b, bias)),
+                ),
+            };
+            // 128-bit packs keeps row order: [a0..a7, b0..b7].
+            let packed = _mm_packs_epi16(ma, mb);
+            out |= (_mm_movemask_epi8(packed) as u32 as u64) << (k * 16);
+            k += 1;
+        }
+        out
+    }
+
+    /// # Safety
+    /// `p` must be valid for reads of 64 `u32`s; requires SSE2.
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    unsafe fn word64_u32_sse2<const MODE: u8>(
+        p: *const u32,
+        rhs_v: __m128i,
+        rhs_b: __m128i,
+        bias: __m128i,
+    ) -> u64 {
+        let mut out = 0u64;
+        let mut k = 0usize;
+        while k < 16 {
+            let v = _mm_loadu_si128(p.add(k * 4).cast());
+            let m = match MODE {
+                EQ => _mm_cmpeq_epi32(v, rhs_v),
+                GT_XR => _mm_cmpgt_epi32(_mm_xor_si128(v, bias), rhs_b),
+                _ => _mm_cmpgt_epi32(rhs_b, _mm_xor_si128(v, bias)),
+            };
+            out |= (_mm_movemask_ps(_mm_castsi128_ps(m)) as u32 as u64) << (k * 4);
+            k += 1;
+        }
+        out
+    }
+
+    /// Generate the per-type SSE2 `cmp` + `fused` kernel pair.
+    macro_rules! sse2_int_kernels {
+        ($ty:ty, $word64:ident, $cmp_words:ident, $fused_words:ident,
+         $cmp_pub:ident, $fused_pub:ident, $set1:ident, $bias:expr) => {
+            /// # Safety
+            /// Requires SSE2; `words` must cover `data.len() / 64` words.
+            #[target_feature(enable = "sse2")]
+            unsafe fn $cmp_words<const MODE: u8>(
+                data: &[$ty],
+                rhs: $ty,
+                inv: u64,
+                words: &mut [u64],
+            ) {
+                let rhs_v = $set1(rhs as _);
+                let bias = $bias;
+                let rhs_b = _mm_xor_si128(rhs_v, bias);
+                for (wi, chunk) in data.chunks_exact(64).enumerate() {
+                    words[wi] = $word64::<MODE>(chunk.as_ptr(), rhs_v, rhs_b, bias) ^ inv;
+                }
+            }
+
+            /// # Safety
+            /// Requires SSE2; `values.len() >= dims.len()`.
+            #[target_feature(enable = "sse2")]
+            unsafe fn $fused_words<const MODE: u8>(
+                dims: &[$ty],
+                values: &[f64],
+                rhs: $ty,
+                inv: u64,
+            ) -> AggState {
+                let rhs_v = $set1(rhs as _);
+                let bias = $bias;
+                let rhs_b = _mm_xor_si128(rhs_v, bias);
+                let mut sum = 0.0f64;
+                let mut count = 0u64;
+                let mut base = 0usize;
+                for chunk in dims.chunks_exact(64) {
+                    let word = $word64::<MODE>(chunk.as_ptr(), rhs_v, rhs_b, bias) ^ inv;
+                    accumulate_word(word, &values[base..base + 64], &mut sum, &mut count);
+                    base += 64;
+                }
+                AggState { sum, count }
+            }
+
+            pub(super) fn $cmp_pub(data: &[$ty], op: CmpOp, rhs: $ty, mask: &mut Bitmask) {
+                debug_assert_eq!(data.len(), mask.len());
+                let (mode, complement) = decompose(op);
+                let inv = if complement { u64::MAX } else { 0 };
+                let words = mask.words_mut();
+                // SAFETY: SSE2 is part of the x86_64 baseline and was
+                // re-checked at dispatch time.
+                unsafe {
+                    match mode {
+                        EQ => $cmp_words::<EQ>(data, rhs, inv, words),
+                        GT_XR => $cmp_words::<GT_XR>(data, rhs, inv, words),
+                        _ => $cmp_words::<GT_RX>(data, rhs, inv, words),
+                    }
+                }
+                scalar_tail(data, op, rhs, words);
+            }
+
+            pub(super) fn $fused_pub(
+                dims: &[$ty],
+                values: &[f64],
+                op: CmpOp,
+                rhs: $ty,
+            ) -> AggState {
+                debug_assert_eq!(dims.len(), values.len());
+                let (mode, complement) = decompose(op);
+                let inv = if complement { u64::MAX } else { 0 };
+                // SAFETY: as above.
+                let mut state = unsafe {
+                    match mode {
+                        EQ => $fused_words::<EQ>(dims, values, rhs, inv),
+                        GT_XR => $fused_words::<GT_XR>(dims, values, rhs, inv),
+                        _ => $fused_words::<GT_RX>(dims, values, rhs, inv),
+                    }
+                };
+                fused_tail(dims, values, op, rhs, &mut state);
+                state
+            }
+        };
+    }
+
+    sse2_int_kernels!(
+        u8,
+        word64_u8_sse2,
+        cmp_words_u8_sse2,
+        fused_words_u8_sse2,
+        cmp_u8_sse2,
+        fused_u8_sse2,
+        _mm_set1_epi8,
+        _mm_set1_epi8(i8::MIN)
+    );
+    sse2_int_kernels!(
+        u16,
+        word64_u16_sse2,
+        cmp_words_u16_sse2,
+        fused_words_u16_sse2,
+        cmp_u16_sse2,
+        fused_u16_sse2,
+        _mm_set1_epi16,
+        _mm_set1_epi16(i16::MIN)
+    );
+    sse2_int_kernels!(
+        u32,
+        word64_u32_sse2,
+        cmp_words_u32_sse2,
+        fused_words_u32_sse2,
+        cmp_u32_sse2,
+        fused_u32_sse2,
+        _mm_set1_epi32,
+        _mm_set1_epi32(i32::MIN)
+    );
+
+    /// SSE2 float predicate index (the legacy `cmp*pd` instructions, no
+    /// immediate-encoded predicate as in AVX).
+    const F_EQ: u8 = 0;
+    const F_NE: u8 = 1;
+    const F_LT: u8 = 2;
+    const F_LE: u8 = 3;
+    const F_GT: u8 = 4;
+    const F_GE: u8 = 5;
+
+    /// # Safety
+    /// Requires SSE2; `words` must cover `data.len() / 64` full words.
+    #[target_feature(enable = "sse2")]
+    unsafe fn cmp_f64_words_sse2<const OP: u8>(data: &[f64], rhs: f64, words: &mut [u64]) {
+        let rhs_v = _mm_set1_pd(rhs);
+        for (wi, chunk) in data.chunks_exact(64).enumerate() {
+            let p = chunk.as_ptr();
+            let mut w = 0u64;
+            let mut k = 0usize;
+            while k < 32 {
+                let v = _mm_loadu_pd(p.add(k * 2));
+                let m = match OP {
+                    F_EQ => _mm_cmpeq_pd(v, rhs_v),
+                    F_NE => _mm_cmpneq_pd(v, rhs_v),
+                    F_LT => _mm_cmplt_pd(v, rhs_v),
+                    F_LE => _mm_cmple_pd(v, rhs_v),
+                    F_GT => _mm_cmpgt_pd(v, rhs_v),
+                    _ => _mm_cmpge_pd(v, rhs_v),
+                };
+                w |= (_mm_movemask_pd(m) as u64) << (k * 2);
+                k += 1;
+            }
+            words[wi] = w;
+        }
+    }
+
+    pub(super) fn cmp_f64_sse2(data: &[f64], op: CmpOp, rhs: f64, mask: &mut Bitmask) {
+        debug_assert_eq!(data.len(), mask.len());
+        let words = mask.words_mut();
+        // SAFETY: SSE2 is part of the x86_64 baseline. `cmpneq_pd` is
+        // unordered (true on NaN), the rest ordered (false on NaN) —
+        // matching Rust scalar float comparison per operator.
+        unsafe {
+            match op {
+                CmpOp::Eq => cmp_f64_words_sse2::<F_EQ>(data, rhs, words),
+                CmpOp::Ne => cmp_f64_words_sse2::<F_NE>(data, rhs, words),
+                CmpOp::Lt => cmp_f64_words_sse2::<F_LT>(data, rhs, words),
+                CmpOp::Le => cmp_f64_words_sse2::<F_LE>(data, rhs, words),
+                CmpOp::Gt => cmp_f64_words_sse2::<F_GT>(data, rhs, words),
+                CmpOp::Ge => cmp_f64_words_sse2::<F_GE>(data, rhs, words),
+            }
+        }
+        scalar_tail(data, op, rhs, words);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OPS: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+
+    /// Reference mask via the scalar comparison, one row at a time.
+    fn scalar_mask<T: Copy + PartialOrd>(data: &[T], op: CmpOp, rhs: T) -> Bitmask {
+        Bitmask::from_fn(data.len(), |i| scalar_bool(op, data[i], rhs))
+    }
+
+    #[test]
+    fn portable_tier_always_supported_and_last() {
+        let sets = KernelSet::supported();
+        assert!(!sets.is_empty());
+        assert_eq!(sets.last().unwrap().tier(), KernelTier::Portable);
+        assert!(KernelSet::for_tier(KernelTier::Portable).is_some());
+    }
+
+    #[test]
+    fn active_is_stable() {
+        assert_eq!(active().tier(), active_tier());
+    }
+
+    /// Guard for the CI `portable-kernels` job: when
+    /// `FLASHP_FORCE_SCALAR_KERNELS` is set, dispatch **must** land on
+    /// the portable tier — otherwise that job silently re-runs the SIMD
+    /// suite and the forced-off path loses its only CI coverage.
+    #[test]
+    fn force_scalar_env_actually_forces_portable() {
+        let forced = std::env::var("FLASHP_FORCE_SCALAR_KERNELS")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        if forced {
+            assert_eq!(active_tier(), KernelTier::Portable);
+        }
+    }
+
+    #[test]
+    fn tier_names_round_trip() {
+        for t in KernelTier::ALL {
+            assert_eq!(t.to_string(), t.name());
+        }
+    }
+
+    #[test]
+    fn every_tier_matches_scalar_on_every_type_and_op() {
+        // 130 rows: two full words + a tail; values span the full type
+        // range including the rhs boundary.
+        let n = 130usize;
+        let u8s: Vec<u8> = (0..n).map(|i| (i * 37 % 256) as u8).collect();
+        let u16s: Vec<u16> = (0..n).map(|i| (i * 997 % 65_536) as u16).collect();
+        let u32s: Vec<u32> = (0..n).map(|i| (i as u32).wrapping_mul(2_654_435_761)).collect();
+        let i64s: Vec<i64> = (0..n)
+            .map(|i| if i % 13 == 0 { i64::MIN + i as i64 } else { i as i64 * 7 - 300 })
+            .collect();
+        let values: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 10.0).collect();
+        for ks in KernelSet::supported() {
+            for op in OPS {
+                macro_rules! check {
+                    ($data:expr, $rhs:expr, $cmp:ident, $fused:ident) => {{
+                        let mut mask = Bitmask::zeros(n);
+                        ks.$cmp($data, op, $rhs, &mut mask);
+                        let want = scalar_mask($data, op, $rhs);
+                        assert_eq!(mask, want, "{} {op:?}", ks.tier());
+                        let fused = ks.$fused($data, &values, op, $rhs);
+                        let mut want_state = AggState::default();
+                        want.for_each_one(|i| {
+                            want_state.sum += values[i];
+                            want_state.count += 1;
+                        });
+                        assert_eq!(fused, want_state, "{} fused {op:?}", ks.tier());
+                    }};
+                }
+                check!(&u8s, 77u8, cmp_u8, fused_u8);
+                check!(&u16s, 30_000u16, cmp_u16, fused_u16);
+                check!(&u32s, u32::MAX / 3, cmp_u32, fused_u32);
+                check!(&i64s, -5i64, cmp_i64, fused_i64);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_kernels_honor_nan_semantics() {
+        let specials =
+            [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0, 0.0, f64::MAX, f64::MIN, 1.5e-308];
+        let n = 70usize;
+        let data: Vec<f64> = (0..n)
+            .map(|i| specials[i % specials.len()] * if i % 2 == 0 { 1.0 } else { 0.5 })
+            .collect();
+        for ks in KernelSet::supported() {
+            for op in OPS {
+                for rhs in [0.0, f64::NAN, f64::INFINITY, -0.0] {
+                    let mut mask = Bitmask::zeros(n);
+                    ks.cmp_f64(&data, op, rhs, &mut mask);
+                    let want = scalar_mask(&data, op, rhs);
+                    assert_eq!(mask, want, "{} f64 {op:?} rhs {rhs}", ks.tier());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_exact_word_lengths() {
+        for ks in KernelSet::supported() {
+            for n in [0usize, 64, 128] {
+                let data: Vec<u8> = (0..n).map(|i| i as u8).collect();
+                let mut mask = Bitmask::zeros(n);
+                ks.cmp_u8(&data, CmpOp::Ne, 3, &mut mask);
+                assert_eq!(mask, scalar_mask(&data, CmpOp::Ne, 3), "{} n={n}", ks.tier());
+            }
+        }
+    }
+}

@@ -1,13 +1,17 @@
-//! Kernel-equivalence properties: the word-at-a-time predicate and
-//! aggregation kernels must be bit-for-bit (masks) and sum-exact
-//! (aggregates) identical to the scalar reference implementations in
+//! Kernel-equivalence properties: **every** kernel tier — the portable
+//! word-at-a-time kernels plus each SIMD tier this machine supports
+//! (SSE2, AVX2) — must be bit-for-bit (masks) and sum-exact (aggregates)
+//! identical to the scalar reference implementations in
 //! `flashp_storage::reference`, over random schemas, column types, row
-//! counts (including `len % 64` tails), masks, and predicate trees.
+//! counts (including `len % 64` and SIMD-lane `len % 4` tails), masks,
+//! and predicate trees. The `f64` comparison kernels are additionally
+//! proven against the scalar oracle under NaN, ±∞, −0.0 and extreme
+//! literals.
 
-use flashp_storage::reference::{aggregate_masked_scalar, evaluate_scalar};
+use flashp_storage::reference::{aggregate_masked_scalar, eval_cmp_f64_scalar, evaluate_scalar};
 use flashp_storage::{
-    aggregate_filtered, AggFunc, Bitmask, CmpOp, CompiledPredicate, DataType, Dictionary,
-    DimensionColumn, MaskScratch, Partition, Predicate, Schema, Value,
+    aggregate_filtered_with, AggFunc, Bitmask, CmpOp, CompiledPredicate, DataType, Dictionary,
+    DimensionColumn, KernelSet, MaskScratch, Partition, Predicate, Schema, Value,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -15,6 +19,8 @@ use rand::{Rng, SeedableRng};
 
 const DTYPES: [DataType; 4] =
     [DataType::UInt8, DataType::UInt16, DataType::Int64, DataType::Categorical];
+
+const OPS: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
 
 /// Dictionary value pool for categorical dimensions; predicates may also
 /// reference strings outside this pool (unseen values).
@@ -27,8 +33,9 @@ struct Fixture {
 }
 
 /// Random schema (1–3 dimensions of random types, 1 measure) and a random
-/// partition. Row counts concentrate on word-boundary neighborhoods so the
-/// `len % 64` tail paths are exercised every run.
+/// partition. Row counts concentrate on word-boundary (`% 64`) and
+/// SIMD-lane (`% 4`, `% 8`, `% 32`) neighborhoods so every tier's tail
+/// path is exercised every run.
 fn random_fixture(rng: &mut StdRng) -> Fixture {
     let num_dims = rng.gen_range(1..=3usize);
     let dtypes: Vec<DataType> = (0..num_dims).map(|_| DTYPES[rng.gen_range(0..4usize)]).collect();
@@ -37,10 +44,12 @@ fn random_fixture(rng: &mut StdRng) -> Fixture {
         dtypes.iter().enumerate().map(|(i, &t)| (names[i], t)).collect();
     let schema = Schema::from_names(&dims_def, &["m"]).unwrap();
 
-    let n = match rng.gen_range(0..6u32) {
+    let n = match rng.gen_range(0..8u32) {
         0 => rng.gen_range(0..4usize),      // tiny, incl. empty
         1 => 64 * rng.gen_range(1..3usize), // exact word multiples
-        2 => 64 * rng.gen_range(1..3usize) + rng.gen_range(1..64usize), // tails
+        2 => 64 * rng.gen_range(1..3usize) + rng.gen_range(1..64usize), // word tails
+        3 => 64 * rng.gen_range(1..3usize) + rng.gen_range(1..4usize), // %4 lane tails
+        4 => 32 * rng.gen_range(1..6usize) + rng.gen_range(0..8usize), // %8/%32 lane tails
         _ => rng.gen_range(1..200usize),
     };
 
@@ -122,8 +131,7 @@ fn random_predicate(rng: &mut StdRng, schema: &Schema, depth: usize) -> Predicat
                 Predicate::cmp(&def.name, op, s)
             }
             0 => {
-                let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
-                    [rng.gen_range(0..6usize)];
+                let op = OPS[rng.gen_range(0..6usize)];
                 Predicate::cmp(&def.name, op, random_literal(rng))
             }
             1 => {
@@ -159,25 +167,30 @@ fn random_predicate(rng: &mut StdRng, schema: &Schema, depth: usize) -> Predicat
 }
 
 proptest! {
-    /// Vectorized predicate evaluation (fresh and scratch-reusing) is
-    /// bit-for-bit identical to the row-at-a-time reference over random
-    /// schemas and predicate trees.
+    /// Predicate evaluation on every supported kernel tier (fresh and
+    /// scratch-reusing) is bit-for-bit identical to the row-at-a-time
+    /// reference over random schemas and predicate trees.
     #[test]
     fn predicate_kernels_match_scalar_reference(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let fx = random_fixture(&mut rng);
+        let tiers = KernelSet::supported();
         let mut scratch = MaskScratch::new();
         for _ in 0..4 {
             let pred = random_predicate(&mut rng, &fx.schema, 3);
             let compiled = pred.compile(&fx.schema, &fx.dicts).unwrap();
             let reference = evaluate_scalar(&compiled, &fx.partition);
+            // The dispatched tier through the public entry points…
             let fresh = compiled.evaluate(&fx.partition);
             prop_assert_eq!(&fresh, &reference);
-            // The same scratch serves every tree in sequence — buffer
-            // reuse must never leak bits between evaluations.
-            let reused = compiled.evaluate_into(&fx.partition, &mut scratch);
-            prop_assert_eq!(&reused, &reference);
-            scratch.release(reused);
+            // …and every tier explicitly, sharing one scratch in sequence
+            // — buffer reuse must never leak bits between evaluations or
+            // between tiers.
+            for ks in &tiers {
+                let got = compiled.evaluate_into_with(&fx.partition, &mut scratch, ks);
+                prop_assert_eq!(&got, &reference, "tier {}", ks.tier());
+                scratch.release(got);
+            }
         }
     }
 
@@ -223,27 +236,81 @@ proptest! {
         );
     }
 
-    /// The fused filter+aggregate kernel equals scalar-mask-then-
-    /// scalar-aggregate for every comparison op over every column type.
+    /// The fused filter+aggregate kernel on every supported tier equals
+    /// scalar-mask-then-scalar-aggregate for every comparison op over
+    /// every column type — count-exact and bit-exact on the float sum
+    /// (every tier adds matching rows in ascending order).
     #[test]
     fn fused_filter_aggregate_matches_scalar_reference(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let fx = random_fixture(&mut rng);
+        let tiers = KernelSet::supported();
         for dim in 0..fx.schema.num_dimensions() {
             for _ in 0..3 {
-                let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
-                    [rng.gen_range(0..6usize)];
+                let op = OPS[rng.gen_range(0..6usize)];
                 let value = random_literal(&mut rng);
                 let compiled = CompiledPredicate::Cmp { dim, op, value };
-                let fused = aggregate_filtered(&fx.partition, 0, dim, op, value);
                 let reference =
                     aggregate_masked_scalar(&fx.partition, 0, &evaluate_scalar(&compiled, &fx.partition));
-                prop_assert_eq!(fused.count, reference.count, "op {:?} value {}", op, value);
-                prop_assert!(
-                    fused.finalize(AggFunc::Sum) == reference.finalize(AggFunc::Sum),
-                    "op {:?} value {}: fused {} vs scalar {}",
-                    op, value, fused.sum, reference.sum
-                );
+                for ks in &tiers {
+                    let fused = aggregate_filtered_with(ks, &fx.partition, 0, dim, op, value);
+                    prop_assert_eq!(
+                        fused.count, reference.count,
+                        "tier {} op {:?} value {}", ks.tier(), op, value
+                    );
+                    prop_assert!(
+                        fused.finalize(AggFunc::Sum) == reference.finalize(AggFunc::Sum),
+                        "tier {} op {:?} value {}: fused {} vs scalar {}",
+                        ks.tier(), op, value, fused.sum, reference.sum
+                    );
+                }
+            }
+        }
+    }
+
+    /// The `f64` comparison kernels of every tier match the scalar IEEE
+    /// oracle bit for bit, including NaN, ±∞, −0.0, subnormals and
+    /// extreme literals on both sides of the comparison.
+    #[test]
+    fn f64_compare_kernels_match_scalar_reference(seed in any::<u64>()) {
+        const SPECIALS: [f64; 9] = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            0.0,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = match rng.gen_range(0..4u32) {
+            0 => rng.gen_range(0..4usize),
+            1 => 64 * rng.gen_range(1..3usize),
+            2 => 64 * rng.gen_range(1..3usize) + rng.gen_range(1..4usize),
+            _ => rng.gen_range(1..200usize),
+        };
+        let data: Vec<f64> = (0..n)
+            .map(|_| {
+                if rng.gen_range(0..3u32) == 0 {
+                    SPECIALS[rng.gen_range(0..SPECIALS.len())]
+                } else {
+                    rng.gen_range(-10.0..10.0)
+                }
+            })
+            .collect();
+        let rhs = if rng.gen_range(0..2u32) == 0 {
+            SPECIALS[rng.gen_range(0..SPECIALS.len())]
+        } else {
+            rng.gen_range(-10.0..10.0)
+        };
+        for ks in KernelSet::supported() {
+            for op in OPS {
+                let reference = eval_cmp_f64_scalar(&data, op, rhs);
+                let mut mask = Bitmask::zeros(n);
+                ks.cmp_f64(&data, op, rhs, &mut mask);
+                prop_assert_eq!(&mask, &reference, "tier {} op {:?} rhs {}", ks.tier(), op, rhs);
             }
         }
     }

@@ -156,6 +156,9 @@ fn explain_round_trips_for_the_corpus() {
             .or_else(|| node.find("FullScan"))
             .unwrap_or_else(|| panic!("{sql}: plan has no scan source:\n{node}"));
         assert!(source.prop("est_rows").unwrap().parse::<usize>().is_ok());
+        // Every scan source names the dispatched scan-kernel tier.
+        let simd = source.prop("simd").unwrap_or_else(|| panic!("{sql}: no simd prop:\n{node}"));
+        assert!(["avx2", "sse2", "portable"].contains(&simd), "{sql}: unknown tier {simd}");
         match engine.execute(&explain_sql).unwrap() {
             ExecOutput::Plan(executed) => assert_eq!(executed, node, "{sql}"),
             other => panic!("{sql}: EXPLAIN produced {other:?}"),
