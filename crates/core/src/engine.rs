@@ -483,8 +483,14 @@ impl FlashPEngine {
     /// (and are never cached — their output *is* the plan).
     fn resolve(&self, snapshot: &CatalogVersion, sql: &str) -> Result<Resolved, EngineError> {
         let key = normalize_sql(sql);
-        if let Some(plan) = self.plan_cache.get(&key, snapshot.version()) {
-            return Ok(Resolved::Plan(plan));
+        // EXPLAIN statements bypass the cache outright — they are never
+        // inserted, so probing would charge a phantom miss per call and
+        // skew the hit-rate the stats report.
+        let cacheable = !key.get(..8).is_some_and(|p| p.eq_ignore_ascii_case("EXPLAIN "));
+        if cacheable {
+            if let Some(plan) = self.plan_cache.get(&key, snapshot.version()) {
+                return Ok(Resolved::Plan(plan));
+            }
         }
         match parse(sql)? {
             Statement::Explain(inner) => {
@@ -909,6 +915,79 @@ mod tests {
     }
 
     #[test]
+    fn prepared_using_parameters_match_literal_statements() {
+        use flashp_query::Literal;
+        let e = engine(SamplerChoice::OptimalGsw);
+        let template = e
+            .prepare(
+                "FORECAST SUM(m1) FROM T WHERE seg <= 5 USING (?, ?) \
+                 OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)",
+            )
+            .unwrap();
+        assert_eq!(template.num_params(), 2);
+        assert_eq!(template.specialization_count(), 0);
+        for (lo, hi) in [(20200101, 20200202), (20200105, 20200131), (20200103, 20200207)] {
+            let bound = template.forecast_with(&[Literal::Int(lo), Literal::Int(hi)]).unwrap();
+            let fresh = e
+                .forecast(&FORECAST_SQL.replace("(20200101, 20200202)", &format!("({lo}, {hi})")))
+                .unwrap();
+            assert_eq!(bound.estimate_values(), fresh.estimate_values());
+            assert_eq!(bound.forecast_values(), fresh.forecast_values());
+            assert_eq!(bound.sampler, fresh.sampler);
+            assert_eq!(bound.rate_used, fresh.rate_used);
+        }
+        assert_eq!(template.specialization_count(), 3);
+        // Re-binding an already-seen range reuses its specialization.
+        template.forecast_with(&[Literal::Int(20200101), Literal::Int(20200202)]).unwrap();
+        assert_eq!(template.specialization_count(), 3);
+
+        // The unbound EXPLAIN shows a deferred source; binding shows the
+        // concrete per-binding range and layer choice.
+        let unbound = template.explain().unwrap();
+        assert_eq!(unbound.find_prop("range"), Some("dynamic"));
+        assert!(unbound.find("BindTimeSource").is_some());
+        let bound =
+            template.explain_with(&[Literal::Int(20200101), Literal::Int(20200202)]).unwrap();
+        assert_eq!(bound.find_prop("range"), Some("20200101..20200202"));
+        assert!(bound.find("SampleEstimate").is_some());
+        assert!(bound.find_prop("rationale").is_some());
+    }
+
+    #[test]
+    fn prepared_using_parameter_errors_are_typed() {
+        use flashp_query::Literal;
+        let e = engine(SamplerChoice::OptimalGsw);
+        let fc =
+            e.prepare("FORECAST SUM(m1) FROM T USING (?, ?) OPTION (MODEL = 'naive')").unwrap();
+        // Reversed window: a typed Config error, not a panic.
+        let err = fc.forecast_with(&[Literal::Int(20200202), Literal::Int(20200101)]).unwrap_err();
+        assert!(matches!(err, EngineError::Config(ref m) if m.contains("reversed")), "{err}");
+        // Impossible calendar date names the offending placeholder.
+        let err = fc.forecast_with(&[Literal::Int(20200230), Literal::Int(20200301)]).unwrap_err();
+        assert!(matches!(err, EngineError::Parameter(ref m) if m.contains("?0")), "{err}");
+        // Wrong type, missing values.
+        let err =
+            fc.forecast_with(&[Literal::Str("x".into()), Literal::Int(20200201)]).unwrap_err();
+        assert!(matches!(err, EngineError::Parameter(_)), "{err}");
+        assert!(matches!(fc.forecast_with(&[]), Err(EngineError::Parameter(_))));
+
+        // SELECT: inverted or fully out-of-table bindings are the empty
+        // result — same as their literal counterparts — never a panic.
+        let sel = e.prepare("SELECT SUM(m1) FROM T WHERE t BETWEEN ? AND ? GROUP BY t").unwrap();
+        let inverted = sel.select_with(&[Literal::Int(20200210), Literal::Int(20200105)]).unwrap();
+        assert!(inverted.rows.is_empty());
+        let outside = sel.select_with(&[Literal::Int(20300101), Literal::Int(20300131)]).unwrap();
+        assert!(outside.rows.is_empty());
+        // A partially overlapping binding clamps to the table bounds.
+        let clamped = sel.select_with(&[Literal::Int(20191201), Literal::Int(20200103)]).unwrap();
+        assert_eq!(clamped.rows.len(), 3);
+        assert!(matches!(
+            sel.select_with(&[Literal::Int(20200230), Literal::Int(20200301)]),
+            Err(EngineError::Parameter(_))
+        ));
+    }
+
+    #[test]
     fn engine_handle_is_cheap_and_shareable() {
         fn assert_send_sync<T: Send + Sync + Clone>() {}
         assert_send_sync::<FlashPEngine>();
@@ -1071,9 +1150,13 @@ mod tests {
                 predicate: crate::planner::PredicateSlot::Compiled(
                     flashp_storage::CompiledPredicate::Const(true),
                 ),
-                range: None,
+                range: crate::planner::TimeRangeSlot::Static(None),
+                rate: 1.0,
                 group_by_time: false,
-                source: crate::planner::ScanSource::FullScan { est_rows: 0 },
+                num_params: 0,
+                source: crate::planner::SourceSlot::Planned(crate::planner::ScanSource::FullScan {
+                    est_rows: 0,
+                }),
             }))
         };
         cache.insert("a".to_string(), 1, plan());
@@ -1199,5 +1282,46 @@ mod tests {
         assert!(s.misses > misses1);
         e.forecast(FORECAST_SQL).unwrap();
         assert!(e.plan_cache_stats().hits > hits1);
+    }
+
+    #[test]
+    fn explain_does_not_inflate_plan_cache_misses() {
+        let e = engine(SamplerChoice::OptimalGsw);
+        let s0 = e.plan_cache_stats();
+        for _ in 0..3 {
+            e.execute(&format!("EXPLAIN {FORECAST_SQL}")).unwrap();
+        }
+        let s1 = e.plan_cache_stats();
+        assert_eq!(s1.misses, s0.misses, "EXPLAIN must not count as a cache miss");
+        assert_eq!(s1.hits, s0.hits);
+        assert_eq!(s1.entries, s0.entries, "EXPLAIN output is never cached");
+    }
+
+    #[test]
+    fn plan_cache_counters_track_parameterized_statements_across_publishes() {
+        let e = engine(SamplerChoice::OptimalGsw);
+        // A parameterized statement plans (and caches) fine; one-shot
+        // execution then fails arity because no parameters can be bound.
+        let sql = "SELECT SUM(m1) FROM T WHERE seg <= ? AND t BETWEEN ? AND ? GROUP BY t";
+        let s0 = e.plan_cache_stats();
+        assert!(matches!(e.execute(sql), Err(EngineError::Parameter(_))));
+        let s1 = e.plan_cache_stats();
+        assert_eq!(s1.misses, s0.misses + 1, "first resolve is exactly one miss");
+        assert_eq!(s1.entries, s0.entries + 1, "the template plan is cached");
+        assert!(matches!(e.execute(sql), Err(EngineError::Parameter(_))));
+        let s2 = e.plan_cache_stats();
+        assert_eq!((s2.hits, s2.misses), (s1.hits + 1, s1.misses), "second resolve hits");
+
+        // Publishing purges the replaced version's entries: the next
+        // resolve is a miss again, and the entry count never double-counts.
+        let mut batch = IngestBatch::new();
+        let t = Timestamp::from_yyyymmdd(20200103).unwrap();
+        batch.push_row(t, &[Value::Int(1), Value::from("b")], &[900.0, 90.0]);
+        e.ingest(batch).unwrap();
+        e.publish().unwrap();
+        assert!(matches!(e.execute(sql), Err(EngineError::Parameter(_))));
+        let s3 = e.plan_cache_stats();
+        assert_eq!(s3.misses, s2.misses + 1, "purged entry cannot be served");
+        assert_eq!(s3.entries, s2.entries, "purge then re-insert is net zero entries");
     }
 }

@@ -2,7 +2,9 @@
 //! tree — sampler, layer rate, estimated rows scanned, and the predicate
 //! after constant folding — without executing anything.
 
-use crate::planner::{ForecastPlan, LogicalPlan, PredicateSlot, ScanSource, SelectPlan};
+use crate::planner::{
+    ForecastPlan, LogicalPlan, PredicateSlot, ScanSource, SelectPlan, SourceSlot, TimeRangeSlot,
+};
 use flashp_storage::{CompiledPredicate, Schema};
 use std::fmt;
 
@@ -82,19 +84,24 @@ pub fn explain_plan(plan: &LogicalPlan, schema: &Schema) -> PlanNode {
 }
 
 fn explain_forecast(p: &ForecastPlan, schema: &Schema) -> PlanNode {
-    let points = (p.t_end - p.t_start + 1).max(0);
+    let mut series =
+        PlanNode::new("EstimateSeries").with("agg", format!("{}({})", p.agg, p.measure_name));
+    series = match &p.range {
+        TimeRangeSlot::Static(Some((s, e))) => {
+            series.with("range", format!("{s}..{e}")).with("points", (*e - *s + 1).max(0))
+        }
+        TimeRangeSlot::Static(None) => series.with("range", "empty").with("points", 0),
+        TimeRangeSlot::Dynamic(w) => {
+            series.with("range", "dynamic").with("window", w).with("points", "dynamic")
+        }
+    };
     PlanNode::new("Forecast")
         .with("model", &p.model)
         .with("horizon", p.horizon)
         .with("confidence", p.confidence)
         .with("noise_aware", p.noise_aware)
         .child(
-            PlanNode::new("EstimateSeries")
-                .with("agg", format!("{}({})", p.agg, p.measure_name))
-                .with("range", format!("{}..{}", p.t_start, p.t_end))
-                .with("points", points)
-                .child(source_node(&p.source))
-                .child(predicate_node(&p.predicate, schema)),
+            series.child(source_slot_node(&p.source)).child(predicate_node(&p.predicate, schema)),
         )
 }
 
@@ -102,11 +109,24 @@ fn explain_select(p: &SelectPlan, schema: &Schema) -> PlanNode {
     let mut node = PlanNode::new("Select")
         .with("agg", format!("{}({})", p.agg, p.measure_name))
         .with("group_by_time", p.group_by_time);
-    node = match p.range {
-        Some((lo, hi)) => node.with("range", format!("{lo}..{hi}")),
-        None => node.with("range", "empty"),
+    node = match &p.range {
+        TimeRangeSlot::Static(Some((lo, hi))) => node.with("range", format!("{lo}..{hi}")),
+        TimeRangeSlot::Static(None) => node.with("range", "empty"),
+        TimeRangeSlot::Dynamic(w) => node.with("range", "dynamic").with("window", w),
     };
-    node.child(source_node(&p.source)).child(predicate_node(&p.predicate, schema))
+    node.child(source_slot_node(&p.source)).child(predicate_node(&p.predicate, schema))
+}
+
+fn source_slot_node(slot: &SourceSlot) -> PlanNode {
+    match slot {
+        SourceSlot::Planned(source) => source_node(source),
+        // A parameterized range can't pick its serving layer until the
+        // parameters bind; `PreparedQuery::explain_with` renders the
+        // concrete choice for one binding.
+        SourceSlot::Deferred => PlanNode::new("BindTimeSource")
+            .with("selection", "deferred")
+            .with("reason", "layer and est_rows are re-selected when the range parameters bind"),
+    }
 }
 
 fn source_node(source: &ScanSource) -> PlanNode {

@@ -65,7 +65,7 @@ pub use engine::{FlashPEngine, PlanCacheStats};
 pub use error::EngineError;
 pub use explain::PlanNode;
 pub use models::build_model;
-pub use planner::{LogicalPlan, Planner, ScanSource};
+pub use planner::{LogicalPlan, Planner, ScanSource, SourceSlot, TimeRangeSlot};
 pub use prepared::PreparedQuery;
 pub use result::{
     ExecOutput, ForecastOut, ForecastResult, SelectResult, SelectRow, SeriesPoint, Timing,

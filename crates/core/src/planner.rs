@@ -14,7 +14,8 @@ use crate::config::EngineConfig;
 use crate::error::EngineError;
 use crate::models::build_model;
 use flashp_query::{
-    bind_expr, split_select_constraint, Expr, ForecastStmt, OptionValue, SelectStmt, Statement,
+    bind_expr, split_select_constraint, Expr, ForecastStmt, Literal, OptionValue, SelectStmt,
+    Statement, TimeBound, TimeEndpoint, TimeWindow,
 };
 use flashp_storage::{AggFunc, CompiledPredicate, TimeSeriesTable, Timestamp};
 
@@ -91,6 +92,52 @@ impl ScanSource {
     }
 }
 
+/// A plan's scan time range: fixed at plan time when every endpoint is a
+/// literal, or a parameterized [`TimeWindow`] resolved (date-validated,
+/// clamped) per binding. Everything range-independent — predicate
+/// compilation, dictionary-code folding, model/option validation — stays
+/// static either way; only the clamp and the scan-source row counts wait
+/// for the parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimeRangeSlot {
+    /// Resolved at plan time; `None` when the clamped range is provably
+    /// empty (the plan returns zero rows).
+    Static(Option<(Timestamp, Timestamp)>),
+    /// Depends on `?` parameters; executors specialize the plan per
+    /// binding (see [`crate::PreparedQuery`]).
+    Dynamic(TimeWindow),
+}
+
+impl TimeRangeSlot {
+    /// Does the range wait on `?` parameters?
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, TimeRangeSlot::Dynamic(_))
+    }
+}
+
+/// Where a plan reads rows from: chosen at plan time for static ranges,
+/// deferred to bind time when the range is parameterized (layer row
+/// counts and full-scan sizes depend on the bound window).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceSlot {
+    /// Scan source chosen at plan (or specialization) time.
+    Planned(ScanSource),
+    /// Selection deferred until the range parameters are bound.
+    Deferred,
+}
+
+impl SourceSlot {
+    /// The chosen scan source; errors when selection is still deferred.
+    pub fn planned(&self) -> Result<&ScanSource, EngineError> {
+        match self {
+            SourceSlot::Planned(s) => Ok(s),
+            SourceSlot::Deferred => Err(EngineError::Parameter(
+                "plan's scan source is unresolved: bind the range parameters first".to_string(),
+            )),
+        }
+    }
+}
+
 /// The predicate of a plan: compiled once at plan time when the statement
 /// has no parameters, or kept as a template to be bound per execution.
 #[derive(Debug, Clone)]
@@ -128,10 +175,9 @@ pub struct ForecastPlan {
     pub measure_name: String,
     /// Compiled (or templated) dimension constraint `C`.
     pub predicate: PredicateSlot,
-    /// Training window (inclusive).
-    pub t_start: Timestamp,
-    /// End of the training window (inclusive).
-    pub t_end: Timestamp,
+    /// Training window (inclusive): static, or parameterized via `USING
+    /// (?, ?)` and resolved per binding.
+    pub range: TimeRangeSlot,
     /// Requested sampling rate (after defaulting).
     pub rate: f64,
     /// Resolved model name.
@@ -142,8 +188,28 @@ pub struct ForecastPlan {
     pub confidence: f64,
     /// Noise-aware interval widening (Proposition 1).
     pub noise_aware: bool,
-    /// Where the training estimates come from (full scan vs sample layer).
-    pub source: ScanSource,
+    /// Total `?` placeholders in the statement (constraint + window).
+    pub num_params: usize,
+    /// Where the training estimates come from (full scan vs sample layer;
+    /// deferred while the window is parameterized).
+    pub source: SourceSlot,
+}
+
+impl ForecastPlan {
+    /// The resolved training window (inclusive). Errors when the range is
+    /// still parameterized — executors specialize dynamic plans before
+    /// running them.
+    pub fn window(&self) -> Result<(Timestamp, Timestamp), EngineError> {
+        match &self.range {
+            TimeRangeSlot::Static(Some(r)) => Ok(*r),
+            TimeRangeSlot::Static(None) => {
+                Err(EngineError::Config("FORECAST window is empty".to_string()))
+            }
+            TimeRangeSlot::Dynamic(_) => Err(EngineError::Parameter(
+                "FORECAST window is unresolved: bind the range parameters first".to_string(),
+            )),
+        }
+    }
 }
 
 /// A fully planned SELECT query.
@@ -157,13 +223,34 @@ pub struct SelectPlan {
     pub measure_name: String,
     /// Compiled (or templated) dimension constraint.
     pub predicate: PredicateSlot,
-    /// Scan range clamped to the table's bounds; `None` when the clamped
-    /// range is empty (the plan returns zero rows).
-    pub range: Option<(Timestamp, Timestamp)>,
+    /// Scan range clamped to the table's bounds (`Static(None)` when the
+    /// clamped range is empty — the plan returns zero rows), or a
+    /// parameterized window clamped per binding.
+    pub range: TimeRangeSlot,
+    /// Requested sampling rate (1.0 = exact; kept for bind-time
+    /// re-selection of the serving layer).
+    pub rate: f64,
     /// One row per timestamp (`GROUP BY t`) vs a single scalar row.
     pub group_by_time: bool,
-    /// Where the answer comes from (full scan vs sample layer).
-    pub source: ScanSource,
+    /// Total `?` placeholders in the statement (constraint + window).
+    pub num_params: usize,
+    /// Where the answer comes from (full scan vs sample layer; deferred
+    /// while the window is parameterized).
+    pub source: SourceSlot,
+}
+
+impl SelectPlan {
+    /// The resolved scan range (`None` = provably empty). Errors when the
+    /// range is still parameterized — executors specialize dynamic plans
+    /// before running them.
+    pub fn static_range(&self) -> Result<Option<(Timestamp, Timestamp)>, EngineError> {
+        match &self.range {
+            TimeRangeSlot::Static(r) => Ok(*r),
+            TimeRangeSlot::Dynamic(_) => Err(EngineError::Parameter(
+                "SELECT range is unresolved: bind the range parameters first".to_string(),
+            )),
+        }
+    }
 }
 
 /// A typed, executable plan.
@@ -176,21 +263,159 @@ pub enum LogicalPlan {
 }
 
 impl LogicalPlan {
-    /// Number of `?` placeholders the plan needs bound at execution.
+    /// Number of `?` placeholders the plan needs bound at execution
+    /// (dimension constraint plus time-window parameters).
     pub fn num_params(&self) -> usize {
         match self {
-            LogicalPlan::Forecast(p) => p.predicate.num_params(),
-            LogicalPlan::Select(p) => p.predicate.num_params(),
+            LogicalPlan::Forecast(p) => p.num_params,
+            LogicalPlan::Select(p) => p.num_params,
         }
     }
 
-    /// The plan's scan source.
-    pub fn source(&self) -> &ScanSource {
+    /// The plan's scan-source slot.
+    pub fn source(&self) -> &SourceSlot {
         match self {
             LogicalPlan::Forecast(p) => &p.source,
             LogicalPlan::Select(p) => &p.source,
         }
     }
+
+    /// The plan's time-range slot.
+    pub fn range(&self) -> &TimeRangeSlot {
+        match self {
+            LogicalPlan::Forecast(p) => &p.range,
+            LogicalPlan::Select(p) => &p.range,
+        }
+    }
+}
+
+/// Resolve a dynamic FORECAST window against bound parameters. Errors are
+/// typed, never panics: a missing/ill-typed/impossible-date parameter is
+/// [`EngineError::Parameter`]; a reversed window is
+/// [`EngineError::Config`], exactly like its literal counterpart at plan
+/// time.
+pub(crate) fn resolve_forecast_window(
+    window: &TimeWindow,
+    params: &[Literal],
+) -> Result<(Timestamp, Timestamp), EngineError> {
+    let (lo, hi) = window.resolve(params).map_err(|e| EngineError::Parameter(e.message))?;
+    let (Some(s), Some(e)) = (lo, hi) else {
+        return Err(EngineError::Config("FORECAST window must bound both ends".to_string()));
+    };
+    if e < s {
+        return Err(EngineError::Config(format!("USING range is reversed: {s} > {e}")));
+    }
+    Ok((s, e))
+}
+
+/// Resolve and clamp a dynamic SELECT window against bound parameters:
+/// `None` when the clamped range is empty (inverted bounds or a window
+/// entirely outside the table), so the executor returns zero rows instead
+/// of attempting a negative-length scan.
+pub(crate) fn resolve_select_range(
+    window: &TimeWindow,
+    params: &[Literal],
+    table: &TimeSeriesTable,
+) -> Result<Option<(Timestamp, Timestamp)>, EngineError> {
+    let (lo, hi) = window.resolve(params).map_err(|e| EngineError::Parameter(e.message))?;
+    let (table_lo, table_hi) =
+        table.time_bounds().ok_or_else(|| EngineError::Config("empty table".to_string()))?;
+    let lo = lo.map_or(table_lo, |t| t.max(table_lo));
+    let hi = hi.map_or(table_hi, |t| t.min(table_hi));
+    Ok(if hi < lo { None } else { Some((lo, hi)) })
+}
+
+/// Specialize a dynamic-range plan to a resolved range: re-run
+/// scan-source selection (layer/bucket/est_rows) for the bound window via
+/// the same [`choose_source`] path as plan time, and return a fully
+/// static clone. The result executes exactly like a plan whose statement
+/// spelled the range out in literals.
+pub(crate) fn specialize_plan(
+    plan: &LogicalPlan,
+    range: Option<(Timestamp, Timestamp)>,
+    table: &TimeSeriesTable,
+    catalog: Option<&SampleCatalog>,
+) -> Result<LogicalPlan, EngineError> {
+    match plan {
+        LogicalPlan::Forecast(p) => {
+            let range = range.ok_or_else(|| {
+                EngineError::Config("FORECAST window must bound both ends".to_string())
+            })?;
+            Ok(LogicalPlan::Forecast(specialize_forecast(p, range, table, catalog)?))
+        }
+        LogicalPlan::Select(p) => {
+            Ok(LogicalPlan::Select(specialize_select(p, range, table, catalog)?))
+        }
+    }
+}
+
+/// [`specialize_plan`] for a FORECAST plan and a resolved window.
+pub(crate) fn specialize_forecast(
+    plan: &ForecastPlan,
+    (s, e): (Timestamp, Timestamp),
+    table: &TimeSeriesTable,
+    catalog: Option<&SampleCatalog>,
+) -> Result<ForecastPlan, EngineError> {
+    Ok(ForecastPlan {
+        range: TimeRangeSlot::Static(Some((s, e))),
+        source: SourceSlot::Planned(choose_source(table, catalog, plan.measure, s, e, plan.rate)?),
+        ..plan.clone()
+    })
+}
+
+/// [`specialize_plan`] for a SELECT plan and a resolved, clamped range.
+pub(crate) fn specialize_select(
+    plan: &SelectPlan,
+    range: Option<(Timestamp, Timestamp)>,
+    table: &TimeSeriesTable,
+    catalog: Option<&SampleCatalog>,
+) -> Result<SelectPlan, EngineError> {
+    let (range, source) = match range {
+        // Empty clamped range: the same degenerate zero-row full scan the
+        // planner emits for literal out-of-table bounds.
+        None => {
+            (TimeRangeSlot::Static(None), SourceSlot::Planned(ScanSource::FullScan { est_rows: 0 }))
+        }
+        Some((lo, hi)) => (
+            TimeRangeSlot::Static(Some((lo, hi))),
+            SourceSlot::Planned(choose_source(table, catalog, plan.measure, lo, hi, plan.rate)?),
+        ),
+    };
+    Ok(SelectPlan { range, source, ..plan.clone() })
+}
+
+/// Choose the scan source for a query over `[start, end]` at `rate` —
+/// shared by plan-time selection and bind-time specialization of
+/// parameterized ranges.
+pub(crate) fn choose_source(
+    table: &TimeSeriesTable,
+    catalog: Option<&SampleCatalog>,
+    measure: usize,
+    start: Timestamp,
+    end: Timestamp,
+    rate: f64,
+) -> Result<ScanSource, EngineError> {
+    if rate >= 1.0 {
+        let est_rows = table.partitions_in(start, end).map(|(_, p)| p.num_rows()).sum();
+        return Ok(ScanSource::FullScan { est_rows });
+    }
+    let catalog = catalog.ok_or_else(EngineError::no_samples)?;
+    catalog.check_schema(table)?;
+    let (layer_idx, layer) = catalog.select_layer(rate).ok_or_else(EngineError::no_samples)?;
+    let rationale = if layer.rate >= rate {
+        format!("cheapest layer with rate >= requested {rate}")
+    } else {
+        format!("densest available layer (no layer covers requested rate {rate})")
+    };
+    Ok(ScanSource::SampleLayer {
+        layer: layer_idx,
+        rate: layer.rate,
+        sampler: layer.sampler_label.clone(),
+        bucket: layer.bucket_for(measure),
+        est_rows: layer.rows_in_range(measure, start, end),
+        rationale,
+        catalog_version: catalog.version(),
+    })
 }
 
 /// Plans statements against a table + configuration + optional catalog.
@@ -275,51 +500,38 @@ impl<'a> Planner<'a> {
         }
     }
 
-    /// Choose the scan source for a query over `[start, end]` at `rate`.
-    fn choose_source(
-        &self,
-        measure: usize,
-        start: Timestamp,
-        end: Timestamp,
-        rate: f64,
-    ) -> Result<ScanSource, EngineError> {
-        if rate >= 1.0 {
-            let est_rows = self.table.partitions_in(start, end).map(|(_, p)| p.num_rows()).sum();
-            return Ok(ScanSource::FullScan { est_rows });
+    /// Plan-time validation for a parameterized window: everything that
+    /// does not depend on the bound range — catalog presence, schema
+    /// compatibility, layer availability, table non-emptiness — fails at
+    /// prepare time, not on the first binding.
+    fn check_dynamic_source(&self, rate: f64) -> Result<(), EngineError> {
+        if rate < 1.0 {
+            let catalog = self.catalog.ok_or_else(EngineError::no_samples)?;
+            catalog.check_schema(self.table)?;
+            catalog.select_layer(rate).ok_or_else(EngineError::no_samples)?;
         }
-        let catalog = self.catalog.ok_or_else(EngineError::no_samples)?;
-        catalog.check_schema(self.table)?;
-        let (layer_idx, layer) = catalog.select_layer(rate).ok_or_else(EngineError::no_samples)?;
-        let rationale = if layer.rate >= rate {
-            format!("cheapest layer with rate >= requested {rate}")
-        } else {
-            format!("densest available layer (no layer covers requested rate {rate})")
-        };
-        Ok(ScanSource::SampleLayer {
-            layer: layer_idx,
-            rate: layer.rate,
-            sampler: layer.sampler_label.clone(),
-            bucket: layer.bucket_for(measure),
-            est_rows: layer.rows_in_range(measure, start, end),
-            rationale,
-            catalog_version: catalog.version(),
-        })
+        self.table.time_bounds().ok_or_else(|| EngineError::Config("empty table".to_string()))?;
+        Ok(())
     }
 
     /// Plan a FORECAST statement: resolve names and options, validate the
-    /// window and model, choose the serving layer.
+    /// window and model, choose the serving layer. With `USING (?, ?)`
+    /// the window (and hence the range clamp + layer row counts) stays
+    /// dynamic; every other plan constant is still resolved here.
     pub fn plan_forecast(&self, stmt: &ForecastStmt) -> Result<ForecastPlan, EngineError> {
         self.check_table(&stmt.table)?;
         let measure = self.resolve_measure(&stmt.measure, stmt.agg)?;
         let predicate = self.predicate_slot(&stmt.constraint)?;
-        let t_start = Timestamp::from_yyyymmdd(stmt.t_start)?;
-        let t_end = Timestamp::from_yyyymmdd(stmt.t_end)?;
-        if t_end < t_start {
-            return Err(EngineError::Config(format!(
-                "USING range is reversed: {} > {}",
-                stmt.t_start, stmt.t_end
-            )));
-        }
+        // Literal endpoints are calendar-validated now; `?` endpoints when
+        // bound.
+        let endpoint = |b: TimeBound| -> Result<TimeEndpoint, EngineError> {
+            match b {
+                TimeBound::Lit(v) => Ok(TimeEndpoint::Lit(Timestamp::from_yyyymmdd(v)?)),
+                TimeBound::Param(i) => Ok(TimeEndpoint::Param { index: i, offset: 0 }),
+            }
+        };
+        let start = endpoint(stmt.t_start)?;
+        let end = endpoint(stmt.t_end)?;
 
         // Options.
         let rate = sample_rate_option(stmt.option("SAMPLE_RATE"), self.config.default_rate)?;
@@ -354,19 +566,41 @@ impl<'a> Planner<'a> {
         let noise_aware =
             stmt.option("NOISE_AWARE").and_then(|v| v.as_int()).map(|v| v != 0).unwrap_or(false);
 
-        let source = self.choose_source(measure, t_start, t_end, rate)?;
+        let (range, source) = match (start, end) {
+            (TimeEndpoint::Lit(s), TimeEndpoint::Lit(e)) => {
+                if e < s {
+                    return Err(EngineError::Config(format!("USING range is reversed: {s} > {e}")));
+                }
+                (
+                    TimeRangeSlot::Static(Some((s, e))),
+                    SourceSlot::Planned(choose_source(
+                        self.table,
+                        self.catalog,
+                        measure,
+                        s,
+                        e,
+                        rate,
+                    )?),
+                )
+            }
+            (s, e) => {
+                self.check_dynamic_source(rate)?;
+                let window = TimeWindow { lower: vec![s], upper: vec![e] };
+                (TimeRangeSlot::Dynamic(window), SourceSlot::Deferred)
+            }
+        };
         Ok(ForecastPlan {
             agg: stmt.agg,
             measure,
             measure_name: stmt.measure.clone(),
             predicate,
-            t_start,
-            t_end,
+            range,
             rate,
             model,
             horizon,
             confidence,
             noise_aware,
+            num_params: stmt.num_params(),
             source,
         })
     }
@@ -381,36 +615,41 @@ impl<'a> Planner<'a> {
         let predicate = self.predicate_slot(&split.dims)?;
         // SELECT is exact unless a rate is requested.
         let rate = sample_rate_option(stmt.option("SAMPLE_RATE"), 1.0)?;
+        let num_params = stmt.num_params();
+        let make = |range, source| SelectPlan {
+            agg: stmt.agg,
+            measure,
+            measure_name: stmt.measure.clone(),
+            predicate: predicate.clone(),
+            range,
+            rate,
+            group_by_time: stmt.group_by_time,
+            num_params,
+            source,
+        };
+        if split.window.has_params() {
+            // `t` compared to `?`: clamp and layer row counts wait for the
+            // binding; the range-independent checks still run now.
+            self.check_dynamic_source(rate)?;
+            return Ok(make(TimeRangeSlot::Dynamic(split.window), SourceSlot::Deferred));
+        }
         let (table_lo, table_hi) = self
             .table
             .time_bounds()
             .ok_or_else(|| EngineError::Config("empty table".to_string()))?;
-        let (lo, hi) = match split.time_range {
+        let (lo, hi) = match split.window.resolve_range(&[])? {
             Some((a, b)) => (a.max(table_lo), b.min(table_hi)),
             None => (table_lo, table_hi),
         };
         if hi < lo {
             // Empty range: a degenerate full scan of zero rows.
-            return Ok(SelectPlan {
-                agg: stmt.agg,
-                measure,
-                measure_name: stmt.measure.clone(),
-                predicate,
-                range: None,
-                group_by_time: stmt.group_by_time,
-                source: ScanSource::FullScan { est_rows: 0 },
-            });
+            return Ok(make(
+                TimeRangeSlot::Static(None),
+                SourceSlot::Planned(ScanSource::FullScan { est_rows: 0 }),
+            ));
         }
-        let source = self.choose_source(measure, lo, hi, rate)?;
-        Ok(SelectPlan {
-            agg: stmt.agg,
-            measure,
-            measure_name: stmt.measure.clone(),
-            predicate,
-            range: Some((lo, hi)),
-            group_by_time: stmt.group_by_time,
-            source,
-        })
+        let source = choose_source(self.table, self.catalog, measure, lo, hi, rate)?;
+        Ok(make(TimeRangeSlot::Static(Some((lo, hi))), SourceSlot::Planned(source)))
     }
 }
 
@@ -447,7 +686,8 @@ mod tests {
         assert_eq!(p.horizon, 5);
         assert_eq!(p.rate, 0.05);
         assert!(matches!(p.predicate, PredicateSlot::Compiled(_)));
-        let ScanSource::SampleLayer { rate, bucket, est_rows, .. } = &p.source else {
+        let SourceSlot::Planned(ScanSource::SampleLayer { rate, bucket, est_rows, .. }) = &p.source
+        else {
             panic!("expected a sample layer source")
         };
         assert_eq!(*rate, 0.05);
@@ -471,17 +711,97 @@ mod tests {
             &[0.2],
         );
         let LogicalPlan::Select(p) = plan else { panic!() };
-        let (lo, hi) = p.range.unwrap();
+        let TimeRangeSlot::Static(Some((lo, hi))) = p.range else {
+            panic!("expected static range")
+        };
         assert_eq!(lo.to_yyyymmdd(), 20200101, "clamped to the table start");
         assert_eq!(hi.to_yyyymmdd(), 20200103);
-        assert!(matches!(p.source, ScanSource::FullScan { est_rows } if est_rows == 1200));
+        assert!(matches!(
+            p.source,
+            SourceSlot::Planned(ScanSource::FullScan { est_rows }) if est_rows == 1200
+        ));
     }
 
     #[test]
     fn select_sample_rate_option_plans_a_layer() {
         let plan = planned("SELECT SUM(m1) FROM T GROUP BY t OPTION (SAMPLE_RATE = 0.2)", &[0.2]);
         let LogicalPlan::Select(p) = plan else { panic!() };
-        assert!(matches!(p.source, ScanSource::SampleLayer { rate, .. } if rate == 0.2));
+        assert!(matches!(
+            p.source,
+            SourceSlot::Planned(ScanSource::SampleLayer { rate, .. }) if rate == 0.2
+        ));
+    }
+
+    #[test]
+    fn parameterized_window_defers_range_and_source() {
+        let plan = planned("FORECAST SUM(m1) FROM T WHERE seg <= ? USING (?, ?)", &[0.2, 0.05]);
+        assert_eq!(plan.num_params(), 3, "constraint + two window params");
+        let LogicalPlan::Forecast(p) = &plan else { panic!() };
+        assert!(p.range.is_dynamic());
+        assert_eq!(p.source, SourceSlot::Deferred);
+        assert!(p.source.planned().is_err(), "deferred source is a typed error, not a panic");
+        assert!(p.window().is_err(), "unresolved window is a typed error");
+        // Model/option validation still happened at plan time.
+        assert_eq!(p.model, "arima");
+    }
+
+    #[test]
+    fn specializing_matches_the_literal_plan() {
+        let table = test_table();
+        let config = EngineConfig {
+            layer_rates: vec![0.2, 0.05],
+            sampler: SamplerChoice::OptimalGsw,
+            default_rate: 0.05,
+            ..Default::default()
+        };
+        let catalog = SampleCatalog::build(&table, &config).unwrap();
+        let planner = Planner::new(&table, &config, Some(&catalog));
+        let dynamic = planner
+            .plan(&parse("FORECAST SUM(m2) FROM T WHERE seg <= 5 USING (?, ?)").unwrap())
+            .unwrap();
+        let LogicalPlan::Forecast(d) = &dynamic else { panic!() };
+        let TimeRangeSlot::Dynamic(window) = &d.range else { panic!() };
+        let params = [Literal::Int(20200101), Literal::Int(20200202)];
+        let range = resolve_forecast_window(window, &params).unwrap();
+        let specialized = specialize_plan(&dynamic, Some(range), &table, Some(&catalog)).unwrap();
+        let literal = planner
+            .plan(
+                &parse("FORECAST SUM(m2) FROM T WHERE seg <= 5 USING (20200101, 20200202)")
+                    .unwrap(),
+            )
+            .unwrap();
+        let (LogicalPlan::Forecast(s), LogicalPlan::Forecast(l)) = (&specialized, &literal) else {
+            panic!()
+        };
+        assert_eq!(s.range, l.range);
+        assert_eq!(s.source, l.source, "bind-time layer re-selection matches plan time");
+    }
+
+    #[test]
+    fn dynamic_window_binding_errors_are_typed() {
+        let table = test_table();
+        let window = TimeWindow {
+            lower: vec![TimeEndpoint::Param { index: 0, offset: 0 }],
+            upper: vec![TimeEndpoint::Param { index: 1, offset: 0 }],
+        };
+        // Reversed window.
+        let params = [Literal::Int(20200301), Literal::Int(20200101)];
+        let Err(EngineError::Config(msg)) = resolve_forecast_window(&window, &params) else {
+            panic!("reversed range must be a Config error")
+        };
+        assert!(msg.contains("reversed"));
+        // Impossible date.
+        let params = [Literal::Int(20200230), Literal::Int(20200301)];
+        assert!(matches!(
+            resolve_forecast_window(&window, &params),
+            Err(EngineError::Parameter(m)) if m.contains("?0")
+        ));
+        // SELECT: inverted bounds clamp to an empty (None) range.
+        let params = [Literal::Int(20200301), Literal::Int(20200101)];
+        assert_eq!(resolve_select_range(&window, &params, &table).unwrap(), None);
+        // SELECT: a window entirely past the table clamps empty too.
+        let params = [Literal::Int(20300101), Literal::Int(20300131)];
+        assert_eq!(resolve_select_range(&window, &params, &table).unwrap(), None);
     }
 
     #[test]

@@ -16,7 +16,11 @@ use crate::config::EngineConfig;
 use crate::error::EngineError;
 use crate::explain::{explain_plan, PlanNode};
 use crate::models::build_model;
-use crate::planner::{ForecastPlan, LogicalPlan, PredicateSlot, ScanSource, SelectPlan};
+use crate::planner::{
+    resolve_forecast_window, resolve_select_range, specialize_forecast, specialize_plan,
+    specialize_select, ForecastPlan, LogicalPlan, PredicateSlot, ScanSource, SelectPlan,
+    TimeRangeSlot,
+};
 use crate::result::{ExecOutput, ForecastOut, ForecastResult, SelectResult, SeriesPoint, Timing};
 use flashp_query::{bind_expr, substitute_params, Literal, Statement};
 use flashp_sampling::{estimate_agg_with, estimate_components_with, EstimateComponents, Sample};
@@ -25,8 +29,27 @@ use flashp_storage::{
     AggFunc, CompiledPredicate, MaskScratch, ScanOptions, TimeSeriesTable, Timestamp,
 };
 use std::borrow::Cow;
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// How many bind-time range specializations one prepared handle caches
+/// per engine version before starting over (a rotating-dashboard workload
+/// re-binds a small set of windows; an adversarial one shouldn't grow the
+/// handle without bound).
+const SPECIALIZED_CAP: usize = 64;
+
+/// Typed arity check shared by every parameterized execution entry.
+fn check_arity(num_params: usize, params: &[Literal]) -> Result<(), EngineError> {
+    if params.len() == num_params {
+        return Ok(());
+    }
+    Err(EngineError::Parameter(if num_params == 0 {
+        format!("statement takes no parameters, {} supplied", params.len())
+    } else {
+        format!("statement takes {num_params} parameter(s), {} supplied", params.len())
+    }))
+}
 
 /// How per-timestamp estimation treats a timestamp with no stored sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,28 +69,17 @@ pub(crate) struct ExecCtx<'a> {
 
 impl ExecCtx<'_> {
     /// Resolve a plan's predicate slot against the call's parameters.
+    /// Arity was already checked at the statement level (`?` indices are
+    /// statement-global, shared with the time window), so substitution
+    /// just picks the indices the constraint uses.
     fn resolve_predicate<'p>(
         &self,
         slot: &'p PredicateSlot,
         params: &[Literal],
     ) -> Result<Cow<'p, CompiledPredicate>, EngineError> {
         match slot {
-            PredicateSlot::Compiled(pred) => {
-                if !params.is_empty() {
-                    return Err(EngineError::Parameter(format!(
-                        "statement takes no parameters, {} supplied",
-                        params.len()
-                    )));
-                }
-                Ok(Cow::Borrowed(pred))
-            }
-            PredicateSlot::Template { constraint, num_params } => {
-                if params.len() != *num_params {
-                    return Err(EngineError::Parameter(format!(
-                        "statement takes {num_params} parameter(s), {} supplied",
-                        params.len()
-                    )));
-                }
+            PredicateSlot::Compiled(pred) => Ok(Cow::Borrowed(pred)),
+            PredicateSlot::Template { constraint, .. } => {
                 let bound = substitute_params(constraint, params)?;
                 let predicate = bind_expr(&bound)?;
                 Ok(Cow::Owned(self.table.compile_predicate(&predicate)?))
@@ -244,23 +256,32 @@ impl ExecCtx<'_> {
 
     /// Execute a FORECAST plan: estimate the training series (Eq. 4), fit
     /// the model, forecast with intervals — the two-phase pipeline of §2.1.
+    ///
+    /// A plan whose `USING` window is parameterized is specialized here
+    /// first (resolve + validate the window, re-select the layer), so
+    /// execution is correct even when the caller bypassed
+    /// [`PreparedQuery`]'s specialization cache.
     pub(crate) fn execute_forecast(
         &self,
         plan: &ForecastPlan,
         params: &[Literal],
     ) -> Result<ForecastResult, EngineError> {
+        check_arity(plan.num_params, params)?;
+        let plan: Cow<'_, ForecastPlan> = match &plan.range {
+            TimeRangeSlot::Dynamic(window) => {
+                let range = resolve_forecast_window(window, params)?;
+                Cow::Owned(specialize_forecast(plan, range, self.table, self.catalog)?)
+            }
+            TimeRangeSlot::Static(_) => Cow::Borrowed(plan),
+        };
+        let (t_start, t_end) = plan.window()?;
+        let source = plan.source.planned()?;
         let pred = self.resolve_predicate(&plan.predicate, params)?;
 
         // Phase 1: estimate the training series (Eq. 4).
         let agg_start = Instant::now();
-        let estimates = self.estimate_series_for(
-            &plan.source,
-            plan.measure,
-            &pred,
-            plan.agg,
-            plan.t_start,
-            plan.t_end,
-        )?;
+        let estimates =
+            self.estimate_series_for(source, plan.measure, &pred, plan.agg, t_start, t_end)?;
         let aggregation = agg_start.elapsed();
 
         // Phase 2: fit + forecast.
@@ -286,7 +307,7 @@ impl ExecCtx<'_> {
             .points
             .iter()
             .map(|p| ForecastOut {
-                t: plan.t_end + p.step as i64,
+                t: t_end + p.step as i64,
                 value: p.value,
                 lo: p.lo,
                 hi: p.hi,
@@ -297,8 +318,8 @@ impl ExecCtx<'_> {
             estimates,
             forecasts,
             model: model.name(),
-            sampler: plan.source.sampler_label().to_string(),
-            rate_used: plan.source.rate_used(),
+            sampler: source.sampler_label().to_string(),
+            rate_used: source.rate_used(),
             confidence: plan.confidence,
             sigma2: summary.sigma2,
             mean_noise_variance,
@@ -306,17 +327,28 @@ impl ExecCtx<'_> {
         })
     }
 
-    /// Execute a SELECT plan (exact scan or sampled estimation).
+    /// Execute a SELECT plan (exact scan or sampled estimation). A
+    /// parameterized time window is resolved and clamped here first — an
+    /// inverted or fully out-of-table binding yields the empty result,
+    /// exactly like its literal counterpart at plan time.
     pub(crate) fn execute_select(
         &self,
         plan: &SelectPlan,
         params: &[Literal],
     ) -> Result<SelectResult, EngineError> {
+        check_arity(plan.num_params, params)?;
+        let plan: Cow<'_, SelectPlan> = match &plan.range {
+            TimeRangeSlot::Dynamic(window) => {
+                let range = resolve_select_range(window, params, self.table)?;
+                Cow::Owned(specialize_select(plan, range, self.table, self.catalog)?)
+            }
+            TimeRangeSlot::Static(_) => Cow::Borrowed(plan),
+        };
         let pred = self.resolve_predicate(&plan.predicate, params)?;
-        let Some((lo, hi)) = plan.range else {
+        let Some((lo, hi)) = plan.static_range()? else {
             return Ok(SelectResult { rows: Vec::new(), approximate: false });
         };
-        match &plan.source {
+        match plan.source.planned()? {
             ScanSource::FullScan { .. } => {
                 if plan.group_by_time {
                     let rows = flashp_storage::aggregate_range(
@@ -418,6 +450,12 @@ pub struct PreparedQuery {
 struct CachedPlan {
     version: u64,
     plan: Arc<LogicalPlan>,
+    /// Bind-time specializations of a dynamic-range plan, keyed on the
+    /// resolved (clamped) range — `None` = empty SELECT range. Entries
+    /// are only valid for `version`: the map is cleared whenever the
+    /// engine version moves, so the effective key is
+    /// `(catalog_version, clamped_range)`. Always empty for static plans.
+    specialized: HashMap<Option<(i64, i64)>, Arc<LogicalPlan>>,
 }
 
 impl PreparedQuery {
@@ -432,7 +470,11 @@ impl PreparedQuery {
             shared,
             config,
             statement,
-            cached: Mutex::new(CachedPlan { version, plan: Arc::new(plan) }),
+            cached: Mutex::new(CachedPlan {
+                version,
+                plan: Arc::new(plan),
+                specialized: HashMap::new(),
+            }),
         }
     }
 
@@ -463,6 +505,18 @@ impl PreparedQuery {
         Ok(explain_plan(&plan, snapshot.table().schema()))
     }
 
+    /// Render the plan one execution of `params` would run: a dynamic
+    /// `USING (?, ?)` range is resolved, clamped, and its serving layer
+    /// re-selected exactly as [`PreparedQuery::execute_with`] would, so
+    /// the tree shows the concrete range and per-binding layer choice
+    /// instead of `range=dynamic`.
+    pub fn explain_with(&self, params: &[Literal]) -> Result<PlanNode, EngineError> {
+        let snapshot = self.shared.snapshot();
+        let plan = self.current_plan(&snapshot)?;
+        let plan = self.bound_plan(&snapshot, plan, params)?;
+        Ok(explain_plan(&plan, snapshot.table().schema()))
+    }
+
     /// The plan for `snapshot`'s version: the cached one when the version
     /// is unchanged, otherwise a fresh plan (planning runs outside the
     /// slot lock; the statement was validated at prepare time, so
@@ -487,7 +541,65 @@ impl PreparedQuery {
         let mut cached = self.cached.lock().expect("prepared plan poisoned");
         cached.version = snapshot.version();
         cached.plan = plan.clone();
+        // Range specializations were sized against the old version's
+        // samples; drop them so every binding re-selects its layer.
+        cached.specialized.clear();
         Ok(plan)
+    }
+
+    /// The plan one execution runs: the prepared plan itself when its
+    /// range is static, otherwise a specialization for this binding's
+    /// resolved (clamped) range — cached per `(catalog version, range)`,
+    /// so a dashboard cycling a handful of windows re-plans each at most
+    /// once per publish.
+    fn bound_plan(
+        &self,
+        snapshot: &crate::version::CatalogVersion,
+        plan: Arc<LogicalPlan>,
+        params: &[Literal],
+    ) -> Result<Arc<LogicalPlan>, EngineError> {
+        let window = match plan.range() {
+            TimeRangeSlot::Dynamic(w) => w,
+            TimeRangeSlot::Static(_) => return Ok(plan),
+        };
+        check_arity(plan.num_params(), params)?;
+        let range = match &*plan {
+            LogicalPlan::Forecast(_) => Some(resolve_forecast_window(window, params)?),
+            LogicalPlan::Select(_) => resolve_select_range(window, params, snapshot.table())?,
+        };
+        let key = range.map(|(a, b)| (a.0, b.0));
+        {
+            let cached = self.cached.lock().expect("prepared plan poisoned");
+            if cached.version == snapshot.version() {
+                if let Some(hit) = cached.specialized.get(&key) {
+                    return Ok(hit.clone());
+                }
+            }
+        }
+        // Specialize outside the lock: layer re-selection walks catalog
+        // indexes, and concurrent executions of distinct ranges shouldn't
+        // serialize on it. A racing duplicate insert is harmless — both
+        // specializations are identical by construction.
+        let specialized = Arc::new(specialize_plan(
+            &plan,
+            range,
+            snapshot.table(),
+            snapshot.catalog().map(|c| c.as_ref()),
+        )?);
+        let mut cached = self.cached.lock().expect("prepared plan poisoned");
+        if cached.version == snapshot.version() {
+            if cached.specialized.len() >= SPECIALIZED_CAP {
+                cached.specialized.clear();
+            }
+            cached.specialized.insert(key, specialized.clone());
+        }
+        Ok(specialized)
+    }
+
+    /// Number of bind-time range specializations cached for the current
+    /// engine version (always 0 for statements with a literal range).
+    pub fn specialization_count(&self) -> usize {
+        self.cached.lock().expect("prepared plan poisoned").specialized.len()
     }
 
     /// Execute a parameterless prepared statement.
@@ -501,6 +613,7 @@ impl PreparedQuery {
     pub fn execute_with(&self, params: &[Literal]) -> Result<ExecOutput, EngineError> {
         let snapshot = self.shared.snapshot();
         let plan = self.current_plan(&snapshot)?;
+        let plan = self.bound_plan(&snapshot, plan, params)?;
         self.ctx(&snapshot).execute_plan(&plan, params)
     }
 
@@ -508,6 +621,7 @@ impl PreparedQuery {
     pub fn forecast_with(&self, params: &[Literal]) -> Result<ForecastResult, EngineError> {
         let snapshot = self.shared.snapshot();
         let plan = self.current_plan(&snapshot)?;
+        let plan = self.bound_plan(&snapshot, plan, params)?;
         match &*plan {
             LogicalPlan::Forecast(p) => self.ctx(&snapshot).execute_forecast(p, params),
             LogicalPlan::Select(_) => Err(EngineError::WrongStatement { expected: "FORECAST" }),
@@ -518,6 +632,7 @@ impl PreparedQuery {
     pub fn select_with(&self, params: &[Literal]) -> Result<SelectResult, EngineError> {
         let snapshot = self.shared.snapshot();
         let plan = self.current_plan(&snapshot)?;
+        let plan = self.bound_plan(&snapshot, plan, params)?;
         match &*plan {
             LogicalPlan::Select(p) => self.ctx(&snapshot).execute_select(p, params),
             LogicalPlan::Forecast(_) => Err(EngineError::WrongStatement { expected: "SELECT" }),

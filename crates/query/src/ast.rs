@@ -137,6 +137,46 @@ impl fmt::Display for Expr {
     }
 }
 
+/// One endpoint of a `USING (start, end)` window: either a `YYYYMMDD`
+/// integer literal, fixed at plan time, or a `?` placeholder bound per
+/// execution (prepared statements re-bind the window without re-parsing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeBound {
+    /// A `YYYYMMDD` integer literal.
+    Lit(i64),
+    /// A `?` placeholder, numbered with the statement's other parameters.
+    Param(usize),
+}
+
+impl TimeBound {
+    /// The literal value, if this bound is static.
+    pub fn as_lit(&self) -> Option<i64> {
+        match self {
+            TimeBound::Lit(v) => Some(*v),
+            TimeBound::Param(_) => None,
+        }
+    }
+
+    /// The placeholder index, if this bound is a parameter.
+    pub fn param_index(&self) -> Option<usize> {
+        match self {
+            TimeBound::Lit(_) => None,
+            TimeBound::Param(i) => Some(*i),
+        }
+    }
+}
+
+impl fmt::Display for TimeBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeBound::Lit(v) => write!(f, "{v}"),
+            // Like `Literal::Param`: parameters number left-to-right, so
+            // the printed `?` re-parses to the same index.
+            TimeBound::Param(_) => write!(f, "?"),
+        }
+    }
+}
+
 /// Value of an `OPTION (key = value)` entry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OptionValue {
@@ -190,10 +230,10 @@ pub struct ForecastStmt {
     pub measure: String,
     pub table: String,
     pub constraint: Expr,
-    /// Training window start, as a `YYYYMMDD` literal.
-    pub t_start: i64,
-    /// Training window end, as a `YYYYMMDD` literal.
-    pub t_end: i64,
+    /// Training window start: a `YYYYMMDD` literal or a `?` placeholder.
+    pub t_start: TimeBound,
+    /// Training window end: a `YYYYMMDD` literal or a `?` placeholder.
+    pub t_end: TimeBound,
     /// `OPTION (key = value, …)` pairs in source order.
     pub options: Vec<(String, OptionValue)>,
 }
@@ -204,9 +244,18 @@ impl ForecastStmt {
         lookup_option(&self.options, key)
     }
 
-    /// Number of `?` placeholders in the constraint.
+    /// Number of `?` placeholders in the whole statement (constraint and
+    /// `USING` bounds; the parser numbers them contiguously
+    /// left-to-right, so this is `max index + 1`).
     pub fn num_params(&self) -> usize {
-        self.constraint.num_params()
+        let constraint = self.constraint.num_params();
+        let bounds = [self.t_start, self.t_end]
+            .iter()
+            .filter_map(|b| b.param_index())
+            .map(|i| i + 1)
+            .max()
+            .unwrap_or(0);
+        constraint.max(bounds)
     }
 }
 
@@ -339,8 +388,8 @@ mod tests {
             measure: "m".into(),
             table: "T".into(),
             constraint: Expr::True,
-            t_start: 1,
-            t_end: 2,
+            t_start: TimeBound::Lit(1),
+            t_end: TimeBound::Lit(2),
             options: vec![("MODEL".into(), OptionValue::Str("arima".into()))],
         };
         assert_eq!(s.option("model").unwrap().as_str(), Some("arima"));
@@ -372,6 +421,24 @@ mod tests {
         ]);
         assert_eq!(e.num_params(), 3);
         assert_eq!(Expr::True.num_params(), 0);
+    }
+
+    #[test]
+    fn forecast_num_params_covers_using_bounds() {
+        let mut s = ForecastStmt {
+            agg: AggFunc::Sum,
+            measure: "m".into(),
+            table: "T".into(),
+            constraint: Expr::Cmp { column: "a".into(), op: CmpOp::Le, value: Literal::Param(0) },
+            t_start: TimeBound::Param(1),
+            t_end: TimeBound::Param(2),
+            options: vec![],
+        };
+        assert_eq!(s.num_params(), 3);
+        s.t_end = TimeBound::Lit(20200131);
+        assert_eq!(s.num_params(), 2);
+        s.constraint = Expr::True;
+        assert_eq!(s.num_params(), 2, "USING params alone still count");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::ast::{Expr, Literal, SelectStmt, TIME_COLUMN};
 use crate::error::ParseError;
 use flashp_storage::{CmpOp, Predicate, Timestamp, Value};
+use std::fmt;
 
 fn literal_to_value(lit: &Literal) -> Result<Value, ParseError> {
     match lit {
@@ -93,6 +94,148 @@ pub fn bind_expr(expr: &Expr) -> Result<Predicate, ParseError> {
     }
 }
 
+/// One contribution to a time-window endpoint: a literal timestamp
+/// (validated when the constraint was split) or a `?` placeholder plus a
+/// day offset (`t > ?` contributes a lower bound of `? + 1` day).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeEndpoint {
+    /// A literal endpoint, already parsed and calendar-validated.
+    Lit(Timestamp),
+    /// Placeholder `index`, shifted by `offset` days once bound.
+    Param {
+        /// The `?` placeholder index (statement-global numbering).
+        index: usize,
+        /// Days added after the parameter is parsed (±1 for strict
+        /// inequalities, 0 otherwise).
+        offset: i64,
+    },
+}
+
+impl TimeEndpoint {
+    /// The endpoint's timestamp under `params` (placeholder `i` takes
+    /// `params[i]`, which must be a valid `YYYYMMDD` integer).
+    pub fn resolve(&self, params: &[Literal]) -> Result<Timestamp, ParseError> {
+        match self {
+            TimeEndpoint::Lit(t) => Ok(*t),
+            TimeEndpoint::Param { index, offset } => {
+                let lit = params.get(*index).ok_or_else(|| {
+                    ParseError::new(
+                        format!("time parameter ?{index} has no value ({} supplied)", params.len()),
+                        0,
+                    )
+                })?;
+                let Literal::Int(v) = lit else {
+                    return Err(ParseError::new(
+                        format!("time parameter ?{index} must be a YYYYMMDD integer"),
+                        0,
+                    ));
+                };
+                let t = Timestamp::from_yyyymmdd(*v)
+                    .map_err(|e| ParseError::new(format!("time parameter ?{index}: {e}"), 0))?;
+                Ok(t + *offset)
+            }
+        }
+    }
+
+    /// Does this endpoint depend on a `?` parameter?
+    pub fn is_param(&self) -> bool {
+        matches!(self, TimeEndpoint::Param { .. })
+    }
+}
+
+impl fmt::Display for TimeEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeEndpoint::Lit(t) => write!(f, "{t}"),
+            TimeEndpoint::Param { index, offset: 0 } => write!(f, "?{index}"),
+            TimeEndpoint::Param { index, offset } => write!(f, "?{index}{offset:+}"),
+        }
+    }
+}
+
+/// A conjunction of time bounds whose endpoints may depend on `?`
+/// parameters: the effective inclusive range is
+/// `[max(lower), min(upper)]`, with a missing side left open. Static
+/// windows (no parameters) collapse to a concrete range at plan time;
+/// parameterized ones resolve per binding.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeWindow {
+    /// Lower-bound contributions (the effective start is their max).
+    pub lower: Vec<TimeEndpoint>,
+    /// Upper-bound contributions (the effective end is their min).
+    pub upper: Vec<TimeEndpoint>,
+}
+
+impl TimeWindow {
+    /// Does any endpoint depend on a `?` parameter?
+    pub fn has_params(&self) -> bool {
+        self.lower.iter().chain(&self.upper).any(TimeEndpoint::is_param)
+    }
+
+    /// True when no time condition was present at all.
+    pub fn is_unconstrained(&self) -> bool {
+        self.lower.is_empty() && self.upper.is_empty()
+    }
+
+    /// Resolve both sides under `params`: `(max(lower), min(upper))`,
+    /// `None` for a side with no contributions.
+    pub fn resolve(
+        &self,
+        params: &[Literal],
+    ) -> Result<(Option<Timestamp>, Option<Timestamp>), ParseError> {
+        let mut lo: Option<Timestamp> = None;
+        for e in &self.lower {
+            let t = e.resolve(params)?;
+            lo = Some(lo.map_or(t, |x| x.max(t)));
+        }
+        let mut hi: Option<Timestamp> = None;
+        for e in &self.upper {
+            let t = e.resolve(params)?;
+            hi = Some(hi.map_or(t, |x| x.min(t)));
+        }
+        Ok((lo, hi))
+    }
+
+    /// Resolve to the planner's inclusive-range form: `None` when fully
+    /// unconstrained, half-open sides widened to sentinel bounds (clamped
+    /// to the table later).
+    pub fn resolve_range(
+        &self,
+        params: &[Literal],
+    ) -> Result<Option<(Timestamp, Timestamp)>, ParseError> {
+        Ok(match self.resolve(params)? {
+            (None, None) => None,
+            (Some(a), Some(b)) => Some((a, b)),
+            (Some(a), None) => Some((a, Timestamp(i64::MAX / 2))),
+            (None, Some(b)) => Some((Timestamp(i64::MIN / 2), b)),
+        })
+    }
+}
+
+impl fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn side(f: &mut fmt::Formatter<'_>, es: &[TimeEndpoint], fold: &str) -> fmt::Result {
+            match es {
+                [] => write!(f, "*"),
+                [one] => write!(f, "{one}"),
+                many => {
+                    write!(f, "{fold}(")?;
+                    for (i, e) in many.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                    write!(f, ")")
+                }
+            }
+        }
+        side(f, &self.lower, "max")?;
+        write!(f, "..")?;
+        side(f, &self.upper, "min")
+    }
+}
+
 /// A SELECT constraint split into its dimension part and time range.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoundSelect {
@@ -103,88 +246,87 @@ pub struct BoundSelect {
 }
 
 /// A SELECT constraint split like [`BoundSelect`], but with the dimension
-/// part still in AST form — `?` placeholders intact — so a prepared
-/// statement can rebind it per execution.
+/// part still in AST form and the time window possibly parameterized —
+/// `?` placeholders intact on both — so a prepared statement can rebind
+/// either per execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SplitSelect {
     /// Dimension-only constraint (may contain `?` placeholders).
     pub dims: Expr,
-    /// Inclusive time range extracted from `t` conditions, if any.
-    pub time_range: Option<(Timestamp, Timestamp)>,
+    /// Time window extracted from `t` conditions (may contain `?`
+    /// placeholders; empty when the statement has no time condition).
+    pub window: TimeWindow,
 }
 
 /// [`split_select_constraint`] followed by [`bind_expr`] on the dimension
-/// part: the one-shot form for statements without parameters.
+/// part: the one-shot form for statements without parameters. Rejects `?`
+/// on `t` — a parameterized window needs the prepared-statement path,
+/// which resolves it per binding.
 pub fn bind_select_constraint(stmt: &SelectStmt) -> Result<BoundSelect, ParseError> {
     let split = split_select_constraint(stmt)?;
-    Ok(BoundSelect { predicate: bind_expr(&split.dims)?, time_range: split.time_range })
+    if split.window.has_params() {
+        return Err(ParseError::new(
+            format!("'?' parameters on '{TIME_COLUMN}' require a prepared statement"),
+            0,
+        ));
+    }
+    Ok(BoundSelect {
+        predicate: bind_expr(&split.dims)?,
+        time_range: split.window.resolve_range(&[])?,
+    })
 }
 
 /// Split a SELECT statement's constraint: top-level conjuncts on `t`
-/// become the time range; the rest stays as a dimension-only expression.
+/// become the time window; the rest stays as a dimension-only expression.
 /// Supported time forms: `t = v`, `t >= v`, `t > v`, `t <= v`, `t < v`,
-/// `t BETWEEN a AND b` (values are `YYYYMMDD` literals; `?` parameters are
-/// rejected on `t` so the planned scan range is static). Time conditions
-/// under OR/NOT are rejected — they would not describe a contiguous scan
-/// range.
+/// `t BETWEEN a AND b`, where each value is a `YYYYMMDD` literal
+/// (validated here) or a `?` placeholder (validated when bound). Time
+/// conditions under OR/NOT are rejected — they would not describe a
+/// contiguous scan range.
 pub fn split_select_constraint(stmt: &SelectStmt) -> Result<SplitSelect, ParseError> {
     let conjuncts: Vec<&Expr> = match &stmt.constraint {
         Expr::And(children) => children.iter().collect(),
         other => vec![other],
     };
-    let mut lo: Option<Timestamp> = None;
-    let mut hi: Option<Timestamp> = None;
+    let mut window = TimeWindow::default();
     let mut dims: Vec<Expr> = Vec::new();
 
-    let apply_time = |op: CmpOp,
-                      v: i64,
-                      lo: &mut Option<Timestamp>,
-                      hi: &mut Option<Timestamp>|
-     -> Result<(), ParseError> {
-        let t = Timestamp::from_yyyymmdd(v)
-            .map_err(|e| ParseError::new(format!("bad time literal: {e}"), 0))?;
-        match op {
-            CmpOp::Eq => {
-                *lo = Some(lo.map_or(t, |x| x.max(t)));
-                *hi = Some(hi.map_or(t, |x| x.min(t)));
+    let endpoint = |lit: &Literal, offset: i64| -> Result<TimeEndpoint, ParseError> {
+        match lit {
+            Literal::Int(v) => {
+                let t = Timestamp::from_yyyymmdd(*v)
+                    .map_err(|e| ParseError::new(format!("bad time literal: {e}"), 0))?;
+                Ok(TimeEndpoint::Lit(t + offset))
             }
-            CmpOp::Ge => *lo = Some(lo.map_or(t, |x| x.max(t))),
-            CmpOp::Gt => *lo = Some(lo.map_or(t + 1, |x| x.max(t + 1))),
-            CmpOp::Le => *hi = Some(hi.map_or(t, |x| x.min(t))),
-            CmpOp::Lt => *hi = Some(hi.map_or(t - 1, |x| x.min(t - 1))),
-            CmpOp::Ne => {
-                return Err(ParseError::new("t <> … is not a contiguous time range".to_string(), 0))
+            Literal::Param(i) => Ok(TimeEndpoint::Param { index: *i, offset }),
+            Literal::Str(_) => {
+                Err(ParseError::new("time literals must be integers".to_string(), 0))
             }
         }
-        Ok(())
     };
 
     for c in conjuncts {
         match c {
-            Expr::Cmp { column, op, value } if column == TIME_COLUMN => {
-                if matches!(value, Literal::Param(_)) {
-                    return Err(ParseError::new(
-                        format!("'?' parameters may not constrain '{TIME_COLUMN}'"),
-                        0,
-                    ));
+            Expr::Cmp { column, op, value } if column == TIME_COLUMN => match op {
+                CmpOp::Eq => {
+                    let e = endpoint(value, 0)?;
+                    window.lower.push(e);
+                    window.upper.push(e);
                 }
-                let Literal::Int(v) = value else {
-                    return Err(ParseError::new("time literals must be integers".to_string(), 0));
-                };
-                apply_time(*op, *v, &mut lo, &mut hi)?;
-            }
+                CmpOp::Ge => window.lower.push(endpoint(value, 0)?),
+                CmpOp::Gt => window.lower.push(endpoint(value, 1)?),
+                CmpOp::Le => window.upper.push(endpoint(value, 0)?),
+                CmpOp::Lt => window.upper.push(endpoint(value, -1)?),
+                CmpOp::Ne => {
+                    return Err(ParseError::new(
+                        "t <> … is not a contiguous time range".to_string(),
+                        0,
+                    ))
+                }
+            },
             Expr::Between { column, lo: l, hi: h } if column == TIME_COLUMN => {
-                if matches!(l, Literal::Param(_)) || matches!(h, Literal::Param(_)) {
-                    return Err(ParseError::new(
-                        format!("'?' parameters may not constrain '{TIME_COLUMN}'"),
-                        0,
-                    ));
-                }
-                let (Literal::Int(a), Literal::Int(b)) = (l, h) else {
-                    return Err(ParseError::new("time literals must be integers".to_string(), 0));
-                };
-                apply_time(CmpOp::Ge, *a, &mut lo, &mut hi)?;
-                apply_time(CmpOp::Le, *b, &mut lo, &mut hi)?;
+                window.lower.push(endpoint(l, 0)?);
+                window.upper.push(endpoint(h, 0)?);
             }
             other if other.references(TIME_COLUMN) => {
                 return Err(ParseError::new(
@@ -201,13 +343,7 @@ pub fn split_select_constraint(stmt: &SelectStmt) -> Result<SplitSelect, ParseEr
         1 => dims.pop().expect("len checked"),
         _ => Expr::And(dims),
     };
-    let time_range = match (lo, hi) {
-        (None, None) => None,
-        (Some(a), Some(b)) => Some((a, b)),
-        (Some(a), None) => Some((a, Timestamp(i64::MAX / 2))),
-        (None, Some(b)) => Some((Timestamp(i64::MIN / 2), b)),
-    };
-    Ok(SplitSelect { dims, time_range })
+    Ok(SplitSelect { dims, window })
 }
 
 #[cfg(test)]
@@ -329,11 +465,51 @@ mod tests {
     }
 
     #[test]
-    fn time_parameters_rejected() {
+    fn time_parameters_need_the_prepared_path() {
+        // One-shot binding still rejects `?` on t…
         let s = select("SELECT SUM(m) FROM T WHERE t = ?");
-        assert!(bind_select_constraint(&s).unwrap_err().message.contains("parameters"));
+        assert!(bind_select_constraint(&s).unwrap_err().message.contains("prepared"));
         let s = select("SELECT SUM(m) FROM T WHERE t BETWEEN ? AND 20200131");
         assert!(bind_select_constraint(&s).is_err());
+        // …but splitting keeps the parameterized window for later binding.
+        let split = split_select_constraint(&s).unwrap();
+        assert!(split.window.has_params());
+        assert_eq!(split.window.to_string(), "?0..20200131");
+    }
+
+    #[test]
+    fn parameterized_window_resolves_like_literals() {
+        // `age <= ? AND t > ? AND t < ?` interleaves dim and time params.
+        let s = select("SELECT SUM(m) FROM T WHERE age <= ? AND t > ? AND t < ?");
+        let split = split_select_constraint(&s).unwrap();
+        assert_eq!(split.dims.to_string(), "age <= ?");
+        assert_eq!(split.window.to_string(), "?1+1..?2-1");
+        let params = [Literal::Int(30), Literal::Int(20200101), Literal::Int(20200105)];
+        let (lo, hi) = split.window.resolve(&params).unwrap();
+        assert_eq!(lo.unwrap().to_yyyymmdd(), 20200102, "strict > shifts up a day");
+        assert_eq!(hi.unwrap().to_yyyymmdd(), 20200104, "strict < shifts down a day");
+        // The same statement with literals resolves identically.
+        let lit = select("SELECT SUM(m) FROM T WHERE age <= 30 AND t > 20200101 AND t < 20200105");
+        let lit_split = split_select_constraint(&lit).unwrap();
+        assert_eq!(lit_split.window.resolve(&[]).unwrap(), (lo, hi));
+    }
+
+    #[test]
+    fn window_resolution_errors_are_typed() {
+        let s = select("SELECT SUM(m) FROM T WHERE t >= ?");
+        let w = split_select_constraint(&s).unwrap().window;
+        // Missing value.
+        assert!(w.resolve(&[]).unwrap_err().message.contains("no value"));
+        // Wrong type.
+        let e = w.resolve(&[Literal::Str("x".into())]).unwrap_err();
+        assert!(e.message.contains("YYYYMMDD"));
+        // Impossible calendar date surfaces the parameter index.
+        let e = w.resolve(&[Literal::Int(20200230)]).unwrap_err();
+        assert!(e.message.contains("?0"), "error names the parameter: {e}");
+        // Valid date resolves; the half-open side widens to a sentinel.
+        let range = w.resolve_range(&[Literal::Int(20200301)]).unwrap().unwrap();
+        assert_eq!(range.0.to_yyyymmdd(), 20200301);
+        assert!(range.1 > range.0);
     }
 
     #[test]

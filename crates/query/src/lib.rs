@@ -27,10 +27,12 @@ pub mod error;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{Expr, ForecastStmt, Literal, OptionValue, SelectStmt, Statement, TIME_COLUMN};
+pub use ast::{
+    Expr, ForecastStmt, Literal, OptionValue, SelectStmt, Statement, TimeBound, TIME_COLUMN,
+};
 pub use binder::{
     bind_expr, bind_select_constraint, split_select_constraint, substitute_params, BoundSelect,
-    SplitSelect,
+    SplitSelect, TimeEndpoint, TimeWindow,
 };
 pub use error::ParseError;
 pub use parser::parse;

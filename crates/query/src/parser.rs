@@ -1,7 +1,7 @@
 //! Recursive-descent parser for the task language.
 
 use crate::ast::{
-    CmpOp, Expr, ForecastStmt, Literal, OptionValue, SelectStmt, Statement, TIME_COLUMN,
+    CmpOp, Expr, ForecastStmt, Literal, OptionValue, SelectStmt, Statement, TimeBound, TIME_COLUMN,
 };
 use crate::error::ParseError;
 use crate::lexer::{tokenize, Token, TokenKind};
@@ -92,15 +92,22 @@ impl Parser {
         }
     }
 
-    fn expect_int(&mut self) -> Result<i64, ParseError> {
+    /// A `USING` endpoint: a `YYYYMMDD` integer or a `?` placeholder
+    /// (numbered with the statement's other parameters).
+    fn time_bound(&mut self) -> Result<TimeBound, ParseError> {
         match self.peek().kind {
             TokenKind::Int(v) => {
                 self.advance();
-                Ok(v)
+                Ok(TimeBound::Lit(v))
             }
-            ref other => {
-                Err(self.error_here(format!("expected integer, found {}", other.describe())))
+            TokenKind::Question => {
+                self.advance();
+                let index = self.params;
+                self.params += 1;
+                Ok(TimeBound::Param(index))
             }
+            ref other => Err(self
+                .error_here(format!("expected YYYYMMDD integer or ?, found {}", other.describe()))),
         }
     }
 
@@ -158,9 +165,9 @@ impl Parser {
         let constraint = if self.accept_keyword("WHERE") { self.expr()? } else { Expr::True };
         self.expect_keyword("USING")?;
         self.expect_token(&TokenKind::LParen)?;
-        let t_start = self.expect_int()?;
+        let t_start = self.time_bound()?;
         self.expect_token(&TokenKind::Comma)?;
-        let t_end = self.expect_int()?;
+        let t_end = self.time_bound()?;
         self.expect_token(&TokenKind::RParen)?;
         let options = self.options_clause()?;
         if constraint.references(TIME_COLUMN) {
@@ -343,8 +350,8 @@ mod tests {
         assert_eq!(f.agg, AggFunc::Sum);
         assert_eq!(f.measure, "Impression");
         assert_eq!(f.table, "T");
-        assert_eq!(f.t_start, 20200101);
-        assert_eq!(f.t_end, 20200331);
+        assert_eq!(f.t_start, TimeBound::Lit(20200101));
+        assert_eq!(f.t_end, TimeBound::Lit(20200331));
         assert_eq!(
             f.constraint,
             Expr::And(vec![
@@ -501,10 +508,30 @@ mod tests {
 
     #[test]
     fn parameters_rejected_outside_literal_positions() {
-        // USING range takes integers, not parameters.
-        assert!(parse("FORECAST SUM(m) FROM T USING (?, 20200131)").is_err());
         // Option values are not parameterizable.
         assert!(parse("SELECT SUM(m) FROM T OPTION (SAMPLE_RATE = ?)").is_err());
+        // Nor are table or column names.
+        assert!(parse("SELECT SUM(m) FROM ? WHERE a = 1").is_err());
+    }
+
+    #[test]
+    fn using_bounds_accept_parameters() {
+        // WHERE precedes USING, so constraint placeholders take the lower
+        // indices and the window takes the next two.
+        let stmt = parse("FORECAST SUM(m) FROM T WHERE age <= ? USING (?, ?)").unwrap();
+        let Statement::Forecast(f) = &stmt else { panic!() };
+        assert_eq!(f.constraint.num_params(), 1);
+        assert_eq!(f.t_start, TimeBound::Param(1));
+        assert_eq!(f.t_end, TimeBound::Param(2));
+        assert_eq!(f.num_params(), 3);
+        // Display round-trips `?` bounds to the same indices.
+        assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+        // Mixed literal/parameter bounds parse too.
+        let stmt = parse("FORECAST SUM(m) FROM T USING (20200101, ?)").unwrap();
+        let Statement::Forecast(f) = &stmt else { panic!() };
+        assert_eq!(f.t_start, TimeBound::Lit(20200101));
+        assert_eq!(f.t_end, TimeBound::Param(0));
+        assert_eq!(f.num_params(), 1);
     }
 
     #[test]

@@ -179,6 +179,21 @@ mod tests {
         assert!(Timestamp::from_yyyymmdd(20200230).is_err()); // Feb 30
         assert!(Timestamp::from_yyyymmdd(20190229).is_err()); // not a leap year
         assert!(Timestamp::from_yyyymmdd(0).is_err());
+        // Zero month/day fields are not shorthand for anything.
+        assert!(Timestamp::from_yyyymmdd(20200001).is_err()); // month 0
+        assert!(Timestamp::from_yyyymmdd(20200100).is_err()); // day 0
+        assert!(Timestamp::from_yyyymmdd(20200132).is_err()); // day 32
+        assert!(Timestamp::from_yyyymmdd(20200431).is_err()); // Apr 31
+                                                              // Negative and out-of-range encodings.
+        assert!(Timestamp::from_yyyymmdd(-20200101).is_err());
+        assert!(Timestamp::from_yyyymmdd(100).is_err()); // below year 0001
+        assert!(Timestamp::from_yyyymmdd(99_991_232).is_err()); // past the cap
+        assert!(Timestamp::from_yyyymmdd(100_000_101).is_err()); // 6-digit year
+                                                                 // The supported extremes stay valid and round-trip.
+        assert_eq!(Timestamp::from_yyyymmdd(101).unwrap().to_yyyymmdd(), 101);
+        assert_eq!(Timestamp::from_yyyymmdd(99_991_231).unwrap().to_yyyymmdd(), 99_991_231);
+        // Leap-day acceptance right next to the rejected non-leap case.
+        assert!(Timestamp::from_yyyymmdd(20200229).is_ok());
     }
 
     #[test]

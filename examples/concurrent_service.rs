@@ -3,9 +3,12 @@
 //!
 //! One `SampleCatalog` is built once; a `FlashPEngine` handle over it is
 //! cloned into N worker threads (cloning copies `Arc`s, not samples). A
-//! single parameterized `PreparedQuery` template — `age <= ?` — serves
-//! every worker: each execution binds a different `?` value through
-//! `&self`, with no `unsafe` and no mutex anywhere on the hot path.
+//! single parameterized `PreparedQuery` template — `age <= ?` with a
+//! `USING (?, ?)` range — serves every worker: each execution binds a
+//! different constraint value *and* training window through `&self`,
+//! with no `unsafe` and no mutex on the hot path (the range clamp and
+//! sample-layer selection happen per binding, cached per distinct
+//! window).
 //!
 //! ```text
 //! cargo run --release --example concurrent_service
@@ -38,23 +41,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let engine = FlashPEngine::with_catalog(dataset.table, config, catalog);
 
-    // Prepare one FORECAST template; `?` binds per execution.
+    // Prepare one FORECAST template; the constraint `?` *and* the
+    // `USING (?, ?)` training window bind per execution. The plan keeps
+    // everything range-independent (names, options, model, folded
+    // predicate shape) static; the range clamp and layer selection run
+    // when the window binds.
     let template = "FORECAST SUM(Impression) FROM ads WHERE age <= ? \
-                    USING (20200101, 20200229) \
+                    USING (?, ?) \
                     OPTION (MODEL = 'ar(7)', FORE_PERIOD = 7)";
     let prepared = Arc::new(engine.prepare(template)?);
     println!("\nprepared: {template}");
-    println!("plan:\n{}", prepared.explain()?);
+    println!("plan (range unbound):\n{}", prepared.explain()?);
+    println!(
+        "plan (one binding):\n{}",
+        prepared.explain_with(&[
+            Literal::Int(30),
+            Literal::Int(20200101),
+            Literal::Int(20200229),
+        ])?
+    );
+
+    // Each query rotates through a small set of training windows, the
+    // way a dashboard pans: the prepared handle re-clamps and re-selects
+    // per window, then serves repeats from its specialization cache.
+    const WINDOWS: &[(i64, i64)] =
+        &[(20200101, 20200229), (20200115, 20200229), (20200201, 20200229)];
+    let bindings: Vec<[Literal; 3]> = (0..QUERIES_PER_THREAD as i64)
+        .map(|i| {
+            let (lo, hi) = WINDOWS[i as usize % WINDOWS.len()];
+            [Literal::Int(18 + (i % 40)), Literal::Int(lo), Literal::Int(hi)]
+        })
+        .collect();
 
     // Reference answers, computed single-threaded through the same
     // prepared statement.
-    let ages: Vec<i64> = (0..QUERIES_PER_THREAD as i64).map(|i| 18 + (i % 40)).collect();
-    let reference: Vec<Vec<f64>> = ages
+    let reference: Vec<Vec<f64>> = bindings
         .iter()
-        .map(|&age| {
-            Ok::<_, flashp::core::EngineError>(
-                prepared.forecast_with(&[Literal::Int(age)])?.forecast_values(),
-            )
+        .map(|params| {
+            Ok::<_, flashp::core::EngineError>(prepared.forecast_with(params)?.forecast_values())
         })
         .collect::<Result<_, _>>()?;
 
@@ -66,17 +90,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut workers = Vec::new();
         for worker in 0..THREADS {
             let prepared = prepared.clone();
-            let ages = &ages;
+            let bindings = &bindings;
             let reference = &reference;
             workers.push(scope.spawn(move || {
-                for (i, &age) in ages.iter().enumerate() {
+                for (i, params) in bindings.iter().enumerate() {
                     let r = prepared
-                        .forecast_with(&[Literal::Int(age)])
+                        .forecast_with(params)
                         .unwrap_or_else(|e| panic!("worker {worker}: {e}"));
                     assert_eq!(
                         r.forecast_values(),
                         reference[i],
-                        "worker {worker}: concurrent result diverged for age <= {age}"
+                        "worker {worker}: concurrent result diverged for {params:?}"
                     );
                 }
             }));
@@ -92,6 +116,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          ({:.0} statements/sec), every result bit-identical to the \
          single-threaded reference",
         total as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "{} distinct windows specialized for the current catalog version",
+        prepared.specialization_count()
     );
     Ok(())
 }
