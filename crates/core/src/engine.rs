@@ -569,7 +569,8 @@ impl FlashPEngine {
         let snapshot = self.snapshot();
         let ctx = self.ctx(&snapshot);
         if rate >= 1.0 {
-            let points = ctx.estimate_exact(measure, pred, agg, start, end)?;
+            let points =
+                ctx.estimate_exact(measure, pred, agg, start, end, flashp_storage::SumMode::Exact)?;
             return Ok((points, "full scan".to_string(), 1.0));
         }
         let catalog = snapshot.catalog().ok_or_else(EngineError::no_samples)?;
@@ -1153,6 +1154,7 @@ mod tests {
                 range: crate::planner::TimeRangeSlot::Static(None),
                 rate: 1.0,
                 group_by_time: false,
+                fast_sum: false,
                 num_params: 0,
                 source: crate::planner::SourceSlot::Planned(crate::planner::ScanSource::FullScan {
                     est_rows: 0,

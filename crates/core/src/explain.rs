@@ -5,7 +5,7 @@
 use crate::planner::{
     ForecastPlan, LogicalPlan, PredicateSlot, ScanSource, SelectPlan, SourceSlot, TimeRangeSlot,
 };
-use flashp_storage::{CompiledPredicate, Schema};
+use flashp_storage::{CompiledPredicate, Schema, SumMode};
 use std::fmt;
 
 /// One node of an `EXPLAIN` tree: an operator name, key/value properties,
@@ -101,8 +101,19 @@ fn explain_forecast(p: &ForecastPlan, schema: &Schema) -> PlanNode {
         .with("confidence", p.confidence)
         .with("noise_aware", p.noise_aware)
         .child(
-            series.child(source_slot_node(&p.source)).child(predicate_node(&p.predicate, schema)),
+            series
+                .child(source_slot_node(&p.source, sum_mode(p.fast_sum)))
+                .child(predicate_node(&p.predicate, schema)),
         )
+}
+
+/// The plan's float-sum mode for exact full-scan paths.
+fn sum_mode(fast_sum: bool) -> SumMode {
+    if fast_sum {
+        SumMode::Fast
+    } else {
+        SumMode::Exact
+    }
 }
 
 fn explain_select(p: &SelectPlan, schema: &Schema) -> PlanNode {
@@ -114,12 +125,13 @@ fn explain_select(p: &SelectPlan, schema: &Schema) -> PlanNode {
         TimeRangeSlot::Static(None) => node.with("range", "empty"),
         TimeRangeSlot::Dynamic(w) => node.with("range", "dynamic").with("window", w),
     };
-    node.child(source_slot_node(&p.source)).child(predicate_node(&p.predicate, schema))
+    node.child(source_slot_node(&p.source, sum_mode(p.fast_sum)))
+        .child(predicate_node(&p.predicate, schema))
 }
 
-fn source_slot_node(slot: &SourceSlot) -> PlanNode {
+fn source_slot_node(slot: &SourceSlot, sum: SumMode) -> PlanNode {
     match slot {
-        SourceSlot::Planned(source) => source_node(source),
+        SourceSlot::Planned(source) => source_node(source, sum),
         // A parameterized range can't pick its serving layer until the
         // parameters bind; `PreparedQuery::explain_with` renders the
         // concrete choice for one binding.
@@ -129,17 +141,20 @@ fn source_slot_node(slot: &SourceSlot) -> PlanNode {
     }
 }
 
-fn source_node(source: &ScanSource) -> PlanNode {
+fn source_node(source: &ScanSource, sum: SumMode) -> PlanNode {
     // The scan-kernel tier is process-global (dispatched once at startup,
     // see `flashp_storage::simd`), so it is reported on the scan source
     // rather than stored in the plan: whatever tier is active is exactly
     // what the executor's predicate and aggregation kernels will run.
     let simd = flashp_storage::simd::active_tier();
     match source {
+        // `sum` is a property of the exact scan only: sampled estimation
+        // keeps its own accumulation order regardless of FAST_SUM.
         ScanSource::FullScan { est_rows } => PlanNode::new("FullScan")
             .with("sampler", "full scan")
             .with("est_rows", est_rows)
-            .with("simd", simd),
+            .with("simd", simd)
+            .with("sum", sum.name()),
         ScanSource::SampleLayer {
             layer,
             rate,
@@ -182,6 +197,11 @@ pub fn render_predicate(pred: &CompiledPredicate, schema: &Schema) -> String {
         CompiledPredicate::Const(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
         CompiledPredicate::Cmp { dim, op, value } => {
             format!("{} {} {}", dim_name(schema, *dim), op.symbol(), value)
+        }
+        // `{:?}` keeps the decimal point (`3.0`, not `3`) so float
+        // comparisons are distinguishable from integer ones.
+        CompiledPredicate::CmpF64 { dim, op, value } => {
+            format!("{} {} {:?}", dim_name(schema, *dim), op.symbol(), value)
         }
         CompiledPredicate::InSet { dim, values, .. } => {
             let vals: Vec<String> = values.iter().map(|v| v.to_string()).collect();
@@ -238,7 +258,7 @@ mod tests {
         assert!(est.prop("est_rows").unwrap().parse::<usize>().unwrap() > 0);
         // The active scan-kernel tier is named on the source.
         let simd = est.prop("simd").expect("scan source names its kernel tier");
-        assert!(["avx2", "sse2", "portable"].contains(&simd), "unknown tier {simd}");
+        assert!(["avx512", "avx2", "sse2", "portable"].contains(&simd), "unknown tier {simd}");
         assert_eq!(simd, flashp_storage::simd::active_tier().name());
         // Constant-folded predicate with names resolved.
         let pred = node.find("Predicate").unwrap();
@@ -273,5 +293,19 @@ mod tests {
         assert_eq!(scan.prop("sampler"), Some("full scan"));
         assert_eq!(scan.prop("est_rows"), Some("400"));
         assert_eq!(scan.prop("simd"), Some(flashp_storage::simd::active_tier().name()));
+        assert_eq!(scan.prop("sum"), Some("exact"));
+    }
+
+    #[test]
+    fn fast_sum_option_is_reported_on_the_exact_scan() {
+        let node = explain("SELECT SUM(m1) FROM T WHERE t = 20200101 OPTION (FAST_SUM = 1)");
+        assert_eq!(node.find("FullScan").unwrap().prop("sum"), Some("fast"));
+        // Sampled sources never report a sum mode — estimation keeps its
+        // own accumulation order.
+        let sampled = explain(
+            "FORECAST SUM(m1) FROM T WHERE seg <= 5 USING (20200101, 20200202) \
+             OPTION (FAST_SUM = 1)",
+        );
+        assert_eq!(sampled.find("SampleEstimate").unwrap().prop("sum"), None);
     }
 }

@@ -188,6 +188,10 @@ pub struct ForecastPlan {
     pub confidence: f64,
     /// Noise-aware interval widening (Proposition 1).
     pub noise_aware: bool,
+    /// Reassociated vector float sums for exact scan paths
+    /// (`OPTION (FAST_SUM = 1)`; defaults from
+    /// [`EngineConfig::fast_sum`]).
+    pub fast_sum: bool,
     /// Total `?` placeholders in the statement (constraint + window).
     pub num_params: usize,
     /// Where the training estimates come from (full scan vs sample layer;
@@ -232,6 +236,10 @@ pub struct SelectPlan {
     pub rate: f64,
     /// One row per timestamp (`GROUP BY t`) vs a single scalar row.
     pub group_by_time: bool,
+    /// Reassociated vector float sums for exact scan paths
+    /// (`OPTION (FAST_SUM = 1)`; defaults from
+    /// [`EngineConfig::fast_sum`]).
+    pub fast_sum: bool,
     /// Total `?` placeholders in the statement (constraint + window).
     pub num_params: usize,
     /// Where the answer comes from (full scan vs sample layer; deferred
@@ -565,6 +573,11 @@ impl<'a> Planner<'a> {
         };
         let noise_aware =
             stmt.option("NOISE_AWARE").and_then(|v| v.as_int()).map(|v| v != 0).unwrap_or(false);
+        let fast_sum = stmt
+            .option("FAST_SUM")
+            .and_then(|v| v.as_int())
+            .map(|v| v != 0)
+            .unwrap_or(self.config.fast_sum);
 
         let (range, source) = match (start, end) {
             (TimeEndpoint::Lit(s), TimeEndpoint::Lit(e)) => {
@@ -600,6 +613,7 @@ impl<'a> Planner<'a> {
             horizon,
             confidence,
             noise_aware,
+            fast_sum,
             num_params: stmt.num_params(),
             source,
         })
@@ -615,6 +629,11 @@ impl<'a> Planner<'a> {
         let predicate = self.predicate_slot(&split.dims)?;
         // SELECT is exact unless a rate is requested.
         let rate = sample_rate_option(stmt.option("SAMPLE_RATE"), 1.0)?;
+        let fast_sum = stmt
+            .option("FAST_SUM")
+            .and_then(|v| v.as_int())
+            .map(|v| v != 0)
+            .unwrap_or(self.config.fast_sum);
         let num_params = stmt.num_params();
         let make = |range, source| SelectPlan {
             agg: stmt.agg,
@@ -624,6 +643,7 @@ impl<'a> Planner<'a> {
             range,
             rate,
             group_by_time: stmt.group_by_time,
+            fast_sum,
             num_params,
             source,
         };

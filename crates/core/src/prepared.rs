@@ -26,7 +26,7 @@ use flashp_query::{bind_expr, substitute_params, Literal, Statement};
 use flashp_sampling::{estimate_agg_with, estimate_components_with, EstimateComponents, Sample};
 use flashp_storage::parallel::parallel_map_with;
 use flashp_storage::{
-    AggFunc, CompiledPredicate, MaskScratch, ScanOptions, TimeSeriesTable, Timestamp,
+    AggFunc, CompiledPredicate, MaskScratch, ScanOptions, SumMode, TimeSeriesTable, Timestamp,
 };
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -108,6 +108,7 @@ impl ExecCtx<'_> {
         agg: AggFunc,
         start: Timestamp,
         end: Timestamp,
+        sum: SumMode,
     ) -> Result<Vec<SeriesPoint>, EngineError> {
         let expected_points = (end - start + 1) as usize;
         let rows = flashp_storage::aggregate_range(
@@ -117,7 +118,7 @@ impl ExecCtx<'_> {
             agg,
             start,
             end,
-            ScanOptions { threads: self.config.threads },
+            ScanOptions { threads: self.config.threads, sum },
         )?;
         if rows.len() != expected_points {
             return Err(EngineError::SamplesUnavailable(format!(
@@ -212,7 +213,10 @@ impl ExecCtx<'_> {
         Ok(total)
     }
 
-    /// Per-timestamp series for a plan's scan source.
+    /// Per-timestamp series for a plan's scan source. `sum` only affects
+    /// the exact full-scan path; sampled estimation keeps its own
+    /// accumulation order.
+    #[allow(clippy::too_many_arguments)]
     fn estimate_series_for(
         &self,
         source: &ScanSource,
@@ -221,9 +225,10 @@ impl ExecCtx<'_> {
         agg: AggFunc,
         start: Timestamp,
         end: Timestamp,
+        sum: SumMode,
     ) -> Result<Vec<SeriesPoint>, EngineError> {
         match source {
-            ScanSource::FullScan { .. } => self.estimate_exact(measure, pred, agg, start, end),
+            ScanSource::FullScan { .. } => self.estimate_exact(measure, pred, agg, start, end, sum),
             ScanSource::SampleLayer { bucket, .. } => {
                 let layer = self.layer(source)?;
                 self.estimate_from_layer(
@@ -280,8 +285,9 @@ impl ExecCtx<'_> {
 
         // Phase 1: estimate the training series (Eq. 4).
         let agg_start = Instant::now();
+        let sum = if plan.fast_sum { SumMode::Fast } else { SumMode::Exact };
         let estimates =
-            self.estimate_series_for(source, plan.measure, &pred, plan.agg, t_start, t_end)?;
+            self.estimate_series_for(source, plan.measure, &pred, plan.agg, t_start, t_end, sum)?;
         let aggregation = agg_start.elapsed();
 
         // Phase 2: fit + forecast.
@@ -348,6 +354,7 @@ impl ExecCtx<'_> {
         let Some((lo, hi)) = plan.static_range()? else {
             return Ok(SelectResult { rows: Vec::new(), approximate: false });
         };
+        let sum = if plan.fast_sum { SumMode::Fast } else { SumMode::Exact };
         match plan.source.planned()? {
             ScanSource::FullScan { .. } => {
                 if plan.group_by_time {
@@ -358,7 +365,7 @@ impl ExecCtx<'_> {
                         plan.agg,
                         lo,
                         hi,
-                        ScanOptions { threads: self.config.threads },
+                        ScanOptions { threads: self.config.threads, sum },
                     )?;
                     let rows = rows.into_iter().map(|(t, v)| (t, v, None)).collect();
                     return Ok(SelectResult { rows, approximate: false });
@@ -371,7 +378,7 @@ impl ExecCtx<'_> {
                     &pred,
                     lo,
                     hi,
-                    ScanOptions { threads: self.config.threads },
+                    ScanOptions { threads: self.config.threads, sum },
                 )?;
                 Ok(SelectResult {
                     rows: vec![(lo, total.finalize(plan.agg), None)],

@@ -181,7 +181,9 @@ fn decompose(pred: &CompiledPredicate) -> Result<Vec<(usize, Vec<&CompiledPredic
 
 fn collect_dims(pred: &CompiledPredicate, out: &mut Vec<usize>) {
     match pred {
-        CompiledPredicate::Cmp { dim, .. } | CompiledPredicate::InSet { dim, .. } => out.push(*dim),
+        CompiledPredicate::Cmp { dim, .. }
+        | CompiledPredicate::CmpF64 { dim, .. }
+        | CompiledPredicate::InSet { dim, .. } => out.push(*dim),
         CompiledPredicate::And(children) | CompiledPredicate::Or(children) => {
             for c in children {
                 collect_dims(c, out);
@@ -206,6 +208,12 @@ fn eval_scalar(pred: &CompiledPredicate, dim: usize, value: i64) -> bool {
                 flashp_storage::CmpOp::Gt => value > *rhs,
                 flashp_storage::CmpOp::Ge => value >= *rhs,
             }
+        }
+        // Float64 marginal keys are the value's IEEE bits (`get_i64` on a
+        // Float64 column); recover the f64 before comparing.
+        CompiledPredicate::CmpF64 { dim: d, op, value: rhs } => {
+            debug_assert_eq!(*d, dim);
+            op.apply_f64(f64::from_bits(value as u64), *rhs)
         }
         CompiledPredicate::InSet { values, .. } => values.binary_search(&value).is_ok(),
         CompiledPredicate::And(children) => children.iter().all(|c| eval_scalar(c, dim, value)),

@@ -10,6 +10,9 @@ pub const TIME_COLUMN: &str = "t";
 #[derive(Debug, Clone, PartialEq)]
 pub enum Literal {
     Int(i64),
+    /// A float literal (`3.5`, `1e-3`). Only valid against `Float64`
+    /// dimension columns; the binder rejects it elsewhere.
+    Float(f64),
     Str(String),
     /// A `?` placeholder, numbered left-to-right from 0 at parse time.
     /// Substituted with a concrete literal before binding (prepared
@@ -21,6 +24,9 @@ impl fmt::Display for Literal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Literal::Int(v) => write!(f, "{v}"),
+            // `{:?}` keeps the decimal point so the printed literal
+            // re-parses as a float, not an int.
+            Literal::Float(v) => write!(f, "{v:?}"),
             Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
             // Parameters number left-to-right, so the printed `?` re-parses
             // to the same index.

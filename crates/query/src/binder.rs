@@ -9,6 +9,7 @@ use std::fmt;
 fn literal_to_value(lit: &Literal) -> Result<Value, ParseError> {
     match lit {
         Literal::Int(v) => Ok(Value::Int(*v)),
+        Literal::Float(v) => Ok(Value::Float(*v)),
         Literal::Str(s) => Ok(Value::Str(s.clone())),
         Literal::Param(i) => Err(ParseError::new(
             format!("unbound parameter ?{i}: substitute parameters before binding"),
@@ -299,8 +300,8 @@ pub fn split_select_constraint(stmt: &SelectStmt) -> Result<SplitSelect, ParseEr
                 Ok(TimeEndpoint::Lit(t + offset))
             }
             Literal::Param(i) => Ok(TimeEndpoint::Param { index: *i, offset }),
-            Literal::Str(_) => {
-                Err(ParseError::new("time literals must be integers".to_string(), 0))
+            Literal::Str(_) | Literal::Float(_) => {
+                Err(ParseError::new("time literals must be YYYYMMDD integers".to_string(), 0))
             }
         }
     };
@@ -510,6 +511,19 @@ mod tests {
         let range = w.resolve_range(&[Literal::Int(20200301)]).unwrap().unwrap();
         assert_eq!(range.0.to_yyyymmdd(), 20200301);
         assert!(range.1 > range.0);
+    }
+
+    #[test]
+    fn float_literals_bind_to_float_values() {
+        let s = select("SELECT SUM(m) FROM T WHERE score < 0.5 AND t = 20200101");
+        let b = bind_select_constraint(&s).unwrap();
+        assert_eq!(
+            b.predicate,
+            Predicate::Cmp { column: "score".into(), op: CmpOp::Lt, value: Value::Float(0.5) }
+        );
+        // Floats make no sense as YYYYMMDD timestamps.
+        let s = select("SELECT SUM(m) FROM T WHERE t >= 0.5");
+        assert!(bind_select_constraint(&s).unwrap_err().message.contains("YYYYMMDD"));
     }
 
     #[test]

@@ -324,6 +324,7 @@ impl Parser {
     fn literal(&mut self) -> Result<Literal, ParseError> {
         match self.advance().kind {
             TokenKind::Int(v) => Ok(Literal::Int(v)),
+            TokenKind::Float(v) => Ok(Literal::Float(v)),
             TokenKind::Str(s) => Ok(Literal::Str(s)),
             TokenKind::Question => {
                 let index = self.params;
@@ -419,6 +420,31 @@ mod tests {
         assert!(matches!(&parts[1], Expr::Between { .. }));
         assert!(matches!(&parts[2], Expr::Not(_)));
         assert!(matches!(&parts[3], Expr::Not(inner) if matches!(**inner, Expr::In { .. })));
+    }
+
+    #[test]
+    fn parses_float_literals_and_round_trips() {
+        let stmt = parse("SELECT SUM(m) FROM T WHERE score < 0.5 AND rate >= 1e-3").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let Expr::And(parts) = &s.constraint else { panic!("expected AND") };
+        assert_eq!(
+            parts[0],
+            Expr::Cmp { column: "score".into(), op: CmpOp::Lt, value: Literal::Float(0.5) }
+        );
+        assert_eq!(
+            parts[1],
+            Expr::Cmp { column: "rate".into(), op: CmpOp::Ge, value: Literal::Float(0.001) }
+        );
+        // The printed float keeps its decimal point, so it re-parses as a
+        // float (an integral 3.0 must not collapse to the int 3).
+        let stmt = parse("SELECT SUM(m) FROM T WHERE score = 3.0").unwrap();
+        let reparsed = parse(&stmt.to_string()).unwrap();
+        assert_eq!(stmt, reparsed);
+        let Statement::Select(s) = reparsed else { panic!() };
+        assert!(matches!(
+            &s.constraint,
+            Expr::Cmp { value: Literal::Float(v), .. } if *v == 3.0
+        ));
     }
 
     #[test]

@@ -143,6 +143,37 @@ pub fn aggregate_filtered_with(
         DimensionColumn::UInt16(v) => narrow!(v, u16, fused_u16),
         DimensionColumn::Dict(v) => narrow!(v, u32, fused_u32),
         DimensionColumn::Int64(v) => kernels.fused_i64(v, values, op, value),
+        // Integer literal against a float dimension: promote (exact up to
+        // 2^53) and run the float fused kernel.
+        DimensionColumn::Float64(v) => kernels.fused_f64(v, values, op, value as f64),
+    }
+}
+
+/// [`aggregate_filtered_with`] for a float literal against a float64
+/// dimension — the fused path behind compiled `CmpF64` constraints.
+pub fn aggregate_filtered_f64_with(
+    kernels: &KernelSet,
+    partition: &Partition,
+    measure_idx: usize,
+    dim: usize,
+    op: CmpOp,
+    value: f64,
+) -> AggState {
+    let values = partition.measure(measure_idx);
+    match partition.dim(dim) {
+        DimensionColumn::Float64(v) => kernels.fused_f64(v, values, op, value),
+        // CmpF64 only compiles against float columns; widen defensively so
+        // a hand-built plan still aggregates by value.
+        col => {
+            let mut state = AggState::default();
+            for i in 0..col.len() {
+                if op.apply_f64(col.get_f64(i), value) {
+                    state.sum += values[i];
+                    state.count += 1;
+                }
+            }
+            state
+        }
     }
 }
 

@@ -67,6 +67,8 @@ pub enum DimensionColumn {
     UInt8(Vec<u8>),
     UInt16(Vec<u16>),
     Int64(Vec<i64>),
+    /// IEEE-754 doubles. Compared with exact IEEE semantics (NaN-exact).
+    Float64(Vec<f64>),
     /// Dictionary codes; the dictionary itself lives on the table.
     Dict(Vec<u32>),
 }
@@ -78,6 +80,7 @@ impl DimensionColumn {
             DataType::UInt8 => DimensionColumn::UInt8(Vec::new()),
             DataType::UInt16 => DimensionColumn::UInt16(Vec::new()),
             DataType::Int64 => DimensionColumn::Int64(Vec::new()),
+            DataType::Float64 => DimensionColumn::Float64(Vec::new()),
             DataType::Categorical => DimensionColumn::Dict(Vec::new()),
         }
     }
@@ -88,6 +91,7 @@ impl DimensionColumn {
             DataType::UInt8 => DimensionColumn::UInt8(Vec::with_capacity(capacity)),
             DataType::UInt16 => DimensionColumn::UInt16(Vec::with_capacity(capacity)),
             DataType::Int64 => DimensionColumn::Int64(Vec::with_capacity(capacity)),
+            DataType::Float64 => DimensionColumn::Float64(Vec::with_capacity(capacity)),
             DataType::Categorical => DimensionColumn::Dict(Vec::with_capacity(capacity)),
         }
     }
@@ -98,6 +102,7 @@ impl DimensionColumn {
             DimensionColumn::UInt8(_) => DataType::UInt8,
             DimensionColumn::UInt16(_) => DataType::UInt16,
             DimensionColumn::Int64(_) => DataType::Int64,
+            DimensionColumn::Float64(_) => DataType::Float64,
             DimensionColumn::Dict(_) => DataType::Categorical,
         }
     }
@@ -108,6 +113,7 @@ impl DimensionColumn {
             DimensionColumn::UInt8(v) => v.len(),
             DimensionColumn::UInt16(v) => v.len(),
             DimensionColumn::Int64(v) => v.len(),
+            DimensionColumn::Float64(v) => v.len(),
             DimensionColumn::Dict(v) => v.len(),
         }
     }
@@ -136,6 +142,9 @@ impl DimensionColumn {
                 col.push(v);
             }
             DimensionColumn::Int64(col) => col.push(v),
+            // Integer literals ingest into float columns exactly for
+            // |v| < 2^53 (the common case for ids, counts, dates).
+            DimensionColumn::Float64(col) => col.push(v as f64),
             DimensionColumn::Dict(_) => {
                 return Err(StorageError::TypeMismatch {
                     column: name.to_string(),
@@ -162,14 +171,51 @@ impl DimensionColumn {
         }
     }
 
+    /// Append an IEEE double. Only float columns accept floats — a
+    /// float into an integer column is a type error (no silent rounding).
+    pub fn push_float(&mut self, name: &str, v: f64) -> Result<(), StorageError> {
+        match self {
+            DimensionColumn::Float64(col) => {
+                col.push(v);
+                Ok(())
+            }
+            other => Err(StorageError::TypeMismatch {
+                column: name.to_string(),
+                expected: "float64",
+                got: format!("{} into {}", v, other.dtype()),
+            }),
+        }
+    }
+
     /// Numeric value of row `i` widened to `i64` (codes for dict columns).
+    ///
+    /// For [`DimensionColumn::Float64`] this returns the raw IEEE bit
+    /// pattern (`f64::to_bits as i64`) — an opaque, exactly
+    /// round-trippable row key, **not** a value-ordered integer. Bulk
+    /// re-materialization ([`crate::partition::PartitionBuilder`]) inverts
+    /// it; value semantics (comparisons, stats) go through
+    /// [`DimensionColumn::get_f64`].
     #[inline]
     pub fn get_i64(&self, i: usize) -> i64 {
         match self {
             DimensionColumn::UInt8(v) => i64::from(v[i]),
             DimensionColumn::UInt16(v) => i64::from(v[i]),
             DimensionColumn::Int64(v) => v[i],
+            DimensionColumn::Float64(v) => v[i].to_bits() as i64,
             DimensionColumn::Dict(v) => i64::from(v[i]),
+        }
+    }
+
+    /// Value of row `i` as an IEEE double: native for float columns,
+    /// widened for integer and dictionary-code columns.
+    #[inline]
+    pub fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            DimensionColumn::UInt8(v) => f64::from(v[i]),
+            DimensionColumn::UInt16(v) => f64::from(v[i]),
+            DimensionColumn::Int64(v) => v[i] as f64,
+            DimensionColumn::Float64(v) => v[i],
+            DimensionColumn::Dict(v) => f64::from(v[i]),
         }
     }
 
@@ -183,6 +229,7 @@ impl DimensionColumn {
                     None => Value::Int(i64::from(code)),
                 }
             }
+            DimensionColumn::Float64(v) => Value::Float(v[i]),
             _ => Value::Int(self.get_i64(i)),
         }
     }
@@ -193,6 +240,7 @@ impl DimensionColumn {
             DimensionColumn::UInt8(v) => v.len(),
             DimensionColumn::UInt16(v) => v.len() * 2,
             DimensionColumn::Int64(v) => v.len() * 8,
+            DimensionColumn::Float64(v) => v.len() * 8,
             DimensionColumn::Dict(v) => v.len() * 4,
         }
     }
@@ -204,6 +252,7 @@ impl DimensionColumn {
             (DimensionColumn::UInt8(a), DimensionColumn::UInt8(b)) => a.extend_from_slice(b),
             (DimensionColumn::UInt16(a), DimensionColumn::UInt16(b)) => a.extend_from_slice(b),
             (DimensionColumn::Int64(a), DimensionColumn::Int64(b)) => a.extend_from_slice(b),
+            (DimensionColumn::Float64(a), DimensionColumn::Float64(b)) => a.extend_from_slice(b),
             (DimensionColumn::Dict(a), DimensionColumn::Dict(b)) => a.extend_from_slice(b),
             (a, b) => {
                 return Err(StorageError::TypeMismatch {
@@ -228,6 +277,9 @@ impl DimensionColumn {
             }
             DimensionColumn::Int64(v) => {
                 DimensionColumn::Int64(indices.iter().map(|&i| v[i]).collect())
+            }
+            DimensionColumn::Float64(v) => {
+                DimensionColumn::Float64(indices.iter().map(|&i| v[i]).collect())
             }
             DimensionColumn::Dict(v) => {
                 DimensionColumn::Dict(indices.iter().map(|&i| v[i]).collect())
@@ -284,6 +336,26 @@ mod tests {
         assert_eq!(g.get_i64(0), 40);
         assert_eq!(g.get_i64(1), 20);
         assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn float_column_round_trips_bits_through_get_i64() {
+        let mut c = DimensionColumn::new(DataType::Float64);
+        for v in [1.5, -0.0, f64::NAN, f64::INFINITY, 5e-324] {
+            c.push_float("score", v).unwrap();
+        }
+        c.push_int("score", 42).unwrap(); // ints promote exactly
+        assert_eq!(c.get_f64(0), 1.5);
+        assert_eq!(c.get_f64(5), 42.0);
+        assert!(c.get_f64(2).is_nan());
+        // get_i64 is the opaque bit pattern and inverts exactly, NaN
+        // payload and -0.0 sign included.
+        for i in 0..c.len() {
+            assert_eq!(f64::from_bits(c.get_i64(i) as u64).to_bits(), c.get_f64(i).to_bits());
+        }
+        // Floats never silently round into integer columns.
+        let mut n = DimensionColumn::new(DataType::Int64);
+        assert!(n.push_float("x", 1.5).is_err());
     }
 
     #[test]

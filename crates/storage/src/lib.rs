@@ -16,8 +16,9 @@
 //! * a predicate language ([`predicate`]) matching the constraint class `C`
 //!   of the paper (any logical expression over dimension values),
 //! * vectorized predicate evaluation into [`bitmask::Bitmask`]es, running
-//!   on runtime-dispatched kernel tiers ([`simd`]: AVX2 → SSE2 → portable
-//!   word-at-a-time, selected once at startup),
+//!   on runtime-dispatched kernel tiers ([`simd`]: AVX-512 → AVX2 → SSE2 →
+//!   portable word-at-a-time, selected once at startup), including SIMD
+//!   IN-list membership and `f64` comparison kernels,
 //! * SUM / COUNT / AVG aggregation ([`aggregate`]) per partition and over
 //!   time ranges, with parallel partition scans ([`scan`]),
 //! * zone-map statistics ([`stats`]) for partition pruning,
@@ -39,13 +40,15 @@ pub mod table;
 pub mod timestamp;
 pub mod types;
 
-pub use aggregate::{aggregate_filtered, aggregate_filtered_with, AggFunc, AggState};
+pub use aggregate::{
+    aggregate_filtered, aggregate_filtered_f64_with, aggregate_filtered_with, AggFunc, AggState,
+};
 pub use bitmask::Bitmask;
 pub use column::{Dictionary, DimensionColumn};
 pub use error::StorageError;
 pub use partition::{Partition, PartitionBuilder};
 pub use predicate::{CmpOp, CompiledPredicate, InLookup, MaskScratch, Predicate};
-pub use scan::{aggregate_range, aggregate_total, selectivity_range, ScanOptions};
+pub use scan::{aggregate_range, aggregate_total, selectivity_range, ScanOptions, SumMode};
 pub use schema::{DimensionDef, MeasureDef, Schema, SchemaRef};
 pub use simd::{KernelSet, KernelTier};
 pub use table::TimeSeriesTable;

@@ -159,6 +159,7 @@ impl Partition {
             let name = &schema.dimensions()[i].name;
             match value {
                 Value::Int(v) => col.push_int(name, *v)?,
+                Value::Float(v) => col.push_float(name, *v)?,
                 Value::Str(s) => {
                     let dict = dicts[i].get_or_insert_with(Dictionary::new);
                     let code = dict.intern(s);
@@ -229,6 +230,10 @@ impl PartitionBuilder {
                     })?;
                     col.push_code("<raw>", code)?;
                 }
+                // Raw float rows travel as the `get_i64` bit pattern, so
+                // sampler re-materialization round-trips bit-exactly (NaN
+                // payloads and -0.0 included).
+                DimensionColumn::Float64(_) => col.push_float("<raw>", f64::from_bits(v as u64))?,
                 _ => col.push_int("<raw>", v)?,
             }
         }
@@ -297,6 +302,28 @@ mod tests {
         let p = b.finish();
         assert_eq!(p.num_rows(), 2);
         assert_eq!(p.zone_maps().range(0), Some((30, 60)));
+    }
+
+    #[test]
+    fn float_dimensions_round_trip_the_raw_row_path() {
+        let s = Schema::from_names(&[("score", DataType::Float64)], &["m"]).unwrap();
+        let mut direct = Partition::empty(&s);
+        let mut dicts: Vec<Option<Dictionary>> = vec![None];
+        for v in [1.5, -0.0, f64::NAN, f64::NEG_INFINITY] {
+            direct.push_row(&s, &mut dicts, &[Value::Float(v)], &[1.0]).unwrap();
+        }
+        // The sampler absorb path: rows travel as get_i64 bit patterns
+        // through PartitionBuilder::push_raw_row and come back identical.
+        let mut b = PartitionBuilder::with_capacity(&s, 4);
+        for i in 0..direct.num_rows() {
+            b.push_raw_row(&[direct.dim(0).get_i64(i)], &[1.0]).unwrap();
+        }
+        let rebuilt = b.finish();
+        for i in 0..direct.num_rows() {
+            assert_eq!(rebuilt.dim(0).get_f64(i).to_bits(), direct.dim(0).get_f64(i).to_bits());
+        }
+        // Zone maps see float values, not bit patterns.
+        assert_eq!(rebuilt.zone_maps().float_range(0), Some((f64::NEG_INFINITY, 1.5, true)));
     }
 
     #[test]

@@ -53,6 +53,21 @@ impl CmpOp {
             CmpOp::Ge => lhs >= rhs,
         }
     }
+
+    /// IEEE-754 comparison, exactly Rust's `PartialOrd` on `f64`: every
+    /// operator except `!=` is false when either side is NaN, `!=` is then
+    /// true; `-0.0 == 0.0`.
+    #[inline]
+    pub fn apply_f64(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
 }
 
 /// An unbound constraint over dimension names, e.g.
@@ -165,6 +180,31 @@ impl Predicate {
                         expected: "string literal",
                         got: v.to_string(),
                     }),
+                    (DataType::Categorical, Value::Float(v)) => Err(StorageError::TypeMismatch {
+                        column: column.clone(),
+                        expected: "string literal",
+                        got: v.to_string(),
+                    }),
+                    // Float columns never dictionary-fold: the literal stays
+                    // an IEEE double (integers promote exactly up to 2^53)
+                    // and comparison follows strict IEEE semantics — a NaN
+                    // literal matches nothing except through `<>`.
+                    (DataType::Float64, Value::Float(v)) => {
+                        Ok(CompiledPredicate::CmpF64 { dim, op: *op, value: *v })
+                    }
+                    (DataType::Float64, Value::Int(v)) => {
+                        Ok(CompiledPredicate::CmpF64 { dim, op: *op, value: *v as f64 })
+                    }
+                    (DataType::Float64, Value::Str(s)) => Err(StorageError::TypeMismatch {
+                        column: column.clone(),
+                        expected: "numeric literal",
+                        got: format!("'{s}'"),
+                    }),
+                    (_, Value::Float(v)) => Err(StorageError::TypeMismatch {
+                        column: column.clone(),
+                        expected: "integer literal",
+                        got: v.to_string(),
+                    }),
                     (_, Value::Int(v)) => Ok(CompiledPredicate::Cmp { dim, op: *op, value: *v }),
                     (_, Value::Str(s)) => Err(StorageError::TypeMismatch {
                         column: column.clone(),
@@ -176,6 +216,13 @@ impl Predicate {
             Predicate::In { column, values } => {
                 let dim = schema.dimension_index(column)?;
                 let dtype = schema.dimensions()[dim].dtype;
+                // Float equality is almost never what an IN-list means;
+                // require explicit comparisons on float64 dimensions.
+                if dtype == DataType::Float64 {
+                    return Err(StorageError::UnsupportedOperation(format!(
+                        "IN on float64 column {column}"
+                    )));
+                }
                 let mut resolved = Vec::with_capacity(values.len());
                 for v in values {
                     match (dtype, v) {
@@ -192,7 +239,21 @@ impl Predicate {
                                 got: v.to_string(),
                             })
                         }
+                        (DataType::Categorical, Value::Float(v)) => {
+                            return Err(StorageError::TypeMismatch {
+                                column: column.clone(),
+                                expected: "string literal",
+                                got: v.to_string(),
+                            })
+                        }
                         (_, Value::Int(v)) => resolved.push(*v),
+                        (_, Value::Float(v)) => {
+                            return Err(StorageError::TypeMismatch {
+                                column: column.clone(),
+                                expected: "integer literal",
+                                got: v.to_string(),
+                            })
+                        }
                         (_, Value::Str(s)) => {
                             return Err(StorageError::TypeMismatch {
                                 column: column.clone(),
@@ -278,7 +339,7 @@ impl InLookup {
 
     /// Build from a sorted, deduplicated value list; `None` when the span
     /// is too wide (evaluation then falls back to binary search).
-    fn build(values: &[i64]) -> Option<InLookup> {
+    pub(crate) fn build(values: &[i64]) -> Option<InLookup> {
         let (&lo, &hi) = (values.first()?, values.last()?);
         let span = hi.checked_sub(lo)?.checked_add(1)?;
         if span > Self::MAX_SPAN {
@@ -300,6 +361,30 @@ impl InLookup {
         let d = x.wrapping_sub(self.offset) as u64;
         d < self.bits.len() as u64 * 64 && (self.bits[(d / 64) as usize] >> (d % 64)) & 1 == 1
     }
+
+    /// First value of the covered span (the bit index of value `v` is
+    /// `v - offset`). For the crate's SIMD membership kernels.
+    #[inline]
+    pub(crate) fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// The packed membership bitset, 64 values per word.
+    #[inline]
+    pub(crate) fn bits(&self) -> &[u64] {
+        &self.bits
+    }
+}
+
+/// Word-at-a-time IN-list membership through the lookup bitset: the
+/// **portable** tier of the membership kernel dispatch in [`crate::simd`];
+/// the AVX2/AVX-512 tiers replace it with table-shuffle / gather probes.
+pub(crate) fn in_lookup_kernel<T: Copy + Into<i64>>(
+    data: &[T],
+    lookup: &InLookup,
+    mask: &mut Bitmask,
+) {
+    fill_mask(data, mask, |x| lookup.contains(x.into()))
 }
 
 /// Pool of reusable [`Bitmask`] buffers threaded through predicate
@@ -355,8 +440,25 @@ impl MaskScratch {
 /// indices, strings resolved to dictionary codes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompiledPredicate {
-    Cmp { dim: usize, op: CmpOp, value: i64 },
-    InSet { dim: usize, values: Vec<i64>, lookup: Option<InLookup> },
+    Cmp {
+        dim: usize,
+        op: CmpOp,
+        value: i64,
+    },
+    /// Comparison against a float64 dimension. Kept separate from `Cmp` so
+    /// integer predicates never pay a float-path branch: the literal stays
+    /// an IEEE double and evaluation follows strict IEEE semantics (NaN
+    /// rows match only `<>`; `-0.0 = 0.0`).
+    CmpF64 {
+        dim: usize,
+        op: CmpOp,
+        value: f64,
+    },
+    InSet {
+        dim: usize,
+        values: Vec<i64>,
+        lookup: Option<InLookup>,
+    },
     And(Vec<CompiledPredicate>),
     Or(Vec<CompiledPredicate>),
     Not(Box<CompiledPredicate>),
@@ -404,9 +506,14 @@ impl CompiledPredicate {
                 eval_cmp_into(kernels, partition.dim(*dim), *op, *value, &mut mask);
                 mask
             }
+            CompiledPredicate::CmpF64 { dim, op, value } => {
+                let mut mask = scratch.acquire_for_overwrite(n);
+                eval_cmp_f64_into(kernels, partition.dim(*dim), *op, *value, &mut mask);
+                mask
+            }
             CompiledPredicate::InSet { dim, values, lookup } => {
                 let mut mask = scratch.acquire_for_overwrite(n);
-                eval_in_into(partition.dim(*dim), values, lookup.as_ref(), &mut mask);
+                eval_in_into(kernels, partition.dim(*dim), values, lookup.as_ref(), &mut mask);
                 mask
             }
             CompiledPredicate::And(children) => {
@@ -443,12 +550,23 @@ impl CompiledPredicate {
     pub fn matches_row(&self, partition: &Partition, row: usize) -> bool {
         match self {
             CompiledPredicate::Const(b) => *b,
-            CompiledPredicate::Cmp { dim, op, value } => {
-                op.apply(partition.dim(*dim).get_i64(row), *value)
+            CompiledPredicate::Cmp { dim, op, value } => match partition.dim(*dim) {
+                // Direct-constructed integer predicates against a float
+                // column compare by value, not by the bit pattern that
+                // `get_i64` would hand back.
+                DimensionColumn::Float64(v) => op.apply_f64(v[row], *value as f64),
+                col => op.apply(col.get_i64(row), *value),
+            },
+            CompiledPredicate::CmpF64 { dim, op, value } => {
+                op.apply_f64(partition.dim(*dim).get_f64(row), *value)
             }
-            CompiledPredicate::InSet { dim, values, .. } => {
-                values.binary_search(&partition.dim(*dim).get_i64(row)).is_ok()
-            }
+            CompiledPredicate::InSet { dim, values, .. } => match partition.dim(*dim) {
+                DimensionColumn::Float64(v) => {
+                    let x = v[row];
+                    values.iter().any(|&w| x == w as f64)
+                }
+                col => values.binary_search(&col.get_i64(row)).is_ok(),
+            },
             CompiledPredicate::And(children) => {
                 children.iter().all(|c| c.matches_row(partition, row))
             }
@@ -474,6 +592,28 @@ impl CompiledPredicate {
                     CmpOp::Gt => hi > *value,
                     CmpOp::Ge => hi >= *value,
                 },
+            },
+            CompiledPredicate::CmpF64 { dim, op, value } => match zone_maps.float_range(*dim) {
+                None => true,
+                Some((lo, hi, has_nan)) => {
+                    if value.is_nan() {
+                        // `x <> NaN` is true for every x; all other
+                        // operators are false for every x.
+                        *op == CmpOp::Ne
+                    } else {
+                        match op {
+                            // `lo > hi` encodes an all-NaN column: Eq/range
+                            // checks fail it naturally, Ne stays alive via
+                            // `has_nan`.
+                            CmpOp::Eq => (lo..=hi).contains(value),
+                            CmpOp::Ne => has_nan || !(lo == hi && lo == *value),
+                            CmpOp::Lt => lo < *value,
+                            CmpOp::Le => lo <= *value,
+                            CmpOp::Gt => hi > *value,
+                            CmpOp::Ge => hi >= *value,
+                        }
+                    }
+                }
             },
             CompiledPredicate::InSet { dim, values, .. } => match zone_maps.range(*dim) {
                 None => true,
@@ -573,33 +713,61 @@ fn eval_cmp_into(
         DimensionColumn::UInt16(v) => narrow!(v, u16, cmp_u16),
         DimensionColumn::Dict(v) => narrow!(v, u32, cmp_u32),
         DimensionColumn::Int64(v) => kernels.cmp_i64(v, op, value, mask),
+        // Direct-constructed integer predicate against a float column:
+        // promote the literal (exact up to 2^53) and compare by value.
+        DimensionColumn::Float64(v) => kernels.cmp_f64(v, op, value as f64, mask),
     }
 }
 
-/// Evaluate `col IN (values)` into `mask`, via the compile-time lookup
-/// bitset when available, else binary search — both packed word-at-a-time.
+/// Evaluate `col op value` for a float literal. Compilation only ever
+/// pairs `CmpF64` with float64 columns; for a hand-built predicate against
+/// an integer column the rows widen to f64 (exact — every representable
+/// narrow/dict value and every i64 up to 2^53 round-trips).
+fn eval_cmp_f64_into(
+    kernels: &KernelSet,
+    col: &DimensionColumn,
+    op: CmpOp,
+    value: f64,
+    mask: &mut Bitmask,
+) {
+    match col {
+        DimensionColumn::Float64(v) => kernels.cmp_f64(v, op, value, mask),
+        DimensionColumn::UInt8(v) => fill_mask(v, mask, |x| op.apply_f64(f64::from(x), value)),
+        DimensionColumn::UInt16(v) => fill_mask(v, mask, |x| op.apply_f64(f64::from(x), value)),
+        DimensionColumn::Dict(v) => fill_mask(v, mask, |x| op.apply_f64(f64::from(x), value)),
+        DimensionColumn::Int64(v) => fill_mask(v, mask, |x| op.apply_f64(x as f64, value)),
+    }
+}
+
+/// Evaluate `col IN (values)` into `mask`. With a compile-time lookup
+/// bitset the membership probe dispatches through the kernel tier (table
+/// shuffles / gathers on the SIMD tiers); the wide-span fallback is a
+/// packed binary-search scan.
 fn eval_in_into(
+    kernels: &KernelSet,
     col: &DimensionColumn,
     values: &[i64],
     lookup: Option<&InLookup>,
     mask: &mut Bitmask,
 ) {
     macro_rules! scan {
-        ($v:expr) => {{
+        ($v:expr, $in_kernel:ident) => {{
             match lookup {
-                Some(l) => fill_mask($v, mask, |x| l.contains(i64::from(x))),
+                Some(l) => kernels.$in_kernel($v, l, mask),
                 None => fill_mask($v, mask, |x| values.binary_search(&i64::from(x)).is_ok()),
             }
         }};
     }
     match col {
-        DimensionColumn::UInt8(v) => scan!(v),
-        DimensionColumn::UInt16(v) => scan!(v),
-        DimensionColumn::Dict(v) => scan!(v),
-        DimensionColumn::Int64(v) => match lookup {
-            Some(l) => fill_mask(v, mask, |x| l.contains(x)),
-            None => fill_mask(v, mask, |x| values.binary_search(&x).is_ok()),
-        },
+        DimensionColumn::UInt8(v) => scan!(v, in_u8),
+        DimensionColumn::UInt16(v) => scan!(v, in_u16),
+        DimensionColumn::Dict(v) => scan!(v, in_u32),
+        DimensionColumn::Int64(v) => scan!(v, in_i64),
+        // Compilation rejects IN on float64; a hand-built set compares by
+        // promoted value so the bit-pattern accessor never leaks through.
+        DimensionColumn::Float64(v) => {
+            fill_mask(v, mask, |x| values.iter().any(|&w| x == w as f64))
+        }
     }
 }
 

@@ -29,10 +29,18 @@ pub fn evaluate_scalar(pred: &CompiledPredicate, partition: &Partition) -> Bitma
         CompiledPredicate::Cmp { dim, op, value } => {
             eval_cmp_scalar(partition.dim(*dim), *op, *value)
         }
-        CompiledPredicate::InSet { dim, values, .. } => {
-            let col = partition.dim(*dim);
-            Bitmask::from_fn(n, |i| values.binary_search(&col.get_i64(i)).is_ok())
-        }
+        CompiledPredicate::CmpF64 { dim, op, value } => match partition.dim(*dim) {
+            DimensionColumn::Float64(v) => eval_cmp_f64_scalar(v, *op, *value),
+            col => Bitmask::from_fn(n, |i| op.apply_f64(col.get_f64(i), *value)),
+        },
+        CompiledPredicate::InSet { dim, values, .. } => match partition.dim(*dim) {
+            // By promoted value, mirroring the vectorized path — never the
+            // `get_i64` bit pattern.
+            DimensionColumn::Float64(v) => {
+                Bitmask::from_fn(n, |i| values.iter().any(|&w| v[i] == w as f64))
+            }
+            col => Bitmask::from_fn(n, |i| values.binary_search(&col.get_i64(i)).is_ok()),
+        },
         CompiledPredicate::And(children) => {
             let mut mask = evaluate_scalar(&children[0], partition);
             for c in &children[1..] {
@@ -100,6 +108,9 @@ fn eval_cmp_scalar(col: &DimensionColumn, op: CmpOp, value: i64) -> Bitmask {
             }
             mask
         }
+        // Integer literal against a float column: promote and compare by
+        // value, as the vectorized path does.
+        DimensionColumn::Float64(v) => eval_cmp_f64_scalar(v, op, value as f64),
     }
 }
 

@@ -13,16 +13,42 @@ use crate::predicate::{CompiledPredicate, MaskScratch};
 use crate::table::{eval_partition_with, TimeSeriesTable};
 use crate::timestamp::Timestamp;
 
+/// Float-sum accumulation contract for masked aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SumMode {
+    /// Sum matching rows in ascending row order — bit-identical to the
+    /// scalar reference on every kernel tier. The default.
+    #[default]
+    Exact,
+    /// Opt-in reassociated horizontal sums (masked vector accumulators on
+    /// AVX2/AVX-512). Counts stay exact and results are deterministic for
+    /// a given tier, but sums may differ from [`SumMode::Exact`] by
+    /// accumulated rounding — and therefore across tiers.
+    Fast,
+}
+
+impl SumMode {
+    /// EXPLAIN spelling (`sum=exact` / `sum=fast`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SumMode::Exact => "exact",
+            SumMode::Fast => "fast",
+        }
+    }
+}
+
 /// Options controlling a range scan.
 #[derive(Debug, Clone, Copy)]
 pub struct ScanOptions {
     /// Worker threads; defaults to [`default_threads`].
     pub threads: usize,
+    /// Float-sum accumulation mode; defaults to [`SumMode::Exact`].
+    pub sum: SumMode,
 }
 
 impl Default for ScanOptions {
     fn default() -> Self {
-        ScanOptions { threads: default_threads() }
+        ScanOptions { threads: default_threads(), sum: SumMode::default() }
     }
 }
 
@@ -65,7 +91,7 @@ fn scan_states<'a>(
         table.partitions_in(start, end).collect();
     let states: Vec<AggState> =
         parallel_map_with(&parts, options.threads, MaskScratch::new, |scratch, (_, p)| {
-            eval_partition_with(p, measure_idx, pred, scratch)
+            eval_partition_with(p, measure_idx, pred, scratch, options.sum)
         });
     Ok((parts, states))
 }
@@ -146,7 +172,7 @@ mod tests {
             AggFunc::Sum,
             start,
             start + 9,
-            ScanOptions { threads: 3 },
+            ScanOptions { threads: 3, ..Default::default() },
         )
         .unwrap();
         assert_eq!(out.len(), 10);
@@ -210,11 +236,18 @@ mod tests {
             AggFunc::Sum,
             start,
             start + 9,
-            ScanOptions { threads: 3 },
+            ScanOptions { threads: 3, ..Default::default() },
         )
         .unwrap();
-        let total = aggregate_total(&table, 0, &pred, start, start + 9, ScanOptions { threads: 3 })
-            .unwrap();
+        let total = aggregate_total(
+            &table,
+            0,
+            &pred,
+            start,
+            start + 9,
+            ScanOptions { threads: 3, ..Default::default() },
+        )
+        .unwrap();
         assert_eq!(total.finalize(AggFunc::Sum), per_day.iter().map(|(_, v)| v).sum::<f64>());
         assert_eq!(total.count, 50);
         assert!(

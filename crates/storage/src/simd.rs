@@ -1,10 +1,18 @@
 //! Runtime-dispatched SIMD scan kernels.
 //!
-//! Three kernel tiers implement the same two scan primitives — the
-//! compare-into-mask kernel behind [`crate::CompiledPredicate`] leaves and
-//! the fused compare+aggregate kernel behind single-comparison exact
-//! scans:
+//! Four kernel tiers implement the same scan primitives — the
+//! compare-into-mask kernel behind [`crate::CompiledPredicate`] leaves,
+//! the IN-list membership kernel behind compiled `IN` predicates, the
+//! fused compare+aggregate kernel behind single-comparison exact scans,
+//! and a reassociated masked-sum kernel behind the opt-in `fast_sum`
+//! aggregation mode:
 //!
+//! * **`avx512`** — 512-bit compares writing mask registers straight
+//!   into `Bitmask` words (64 `u8` rows are one load and one
+//!   `vpcmpub` away from a finished mask word — no movemask), plus
+//!   `vpshufb` byte-table IN-list membership and a gather probe into the
+//!   [`crate::InLookup`] bitset for wider types. Requires
+//!   `avx512f` + `avx512bw`.
 //! * **`avx2`** — explicit 256-bit compare + movemask intrinsics: 64 rows
 //!   of a `u8` column are two loads, two compares and two movemasks away
 //!   from a finished mask word.
@@ -26,28 +34,37 @@
 //! * `FLASHP_FORCE_SCALAR_KERNELS=1` — disable SIMD dispatch entirely and
 //!   run the portable word-at-a-time tier (CI runs the whole test suite
 //!   this way so the portable tier stays covered on every PR);
-//! * `FLASHP_KERNEL_TIER=avx2|sse2|portable` — pin a specific tier.
-//!   Unrecognized names and tiers the hardware cannot run fall back to
-//!   `portable` (fail safe: a typo'd pin never silently runs SIMD).
+//! * `FLASHP_KERNEL_TIER=avx512|avx2|sse2|portable` — pin a specific
+//!   tier. An unrecognized name, or a tier this CPU cannot run, is
+//!   **never** silent: selection prints one deterministic warning to
+//!   stderr and falls back to the best supported tier (pinned by
+//!   `resolve_tier`'s unit tests).
 //!
-//! Every tier is **bit-for-bit identical** to the scalar reference
-//! oracle in [`crate::reference`]: masks match bit by bit, and aggregate
-//! sums are produced by the exact same ascending-row addition order (the
-//! SIMD tiers vectorize the comparisons and the mask-word assembly, never
-//! the float accumulation — reassociating the sum would change low-order
-//! bits). The `kernel_equivalence` property suite proves this for every
+//! Every mask and every **exact** aggregate is **bit-for-bit identical**
+//! to the scalar reference oracle in [`crate::reference`]: masks match
+//! bit by bit, and fused sums are produced by the exact same
+//! ascending-row addition order (the SIMD tiers vectorize the
+//! comparisons and the mask-word assembly, never the float accumulation
+//! — reassociating the sum would change low-order bits). The one
+//! deliberate exception is [`KernelSet::agg_masked_fast`], the opt-in
+//! `fast_sum` kernel: it keeps the exact integer count but reassociates
+//! the float sum into vector-lane partial accumulators, deterministic
+//! per tier but only ulp-close to the exact order. The
+//! `kernel_equivalence` property suite proves all of this for every
 //! supported tier on every column type, including `f64` comparisons with
 //! NaN and non-finite literals.
 
 use crate::aggregate::AggState;
 use crate::bitmask::Bitmask;
-use crate::predicate::CmpOp;
+use crate::predicate::{CmpOp, InLookup};
 use std::fmt;
 use std::sync::OnceLock;
 
 /// One of the scan-kernel implementation tiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelTier {
+    /// 512-bit compares into mask registers (`avx512f` + `avx512bw`).
+    Avx512,
     /// 256-bit AVX2 compare + movemask kernels.
     Avx2,
     /// 128-bit SSE2 kernels (`i64` compares fall back to portable).
@@ -58,15 +75,30 @@ pub enum KernelTier {
 
 impl KernelTier {
     /// All tiers, best first — the dispatch preference order.
-    pub const ALL: [KernelTier; 3] = [KernelTier::Avx2, KernelTier::Sse2, KernelTier::Portable];
+    pub const ALL: [KernelTier; 4] =
+        [KernelTier::Avx512, KernelTier::Avx2, KernelTier::Sse2, KernelTier::Portable];
 
     /// Lower-case tier name as reported by `EXPLAIN` (`simd=<name>`) and
     /// the bench reports.
     pub fn name(self) -> &'static str {
         match self {
+            KernelTier::Avx512 => "avx512",
             KernelTier::Avx2 => "avx2",
             KernelTier::Sse2 => "sse2",
             KernelTier::Portable => "portable",
+        }
+    }
+
+    /// Parse a tier name as accepted by `FLASHP_KERNEL_TIER`: the
+    /// [`KernelTier::name`] spellings, plus `scalar` as an alias for the
+    /// portable tier.
+    pub fn parse(s: &str) -> Option<KernelTier> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "avx512" => Some(KernelTier::Avx512),
+            "avx2" => Some(KernelTier::Avx2),
+            "sse2" => Some(KernelTier::Sse2),
+            "portable" | "scalar" => Some(KernelTier::Portable),
+            _ => None,
         }
     }
 }
@@ -92,10 +124,16 @@ pub struct KernelSet {
     cmp_u32: fn(&[u32], CmpOp, u32, &mut Bitmask),
     cmp_i64: fn(&[i64], CmpOp, i64, &mut Bitmask),
     cmp_f64: fn(&[f64], CmpOp, f64, &mut Bitmask),
+    in_u8: fn(&[u8], &InLookup, &mut Bitmask),
+    in_u16: fn(&[u16], &InLookup, &mut Bitmask),
+    in_u32: fn(&[u32], &InLookup, &mut Bitmask),
+    in_i64: fn(&[i64], &InLookup, &mut Bitmask),
     fused_u8: fn(&[u8], &[f64], CmpOp, u8) -> AggState,
     fused_u16: fn(&[u16], &[f64], CmpOp, u16) -> AggState,
     fused_u32: fn(&[u32], &[f64], CmpOp, u32) -> AggState,
     fused_i64: fn(&[i64], &[f64], CmpOp, i64) -> AggState,
+    fused_f64: fn(&[f64], &[f64], CmpOp, f64) -> AggState,
+    agg_masked_fast: fn(&[f64], &Bitmask) -> AggState,
 }
 
 impl fmt::Debug for KernelSet {
@@ -142,6 +180,31 @@ impl KernelSet {
         (self.cmp_f64)(data, op, rhs, mask)
     }
 
+    /// `col IN (…)` membership into `mask` for a `u8` column through the
+    /// compile-time [`InLookup`] bitset.
+    #[inline]
+    pub fn in_u8(&self, data: &[u8], lookup: &InLookup, mask: &mut Bitmask) {
+        (self.in_u8)(data, lookup, mask)
+    }
+
+    /// IN-list membership for a `u16` column.
+    #[inline]
+    pub fn in_u16(&self, data: &[u16], lookup: &InLookup, mask: &mut Bitmask) {
+        (self.in_u16)(data, lookup, mask)
+    }
+
+    /// IN-list membership for a dictionary-code (`u32`) column.
+    #[inline]
+    pub fn in_u32(&self, data: &[u32], lookup: &InLookup, mask: &mut Bitmask) {
+        (self.in_u32)(data, lookup, mask)
+    }
+
+    /// IN-list membership for an `i64` column.
+    #[inline]
+    pub fn in_i64(&self, data: &[i64], lookup: &InLookup, mask: &mut Bitmask) {
+        (self.in_i64)(data, lookup, mask)
+    }
+
     /// Fused `filter(dim op rhs) → sum/count(values)` for a `u8` column;
     /// no mask is materialized.
     #[inline]
@@ -167,6 +230,25 @@ impl KernelSet {
         (self.fused_i64)(dims, values, op, rhs)
     }
 
+    /// Fused filter+aggregate for an `f64` dimension column, with the
+    /// same IEEE NaN semantics as [`KernelSet::cmp_f64`] and the exact
+    /// ascending-row accumulation order of the other fused slots.
+    #[inline]
+    pub fn fused_f64(&self, dims: &[f64], values: &[f64], op: CmpOp, rhs: f64) -> AggState {
+        (self.fused_f64)(dims, values, op, rhs)
+    }
+
+    /// Masked sum/count with **reassociated** float accumulation — the
+    /// opt-in `fast_sum` kernel. The count is exact (a popcount); the sum
+    /// uses vector-lane partial accumulators, so it is deterministic for
+    /// a given tier but only ulp-close to the exact ascending-row order
+    /// of [`crate::aggregate::aggregate_masked`]. The portable and SSE2
+    /// tiers alias the exact walk (bit-identical there).
+    #[inline]
+    pub fn agg_masked_fast(&self, values: &[f64], mask: &Bitmask) -> AggState {
+        (self.agg_masked_fast)(values, mask)
+    }
+
     /// The portable word-at-a-time tier (always available).
     pub fn portable() -> KernelSet {
         KernelSet {
@@ -176,10 +258,16 @@ impl KernelSet {
             cmp_u32: portable::cmp_u32,
             cmp_i64: portable::cmp_i64,
             cmp_f64: portable::cmp_f64,
+            in_u8: portable::in_u8,
+            in_u16: portable::in_u16,
+            in_u32: portable::in_u32,
+            in_i64: portable::in_i64,
             fused_u8: portable::fused_u8,
             fused_u16: portable::fused_u16,
             fused_u32: portable::fused_u32,
             fused_i64: portable::fused_i64,
+            fused_f64: portable::fused_f64,
+            agg_masked_fast: portable::agg_masked_fast,
         }
     }
 
@@ -198,10 +286,20 @@ impl KernelSet {
                     // SSE4.2); the portable kernel serves that slot.
                     cmp_i64: portable::cmp_i64,
                     cmp_f64: x86::cmp_f64_sse2,
+                    // No `pshufb` before SSSE3: membership stays on the
+                    // portable bitset probe.
+                    in_u8: portable::in_u8,
+                    in_u16: portable::in_u16,
+                    in_u32: portable::in_u32,
+                    in_i64: portable::in_i64,
                     fused_u8: x86::fused_u8_sse2,
                     fused_u16: x86::fused_u16_sse2,
                     fused_u32: x86::fused_u32_sse2,
                     fused_i64: portable::fused_i64,
+                    fused_f64: x86::fused_f64_sse2,
+                    // 2-lane reassociation buys nothing over the exact
+                    // walk; keep fast == exact on this tier.
+                    agg_masked_fast: portable::agg_masked_fast,
                 })
             }
             #[cfg(target_arch = "x86_64")]
@@ -212,11 +310,44 @@ impl KernelSet {
                 cmp_u32: x86::cmp_u32_avx2,
                 cmp_i64: x86::cmp_i64_avx2,
                 cmp_f64: x86::cmp_f64_avx2,
+                in_u8: x86::in_u8_avx2,
+                // Wider types would need AVX2 gathers whose bounds
+                // handling costs more than the bitset probe saves; the
+                // portable kernel keeps those slots.
+                in_u16: portable::in_u16,
+                in_u32: portable::in_u32,
+                in_i64: portable::in_i64,
                 fused_u8: x86::fused_u8_avx2,
                 fused_u16: x86::fused_u16_avx2,
                 fused_u32: x86::fused_u32_avx2,
                 fused_i64: x86::fused_i64_avx2,
+                fused_f64: x86::fused_f64_avx2,
+                agg_masked_fast: x86::agg_masked_fast_avx2,
             }),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx512
+                if std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512bw") =>
+            {
+                Some(KernelSet {
+                    tier: KernelTier::Avx512,
+                    cmp_u8: x86::cmp_u8_avx512,
+                    cmp_u16: x86::cmp_u16_avx512,
+                    cmp_u32: x86::cmp_u32_avx512,
+                    cmp_i64: x86::cmp_i64_avx512,
+                    cmp_f64: x86::cmp_f64_avx512,
+                    in_u8: x86::in_u8_avx512,
+                    in_u16: x86::in_u16_avx512,
+                    in_u32: x86::in_u32_avx512,
+                    in_i64: x86::in_i64_avx512,
+                    fused_u8: x86::fused_u8_avx512,
+                    fused_u16: x86::fused_u16_avx512,
+                    fused_u32: x86::fused_u32_avx512,
+                    fused_i64: x86::fused_i64_avx512,
+                    fused_f64: x86::fused_f64_avx512,
+                    agg_masked_fast: x86::agg_masked_fast_avx512,
+                })
+            }
             #[allow(unreachable_patterns)]
             _ => None,
         }
@@ -248,27 +379,55 @@ pub fn active_tier() -> KernelTier {
     active().tier()
 }
 
+/// Pure tier-selection logic behind [`active`], separated from the
+/// environment and the warning sink so both are unit-testable: given the
+/// two override variables (as `Option`s) and the tiers this machine
+/// supports (best first), return the tier to run and, for a pin that
+/// could not be honored, the deterministic warning to print.
+///
+/// A pin that names an unknown tier, or a real tier this CPU cannot run,
+/// must never degrade *silently* — the caller prints the warning once —
+/// and must still leave the process on the best tier it has, so a typo'd
+/// pin costs a line on stderr, not an unexplained benchmark cliff.
+fn resolve_tier(
+    force_scalar: Option<&str>,
+    pin: Option<&str>,
+    supported: &[KernelTier],
+) -> (KernelTier, Option<String>) {
+    let best = supported.first().copied().unwrap_or(KernelTier::Portable);
+    if force_scalar.map(|v| !v.is_empty() && v != "0").unwrap_or(false) {
+        return (KernelTier::Portable, None);
+    }
+    let Some(name) = pin else {
+        return (best, None);
+    };
+    match KernelTier::parse(name) {
+        None => (
+            best,
+            Some(format!(
+                "FLASHP_KERNEL_TIER: unrecognized tier {name:?} \
+                 (valid: avx512|avx2|sse2|portable); using {best}"
+            )),
+        ),
+        Some(t) if supported.contains(&t) => (t, None),
+        Some(t) => (
+            best,
+            Some(format!(
+                "FLASHP_KERNEL_TIER: tier '{t}' is not supported by this CPU; using {best}"
+            )),
+        ),
+    }
+}
+
 fn select() -> KernelSet {
-    if std::env::var("FLASHP_FORCE_SCALAR_KERNELS")
-        .map(|v| !v.is_empty() && v != "0")
-        .unwrap_or(false)
-    {
-        return KernelSet::portable();
+    let supported: Vec<KernelTier> = KernelSet::supported().iter().map(KernelSet::tier).collect();
+    let force = std::env::var("FLASHP_FORCE_SCALAR_KERNELS").ok();
+    let pin = std::env::var("FLASHP_KERNEL_TIER").ok();
+    let (tier, warning) = resolve_tier(force.as_deref(), pin.as_deref(), &supported);
+    if let Some(w) = warning {
+        eprintln!("flashp: {w}");
     }
-    if let Ok(name) = std::env::var("FLASHP_KERNEL_TIER") {
-        // A pin must never silently dispatch a *faster* tier than asked
-        // for: unrecognized names and tiers this hardware cannot run
-        // both fail safe to portable, so a typo'd pin is at worst slow,
-        // never a benchmark or bug repro secretly running SIMD.
-        let requested = match name.trim().to_ascii_lowercase().as_str() {
-            "avx2" => Some(KernelTier::Avx2),
-            "sse2" => Some(KernelTier::Sse2),
-            "portable" | "scalar" => Some(KernelTier::Portable),
-            _ => None,
-        };
-        return requested.and_then(KernelSet::for_tier).unwrap_or_else(KernelSet::portable);
-    }
-    KernelSet::supported().into_iter().next().unwrap_or_else(KernelSet::portable)
+    KernelSet::for_tier(tier).unwrap_or_else(KernelSet::portable)
 }
 
 /// Scalar comparison used for the `len % 64` tail rows of every SIMD
@@ -342,6 +501,50 @@ fn fused_tail<T: Copy + PartialOrd>(
     }
 }
 
+/// Exact masked aggregation — ascending-row addition order, bit-identical
+/// to [`crate::aggregate::aggregate_masked`]. Serves as the `fast` slot
+/// on tiers where reassociation buys nothing (portable, SSE2) and as the
+/// oracle the fast kernels' tests compare against.
+fn agg_masked_exact(values: &[f64], mask: &Bitmask) -> AggState {
+    debug_assert_eq!(values.len(), mask.len());
+    let mut sum = 0.0f64;
+    let mut count = 0u64;
+    mask.for_each_one(|i| {
+        sum += values[i];
+        count += 1;
+    });
+    AggState { sum, count }
+}
+
+/// Write the final partial mask word of an IN-membership kernel with the
+/// scalar bitset probe; bits at or beyond `len` stay zero.
+fn in_tail<T: Copy + Into<i64>>(data: &[T], lookup: &InLookup, words: &mut [u64]) {
+    let full = data.len() / 64;
+    let rem = &data[full * 64..];
+    if rem.is_empty() {
+        return;
+    }
+    let mut w = 0u64;
+    for (bit, &x) in rem.iter().enumerate() {
+        w |= (lookup.contains(x.into()) as u64) << bit;
+    }
+    words[full] = w;
+}
+
+/// 256-bit byte-indexed membership table for the `vpshufb` u8 IN kernels:
+/// bit `b & 7` of byte `b >> 3` says whether byte value `b` is in the
+/// lookup. Built per kernel call (256 probes — noise next to a scan).
+#[cfg(target_arch = "x86_64")]
+fn byte_bit_table(lookup: &InLookup) -> [u8; 32] {
+    let mut table = [0u8; 32];
+    for b in 0..=255u8 {
+        if lookup.contains(i64::from(b)) {
+            table[(b >> 3) as usize] |= 1 << (b & 7);
+        }
+    }
+    table
+}
+
 /// The portable tier: monomorphic entry points over the word-at-a-time
 /// kernels in [`crate::predicate`] and [`crate::aggregate`].
 mod portable {
@@ -365,6 +568,27 @@ mod portable {
 
     pub(super) fn cmp_f64(data: &[f64], op: CmpOp, rhs: f64, mask: &mut Bitmask) {
         crate::predicate::cmp_kernel(data, op, rhs, mask)
+    }
+
+    pub(super) fn fused_f64(dims: &[f64], values: &[f64], op: CmpOp, rhs: f64) -> AggState {
+        crate::aggregate::fused_kernel(dims, values, op, rhs)
+    }
+
+    macro_rules! portable_in {
+        ($name:ident, $ty:ty) => {
+            pub(super) fn $name(data: &[$ty], lookup: &InLookup, mask: &mut Bitmask) {
+                crate::predicate::in_lookup_kernel(data, lookup, mask)
+            }
+        };
+    }
+
+    portable_in!(in_u8, u8);
+    portable_in!(in_u16, u16);
+    portable_in!(in_u32, u32);
+    portable_in!(in_i64, i64);
+
+    pub(super) fn agg_masked_fast(values: &[f64], mask: &Bitmask) -> AggState {
+        agg_masked_exact(values, mask)
     }
 }
 
@@ -952,6 +1176,679 @@ mod x86 {
         }
         scalar_tail(data, op, rhs, words);
     }
+
+    // ---------------------------------------------------------------
+    // f64 fused filter+aggregate (AVX2 / SSE2): vectorized IEEE compare
+    // builds the 64-row word, the shared `accumulate_word` keeps the
+    // float sum in exact ascending-row order.
+    // ---------------------------------------------------------------
+
+    /// # Safety
+    /// Requires AVX2; `values.len() >= dims.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn fused_f64_words_avx2<const IMM: i32>(
+        dims: &[f64],
+        values: &[f64],
+        rhs: f64,
+    ) -> AggState {
+        let rhs_v = _mm256_set1_pd(rhs);
+        let mut sum = 0.0f64;
+        let mut count = 0u64;
+        let mut base = 0usize;
+        for chunk in dims.chunks_exact(64) {
+            let p = chunk.as_ptr();
+            let mut w = 0u64;
+            let mut k = 0usize;
+            while k < 16 {
+                let m = _mm256_cmp_pd::<IMM>(_mm256_loadu_pd(p.add(k * 4)), rhs_v);
+                w |= (_mm256_movemask_pd(m) as u64) << (k * 4);
+                k += 1;
+            }
+            accumulate_word(w, &values[base..base + 64], &mut sum, &mut count);
+            base += 64;
+        }
+        AggState { sum, count }
+    }
+
+    pub(super) fn fused_f64_avx2(dims: &[f64], values: &[f64], op: CmpOp, rhs: f64) -> AggState {
+        debug_assert_eq!(dims.len(), values.len());
+        // SAFETY: AVX2 was detected at dispatch time; predicates as in
+        // `cmp_f64_avx2`.
+        let mut state = unsafe {
+            match op {
+                CmpOp::Eq => fused_f64_words_avx2::<_CMP_EQ_OQ>(dims, values, rhs),
+                CmpOp::Ne => fused_f64_words_avx2::<_CMP_NEQ_UQ>(dims, values, rhs),
+                CmpOp::Lt => fused_f64_words_avx2::<_CMP_LT_OQ>(dims, values, rhs),
+                CmpOp::Le => fused_f64_words_avx2::<_CMP_LE_OQ>(dims, values, rhs),
+                CmpOp::Gt => fused_f64_words_avx2::<_CMP_GT_OQ>(dims, values, rhs),
+                CmpOp::Ge => fused_f64_words_avx2::<_CMP_GE_OQ>(dims, values, rhs),
+            }
+        };
+        fused_tail(dims, values, op, rhs, &mut state);
+        state
+    }
+
+    /// # Safety
+    /// Requires SSE2; `values.len() >= dims.len()`.
+    #[target_feature(enable = "sse2")]
+    unsafe fn fused_f64_words_sse2<const OP: u8>(
+        dims: &[f64],
+        values: &[f64],
+        rhs: f64,
+    ) -> AggState {
+        let rhs_v = _mm_set1_pd(rhs);
+        let mut sum = 0.0f64;
+        let mut count = 0u64;
+        let mut base = 0usize;
+        for chunk in dims.chunks_exact(64) {
+            let p = chunk.as_ptr();
+            let mut w = 0u64;
+            let mut k = 0usize;
+            while k < 32 {
+                let v = _mm_loadu_pd(p.add(k * 2));
+                let m = match OP {
+                    F_EQ => _mm_cmpeq_pd(v, rhs_v),
+                    F_NE => _mm_cmpneq_pd(v, rhs_v),
+                    F_LT => _mm_cmplt_pd(v, rhs_v),
+                    F_LE => _mm_cmple_pd(v, rhs_v),
+                    F_GT => _mm_cmpgt_pd(v, rhs_v),
+                    _ => _mm_cmpge_pd(v, rhs_v),
+                };
+                w |= (_mm_movemask_pd(m) as u64) << (k * 2);
+                k += 1;
+            }
+            accumulate_word(w, &values[base..base + 64], &mut sum, &mut count);
+            base += 64;
+        }
+        AggState { sum, count }
+    }
+
+    pub(super) fn fused_f64_sse2(dims: &[f64], values: &[f64], op: CmpOp, rhs: f64) -> AggState {
+        debug_assert_eq!(dims.len(), values.len());
+        // SAFETY: SSE2 baseline; predicates as in `cmp_f64_sse2`.
+        let mut state = unsafe {
+            match op {
+                CmpOp::Eq => fused_f64_words_sse2::<F_EQ>(dims, values, rhs),
+                CmpOp::Ne => fused_f64_words_sse2::<F_NE>(dims, values, rhs),
+                CmpOp::Lt => fused_f64_words_sse2::<F_LT>(dims, values, rhs),
+                CmpOp::Le => fused_f64_words_sse2::<F_LE>(dims, values, rhs),
+                CmpOp::Gt => fused_f64_words_sse2::<F_GT>(dims, values, rhs),
+                CmpOp::Ge => fused_f64_words_sse2::<F_GE>(dims, values, rhs),
+            }
+        };
+        fused_tail(dims, values, op, rhs, &mut state);
+        state
+    }
+
+    // ---------------------------------------------------------------
+    // u8 IN-list membership (AVX2): `vpshufb` over a 256-entry bit table.
+    // Each byte `b` fetches table byte `b >> 3` (two 16-byte halves,
+    // blended on bit 4 of the index) and tests bit `b & 7`.
+    // ---------------------------------------------------------------
+
+    /// # Safety
+    /// Requires AVX2; `words` must cover `data.len() / 64` full words.
+    #[target_feature(enable = "avx2")]
+    unsafe fn in_words_u8_avx2(data: &[u8], table: &[u8; 32], words: &mut [u64]) {
+        let lo = _mm256_broadcastsi128_si256(_mm_loadu_si128(table.as_ptr().cast()));
+        let hi = _mm256_broadcastsi128_si256(_mm_loadu_si128(table.as_ptr().add(16).cast()));
+        #[rustfmt::skip]
+        let bit_of = _mm256_setr_epi8(
+            1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128,
+            1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128,
+        );
+        for (wi, chunk) in data.chunks_exact(64).enumerate() {
+            let p = chunk.as_ptr();
+            let mut out = 0u64;
+            let mut k = 0usize;
+            while k < 2 {
+                let v = _mm256_loadu_si256(p.add(k * 32).cast());
+                // idx5 = (b >> 3) & 0x1F — which of the 32 table bytes.
+                let idx5 = _mm256_and_si256(_mm256_srli_epi16::<3>(v), _mm256_set1_epi8(0x1F));
+                let idx4 = _mm256_and_si256(idx5, _mm256_set1_epi8(0x0F));
+                let t_lo = _mm256_shuffle_epi8(lo, idx4);
+                let t_hi = _mm256_shuffle_epi8(hi, idx4);
+                // Bit 4 of idx5 → the byte sign bit `blendv` keys on.
+                let sel = _mm256_slli_epi16::<3>(idx5);
+                let t = _mm256_blendv_epi8(t_lo, t_hi, sel);
+                let bitsel = _mm256_shuffle_epi8(bit_of, _mm256_and_si256(v, _mm256_set1_epi8(7)));
+                let m = _mm256_cmpeq_epi8(_mm256_and_si256(t, bitsel), bitsel);
+                out |= (_mm256_movemask_epi8(m) as u32 as u64) << (k * 32);
+                k += 1;
+            }
+            words[wi] = out;
+        }
+    }
+
+    pub(super) fn in_u8_avx2(data: &[u8], lookup: &InLookup, mask: &mut Bitmask) {
+        debug_assert_eq!(data.len(), mask.len());
+        let table = byte_bit_table(lookup);
+        let words = mask.words_mut();
+        // SAFETY: AVX2 was detected at dispatch time.
+        unsafe { in_words_u8_avx2(data, &table, words) };
+        in_tail(data, lookup, words);
+    }
+
+    // ---------------------------------------------------------------
+    // fast_sum masked aggregation (AVX2): a nibble of the mask word
+    // selects a 4-lane keep mask, matching rows accumulate into 4 lane
+    // partials — deterministic, but reassociated vs the exact order.
+    // ---------------------------------------------------------------
+
+    /// # Safety
+    /// Requires AVX2; `words` must cover `values.len()` rows with the
+    /// mask-tail invariant (bits at/beyond the end zero).
+    #[target_feature(enable = "avx2")]
+    unsafe fn agg_masked_words_avx2(values: &[f64], words: &[u64]) -> AggState {
+        let mut nib_keep = [_mm256_setzero_si256(); 16];
+        let mut n = 0usize;
+        while n < 16 {
+            nib_keep[n] = _mm256_setr_epi64x(
+                if n & 1 != 0 { -1 } else { 0 },
+                if n & 2 != 0 { -1 } else { 0 },
+                if n & 4 != 0 { -1 } else { 0 },
+                if n & 8 != 0 { -1 } else { 0 },
+            );
+            n += 1;
+        }
+        let mut acc = _mm256_setzero_pd();
+        let mut count = 0u64;
+        let full = values.len() / 64;
+        let mut wi = 0usize;
+        while wi < full {
+            let w = words[wi];
+            count += u64::from(w.count_ones());
+            if w != 0 {
+                let p = values.as_ptr().add(wi * 64);
+                let mut k = 0usize;
+                while k < 16 {
+                    let nib = ((w >> (k * 4)) & 0xF) as usize;
+                    if nib != 0 {
+                        let keep = _mm256_castsi256_pd(nib_keep[nib]);
+                        acc =
+                            _mm256_add_pd(acc, _mm256_and_pd(keep, _mm256_loadu_pd(p.add(k * 4))));
+                    }
+                    k += 1;
+                }
+            }
+            wi += 1;
+        }
+        // Fixed-order horizontal reduction: (l0+l2) + (l1+l3).
+        let pair = _mm_add_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd::<1>(acc));
+        let mut sum = _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+        if full < words.len() {
+            let mut w = words[full];
+            count += u64::from(w.count_ones());
+            let base = full * 64;
+            while w != 0 {
+                sum += values[base + w.trailing_zeros() as usize];
+                w &= w - 1;
+            }
+        }
+        AggState { sum, count }
+    }
+
+    pub(super) fn agg_masked_fast_avx2(values: &[f64], mask: &Bitmask) -> AggState {
+        debug_assert_eq!(values.len(), mask.len());
+        // SAFETY: AVX2 was detected at dispatch time.
+        unsafe { agg_masked_words_avx2(values, mask.words()) }
+    }
+
+    // ---------------------------------------------------------------
+    // AVX-512: compares write mask registers straight into `Bitmask`
+    // words — 64 u8 rows are one `vpcmpub` (no movemask, no sign bias:
+    // the EVEX compares exist in unsigned forms). The `F_*` operator
+    // indices of the SSE2 float section are reused as const parameters.
+    // ---------------------------------------------------------------
+
+    /// # Safety
+    /// `p` must be valid for reads of 64 `u8`s; requires AVX-512BW.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    #[inline]
+    unsafe fn word64_u8_avx512<const OP: u8>(p: *const u8, rhs: __m512i) -> u64 {
+        let v = _mm512_loadu_si512(p.cast());
+        match OP {
+            F_EQ => _mm512_cmpeq_epu8_mask(v, rhs),
+            F_NE => _mm512_cmpneq_epu8_mask(v, rhs),
+            F_LT => _mm512_cmplt_epu8_mask(v, rhs),
+            F_LE => _mm512_cmple_epu8_mask(v, rhs),
+            F_GT => _mm512_cmpgt_epu8_mask(v, rhs),
+            _ => _mm512_cmpge_epu8_mask(v, rhs),
+        }
+    }
+
+    /// # Safety
+    /// `p` must be valid for reads of 64 `u16`s; requires AVX-512BW.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    #[inline]
+    unsafe fn word64_u16_avx512<const OP: u8>(p: *const u16, rhs: __m512i) -> u64 {
+        let mut out = 0u64;
+        let mut k = 0usize;
+        while k < 2 {
+            let v = _mm512_loadu_si512(p.add(k * 32).cast());
+            let m: __mmask32 = match OP {
+                F_EQ => _mm512_cmpeq_epu16_mask(v, rhs),
+                F_NE => _mm512_cmpneq_epu16_mask(v, rhs),
+                F_LT => _mm512_cmplt_epu16_mask(v, rhs),
+                F_LE => _mm512_cmple_epu16_mask(v, rhs),
+                F_GT => _mm512_cmpgt_epu16_mask(v, rhs),
+                _ => _mm512_cmpge_epu16_mask(v, rhs),
+            };
+            out |= (m as u64) << (k * 32);
+            k += 1;
+        }
+        out
+    }
+
+    /// # Safety
+    /// `p` must be valid for reads of 64 `u32`s; requires AVX-512F.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    #[inline]
+    unsafe fn word64_u32_avx512<const OP: u8>(p: *const u32, rhs: __m512i) -> u64 {
+        let mut out = 0u64;
+        let mut k = 0usize;
+        while k < 4 {
+            let v = _mm512_loadu_si512(p.add(k * 16).cast());
+            let m: __mmask16 = match OP {
+                F_EQ => _mm512_cmpeq_epu32_mask(v, rhs),
+                F_NE => _mm512_cmpneq_epu32_mask(v, rhs),
+                F_LT => _mm512_cmplt_epu32_mask(v, rhs),
+                F_LE => _mm512_cmple_epu32_mask(v, rhs),
+                F_GT => _mm512_cmpgt_epu32_mask(v, rhs),
+                _ => _mm512_cmpge_epu32_mask(v, rhs),
+            };
+            out |= (m as u64) << (k * 16);
+            k += 1;
+        }
+        out
+    }
+
+    /// # Safety
+    /// `p` must be valid for reads of 64 `i64`s; requires AVX-512F.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    #[inline]
+    unsafe fn word64_i64_avx512<const OP: u8>(p: *const i64, rhs: __m512i) -> u64 {
+        let mut out = 0u64;
+        let mut k = 0usize;
+        while k < 8 {
+            let v = _mm512_loadu_si512(p.add(k * 8).cast());
+            let m: __mmask8 = match OP {
+                F_EQ => _mm512_cmpeq_epi64_mask(v, rhs),
+                F_NE => _mm512_cmpneq_epi64_mask(v, rhs),
+                F_LT => _mm512_cmplt_epi64_mask(v, rhs),
+                F_LE => _mm512_cmple_epi64_mask(v, rhs),
+                F_GT => _mm512_cmpgt_epi64_mask(v, rhs),
+                _ => _mm512_cmpge_epi64_mask(v, rhs),
+            };
+            out |= (m as u64) << (k * 8);
+            k += 1;
+        }
+        out
+    }
+
+    /// Generate the per-type AVX-512 `cmp` + `fused` kernel pair from its
+    /// `word64` builder and broadcast.
+    macro_rules! avx512_int_kernels {
+        ($ty:ty, $word64:ident, $cmp_words:ident, $fused_words:ident,
+         $cmp_pub:ident, $fused_pub:ident, $set1:ident) => {
+            /// # Safety
+            /// Requires AVX-512F/BW; `words` must cover `data.len() / 64`
+            /// full mask words.
+            #[target_feature(enable = "avx512f,avx512bw")]
+            unsafe fn $cmp_words<const OP: u8>(data: &[$ty], rhs: $ty, words: &mut [u64]) {
+                let rhs_v = $set1(rhs as _);
+                for (wi, chunk) in data.chunks_exact(64).enumerate() {
+                    words[wi] = $word64::<OP>(chunk.as_ptr(), rhs_v);
+                }
+            }
+
+            /// # Safety
+            /// Requires AVX-512F/BW; `values.len() >= dims.len()`.
+            #[target_feature(enable = "avx512f,avx512bw")]
+            unsafe fn $fused_words<const OP: u8>(
+                dims: &[$ty],
+                values: &[f64],
+                rhs: $ty,
+            ) -> AggState {
+                let rhs_v = $set1(rhs as _);
+                let mut sum = 0.0f64;
+                let mut count = 0u64;
+                let mut base = 0usize;
+                for chunk in dims.chunks_exact(64) {
+                    let word = $word64::<OP>(chunk.as_ptr(), rhs_v);
+                    accumulate_word(word, &values[base..base + 64], &mut sum, &mut count);
+                    base += 64;
+                }
+                AggState { sum, count }
+            }
+
+            pub(super) fn $cmp_pub(data: &[$ty], op: CmpOp, rhs: $ty, mask: &mut Bitmask) {
+                debug_assert_eq!(data.len(), mask.len());
+                let words = mask.words_mut();
+                // SAFETY: this function is only installed in a KernelSet
+                // after avx512f + avx512bw detection succeeded.
+                unsafe {
+                    match op {
+                        CmpOp::Eq => $cmp_words::<F_EQ>(data, rhs, words),
+                        CmpOp::Ne => $cmp_words::<F_NE>(data, rhs, words),
+                        CmpOp::Lt => $cmp_words::<F_LT>(data, rhs, words),
+                        CmpOp::Le => $cmp_words::<F_LE>(data, rhs, words),
+                        CmpOp::Gt => $cmp_words::<F_GT>(data, rhs, words),
+                        CmpOp::Ge => $cmp_words::<F_GE>(data, rhs, words),
+                    }
+                }
+                scalar_tail(data, op, rhs, words);
+            }
+
+            pub(super) fn $fused_pub(
+                dims: &[$ty],
+                values: &[f64],
+                op: CmpOp,
+                rhs: $ty,
+            ) -> AggState {
+                debug_assert_eq!(dims.len(), values.len());
+                // SAFETY: as above — AVX-512 was detected at dispatch time.
+                let mut state = unsafe {
+                    match op {
+                        CmpOp::Eq => $fused_words::<F_EQ>(dims, values, rhs),
+                        CmpOp::Ne => $fused_words::<F_NE>(dims, values, rhs),
+                        CmpOp::Lt => $fused_words::<F_LT>(dims, values, rhs),
+                        CmpOp::Le => $fused_words::<F_LE>(dims, values, rhs),
+                        CmpOp::Gt => $fused_words::<F_GT>(dims, values, rhs),
+                        CmpOp::Ge => $fused_words::<F_GE>(dims, values, rhs),
+                    }
+                };
+                fused_tail(dims, values, op, rhs, &mut state);
+                state
+            }
+        };
+    }
+
+    avx512_int_kernels!(
+        u8,
+        word64_u8_avx512,
+        cmp_words_u8_avx512,
+        fused_words_u8_avx512,
+        cmp_u8_avx512,
+        fused_u8_avx512,
+        _mm512_set1_epi8
+    );
+    avx512_int_kernels!(
+        u16,
+        word64_u16_avx512,
+        cmp_words_u16_avx512,
+        fused_words_u16_avx512,
+        cmp_u16_avx512,
+        fused_u16_avx512,
+        _mm512_set1_epi16
+    );
+    avx512_int_kernels!(
+        u32,
+        word64_u32_avx512,
+        cmp_words_u32_avx512,
+        fused_words_u32_avx512,
+        cmp_u32_avx512,
+        fused_u32_avx512,
+        _mm512_set1_epi32
+    );
+    avx512_int_kernels!(
+        i64,
+        word64_i64_avx512,
+        cmp_words_i64_avx512,
+        fused_words_i64_avx512,
+        cmp_i64_avx512,
+        fused_i64_avx512,
+        _mm512_set1_epi64
+    );
+
+    /// # Safety
+    /// `p` must be valid for reads of 64 `f64`s; requires AVX-512F.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    #[inline]
+    unsafe fn word64_f64_avx512<const IMM: i32>(p: *const f64, rhs: __m512d) -> u64 {
+        let mut out = 0u64;
+        let mut k = 0usize;
+        while k < 8 {
+            let m = _mm512_cmp_pd_mask::<IMM>(_mm512_loadu_pd(p.add(k * 8)), rhs);
+            out |= (m as u64) << (k * 8);
+            k += 1;
+        }
+        out
+    }
+
+    /// # Safety
+    /// Requires AVX-512F; `words` must cover `data.len() / 64` words.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn cmp_f64_words_avx512<const IMM: i32>(data: &[f64], rhs: f64, words: &mut [u64]) {
+        let rhs_v = _mm512_set1_pd(rhs);
+        for (wi, chunk) in data.chunks_exact(64).enumerate() {
+            words[wi] = word64_f64_avx512::<IMM>(chunk.as_ptr(), rhs_v);
+        }
+    }
+
+    pub(super) fn cmp_f64_avx512(data: &[f64], op: CmpOp, rhs: f64, mask: &mut Bitmask) {
+        debug_assert_eq!(data.len(), mask.len());
+        let words = mask.words_mut();
+        // SAFETY: AVX-512 was detected at dispatch time; IEEE predicates
+        // per operator as in `cmp_f64_avx2`.
+        unsafe {
+            match op {
+                CmpOp::Eq => cmp_f64_words_avx512::<_CMP_EQ_OQ>(data, rhs, words),
+                CmpOp::Ne => cmp_f64_words_avx512::<_CMP_NEQ_UQ>(data, rhs, words),
+                CmpOp::Lt => cmp_f64_words_avx512::<_CMP_LT_OQ>(data, rhs, words),
+                CmpOp::Le => cmp_f64_words_avx512::<_CMP_LE_OQ>(data, rhs, words),
+                CmpOp::Gt => cmp_f64_words_avx512::<_CMP_GT_OQ>(data, rhs, words),
+                CmpOp::Ge => cmp_f64_words_avx512::<_CMP_GE_OQ>(data, rhs, words),
+            }
+        }
+        scalar_tail(data, op, rhs, words);
+    }
+
+    /// # Safety
+    /// Requires AVX-512F; `values.len() >= dims.len()`.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn fused_f64_words_avx512<const IMM: i32>(
+        dims: &[f64],
+        values: &[f64],
+        rhs: f64,
+    ) -> AggState {
+        let rhs_v = _mm512_set1_pd(rhs);
+        let mut sum = 0.0f64;
+        let mut count = 0u64;
+        let mut base = 0usize;
+        for chunk in dims.chunks_exact(64) {
+            let word = word64_f64_avx512::<IMM>(chunk.as_ptr(), rhs_v);
+            accumulate_word(word, &values[base..base + 64], &mut sum, &mut count);
+            base += 64;
+        }
+        AggState { sum, count }
+    }
+
+    pub(super) fn fused_f64_avx512(dims: &[f64], values: &[f64], op: CmpOp, rhs: f64) -> AggState {
+        debug_assert_eq!(dims.len(), values.len());
+        // SAFETY: AVX-512 was detected at dispatch time.
+        let mut state = unsafe {
+            match op {
+                CmpOp::Eq => fused_f64_words_avx512::<_CMP_EQ_OQ>(dims, values, rhs),
+                CmpOp::Ne => fused_f64_words_avx512::<_CMP_NEQ_UQ>(dims, values, rhs),
+                CmpOp::Lt => fused_f64_words_avx512::<_CMP_LT_OQ>(dims, values, rhs),
+                CmpOp::Le => fused_f64_words_avx512::<_CMP_LE_OQ>(dims, values, rhs),
+                CmpOp::Gt => fused_f64_words_avx512::<_CMP_GT_OQ>(dims, values, rhs),
+                CmpOp::Ge => fused_f64_words_avx512::<_CMP_GE_OQ>(dims, values, rhs),
+            }
+        };
+        fused_tail(dims, values, op, rhs, &mut state);
+        state
+    }
+
+    // ---------------------------------------------------------------
+    // IN-list membership (AVX-512): `vpshufb` bit table for u8 (as the
+    // AVX2 kernel, but one 64-row word per iteration and mask-register
+    // membership), gather probe into the InLookup bitset for wider
+    // types.
+    // ---------------------------------------------------------------
+
+    /// # Safety
+    /// Requires AVX-512BW; `words` must cover `data.len() / 64` words.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn in_words_u8_avx512(data: &[u8], table: &[u8; 32], words: &mut [u64]) {
+        let lo = _mm512_broadcast_i32x4(_mm_loadu_si128(table.as_ptr().cast()));
+        let hi = _mm512_broadcast_i32x4(_mm_loadu_si128(table.as_ptr().add(16).cast()));
+        #[rustfmt::skip]
+        let bit_of = _mm512_broadcast_i32x4(_mm_setr_epi8(
+            1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128,
+        ));
+        for (wi, chunk) in data.chunks_exact(64).enumerate() {
+            let v = _mm512_loadu_si512(chunk.as_ptr().cast());
+            let idx5 = _mm512_and_si512(_mm512_srli_epi16::<3>(v), _mm512_set1_epi8(0x1F));
+            let idx4 = _mm512_and_si512(idx5, _mm512_set1_epi8(0x0F));
+            let t_lo = _mm512_shuffle_epi8(lo, idx4);
+            let t_hi = _mm512_shuffle_epi8(hi, idx4);
+            let use_hi = _mm512_test_epi8_mask(idx5, _mm512_set1_epi8(0x10));
+            let t = _mm512_mask_blend_epi8(use_hi, t_lo, t_hi);
+            let bitsel = _mm512_shuffle_epi8(bit_of, _mm512_and_si512(v, _mm512_set1_epi8(7)));
+            // `bitsel` is a single bit per byte, so nonzero-AND ⇔ member.
+            words[wi] = _mm512_test_epi8_mask(t, bitsel);
+        }
+    }
+
+    pub(super) fn in_u8_avx512(data: &[u8], lookup: &InLookup, mask: &mut Bitmask) {
+        debug_assert_eq!(data.len(), mask.len());
+        let table = byte_bit_table(lookup);
+        let words = mask.words_mut();
+        // SAFETY: AVX-512 was detected at dispatch time.
+        unsafe { in_words_u8_avx512(data, &table, words) };
+        in_tail(data, lookup, words);
+    }
+
+    /// # Safety
+    /// `p` must be valid for reads of 8 `u16`s; requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    unsafe fn load8_u16(p: *const u16) -> __m512i {
+        _mm512_cvtepu16_epi64(_mm_loadu_si128(p.cast()))
+    }
+
+    /// # Safety
+    /// `p` must be valid for reads of 8 `u32`s; requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    unsafe fn load8_u32(p: *const u32) -> __m512i {
+        _mm512_cvtepu32_epi64(_mm256_loadu_si256(p.cast()))
+    }
+
+    /// # Safety
+    /// `p` must be valid for reads of 8 `i64`s; requires AVX-512F.
+    #[target_feature(enable = "avx512f")]
+    #[inline]
+    unsafe fn load8_i64(p: *const i64) -> __m512i {
+        _mm512_loadu_si512(p.cast())
+    }
+
+    /// Generate an AVX-512 gather-probe IN kernel: 8 rows at a time are
+    /// widened to i64 lanes, rebased against the lookup's offset, range
+    /// checked unsigned (exactly `InLookup::contains`'s wrapping-sub
+    /// trick, vectorized), and probe their bitset word via a gather. The
+    /// word index is clamped into bounds so the unmasked gather never
+    /// reads past the bitset; out-of-range lanes are stripped from the
+    /// final mask instead.
+    macro_rules! avx512_in_probe {
+        ($ty:ty, $load8:ident, $in_words:ident, $in_pub:ident) => {
+            /// # Safety
+            /// Requires AVX-512F; `words` must cover `data.len() / 64`
+            /// words.
+            #[target_feature(enable = "avx512f,avx512bw")]
+            unsafe fn $in_words(data: &[$ty], lookup: &InLookup, words: &mut [u64]) {
+                let bits = lookup.bits();
+                let offset = _mm512_set1_epi64(lookup.offset());
+                let span = _mm512_set1_epi64(bits.len() as i64 * 64);
+                let last = _mm512_set1_epi64(bits.len() as i64 - 1);
+                let base = bits.as_ptr() as *const i64;
+                for (wi, chunk) in data.chunks_exact(64).enumerate() {
+                    let p = chunk.as_ptr();
+                    let mut out = 0u64;
+                    let mut k = 0usize;
+                    while k < 8 {
+                        let idx = _mm512_sub_epi64($load8(p.add(k * 8)), offset);
+                        let in_range = _mm512_cmplt_epu64_mask(idx, span);
+                        let widx = _mm512_min_epu64(_mm512_srli_epi64::<6>(idx), last);
+                        let word = _mm512_i64gather_epi64::<8>(widx, base);
+                        let bit =
+                            _mm512_srlv_epi64(word, _mm512_and_si512(idx, _mm512_set1_epi64(63)));
+                        let m = in_range & _mm512_test_epi64_mask(bit, _mm512_set1_epi64(1));
+                        out |= (m as u64) << (k * 8);
+                        k += 1;
+                    }
+                    words[wi] = out;
+                }
+            }
+
+            pub(super) fn $in_pub(data: &[$ty], lookup: &InLookup, mask: &mut Bitmask) {
+                debug_assert_eq!(data.len(), mask.len());
+                let words = mask.words_mut();
+                // SAFETY: AVX-512 was detected at dispatch time.
+                unsafe { $in_words(data, lookup, words) };
+                in_tail(data, lookup, words);
+            }
+        };
+    }
+
+    avx512_in_probe!(u16, load8_u16, in_words_u16_avx512, in_u16_avx512);
+    avx512_in_probe!(u32, load8_u32, in_words_u32_avx512, in_u32_avx512);
+    avx512_in_probe!(i64, load8_i64, in_words_i64_avx512, in_i64_avx512);
+
+    // ---------------------------------------------------------------
+    // fast_sum masked aggregation (AVX-512): each mask-word byte drives
+    // a maskz load straight into lane partials. Two independent
+    // accumulators (even/odd bytes of the mask word) break the
+    // loop-carried add-latency chain — the reassociation order is still
+    // fixed, so the result stays deterministic for this tier.
+    // ---------------------------------------------------------------
+
+    /// # Safety
+    /// Requires AVX-512F; `words` must cover `values.len()` rows with
+    /// the mask-tail invariant (bits at/beyond the end zero).
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn agg_masked_words_avx512(values: &[f64], words: &[u64]) -> AggState {
+        let mut acc0 = _mm512_setzero_pd();
+        let mut acc1 = _mm512_setzero_pd();
+        let mut count = 0u64;
+        let full = values.len() / 64;
+        let mut wi = 0usize;
+        while wi < full {
+            let w = words[wi];
+            count += u64::from(w.count_ones());
+            if w != 0 {
+                let p = values.as_ptr().add(wi * 64);
+                let mut k = 0usize;
+                while k < 8 {
+                    let m0 = ((w >> (k * 8)) & 0xFF) as __mmask8;
+                    let m1 = ((w >> ((k + 1) * 8)) & 0xFF) as __mmask8;
+                    acc0 = _mm512_add_pd(acc0, _mm512_maskz_loadu_pd(m0, p.add(k * 8)));
+                    acc1 = _mm512_add_pd(acc1, _mm512_maskz_loadu_pd(m1, p.add((k + 1) * 8)));
+                    k += 2;
+                }
+            }
+            wi += 1;
+        }
+        let mut sum = _mm512_reduce_add_pd(_mm512_add_pd(acc0, acc1));
+        if full < words.len() {
+            let mut w = words[full];
+            count += u64::from(w.count_ones());
+            let base = full * 64;
+            while w != 0 {
+                sum += values[base + w.trailing_zeros() as usize];
+                w &= w - 1;
+            }
+        }
+        AggState { sum, count }
+    }
+
+    pub(super) fn agg_masked_fast_avx512(values: &[f64], mask: &Bitmask) -> AggState {
+        debug_assert_eq!(values.len(), mask.len());
+        // SAFETY: AVX-512 was detected at dispatch time.
+        unsafe { agg_masked_words_avx512(values, mask.words()) }
+    }
 }
 
 #[cfg(test)]
@@ -1010,6 +1907,7 @@ mod tests {
         let i64s: Vec<i64> = (0..n)
             .map(|i| if i % 13 == 0 { i64::MIN + i as i64 } else { i as i64 * 7 - 300 })
             .collect();
+        let f64s: Vec<f64> = (0..n).map(|i| (i as f64) * 0.125 - 4.0).collect();
         let values: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 10.0).collect();
         for ks in KernelSet::supported() {
             for op in OPS {
@@ -1032,6 +1930,7 @@ mod tests {
                 check!(&u16s, 30_000u16, cmp_u16, fused_u16);
                 check!(&u32s, u32::MAX / 3, cmp_u32, fused_u32);
                 check!(&i64s, -5i64, cmp_i64, fused_i64);
+                check!(&f64s, 0.5f64, cmp_f64, fused_f64);
             }
         }
     }
@@ -1044,6 +1943,7 @@ mod tests {
         let data: Vec<f64> = (0..n)
             .map(|i| specials[i % specials.len()] * if i % 2 == 0 { 1.0 } else { 0.5 })
             .collect();
+        let values: Vec<f64> = (0..n).map(|i| i as f64 - 30.0).collect();
         for ks in KernelSet::supported() {
             for op in OPS {
                 for rhs in [0.0, f64::NAN, f64::INFINITY, -0.0] {
@@ -1051,9 +1951,143 @@ mod tests {
                     ks.cmp_f64(&data, op, rhs, &mut mask);
                     let want = scalar_mask(&data, op, rhs);
                     assert_eq!(mask, want, "{} f64 {op:?} rhs {rhs}", ks.tier());
+                    // The fused slot must select exactly the same rows and
+                    // accumulate them in ascending order (bit-exact sum).
+                    let fused = ks.fused_f64(&data, &values, op, rhs);
+                    let mut want_state = AggState::default();
+                    want.for_each_one(|i| {
+                        want_state.sum += values[i];
+                        want_state.count += 1;
+                    });
+                    assert_eq!(fused, want_state, "{} fused_f64 {op:?} rhs {rhs}", ks.tier());
                 }
             }
         }
+    }
+
+    #[test]
+    fn in_kernels_match_scalar_contains_on_every_tier() {
+        // Lookup shapes: dense low u8 domain, sparse wide-ish span, and a
+        // negative offset; lengths cover empty, sub-word, word-exact,
+        // word+tail, and %8 boundaries.
+        let lookup_sets: [&[i64]; 4] =
+            [&[0, 1, 2, 3, 9, 200, 255], &[5], &[-300, -250, 511, 700], &[i64::MIN, 40, i64::MAX]];
+        for set in lookup_sets {
+            let Some(lookup) = InLookup::build(set) else {
+                // Span too wide to materialize (the i64 extremes set):
+                // evaluation falls back to binary search before reaching
+                // the kernels, nothing to probe here.
+                continue;
+            };
+            for n in [0usize, 7, 64, 71, 128, 130] {
+                let u8s: Vec<u8> = (0..n).map(|i| (i * 29 % 256) as u8).collect();
+                let u16s: Vec<u16> = (0..n).map(|i| (i * 97 % 800) as u16).collect();
+                let u32s: Vec<u32> = (0..n).map(|i| (i * 13 % 900) as u32).collect();
+                let i64s: Vec<i64> = (0..n)
+                    .map(|i| match i % 11 {
+                        0 => i64::MIN,
+                        1 => i64::MAX,
+                        _ => i as i64 * 17 - 400,
+                    })
+                    .collect();
+                for ks in KernelSet::supported() {
+                    macro_rules! check_in {
+                        ($data:expr, $in_kernel:ident) => {{
+                            let mut mask = Bitmask::zeros(n);
+                            ks.$in_kernel($data, &lookup, &mut mask);
+                            let want =
+                                Bitmask::from_fn(n, |i| lookup.contains(i64::from($data[i])));
+                            assert_eq!(
+                                mask,
+                                want,
+                                "{} {} n={n} set={set:?}",
+                                ks.tier(),
+                                stringify!($in_kernel)
+                            );
+                        }};
+                    }
+                    check_in!(&u8s, in_u8);
+                    check_in!(&u16s, in_u16);
+                    check_in!(&u32s, in_u32);
+                    check_in!(&i64s, in_i64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_agg_counts_exactly_and_masks_out_poison() {
+        // NaN and ±∞ in *deselected* rows must never contaminate the sum.
+        let n = 130usize;
+        let values: Vec<f64> = (0..n)
+            .map(|i| match i % 9 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => i as f64 * 0.25 - 10.0,
+            })
+            .collect();
+        let mask = Bitmask::from_fn(n, |i| i % 9 > 2 && i % 5 != 0);
+        let mut exact = AggState::default();
+        mask.for_each_one(|i| {
+            exact.sum += values[i];
+            exact.count += 1;
+        });
+        for ks in KernelSet::supported() {
+            let fast = ks.agg_masked_fast(&values, &mask);
+            assert_eq!(fast.count, exact.count, "{}", ks.tier());
+            assert!(fast.sum.is_finite(), "{}: deselected specials leaked in", ks.tier());
+            let bound = exact.count as f64 * f64::EPSILON * 60.0 * exact.count as f64;
+            assert!(
+                (fast.sum - exact.sum).abs() <= bound,
+                "{}: fast {} vs exact {}",
+                ks.tier(),
+                fast.sum,
+                exact.sum
+            );
+            // Deterministic: same inputs, same bits.
+            assert_eq!(fast.sum.to_bits(), ks.agg_masked_fast(&values, &mask).sum.to_bits());
+        }
+        // The portable slot aliases the exact ascending walk.
+        assert_eq!(
+            KernelSet::portable().agg_masked_fast(&values, &mask).sum.to_bits(),
+            exact.sum.to_bits()
+        );
+    }
+
+    #[test]
+    fn resolve_tier_pins_and_warns_deterministically() {
+        let all = [KernelTier::Avx512, KernelTier::Avx2, KernelTier::Sse2, KernelTier::Portable];
+        let no_avx512 = [KernelTier::Avx2, KernelTier::Sse2, KernelTier::Portable];
+
+        // No pin: best supported tier, silent.
+        assert_eq!(resolve_tier(None, None, &all), (KernelTier::Avx512, None));
+        // Valid supported pin: honored, silent.
+        assert_eq!(resolve_tier(None, Some("sse2"), &all), (KernelTier::Sse2, None));
+        assert_eq!(resolve_tier(None, Some(" AVX2 "), &all), (KernelTier::Avx2, None));
+        assert_eq!(resolve_tier(None, Some("scalar"), &all), (KernelTier::Portable, None));
+
+        // Unknown tier name: falls back to the best tier and says so —
+        // never a silent portable downgrade.
+        let (tier, warn) = resolve_tier(None, Some("avx1024"), &no_avx512);
+        assert_eq!(tier, KernelTier::Avx2);
+        let warn = warn.expect("unknown tier must warn");
+        assert!(warn.contains("unrecognized tier \"avx1024\""), "{warn}");
+        assert!(warn.contains("using avx2"), "{warn}");
+        // Deterministic: the identical inputs produce the identical text.
+        assert_eq!(resolve_tier(None, Some("avx1024"), &no_avx512).1.as_deref(), Some(&*warn));
+
+        // Known but unsupported tier: explicit message naming both tiers.
+        let (tier, warn) = resolve_tier(None, Some("avx512"), &no_avx512);
+        assert_eq!(tier, KernelTier::Avx2);
+        let warn = warn.expect("unsupported tier must warn");
+        assert!(warn.contains("'avx512' is not supported"), "{warn}");
+        assert!(warn.contains("using avx2"), "{warn}");
+
+        // Force-scalar wins over any pin, silently (it is an explicit
+        // off-switch, not a misconfiguration).
+        assert_eq!(resolve_tier(Some("1"), Some("avx512"), &all), (KernelTier::Portable, None));
+        assert_eq!(resolve_tier(Some("0"), Some("sse2"), &all), (KernelTier::Sse2, None));
     }
 
     #[test]

@@ -7,12 +7,76 @@
 
 use crate::column::DimensionColumn;
 
+/// The observed value range of one ordered dimension column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ZoneRange {
+    /// Integer-valued column (uint8/uint16/int64).
+    Int {
+        /// Smallest observed value.
+        lo: i64,
+        /// Largest observed value.
+        hi: i64,
+    },
+    /// Float64 column. `lo`/`hi` cover the non-NaN values only
+    /// (`lo = +inf, hi = -inf` when every row is NaN); `has_nan` records
+    /// whether any NaN was observed — a NaN row matches `!=` against any
+    /// literal, so `!=` pruning must never fire while it is set.
+    Float {
+        /// Smallest observed non-NaN value (`+inf` if none).
+        lo: f64,
+        /// Largest observed non-NaN value (`-inf` if none).
+        hi: f64,
+        /// Whether any NaN value was observed.
+        has_nan: bool,
+    },
+}
+
+impl ZoneRange {
+    fn union(self, other: ZoneRange) -> Option<ZoneRange> {
+        match (self, other) {
+            (ZoneRange::Int { lo: a, hi: b }, ZoneRange::Int { lo: c, hi: d }) => {
+                Some(ZoneRange::Int { lo: a.min(c), hi: b.max(d) })
+            }
+            (
+                ZoneRange::Float { lo: a, hi: b, has_nan: n1 },
+                ZoneRange::Float { lo: c, hi: d, has_nan: n2 },
+            ) => Some(ZoneRange::Float { lo: a.min(c), hi: b.max(d), has_nan: n1 || n2 }),
+            // Mismatched variants (a column changed type across merged
+            // partitions — impossible via the table API): no claim.
+            _ => None,
+        }
+    }
+
+    fn observe_f64(slot: &mut Option<ZoneRange>, v: f64) {
+        let (mut lo, mut hi, mut has_nan) = match *slot {
+            Some(ZoneRange::Float { lo, hi, has_nan }) => (lo, hi, has_nan),
+            _ => (f64::INFINITY, f64::NEG_INFINITY, false),
+        };
+        if v.is_nan() {
+            has_nan = true;
+        } else {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        *slot = Some(ZoneRange::Float { lo, hi, has_nan });
+    }
+
+    fn observe_i64(slot: &mut Option<ZoneRange>, v: i64) {
+        *slot = match *slot {
+            Some(ZoneRange::Int { lo, hi }) => {
+                Some(ZoneRange::Int { lo: lo.min(v), hi: hi.max(v) })
+            }
+            _ => Some(ZoneRange::Int { lo: v, hi: v }),
+        };
+    }
+}
+
 /// Min/max summaries for the ordered dimension columns of one partition.
 /// Categorical (dictionary) columns have no meaningful order, so their slot
 /// is `None`.
 #[derive(Debug, Clone, Default)]
 pub struct ZoneMaps {
-    ranges: Vec<Option<(i64, i64)>>,
+    ranges: Vec<Option<ZoneRange>>,
 }
 
 impl ZoneMaps {
@@ -25,17 +89,22 @@ impl ZoneMaps {
     pub fn compute(dims: &[DimensionColumn]) -> Self {
         let mut zm = ZoneMaps::empty(dims.len());
         for (d, slot) in dims.iter().zip(&mut zm.ranges) {
-            if matches!(d, DimensionColumn::Dict(_)) || d.is_empty() {
+            if d.is_empty() {
                 continue;
             }
-            let mut lo = i64::MAX;
-            let mut hi = i64::MIN;
-            for i in 0..d.len() {
-                let v = d.get_i64(i);
-                lo = lo.min(v);
-                hi = hi.max(v);
+            match d {
+                DimensionColumn::Dict(_) => {}
+                DimensionColumn::Float64(v) => {
+                    for &x in v {
+                        ZoneRange::observe_f64(slot, x);
+                    }
+                }
+                _ => {
+                    for i in 0..d.len() {
+                        ZoneRange::observe_i64(slot, d.get_i64(i));
+                    }
+                }
             }
-            *slot = Some((lo, hi));
         }
         zm
     }
@@ -46,14 +115,11 @@ impl ZoneMaps {
             self.ranges.resize(dims.len(), None);
         }
         for (d, slot) in dims.iter().zip(&mut self.ranges) {
-            if matches!(d, DimensionColumn::Dict(_)) {
-                continue;
+            match d {
+                DimensionColumn::Dict(_) => {}
+                DimensionColumn::Float64(v) => ZoneRange::observe_f64(slot, v[row]),
+                _ => ZoneRange::observe_i64(slot, d.get_i64(row)),
             }
-            let v = d.get_i64(row);
-            *slot = match *slot {
-                Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
-                None => Some((v, v)),
-            };
         }
     }
 
@@ -66,16 +132,30 @@ impl ZoneMaps {
         }
         for (slot, o) in self.ranges.iter_mut().zip(&other.ranges) {
             *slot = match (*slot, *o) {
-                (Some((a, b)), Some((c, d))) => Some((a.min(c), b.max(d))),
+                (Some(a), Some(b)) => a.union(b),
                 (s, None) => s,
                 (None, o) => o,
             };
         }
     }
 
-    /// The `(min, max)` of ordered dimension `idx`, if known.
+    /// The `(min, max)` of integer-valued ordered dimension `idx`, if
+    /// known. Float columns answer through [`ZoneMaps::float_range`].
     pub fn range(&self, idx: usize) -> Option<(i64, i64)> {
-        self.ranges.get(idx).copied().flatten()
+        match self.ranges.get(idx).copied().flatten() {
+            Some(ZoneRange::Int { lo, hi }) => Some((lo, hi)),
+            _ => None,
+        }
+    }
+
+    /// The `(min, max, has_nan)` of float dimension `idx`, if known.
+    /// `min`/`max` cover non-NaN values only (`(+inf, -inf)` when every
+    /// observed value was NaN).
+    pub fn float_range(&self, idx: usize) -> Option<(f64, f64, bool)> {
+        match self.ranges.get(idx).copied().flatten() {
+            Some(ZoneRange::Float { lo, hi, has_nan }) => Some((lo, hi, has_nan)),
+            _ => None,
+        }
     }
 }
 
@@ -111,5 +191,35 @@ mod tests {
         let zm = ZoneMaps::compute(&dims);
         assert_eq!(zm.range(0), None);
         assert_eq!(zm.range(7), None);
+    }
+
+    #[test]
+    fn float_ranges_track_non_nan_bounds_and_nan_presence() {
+        let dims = vec![DimensionColumn::Float64(vec![1.5, f64::NAN, -2.0, 0.0])];
+        let zm = ZoneMaps::compute(&dims);
+        assert_eq!(zm.float_range(0), Some((-2.0, 1.5, true)));
+        assert_eq!(zm.range(0), None, "float slots never answer the integer accessor");
+
+        // All-NaN column: empty numeric range, NaN flag set.
+        let dims = vec![DimensionColumn::Float64(vec![f64::NAN, f64::NAN])];
+        let zm = ZoneMaps::compute(&dims);
+        let (lo, hi, has_nan) = zm.float_range(0).unwrap();
+        assert!(lo > hi && has_nan);
+    }
+
+    #[test]
+    fn float_ranges_merge_and_observe() {
+        let a_cols = vec![DimensionColumn::Float64(vec![1.0, 2.0])];
+        let mut a = ZoneMaps::compute(&a_cols);
+        let b = ZoneMaps::compute(&[DimensionColumn::Float64(vec![f64::NAN, -5.0])]);
+        a.merge(&b);
+        assert_eq!(a.float_range(0), Some((-5.0, 2.0, true)));
+
+        let mut dims = a_cols;
+        if let DimensionColumn::Float64(v) = &mut dims[0] {
+            v.push(9.5);
+        }
+        a.observe_row(&dims, 2);
+        assert_eq!(a.float_range(0), Some((-5.0, 9.5, true)));
     }
 }

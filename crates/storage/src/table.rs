@@ -6,6 +6,7 @@ use crate::column::Dictionary;
 use crate::error::StorageError;
 use crate::partition::Partition;
 use crate::predicate::{CompiledPredicate, MaskScratch, Predicate};
+use crate::scan::SumMode;
 use crate::schema::SchemaRef;
 use crate::timestamp::Timestamp;
 use crate::types::Value;
@@ -242,30 +243,61 @@ pub(crate) fn eval_partition(
     measure_idx: usize,
     pred: &CompiledPredicate,
 ) -> AggState {
-    eval_partition_with(partition, measure_idx, pred, &mut MaskScratch::new())
+    eval_partition_with(partition, measure_idx, pred, &mut MaskScratch::new(), SumMode::Exact)
 }
 
 /// [`eval_partition`] drawing mask buffers from `scratch` so range scans
 /// reuse allocations across partitions. Single-comparison predicates and
 /// constants skip mask materialization entirely via the fused kernels.
+///
+/// `sum` selects the accumulation contract: [`SumMode::Exact`] keeps every
+/// float sum in ascending row order (bit-identical to the scalar
+/// reference); [`SumMode::Fast`] routes masked aggregation through the
+/// tier's reassociated `agg_masked_fast` slot — counts stay exact, sums
+/// are deterministic per tier but may differ from exact by accumulated
+/// rounding.
 pub(crate) fn eval_partition_with(
     partition: &Partition,
     measure_idx: usize,
     pred: &CompiledPredicate,
     scratch: &mut MaskScratch,
+    sum: SumMode,
 ) -> AggState {
     if !pred.may_match(partition.zone_maps()) {
         return AggState::default();
     }
-    match pred {
-        CompiledPredicate::Const(false) => AggState::default(),
-        CompiledPredicate::Const(true) => crate::aggregate::aggregate_all(partition, measure_idx),
-        CompiledPredicate::Cmp { dim, op, value } => {
+    match (pred, sum) {
+        (CompiledPredicate::Const(false), _) => AggState::default(),
+        // All-rows aggregation is one ascending pass either way.
+        (CompiledPredicate::Const(true), _) => {
+            crate::aggregate::aggregate_all(partition, measure_idx)
+        }
+        (CompiledPredicate::Cmp { dim, op, value }, SumMode::Exact) => {
             crate::aggregate::aggregate_filtered(partition, measure_idx, *dim, *op, *value)
         }
-        _ => {
+        (CompiledPredicate::CmpF64 { dim, op, value }, SumMode::Exact) => {
+            crate::aggregate::aggregate_filtered_f64_with(
+                crate::simd::active(),
+                partition,
+                measure_idx,
+                *dim,
+                *op,
+                *value,
+            )
+        }
+        (_, SumMode::Exact) => {
             let mask = pred.evaluate_into(partition, scratch);
             let state = aggregate_masked(partition, measure_idx, &mask);
+            scratch.release(mask);
+            state
+        }
+        // Fast mode: always compare-into-mask, then the reassociated
+        // masked-sum kernel (the fused slots exist to preserve exact
+        // ascending accumulation, which fast mode explicitly trades away).
+        (_, SumMode::Fast) => {
+            let kernels = crate::simd::active();
+            let mask = pred.evaluate_into(partition, scratch);
+            let state = kernels.agg_masked_fast(partition.measure(measure_idx), &mask);
             scratch.release(mask);
             state
         }

@@ -15,6 +15,10 @@ pub enum DataType {
     UInt16,
     /// General integers, eight bytes per row.
     Int64,
+    /// IEEE-754 doubles (e.g. a price or a score), eight bytes per row.
+    /// Comparisons use exact IEEE semantics: `NaN` compares false under
+    /// every operator except `!=`, and `-0.0 == 0.0`.
+    Float64,
     /// Dictionary-encoded strings (e.g. `Gender`, `Location`).
     Categorical,
 }
@@ -26,6 +30,7 @@ impl DataType {
             DataType::UInt8 => "uint8",
             DataType::UInt16 => "uint16",
             DataType::Int64 => "int64",
+            DataType::Float64 => "float64",
             DataType::Categorical => "categorical",
         }
     }
@@ -46,6 +51,7 @@ impl fmt::Display for DataType {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     Int(i64),
+    Float(f64),
     Str(String),
 }
 
@@ -54,6 +60,16 @@ impl Value {
     pub fn as_int(&self) -> Option<i64> {
         match self {
             Value::Int(v) => Some(*v),
+            Value::Float(_) | Value::Str(_) => None,
+        }
+    }
+
+    /// The float payload: native for [`Value::Float`], widened for
+    /// [`Value::Int`] (exact for |v| < 2^53).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
             Value::Str(_) => None,
         }
     }
@@ -62,7 +78,7 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
-            Value::Int(_) => None,
+            Value::Int(_) | Value::Float(_) => None,
         }
     }
 }
@@ -70,6 +86,12 @@ impl Value {
 impl From<i64> for Value {
     fn from(v: i64) -> Self {
         Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
     }
 }
 
@@ -89,6 +111,10 @@ impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Value::Int(v) => write!(f, "{v}"),
+            // Keep the decimal point so the rendered literal stays a float
+            // (`1.0`, not `1` — which would re-parse as an Int).
+            Value::Float(v) if v.fract() == 0.0 && v.is_finite() => write!(f, "{v:.1}"),
+            Value::Float(v) => write!(f, "{v}"),
             Value::Str(s) => write!(f, "'{s}'"),
         }
     }
@@ -102,6 +128,7 @@ mod tests {
     fn ordering_support_matches_type() {
         assert!(DataType::UInt8.is_ordered());
         assert!(DataType::Int64.is_ordered());
+        assert!(DataType::Float64.is_ordered());
         assert!(!DataType::Categorical.is_ordered());
     }
 
@@ -109,7 +136,17 @@ mod tests {
     fn value_accessors() {
         assert_eq!(Value::Int(7).as_int(), Some(7));
         assert_eq!(Value::Int(7).as_str(), None);
+        assert_eq!(Value::Int(7).as_float(), Some(7.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Float(2.5).as_int(), None);
         assert_eq!(Value::from("F").as_str(), Some("F"));
         assert_eq!(Value::from("F").to_string(), "'F'");
+    }
+
+    #[test]
+    fn float_display_keeps_the_decimal_point() {
+        assert_eq!(Value::Float(1.0).to_string(), "1.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::Float(-0.0).to_string(), "-0.0");
     }
 }

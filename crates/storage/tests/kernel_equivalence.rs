@@ -10,15 +10,16 @@
 
 use flashp_storage::reference::{aggregate_masked_scalar, eval_cmp_f64_scalar, evaluate_scalar};
 use flashp_storage::{
-    aggregate_filtered_with, AggFunc, Bitmask, CmpOp, CompiledPredicate, DataType, Dictionary,
-    DimensionColumn, KernelSet, MaskScratch, Partition, Predicate, Schema, Value,
+    aggregate_filtered_f64_with, aggregate_filtered_with, AggFunc, Bitmask, CmpOp,
+    CompiledPredicate, DataType, Dictionary, DimensionColumn, KernelSet, MaskScratch, Partition,
+    Predicate, Schema, Value,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const DTYPES: [DataType; 4] =
-    [DataType::UInt8, DataType::UInt16, DataType::Int64, DataType::Categorical];
+const DTYPES: [DataType; 5] =
+    [DataType::UInt8, DataType::UInt16, DataType::Int64, DataType::Categorical, DataType::Float64];
 
 const OPS: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
 
@@ -38,7 +39,8 @@ struct Fixture {
 /// path is exercised every run.
 fn random_fixture(rng: &mut StdRng) -> Fixture {
     let num_dims = rng.gen_range(1..=3usize);
-    let dtypes: Vec<DataType> = (0..num_dims).map(|_| DTYPES[rng.gen_range(0..4usize)]).collect();
+    let dtypes: Vec<DataType> =
+        (0..num_dims).map(|_| DTYPES[rng.gen_range(0..DTYPES.len())]).collect();
     let names = ["d0", "d1", "d2"];
     let dims_def: Vec<(&str, DataType)> =
         dtypes.iter().enumerate().map(|(i, &t)| (names[i], t)).collect();
@@ -91,6 +93,23 @@ fn random_fixture(rng: &mut StdRng) -> Fixture {
                 columns.push(DimensionColumn::Dict(codes));
                 dicts.push(Some(dict));
             }
+            DataType::Float64 => {
+                // Seed IEEE specials among the ordinary values so every
+                // comparison op meets NaN/±∞/−0.0/subnormal rows.
+                columns.push(DimensionColumn::Float64(
+                    (0..n)
+                        .map(|_| match rng.gen_range(0..10u32) {
+                            0 => f64::NAN,
+                            1 => f64::INFINITY,
+                            2 => f64::NEG_INFINITY,
+                            3 => -0.0,
+                            4 => 5e-324,
+                            _ => rng.gen_range(-50.0..50.0),
+                        })
+                        .collect(),
+                ));
+                dicts.push(None);
+            }
         }
     }
     let measure: Vec<f64> = (0..n).map(|_| rng.gen_range(-1000.0..1000.0)).collect();
@@ -111,6 +130,20 @@ fn random_literal(rng: &mut StdRng) -> i64 {
     }
 }
 
+/// Random float literal for a float64 dimension: IEEE specials mixed with
+/// in-range values.
+fn random_float_literal(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0..10u32) {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => -0.0,
+        4 => 5e-324,
+        5 => f64::MAX,
+        _ => rng.gen_range(-60.0..60.0),
+    }
+}
+
 /// Random predicate tree over the fixture's dimensions.
 fn random_predicate(rng: &mut StdRng, schema: &Schema, depth: usize) -> Predicate {
     let num_dims = schema.num_dimensions();
@@ -119,6 +152,7 @@ fn random_predicate(rng: &mut StdRng, schema: &Schema, depth: usize) -> Predicat
         let dim = rng.gen_range(0..num_dims);
         let def = &schema.dimensions()[dim];
         let categorical = def.dtype == DataType::Categorical;
+        let float = def.dtype == DataType::Float64;
         match rng.gen_range(0..3u32) {
             0 if categorical => {
                 // Eq/Ne on a pool value or an unseen string.
@@ -129,6 +163,16 @@ fn random_predicate(rng: &mut StdRng, schema: &Schema, depth: usize) -> Predicat
                 };
                 let op = if rng.gen::<bool>() { CmpOp::Eq } else { CmpOp::Ne };
                 Predicate::cmp(&def.name, op, s)
+            }
+            0 | 1 if float => {
+                // Float or promoted-integer literal; IN is rejected on
+                // float64 so this leaf replaces the IN case too.
+                let op = OPS[rng.gen_range(0..6usize)];
+                if rng.gen::<bool>() {
+                    Predicate::cmp(&def.name, op, Value::Float(random_float_literal(rng)))
+                } else {
+                    Predicate::cmp(&def.name, op, random_literal(rng))
+                }
             }
             0 => {
                 let op = OPS[rng.gen_range(0..6usize)];
@@ -265,6 +309,28 @@ proptest! {
                     );
                 }
             }
+            // Float literals take the dedicated f64 fused slot.
+            if fx.schema.dimensions()[dim].dtype == DataType::Float64 {
+                for _ in 0..3 {
+                    let op = OPS[rng.gen_range(0..6usize)];
+                    let value = random_float_literal(&mut rng);
+                    let compiled = CompiledPredicate::CmpF64 { dim, op, value };
+                    let reference = aggregate_masked_scalar(
+                        &fx.partition, 0, &evaluate_scalar(&compiled, &fx.partition));
+                    for ks in &tiers {
+                        let fused = aggregate_filtered_f64_with(ks, &fx.partition, 0, dim, op, value);
+                        prop_assert_eq!(
+                            fused.count, reference.count,
+                            "tier {} op {:?} value {}", ks.tier(), op, value
+                        );
+                        prop_assert!(
+                            fused.finalize(AggFunc::Sum) == reference.finalize(AggFunc::Sum),
+                            "tier {} op {:?} value {}: fused {} vs scalar {}",
+                            ks.tier(), op, value, fused.sum, reference.sum
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -313,5 +379,53 @@ proptest! {
                 prop_assert_eq!(&mask, &reference, "tier {} op {:?} rhs {}", ks.tier(), op, rhs);
             }
         }
+    }
+
+    /// The opt-in `fast_sum` masked aggregation on every tier keeps the
+    /// count exact and the reassociated sum within an accumulated-rounding
+    /// bound of the ascending-order exact sum; it is deterministic per
+    /// tier, and the portable/SSE2 tiers alias the exact walk bit-for-bit.
+    #[test]
+    fn fast_sum_is_count_exact_and_ulp_bounded(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = match rng.gen_range(0..5u32) {
+            0 => rng.gen_range(0..4usize),
+            1 => 64 * rng.gen_range(1..4usize),
+            2 => 64 * rng.gen_range(1..3usize) + rng.gen_range(1..64usize),
+            3 => 8 * rng.gen_range(1..20usize), // %8 lane multiples
+            _ => rng.gen_range(1..300usize),
+        };
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-1000.0..1000.0)).collect();
+        let mut mask = Bitmask::zeros(n);
+        for i in 0..n {
+            if rng.gen_range(0..3u32) != 0 {
+                mask.set(i);
+            }
+        }
+        let mut exact = 0.0f64;
+        let mut count = 0u64;
+        let mut sum_abs = 0.0f64;
+        for i in mask.iter_ones() {
+            exact += values[i];
+            count += 1;
+            sum_abs += values[i].abs();
+        }
+        // Reassociating k additions perturbs each partial by at most one
+        // rounding step: |fast − exact| ≤ k·ε·Σ|xᵢ|.
+        let bound = count as f64 * f64::EPSILON * sum_abs;
+        for ks in KernelSet::supported() {
+            let fast = ks.agg_masked_fast(&values, &mask);
+            prop_assert_eq!(fast.count, count, "tier {}", ks.tier());
+            prop_assert!(
+                (fast.sum - exact).abs() <= bound,
+                "tier {}: fast {} vs exact {} exceeds bound {}",
+                ks.tier(), fast.sum, exact, bound
+            );
+            // Bit-for-bit deterministic on repeat evaluation.
+            let again = ks.agg_masked_fast(&values, &mask);
+            prop_assert!(again.sum.to_bits() == fast.sum.to_bits(), "tier {}", ks.tier());
+        }
+        let fast = KernelSet::portable().agg_masked_fast(&values, &mask);
+        prop_assert!(fast.sum.to_bits() == exact.to_bits(), "portable fast_sum must stay exact");
     }
 }

@@ -45,6 +45,8 @@ const CORPUS: &[&str] = &[
     "SELECT COUNT(Click) FROM ads WHERE age <= 30 GROUP BY t",
     "SELECT SUM(Impression) FROM ads WHERE t BETWEEN 20200101 AND 20200107 \
      GROUP BY t OPTION (SAMPLE_RATE = 0.05)",
+    "SELECT SUM(Impression) FROM ads WHERE age <= 30 AND t = 20200105 \
+     OPTION (FAST_SUM = 1)",
 ];
 
 #[test]
@@ -325,7 +327,18 @@ fn explain_round_trips_for_the_corpus() {
         assert!(source.prop("est_rows").unwrap().parse::<usize>().is_ok());
         // Every scan source names the dispatched scan-kernel tier.
         let simd = source.prop("simd").unwrap_or_else(|| panic!("{sql}: no simd prop:\n{node}"));
-        assert!(["avx2", "sse2", "portable"].contains(&simd), "{sql}: unknown tier {simd}");
+        assert!(
+            ["avx512", "avx2", "sse2", "portable"].contains(&simd),
+            "{sql}: unknown tier {simd}"
+        );
+        // Exact scans name their float-sum mode; sampled sources don't.
+        match source.name.as_str() {
+            "FullScan" => assert!(
+                matches!(source.prop("sum"), Some("exact") | Some("fast")),
+                "{sql}: FullScan must name its sum mode:\n{node}"
+            ),
+            _ => assert_eq!(source.prop("sum"), None, "{sql}: sampled sources have no sum mode"),
+        }
         match engine.execute(&explain_sql).unwrap() {
             ExecOutput::Plan(executed) => assert_eq!(executed, node, "{sql}"),
             other => panic!("{sql}: EXPLAIN produced {other:?}"),
@@ -382,6 +395,133 @@ fn prepared_queries_share_one_engine_across_threads() {
             });
         }
     });
+}
+
+/// `OPTION (FAST_SUM = 1)` switches the exact scan to reassociated vector
+/// sums: EXPLAIN says so, counts stay exact, and sums stay within
+/// accumulated-rounding distance of the default ascending-row order.
+#[test]
+fn fast_sum_option_flows_to_explain_and_execution() {
+    let engine = engine_for(SamplerChoice::OptimalGsw, 5);
+    let base = "SELECT SUM(Impression) FROM ads WHERE age <= 30 \
+                AND t BETWEEN 20200101 AND 20200110 GROUP BY t";
+    let fast_sql = format!("{base} OPTION (FAST_SUM = 1)");
+    assert_eq!(engine.explain(base).unwrap().find("FullScan").unwrap().prop("sum"), Some("exact"));
+    assert_eq!(
+        engine.explain(&fast_sql).unwrap().find("FullScan").unwrap().prop("sum"),
+        Some("fast")
+    );
+
+    let exact = engine.select(base).unwrap();
+    let fast = engine.select(&fast_sql).unwrap();
+    assert!(!fast.approximate, "FAST_SUM is still an exact full scan");
+    assert_eq!(exact.rows.len(), fast.rows.len());
+    for ((t_e, v_e, _), (t_f, v_f, _)) in exact.rows.iter().zip(&fast.rows) {
+        assert_eq!(t_e, t_f);
+        let tolerance = 1e-9 * v_e.abs().max(1.0);
+        assert!((v_e - v_f).abs() <= tolerance, "fast sum {v_f} too far from exact {v_e}");
+    }
+    // COUNT is unaffected by the sum mode — bit-identical.
+    let count = base.replace("SUM", "COUNT");
+    assert_eq!(
+        engine.select(&count).unwrap(),
+        engine.select(&format!("{count} OPTION (FAST_SUM = 1)")).unwrap()
+    );
+}
+
+/// A `Float64` dimension column works end-to-end: schema, ingest, float
+/// literals in SQL, NaN-exact predicate semantics, EXPLAIN rendering.
+#[test]
+fn float64_dimension_columns_flow_end_to_end() {
+    use flashp::storage::{DataType, Schema, TimeSeriesTable, Timestamp, Value};
+    let schema =
+        Schema::from_names(&[("score", DataType::Float64), ("seg", DataType::UInt8)], &["m"])
+            .unwrap()
+            .into_shared();
+    let mut table = TimeSeriesTable::new(schema);
+    let start = Timestamp::from_yyyymmdd(20200101).unwrap();
+    for day in 0..3i64 {
+        for row in 0..64i64 {
+            // Row 7 is NaN: matched by <> only, never by ordered compares.
+            let score = if row == 7 { f64::NAN } else { row as f64 / 8.0 };
+            table
+                .append_row(start + day, &[Value::Float(score), Value::Int(row % 4)], &[1.0])
+                .unwrap();
+        }
+    }
+    let engine = FlashPEngine::new(table, EngineConfig::default());
+
+    // score < 0.5 ⇔ row/8 < 0.5 ⇔ rows 0..4 (the NaN row never matches).
+    let r = engine.select("SELECT COUNT(*) FROM T WHERE score < 0.5 AND t = 20200101").unwrap();
+    assert_eq!(r.rows[0].1, 4.0);
+    // <> is NaN-inclusive: everything except the single 0.5 row matches.
+    let r = engine.select("SELECT COUNT(*) FROM T WHERE score <> 0.5 AND t = 20200101").unwrap();
+    assert_eq!(r.rows[0].1, 63.0);
+    // Mixed float/int predicate, over all three days.
+    let r = engine.select("SELECT COUNT(*) FROM T WHERE score >= 6.0 AND seg = 1").unwrap();
+    assert_eq!(r.rows[0].1, 3.0 * 4.0);
+    // An integer literal promotes against a Float64 column.
+    let r = engine.select("SELECT COUNT(*) FROM T WHERE score >= 6 AND seg = 1").unwrap();
+    assert_eq!(r.rows[0].1, 12.0);
+    // EXPLAIN renders the folded float comparison with the decimal point.
+    let node = engine.explain("SELECT SUM(m) FROM T WHERE score < 0.5 AND t = 20200101").unwrap();
+    assert_eq!(node.find("Predicate").unwrap().prop("folded"), Some("score < 0.5"));
+    // IN on a float column is a typed error, not a silent wrong answer.
+    let err = engine.select("SELECT COUNT(*) FROM T WHERE score IN (0.5) AND t = 20200101");
+    assert!(err.is_err());
+}
+
+/// Re-runs this test in a subprocess once per supported `FLASHP_KERNEL_TIER`
+/// pin: the pinned tier must become the active tier, EXPLAIN must report
+/// it, and an exact-scan answer must be bit-identical across every tier.
+#[test]
+fn pinned_kernel_tiers_report_in_explain_and_agree() {
+    const CHILD_VAR: &str = "FLASHP_TIER_TEST_CHILD";
+    const QUERY: &str = "SELECT SUM(Impression) FROM ads WHERE age <= 30 AND t = 20200105";
+    if let Ok(expected) = std::env::var(CHILD_VAR) {
+        assert_eq!(flashp::storage::simd::active_tier().name(), expected, "pin was not honored");
+        let engine = engine_for(SamplerChoice::OptimalGsw, 3);
+        let node = engine.explain(QUERY).unwrap();
+        assert_eq!(node.find("FullScan").unwrap().prop("simd"), Some(expected.as_str()));
+        let r = engine.select(QUERY).unwrap();
+        println!("TIER_RESULT {}", r.rows[0].1.to_bits());
+        return;
+    }
+    // Every tier at or below the auto-detected one is supported here.
+    let order = ["portable", "sse2", "avx2", "avx512"];
+    let active = flashp::storage::simd::active_tier().name();
+    let best = order.iter().position(|t| *t == active).expect("active tier is a known name");
+    let exe = std::env::current_exe().unwrap();
+    let mut results = Vec::new();
+    for tier in &order[..=best] {
+        let out = std::process::Command::new(&exe)
+            .args(["--exact", "pinned_kernel_tiers_report_in_explain_and_agree", "--nocapture"])
+            .env(CHILD_VAR, tier)
+            .env("FLASHP_KERNEL_TIER", tier)
+            .env_remove("FLASHP_FORCE_SCALAR_KERNELS")
+            .output()
+            .unwrap();
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "tier {tier} child failed:\n{stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The harness may print its own "test … ." prefix on the same
+        // line, so search within lines rather than anchoring at the start.
+        let bits: u64 = stdout
+            .lines()
+            .find_map(|l| l.split("TIER_RESULT ").nth(1))
+            .unwrap_or_else(|| panic!("tier {tier}: no result line in\n{stdout}"))
+            .trim()
+            .parse()
+            .unwrap();
+        results.push((tier, bits));
+    }
+    let (_, first) = results[0];
+    for (tier, bits) in &results {
+        assert_eq!(*bits, first, "tier {tier} disagrees with {}", results[0].0);
+    }
 }
 
 #[test]
