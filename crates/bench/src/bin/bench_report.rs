@@ -23,6 +23,13 @@
 //! and multi-day `apply_delta` backfills across worker counts — written
 //! to `BENCH_ingest.json`.
 //!
+//! Part 4 measures the TCP service frontend end to end: the closed-loop
+//! harness from `flashp-server` sweeps 1/8/64/256 concurrent clients
+//! (each re-executing a prepared statement, with a concurrent
+//! ingest+publish connection swapping catalog versions under the load)
+//! and records client-observed p50/p99 latency and statements/sec —
+//! written to `BENCH_service.json`.
+//!
 //! Every report records the dispatched kernel tier (`kernel_tier`).
 //!
 //! Run with `cargo run -p flashp-bench --release --bin bench_report`.
@@ -359,6 +366,15 @@ fn main() {
 
     query_pipeline_report();
     ingest_report();
+    service_report();
+}
+
+/// Part 4: closed-loop service throughput (`BENCH_service.json`).
+fn service_report() {
+    let doc = flashp_server::harness::service_report();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();
+    println!("wrote {path}");
 }
 
 /// Statements per client thread in each timed query-pipeline run.

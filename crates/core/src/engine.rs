@@ -56,6 +56,25 @@ pub struct PlanCacheStats {
     pub entries: usize,
 }
 
+/// A point-in-time snapshot of engine-level counters, cheap enough to
+/// poll from a service loop (one read lock + one mutex, no scans).
+/// Fields are sampled one after another, so under concurrent writers the
+/// snapshot is only approximately consistent — good enough for the
+/// observability endpoints it feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// The active [`CatalogVersion::version`].
+    pub version: u64,
+    /// The active sample catalog's version, if a catalog is attached.
+    pub catalog_version: Option<u64>,
+    /// Plan-cache effectiveness for this handle's shared cache.
+    pub plan_cache: PlanCacheStats,
+    /// Rows staged by [`FlashPEngine::ingest`] awaiting the next publish.
+    pub pending_rows: usize,
+    /// Partitions the pending rows touch (cells the next publish rebuilds).
+    pub pending_partitions: usize,
+}
+
 /// LRU plan cache keyed on normalized statement text. Shared (via `Arc`)
 /// by every clone of an engine handle. Only the one-shot string APIs
 /// touch it; prepared queries bypass it entirely.
@@ -312,6 +331,24 @@ impl FlashPEngine {
     /// Plan-cache hit/miss counters for this handle's shared cache.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plan_cache.stats()
+    }
+
+    /// Snapshot the engine-level counters: active version numbers,
+    /// plan-cache effectiveness, and the size of the staged-but-unpublished
+    /// ingest backlog. See [`EngineStats`].
+    pub fn stats(&self) -> EngineStats {
+        let snapshot = self.snapshot();
+        let (pending_rows, pending_partitions) = {
+            let pending = self.shared.pending.lock().expect("ingest lock poisoned");
+            (pending.delta.appended_rows(), pending.delta.num_changed())
+        };
+        EngineStats {
+            version: snapshot.version(),
+            catalog_version: snapshot.catalog().map(|c| c.version()),
+            plan_cache: self.plan_cache.stats(),
+            pending_rows,
+            pending_partitions,
+        }
     }
 
     /// Stage a batch of rows for ingestion. The rows are applied to a
@@ -1297,6 +1334,37 @@ mod tests {
         assert_eq!(s1.misses, s0.misses, "EXPLAIN must not count as a cache miss");
         assert_eq!(s1.hits, s0.hits);
         assert_eq!(s1.entries, s0.entries, "EXPLAIN output is never cached");
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_ingest_and_publish() {
+        let e = engine(SamplerChoice::OptimalGsw);
+        let s0 = e.stats();
+        assert_eq!(s0.version, e.version());
+        assert_eq!(s0.catalog_version, e.catalog().map(|c| c.version()));
+        assert_eq!((s0.pending_rows, s0.pending_partitions), (0, 0));
+
+        let mut batch = IngestBatch::new();
+        let t = Timestamp::from_yyyymmdd(20200103).unwrap();
+        for row in 0..30i64 {
+            batch.push_row(t, &[Value::Int(row % 10), Value::from("b")], &[900.0, 90.0]);
+        }
+        e.ingest(batch).unwrap();
+        let staged = e.stats();
+        assert_eq!(staged.version, s0.version, "staging does not bump the version");
+        assert_eq!((staged.pending_rows, staged.pending_partitions), (30, 1));
+
+        e.publish().unwrap();
+        let published = e.stats();
+        assert!(published.version > s0.version);
+        assert_eq!((published.pending_rows, published.pending_partitions), (0, 0));
+
+        // Plan-cache counters ride along; clones see the same stats.
+        e.forecast(FORECAST_SQL).unwrap();
+        e.forecast(FORECAST_SQL).unwrap();
+        let s = e.clone().stats();
+        assert_eq!(s.plan_cache, e.plan_cache_stats());
+        assert!(s.plan_cache.hits >= 1);
     }
 
     #[test]

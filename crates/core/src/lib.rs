@@ -61,7 +61,7 @@ pub mod version;
 
 pub use catalog::{BuildStats, DeltaStats, LayerStats, SampleCatalog};
 pub use config::{EngineConfig, GroupingPolicy, SamplerChoice};
-pub use engine::{FlashPEngine, PlanCacheStats};
+pub use engine::{EngineStats, FlashPEngine, PlanCacheStats};
 pub use error::EngineError;
 pub use explain::PlanNode;
 pub use models::build_model;

@@ -15,7 +15,7 @@ use crate::error::EngineError;
 use crate::models::build_model;
 use flashp_query::{
     bind_expr, split_select_constraint, Expr, ForecastStmt, Literal, OptionValue, SelectStmt,
-    Statement, TimeBound, TimeEndpoint, TimeWindow,
+    Statement, TimeBound, TimeEndpoint, TimeWindow, UsingClause,
 };
 use flashp_storage::{AggFunc, CompiledPredicate, TimeSeriesTable, Timestamp};
 
@@ -297,19 +297,32 @@ impl LogicalPlan {
     }
 }
 
-/// Resolve a dynamic FORECAST window against bound parameters. Errors are
-/// typed, never panics: a missing/ill-typed/impossible-date parameter is
+/// Resolve a dynamic FORECAST window against bound parameters and the
+/// current table snapshot (relative `USING LAST n DAYS` windows anchor at
+/// the table's newest timestamp). Errors are typed, never panics: a
+/// missing/ill-typed/impossible-date parameter is
 /// [`EngineError::Parameter`]; a reversed window is
 /// [`EngineError::Config`], exactly like its literal counterpart at plan
 /// time.
 pub(crate) fn resolve_forecast_window(
     window: &TimeWindow,
     params: &[Literal],
+    table: &TimeSeriesTable,
 ) -> Result<(Timestamp, Timestamp), EngineError> {
-    let (lo, hi) = window.resolve(params).map_err(|e| EngineError::Parameter(e.message))?;
-    let (Some(s), Some(e)) = (lo, hi) else {
+    let bounds = table.time_bounds();
+    let latest = bounds.map(|(_, hi)| hi);
+    let (lo, hi) = window.resolve(params, latest).map_err(|e| EngineError::Parameter(e.message))?;
+    let (Some(mut s), Some(e)) = (lo, hi) else {
         return Err(EngineError::Config("FORECAST window must bound both ends".to_string()));
     };
+    // "LAST n DAYS" means the trailing n days *of the table*: a count
+    // longer than the table clamps to its first day instead of asking the
+    // executor for days that never existed.
+    if window.is_relative() {
+        if let Some((table_lo, _)) = bounds {
+            s = s.max(table_lo);
+        }
+    }
     if e < s {
         return Err(EngineError::Config(format!("USING range is reversed: {s} > {e}")));
     }
@@ -325,9 +338,10 @@ pub(crate) fn resolve_select_range(
     params: &[Literal],
     table: &TimeSeriesTable,
 ) -> Result<Option<(Timestamp, Timestamp)>, EngineError> {
-    let (lo, hi) = window.resolve(params).map_err(|e| EngineError::Parameter(e.message))?;
     let (table_lo, table_hi) =
         table.time_bounds().ok_or_else(|| EngineError::Config("empty table".to_string()))?;
+    let (lo, hi) =
+        window.resolve(params, Some(table_hi)).map_err(|e| EngineError::Parameter(e.message))?;
     let lo = lo.map_or(table_lo, |t| t.max(table_lo));
     let hi = hi.map_or(table_hi, |t| t.min(table_hi));
     Ok(if hi < lo { None } else { Some((lo, hi)) })
@@ -530,17 +544,6 @@ impl<'a> Planner<'a> {
         self.check_table(&stmt.table)?;
         let measure = self.resolve_measure(&stmt.measure, stmt.agg)?;
         let predicate = self.predicate_slot(&stmt.constraint)?;
-        // Literal endpoints are calendar-validated now; `?` endpoints when
-        // bound.
-        let endpoint = |b: TimeBound| -> Result<TimeEndpoint, EngineError> {
-            match b {
-                TimeBound::Lit(v) => Ok(TimeEndpoint::Lit(Timestamp::from_yyyymmdd(v)?)),
-                TimeBound::Param(i) => Ok(TimeEndpoint::Param { index: i, offset: 0 }),
-            }
-        };
-        let start = endpoint(stmt.t_start)?;
-        let end = endpoint(stmt.t_end)?;
-
         // Options.
         let rate = sample_rate_option(stmt.option("SAMPLE_RATE"), self.config.default_rate)?;
         let model = match stmt.option("MODEL") {
@@ -579,26 +582,50 @@ impl<'a> Planner<'a> {
             .map(|v| v != 0)
             .unwrap_or(self.config.fast_sum);
 
-        let (range, source) = match (start, end) {
-            (TimeEndpoint::Lit(s), TimeEndpoint::Lit(e)) => {
-                if e < s {
-                    return Err(EngineError::Config(format!("USING range is reversed: {s} > {e}")));
-                }
-                (
-                    TimeRangeSlot::Static(Some((s, e))),
-                    SourceSlot::Planned(choose_source(
-                        self.table,
-                        self.catalog,
-                        measure,
-                        s,
-                        e,
-                        rate,
-                    )?),
-                )
+        // Literal endpoints are calendar-validated now; `?` endpoints when
+        // bound.
+        let endpoint = |b: TimeBound| -> Result<TimeEndpoint, EngineError> {
+            match b {
+                TimeBound::Lit(v) => Ok(TimeEndpoint::Lit(Timestamp::from_yyyymmdd(v)?)),
+                TimeBound::Param(i) => Ok(TimeEndpoint::Param { index: i, offset: 0 }),
             }
-            (s, e) => {
+        };
+        let (range, source) = match stmt.using {
+            UsingClause::Window { start, end } => match (endpoint(start)?, endpoint(end)?) {
+                (TimeEndpoint::Lit(s), TimeEndpoint::Lit(e)) => {
+                    if e < s {
+                        return Err(EngineError::Config(format!(
+                            "USING range is reversed: {s} > {e}"
+                        )));
+                    }
+                    (
+                        TimeRangeSlot::Static(Some((s, e))),
+                        SourceSlot::Planned(choose_source(
+                            self.table,
+                            self.catalog,
+                            measure,
+                            s,
+                            e,
+                            rate,
+                        )?),
+                    )
+                }
+                (s, e) => {
+                    self.check_dynamic_source(rate)?;
+                    let window = TimeWindow { lower: vec![s], upper: vec![e] };
+                    (TimeRangeSlot::Dynamic(window), SourceSlot::Deferred)
+                }
+            },
+            // Relative windows stay dynamic even with a literal day count:
+            // the anchor is the table's newest timestamp, which moves on
+            // every publish, so range clamp + layer selection re-run per
+            // binding against the execution snapshot.
+            UsingClause::LastDays(d) => {
                 self.check_dynamic_source(rate)?;
-                let window = TimeWindow { lower: vec![s], upper: vec![e] };
+                let window = TimeWindow {
+                    lower: vec![TimeEndpoint::LastDays(d)],
+                    upper: vec![TimeEndpoint::Latest],
+                };
                 (TimeRangeSlot::Dynamic(window), SourceSlot::Deferred)
             }
         };
@@ -657,7 +684,7 @@ impl<'a> Planner<'a> {
             .table
             .time_bounds()
             .ok_or_else(|| EngineError::Config("empty table".to_string()))?;
-        let (lo, hi) = match split.window.resolve_range(&[])? {
+        let (lo, hi) = match split.window.resolve_range(&[], Some(table_hi))? {
             Some((a, b)) => (a.max(table_lo), b.min(table_hi)),
             None => (table_lo, table_hi),
         };
@@ -782,7 +809,7 @@ mod tests {
         let LogicalPlan::Forecast(d) = &dynamic else { panic!() };
         let TimeRangeSlot::Dynamic(window) = &d.range else { panic!() };
         let params = [Literal::Int(20200101), Literal::Int(20200202)];
-        let range = resolve_forecast_window(window, &params).unwrap();
+        let range = resolve_forecast_window(window, &params, &table).unwrap();
         let specialized = specialize_plan(&dynamic, Some(range), &table, Some(&catalog)).unwrap();
         let literal = planner
             .plan(
@@ -798,6 +825,67 @@ mod tests {
     }
 
     #[test]
+    fn last_days_plans_dynamic_and_resolves_to_the_trailing_window() {
+        let table = test_table(); // 40 days: 20200101..20200209
+        let config = EngineConfig {
+            layer_rates: vec![0.2, 0.05],
+            sampler: SamplerChoice::OptimalGsw,
+            default_rate: 0.05,
+            ..Default::default()
+        };
+        let catalog = SampleCatalog::build(&table, &config).unwrap();
+        let planner = Planner::new(&table, &config, Some(&catalog));
+
+        let dynamic = planner
+            .plan(&parse("FORECAST SUM(m2) FROM T WHERE seg <= 5 USING LAST 10 DAYS").unwrap())
+            .unwrap();
+        let LogicalPlan::Forecast(d) = &dynamic else { panic!() };
+        let TimeRangeSlot::Dynamic(window) = &d.range else {
+            panic!("relative windows must defer even with a literal day count")
+        };
+        assert_eq!(window.to_string(), "last 10 days");
+        assert_eq!(d.source, SourceSlot::Deferred);
+        let range = resolve_forecast_window(window, &[], &table).unwrap();
+        assert_eq!(range.0.to_yyyymmdd(), 20200131);
+        assert_eq!(range.1.to_yyyymmdd(), 20200209);
+
+        // Specializing to the resolved range matches the literal plan.
+        let specialized = specialize_plan(&dynamic, Some(range), &table, Some(&catalog)).unwrap();
+        let literal = planner
+            .plan(
+                &parse("FORECAST SUM(m2) FROM T WHERE seg <= 5 USING (20200131, 20200209)")
+                    .unwrap(),
+            )
+            .unwrap();
+        let (LogicalPlan::Forecast(s), LogicalPlan::Forecast(l)) = (&specialized, &literal) else {
+            panic!()
+        };
+        assert_eq!(s.range, l.range);
+        assert_eq!(s.source, l.source);
+
+        // A count longer than the table clamps to the table's first day.
+        let long = planner.plan(&parse("FORECAST SUM(m2) FROM T USING LAST 1000 DAYS").unwrap());
+        let LogicalPlan::Forecast(p) = long.unwrap() else { panic!() };
+        let TimeRangeSlot::Dynamic(w) = &p.range else { panic!() };
+        let range = resolve_forecast_window(w, &[], &table).unwrap();
+        assert_eq!(range.0.to_yyyymmdd(), 20200101);
+
+        // Parameterized day count resolves per binding with typed errors.
+        let pd = planner.plan(&parse("FORECAST SUM(m2) FROM T USING LAST ? DAYS").unwrap());
+        let plan = pd.unwrap();
+        assert_eq!(plan.num_params(), 1);
+        let LogicalPlan::Forecast(p) = &plan else { panic!() };
+        let TimeRangeSlot::Dynamic(w) = &p.range else { panic!() };
+        assert_eq!(w.to_string(), "last ?0 days");
+        let r = resolve_forecast_window(w, &[Literal::Int(1)], &table).unwrap();
+        assert_eq!(r.0, r.1, "LAST 1 DAYS is just the newest day");
+        assert!(matches!(
+            resolve_forecast_window(w, &[Literal::Int(-3)], &table),
+            Err(EngineError::Parameter(m)) if m.contains("positive")
+        ));
+    }
+
+    #[test]
     fn dynamic_window_binding_errors_are_typed() {
         let table = test_table();
         let window = TimeWindow {
@@ -806,14 +894,15 @@ mod tests {
         };
         // Reversed window.
         let params = [Literal::Int(20200301), Literal::Int(20200101)];
-        let Err(EngineError::Config(msg)) = resolve_forecast_window(&window, &params) else {
+        let Err(EngineError::Config(msg)) = resolve_forecast_window(&window, &params, &table)
+        else {
             panic!("reversed range must be a Config error")
         };
         assert!(msg.contains("reversed"));
         // Impossible date.
         let params = [Literal::Int(20200230), Literal::Int(20200301)];
         assert!(matches!(
-            resolve_forecast_window(&window, &params),
+            resolve_forecast_window(&window, &params, &table),
             Err(EngineError::Parameter(m)) if m.contains("?0")
         ));
         // SELECT: inverted bounds clamp to an empty (None) range.

@@ -274,7 +274,7 @@ impl ExecCtx<'_> {
         check_arity(plan.num_params, params)?;
         let plan: Cow<'_, ForecastPlan> = match &plan.range {
             TimeRangeSlot::Dynamic(window) => {
-                let range = resolve_forecast_window(window, params)?;
+                let range = resolve_forecast_window(window, params, self.table)?;
                 Cow::Owned(specialize_forecast(plan, range, self.table, self.catalog)?)
             }
             TimeRangeSlot::Static(_) => Cow::Borrowed(plan),
@@ -571,7 +571,9 @@ impl PreparedQuery {
         };
         check_arity(plan.num_params(), params)?;
         let range = match &*plan {
-            LogicalPlan::Forecast(_) => Some(resolve_forecast_window(window, params)?),
+            LogicalPlan::Forecast(_) => {
+                Some(resolve_forecast_window(window, params, snapshot.table())?)
+            }
             LogicalPlan::Select(_) => resolve_select_range(window, params, snapshot.table())?,
         };
         let key = range.map(|(a, b)| (a.0, b.0));

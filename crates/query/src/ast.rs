@@ -183,6 +183,58 @@ impl fmt::Display for TimeBound {
     }
 }
 
+/// The `USING` clause of a `FORECAST` statement: either an absolute
+/// `(start, end)` window or a relative `LAST n DAYS` window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UsingClause {
+    /// `USING (start, end)` — absolute `YYYYMMDD` endpoints (either may
+    /// be a `?` placeholder bound per execution).
+    Window {
+        /// Training window start.
+        start: TimeBound,
+        /// Training window end.
+        end: TimeBound,
+    },
+    /// `USING LAST n DAYS` — the trailing `n` days ending at the table's
+    /// newest timestamp, resolved at bind time so a freshly published day
+    /// shifts the window without client-side date math. The day count may
+    /// be a `?` placeholder.
+    LastDays(TimeBound),
+}
+
+impl UsingClause {
+    /// Number of `?` placeholders in the clause (`max index + 1`).
+    pub fn num_params(&self) -> usize {
+        match self {
+            UsingClause::Window { start, end } => [start, end]
+                .iter()
+                .filter_map(|b| b.param_index())
+                .map(|i| i + 1)
+                .max()
+                .unwrap_or(0),
+            UsingClause::LastDays(d) => d.param_index().map_or(0, |i| i + 1),
+        }
+    }
+
+    /// The static `(start, end)` pair, if the clause is an absolute window
+    /// with both endpoints literal.
+    pub fn as_static_window(&self) -> Option<(i64, i64)> {
+        match self {
+            UsingClause::Window { start, end } => Some((start.as_lit()?, end.as_lit()?)),
+            UsingClause::LastDays(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for UsingClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UsingClause::Window { start, end } => write!(f, "USING ({start}, {end})"),
+            UsingClause::LastDays(d) => write!(f, "USING LAST {d} DAYS"),
+        }
+    }
+}
+
 /// Value of an `OPTION (key = value)` entry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OptionValue {
@@ -236,10 +288,9 @@ pub struct ForecastStmt {
     pub measure: String,
     pub table: String,
     pub constraint: Expr,
-    /// Training window start: a `YYYYMMDD` literal or a `?` placeholder.
-    pub t_start: TimeBound,
-    /// Training window end: a `YYYYMMDD` literal or a `?` placeholder.
-    pub t_end: TimeBound,
+    /// The training window: absolute `USING (start, end)` or relative
+    /// `USING LAST n DAYS`.
+    pub using: UsingClause,
     /// `OPTION (key = value, …)` pairs in source order.
     pub options: Vec<(String, OptionValue)>,
 }
@@ -251,17 +302,10 @@ impl ForecastStmt {
     }
 
     /// Number of `?` placeholders in the whole statement (constraint and
-    /// `USING` bounds; the parser numbers them contiguously
+    /// `USING` clause; the parser numbers them contiguously
     /// left-to-right, so this is `max index + 1`).
     pub fn num_params(&self) -> usize {
-        let constraint = self.constraint.num_params();
-        let bounds = [self.t_start, self.t_end]
-            .iter()
-            .filter_map(|b| b.param_index())
-            .map(|i| i + 1)
-            .max()
-            .unwrap_or(0);
-        constraint.max(bounds)
+        self.constraint.num_params().max(self.using.num_params())
     }
 }
 
@@ -328,8 +372,8 @@ impl fmt::Display for Statement {
             Statement::Forecast(s) => {
                 write!(
                     f,
-                    "FORECAST {}({}) FROM {} WHERE {} USING ({}, {})",
-                    s.agg, s.measure, s.table, s.constraint, s.t_start, s.t_end
+                    "FORECAST {}({}) FROM {} WHERE {} {}",
+                    s.agg, s.measure, s.table, s.constraint, s.using
                 )?;
                 write_options(f, &s.options)
             }
@@ -394,8 +438,7 @@ mod tests {
             measure: "m".into(),
             table: "T".into(),
             constraint: Expr::True,
-            t_start: TimeBound::Lit(1),
-            t_end: TimeBound::Lit(2),
+            using: UsingClause::Window { start: TimeBound::Lit(1), end: TimeBound::Lit(2) },
             options: vec![("MODEL".into(), OptionValue::Str("arima".into()))],
         };
         assert_eq!(s.option("model").unwrap().as_str(), Some("arima"));
@@ -436,15 +479,34 @@ mod tests {
             measure: "m".into(),
             table: "T".into(),
             constraint: Expr::Cmp { column: "a".into(), op: CmpOp::Le, value: Literal::Param(0) },
-            t_start: TimeBound::Param(1),
-            t_end: TimeBound::Param(2),
+            using: UsingClause::Window { start: TimeBound::Param(1), end: TimeBound::Param(2) },
             options: vec![],
         };
         assert_eq!(s.num_params(), 3);
-        s.t_end = TimeBound::Lit(20200131);
+        s.using = UsingClause::Window { start: TimeBound::Param(1), end: TimeBound::Lit(20200131) };
         assert_eq!(s.num_params(), 2);
         s.constraint = Expr::True;
         assert_eq!(s.num_params(), 2, "USING params alone still count");
+    }
+
+    #[test]
+    fn using_clause_display_and_params() {
+        let w = UsingClause::Window { start: TimeBound::Lit(20200101), end: TimeBound::Param(0) };
+        assert_eq!(w.to_string(), "USING (20200101, ?)");
+        assert_eq!(w.num_params(), 1);
+        assert_eq!(w.as_static_window(), None);
+
+        let last = UsingClause::LastDays(TimeBound::Lit(7));
+        assert_eq!(last.to_string(), "USING LAST 7 DAYS");
+        assert_eq!(last.num_params(), 0);
+        assert_eq!(last.as_static_window(), None);
+
+        let last_p = UsingClause::LastDays(TimeBound::Param(0));
+        assert_eq!(last_p.to_string(), "USING LAST ? DAYS");
+        assert_eq!(last_p.num_params(), 1);
+
+        let fixed = UsingClause::Window { start: TimeBound::Lit(1), end: TimeBound::Lit(2) };
+        assert_eq!(fixed.as_static_window(), Some((1, 2)));
     }
 
     #[test]

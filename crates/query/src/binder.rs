@@ -1,7 +1,7 @@
 //! Binding: AST expressions → storage predicates, with time-range
 //! extraction for SELECT statements.
 
-use crate::ast::{Expr, Literal, SelectStmt, TIME_COLUMN};
+use crate::ast::{Expr, Literal, SelectStmt, TimeBound, TIME_COLUMN};
 use crate::error::ParseError;
 use flashp_storage::{CmpOp, Predicate, Timestamp, Value};
 use std::fmt;
@@ -96,8 +96,10 @@ pub fn bind_expr(expr: &Expr) -> Result<Predicate, ParseError> {
 }
 
 /// One contribution to a time-window endpoint: a literal timestamp
-/// (validated when the constraint was split) or a `?` placeholder plus a
-/// day offset (`t > ?` contributes a lower bound of `? + 1` day).
+/// (validated when the constraint was split), a `?` placeholder plus a
+/// day offset (`t > ?` contributes a lower bound of `? + 1` day), or a
+/// table-relative endpoint from `USING LAST n DAYS` that re-resolves
+/// against the table's newest timestamp at every binding.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TimeEndpoint {
     /// A literal endpoint, already parsed and calendar-validated.
@@ -110,12 +112,24 @@ pub enum TimeEndpoint {
         /// inequalities, 0 otherwise).
         offset: i64,
     },
+    /// The table's newest timestamp at bind time (the upper endpoint of
+    /// `USING LAST n DAYS`).
+    Latest,
+    /// `latest - (n - 1)` days: the start of a trailing `n`-day window.
+    /// The day count is a positive integer literal or a `?` placeholder.
+    LastDays(TimeBound),
 }
 
 impl TimeEndpoint {
     /// The endpoint's timestamp under `params` (placeholder `i` takes
-    /// `params[i]`, which must be a valid `YYYYMMDD` integer).
-    pub fn resolve(&self, params: &[Literal]) -> Result<Timestamp, ParseError> {
+    /// `params[i]`, which must be a valid `YYYYMMDD` integer). Relative
+    /// endpoints resolve against `latest`, the table's newest timestamp;
+    /// they error when no table context is available (`latest = None`).
+    pub fn resolve(
+        &self,
+        params: &[Literal],
+        latest: Option<Timestamp>,
+    ) -> Result<Timestamp, ParseError> {
         match self {
             TimeEndpoint::Lit(t) => Ok(*t),
             TimeEndpoint::Param { index, offset } => {
@@ -135,13 +149,65 @@ impl TimeEndpoint {
                     .map_err(|e| ParseError::new(format!("time parameter ?{index}: {e}"), 0))?;
                 Ok(t + *offset)
             }
+            TimeEndpoint::Latest => require_latest(latest),
+            TimeEndpoint::LastDays(d) => {
+                let latest = require_latest(latest)?;
+                let days = match d {
+                    TimeBound::Lit(n) => *n,
+                    TimeBound::Param(i) => {
+                        let lit = params.get(*i).ok_or_else(|| {
+                            ParseError::new(
+                                format!(
+                                    "day count parameter ?{i} has no value ({} supplied)",
+                                    params.len()
+                                ),
+                                0,
+                            )
+                        })?;
+                        let Literal::Int(n) = lit else {
+                            return Err(ParseError::new(
+                                format!("day count parameter ?{i} must be a positive integer"),
+                                0,
+                            ));
+                        };
+                        if *n < 1 {
+                            return Err(ParseError::new(
+                                format!("day count parameter ?{i} must be positive, got {n}"),
+                                0,
+                            ));
+                        }
+                        *n
+                    }
+                };
+                // A window longer than any real table is just "everything";
+                // cap the count so the subtraction cannot overflow.
+                Ok(latest + (1 - days.min(1 << 40)))
+            }
         }
     }
 
     /// Does this endpoint depend on a `?` parameter?
     pub fn is_param(&self) -> bool {
-        matches!(self, TimeEndpoint::Param { .. })
+        matches!(self, TimeEndpoint::Param { .. } | TimeEndpoint::LastDays(TimeBound::Param(_)))
     }
+
+    /// Does this endpoint depend on the table's newest timestamp
+    /// (`USING LAST n DAYS`)? Relative endpoints must re-resolve per
+    /// binding even when the day count is a literal — a publish moves
+    /// them.
+    pub fn is_relative(&self) -> bool {
+        matches!(self, TimeEndpoint::Latest | TimeEndpoint::LastDays(_))
+    }
+}
+
+fn require_latest(latest: Option<Timestamp>) -> Result<Timestamp, ParseError> {
+    latest.ok_or_else(|| {
+        ParseError::new(
+            "USING LAST … DAYS requires a table with at least one row to anchor 'latest'"
+                .to_string(),
+            0,
+        )
+    })
 }
 
 impl fmt::Display for TimeEndpoint {
@@ -150,6 +216,9 @@ impl fmt::Display for TimeEndpoint {
             TimeEndpoint::Lit(t) => write!(f, "{t}"),
             TimeEndpoint::Param { index, offset: 0 } => write!(f, "?{index}"),
             TimeEndpoint::Param { index, offset } => write!(f, "?{index}{offset:+}"),
+            TimeEndpoint::Latest => write!(f, "latest"),
+            TimeEndpoint::LastDays(TimeBound::Lit(n)) => write!(f, "latest-{}d", n - 1),
+            TimeEndpoint::LastDays(TimeBound::Param(i)) => write!(f, "latest-(?{i}-1)d"),
         }
     }
 }
@@ -173,25 +242,42 @@ impl TimeWindow {
         self.lower.iter().chain(&self.upper).any(TimeEndpoint::is_param)
     }
 
+    /// Does any endpoint depend on the table's newest timestamp
+    /// (`USING LAST n DAYS`)?
+    pub fn is_relative(&self) -> bool {
+        self.lower.iter().chain(&self.upper).any(TimeEndpoint::is_relative)
+    }
+
+    /// The trailing day count when this window is exactly the
+    /// `USING LAST n DAYS` shape (`LastDays(d)..Latest`).
+    pub fn as_last_days(&self) -> Option<TimeBound> {
+        match (self.lower.as_slice(), self.upper.as_slice()) {
+            ([TimeEndpoint::LastDays(d)], [TimeEndpoint::Latest]) => Some(*d),
+            _ => None,
+        }
+    }
+
     /// True when no time condition was present at all.
     pub fn is_unconstrained(&self) -> bool {
         self.lower.is_empty() && self.upper.is_empty()
     }
 
     /// Resolve both sides under `params`: `(max(lower), min(upper))`,
-    /// `None` for a side with no contributions.
+    /// `None` for a side with no contributions. `latest` anchors relative
+    /// (`USING LAST`) endpoints — pass the table's newest timestamp.
     pub fn resolve(
         &self,
         params: &[Literal],
+        latest: Option<Timestamp>,
     ) -> Result<(Option<Timestamp>, Option<Timestamp>), ParseError> {
         let mut lo: Option<Timestamp> = None;
         for e in &self.lower {
-            let t = e.resolve(params)?;
+            let t = e.resolve(params, latest)?;
             lo = Some(lo.map_or(t, |x| x.max(t)));
         }
         let mut hi: Option<Timestamp> = None;
         for e in &self.upper {
-            let t = e.resolve(params)?;
+            let t = e.resolve(params, latest)?;
             hi = Some(hi.map_or(t, |x| x.min(t)));
         }
         Ok((lo, hi))
@@ -203,8 +289,9 @@ impl TimeWindow {
     pub fn resolve_range(
         &self,
         params: &[Literal],
+        latest: Option<Timestamp>,
     ) -> Result<Option<(Timestamp, Timestamp)>, ParseError> {
-        Ok(match self.resolve(params)? {
+        Ok(match self.resolve(params, latest)? {
             (None, None) => None,
             (Some(a), Some(b)) => Some((a, b)),
             (Some(a), None) => Some((a, Timestamp(i64::MAX / 2))),
@@ -215,6 +302,14 @@ impl TimeWindow {
 
 impl fmt::Display for TimeWindow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The relative shape renders as written (`USING LAST n DAYS`), so
+        // EXPLAIN and error messages show the user's form.
+        if let Some(d) = self.as_last_days() {
+            return match d {
+                TimeBound::Lit(n) => write!(f, "last {n} days"),
+                TimeBound::Param(i) => write!(f, "last ?{i} days"),
+            };
+        }
         fn side(f: &mut fmt::Formatter<'_>, es: &[TimeEndpoint], fold: &str) -> fmt::Result {
             match es {
                 [] => write!(f, "*"),
@@ -273,7 +368,7 @@ pub fn bind_select_constraint(stmt: &SelectStmt) -> Result<BoundSelect, ParseErr
     }
     Ok(BoundSelect {
         predicate: bind_expr(&split.dims)?,
-        time_range: split.window.resolve_range(&[])?,
+        time_range: split.window.resolve_range(&[], None)?,
     })
 }
 
@@ -486,13 +581,13 @@ mod tests {
         assert_eq!(split.dims.to_string(), "age <= ?");
         assert_eq!(split.window.to_string(), "?1+1..?2-1");
         let params = [Literal::Int(30), Literal::Int(20200101), Literal::Int(20200105)];
-        let (lo, hi) = split.window.resolve(&params).unwrap();
+        let (lo, hi) = split.window.resolve(&params, None).unwrap();
         assert_eq!(lo.unwrap().to_yyyymmdd(), 20200102, "strict > shifts up a day");
         assert_eq!(hi.unwrap().to_yyyymmdd(), 20200104, "strict < shifts down a day");
         // The same statement with literals resolves identically.
         let lit = select("SELECT SUM(m) FROM T WHERE age <= 30 AND t > 20200101 AND t < 20200105");
         let lit_split = split_select_constraint(&lit).unwrap();
-        assert_eq!(lit_split.window.resolve(&[]).unwrap(), (lo, hi));
+        assert_eq!(lit_split.window.resolve(&[], None).unwrap(), (lo, hi));
     }
 
     #[test]
@@ -500,17 +595,52 @@ mod tests {
         let s = select("SELECT SUM(m) FROM T WHERE t >= ?");
         let w = split_select_constraint(&s).unwrap().window;
         // Missing value.
-        assert!(w.resolve(&[]).unwrap_err().message.contains("no value"));
+        assert!(w.resolve(&[], None).unwrap_err().message.contains("no value"));
         // Wrong type.
-        let e = w.resolve(&[Literal::Str("x".into())]).unwrap_err();
+        let e = w.resolve(&[Literal::Str("x".into())], None).unwrap_err();
         assert!(e.message.contains("YYYYMMDD"));
         // Impossible calendar date surfaces the parameter index.
-        let e = w.resolve(&[Literal::Int(20200230)]).unwrap_err();
+        let e = w.resolve(&[Literal::Int(20200230)], None).unwrap_err();
         assert!(e.message.contains("?0"), "error names the parameter: {e}");
         // Valid date resolves; the half-open side widens to a sentinel.
-        let range = w.resolve_range(&[Literal::Int(20200301)]).unwrap().unwrap();
+        let range = w.resolve_range(&[Literal::Int(20200301)], None).unwrap().unwrap();
         assert_eq!(range.0.to_yyyymmdd(), 20200301);
         assert!(range.1 > range.0);
+    }
+
+    #[test]
+    fn relative_window_resolves_against_latest() {
+        let latest = Timestamp::from_yyyymmdd(20200209).unwrap();
+        let w = TimeWindow {
+            lower: vec![TimeEndpoint::LastDays(TimeBound::Lit(10))],
+            upper: vec![TimeEndpoint::Latest],
+        };
+        assert!(w.is_relative());
+        assert!(!w.has_params());
+        assert_eq!(w.to_string(), "last 10 days");
+        let (lo, hi) = w.resolve(&[], Some(latest)).unwrap();
+        assert_eq!(lo.unwrap().to_yyyymmdd(), 20200131, "10 days ending at latest");
+        assert_eq!(hi.unwrap(), latest);
+        // Without a table anchor, resolution is a typed error.
+        let e = w.resolve(&[], None).unwrap_err();
+        assert!(e.message.contains("LAST"), "{}", e.message);
+
+        // Parameterized day count: value checked at bind time.
+        let wp = TimeWindow {
+            lower: vec![TimeEndpoint::LastDays(TimeBound::Param(0))],
+            upper: vec![TimeEndpoint::Latest],
+        };
+        assert!(wp.has_params() && wp.is_relative());
+        assert_eq!(wp.to_string(), "last ?0 days");
+        let (lo, _) = wp.resolve(&[Literal::Int(1)], Some(latest)).unwrap();
+        assert_eq!(lo.unwrap(), latest, "LAST 1 DAYS is just the newest day");
+        let e = wp.resolve(&[Literal::Int(0)], Some(latest)).unwrap_err();
+        assert!(e.message.contains("?0") && e.message.contains("positive"), "{}", e.message);
+        let e = wp.resolve(&[Literal::Str("x".into())], Some(latest)).unwrap_err();
+        assert!(e.message.contains("positive integer"), "{}", e.message);
+        // A huge day count saturates instead of overflowing.
+        let (lo, hi) = wp.resolve(&[Literal::Int(i64::MAX)], Some(latest)).unwrap();
+        assert!(lo.unwrap() < hi.unwrap());
     }
 
     #[test]

@@ -28,7 +28,8 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{
-    Expr, ForecastStmt, Literal, OptionValue, SelectStmt, Statement, TimeBound, TIME_COLUMN,
+    Expr, ForecastStmt, Literal, OptionValue, SelectStmt, Statement, TimeBound, UsingClause,
+    TIME_COLUMN,
 };
 pub use binder::{
     bind_expr, bind_select_constraint, split_select_constraint, substitute_params, BoundSelect,

@@ -1,7 +1,8 @@
 //! Recursive-descent parser for the task language.
 
 use crate::ast::{
-    CmpOp, Expr, ForecastStmt, Literal, OptionValue, SelectStmt, Statement, TimeBound, TIME_COLUMN,
+    CmpOp, Expr, ForecastStmt, Literal, OptionValue, SelectStmt, Statement, TimeBound, UsingClause,
+    TIME_COLUMN,
 };
 use crate::error::ParseError;
 use crate::lexer::{tokenize, Token, TokenKind};
@@ -164,11 +165,7 @@ impl Parser {
         let (agg, measure, table) = self.agg_from()?;
         let constraint = if self.accept_keyword("WHERE") { self.expr()? } else { Expr::True };
         self.expect_keyword("USING")?;
-        self.expect_token(&TokenKind::LParen)?;
-        let t_start = self.time_bound()?;
-        self.expect_token(&TokenKind::Comma)?;
-        let t_end = self.time_bound()?;
-        self.expect_token(&TokenKind::RParen)?;
+        let using = self.using_clause()?;
         let options = self.options_clause()?;
         if constraint.references(TIME_COLUMN) {
             return Err(ParseError::new(
@@ -176,7 +173,46 @@ impl Parser {
                 0,
             ));
         }
-        Ok(ForecastStmt { agg, measure, table, constraint, t_start, t_end, options })
+        Ok(ForecastStmt { agg, measure, table, constraint, using, options })
+    }
+
+    /// The body of a `USING` clause: `(start, end)` or `LAST n DAYS`.
+    fn using_clause(&mut self) -> Result<UsingClause, ParseError> {
+        if self.accept_keyword("LAST") {
+            let pos = self.peek().position;
+            let days = match self.peek().kind {
+                TokenKind::Int(v) => {
+                    self.advance();
+                    if v < 1 {
+                        return Err(ParseError::new(
+                            format!("USING LAST requires a positive day count, got {v}"),
+                            pos,
+                        ));
+                    }
+                    TimeBound::Lit(v)
+                }
+                TokenKind::Question => {
+                    self.advance();
+                    let index = self.params;
+                    self.params += 1;
+                    TimeBound::Param(index)
+                }
+                ref other => {
+                    return Err(self.error_here(format!(
+                        "expected day count integer or ?, found {}",
+                        other.describe()
+                    )))
+                }
+            };
+            self.expect_keyword("DAYS")?;
+            return Ok(UsingClause::LastDays(days));
+        }
+        self.expect_token(&TokenKind::LParen)?;
+        let start = self.time_bound()?;
+        self.expect_token(&TokenKind::Comma)?;
+        let end = self.time_bound()?;
+        self.expect_token(&TokenKind::RParen)?;
+        Ok(UsingClause::Window { start, end })
     }
 
     fn select_body(&mut self) -> Result<SelectStmt, ParseError> {
@@ -351,8 +387,10 @@ mod tests {
         assert_eq!(f.agg, AggFunc::Sum);
         assert_eq!(f.measure, "Impression");
         assert_eq!(f.table, "T");
-        assert_eq!(f.t_start, TimeBound::Lit(20200101));
-        assert_eq!(f.t_end, TimeBound::Lit(20200331));
+        assert_eq!(
+            f.using,
+            UsingClause::Window { start: TimeBound::Lit(20200101), end: TimeBound::Lit(20200331) }
+        );
         assert_eq!(
             f.constraint,
             Expr::And(vec![
@@ -547,17 +585,48 @@ mod tests {
         let stmt = parse("FORECAST SUM(m) FROM T WHERE age <= ? USING (?, ?)").unwrap();
         let Statement::Forecast(f) = &stmt else { panic!() };
         assert_eq!(f.constraint.num_params(), 1);
-        assert_eq!(f.t_start, TimeBound::Param(1));
-        assert_eq!(f.t_end, TimeBound::Param(2));
+        assert_eq!(
+            f.using,
+            UsingClause::Window { start: TimeBound::Param(1), end: TimeBound::Param(2) }
+        );
         assert_eq!(f.num_params(), 3);
         // Display round-trips `?` bounds to the same indices.
         assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
         // Mixed literal/parameter bounds parse too.
         let stmt = parse("FORECAST SUM(m) FROM T USING (20200101, ?)").unwrap();
         let Statement::Forecast(f) = &stmt else { panic!() };
-        assert_eq!(f.t_start, TimeBound::Lit(20200101));
-        assert_eq!(f.t_end, TimeBound::Param(0));
+        assert_eq!(
+            f.using,
+            UsingClause::Window { start: TimeBound::Lit(20200101), end: TimeBound::Param(0) }
+        );
         assert_eq!(f.num_params(), 1);
+    }
+
+    #[test]
+    fn parses_using_last_days() {
+        let stmt = parse("FORECAST SUM(m) FROM T USING LAST 7 DAYS").unwrap();
+        let Statement::Forecast(f) = &stmt else { panic!() };
+        assert_eq!(f.using, UsingClause::LastDays(TimeBound::Lit(7)));
+        assert_eq!(f.num_params(), 0);
+        assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+
+        // Parameterized day count numbers with the statement's other params.
+        let stmt = parse("FORECAST SUM(m) FROM T WHERE age <= ? USING LAST ? DAYS").unwrap();
+        let Statement::Forecast(f) = &stmt else { panic!() };
+        assert_eq!(f.using, UsingClause::LastDays(TimeBound::Param(1)));
+        assert_eq!(f.num_params(), 2);
+        assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+
+        // Case-insensitive keywords.
+        assert!(parse("FORECAST SUM(m) FROM T using last 3 days").is_ok());
+
+        // A zero or negative literal day count is rejected at parse time.
+        let e = parse("FORECAST SUM(m) FROM T USING LAST 0 DAYS").unwrap_err();
+        assert!(e.message.contains("positive day count"), "{}", e.message);
+        // Missing DAYS and a non-integer count are syntax errors.
+        assert!(parse("FORECAST SUM(m) FROM T USING LAST 7").is_err());
+        let e = parse("FORECAST SUM(m) FROM T USING LAST x DAYS").unwrap_err();
+        assert!(e.message.contains("day count"), "{}", e.message);
     }
 
     #[test]

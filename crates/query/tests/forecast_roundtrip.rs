@@ -24,8 +24,13 @@ fn quickstart_parses_into_the_expected_ast() {
     assert_eq!(stmt.agg, AggFunc::Sum);
     assert_eq!(stmt.measure, "Impression");
     assert_eq!(stmt.table, "ads");
-    assert_eq!(stmt.t_start, flashp_query::TimeBound::Lit(20200101));
-    assert_eq!(stmt.t_end, flashp_query::TimeBound::Lit(20200229));
+    assert_eq!(
+        stmt.using,
+        flashp_query::UsingClause::Window {
+            start: flashp_query::TimeBound::Lit(20200101),
+            end: flashp_query::TimeBound::Lit(20200229),
+        }
+    );
 
     // WHERE age <= 30 AND gender = 'F'
     match &stmt.constraint {

@@ -1,0 +1,119 @@
+//! The FlashP service binary: builds a synthetic ads dataset, samples
+//! it, and serves the wire protocol over TCP until stdin closes (or a
+//! `shutdown` line arrives), then drains gracefully.
+//!
+//! ```text
+//! cargo run -p flashp-server --release --bin flashp_server -- \
+//!     --addr 127.0.0.1:0 --workers 4 --queue 64 --rows 2000 --days 30
+//! ```
+//!
+//! The bound address is printed as the first stdout line
+//! (`flashp-server listening on <addr>`), so harnesses can start the
+//! binary with port 0 and scrape the real port.
+
+use flashp_core::{EngineConfig, FlashPEngine, SampleCatalog, SamplerChoice};
+use flashp_data::{generate_dataset, DatasetConfig};
+use flashp_server::server::{serve, ServerConfig};
+use std::io::BufRead;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue: usize,
+    rows: usize,
+    days: usize,
+    seed: u64,
+    session_limit: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue: 64,
+        rows: 2_000,
+        days: 30,
+        seed: 11,
+        session_limit: u64::MAX,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => args.workers = parse(&value("--workers")?)?,
+            "--queue" => args.queue = parse(&value("--queue")?)?,
+            "--rows" => args.rows = parse(&value("--rows")?)?,
+            "--days" => args.days = parse(&value("--days")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--session-limit" => args.session_limit = parse(&value("--session-limit")?)?,
+            "--help" | "-h" => {
+                return Err("usage: flashp_server [--addr A] [--workers N] [--queue N] \
+                            [--rows N] [--days N] [--seed N] [--session-limit N]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag {other}; try --help")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad value '{s}': {e}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("generating {} days x ~{} rows/day (seed {})...", args.days, args.rows, args.seed);
+    let ds = generate_dataset(&DatasetConfig::new(args.rows, args.days, args.seed))
+        .expect("dataset generation");
+    let config = EngineConfig {
+        sampler: SamplerChoice::OptimalGsw,
+        layer_rates: vec![0.2, 0.05],
+        default_rate: 0.05,
+        ..Default::default()
+    };
+    let catalog = SampleCatalog::build(&ds.table, &config).expect("sample build");
+    let engine = FlashPEngine::with_catalog(ds.table, config, catalog);
+
+    let mut handle = serve(
+        engine,
+        ServerConfig {
+            addr: args.addr,
+            workers: args.workers,
+            queue_depth: args.queue,
+            session_statement_limit: args.session_limit,
+            idle_timeout: Duration::from_secs(300),
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    println!("flashp-server listening on {}", handle.local_addr());
+
+    // Serve until stdin closes (the CI smoke test's shutdown signal) or
+    // an explicit `shutdown` line arrives.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(cmd) if cmd.trim().eq_ignore_ascii_case("shutdown") => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    let drain = handle.shutdown();
+    println!(
+        "flashp-server drained: completed={} busy={} timeouts={}",
+        drain.completed, drain.busy_rejections, drain.reply_timeouts
+    );
+}

@@ -1,0 +1,24 @@
+//! Closed-loop service benchmark: starts an in-process server over a
+//! synthetic ads dataset, drives the 1/8/64/256-client sweep with a
+//! concurrent publisher, and writes `BENCH_service.json` at the repo
+//! root (p50/p99 latency and statements/sec per client count).
+//!
+//! Run with `cargo run -p flashp-server --release --bin service_bench`.
+
+fn main() {
+    let report = flashp_server::harness::service_report();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    let body = serde_json::to_string_pretty(&report).expect("render");
+    std::fs::write(path, body + "\n").expect("write BENCH_service.json");
+    println!("wrote {path}");
+    for run in report.get("runs").and_then(|r| r.as_array()).into_iter().flatten() {
+        println!(
+            "  {:>3} clients: p50 {:>6} us  p99 {:>7} us  {:>9.0} stmt/s  (busy {})",
+            run.get("clients").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            run.get("p50_us").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            run.get("p99_us").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            run.get("statements_per_sec").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            run.get("busy").and_then(|v| v.as_f64()).unwrap_or(0.0),
+        );
+    }
+}

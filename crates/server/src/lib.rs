@@ -1,0 +1,40 @@
+//! # flashp-server
+//!
+//! A multi-tenant query service frontend for the FlashP engine: TCP in,
+//! JSON lines out, with per-connection sessions, first-class admission
+//! control, and a closed-loop load harness.
+//!
+//! The wire protocol is newline-delimited text ([`protocol`]): each
+//! request line is a statement of the task language (`FORECAST` /
+//! `SELECT` / `EXPLAIN`) or a service verb (`PREPARE name AS ...`,
+//! `EXECUTE name (...)`, `INGEST`, `PUBLISH`, `STATS`, `CLOSE`), and
+//! each response is exactly one JSON line. No async runtime: the server
+//! ([`server`]) is a `std::net` listener, one thread per connection, and
+//! a fixed worker pool behind a **bounded** queue — a full queue answers
+//! a typed `busy` error immediately, it never blocks the client.
+//!
+//! Sessions ([`session`]) hold named prepared handles (the engine's
+//! [`flashp_core::PreparedQuery`], re-bound per `EXECUTE`), so the hot
+//! service path skips parse + plan entirely. `INGEST`/`PUBLISH` feed the
+//! engine's staged ingest cycle; a publish swaps the catalog version
+//! under every session's handles mid-flight, which is exactly what the
+//! oracle tests assert stays bit-identical to in-process execution.
+//!
+//! The closed-loop harness ([`harness`]) drives 1/8/64/256 concurrent
+//! clients (optionally with a concurrent publisher) and reports
+//! p50/p99/throughput — `cargo run -p flashp-server --release --bin
+//! service_bench` writes `BENCH_service.json` at the repo root.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod stats;
+
+pub use harness::{run_closed_loop, Client, LoadConfig, LoadReport};
+pub use protocol::{parse_command, Command, ErrorCode};
+pub use server::{serve, DrainReport, ServerConfig, ServerHandle};
+pub use session::Session;
+pub use stats::{LatencyHistogram, ServerStats};

@@ -1,0 +1,580 @@
+//! The wire protocol: newline-delimited text commands in, one JSON line
+//! out per command.
+//!
+//! Requests are plain text — a statement of the task language, or one of
+//! the service verbs (`PREPARE`, `EXECUTE`, `DEALLOCATE`, `INGEST`,
+//! `PUBLISH`, `STATS`, `SLEEP`, `CLOSE`). Responses are single-line JSON
+//! objects: `{"ok":true,...}` on success, `{"ok":false,"error":{"code":
+//! ...,"message":...}}` on failure. Every request gets exactly one
+//! response line, in order — including rejections, so a client never
+//! hangs on an admission decision.
+//!
+//! Response encoding is deliberately deterministic (no timings, stable
+//! key order, the vendored `serde_json`'s canonical float formatting):
+//! the oracle test in `tests/service.rs` asserts a wire response is
+//! byte-identical to encoding the in-process result.
+
+use flashp_core::{
+    EngineError, EngineStats, ExecOutput, ForecastResult, Literal, PlanNode, PublishStats,
+    SelectResult,
+};
+use serde_json::{json, Map, Value};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `PREPARE <name> AS <statement>` — compile a statement into a named
+    /// session handle.
+    Prepare {
+        /// Handle name (identifier, unique per session).
+        name: String,
+        /// The statement text to prepare.
+        sql: String,
+    },
+    /// `EXECUTE <name> [(arg, ...)]` — run a prepared handle with bound
+    /// `?` parameters.
+    Execute {
+        /// Handle name from an earlier `PREPARE`.
+        name: String,
+        /// Positional parameter values.
+        args: Vec<Literal>,
+    },
+    /// `DEALLOCATE <name>` — drop a prepared handle.
+    Deallocate {
+        /// Handle name to drop.
+        name: String,
+    },
+    /// A one-shot `FORECAST` / `SELECT` / `EXPLAIN` statement.
+    Statement {
+        /// The raw statement text.
+        sql: String,
+    },
+    /// `INGEST (t, dim..., measure...) ...` — stage rows for the next
+    /// publish. Each parenthesized tuple is one full row: a `YYYYMMDD`
+    /// timestamp, the dimension values in schema order, then the measure
+    /// values.
+    Ingest {
+        /// Raw row tuples; validated against the schema at execution.
+        rows: Vec<Vec<Literal>>,
+    },
+    /// `PUBLISH` — derive and swap in a new catalog version.
+    Publish,
+    /// `STATS` — server + engine counters. Answered out-of-band (never
+    /// queued), so observability survives overload.
+    Stats,
+    /// `SLEEP <ms>` — diagnostic: occupy a worker for `ms` milliseconds.
+    /// Used by the overload tests to fill the admission queue
+    /// deterministically.
+    Sleep {
+        /// Milliseconds to hold the worker.
+        ms: u64,
+    },
+    /// `CLOSE` — acknowledge and end the session.
+    Close,
+}
+
+/// Typed error codes carried in `{"error":{"code":...}}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed request line (unknown verb, bad tuple syntax, ...).
+    Protocol,
+    /// Statement failed to parse or bind.
+    Parse,
+    /// Bad `?` parameter binding (arity, type, value).
+    Parameter,
+    /// Engine configuration or usage problem (reversed window, ...).
+    Config,
+    /// Sample catalog missing or inadequate for the request.
+    Samples,
+    /// Execution-level failure (storage, sampling, model fitting).
+    Execution,
+    /// Statement kind mismatch (e.g. `EXECUTE` on nothing prepared).
+    Statement,
+    /// `EXECUTE`/`DEALLOCATE` of a handle this session never prepared.
+    UnknownHandle,
+    /// Admission control: the request queue is full. Back off and retry.
+    Busy,
+    /// The session exceeded its statement budget.
+    Limit,
+    /// The server is draining; no new work is admitted.
+    Shutdown,
+    /// The request was admitted but no worker answered within the reply
+    /// timeout; the response (if any) was discarded.
+    Timeout,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Parameter => "parameter",
+            ErrorCode::Config => "config",
+            ErrorCode::Samples => "samples",
+            ErrorCode::Execution => "execution",
+            ErrorCode::Statement => "statement",
+            ErrorCode::UnknownHandle => "unknown_handle",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Limit => "limit",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Timeout => "timeout",
+        }
+    }
+}
+
+/// Map an engine error onto a wire error code.
+pub fn engine_error_code(err: &EngineError) -> ErrorCode {
+    match err {
+        EngineError::Parse(_) => ErrorCode::Parse,
+        EngineError::Parameter(_) => ErrorCode::Parameter,
+        EngineError::Config(_) => ErrorCode::Config,
+        EngineError::SamplesUnavailable(_) => ErrorCode::Samples,
+        EngineError::WrongStatement { .. } => ErrorCode::Statement,
+        EngineError::Storage(_) | EngineError::Sampling(_) | EngineError::Forecast(_) => {
+            ErrorCode::Execution
+        }
+    }
+}
+
+/// A protocol-level parse failure, rendered as an error response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// The typed code (usually [`ErrorCode::Protocol`]).
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> Self {
+        ProtocolError { code: ErrorCode::Protocol, message: message.into() }
+    }
+}
+
+/// Split the leading identifier word (`[A-Za-z_][A-Za-z0-9_]*`) off
+/// `input`, returning `(word, rest)`.
+fn take_word(input: &str) -> (&str, &str) {
+    let input = input.trim_start();
+    let end = input
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(input.len());
+    (&input[..end], input[end..].trim_start())
+}
+
+/// Parse a parenthesized, comma-separated literal list (used by
+/// `EXECUTE` arguments and `INGEST` tuples) from a token stream.
+fn parse_tuple(
+    tokens: &[flashp_query::lexer::Token],
+    pos: &mut usize,
+    what: &str,
+) -> Result<Vec<Literal>, ProtocolError> {
+    use flashp_query::lexer::TokenKind;
+    if !matches!(tokens.get(*pos).map(|t| &t.kind), Some(TokenKind::LParen)) {
+        return Err(ProtocolError::new(format!("expected '(' to open {what}")));
+    }
+    *pos += 1;
+    let mut items = Vec::new();
+    if matches!(tokens.get(*pos).map(|t| &t.kind), Some(TokenKind::RParen)) {
+        *pos += 1;
+        return Ok(items);
+    }
+    loop {
+        let lit = match tokens.get(*pos).map(|t| &t.kind) {
+            Some(TokenKind::Int(v)) => Literal::Int(*v),
+            Some(TokenKind::Float(v)) => Literal::Float(*v),
+            Some(TokenKind::Str(s)) => Literal::Str(s.clone()),
+            Some(other) => {
+                return Err(ProtocolError::new(format!(
+                    "expected a literal in {what}, found {}",
+                    other.describe()
+                )))
+            }
+            None => return Err(ProtocolError::new(format!("unterminated {what}"))),
+        };
+        items.push(lit);
+        *pos += 1;
+        match tokens.get(*pos).map(|t| &t.kind) {
+            Some(TokenKind::Comma) => *pos += 1,
+            Some(TokenKind::RParen) => {
+                *pos += 1;
+                return Ok(items);
+            }
+            Some(other) => {
+                return Err(ProtocolError::new(format!(
+                    "expected ',' or ')' in {what}, found {}",
+                    other.describe()
+                )))
+            }
+            None => return Err(ProtocolError::new(format!("unterminated {what}"))),
+        }
+    }
+}
+
+fn tokenize_tail(tail: &str, what: &str) -> Result<Vec<flashp_query::lexer::Token>, ProtocolError> {
+    let mut tokens = flashp_query::lexer::tokenize(tail)
+        .map_err(|e| ProtocolError::new(format!("bad {what}: {e}")))?;
+    // Drop the trailing EOF marker so slice-end checks are uniform.
+    if matches!(tokens.last().map(|t| &t.kind), Some(flashp_query::lexer::TokenKind::Eof)) {
+        tokens.pop();
+    }
+    Ok(tokens)
+}
+
+/// Parse one request line into a [`Command`].
+pub fn parse_command(line: &str) -> Result<Command, ProtocolError> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Err(ProtocolError::new("empty request"));
+    }
+    let (verb, rest) = take_word(line);
+    match verb.to_ascii_uppercase().as_str() {
+        "PREPARE" => {
+            let (name, rest) = take_word(rest);
+            if name.is_empty() {
+                return Err(ProtocolError::new("PREPARE requires a handle name"));
+            }
+            let (kw, sql) = take_word(rest);
+            if !kw.eq_ignore_ascii_case("AS") {
+                return Err(ProtocolError::new("expected AS after the handle name"));
+            }
+            if sql.is_empty() {
+                return Err(ProtocolError::new("PREPARE requires a statement after AS"));
+            }
+            Ok(Command::Prepare { name: name.to_string(), sql: sql.to_string() })
+        }
+        "EXECUTE" => {
+            let (name, rest) = take_word(rest);
+            if name.is_empty() {
+                return Err(ProtocolError::new("EXECUTE requires a handle name"));
+            }
+            let args = if rest.is_empty() {
+                Vec::new()
+            } else {
+                let tokens = tokenize_tail(rest, "EXECUTE arguments")?;
+                let mut pos = 0;
+                let args = parse_tuple(&tokens, &mut pos, "EXECUTE arguments")?;
+                if pos != tokens.len() {
+                    return Err(ProtocolError::new("trailing input after EXECUTE arguments"));
+                }
+                args
+            };
+            Ok(Command::Execute { name: name.to_string(), args })
+        }
+        "DEALLOCATE" => {
+            let (name, rest) = take_word(rest);
+            if name.is_empty() || !rest.is_empty() {
+                return Err(ProtocolError::new("usage: DEALLOCATE <name>"));
+            }
+            Ok(Command::Deallocate { name: name.to_string() })
+        }
+        "INGEST" => {
+            let tokens = tokenize_tail(rest, "INGEST rows")?;
+            let mut pos = 0;
+            let mut rows = Vec::new();
+            while pos < tokens.len() {
+                rows.push(parse_tuple(&tokens, &mut pos, "INGEST row")?);
+            }
+            if rows.is_empty() {
+                return Err(ProtocolError::new(
+                    "INGEST requires at least one (t, dims..., measures...) row",
+                ));
+            }
+            Ok(Command::Ingest { rows })
+        }
+        "PUBLISH" if rest.is_empty() => Ok(Command::Publish),
+        "STATS" if rest.is_empty() => Ok(Command::Stats),
+        "CLOSE" | "QUIT" | "EXIT" if rest.is_empty() => Ok(Command::Close),
+        "SLEEP" => {
+            let (ms, tail) = take_word(rest);
+            match (ms.parse::<u64>(), tail.is_empty()) {
+                (Ok(ms), true) => Ok(Command::Sleep { ms }),
+                _ => Err(ProtocolError::new("usage: SLEEP <milliseconds>")),
+            }
+        }
+        "FORECAST" | "SELECT" | "EXPLAIN" => Ok(Command::Statement { sql: line.to_string() }),
+        other => Err(ProtocolError::new(format!(
+            "unknown command '{other}'; expected PREPARE, EXECUTE, DEALLOCATE, FORECAST, \
+             SELECT, EXPLAIN, INGEST, PUBLISH, STATS, or CLOSE"
+        ))),
+    }
+}
+
+impl Command {
+    /// The label latency histograms and logs file this command under.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Command::Prepare { .. } => "prepare",
+            Command::Execute { .. } => "execute",
+            Command::Deallocate { .. } => "deallocate",
+            Command::Statement { .. } => "statement",
+            Command::Ingest { .. } => "ingest",
+            Command::Publish => "publish",
+            Command::Stats => "stats",
+            Command::Sleep { .. } => "sleep",
+            Command::Close => "close",
+        }
+    }
+
+    /// Whether this command goes through the admission queue (versus
+    /// being answered directly by the connection thread).
+    pub fn is_queued(&self) -> bool {
+        !matches!(self, Command::Stats | Command::Close)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response encoding
+// ---------------------------------------------------------------------
+
+fn finish(value: Value) -> String {
+    serde_json::to_string(&value).expect("json encoding is infallible")
+}
+
+/// Encode a typed error response.
+pub fn error_line(code: ErrorCode, message: &str) -> String {
+    finish(json!({"ok": false, "error": {"code": code.as_str(), "message": message}}))
+}
+
+/// Encode an engine error with its mapped code.
+pub fn engine_error_line(err: &EngineError) -> String {
+    error_line(engine_error_code(err), &err.to_string())
+}
+
+/// Encode a `FORECAST` result. Timings are deliberately omitted: the
+/// remaining fields are deterministic for a given engine state, which is
+/// what lets the oracle test compare wire bytes to in-process results.
+pub fn encode_forecast(r: &ForecastResult) -> String {
+    let estimates: Vec<Value> = r
+        .estimates
+        .iter()
+        .map(|p| json!({"t": p.t.to_yyyymmdd(), "value": p.value, "variance": p.variance}))
+        .collect();
+    let forecasts: Vec<Value> = r
+        .forecasts
+        .iter()
+        .map(|f| {
+            json!({
+                "t": f.t.to_yyyymmdd(),
+                "value": f.value,
+                "lo": f.lo,
+                "hi": f.hi,
+                "std_err": f.std_err,
+            })
+        })
+        .collect();
+    finish(json!({
+        "ok": true,
+        "kind": "forecast",
+        "model": r.model,
+        "sampler": r.sampler,
+        "rate_used": r.rate_used,
+        "confidence": r.confidence,
+        "sigma2": r.sigma2,
+        "mean_noise_variance": r.mean_noise_variance,
+        "estimates": estimates,
+        "forecasts": forecasts,
+    }))
+}
+
+/// Encode a `SELECT` result: rows as `[t, value, std_err|null]` triples.
+pub fn encode_select(r: &SelectResult) -> String {
+    let rows: Vec<Value> = r
+        .rows
+        .iter()
+        .map(|(t, v, se)| Value::Array(vec![json!(t.to_yyyymmdd()), json!(*v), json!(se)]))
+        .collect();
+    finish(json!({"ok": true, "kind": "select", "approximate": r.approximate, "rows": rows}))
+}
+
+fn plan_value(node: &PlanNode) -> Value {
+    let mut props = Map::new();
+    for (k, v) in &node.props {
+        props.insert(k.clone(), Value::String(v.clone()));
+    }
+    let children: Vec<Value> = node.children.iter().map(plan_value).collect();
+    json!({"name": node.name, "props": props, "children": children})
+}
+
+/// Encode an `EXPLAIN` plan tree.
+pub fn encode_plan(node: &PlanNode) -> String {
+    finish(json!({"ok": true, "kind": "plan", "plan": plan_value(node)}))
+}
+
+/// Encode any execution output with the right kind tag.
+pub fn encode_output(out: &ExecOutput) -> String {
+    match out {
+        ExecOutput::Forecast(f) => encode_forecast(f),
+        ExecOutput::Select(s) => encode_select(s),
+        ExecOutput::Plan(p) => encode_plan(p),
+    }
+}
+
+/// Encode the `PREPARE` acknowledgement.
+pub fn encode_prepared(name: &str, num_params: usize) -> String {
+    finish(json!({"ok": true, "kind": "prepare", "handle": name, "num_params": num_params}))
+}
+
+/// Encode the `DEALLOCATE` acknowledgement.
+pub fn encode_deallocated(name: &str) -> String {
+    finish(json!({"ok": true, "kind": "deallocate", "handle": name}))
+}
+
+/// Encode the `INGEST` acknowledgement: rows staged by this command and
+/// the total now pending publication.
+pub fn encode_ingested(staged: usize, pending: usize) -> String {
+    finish(json!({"ok": true, "kind": "ingest", "staged_rows": staged, "pending_rows": pending}))
+}
+
+/// Encode the `PUBLISH` acknowledgement.
+pub fn encode_published(stats: &PublishStats) -> String {
+    finish(json!({
+        "ok": true,
+        "kind": "publish",
+        "version": stats.version,
+        "catalog_version": stats.catalog_version,
+        "appended_rows": stats.appended_rows,
+        "changed_partitions": stats.changed_partitions,
+    }))
+}
+
+/// Encode the `SLEEP` acknowledgement.
+pub fn encode_slept(ms: u64) -> String {
+    finish(json!({"ok": true, "kind": "sleep", "slept_ms": ms}))
+}
+
+/// Encode the `CLOSE` acknowledgement.
+pub fn encode_closed() -> String {
+    finish(json!({"ok": true, "kind": "close"}))
+}
+
+/// Encode the `STATS` response from an engine snapshot plus the
+/// server-side counters (already rendered by [`crate::stats`]).
+pub fn encode_stats(engine: &EngineStats, server: Value) -> String {
+    finish(json!({
+        "ok": true,
+        "kind": "stats",
+        "engine": {
+            "version": engine.version,
+            "catalog_version": engine.catalog_version,
+            "plan_cache": {
+                "hits": engine.plan_cache.hits,
+                "misses": engine.plan_cache.misses,
+                "entries": engine.plan_cache.entries,
+            },
+            "pending_rows": engine.pending_rows,
+            "pending_partitions": engine.pending_partitions,
+        },
+        "server": server,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse() {
+        assert_eq!(
+            parse_command("PREPARE q1 AS SELECT SUM(m) FROM T WHERE t = ?").unwrap(),
+            Command::Prepare {
+                name: "q1".to_string(),
+                sql: "SELECT SUM(m) FROM T WHERE t = ?".to_string()
+            }
+        );
+        assert_eq!(
+            parse_command("execute q1 (20200101, 'F', 1.5)").unwrap(),
+            Command::Execute {
+                name: "q1".to_string(),
+                args: vec![
+                    Literal::Int(20200101),
+                    Literal::Str("F".to_string()),
+                    Literal::Float(1.5)
+                ],
+            }
+        );
+        assert_eq!(
+            parse_command("EXECUTE q1").unwrap(),
+            Command::Execute { name: "q1".to_string(), args: vec![] }
+        );
+        assert_eq!(
+            parse_command("EXECUTE q1 ()").unwrap(),
+            Command::Execute { name: "q1".to_string(), args: vec![] }
+        );
+        assert_eq!(
+            parse_command("DEALLOCATE q1").unwrap(),
+            Command::Deallocate { name: "q1".to_string() }
+        );
+        assert_eq!(
+            parse_command("INGEST (20200101, 25, 'F', 10.0) (20200102, 30, 'M', 20.0)").unwrap(),
+            Command::Ingest {
+                rows: vec![
+                    vec![
+                        Literal::Int(20200101),
+                        Literal::Int(25),
+                        Literal::Str("F".to_string()),
+                        Literal::Float(10.0)
+                    ],
+                    vec![
+                        Literal::Int(20200102),
+                        Literal::Int(30),
+                        Literal::Str("M".to_string()),
+                        Literal::Float(20.0)
+                    ],
+                ]
+            }
+        );
+        assert_eq!(parse_command(" publish ").unwrap(), Command::Publish);
+        assert_eq!(parse_command("STATS").unwrap(), Command::Stats);
+        assert_eq!(parse_command("SLEEP 25").unwrap(), Command::Sleep { ms: 25 });
+        assert_eq!(parse_command("close").unwrap(), Command::Close);
+        let sql = "SELECT SUM(m) FROM T WHERE t = 20200101";
+        assert_eq!(parse_command(sql).unwrap(), Command::Statement { sql: sql.to_string() });
+    }
+
+    #[test]
+    fn protocol_errors_are_typed() {
+        for bad in [
+            "",
+            "FROB x",
+            "PREPARE AS SELECT",
+            "PREPARE q SELECT 1",
+            "EXECUTE q1 (1,",
+            "EXECUTE q1 (SELECT)",
+            "INGEST",
+            "INGEST 20200101",
+            "SLEEP forever",
+            "DEALLOCATE",
+        ] {
+            let err = parse_command(bad).unwrap_err();
+            assert_eq!(err.code, ErrorCode::Protocol, "{bad:?}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn responses_are_single_json_lines() {
+        let lines = [
+            error_line(ErrorCode::Busy, "server at capacity"),
+            encode_prepared("q1", 2),
+            encode_ingested(3, 7),
+            encode_slept(5),
+            encode_closed(),
+        ];
+        for line in &lines {
+            assert!(!line.contains('\n'), "{line}");
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains(r#""code":"busy""#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""num_params":2"#), "{}", lines[1]);
+    }
+
+    #[test]
+    fn command_labels_and_queueing() {
+        assert!(Command::Publish.is_queued());
+        assert!(!Command::Stats.is_queued());
+        assert!(!Command::Close.is_queued());
+        assert_eq!(parse_command("SLEEP 1").unwrap().label(), "sleep");
+    }
+}

@@ -1,0 +1,509 @@
+//! The service loop: a TCP listener fronting a bounded admission queue
+//! and a fixed worker pool over one shared [`FlashPEngine`] handle.
+//!
+//! ```text
+//! accept loop ──► connection threads (1/conn: parse, admit, wait reply)
+//!                    │ try_send ──────────────► bounded job queue
+//!                    │   └─ Full → {"code":"busy"} (never a hang)
+//!                    ▼                              │
+//!                reply channel ◄── worker pool ◄────┘
+//!                                   (N threads, engine snapshot per job)
+//! ```
+//!
+//! Admission control is explicit: the job queue is a bounded
+//! `sync_channel`; a full queue rejects the request *immediately* with a
+//! typed `busy` error instead of blocking the connection. `STATS` and
+//! `CLOSE` bypass the queue entirely, so observability and disconnects
+//! keep working while the service is saturated. Graceful shutdown stops
+//! the acceptor, lets every connection finish its in-flight request,
+//! then drains whatever is still queued before joining the workers.
+
+use crate::protocol::{self, Command, ErrorCode};
+use crate::session::Session;
+use crate::stats::ServerStats;
+use flashp_core::{FlashPEngine, IngestBatch, Literal};
+use flashp_storage::{Timestamp, Value};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing admitted requests.
+    pub workers: usize,
+    /// Admission bound: requests that may wait in the queue beyond the
+    /// ones the workers are executing. A full queue answers `busy`.
+    pub queue_depth: usize,
+    /// Statements one session may run (`u64::MAX` = unlimited).
+    pub session_statement_limit: u64,
+    /// Close a connection after this long without a complete request.
+    pub idle_timeout: Duration,
+    /// How long a connection waits for its admitted request's reply
+    /// before answering a typed `timeout` error (the stale reply is
+    /// discarded when it eventually arrives).
+    pub reply_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            session_statement_limit: u64::MAX,
+            idle_timeout: Duration::from_secs(30),
+            reply_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One admitted request on its way to a worker.
+struct Job {
+    cmd: Command,
+    session: Arc<Session>,
+    reply: SyncSender<String>,
+    admitted_at: Instant,
+}
+
+/// What a graceful shutdown drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests completed by workers over the server's lifetime.
+    pub completed: u64,
+    /// Requests rejected `busy` over the server's lifetime.
+    pub busy_rejections: u64,
+    /// Replies that timed out over the server's lifetime.
+    pub reply_timeouts: u64,
+}
+
+/// A running server. Dropping the handle shuts the service down
+/// gracefully; call [`ServerHandle::shutdown`] to do it explicitly and
+/// get the [`DrainReport`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    engine: FlashPEngine,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    job_tx: Option<SyncSender<Job>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The engine the server fronts (shares versions with the service).
+    pub fn engine(&self) -> &FlashPEngine {
+        &self.engine
+    }
+
+    /// Gracefully stop: stop accepting, let connections finish their
+    /// in-flight request, drain the queue, join every thread.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) -> DrainReport {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Connections exit at their next poll tick (or right after the
+        // reply they are waiting on); workers are still alive, so no
+        // connection can block forever on an admitted request.
+        let connections = std::mem::take(&mut *self.connections.lock().expect("conn registry"));
+        for conn in connections {
+            let _ = conn.join();
+        }
+        // All connection-held senders are gone; dropping the listener's
+        // clone disconnects the channel once the queue is drained.
+        self.job_tx = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        DrainReport {
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            busy_rejections: self.stats.busy_rejections.load(Ordering::Relaxed),
+            reply_timeouts: self.stats.reply_timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start serving `engine` per `config`. Returns once the listener is
+/// bound and the worker pool is up; the handle's address is ready to
+/// connect to immediately.
+pub fn serve(engine: FlashPEngine, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+    let job_rx = Arc::new(Mutex::new(job_rx));
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let engine = engine.clone();
+            let stats = stats.clone();
+            let job_rx = job_rx.clone();
+            std::thread::spawn(move || worker_loop(engine, stats, job_rx))
+        })
+        .collect();
+
+    let acceptor = {
+        let engine = engine.clone();
+        let stats = stats.clone();
+        let shutdown = shutdown.clone();
+        let connections = connections.clone();
+        let job_tx = job_tx.clone();
+        let config = config.clone();
+        std::thread::spawn(move || {
+            accept_loop(listener, engine, config, stats, shutdown, connections, job_tx)
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        stats,
+        engine,
+        acceptor: Some(acceptor),
+        workers,
+        connections,
+        job_tx: Some(job_tx),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    engine: FlashPEngine,
+    config: ServerConfig,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    job_tx: SyncSender<Job>,
+) {
+    let session_ids = AtomicU64::new(1);
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let session_id = session_ids.fetch_add(1, Ordering::Relaxed);
+                stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                stats.connections_active.fetch_add(1, Ordering::Relaxed);
+                let engine = engine.clone();
+                let config = config.clone();
+                let stats = stats.clone();
+                let shutdown = shutdown.clone();
+                let job_tx = job_tx.clone();
+                let handle = std::thread::spawn(move || {
+                    let _ = serve_connection(
+                        stream, engine, &config, &stats, shutdown, job_tx, session_id,
+                    );
+                    stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+                });
+                connections.lock().expect("conn registry").push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_TICK),
+            Err(_) => std::thread::sleep(POLL_TICK),
+        }
+    }
+}
+
+/// Read a line, waking every [`POLL_TICK`] to honor shutdown and the
+/// idle timeout. Returns `Ok(false)` when the connection should close
+/// (EOF, idle timeout, or shutdown).
+fn read_line_polled(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+    shutdown: &AtomicBool,
+    idle_timeout: Duration,
+) -> std::io::Result<bool> {
+    let started = Instant::now();
+    loop {
+        match reader.read_line(buf) {
+            Ok(0) => return Ok(false),
+            Ok(_) => {
+                // A torn line (timeout mid-line keeps partial bytes in
+                // `buf`) ends without '\n' only at EOF, handled above.
+                if buf.ends_with('\n') {
+                    return Ok(true);
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shutdown.load(Ordering::SeqCst) || started.elapsed() > idle_timeout {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    engine: FlashPEngine,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    shutdown: Arc<AtomicBool>,
+    job_tx: SyncSender<Job>,
+    session_id: u64,
+) -> std::io::Result<()> {
+    // Responses are one small line per request; without nodelay, Nagle
+    // holds the tail of each response for the peer's delayed ACK
+    // (~40 ms), which dwarfs statement latency.
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let session = Arc::new(Session::new(session_id, config.session_statement_limit));
+
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        if !read_line_polled(&mut reader, &mut buf, &shutdown, config.idle_timeout)? {
+            return Ok(());
+        }
+        if buf.trim().is_empty() {
+            continue;
+        }
+        let (mut line, done) =
+            handle_line(&buf, &engine, config, stats, &shutdown, &job_tx, &session);
+        line.push('\n');
+        writer.write_all(line.as_bytes())?;
+        writer.flush()?;
+        if done {
+            return Ok(());
+        }
+    }
+}
+
+/// Process one request line; returns the response and whether the
+/// connection should close afterwards.
+fn handle_line(
+    raw: &str,
+    engine: &FlashPEngine,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
+    job_tx: &SyncSender<Job>,
+    session: &Arc<Session>,
+) -> (String, bool) {
+    let cmd = match protocol::parse_command(raw) {
+        Ok(cmd) => cmd,
+        Err(e) => return (protocol::error_line(e.code, &e.message), false),
+    };
+    // Out-of-band commands: answered here, never queued, never counted
+    // against the session budget — they must work under overload.
+    match cmd {
+        Command::Close => return (protocol::encode_closed(), true),
+        Command::Stats => return (protocol::encode_stats(&engine.stats(), stats.to_json()), false),
+        _ => {}
+    }
+    if shutdown.load(Ordering::SeqCst) {
+        return (
+            protocol::error_line(ErrorCode::Shutdown, "server is draining; no new work admitted"),
+            false,
+        );
+    }
+    if !session.admit_statement() {
+        stats.limit_rejections.fetch_add(1, Ordering::Relaxed);
+        return (
+            protocol::error_line(
+                ErrorCode::Limit,
+                &format!(
+                    "session statement limit ({}) exhausted; open a new connection",
+                    config.session_statement_limit
+                ),
+            ),
+            false,
+        );
+    }
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(1);
+    let job = Job { cmd, session: session.clone(), reply: reply_tx, admitted_at: Instant::now() };
+    match job_tx.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return (
+                protocol::error_line(
+                    ErrorCode::Busy,
+                    "server at capacity: request queue is full, retry later",
+                ),
+                false,
+            );
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return (protocol::error_line(ErrorCode::Shutdown, "server is shutting down"), false);
+        }
+    }
+    stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+    match reply_rx.recv_timeout(config.reply_timeout) {
+        Ok(line) => (line, false),
+        Err(RecvTimeoutError::Timeout) => {
+            // Dropping reply_rx discards the worker's eventual answer.
+            stats.reply_timeouts.fetch_add(1, Ordering::Relaxed);
+            (
+                protocol::error_line(
+                    ErrorCode::Timeout,
+                    "request admitted but not answered in time; response discarded",
+                ),
+                false,
+            )
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            (protocol::error_line(ErrorCode::Shutdown, "worker pool is gone"), true)
+        }
+    }
+}
+
+fn worker_loop(engine: FlashPEngine, stats: Arc<ServerStats>, rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the work.
+        let job = match rx.lock().expect("worker queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // every sender dropped: queue drained, exit
+        };
+        let label = job.cmd.label();
+        let line = execute_command(&engine, &job.session, job.cmd);
+        stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        stats.completed.fetch_add(1, Ordering::Relaxed);
+        stats.histogram(label).record(job.admitted_at.elapsed().as_micros() as u64);
+        // The connection may have timed out and dropped its receiver;
+        // its next request gets a fresh channel, so just discard.
+        let _ = job.reply.send(line);
+    }
+}
+
+/// Execute one admitted command against the engine + session, returning
+/// the encoded response line. Pure request→response: all socket and
+/// admission concerns live in the connection thread.
+fn execute_command(engine: &FlashPEngine, session: &Session, cmd: Command) -> String {
+    match cmd {
+        Command::Prepare { name, sql } => match engine.prepare(&sql) {
+            Ok(query) => {
+                let num_params = query.num_params();
+                session.store(&name, query);
+                protocol::encode_prepared(&name, num_params)
+            }
+            Err(e) => protocol::engine_error_line(&e),
+        },
+        Command::Execute { name, args } => match session.get(&name) {
+            Some(query) => match query.execute_with(&args) {
+                Ok(out) => protocol::encode_output(&out),
+                Err(e) => protocol::engine_error_line(&e),
+            },
+            None => protocol::error_line(
+                ErrorCode::UnknownHandle,
+                &format!("no prepared handle '{name}' in this session"),
+            ),
+        },
+        Command::Deallocate { name } => {
+            if session.remove(&name) {
+                protocol::encode_deallocated(&name)
+            } else {
+                protocol::error_line(
+                    ErrorCode::UnknownHandle,
+                    &format!("no prepared handle '{name}' in this session"),
+                )
+            }
+        }
+        Command::Statement { sql } => match engine.execute(&sql) {
+            Ok(out) => protocol::encode_output(&out),
+            Err(e) => protocol::engine_error_line(&e),
+        },
+        Command::Ingest { rows } => match build_batch(engine, &rows) {
+            Ok(batch) => match engine.ingest(batch) {
+                Ok(staged) => protocol::encode_ingested(staged, engine.stats().pending_rows),
+                Err(e) => protocol::engine_error_line(&e),
+            },
+            Err(msg) => protocol::error_line(ErrorCode::Parameter, &msg),
+        },
+        Command::Publish => match engine.publish() {
+            Ok(stats) => protocol::encode_published(&stats),
+            Err(e) => protocol::engine_error_line(&e),
+        },
+        Command::Sleep { ms } => {
+            std::thread::sleep(Duration::from_millis(ms.min(60_000)));
+            protocol::encode_slept(ms)
+        }
+        // Handled out-of-band; answered here only if queued by a future
+        // caller of execute_command.
+        Command::Stats => protocol::encode_stats(&engine.stats(), serde_json::json!({})),
+        Command::Close => protocol::encode_closed(),
+    }
+}
+
+/// Validate `INGEST` tuples against the schema and assemble a batch.
+/// Each row is `(t, dims..., measures...)` in schema order.
+fn build_batch(engine: &FlashPEngine, rows: &[Vec<Literal>]) -> Result<IngestBatch, String> {
+    let table = engine.table();
+    let schema = table.schema();
+    let num_dims = schema.num_dimensions();
+    let num_measures = schema.num_measures();
+    let want = 1 + num_dims + num_measures;
+    let mut batch = IngestBatch::new();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != want {
+            return Err(format!(
+                "row {i}: expected {want} values (t, {num_dims} dims, {num_measures} measures), \
+                 got {}",
+                row.len()
+            ));
+        }
+        let t = match row[0] {
+            Literal::Int(v) => {
+                Timestamp::from_yyyymmdd(v).map_err(|e| format!("row {i}: bad timestamp: {e}"))?
+            }
+            ref other => return Err(format!("row {i}: timestamp must be YYYYMMDD, got {other}")),
+        };
+        let dims: Vec<Value> = row[1..1 + num_dims]
+            .iter()
+            .map(|lit| match lit {
+                Literal::Int(v) => Ok(Value::Int(*v)),
+                Literal::Float(v) => Ok(Value::Float(*v)),
+                Literal::Str(s) => Ok(Value::Str(s.clone())),
+                other => Err(format!("row {i}: bad dimension value {other}")),
+            })
+            .collect::<Result<_, _>>()?;
+        let measures: Vec<f64> = row[1 + num_dims..]
+            .iter()
+            .map(|lit| match lit {
+                Literal::Int(v) => Ok(*v as f64),
+                Literal::Float(v) => Ok(*v),
+                other => Err(format!("row {i}: measures must be numeric, got {other}")),
+            })
+            .collect::<Result<_, _>>()?;
+        batch.push_row(t, &dims, &measures);
+    }
+    Ok(batch)
+}

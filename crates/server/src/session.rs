@@ -1,0 +1,120 @@
+//! Per-connection session state: named prepared-statement handles and
+//! the session's statement budget.
+//!
+//! A session is owned by one connection, but its commands execute on
+//! worker threads, so the mutable state sits behind a mutex. Commands on
+//! a connection are strictly serialized (the connection thread waits for
+//! each reply before reading the next line), so the lock is uncontended
+//! in practice — it exists for `Send`/`Sync` soundness, not throughput.
+
+use flashp_core::PreparedQuery;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One client session.
+pub struct Session {
+    /// Server-unique session id (diagnostic; shows up in `STATS`).
+    id: u64,
+    /// Admitted-statement budget; `u64::MAX` means unlimited.
+    limit: u64,
+    /// Statements admitted so far (rejected ones don't count).
+    admitted: AtomicU64,
+    handles: Mutex<HashMap<String, Arc<PreparedQuery>>>,
+}
+
+impl Session {
+    /// Create a session with the given statement budget.
+    pub fn new(id: u64, limit: u64) -> Self {
+        Session { id, limit, admitted: AtomicU64::new(0), handles: Mutex::new(HashMap::new()) }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Try to charge one statement against the budget. Returns `false`
+    /// (and charges nothing) once the budget is exhausted; out-of-band
+    /// commands (`STATS`, `CLOSE`) are never charged.
+    pub fn admit_statement(&self) -> bool {
+        // Serialized per connection, so load-then-add has no race within
+        // a session.
+        if self.admitted.load(Ordering::Relaxed) >= self.limit {
+            return false;
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Statements admitted so far.
+    pub fn statements_admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Store a prepared handle under `name`, replacing any previous
+    /// handle with that name (re-`PREPARE` is how clients refresh).
+    pub fn store(&self, name: &str, query: PreparedQuery) {
+        self.handles.lock().expect("session lock").insert(name.to_string(), Arc::new(query));
+    }
+
+    /// Look up a prepared handle by name.
+    pub fn get(&self, name: &str) -> Option<Arc<PreparedQuery>> {
+        self.handles.lock().expect("session lock").get(name).cloned()
+    }
+
+    /// Drop the handle `name`; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.handles.lock().expect("session lock").remove(name).is_some()
+    }
+
+    /// Number of live prepared handles.
+    pub fn num_handles(&self) -> usize {
+        self.handles.lock().expect("session lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashp_core::{EngineConfig, FlashPEngine};
+    use flashp_storage::{DataType, Schema, Timestamp, Value};
+
+    fn tiny_engine() -> FlashPEngine {
+        let schema = Schema::from_names(&[("k", DataType::Int64)], &["m"]).unwrap().into_shared();
+        let mut table = flashp_storage::TimeSeriesTable::new(schema);
+        let t0 = Timestamp::from_yyyymmdd(20200101).unwrap();
+        for day in 0..3i64 {
+            for row in 0..10i64 {
+                table.append_row(t0 + day, &[Value::Int(row)], &[row as f64]).unwrap();
+            }
+        }
+        FlashPEngine::new(table, EngineConfig::default())
+    }
+
+    #[test]
+    fn handles_store_replace_and_remove() {
+        let engine = tiny_engine();
+        let session = Session::new(7, u64::MAX);
+        assert_eq!(session.id(), 7);
+        assert!(session.get("q").is_none());
+        session.store("q", engine.prepare("SELECT SUM(m) FROM T WHERE t = ?").unwrap());
+        assert_eq!(session.get("q").unwrap().num_params(), 1);
+        // Re-PREPARE replaces.
+        session.store("q", engine.prepare("SELECT SUM(m) FROM T WHERE t = 20200101").unwrap());
+        assert_eq!(session.get("q").unwrap().num_params(), 0);
+        assert_eq!(session.num_handles(), 1);
+        assert!(session.remove("q"));
+        assert!(!session.remove("q"));
+    }
+
+    #[test]
+    fn statement_budget_is_enforced() {
+        let session = Session::new(1, 2);
+        assert!(session.admit_statement());
+        assert!(session.admit_statement());
+        assert!(!session.admit_statement(), "third statement exceeds the budget");
+        assert!(!session.admit_statement(), "rejections do not consume budget");
+        assert_eq!(session.statements_admitted(), 2);
+    }
+}

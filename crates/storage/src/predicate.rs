@@ -220,7 +220,9 @@ impl Predicate {
                 // require explicit comparisons on float64 dimensions.
                 if dtype == DataType::Float64 {
                     return Err(StorageError::UnsupportedOperation(format!(
-                        "IN on float64 column {column}"
+                        "IN list on float64 column '{column}': exact equality on floating-point \
+                         values is unreliable, so IN is rejected at bind time; use explicit \
+                         comparisons instead (e.g. {column} >= lo AND {column} <= hi)"
                     )));
                 }
                 let mut resolved = Vec::with_capacity(values.len());
@@ -800,6 +802,21 @@ mod tests {
         let compiled = pred.compile(&schema, &dicts).unwrap();
         let mask = compiled.evaluate(&p);
         assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn in_list_on_float64_names_column_and_reason() {
+        let schema = Schema::from_names(&[("score", DataType::Float64)], &["Impression"]).unwrap();
+        let dicts: Vec<Option<Dictionary>> = vec![None];
+        let pred =
+            Predicate::In { column: "score".into(), values: vec![Value::Int(1), Value::Int(2)] };
+        let msg = pred.compile(&schema, &dicts).unwrap_err().to_string();
+        assert_eq!(
+            msg,
+            "unsupported operation: IN list on float64 column 'score': exact equality on \
+             floating-point values is unreliable, so IN is rejected at bind time; use explicit \
+             comparisons instead (e.g. score >= lo AND score <= hi)"
+        );
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! The FlashP engine behind a real socket: `flashp-server`'s
+//! newline-delimited wire protocol, driven end to end over TCP.
+//!
+//! An in-process server is started on an OS-assigned port (exactly what
+//! `cargo run -p flashp-server --bin flashp_server` does from the shell),
+//! then two plain blocking connections talk to it: an *analyst* session
+//! that prepares a handle and re-executes it with different bindings,
+//! and a *publisher* session that stages rows and publishes a new
+//! catalog version under the analyst's feet. Every request/response pair
+//! is printed as an `nc`-style transcript — the responses are exactly
+//! the JSON lines a `nc 127.0.0.1 <port>` session would see.
+//!
+//! ```text
+//! cargo run --release --example tcp_service
+//! ```
+
+use flashp::core::{EngineConfig, FlashPEngine, SampleCatalog, SamplerChoice};
+use flashp::data::{generate_dataset, DatasetConfig};
+use flashp_server::{serve, Client, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Offline: a month of synthetic ads data, sampled at two layers.
+    println!("generating dataset + samples…");
+    let dataset = generate_dataset(&DatasetConfig::new(400, 30, 11))?;
+    let config = EngineConfig {
+        sampler: SamplerChoice::OptimalGsw,
+        layer_rates: vec![0.2, 0.05],
+        default_rate: 0.05,
+        ..Default::default()
+    };
+    let catalog = SampleCatalog::build(&dataset.table, &config)?;
+    let engine = FlashPEngine::with_catalog(dataset.table, config, catalog);
+
+    // Online: the TCP frontend. Port 0 lets the OS pick; a full queue
+    // answers `busy`, it never blocks a client.
+    let mut server =
+        serve(engine, ServerConfig { workers: 2, queue_depth: 16, ..Default::default() })?;
+    let addr = server.local_addr();
+    println!("listening on {addr}\n");
+
+    let mut analyst = Client::connect(addr)?;
+    let mut publisher = Client::connect(addr)?;
+
+    // The analyst session: one prepared handle, many cheap re-binds.
+    for line in [
+        "PREPARE clicks AS FORECAST SUM(Click) FROM ads WHERE age <= ? \
+         USING LAST 20 DAYS OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)",
+        "EXECUTE clicks (30)",
+        "EXECUTE clicks (55)",
+        "EXPLAIN SELECT SUM(Impression) FROM ads WHERE gender = 'F' \
+         AND t BETWEEN 20200110 AND 20200120 GROUP BY t OPTION (SAMPLE_RATE = 0.05)",
+    ] {
+        transcript(&mut analyst, line)?;
+    }
+
+    // The publisher session: stage one row, swap the catalog version.
+    // The analyst's handle re-snapshots on its next EXECUTE — same
+    // handle, new version, no re-PREPARE.
+    for line in [
+        "INGEST (20200130, 28, 'F', 'city_03', 'mobile', 'ios', 2, 1, 3, \
+         'search', 2, 1, 150.0, 12.0, 3.0, 1.0)",
+        "PUBLISH",
+    ] {
+        transcript(&mut publisher, line)?;
+    }
+    transcript(&mut analyst, "EXECUTE clicks (30)")?;
+
+    // Service introspection, then a clean goodbye.
+    transcript(&mut analyst, "STATS")?;
+    transcript(&mut analyst, "CLOSE")?;
+    transcript(&mut publisher, "CLOSE")?;
+
+    let drain = server.shutdown();
+    println!(
+        "drained: completed={} busy={} timeouts={}",
+        drain.completed, drain.busy_rejections, drain.reply_timeouts
+    );
+    Ok(())
+}
+
+/// One round trip, printed the way a terminal `nc` session reads.
+fn transcript(client: &mut Client, request: &str) -> std::io::Result<()> {
+    let response = client.roundtrip(request)?;
+    println!("> {request}");
+    println!("< {response}\n");
+    Ok(())
+}

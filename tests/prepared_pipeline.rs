@@ -177,6 +177,83 @@ fn rebound_using_ranges_match_fresh_parses_across_a_publish() {
     assert_eq!(bound, literal, "bound EXPLAIN must equal the literal statement's EXPLAIN");
 }
 
+/// `USING LAST n DAYS` anchors at the table's newest day per binding:
+/// bit-identical to the absolute statement for the same trailing window,
+/// and the window moves when a publish appends days — no client-side date
+/// math, no re-prepare.
+#[test]
+fn last_days_window_tracks_publishes() {
+    let seed = 63;
+    let engine = engine_for(SamplerChoice::OptimalGsw, seed);
+    const OPTS: &str = "OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)";
+    let relative = engine
+        .prepare(&format!(
+            "FORECAST SUM(Impression) FROM ads WHERE age <= 30 USING LAST 20 DAYS {OPTS}"
+        ))
+        .unwrap();
+    assert_eq!(relative.num_params(), 0, "a literal day count needs no parameters");
+
+    // Dataset timeline: 45 days from 20200101, newest = 20200214.
+    let check = |lo: i64, hi: i64, got: &flashp::core::ForecastResult, label: &str| {
+        let fresh = engine
+            .forecast(&format!(
+                "FORECAST SUM(Impression) FROM ads WHERE age <= 30 USING ({lo}, {hi}) {OPTS}"
+            ))
+            .unwrap();
+        assert_eq!(got.estimate_values(), fresh.estimate_values(), "{label}");
+        assert_eq!(got.forecast_values(), fresh.forecast_values(), "{label}");
+        assert_eq!(got.rate_used, fresh.rate_used, "{label}");
+    };
+    let before = relative.forecast_with(&[]).unwrap();
+    check(20200126, 20200214, &before, "v0: trailing 20 days");
+
+    // EXPLAIN renders the relative form, not a baked-in range.
+    let node = engine
+        .explain(&format!("FORECAST SUM(Impression) FROM ads USING LAST 20 DAYS {OPTS}"))
+        .unwrap();
+    assert_eq!(node.find_prop("range"), Some("dynamic"));
+    assert_eq!(node.find_prop("window"), Some("last 20 days"));
+
+    // Publish two more days: the same handle's window slides forward.
+    let mut stream = BatchStream::continuing(&dataset_config(seed), StreamConfig::new(400, 21));
+    let mut batch = IngestBatch::new();
+    for _ in 0..2 {
+        let b = stream.next().unwrap();
+        batch.push_partition(b.t, b.partition);
+    }
+    engine.ingest(batch).unwrap();
+    engine.publish().unwrap();
+    let after = relative.forecast_with(&[]).unwrap();
+    check(20200128, 20200216, &after, "v1: window slid with the publish");
+    assert_ne!(
+        before.estimate_values(),
+        after.estimate_values(),
+        "the trailing window must move when days are published"
+    );
+
+    // Parameterized day count: one handle, any dashboard width.
+    let param = engine
+        .prepare(&format!(
+            "FORECAST SUM(Impression) FROM ads WHERE age <= 30 USING LAST ? DAYS {OPTS}"
+        ))
+        .unwrap();
+    assert_eq!(param.num_params(), 1);
+    let twenty = param.forecast_with(&[Literal::Int(20)]).unwrap();
+    assert_eq!(twenty.estimate_values(), after.estimate_values(), "LAST ? DAYS bound to 20");
+    let narrower = param.forecast_with(&[Literal::Int(18)]).unwrap();
+    check(20200130, 20200216, &narrower, "v1: trailing 18 days");
+    // A count longer than the table clamps to the whole table.
+    let all = param.forecast_with(&[Literal::Int(100_000)]).unwrap();
+    check(20200101, 20200216, &all, "v1: oversized count = whole table");
+    // Invalid day counts are typed bind-time errors naming the parameter.
+    let err = param.forecast_with(&[Literal::Int(0)]).unwrap_err();
+    assert!(matches!(&err, EngineError::Parameter(m) if m.contains("?0")), "{err}");
+    assert!(matches!(
+        param.forecast_with(&[Literal::Str("week".into())]),
+        Err(EngineError::Parameter(_))
+    ));
+}
+
 /// The same prepared dynamic-range handle serves concurrent re-binders
 /// while ingest + publish swaps versions under it: every thread's answer
 /// for a range must equal a fresh one-shot of the literal statement
