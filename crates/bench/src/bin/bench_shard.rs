@@ -1,0 +1,216 @@
+//! Scatter-gather throughput report, tracked in-tree.
+//!
+//! Measures statements/sec for the same prepared workloads against a
+//! plain single `FlashPEngine` and against `ShardedEngine` at 1, 2, and
+//! 4 physical shards over the identical dataset, from 1 and 4 client
+//! threads, and writes `BENCH_shard.json` at the repo root.
+//!
+//! The shard counts share one virtual-slot layout, so the sharded rows
+//! are also a bit-equality check: before timing anything, the report
+//! asserts the N=1/2/4 answers are identical (the full contract lives
+//! in `crates/core/tests/sharded_invariance.rs`). The single-engine
+//! baseline is *not* bit-comparable on sampled statements — it draws
+//! one sample per partition instead of one per slot — which is exactly
+//! why it is the throughput baseline and not an oracle.
+//!
+//! On a 1-core box the ratios *are* the coordination cost: per-slot
+//! planning, the per-query shard worker spawns, and the combiner merge,
+//! with no parallel scan to pay for them (the same framing as
+//! `BENCH_ingest`'s work-queue scaling rows). The recorded rows carry
+//! the shard and client-thread counts so multi-core runs show the
+//! fan-out scaling.
+//!
+//! Run with `cargo run -p flashp-bench --release --bin bench_shard`.
+
+use flashp_core::{
+    EngineConfig, FlashPEngine, SampleCatalog, SamplerChoice, ShardConfig, ShardedEngine,
+};
+use flashp_data::{generate_dataset, DatasetConfig};
+use flashp_storage::simd;
+use serde_json::json;
+use std::time::Instant;
+
+const ROWS_PER_DAY: usize = 2_000;
+const DAYS: usize = 30;
+const SEED: u64 = 11;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const CLIENT_THREADS: [usize; 2] = [1, 4];
+/// Statements per client thread in each timed run.
+const STATEMENTS: usize = 400;
+
+/// Wall-clock statements/sec for `threads` client threads each issuing
+/// [`STATEMENTS`] calls of `f` against one shared handle.
+fn statements_per_sec(threads: usize, f: &(dyn Fn() + Sync)) -> f64 {
+    for _ in 0..20 {
+        f();
+    }
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                for _ in 0..STATEMENTS {
+                    f();
+                }
+            });
+        }
+    });
+    (threads * STATEMENTS) as f64 / t0.elapsed().as_secs_f64()
+}
+
+struct Workload {
+    name: &'static str,
+    sql: &'static str,
+}
+
+const WORKLOADS: [Workload; 3] = [
+    // The exact full scan is the path sharding actually parallelizes:
+    // every shard scans its own rows concurrently.
+    Workload {
+        name: "exact_select_group_by",
+        sql: "SELECT SUM(Impression) FROM ads WHERE age <= 30 \
+              AND t BETWEEN 20200101 AND 20200130 GROUP BY t",
+    },
+    // Sampled estimation fans out tiny per-slot sample scans; the merge
+    // (HT estimate + variance recombination) is the measured overhead.
+    Workload {
+        name: "sampled_select_group_by",
+        sql: "SELECT SUM(Impression) FROM ads WHERE age <= 30 \
+              AND t BETWEEN 20200101 AND 20200130 GROUP BY t \
+              OPTION (SAMPLE_RATE = 0.05)",
+    },
+    // FORECAST gathers the merged series, then fits the model once on
+    // the combiner's output — the fit is serial at every shard count.
+    Workload {
+        name: "sampled_forecast",
+        sql: "FORECAST SUM(Impression) FROM ads WHERE age <= 30 \
+              USING (20200101, 20200125) \
+              OPTION (MODEL = 'ar(7)', FORE_PERIOD = 7, SAMPLE_RATE = 0.2)",
+    },
+];
+
+fn main() {
+    let dataset = generate_dataset(&DatasetConfig::new(ROWS_PER_DAY, DAYS, SEED)).expect("dataset");
+    let config = EngineConfig {
+        sampler: SamplerChoice::OptimalGsw,
+        layer_rates: vec![0.2, 0.05],
+        default_rate: 0.05,
+        ..Default::default()
+    };
+
+    let sharded: Vec<(usize, ShardedEngine)> = SHARD_COUNTS
+        .iter()
+        .map(|&n| {
+            let engine = ShardedEngine::with_catalogs(
+                &dataset.table,
+                config.clone(),
+                ShardConfig::with_shards(n),
+            )
+            .expect("sharded engine");
+            (n, engine)
+        })
+        .collect();
+    let catalog = SampleCatalog::build(&dataset.table, &config).expect("catalog");
+    let single = FlashPEngine::with_catalog(dataset.table, config, catalog);
+
+    // Sanity: the shard counts answer identically before any of them is
+    // timed (everything but the per-run timing breakdown).
+    let comparable = |out: &flashp_core::ExecOutput| -> String {
+        use flashp_core::ExecOutput;
+        match out {
+            ExecOutput::Select(s) => format!("{:?}", s.rows),
+            ExecOutput::Forecast(f) => format!("{:?} {:?}", f.estimates, f.forecasts),
+            ExecOutput::Plan(p) => format!("{p:?}"),
+        }
+    };
+    for w in &WORKLOADS {
+        let baseline = comparable(&sharded[0].1.execute(w.sql).expect(w.name));
+        for (n, engine) in &sharded[1..] {
+            let got = comparable(&engine.execute(w.sql).expect(w.name));
+            assert_eq!(baseline, got, "{}: N={n} diverged from N=1", w.name);
+        }
+    }
+
+    println!(
+        "scatter-gather throughput: {ROWS_PER_DAY} rows/day x {DAYS} days, \
+         {STATEMENTS} statements/thread, kernel tier {}",
+        simd::active_tier().name()
+    );
+    let mut workloads = Vec::new();
+    for w in &WORKLOADS {
+        println!("\n{} — {}", w.name, w.sql);
+        // (engine label, shard count, callable) — the single engine and
+        // every shard count run the identical prepared-handle loop.
+        type Runner = (String, Option<usize>, Box<dyn Fn() + Sync>);
+        let single_prepared = single.prepare(w.sql).expect("prepare single");
+        let mut runners: Vec<Runner> = vec![(
+            "single".to_string(),
+            None,
+            Box::new(move || {
+                single_prepared.execute_with(&[]).expect("single execute");
+            }),
+        )];
+        for (n, engine) in &sharded {
+            let prepared = engine.prepare(w.sql).expect("prepare sharded");
+            runners.push((
+                format!("sharded_{n}"),
+                Some(*n),
+                Box::new(move || {
+                    prepared.execute().expect("sharded execute");
+                }),
+            ));
+        }
+
+        let mut engines = Vec::new();
+        let mut single_rates: Vec<f64> = Vec::new();
+        for (label, shards, run) in &runners {
+            let mut line = format!("{label:<10}");
+            let mut threads_json = Vec::new();
+            for (i, &threads) in CLIENT_THREADS.iter().enumerate() {
+                let rate = statements_per_sec(threads, run.as_ref());
+                line.push_str(&format!("   {threads} thread(s) {rate:>9.0} stmt/s"));
+                let vs_single = if shards.is_some() {
+                    let r = rate / single_rates[i];
+                    line.push_str(&format!(" ({r:.2}x single)"));
+                    Some(r)
+                } else {
+                    single_rates.push(rate);
+                    None
+                };
+                threads_json.push(json!({
+                    "threads": threads,
+                    "stmts_per_sec": rate,
+                    "vs_single_speedup": vs_single,
+                }));
+            }
+            println!("{line}");
+            engines.push(json!({
+                "engine": label,
+                "shards": shards,
+                "threads": threads_json,
+            }));
+        }
+        workloads.push(json!({
+            "name": w.name,
+            "statement": w.sql,
+            "engines": engines,
+        }));
+    }
+
+    let doc = json!({
+        "bench": "BENCH_shard",
+        "rows_per_day": ROWS_PER_DAY,
+        "days": DAYS,
+        "seed": SEED,
+        "layer_rates": [0.2, 0.05],
+        "slots": ShardConfig::default().slots,
+        "shard_counts": SHARD_COUNTS,
+        "statements_per_thread": STATEMENTS,
+        "unit": "statements_per_sec",
+        "kernel_tier": simd::active_tier().name(),
+        "host_threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "workloads": workloads,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();
+    println!("\nwrote {path}");
+}

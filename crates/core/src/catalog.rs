@@ -123,6 +123,22 @@ pub struct DeltaStats {
     /// GSW cells absorbed incrementally (§4.1): only the appended rows
     /// drew inclusion decisions; evictions walked the stored keys.
     pub absorbed_cells: usize,
+    /// Subset of `rebuilt_cells` where a prior cell existed but carried
+    /// no absorbable sampler state (uniform/priority/threshold layers),
+    /// forcing a full re-draw of an already-sampled day. A nonzero count
+    /// under steady append load is the visible cost of running a
+    /// stateless sampler online — GSW layers keep this at zero.
+    pub fallback_redraws: usize,
+}
+
+impl DeltaStats {
+    /// Accumulate another publish's counters into this one (the sharded
+    /// engine merges per-slot deltas this way).
+    pub fn add(&mut self, other: &DeltaStats) {
+        self.rebuilt_cells += other.rebuilt_cells;
+        self.absorbed_cells += other.absorbed_cells;
+        self.fallback_redraws += other.fallback_redraws;
+    }
 }
 
 /// The immutable multi-layer sample catalog.
@@ -295,28 +311,35 @@ impl SampleCatalog {
                 (0..num_buckets).flat_map(move |bi| live.iter().map(move |&(t, p)| (lp, bi, t, p)))
             })
             .collect();
-        let recomputed: Vec<Result<(Arc<CatalogCell>, bool), EngineError>> =
+        // One recomputed cell plus its (absorbed, fallback re-draw) flags.
+        type RecomputedCell = (Arc<CatalogCell>, bool, bool);
+        let recomputed: Vec<Result<RecomputedCell, EngineError>> =
             parallel_map(&tasks, config.threads, |&(lp, bi, t, partition)| {
                 let layer = &self.layers[lp];
                 let sampler = &samplers[lp][bi];
-                let absorbed =
-                    match (sampler, layer.buckets[bi].get(&t).and_then(|c| c.gsw.as_ref())) {
-                        (CellSampler::Gsw(g), Some(state)) => g
-                            .absorb(state, &self.schema, partition)
-                            .map_err(EngineError::Sampling)?,
-                        _ => None,
-                    };
-                Ok(match absorbed {
-                    Some((sample, next)) => {
-                        (Arc::new(CatalogCell { sample: Arc::new(sample), gsw: Some(next) }), true)
+                let prior = layer.buckets[bi].get(&t);
+                let absorbed = match (sampler, prior.and_then(|c| c.gsw.as_ref())) {
+                    (CellSampler::Gsw(g), Some(state)) => {
+                        g.absorb(state, &self.schema, partition).map_err(EngineError::Sampling)?
                     }
+                    _ => None,
+                };
+                // A prior cell with no sampler state cannot absorb: the
+                // re-draw below is a fallback, not first-time work.
+                let fallback = prior.is_some_and(|c| c.gsw.is_none());
+                Ok(match absorbed {
+                    Some((sample, next)) => (
+                        Arc::new(CatalogCell { sample: Arc::new(sample), gsw: Some(next) }),
+                        true,
+                        false,
+                    ),
                     None => {
                         let seed_base = mix(config.seed, layer.config_idx as u64, bi as u64);
                         let mut rng = StdRng::seed_from_u64(mix(seed_base, t.0 as u64, 0x5A));
                         let (sample, gsw) = sampler
                             .draw(&self.schema, partition, &mut rng)
                             .map_err(EngineError::Sampling)?;
-                        (Arc::new(CatalogCell { sample: Arc::new(sample), gsw }), false)
+                        (Arc::new(CatalogCell { sample: Arc::new(sample), gsw }), false, fallback)
                     }
                 })
             });
@@ -327,11 +350,14 @@ impl SampleCatalog {
         let mut buckets_by_layer: Vec<Vec<BTreeMap<Timestamp, Arc<CatalogCell>>>> =
             self.layers.iter().map(|layer| layer.buckets.clone()).collect();
         for (&(lp, bi, t, _), cell) in tasks.iter().zip(recomputed) {
-            let (cell, absorbed) = cell?;
+            let (cell, absorbed, fallback) = cell?;
             if absorbed {
                 delta_stats.absorbed_cells += 1;
             } else {
                 delta_stats.rebuilt_cells += 1;
+                if fallback {
+                    delta_stats.fallback_redraws += 1;
+                }
             }
             buckets_by_layer[lp][bi].insert(t, cell);
         }
@@ -827,6 +853,64 @@ mod tests {
                 let b = full.sample_for(0, measure, t).unwrap();
                 assert_eq!(a.num_rows(), b.num_rows(), "{}", sampler.label());
                 assert_eq!(a.inclusion_probabilities(), b.inclusion_probabilities());
+            }
+        }
+    }
+
+    /// `fallback_redraws` makes the cost of online-publishing a stateless
+    /// sampler visible: growing an already-sampled day forces a full
+    /// re-draw for uniform/priority/threshold layers (their cells carry
+    /// no absorbable state), while brand-new days are ordinary rebuilds
+    /// and GSW layers absorb instead.
+    #[test]
+    fn fallback_redraws_counts_stateless_redraw_cells() {
+        use flashp_storage::Value;
+        let grown_t = Timestamp::from_yyyymmdd(20200110).unwrap();
+        let new_t = Timestamp::from_yyyymmdd(20200215).unwrap();
+        for (sampler, expect_fallbacks) in [
+            (SamplerChoice::Uniform, 2),
+            (SamplerChoice::Priority, 2),
+            (SamplerChoice::Threshold, 2),
+            (SamplerChoice::OptimalGsw, 0),
+        ] {
+            let mut table = test_table();
+            let config = EngineConfig {
+                layer_rates: vec![0.1],
+                sampler: sampler.clone(),
+                ..Default::default()
+            };
+            let catalog = SampleCatalog::build(&table, &config).unwrap();
+            let mut delta = CatalogDelta::default();
+            for t in [grown_t, new_t] {
+                for row in 0..300i64 {
+                    table
+                        .append_row(
+                            t,
+                            &[Value::Int(row % 10), Value::from("a")],
+                            &[200.0 + row as f64, 20.0 + row as f64],
+                        )
+                        .unwrap();
+                }
+                delta.record(t, 300);
+            }
+            let (_, stats) = catalog.apply_delta(&table, &config, &delta).unwrap();
+            // Two changed days touch the same cell grid, so the per-day
+            // cell count (buckets per layer; sampler-dependent) is half
+            // the total recomputed cells.
+            let total = stats.rebuilt_cells + stats.absorbed_cells;
+            assert_eq!(total % 2, 0, "{}", sampler.label());
+            let cells_per_day = total / 2;
+            assert!(cells_per_day > 0, "{}", sampler.label());
+            // Only the grown day's cells had a prior sample to fall back
+            // from; the new day's rebuilds are first-time work.
+            let expected = if expect_fallbacks == 0 { 0 } else { cells_per_day };
+            assert_eq!(stats.fallback_redraws, expected, "{}", sampler.label());
+            assert!(
+                stats.fallback_redraws <= stats.rebuilt_cells,
+                "fallbacks are a subset of rebuilds"
+            );
+            if matches!(sampler, SamplerChoice::OptimalGsw) {
+                assert!(stats.absorbed_cells > 0, "grown GSW cells should absorb");
             }
         }
     }

@@ -57,6 +57,7 @@ pub mod models;
 pub mod planner;
 pub mod prepared;
 pub mod result;
+pub mod sharded;
 pub mod version;
 
 pub use catalog::{BuildStats, DeltaStats, LayerStats, SampleCatalog};
@@ -69,6 +70,10 @@ pub use planner::{LogicalPlan, Planner, ScanSource, SourceSlot, TimeRangeSlot};
 pub use prepared::PreparedQuery;
 pub use result::{
     ExecOutput, ForecastOut, ForecastResult, SelectResult, SelectRow, SeriesPoint, Timing,
+};
+pub use sharded::{
+    route_hash, DayPartial, ShardConfig, ShardResponse, ShardSnapshot, ShardStats, ShardedEngine,
+    ShardedPrepared, ShardedStats,
 };
 pub use version::{CatalogDelta, CatalogVersion, IngestBatch, PublishStats};
 

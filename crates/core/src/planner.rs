@@ -309,7 +309,18 @@ pub(crate) fn resolve_forecast_window(
     params: &[Literal],
     table: &TimeSeriesTable,
 ) -> Result<(Timestamp, Timestamp), EngineError> {
-    let bounds = table.time_bounds();
+    resolve_forecast_window_bounds(window, params, table.time_bounds())
+}
+
+/// [`resolve_forecast_window`] against explicit table bounds — the entry
+/// point for scatter-gather executors, which must resolve a window once
+/// against the *union* of per-shard bounds so every shard sees the same
+/// range regardless of which days landed where.
+pub(crate) fn resolve_forecast_window_bounds(
+    window: &TimeWindow,
+    params: &[Literal],
+    bounds: Option<(Timestamp, Timestamp)>,
+) -> Result<(Timestamp, Timestamp), EngineError> {
     let latest = bounds.map(|(_, hi)| hi);
     let (lo, hi) = window.resolve(params, latest).map_err(|e| EngineError::Parameter(e.message))?;
     let (Some(mut s), Some(e)) = (lo, hi) else {
@@ -338,8 +349,19 @@ pub(crate) fn resolve_select_range(
     params: &[Literal],
     table: &TimeSeriesTable,
 ) -> Result<Option<(Timestamp, Timestamp)>, EngineError> {
+    resolve_select_range_bounds(window, params, table.time_bounds())
+}
+
+/// [`resolve_select_range`] against explicit table bounds — see
+/// [`resolve_forecast_window_bounds`] for why scatter-gather executors
+/// resolve once against union bounds instead of per-shard tables.
+pub(crate) fn resolve_select_range_bounds(
+    window: &TimeWindow,
+    params: &[Literal],
+    bounds: Option<(Timestamp, Timestamp)>,
+) -> Result<Option<(Timestamp, Timestamp)>, EngineError> {
     let (table_lo, table_hi) =
-        table.time_bounds().ok_or_else(|| EngineError::Config("empty table".to_string()))?;
+        bounds.ok_or_else(|| EngineError::Config("empty table".to_string()))?;
     let (lo, hi) =
         window.resolve(params, Some(table_hi)).map_err(|e| EngineError::Parameter(e.message))?;
     let lo = lo.map_or(table_lo, |t| t.max(table_lo));

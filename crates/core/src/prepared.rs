@@ -40,7 +40,7 @@ use std::time::Instant;
 const SPECIALIZED_CAP: usize = 64;
 
 /// Typed arity check shared by every parameterized execution entry.
-fn check_arity(num_params: usize, params: &[Literal]) -> Result<(), EngineError> {
+pub(crate) fn check_arity(num_params: usize, params: &[Literal]) -> Result<(), EngineError> {
     if params.len() == num_params {
         return Ok(());
     }
@@ -72,7 +72,7 @@ impl ExecCtx<'_> {
     /// Arity was already checked at the statement level (`?` indices are
     /// statement-global, shared with the time window), so substitution
     /// just picks the indices the constraint uses.
-    fn resolve_predicate<'p>(
+    pub(crate) fn resolve_predicate<'p>(
         &self,
         slot: &'p PredicateSlot,
         params: &[Literal],
@@ -88,7 +88,10 @@ impl ExecCtx<'_> {
     }
 
     /// The catalog layer a plan's source references.
-    fn layer(&self, source: &ScanSource) -> Result<&crate::catalog::CatalogLayer, EngineError> {
+    pub(crate) fn layer(
+        &self,
+        source: &ScanSource,
+    ) -> Result<&crate::catalog::CatalogLayer, EngineError> {
         let ScanSource::SampleLayer { layer, .. } = source else {
             unreachable!("layer() is only called for sampled sources")
         };
@@ -211,6 +214,50 @@ impl ExecCtx<'_> {
             total.merge(c);
         }
         Ok(total)
+    }
+
+    /// Per-timestamp HT components for `[start, end]` from one catalog
+    /// layer/bucket, **unmerged**: element `i` is timestamp `start + i`,
+    /// `None` when the bucket stores no sample for that day. This is the
+    /// sampled partial-aggregation entry point for scatter-gather
+    /// execution — a shard emits its own per-day components and a
+    /// combiner merges day-by-day across shards in a fixed shard order,
+    /// keeping f64 accumulation order independent of fan-out width.
+    pub(crate) fn day_components_from_layer(
+        &self,
+        layer: &crate::catalog::CatalogLayer,
+        bucket: usize,
+        measure: usize,
+        pred: &CompiledPredicate,
+        start: Timestamp,
+        end: Timestamp,
+    ) -> Result<Vec<Option<EstimateComponents>>, EngineError> {
+        self.map_days(layer, bucket, start, end, |scratch, _, sample| match sample {
+            Some(sample) => Ok(Some(estimate_components_with(sample, measure, pred, scratch)?)),
+            None => Ok(None),
+        })
+    }
+
+    /// Exact per-timestamp aggregate states for the partitions this
+    /// table holds in `[start, end]` — the exact-path counterpart of
+    /// [`ExecCtx::day_components_from_layer`]: only present days are
+    /// returned, and the states merge exactly across shards.
+    pub(crate) fn day_states_exact(
+        &self,
+        measure: usize,
+        pred: &CompiledPredicate,
+        start: Timestamp,
+        end: Timestamp,
+        sum: SumMode,
+    ) -> Result<Vec<(Timestamp, flashp_storage::AggState)>, EngineError> {
+        Ok(flashp_storage::aggregate_states_range(
+            self.table,
+            measure,
+            pred,
+            start,
+            end,
+            ScanOptions { threads: self.config.threads, sum },
+        )?)
     }
 
     /// Per-timestamp series for a plan's scan source. `sum` only affects

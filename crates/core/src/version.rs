@@ -112,7 +112,7 @@ pub struct IngestBatch {
 }
 
 #[derive(Debug)]
-enum IngestItem {
+pub(crate) enum IngestItem {
     Rows { t: Timestamp, rows: Vec<(Vec<Value>, Vec<f64>)> },
     Partition { t: Timestamp, partition: Partition },
 }
@@ -155,6 +155,13 @@ impl IngestBatch {
     /// Whether the batch holds no rows.
     pub fn is_empty(&self) -> bool {
         self.rows == 0
+    }
+
+    /// Decompose the batch into its items so a shard router can re-bucket
+    /// rows by hash — the inverse of the `push_*` builders. Consumes the
+    /// batch: routed rows are re-staged into per-shard batches.
+    pub(crate) fn into_items(self) -> Vec<IngestItem> {
+        self.items
     }
 
     /// Apply the batch to a table, recording changed partitions in

@@ -1,0 +1,328 @@
+//! The shard-invariance oracle suite — the headline contract of the
+//! sharded scatter-gather layer.
+//!
+//! [`ShardedEngine`] routes rows across a **fixed** number of virtual
+//! slots and lets the physical shard count only choose how those slots
+//! fan out over worker threads. Answers therefore depend on
+//! `(data, seed, slots)` and never on the shard count: every query here
+//! is executed at N = 1, 2, 4, and 8 shards and asserted **bit-for-bit
+//! identical** — exact and sampled, FORECAST and SELECT, one-shot and
+//! prepared with `USING (?, ?)` bindings, and across interleaved
+//! ingest→publish cycles.
+
+use flashp_core::{
+    EngineConfig, ForecastResult, IngestBatch, Literal, SamplerChoice, SelectResult, ShardConfig,
+    ShardedEngine,
+};
+use flashp_data::{generate_dataset, DatasetConfig};
+use flashp_storage::Value;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The shard counts under test, honoring the CI matrix override: when
+/// `FLASHP_SHARDS` is set, the suite pins every engine to that single
+/// shard count and compares it against the N=1 baseline.
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("FLASHP_SHARDS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 1 => vec![1, n],
+        _ => SHARD_COUNTS.to_vec(),
+    }
+}
+
+/// One sharded engine per shard count over the same 30-day ads dataset,
+/// with per-slot GSW sample catalogs.
+fn engines(seed: u64) -> Vec<(usize, ShardedEngine)> {
+    let ds = generate_dataset(&DatasetConfig::new(400, 30, seed)).unwrap();
+    let config = EngineConfig {
+        sampler: SamplerChoice::OptimalGsw,
+        layer_rates: vec![0.2, 0.05],
+        default_rate: 0.05,
+        ..Default::default()
+    };
+    shard_counts()
+        .into_iter()
+        .map(|n| {
+            let engine = ShardedEngine::with_catalogs(
+                &ds.table,
+                config.clone(),
+                ShardConfig::with_shards(n),
+            )
+            .unwrap();
+            (n, engine)
+        })
+        .collect()
+}
+
+/// Bit-level equality for SELECT results: every row's timestamp, value
+/// bits, and std-err bits must match.
+fn assert_select_bits_eq(a: &SelectResult, b: &SelectResult, label: &str) {
+    assert_eq!(a.approximate, b.approximate, "{label}: approximate flag");
+    assert_eq!(a.rows.len(), b.rows.len(), "{label}: row count");
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.0, rb.0, "{label}: timestamp");
+        assert_eq!(ra.1.to_bits(), rb.1.to_bits(), "{label}: value at {}", ra.0);
+        assert_eq!(ra.2.map(f64::to_bits), rb.2.map(f64::to_bits), "{label}: std_err at {}", ra.0);
+    }
+}
+
+/// Bit-level equality for FORECAST results: training estimates, forecast
+/// points and intervals, model metadata, and the noise decomposition
+/// (everything except wall-clock timing).
+fn assert_forecast_bits_eq(a: &ForecastResult, b: &ForecastResult, label: &str) {
+    assert_eq!(a.model, b.model, "{label}: model");
+    assert_eq!(a.sampler, b.sampler, "{label}: sampler");
+    assert_eq!(a.rate_used.to_bits(), b.rate_used.to_bits(), "{label}: rate_used");
+    assert_eq!(a.confidence.to_bits(), b.confidence.to_bits(), "{label}: confidence");
+    assert_eq!(a.sigma2.to_bits(), b.sigma2.to_bits(), "{label}: sigma2");
+    assert_eq!(
+        a.mean_noise_variance.to_bits(),
+        b.mean_noise_variance.to_bits(),
+        "{label}: mean_noise_variance"
+    );
+    assert_eq!(a.estimates.len(), b.estimates.len(), "{label}: estimate count");
+    for (pa, pb) in a.estimates.iter().zip(&b.estimates) {
+        assert_eq!(pa.t, pb.t, "{label}: estimate timestamp");
+        assert_eq!(pa.value.to_bits(), pb.value.to_bits(), "{label}: estimate at {}", pa.t);
+        assert_eq!(
+            pa.variance.map(f64::to_bits),
+            pb.variance.map(f64::to_bits),
+            "{label}: variance at {}",
+            pa.t
+        );
+    }
+    assert_eq!(a.forecasts.len(), b.forecasts.len(), "{label}: forecast count");
+    for (pa, pb) in a.forecasts.iter().zip(&b.forecasts) {
+        assert_eq!(pa.t, pb.t, "{label}: forecast timestamp");
+        for (va, vb, field) in [
+            (pa.value, pb.value, "value"),
+            (pa.lo, pb.lo, "lo"),
+            (pa.hi, pb.hi, "hi"),
+            (pa.std_err, pb.std_err, "std_err"),
+        ] {
+            assert_eq!(va.to_bits(), vb.to_bits(), "{label}: forecast {field} at {}", pa.t);
+        }
+    }
+}
+
+#[test]
+fn select_is_shard_count_invariant_exact_and_sampled() {
+    let engines = engines(17);
+    let (_, baseline) = &engines[0];
+    for sql in [
+        // Exact: scalar, grouped, and every aggregate family.
+        "SELECT SUM(Impression) FROM ads WHERE age <= 30 AND t BETWEEN 20200105 AND 20200120",
+        "SELECT COUNT(*) FROM ads WHERE device = 'mobile' AND t BETWEEN 20200101 AND 20200130",
+        "SELECT AVG(Click) FROM ads WHERE gender = 'F' AND t BETWEEN 20200101 AND 20200130 \
+         GROUP BY t",
+        "SELECT SUM(Favorite) FROM ads WHERE t BETWEEN 20200101 AND 20200130 GROUP BY t",
+        // Sampled: both catalog layers, scalar and grouped, every family.
+        "SELECT SUM(Click) FROM ads WHERE age <= 40 AND t BETWEEN 20200103 AND 20200110 \
+         GROUP BY t OPTION (SAMPLE_RATE = 0.2)",
+        "SELECT COUNT(*) FROM ads WHERE gender = 'M' AND t BETWEEN 20200101 AND 20200130 \
+         OPTION (SAMPLE_RATE = 0.05)",
+        "SELECT AVG(Impression) FROM ads WHERE city = 'city_03' AND \
+         t BETWEEN 20200101 AND 20200128 GROUP BY t OPTION (SAMPLE_RATE = 0.2)",
+    ] {
+        let want = baseline.select(sql).unwrap();
+        for (n, engine) in &engines[1..] {
+            let got = engine.select(sql).unwrap();
+            assert_select_bits_eq(&want, &got, &format!("N={n}: {sql}"));
+        }
+    }
+}
+
+#[test]
+fn forecast_is_shard_count_invariant_exact_and_sampled() {
+    let engines = engines(17);
+    let (_, baseline) = &engines[0];
+    for sql in [
+        // Exact full-scan training series.
+        "FORECAST SUM(Impression) FROM ads WHERE age <= 30 AND gender = 'F' \
+         USING (20200101, 20200125) OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)",
+        // Sampled, noise-aware training series from the per-slot catalogs.
+        "FORECAST SUM(Click) FROM ads WHERE age <= 40 \
+         USING (20200101, 20200128) OPTION (MODEL = 'ar(7)', FORE_PERIOD = 7, SAMPLE_RATE = 0.2)",
+        "FORECAST COUNT(*) FROM ads WHERE device = 'mobile' \
+         USING (20200102, 20200126) OPTION (FORE_PERIOD = 3, SAMPLE_RATE = 0.05)",
+    ] {
+        let want = baseline.forecast(sql).unwrap();
+        for (n, engine) in &engines[1..] {
+            let got = engine.forecast(sql).unwrap();
+            assert_forecast_bits_eq(&want, &got, &format!("N={n}: {sql}"));
+        }
+    }
+}
+
+#[test]
+fn prepared_bindings_are_shard_count_invariant() {
+    let engines = engines(17);
+    let forecast_sql = "FORECAST SUM(Impression) FROM ads WHERE age <= 30 AND gender = 'F' \
+         USING (?, ?) OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5, SAMPLE_RATE = 0.2)";
+    let select_sql = "SELECT SUM(Click) FROM ads WHERE age <= 40 AND t BETWEEN ? AND ? \
+         GROUP BY t OPTION (SAMPLE_RATE = 0.2)";
+    let prepared: Vec<_> = engines
+        .iter()
+        .map(|(n, e)| (*n, e.prepare(forecast_sql).unwrap(), e.prepare(select_sql).unwrap()))
+        .collect();
+    // Re-binding the same handles to different windows must stay
+    // invariant for every binding.
+    for (lo, hi) in [(20200101, 20200125), (20200105, 20200130)] {
+        let params = [Literal::Int(lo), Literal::Int(hi)];
+        let (_, f0, s0) = &prepared[0];
+        let want_f = f0.forecast_with(&params).unwrap();
+        let want_s = s0.select_with(&params).unwrap();
+        for (n, f, s) in &prepared[1..] {
+            let label = format!("N={n}: USING ({lo}, {hi})");
+            assert_forecast_bits_eq(&want_f, &f.forecast_with(&params).unwrap(), &label);
+            assert_select_bits_eq(&want_s, &s.select_with(&params).unwrap(), &label);
+        }
+    }
+
+    // A SELECT binding wider than the table clamps to the table bounds
+    // (bit-identically); an absolute FORECAST window does not clamp, so
+    // the sampled path errors — identically at every shard count.
+    let params = [Literal::Int(20191201), Literal::Int(20200215)];
+    let (_, f0, s0) = &prepared[0];
+    let want_s = s0.select_with(&params).unwrap();
+    let want_err = format!("{:?}", f0.forecast_with(&params).unwrap_err());
+    for (n, f, s) in &prepared[1..] {
+        let label = format!("N={n}: USING (20191201, 20200215)");
+        assert_select_bits_eq(&want_s, &s.select_with(&params).unwrap(), &label);
+        let got_err = format!("{:?}", f.forecast_with(&params).unwrap_err());
+        assert_eq!(want_err, got_err, "{label}: error parity");
+    }
+}
+
+/// One synthetic ads row routed by its dimension key: varying age and
+/// city spreads the rows over different slots.
+fn ads_row(batch: &mut IngestBatch, t: i64, row: i64) {
+    let dims = [
+        Value::Int(20 + (row % 40)),
+        Value::Str(if row % 2 == 0 { "F" } else { "M" }.to_string()),
+        Value::Str(format!("city_{:02}", row % 20)),
+        Value::Str("mobile".to_string()),
+        Value::Str("ios".to_string()),
+        Value::Int(row % 5),
+        Value::Int(row % 3),
+        Value::Int(row % 7),
+        Value::Str("search".to_string()),
+        Value::Int(row % 4),
+        Value::Int(row % 2),
+    ];
+    let measures = [150.0 + row as f64, 12.0 + (row % 9) as f64, 3.0, 1.0];
+    let t = flashp_storage::Timestamp::from_yyyymmdd(t).unwrap();
+    batch.push_row(t, &dims, &measures);
+}
+
+#[test]
+fn interleaved_ingest_publish_cycles_stay_shard_count_invariant() {
+    let engines = engines(23);
+    let probe = "SELECT SUM(Impression) FROM ads WHERE age <= 45 AND \
+                 t BETWEEN 20200125 AND 20200204 GROUP BY t";
+    let sampled_probe = "SELECT SUM(Click) FROM ads WHERE age <= 45 AND \
+                 t BETWEEN 20200120 AND 20200204 GROUP BY t OPTION (SAMPLE_RATE = 0.2)";
+    let prepared: Vec<_> = engines
+        .iter()
+        .map(|(n, e)| {
+            let p = e
+                .prepare(
+                    "FORECAST SUM(Impression) FROM ads WHERE age <= 45 USING (?, ?) \
+                     OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)",
+                )
+                .unwrap();
+            (*n, p)
+        })
+        .collect();
+
+    // The same interleaving on every engine: stage two days, query (the
+    // staged rows must be invisible), publish, query again (now visible),
+    // then a second cycle that grows an existing day, with the prepared
+    // handle re-executed across the version swaps.
+    let assert_probe_invariant = |label: &str| {
+        let (_, baseline) = &engines[0];
+        let want = baseline.select(probe).unwrap();
+        let want_sampled = baseline.select(sampled_probe).unwrap();
+        for (n, engine) in &engines[1..] {
+            assert_select_bits_eq(&want, &engine.select(probe).unwrap(), &format!("N={n} {label}"));
+            assert_select_bits_eq(
+                &want_sampled,
+                &engine.select(sampled_probe).unwrap(),
+                &format!("N={n} {label} (sampled)"),
+            );
+        }
+    };
+    let make_batch = |days: &[i64], rows: i64| {
+        let mut batch = IngestBatch::new();
+        for &day in days {
+            for row in 0..rows {
+                ads_row(&mut batch, day, row);
+            }
+        }
+        batch
+    };
+
+    assert_probe_invariant("before any ingest");
+    let before: Vec<SelectResult> = engines.iter().map(|(_, e)| e.select(probe).unwrap()).collect();
+
+    for (i, (_, engine)) in engines.iter().enumerate() {
+        let staged = engine.ingest(make_batch(&[20200131, 20200201], 120)).unwrap();
+        assert_eq!(staged, 240);
+        // Staged rows are invisible until publish, at any shard count.
+        assert_select_bits_eq(&before[i], &engine.select(probe).unwrap(), "staged-invisible");
+    }
+    assert_probe_invariant("with staged rows");
+
+    let publish_stats: Vec<_> = engines.iter().map(|(_, e)| e.publish().unwrap()).collect();
+    for (i, stats) in publish_stats.iter().enumerate() {
+        assert_eq!(stats.appended_rows, 240, "N={}", engines[i].0);
+        // The merged sampler-delta accounting is itself invariant.
+        assert_eq!(
+            (stats.delta.rebuilt_cells, stats.delta.absorbed_cells, stats.delta.fallback_redraws),
+            (
+                publish_stats[0].delta.rebuilt_cells,
+                publish_stats[0].delta.absorbed_cells,
+                publish_stats[0].delta.fallback_redraws
+            ),
+            "N={}",
+            engines[i].0
+        );
+    }
+    assert_probe_invariant("after first publish");
+
+    // Prepared handles re-plan against the new version and stay invariant.
+    let params = [Literal::Int(20200105), Literal::Int(20200201)];
+    let (_, p0) = &prepared[0];
+    let want = p0.forecast_with(&params).unwrap();
+    for (n, p) in &prepared[1..] {
+        assert_forecast_bits_eq(
+            &want,
+            &p.forecast_with(&params).unwrap(),
+            &format!("N={n} prepared after publish"),
+        );
+    }
+
+    // Second cycle: grow an existing day and add a fresh one.
+    for (_, engine) in &engines {
+        engine.ingest(make_batch(&[20200201, 20200204], 80)).unwrap();
+        engine.publish().unwrap();
+    }
+    assert_probe_invariant("after second publish");
+    let want = p0.forecast_with(&params).unwrap();
+    for (n, p) in &prepared[1..] {
+        assert_forecast_bits_eq(
+            &want,
+            &p.forecast_with(&params).unwrap(),
+            &format!("N={n} prepared after second publish"),
+        );
+    }
+}
+
+#[test]
+fn empty_publish_is_a_noop_at_every_shard_count() {
+    for (n, engine) in engines(17) {
+        let v0 = engine.version();
+        let stats = engine.publish().unwrap();
+        assert_eq!(stats.appended_rows, 0, "N={n}");
+        assert_eq!(engine.version(), v0, "N={n}: empty publish must not swap the outer version");
+    }
+}

@@ -1,0 +1,217 @@
+//! Property suite for the scatter-gather combiner algebra.
+//!
+//! The sharded engine merges per-shard partials — exact
+//! [`AggState`]s and Horvitz–Thompson [`EstimateComponents`] — by
+//! component-wise addition, then finalizes once (AVG as the ratio of the
+//! merged totals). These properties pin down why that is correct at any
+//! shard count:
+//!
+//! * partition-invariance: folding rows shard-by-shard and merging the
+//!   shard partials in order equals folding the concatenated rows — **bit
+//!   for bit** when every HT term is exactly representable (integer
+//!   measures, power-of-two inclusion probabilities make `m/π` and
+//!   `(1/π² − 1/π)·m²` integers), and to relative tolerance for arbitrary
+//!   floats (addition reassociates);
+//! * edge cases: empty shards are merge identities, single-row shards
+//!   compose, an all-empty merge finalizes like an untouched accumulator
+//!   (AVG of nothing is NaN);
+//! * finalize algebra: AVG is exactly `sum_hat / count_hat` of the merged
+//!   components (never a mean of per-shard AVGs), SUM/COUNT pass the
+//!   merged variance component through unchanged.
+
+use flashp_sampling::EstimateComponents;
+use flashp_storage::{AggFunc, AggState};
+use proptest::prelude::*;
+
+/// Exactly representable inclusion probabilities: `1/π` ∈ {1, 2, 4, 8}
+/// and the HT variance weight `1/π² − 1/π` ∈ {0, 2, 12, 56} are integers,
+/// so every per-row term (integer measure) is exact in f64 and addition
+/// is associative.
+const EXACT_PI: [f64; 4] = [1.0, 0.5, 0.25, 0.125];
+
+/// Accumulate one sampled row into HT components, mirroring the
+/// estimator's `w = 1/π` / `w² − w` accumulation.
+fn accumulate(c: &mut EstimateComponents, measure: f64, pi: f64) {
+    let w = 1.0 / pi;
+    let vw = w * w - w;
+    c.sum_hat += w * measure;
+    c.sum_var += vw * measure * measure;
+    c.count_hat += w;
+    c.count_var += vw;
+    c.matched_rows += 1;
+}
+
+fn components_of(rows: &[(f64, f64)]) -> EstimateComponents {
+    let mut c = EstimateComponents::default();
+    for &(m, pi) in rows {
+        accumulate(&mut c, m, pi);
+    }
+    c
+}
+
+fn state_of(rows: &[f64]) -> AggState {
+    let mut s = AggState::default();
+    for &m in rows {
+        s.sum += m;
+        s.count += 1;
+    }
+    s
+}
+
+/// Split `rows` into `cuts.len() + 1` contiguous shards (order-preserving,
+/// shards may be empty) — the shape of a slot-order merge.
+fn contiguous_shards<T: Clone>(rows: &[T], cuts: &[usize]) -> Vec<Vec<T>> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (rows.len() + 1)).collect();
+    bounds.sort_unstable();
+    let mut shards = Vec::with_capacity(bounds.len() + 1);
+    let mut prev = 0;
+    for b in bounds {
+        shards.push(rows[prev..b].to_vec());
+        prev = b;
+    }
+    shards.push(rows[prev..].to_vec());
+    shards
+}
+
+fn exact_row() -> impl Strategy<Value = (f64, f64)> {
+    (0u32..=1000, 0usize..EXACT_PI.len()).prop_map(|(m, i)| (f64::from(m), EXACT_PI[i]))
+}
+
+fn assert_components_bitwise(a: &EstimateComponents, b: &EstimateComponents) {
+    assert_eq!(a.sum_hat.to_bits(), b.sum_hat.to_bits(), "sum_hat");
+    assert_eq!(a.sum_var.to_bits(), b.sum_var.to_bits(), "sum_var");
+    assert_eq!(a.count_hat.to_bits(), b.count_hat.to_bits(), "count_hat");
+    assert_eq!(a.count_var.to_bits(), b.count_var.to_bits(), "count_var");
+    assert_eq!(a.matched_rows, b.matched_rows, "matched_rows");
+}
+
+proptest! {
+    /// Sharded merge ≡ concatenated fold, bit for bit, for any contiguous
+    /// partition (including empty and single-row shards) of exactly
+    /// representable rows.
+    #[test]
+    fn components_merge_is_partition_invariant(
+        rows in proptest::collection::vec(exact_row(), 0..200),
+        cuts in proptest::collection::vec(0usize..usize::MAX, 0..7),
+    ) {
+        let concatenated = components_of(&rows);
+        let mut merged = EstimateComponents::default();
+        for shard in contiguous_shards(&rows, &cuts) {
+            let partial = components_of(&shard);
+            merged.merge(&partial);
+        }
+        assert_components_bitwise(&merged, &concatenated);
+    }
+
+    /// Same partition-invariance for the exact accumulator.
+    #[test]
+    fn agg_state_merge_is_partition_invariant(
+        rows in proptest::collection::vec((0u32..=1000).prop_map(f64::from), 0..200),
+        cuts in proptest::collection::vec(0usize..usize::MAX, 0..7),
+    ) {
+        let concatenated = state_of(&rows);
+        let mut merged = AggState::default();
+        for shard in contiguous_shards(&rows, &cuts) {
+            merged.merge(state_of(&shard));
+        }
+        assert_eq!(merged.sum.to_bits(), concatenated.sum.to_bits());
+        assert_eq!(merged.count, concatenated.count);
+        for agg in [AggFunc::Sum, AggFunc::Count, AggFunc::Avg] {
+            let a = merged.finalize(agg);
+            let b = concatenated.finalize(agg);
+            assert!(a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()));
+        }
+    }
+
+    /// With arbitrary finite float measures the merge only reassociates
+    /// additions: equal to tight relative tolerance.
+    #[test]
+    fn components_merge_is_tolerant_for_arbitrary_floats(
+        rows in proptest::collection::vec(
+            ((-1.0e6f64..1.0e6), 0usize..EXACT_PI.len())
+                .prop_map(|(m, i)| (m, EXACT_PI[i])),
+            0..200,
+        ),
+        cuts in proptest::collection::vec(0usize..usize::MAX, 0..7),
+    ) {
+        let concatenated = components_of(&rows);
+        let mut merged = EstimateComponents::default();
+        for shard in contiguous_shards(&rows, &cuts) {
+            merged.merge(&components_of(&shard));
+        }
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        prop_assert!(close(merged.sum_hat, concatenated.sum_hat));
+        prop_assert!(close(merged.sum_var, concatenated.sum_var));
+        prop_assert!(close(merged.count_hat, concatenated.count_hat));
+        prop_assert!(close(merged.count_var, concatenated.count_var));
+        prop_assert_eq!(merged.matched_rows, concatenated.matched_rows);
+    }
+
+    /// Merging a default (empty-shard) partial is the identity, bit for
+    /// bit, even for arbitrary component values.
+    #[test]
+    fn merging_empty_shard_is_identity(
+        sum_hat in -1.0e12f64..1.0e12,
+        sum_var in 0.0f64..1.0e12,
+        count_hat in 0.0f64..1.0e9,
+        count_var in 0.0f64..1.0e9,
+        matched in 0usize..1_000_000,
+    ) {
+        let original = EstimateComponents {
+            sum_hat, sum_var, count_hat, count_var, matched_rows: matched,
+        };
+        let mut merged = original;
+        merged.merge(&EstimateComponents::default());
+        assert_components_bitwise(&merged, &original);
+
+        // And from the left: identity ⊕ x = x.
+        let mut left = EstimateComponents::default();
+        left.merge(&original);
+        assert_components_bitwise(&left, &original);
+    }
+
+    /// AVG finalizes as the ratio of *merged* totals — exactly
+    /// `sum_hat / count_hat`, not any combination of per-shard averages —
+    /// and SUM/COUNT pass the merged variance through unchanged.
+    #[test]
+    fn finalize_algebra_on_merged_components(
+        rows in proptest::collection::vec(exact_row(), 1..200),
+        cuts in proptest::collection::vec(0usize..usize::MAX, 0..7),
+    ) {
+        let mut merged = EstimateComponents::default();
+        for shard in contiguous_shards(&rows, &cuts) {
+            merged.merge(&components_of(&shard));
+        }
+        let avg = merged.finalize(AggFunc::Avg);
+        assert_eq!(avg.value.to_bits(), (merged.sum_hat / merged.count_hat).to_bits());
+        assert_eq!(avg.variance, None);
+        let sum = merged.finalize(AggFunc::Sum);
+        assert_eq!(sum.value.to_bits(), merged.sum_hat.to_bits());
+        assert_eq!(sum.variance.map(f64::to_bits), Some(merged.sum_var.to_bits()));
+        let count = merged.finalize(AggFunc::Count);
+        assert_eq!(count.value.to_bits(), merged.count_hat.to_bits());
+        assert_eq!(count.variance.map(f64::to_bits), Some(merged.count_var.to_bits()));
+        assert_eq!(sum.matched_rows, rows.len());
+    }
+}
+
+/// An all-empty merge finalizes like an untouched accumulator: AVG of
+/// nothing is NaN, SUM/COUNT are zero with zero variance.
+#[test]
+fn empty_merge_finalizes_like_empty() {
+    let mut merged = EstimateComponents::default();
+    for _ in 0..4 {
+        merged.merge(&EstimateComponents::default());
+    }
+    assert!(merged.finalize(AggFunc::Avg).value.is_nan());
+    assert_eq!(merged.finalize(AggFunc::Sum).value, 0.0);
+    assert_eq!(merged.finalize(AggFunc::Sum).variance, Some(0.0));
+    assert_eq!(merged.finalize(AggFunc::Count).value, 0.0);
+    assert_eq!(merged.matched_rows, 0);
+
+    let mut state = AggState::default();
+    state.merge(AggState::default());
+    assert!(state.finalize(AggFunc::Avg).is_nan());
+    assert_eq!(state.finalize(AggFunc::Sum), 0.0);
+    assert_eq!(state.finalize(AggFunc::Count), 0.0);
+}

@@ -1,0 +1,145 @@
+//! The engine behind the service: one [`FlashPEngine`] or a
+//! scatter-gather [`ShardedEngine`], behind one dispatch surface.
+//!
+//! The worker pool, sessions, and wire protocol are engine-shape
+//! agnostic: every command the service executes goes through [`Backend`],
+//! and every prepared statement a session holds is a [`PreparedHandle`].
+//! The two variants answer with the same response encodings — the
+//! sharded-service oracle test asserts EXECUTE responses stay
+//! byte-identical to in-process sharded execution across a concurrent
+//! publish, exactly like the single-engine oracle.
+
+use flashp_core::{
+    EngineError, ExecOutput, FlashPEngine, IngestBatch, Literal, PreparedQuery, PublishStats,
+    ShardedEngine, ShardedPrepared,
+};
+use flashp_storage::SchemaRef;
+use serde_json::Value;
+
+/// The engine a server fronts.
+#[derive(Clone)]
+pub enum Backend {
+    /// One engine over the whole table.
+    Single(FlashPEngine),
+    /// Hash-partitioned slot engines behind a scatter-gather combiner.
+    Sharded(ShardedEngine),
+}
+
+impl From<FlashPEngine> for Backend {
+    fn from(engine: FlashPEngine) -> Self {
+        Backend::Single(engine)
+    }
+}
+
+impl From<ShardedEngine> for Backend {
+    fn from(engine: ShardedEngine) -> Self {
+        Backend::Sharded(engine)
+    }
+}
+
+impl Backend {
+    /// Prepare a statement for repeated execution.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedHandle, EngineError> {
+        match self {
+            Backend::Single(e) => Ok(PreparedHandle::from(e.prepare(sql)?)),
+            Backend::Sharded(e) => Ok(PreparedHandle::from(e.prepare(sql)?)),
+        }
+    }
+
+    /// Execute a one-shot statement (including `EXPLAIN`).
+    pub fn execute(&self, sql: &str) -> Result<ExecOutput, EngineError> {
+        match self {
+            Backend::Single(e) => e.execute(sql),
+            Backend::Sharded(e) => e.execute(sql),
+        }
+    }
+
+    /// Stage rows for the next publish.
+    pub fn ingest(&self, batch: IngestBatch) -> Result<usize, EngineError> {
+        match self {
+            Backend::Single(e) => e.ingest(batch),
+            Backend::Sharded(e) => e.ingest(batch),
+        }
+    }
+
+    /// Publish staged rows and swap the active version.
+    pub fn publish(&self) -> Result<PublishStats, EngineError> {
+        match self {
+            Backend::Single(e) => e.publish(),
+            Backend::Sharded(e) => e.publish(),
+        }
+    }
+
+    /// The active version number (the sharded backend reports its outer
+    /// snapshot version).
+    pub fn version(&self) -> u64 {
+        match self {
+            Backend::Single(e) => e.version(),
+            Backend::Sharded(e) => e.version(),
+        }
+    }
+
+    /// Rows staged but not yet published (summed across shards).
+    pub fn pending_rows(&self) -> usize {
+        match self {
+            Backend::Single(e) => e.stats().pending_rows,
+            Backend::Sharded(e) => e.stats().pending_rows(),
+        }
+    }
+
+    /// The served table's schema (`INGEST` validates rows against it;
+    /// every shard slot shares the same schema).
+    pub fn schema(&self) -> SchemaRef {
+        match self {
+            Backend::Single(e) => e.table().schema().clone(),
+            Backend::Sharded(e) => e.snapshot().slots()[0].table().schema().clone(),
+        }
+    }
+
+    /// Encode the `STATS` response: single engines report the flat
+    /// engine counters, sharded engines the per-shard breakdown.
+    pub fn stats_line(&self, server: Value) -> String {
+        match self {
+            Backend::Single(e) => crate::protocol::encode_stats(&e.stats(), server),
+            Backend::Sharded(e) => crate::protocol::encode_sharded_stats(&e.stats(), server),
+        }
+    }
+}
+
+/// A session-held prepared statement for either backend shape.
+pub enum PreparedHandle {
+    /// Prepared against a single engine.
+    Single(PreparedQuery),
+    /// Prepared against a sharded engine (per-slot plan cache inside).
+    Sharded(ShardedPrepared),
+}
+
+impl From<PreparedQuery> for PreparedHandle {
+    fn from(query: PreparedQuery) -> Self {
+        PreparedHandle::Single(query)
+    }
+}
+
+impl From<ShardedPrepared> for PreparedHandle {
+    fn from(query: ShardedPrepared) -> Self {
+        PreparedHandle::Sharded(query)
+    }
+}
+
+impl PreparedHandle {
+    /// Number of `?` parameters an `EXECUTE` must bind.
+    pub fn num_params(&self) -> usize {
+        match self {
+            PreparedHandle::Single(q) => q.num_params(),
+            PreparedHandle::Sharded(q) => q.num_params(),
+        }
+    }
+
+    /// Execute with bound parameters.
+    pub fn execute_with(&self, params: &[Literal]) -> Result<ExecOutput, EngineError> {
+        match self {
+            PreparedHandle::Single(q) => q.execute_with(params),
+            PreparedHandle::Sharded(q) => q.execute_with(params),
+        }
+    }
+}

@@ -27,14 +27,16 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod harness;
 pub mod protocol;
 pub mod server;
 pub mod session;
 pub mod stats;
 
+pub use backend::{Backend, PreparedHandle};
 pub use harness::{run_closed_loop, Client, LoadConfig, LoadReport};
 pub use protocol::{parse_command, Command, ErrorCode};
-pub use server::{serve, DrainReport, ServerConfig, ServerHandle};
+pub use server::{serve, serve_backend, DrainReport, ServerConfig, ServerHandle};
 pub use session::Session;
 pub use stats::{LatencyHistogram, ServerStats};

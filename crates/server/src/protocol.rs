@@ -437,6 +437,9 @@ pub fn encode_published(stats: &PublishStats) -> String {
         "catalog_version": stats.catalog_version,
         "appended_rows": stats.appended_rows,
         "changed_partitions": stats.changed_partitions,
+        "rebuilt_cells": stats.delta.rebuilt_cells,
+        "absorbed_cells": stats.delta.absorbed_cells,
+        "fallback_redraws": stats.delta.fallback_redraws,
     }))
 }
 
@@ -448,6 +451,38 @@ pub fn encode_slept(ms: u64) -> String {
 /// Encode the `CLOSE` acknowledgement.
 pub fn encode_closed() -> String {
     finish(json!({"ok": true, "kind": "close"}))
+}
+
+/// Encode the `STATS` response for a sharded backend: the outer version
+/// plus one entry per physical shard with its slot range, visible rows,
+/// and staged ingest backlog.
+pub fn encode_sharded_stats(stats: &flashp_core::ShardedStats, server: Value) -> String {
+    let shards: Vec<Value> = stats
+        .shards
+        .iter()
+        .map(|s| {
+            json!({
+                "shard": s.shard,
+                "slots": format!("{}..{}", s.slots.0, s.slots.1),
+                "rows": s.rows,
+                "pending_rows": s.pending_rows,
+                "pending_partitions": s.pending_partitions,
+            })
+        })
+        .collect();
+    finish(json!({
+        "ok": true,
+        "kind": "stats",
+        "engine": {
+            "version": stats.version,
+            "catalog_version": stats.catalog_version,
+            "shards": shards,
+            "total_rows": stats.total_rows(),
+            "pending_rows": stats.pending_rows(),
+            "pending_partitions": stats.pending_partitions(),
+        },
+        "server": server,
+    }))
 }
 
 /// Encode the `STATS` response from an engine snapshot plus the

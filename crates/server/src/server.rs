@@ -1,5 +1,6 @@
 //! The service loop: a TCP listener fronting a bounded admission queue
-//! and a fixed worker pool over one shared [`FlashPEngine`] handle.
+//! and a fixed worker pool over one shared [`Backend`] handle (a single
+//! [`FlashPEngine`] or a sharded scatter-gather engine).
 //!
 //! ```text
 //! accept loop ──► connection threads (1/conn: parse, admit, wait reply)
@@ -18,6 +19,7 @@
 //! the acceptor, lets every connection finish its in-flight request,
 //! then drains whatever is still queued before joining the workers.
 
+use crate::backend::Backend;
 use crate::protocol::{self, Command, ErrorCode};
 use crate::session::Session;
 use crate::stats::ServerStats;
@@ -97,7 +99,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
-    engine: FlashPEngine,
+    backend: Backend,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
@@ -115,9 +117,25 @@ impl ServerHandle {
         &self.stats
     }
 
-    /// The engine the server fronts (shares versions with the service).
+    /// The single engine the server fronts (shares versions with the
+    /// service).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server was started with [`serve_backend`] over a
+    /// sharded engine — use [`ServerHandle::backend`] there.
     pub fn engine(&self) -> &FlashPEngine {
-        &self.engine
+        match &self.backend {
+            Backend::Single(engine) => engine,
+            Backend::Sharded(_) => {
+                panic!("server fronts a sharded engine; use ServerHandle::backend")
+            }
+        }
+    }
+
+    /// The backend the server fronts, whatever its shape.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
     }
 
     /// Gracefully stop: stop accepting, let connections finish their
@@ -155,10 +173,17 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Start serving `engine` per `config`. Returns once the listener is
-/// bound and the worker pool is up; the handle's address is ready to
-/// connect to immediately.
+/// Start serving a single `engine` per `config`. Returns once the
+/// listener is bound and the worker pool is up; the handle's address is
+/// ready to connect to immediately.
 pub fn serve(engine: FlashPEngine, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    serve_backend(Backend::Single(engine), config)
+}
+
+/// Start serving any [`Backend`] — the sharded scatter-gather engine
+/// goes behind the exact same wire protocol, sessions, and admission
+/// control as a single engine.
+pub fn serve_backend(backend: Backend, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -171,22 +196,22 @@ pub fn serve(engine: FlashPEngine, config: ServerConfig) -> std::io::Result<Serv
 
     let workers = (0..config.workers.max(1))
         .map(|_| {
-            let engine = engine.clone();
+            let backend = backend.clone();
             let stats = stats.clone();
             let job_rx = job_rx.clone();
-            std::thread::spawn(move || worker_loop(engine, stats, job_rx))
+            std::thread::spawn(move || worker_loop(backend, stats, job_rx))
         })
         .collect();
 
     let acceptor = {
-        let engine = engine.clone();
+        let backend = backend.clone();
         let stats = stats.clone();
         let shutdown = shutdown.clone();
         let connections = connections.clone();
         let job_tx = job_tx.clone();
         let config = config.clone();
         std::thread::spawn(move || {
-            accept_loop(listener, engine, config, stats, shutdown, connections, job_tx)
+            accept_loop(listener, backend, config, stats, shutdown, connections, job_tx)
         })
     };
 
@@ -194,7 +219,7 @@ pub fn serve(engine: FlashPEngine, config: ServerConfig) -> std::io::Result<Serv
         addr,
         shutdown,
         stats,
-        engine,
+        backend,
         acceptor: Some(acceptor),
         workers,
         connections,
@@ -204,7 +229,7 @@ pub fn serve(engine: FlashPEngine, config: ServerConfig) -> std::io::Result<Serv
 
 fn accept_loop(
     listener: TcpListener,
-    engine: FlashPEngine,
+    backend: Backend,
     config: ServerConfig,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
@@ -218,14 +243,14 @@ fn accept_loop(
                 let session_id = session_ids.fetch_add(1, Ordering::Relaxed);
                 stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
                 stats.connections_active.fetch_add(1, Ordering::Relaxed);
-                let engine = engine.clone();
+                let backend = backend.clone();
                 let config = config.clone();
                 let stats = stats.clone();
                 let shutdown = shutdown.clone();
                 let job_tx = job_tx.clone();
                 let handle = std::thread::spawn(move || {
                     let _ = serve_connection(
-                        stream, engine, &config, &stats, shutdown, job_tx, session_id,
+                        stream, backend, &config, &stats, shutdown, job_tx, session_id,
                     );
                     stats.connections_active.fetch_sub(1, Ordering::Relaxed);
                 });
@@ -270,7 +295,7 @@ fn read_line_polled(
 
 fn serve_connection(
     stream: TcpStream,
-    engine: FlashPEngine,
+    backend: Backend,
     config: &ServerConfig,
     stats: &ServerStats,
     shutdown: Arc<AtomicBool>,
@@ -297,7 +322,7 @@ fn serve_connection(
             continue;
         }
         let (mut line, done) =
-            handle_line(&buf, &engine, config, stats, &shutdown, &job_tx, &session);
+            handle_line(&buf, &backend, config, stats, &shutdown, &job_tx, &session);
         line.push('\n');
         writer.write_all(line.as_bytes())?;
         writer.flush()?;
@@ -311,7 +336,7 @@ fn serve_connection(
 /// connection should close afterwards.
 fn handle_line(
     raw: &str,
-    engine: &FlashPEngine,
+    backend: &Backend,
     config: &ServerConfig,
     stats: &ServerStats,
     shutdown: &AtomicBool,
@@ -326,7 +351,7 @@ fn handle_line(
     // against the session budget — they must work under overload.
     match cmd {
         Command::Close => return (protocol::encode_closed(), true),
-        Command::Stats => return (protocol::encode_stats(&engine.stats(), stats.to_json()), false),
+        Command::Stats => return (backend.stats_line(stats.to_json()), false),
         _ => {}
     }
     if shutdown.load(Ordering::SeqCst) {
@@ -386,7 +411,7 @@ fn handle_line(
     }
 }
 
-fn worker_loop(engine: FlashPEngine, stats: Arc<ServerStats>, rx: Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(backend: Backend, stats: Arc<ServerStats>, rx: Arc<Mutex<Receiver<Job>>>) {
     loop {
         // Hold the receiver lock only for the dequeue, not the work.
         let job = match rx.lock().expect("worker queue lock").recv() {
@@ -394,7 +419,7 @@ fn worker_loop(engine: FlashPEngine, stats: Arc<ServerStats>, rx: Arc<Mutex<Rece
             Err(_) => return, // every sender dropped: queue drained, exit
         };
         let label = job.cmd.label();
-        let line = execute_command(&engine, &job.session, job.cmd);
+        let line = execute_command(&backend, &job.session, job.cmd);
         stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
         stats.completed.fetch_add(1, Ordering::Relaxed);
         stats.histogram(label).record(job.admitted_at.elapsed().as_micros() as u64);
@@ -404,12 +429,12 @@ fn worker_loop(engine: FlashPEngine, stats: Arc<ServerStats>, rx: Arc<Mutex<Rece
     }
 }
 
-/// Execute one admitted command against the engine + session, returning
+/// Execute one admitted command against the backend + session, returning
 /// the encoded response line. Pure request→response: all socket and
 /// admission concerns live in the connection thread.
-fn execute_command(engine: &FlashPEngine, session: &Session, cmd: Command) -> String {
+fn execute_command(backend: &Backend, session: &Session, cmd: Command) -> String {
     match cmd {
-        Command::Prepare { name, sql } => match engine.prepare(&sql) {
+        Command::Prepare { name, sql } => match backend.prepare(&sql) {
             Ok(query) => {
                 let num_params = query.num_params();
                 session.store(&name, query);
@@ -437,18 +462,18 @@ fn execute_command(engine: &FlashPEngine, session: &Session, cmd: Command) -> St
                 )
             }
         }
-        Command::Statement { sql } => match engine.execute(&sql) {
+        Command::Statement { sql } => match backend.execute(&sql) {
             Ok(out) => protocol::encode_output(&out),
             Err(e) => protocol::engine_error_line(&e),
         },
-        Command::Ingest { rows } => match build_batch(engine, &rows) {
-            Ok(batch) => match engine.ingest(batch) {
-                Ok(staged) => protocol::encode_ingested(staged, engine.stats().pending_rows),
+        Command::Ingest { rows } => match build_batch(backend, &rows) {
+            Ok(batch) => match backend.ingest(batch) {
+                Ok(staged) => protocol::encode_ingested(staged, backend.pending_rows()),
                 Err(e) => protocol::engine_error_line(&e),
             },
             Err(msg) => protocol::error_line(ErrorCode::Parameter, &msg),
         },
-        Command::Publish => match engine.publish() {
+        Command::Publish => match backend.publish() {
             Ok(stats) => protocol::encode_published(&stats),
             Err(e) => protocol::engine_error_line(&e),
         },
@@ -458,16 +483,15 @@ fn execute_command(engine: &FlashPEngine, session: &Session, cmd: Command) -> St
         }
         // Handled out-of-band; answered here only if queued by a future
         // caller of execute_command.
-        Command::Stats => protocol::encode_stats(&engine.stats(), serde_json::json!({})),
+        Command::Stats => backend.stats_line(serde_json::json!({})),
         Command::Close => protocol::encode_closed(),
     }
 }
 
 /// Validate `INGEST` tuples against the schema and assemble a batch.
 /// Each row is `(t, dims..., measures...)` in schema order.
-fn build_batch(engine: &FlashPEngine, rows: &[Vec<Literal>]) -> Result<IngestBatch, String> {
-    let table = engine.table();
-    let schema = table.schema();
+fn build_batch(backend: &Backend, rows: &[Vec<Literal>]) -> Result<IngestBatch, String> {
+    let schema = backend.schema();
     let num_dims = schema.num_dimensions();
     let num_measures = schema.num_measures();
     let want = 1 + num_dims + num_measures;

@@ -7,7 +7,7 @@
 //! each reply before reading the next line), so the lock is uncontended
 //! in practice — it exists for `Send`/`Sync` soundness, not throughput.
 
-use flashp_core::PreparedQuery;
+use crate::backend::PreparedHandle;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -20,7 +20,7 @@ pub struct Session {
     limit: u64,
     /// Statements admitted so far (rejected ones don't count).
     admitted: AtomicU64,
-    handles: Mutex<HashMap<String, Arc<PreparedQuery>>>,
+    handles: Mutex<HashMap<String, Arc<PreparedHandle>>>,
 }
 
 impl Session {
@@ -54,12 +54,13 @@ impl Session {
 
     /// Store a prepared handle under `name`, replacing any previous
     /// handle with that name (re-`PREPARE` is how clients refresh).
-    pub fn store(&self, name: &str, query: PreparedQuery) {
-        self.handles.lock().expect("session lock").insert(name.to_string(), Arc::new(query));
+    /// Accepts either backend's prepared type.
+    pub fn store(&self, name: &str, query: impl Into<PreparedHandle>) {
+        self.handles.lock().expect("session lock").insert(name.to_string(), Arc::new(query.into()));
     }
 
     /// Look up a prepared handle by name.
-    pub fn get(&self, name: &str) -> Option<Arc<PreparedQuery>> {
+    pub fn get(&self, name: &str) -> Option<Arc<PreparedHandle>> {
         self.handles.lock().expect("session lock").get(name).cloned()
     }
 

@@ -1,0 +1,213 @@
+//! End-to-end tests for a [`ShardedEngine`] behind the service.
+//!
+//! The service is a transport for whatever backend it fronts: with a
+//! sharded backend, every wire response must be byte-identical to
+//! encoding the same scatter-gather execution done in-process — through
+//! prepared handles, across a concurrent ingest→publish cycle that swaps
+//! the outer shard snapshot, and under the same typed error surface as a
+//! single engine. `STATS` must expose the per-shard breakdown.
+
+use flashp_core::{EngineConfig, Literal, SamplerChoice, ShardConfig, ShardedEngine};
+use flashp_data::{generate_dataset, DatasetConfig};
+use flashp_server::harness::{has_error_code, is_ok, Client};
+use flashp_server::protocol::{self, ErrorCode};
+use flashp_server::server::{serve_backend, ServerConfig, ServerHandle};
+use flashp_server::Backend;
+use std::time::Duration;
+
+/// The same 30-day ads dataset + two-layer GSW configuration the
+/// single-engine service tests use, sharded 4 ways.
+fn sharded_engine(seed: u64, shards: usize) -> ShardedEngine {
+    let ds = generate_dataset(&DatasetConfig::new(400, 30, seed)).unwrap();
+    let config = EngineConfig {
+        sampler: SamplerChoice::OptimalGsw,
+        layer_rates: vec![0.2, 0.05],
+        default_rate: 0.05,
+        ..Default::default()
+    };
+    ShardedEngine::with_catalogs(&ds.table, config, ShardConfig::with_shards(shards)).unwrap()
+}
+
+fn start(engine: ShardedEngine, config: ServerConfig) -> ServerHandle {
+    serve_backend(Backend::Sharded(engine), config).expect("server start")
+}
+
+const FORECAST_TEMPLATE: &str = "FORECAST SUM(Impression) FROM ads \
+     WHERE age <= 30 AND gender = 'F' USING (?, ?) \
+     OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5)";
+
+/// One full INGEST row for the ads schema: t + 11 dims + 4 measures.
+fn ingest_row(t: i64) -> String {
+    format!(
+        "INGEST ({t}, 28, 'F', 'city_03', 'mobile', 'ios', 2, 1, 3, 'search', 2, 1, \
+         150.0, 12.0, 3.0, 1.0)"
+    )
+}
+
+#[test]
+fn sharded_wire_responses_match_in_process_execution_across_a_publish() {
+    let engine = sharded_engine(17, 4);
+    let oracle_engine = engine.clone(); // shares the outer snapshot
+    let mut handle = start(engine, ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let r = client.roundtrip(&format!("PREPARE f AS {FORECAST_TEMPLATE}")).unwrap();
+    assert!(is_ok(&r), "{r}");
+    assert!(r.contains(r#""num_params":2"#), "{r}");
+    let oracle = oracle_engine.prepare(FORECAST_TEMPLATE).unwrap();
+
+    let check_forecast = |client: &mut Client, lo: i64, hi: i64, label: &str| {
+        let wire = client.roundtrip(&format!("EXECUTE f ({lo}, {hi})")).unwrap();
+        let local = oracle.execute_with(&[Literal::Int(lo), Literal::Int(hi)]).unwrap();
+        assert_eq!(wire, protocol::encode_output(&local), "{label}: {lo}..{hi}");
+    };
+    check_forecast(&mut client, 20200101, 20200125, "v0");
+    check_forecast(&mut client, 20200105, 20200130, "v0");
+
+    // One-shot sampled SELECT and scatter-gather EXPLAIN: same bytes as
+    // in-process scatter-gather execution.
+    let sql = "SELECT SUM(Click) FROM ads WHERE age <= 40 AND t BETWEEN 20200103 AND 20200110 \
+               GROUP BY t OPTION (SAMPLE_RATE = 0.2)";
+    let wire = client.roundtrip(sql).unwrap();
+    assert_eq!(wire, protocol::encode_output(&oracle_engine.execute(sql).unwrap()));
+    let explain = format!("EXPLAIN {FORECAST_TEMPLATE}").replace("(?, ?)", "(20200101, 20200125)");
+    let wire = client.roundtrip(&explain).unwrap();
+    assert_eq!(wire, protocol::encode_output(&oracle_engine.execute(&explain).unwrap()));
+    assert!(wire.contains("ScatterGather"), "sharded EXPLAIN must show the fan-out: {wire}");
+
+    // Ingest over the wire, then publish: the outer snapshot swap must be
+    // visible to the session's prepared handle, and the response carries
+    // the merged sampler-delta accounting (including fallback re-draws).
+    let v0 = oracle_engine.version();
+    let r = client.roundtrip(&ingest_row(20200131)).unwrap();
+    assert!(is_ok(&r) && r.contains(r#""staged_rows":1"#), "{r}");
+    let r = client.roundtrip(&ingest_row(20200131)).unwrap();
+    assert!(r.contains(r#""pending_rows":2"#), "{r}");
+    assert_eq!(oracle_engine.version(), v0, "staged rows are invisible until PUBLISH");
+    let r = client.roundtrip("PUBLISH").unwrap();
+    assert!(is_ok(&r) && r.contains(r#""appended_rows":2"#), "{r}");
+    for field in ["rebuilt_cells", "absorbed_cells", "fallback_redraws"] {
+        assert!(r.contains(&format!(r#""{field}":"#)), "publish must report {field}: {r}");
+    }
+    assert!(oracle_engine.version() > v0, "publish must swap the outer version");
+
+    check_forecast(&mut client, 20200105, 20200131, "v1 extended into the published day");
+    check_forecast(&mut client, 20200101, 20200125, "v1 re-plans the old range");
+
+    // Typed errors work identically through the sharded backend.
+    let r = client.roundtrip("EXECUTE nothing (1)").unwrap();
+    assert!(has_error_code(&r, ErrorCode::UnknownHandle), "{r}");
+    handle.shutdown();
+}
+
+#[test]
+fn sharded_stats_expose_per_shard_breakdown() {
+    let engine = sharded_engine(17, 4);
+    let oracle_engine = engine.clone();
+    let mut handle = start(engine, ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let stats = client.roundtrip("STATS").unwrap();
+    assert!(is_ok(&stats), "{stats}");
+    let parsed: serde_json::Value = serde_json::from_str(&stats).unwrap();
+    let engine_stats = &parsed["engine"];
+    let shards = engine_stats["shards"].as_array().expect("per-shard array");
+    assert_eq!(shards.len(), 4);
+    let local = oracle_engine.stats();
+    assert_eq!(engine_stats["version"].as_u64().unwrap(), local.version);
+    assert_eq!(engine_stats["total_rows"].as_u64().unwrap() as usize, local.total_rows());
+    let mut wire_rows = 0usize;
+    for (wire_shard, local_shard) in shards.iter().zip(&local.shards) {
+        assert_eq!(wire_shard["shard"].as_u64().unwrap() as usize, local_shard.shard);
+        assert_eq!(
+            wire_shard["slots"].as_str().unwrap(),
+            format!("{}..{}", local_shard.slots.0, local_shard.slots.1)
+        );
+        assert_eq!(wire_shard["rows"].as_u64().unwrap() as usize, local_shard.rows);
+        assert_eq!(wire_shard["pending_rows"].as_u64().unwrap(), 0);
+        wire_rows += wire_shard["rows"].as_u64().unwrap() as usize;
+    }
+    assert_eq!(wire_rows, local.total_rows(), "shard rows must sum to the total");
+
+    // Staged-but-unpublished rows show up in the owning shard's backlog.
+    assert!(is_ok(&client.roundtrip(&ingest_row(20200131)).unwrap()));
+    let stats = client.roundtrip("STATS").unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&stats).unwrap();
+    assert_eq!(parsed["engine"]["pending_rows"].as_u64().unwrap(), 1, "{stats}");
+    let pending_per_shard: Vec<u64> = parsed["engine"]["shards"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|s| s["pending_rows"].as_u64().unwrap())
+        .collect();
+    assert_eq!(pending_per_shard.iter().sum::<u64>(), 1);
+    assert_eq!(
+        pending_per_shard.iter().filter(|&&p| p > 0).count(),
+        1,
+        "one row routes to exactly one shard: {pending_per_shard:?}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn sharded_oracle_holds_under_concurrent_publishes() {
+    // A publisher swaps the outer shard snapshot every few milliseconds
+    // while a client re-executes the same binding. Whenever the version
+    // is stable across a wire call, the response must be byte-identical
+    // to in-process scatter-gather execution of that version.
+    let engine = sharded_engine(17, 4);
+    let oracle_engine = engine.clone();
+    let mut handle = start(engine, ServerConfig::default());
+    let addr = handle.local_addr();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let publisher = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let mut day = 0i64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                // Cycle within February so the sequence stays valid no
+                // matter how long the main loop takes: days 1..=28 grow
+                // already-published partitions via the absorb path.
+                let t = 20200201 + day % 28;
+                day += 1;
+                let r = client.roundtrip(&ingest_row(t)).unwrap();
+                assert!(is_ok(&r), "publisher INGEST: {r}");
+                let r = client.roundtrip("PUBLISH").unwrap();
+                assert!(is_ok(&r), "publisher PUBLISH: {r}");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let mut client = Client::connect(addr).unwrap();
+    assert!(is_ok(&client.roundtrip(&format!("PREPARE f AS {FORECAST_TEMPLATE}")).unwrap()));
+    let oracle = oracle_engine.prepare(FORECAST_TEMPLATE).unwrap();
+    let mut versions_seen = std::collections::HashSet::new();
+    // At least 30 compare iterations, then keep going (deadline-bounded)
+    // until the oracle has held at two distinct quiesced versions — on a
+    // slow debug run a publish cycle can outlast many client iterations.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut iterations = 0usize;
+    while iterations < 30 || (versions_seen.len() < 2 && std::time::Instant::now() < deadline) {
+        iterations += 1;
+        let v_before = oracle_engine.version();
+        let wire = client.roundtrip("EXECUTE f (20200101, 20200125)").unwrap();
+        let v_after = oracle_engine.version();
+        if v_before == v_after {
+            let local =
+                oracle.execute_with(&[Literal::Int(20200101), Literal::Int(20200125)]).unwrap();
+            assert_eq!(wire, protocol::encode_output(&local), "at version {v_after}");
+            versions_seen.insert(v_after);
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(
+        versions_seen.len() >= 2,
+        "the publisher must have swapped versions mid-run (saw {versions_seen:?})"
+    );
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    publisher.join().unwrap();
+    handle.shutdown();
+}

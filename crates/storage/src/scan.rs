@@ -96,6 +96,25 @@ fn scan_states<'a>(
     Ok((parts, states))
 }
 
+/// Per-timestamp aggregate *states* (not finalized values) of
+/// `measure_idx` under `pred` for every timestamp in `[start, end]` that
+/// has a partition. This is the partial-aggregation entry point for
+/// scatter-gather execution: a shard scans its own partitions into
+/// [`AggState`]s, and a combiner merges states across shards before
+/// finalizing — `AggState::merge` is exact for sums and counts, so
+/// merged partials equal a single scan over the union of the rows.
+pub fn aggregate_states_range(
+    table: &TimeSeriesTable,
+    measure_idx: usize,
+    pred: &CompiledPredicate,
+    start: Timestamp,
+    end: Timestamp,
+    options: ScanOptions,
+) -> Result<Vec<(Timestamp, AggState)>, StorageError> {
+    let (parts, states) = scan_states(table, measure_idx, pred, start, end, options)?;
+    Ok(parts.iter().zip(states).map(|((t, _), s)| (*t, s)).collect())
+}
+
 /// Scalar aggregate of `measure_idx` under `pred` across all partitions in
 /// `[start, end]`, merged into one [`AggState`] — the non-grouped SELECT
 /// path. Runs the same fused / scratch-reusing per-partition kernels as
@@ -253,6 +272,24 @@ mod tests {
         assert!(
             aggregate_total(&table, 9, &pred, start, start + 9, ScanOptions::default()).is_err()
         );
+    }
+
+    #[test]
+    fn states_range_matches_finalized_range() {
+        let table = table(10, 20);
+        let pred = table.compile_predicate(&Predicate::cmp("k", CmpOp::Lt, 5)).unwrap();
+        let start = Timestamp::from_yyyymmdd(20200101).unwrap();
+        let options = ScanOptions { threads: 3, ..Default::default() };
+        let states = aggregate_states_range(&table, 0, &pred, start, start + 9, options).unwrap();
+        let values =
+            aggregate_range(&table, 0, &pred, AggFunc::Sum, start, start + 9, options).unwrap();
+        assert_eq!(states.len(), values.len());
+        for ((ts, state), (tv, v)) in states.iter().zip(&values) {
+            assert_eq!(ts, tv);
+            assert_eq!(state.finalize(AggFunc::Sum), *v);
+            assert_eq!(state.count, 5);
+        }
+        assert!(aggregate_states_range(&table, 9, &pred, start, start + 9, options).is_err());
     }
 
     #[test]

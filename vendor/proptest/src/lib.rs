@@ -14,7 +14,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore};
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 // Re-exported so `proptest!` can name rand types via `$crate::` without
 // requiring the caller to depend on `rand` itself.
@@ -26,6 +26,28 @@ pub trait Strategy {
     type Value;
 
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// `Strategy::prop_map` — derive a strategy by mapping sampled values.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
 }
 
 /// Types with a canonical "anything goes" strategy (`Arbitrary` subset).
@@ -93,6 +115,14 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
 macro_rules! range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
             type Value = $t;
 
             fn sample(&self, rng: &mut StdRng) -> $t {

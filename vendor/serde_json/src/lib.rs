@@ -3,20 +3,39 @@
 //!
 //! The build environment has no crates.io access, so this workspace vendors
 //! the slice FlashP's bench harness uses: the [`Value`] tree, an
-//! insertion-ordered [`Map`], the [`json!`] macro, and
-//! [`to_string`]/[`to_string_pretty`] over `Value`s. There is no serde
-//! integration and no parser — values are *built*, not deserialized, and
-//! conversions go through `Value: From<T>` instead of `Serialize`.
+//! insertion-ordered [`Map`], the [`json!`] macro,
+//! [`to_string`]/[`to_string_pretty`] over `Value`s, and a [`from_str`]
+//! parser into `Value` (for the service tests that inspect wire
+//! responses). There is no serde integration — parsing always yields a
+//! [`Value`] tree, and conversions go through `Value: From<T>` instead
+//! of `Serialize`/`Deserialize`.
 
 use std::fmt;
 
 /// A JSON number: integers keep their integer formatting, everything else
 /// is an `f64`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Number {
     Int(i64),
     UInt(u64),
     Float(f64),
+}
+
+/// Numeric equality across the integer variants (`Int(1) == UInt(1)`,
+/// matching `serde_json`, where both become the same internal variant);
+/// floats only equal floats (`1 != 1.0`, also matching `serde_json`).
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            (Number::UInt(a), Number::UInt(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a == b,
+            (Number::Int(a), Number::UInt(b)) | (Number::UInt(b), Number::Int(a)) => {
+                *a >= 0 && *a as u64 == *b
+            }
+            _ => false,
+        }
+    }
 }
 
 impl Number {
@@ -25,6 +44,22 @@ impl Number {
             Number::Int(i) => i as f64,
             Number::UInt(u) => u as f64,
             Number::Float(f) => f,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::Int(i) if i >= 0 => Some(i as u64),
+            Number::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
         }
     }
 }
@@ -100,6 +135,27 @@ impl Value {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -415,6 +471,250 @@ impl From<&Value> for Value {
     }
 }
 
+/// `value["key"]` / `value[index]` sugar, matching `serde_json`'s
+/// semantics: a missing key or out-of-range index yields `Null` instead
+/// of panicking (read-only — this stub has no `IndexMut`).
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+/// A parse failure: byte offset plus what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { offset: self.pos, message: message.into() })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{word}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => self.err(format!("unexpected byte 0x{other:02x}")),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(ParseError {
+                        offset: self.pos,
+                        message: "unterminated escape".into(),
+                    })?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                // Surrogate pairs are out of scope for this
+                                // stub: the encoder never emits them.
+                                Some(c) => {
+                                    self.pos += 4;
+                                    out.push(c);
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        other => {
+                            return self.err(format!("bad escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are trustworthy).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| ParseError {
+                        offset: self.pos,
+                        message: "invalid UTF-8".into(),
+                    })?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::UInt(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(i)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) => Ok(Value::Number(Number::Float(f))),
+            Err(_) => self.err(format!("bad number '{text}'")),
+        }
+    }
+}
+
+/// Parse a JSON document into a [`Value`] tree (`serde_json::from_str`
+/// pinned to `Value` — this stub has no `Deserialize`).
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing data after document");
+    }
+    Ok(value)
+}
+
 /// Build a [`Value`] from JSON-ish syntax. Supports nested object and
 /// array literals, `null`/`true`/`false`, and arbitrary expressions with a
 /// `Value: From` conversion — the same shapes `serde_json::json!` accepts
@@ -550,5 +850,44 @@ mod tests {
     fn non_finite_floats_serialize_as_null() {
         assert_eq!(json!(f64::NAN).to_string(), "null");
         assert_eq!(json!(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_encoder_output() {
+        let v = json!({
+            "ok": true,
+            "n": -3,
+            "u": 42u64,
+            "f": 1.5,
+            "s": "a\"b\\c\nd",
+            "arr": [1, null, {"k": "v"}],
+            "empty_obj": {},
+            "empty_arr": [],
+        });
+        let parsed = from_str(&v.to_string()).unwrap();
+        assert_eq!(parsed, v);
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+        assert_eq!(parsed["u"].as_u64(), Some(42));
+        assert_eq!(parsed["n"].as_i64(), Some(-3));
+        assert_eq!(parsed["ok"].as_bool(), Some(true));
+        assert_eq!(parsed["arr"][2]["k"].as_str(), Some("v"));
+        assert_eq!(parsed["missing"], Value::Null);
+        assert_eq!(parsed["arr"][9], Value::Null);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(from_str(bad).is_err(), "{bad:?} must not parse");
+        }
+        let e = from_str("nope").unwrap_err();
+        assert!(e.to_string().contains("byte 0"), "{e}");
+    }
+
+    #[test]
+    fn parse_handles_unicode_and_escapes() {
+        let v = from_str(r#"{"s": "café → ünïcode", "t": "tab\there"}"#).unwrap();
+        assert_eq!(v["s"].as_str(), Some("café → ünïcode"));
+        assert_eq!(v["t"].as_str(), Some("tab\there"));
     }
 }
