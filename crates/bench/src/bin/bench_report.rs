@@ -30,6 +30,15 @@
 //! and records client-observed p50/p99 latency and statements/sec —
 //! written to `BENCH_service.json`.
 //!
+//! Part 5 measures the versioned day-partial cache on a dashboard
+//! replay: one prepared `USING (?, ?)` handle re-bound across rotating
+//! sliding windows, cold (cache-disabled engine) vs warm (cached engine
+//! after one populating pass), with every window first proven
+//! bit-identical across the two engines before any timing — then a warm
+//! replay under a concurrent ingest+publish loop, with a post-publish
+//! bit-equality check against a fresh uncached engine over the final
+//! table — written to `BENCH_cache.json`.
+//!
 //! Every report records the dispatched kernel tier (`kernel_tier`).
 //!
 //! Run with `cargo run -p flashp-bench --release --bin bench_report`.
@@ -367,6 +376,192 @@ fn main() {
     query_pipeline_report();
     ingest_report();
     service_report();
+    cache_report();
+}
+
+/// Bit-level equality of two forecast results (training estimates and
+/// forecast points) — the precondition for every cache timing below.
+fn assert_forecast_bits(
+    a: &flashp_core::ForecastResult,
+    b: &flashp_core::ForecastResult,
+    label: &str,
+) {
+    assert_eq!(a.estimates.len(), b.estimates.len(), "{label}: estimate count");
+    for (pa, pb) in a.estimates.iter().zip(&b.estimates) {
+        assert_eq!(pa.t, pb.t, "{label}: timestamp");
+        assert_eq!(pa.value.to_bits(), pb.value.to_bits(), "{label}: estimate at {}", pa.t);
+        assert_eq!(
+            pa.variance.map(f64::to_bits),
+            pb.variance.map(f64::to_bits),
+            "{label}: variance at {}",
+            pa.t
+        );
+    }
+    assert_eq!(a.forecasts.len(), b.forecasts.len(), "{label}: forecast count");
+    for (pa, pb) in a.forecasts.iter().zip(&b.forecasts) {
+        assert_eq!(pa.value.to_bits(), pb.value.to_bits(), "{label}: forecast at {}", pa.t);
+    }
+}
+
+/// Part 5: dashboard replay through the day-partial cache
+/// (`BENCH_cache.json`).
+fn cache_report() {
+    use flashp_storage::Timestamp;
+
+    // A dashboard-scale task: 10 k rows/day over 120 days, 20 % GSW
+    // layer, so per-day estimation (~2 k sampled rows) dominates the
+    // cheap naive model fit.
+    let rows_per_day = 10_000usize;
+    let base_days = 120usize;
+    let dataset_config = DatasetConfig::new(rows_per_day, base_days, SEED);
+    let dataset = generate_dataset(&dataset_config).expect("dataset");
+    let config = EngineConfig {
+        layer_rates: vec![0.2],
+        default_rate: 0.2,
+        threads: 1,
+        ..Default::default()
+    };
+    let uncached_config = EngineConfig { partial_cache: false, ..config.clone() };
+    let catalog = SampleCatalog::build(&dataset.table, &config).expect("catalog");
+    let cached_engine = FlashPEngine::with_catalog(dataset.table.clone(), config.clone(), catalog);
+    let catalog = SampleCatalog::build(&dataset.table, &uncached_config).expect("catalog");
+    let uncached_engine =
+        FlashPEngine::with_catalog(dataset.table, uncached_config.clone(), catalog);
+
+    let sql = "FORECAST SUM(Impression) FROM ads WHERE age <= 30 AND gender = 'F' \
+               USING (?, ?) OPTION (MODEL = 'naive', FORE_PERIOD = 7)";
+    let cached = cached_engine.prepare(sql).expect("prepare");
+    let uncached = uncached_engine.prepare(sql).expect("prepare");
+
+    // Rotating sliding windows: 60-day spans stepping 5 days forward —
+    // each rotation re-estimates 55 days the previous one already
+    // covered, the shape the cache exists for.
+    let day0 = Timestamp::from_yyyymmdd(20200101).expect("day0");
+    let windows: Vec<(i64, i64)> = (0..8i64)
+        .map(|i| ((day0 + i * 5).to_yyyymmdd(), (day0 + i * 5 + 59).to_yyyymmdd()))
+        .collect();
+    let replay = |q: &flashp_core::PreparedQuery| {
+        for &(lo, hi) in &windows {
+            q.forecast_with(&[Literal::Int(lo), Literal::Int(hi)]).expect("replay forecast");
+        }
+    };
+
+    // Bit-equality first, timing second: every window must answer
+    // identically on the cached (cold then warm) and uncached engines.
+    for &(lo, hi) in &windows {
+        let params = [Literal::Int(lo), Literal::Int(hi)];
+        let want = uncached.forecast_with(&params).expect("uncached forecast");
+        let cold = cached.forecast_with(&params).expect("cold forecast");
+        let warm = cached.forecast_with(&params).expect("warm forecast");
+        assert_forecast_bits(&want, &cold, &format!("cold {lo}..{hi}"));
+        assert_forecast_bits(&want, &warm, &format!("warm {lo}..{hi}"));
+    }
+
+    let cold_secs = time_median_k(7, || replay(&uncached));
+    replay(&cached); // ensure every window is fully warm
+    let warm_secs = time_median_k(7, || replay(&cached));
+    let speedup = cold_secs / warm_secs;
+    println!("\nday-partial cache: {}-window dashboard replay (60-day spans)", windows.len());
+    println!(
+        "cold replay {:>9.2} ms   warm replay {:>9.2} ms   warm speedup {speedup:>5.1}x",
+        cold_secs * 1e3,
+        warm_secs * 1e3
+    );
+    assert!(
+        speedup >= 3.0,
+        "acceptance: warm replay must be at least 3x the cold replay, got {speedup:.2}x"
+    );
+
+    // Warm replay under a concurrent publisher: a second thread grows
+    // existing days *inside* the replay windows and publishes, while the
+    // dashboard loops until every publish has landed. The structural
+    // invalidation retires exactly the republished days' cells, so each
+    // replay recomputes only those and stays warm for everything else.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let publishes = 5usize;
+    let done = AtomicBool::new(false);
+    let mut during = Vec::new();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut grow_stream = BatchStream::starting_at_day(
+                &dataset_config,
+                StreamConfig::new(rows_per_day / 10, SEED ^ 0xCAFE),
+                80,
+            );
+            for _ in 0..publishes {
+                let b = grow_stream.next().expect("unbounded stream");
+                let mut batch = IngestBatch::new();
+                batch.push_partition(b.t, b.partition);
+                cached_engine.ingest(batch).expect("ingest");
+                cached_engine.publish().expect("publish");
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        loop {
+            let t0 = Instant::now();
+            replay(&cached);
+            during.push(t0.elapsed().as_secs_f64());
+            if done.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+    });
+    during.sort_by(f64::total_cmp);
+    let under_publish_secs = during[during.len() / 2];
+    let replays_during_publishes = during.len();
+
+    // Post-publish oracle: a fresh uncached engine built over the final
+    // table must answer every window bit-identically to the (still
+    // cached) handle that lived through the version swaps.
+    let final_table = cached_engine.table();
+    let catalog = SampleCatalog::build(&final_table, &uncached_config).expect("catalog");
+    let oracle = FlashPEngine::with_catalog(final_table, uncached_config, catalog);
+    let oracle = oracle.prepare(sql).expect("prepare");
+    for &(lo, hi) in &windows {
+        let params = [Literal::Int(lo), Literal::Int(hi)];
+        let want = oracle.forecast_with(&params).expect("oracle forecast");
+        let got = cached.forecast_with(&params).expect("post-publish forecast");
+        assert_forecast_bits(&want, &got, &format!("post-publish {lo}..{hi}"));
+    }
+
+    let stats = cached_engine.partial_cache_stats().expect("cache on");
+    println!(
+        "warm replay under publisher {:>9.2} ms median over {replays_during_publishes} replays \
+         ({publishes} publishes)   cache: {} hits, {} misses, {} evictions, {} entries",
+        under_publish_secs * 1e3,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.entries
+    );
+
+    let doc = json!({
+        "bench": "BENCH_cache",
+        "rows_per_day": rows_per_day,
+        "base_days": base_days,
+        "layer_rates": [0.2],
+        "seed": SEED,
+        "kernel_tier": simd::active_tier().name(),
+        "statement": sql,
+        "windows": windows.iter().map(|(lo, hi)| json!([lo, hi])).collect::<Vec<_>>(),
+        "bit_equal_before_timing": true,
+        "cold_replay_secs": cold_secs,
+        "warm_replay_secs": warm_secs,
+        "warm_vs_cold_speedup": speedup,
+        "warm_replay_under_publisher_secs": under_publish_secs,
+        "concurrent_publishes": publishes,
+        "replays_during_publishes": replays_during_publishes,
+        "post_publish_bit_equal": true,
+        "cache_stats": {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "entries": stats.entries,
+        },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();
+    println!("wrote {path}");
 }
 
 /// Part 4: closed-loop service throughput (`BENCH_service.json`).

@@ -43,13 +43,32 @@ pub(crate) fn next_version_id() -> u64 {
     NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Process-wide monotone source for [`CatalogCell::id`]: cell ids are
+/// never reused, so a day-partial cached against an id can never be
+/// served for a different cell, even across catalog rebuilds.
+static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(1);
+
 /// One (layer, bucket, partition) cell: the materialized sample plus —
 /// for GSW-family samplers — the recorded draw state that lets the cell
 /// absorb appended rows incrementally (§4.1).
 pub(crate) struct CatalogCell {
+    /// Process-unique structural identity, minted at construction. The
+    /// publish path (`apply_delta`) Arc-shares untouched cells into the
+    /// next catalog version, so their ids — and any day partials cached
+    /// against them — survive the version swap; absorbed or redrawn cells
+    /// are new objects with new ids. This is the invalidation key of the
+    /// day-partial cache ([`crate::partial_cache`]).
+    pub(crate) id: u64,
     pub(crate) sample: Arc<Sample>,
     /// Incremental-maintenance state; `None` for non-GSW samplers.
     pub(crate) gsw: Option<GswCellState>,
+}
+
+impl CatalogCell {
+    /// A new cell with a fresh process-unique id.
+    pub(crate) fn new(sample: Arc<Sample>, gsw: Option<GswCellState>) -> Self {
+        CatalogCell { id: NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed), sample, gsw }
+    }
 }
 
 /// One layer of the sample catalog.
@@ -222,8 +241,7 @@ impl SampleCatalog {
             let (sample, gsw) = cell?;
             rows_by_layer[li] += sample.num_rows();
             bytes_by_layer[li] += sample.byte_size();
-            buckets_by_layer[li][bi]
-                .insert(t, Arc::new(CatalogCell { sample: Arc::new(sample), gsw }));
+            buckets_by_layer[li][bi].insert(t, Arc::new(CatalogCell::new(Arc::new(sample), gsw)));
         }
 
         let mut layers = Vec::with_capacity(config.layer_rates.len());
@@ -328,18 +346,16 @@ impl SampleCatalog {
                 // re-draw below is a fallback, not first-time work.
                 let fallback = prior.is_some_and(|c| c.gsw.is_none());
                 Ok(match absorbed {
-                    Some((sample, next)) => (
-                        Arc::new(CatalogCell { sample: Arc::new(sample), gsw: Some(next) }),
-                        true,
-                        false,
-                    ),
+                    Some((sample, next)) => {
+                        (Arc::new(CatalogCell::new(Arc::new(sample), Some(next))), true, false)
+                    }
                     None => {
                         let seed_base = mix(config.seed, layer.config_idx as u64, bi as u64);
                         let mut rng = StdRng::seed_from_u64(mix(seed_base, t.0 as u64, 0x5A));
                         let (sample, gsw) = sampler
                             .draw(&self.schema, partition, &mut rng)
                             .map_err(EngineError::Sampling)?;
-                        (Arc::new(CatalogCell { sample: Arc::new(sample), gsw }), false, fallback)
+                        (Arc::new(CatalogCell::new(Arc::new(sample), gsw)), false, fallback)
                     }
                 })
             });

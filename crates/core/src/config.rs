@@ -90,6 +90,12 @@ pub struct EngineConfig {
     /// bit-identical ascending-row accumulation, `true` opts every query
     /// into reassociated vector sums unless it says `OPTION (FAST_SUM = 0)`.
     pub fast_sum: bool,
+    /// Enable the versioned day-partial cache (on by default): memoized
+    /// per-(cell, predicate, measure) HT components and exact day states,
+    /// invalidated structurally by publish. Bit-identical to recomputation
+    /// by construction; set `false` — or export `FLASHP_NO_PARTIAL_CACHE=1`,
+    /// which overrides this flag — to force every execution cold.
+    pub partial_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -107,6 +113,7 @@ impl Default for EngineConfig {
             threads: default_threads(),
             table_name: None,
             fast_sum: false,
+            partial_cache: true,
         }
     }
 }

@@ -31,8 +31,9 @@ use crate::catalog::{BuildStats, SampleCatalog};
 use crate::config::EngineConfig;
 use crate::error::EngineError;
 use crate::explain::{explain_plan, PlanNode};
+use crate::partial_cache::{self, PartialCache, PartialCacheStats, PARTIAL_CACHE_CAPACITY};
 use crate::planner::{LogicalPlan, Planner};
-use crate::prepared::{ExecCtx, PreparedQuery};
+use crate::prepared::{ExecCtx, PreparedQuery, SpecCache, SPEC_CACHE_CAPACITY};
 use crate::result::{ExecOutput, ForecastResult, SelectResult, SeriesPoint};
 use crate::version::{CatalogDelta, CatalogVersion, IngestBatch, PublishStats};
 use flashp_query::{parse, ForecastStmt, SelectStmt, Statement};
@@ -69,6 +70,9 @@ pub struct EngineStats {
     pub catalog_version: Option<u64>,
     /// Plan-cache effectiveness for this handle's shared cache.
     pub plan_cache: PlanCacheStats,
+    /// Day-partial cache counters; `None` when the cache is disabled
+    /// (config or `FLASHP_NO_PARTIAL_CACHE=1`).
+    pub partial_cache: Option<PartialCacheStats>,
     /// Rows staged by [`FlashPEngine::ingest`] awaiting the next publish.
     pub pending_rows: usize,
     /// Partitions the pending rows touch (cells the next publish rebuilds).
@@ -217,6 +221,17 @@ pub(crate) struct EngineShared {
     /// partitions. Writers (ingest/publish) serialize on this lock;
     /// readers never touch it.
     pending: Mutex<PendingIngest>,
+    /// The day-partial cache shared by every handle and prepared query
+    /// over this engine; `None` when disabled by configuration or the
+    /// `FLASHP_NO_PARTIAL_CACHE=1` override. Scoped to this shared state:
+    /// cells and partitions observed through it can only come from
+    /// versions this engine published, so their ids are unambiguous.
+    partial: Option<Arc<PartialCache>>,
+    /// Shared bind-time specialization cache: `USING (?, ?)` plans
+    /// specialized per (statement, version, bound range), visible to every
+    /// prepared handle of this engine (the ROADMAP PR 6 follow-on that
+    /// replaced the per-handle cap).
+    spec: SpecCache,
 }
 
 #[derive(Default)]
@@ -228,16 +243,29 @@ struct PendingIngest {
 }
 
 impl EngineShared {
-    pub(crate) fn new(version: CatalogVersion) -> Self {
+    pub(crate) fn new(version: CatalogVersion, config: &EngineConfig) -> Self {
         EngineShared {
             active: RwLock::new(Arc::new(version)),
             pending: Mutex::new(PendingIngest::default()),
+            partial: partial_cache::enabled(config)
+                .then(|| Arc::new(PartialCache::new(PARTIAL_CACHE_CAPACITY))),
+            spec: SpecCache::new(SPEC_CACHE_CAPACITY),
         }
     }
 
     /// Snapshot the active version (a brief read lock to clone the Arc).
     pub(crate) fn snapshot(&self) -> Arc<CatalogVersion> {
         self.active.read().expect("engine version lock poisoned").clone()
+    }
+
+    /// The day-partial cache, if enabled.
+    pub(crate) fn partial(&self) -> Option<&PartialCache> {
+        self.partial.as_deref()
+    }
+
+    /// The shared bind-time specialization cache.
+    pub(crate) fn spec(&self) -> &SpecCache {
+        &self.spec
     }
 }
 
@@ -264,8 +292,9 @@ impl FlashPEngine {
     /// [`FlashPEngine::with_catalog`] or the legacy
     /// [`FlashPEngine::build_samples`] — before issuing sampled queries.
     pub fn new(table: impl Into<Arc<TimeSeriesTable>>, config: EngineConfig) -> Self {
+        let shared = Arc::new(EngineShared::new(CatalogVersion::new(table.into(), None), &config));
         FlashPEngine {
-            shared: Arc::new(EngineShared::new(CatalogVersion::new(table.into(), None))),
+            shared,
             config: Arc::new(config),
             plan_cache: Arc::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
         }
@@ -285,8 +314,9 @@ impl FlashPEngine {
         catalog: impl Into<Arc<SampleCatalog>>,
     ) -> Self {
         let version = CatalogVersion::new(table.into(), Some(catalog.into()));
+        let shared = Arc::new(EngineShared::new(version, &config));
         FlashPEngine {
-            shared: Arc::new(EngineShared::new(version)),
+            shared,
             config: Arc::new(config),
             plan_cache: Arc::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
         }
@@ -333,6 +363,17 @@ impl FlashPEngine {
         self.plan_cache.stats()
     }
 
+    /// Day-partial cache counters, or `None` when the cache is disabled
+    /// (configuration or `FLASHP_NO_PARTIAL_CACHE=1`).
+    pub fn partial_cache_stats(&self) -> Option<PartialCacheStats> {
+        self.shared.partial().map(|c| c.stats())
+    }
+
+    /// Whether the day-partial cache is active for this engine.
+    pub(crate) fn partial_enabled(&self) -> bool {
+        self.shared.partial().is_some()
+    }
+
     /// Snapshot the engine-level counters: active version numbers,
     /// plan-cache effectiveness, and the size of the staged-but-unpublished
     /// ingest backlog. See [`EngineStats`].
@@ -346,6 +387,7 @@ impl FlashPEngine {
             version: snapshot.version(),
             catalog_version: snapshot.catalog().map(|c| c.version()),
             plan_cache: self.plan_cache.stats(),
+            partial_cache: self.partial_cache_stats(),
             pending_rows,
             pending_partitions,
         }
@@ -432,6 +474,10 @@ impl FlashPEngine {
         // long enough to clone the Arc, so no execution waits on another.
         *self.shared.active.write().expect("engine version lock poisoned") = next;
         self.plan_cache.purge_version(old.version());
+        // Specialized plans are version-scoped like one-shot plans; the
+        // day-partial cache needs no purge — its entries key on cell
+        // identities, which the publish already retired structurally.
+        self.shared.spec().purge_version(old.version());
         Ok(stats)
     }
 
@@ -449,10 +495,10 @@ impl FlashPEngine {
         let catalog = SampleCatalog::build(snapshot.table(), &self.config)?;
         let stats = catalog.stats().clone();
         let version = CatalogVersion::new(snapshot.table().clone(), Some(Arc::new(catalog)));
-        // Detach: this handle moves to a fresh shared slot so earlier
-        // clones keep their catalog-less version, preserving the legacy
-        // per-handle attachment semantics.
-        self.shared = Arc::new(EngineShared::new(version));
+        // Detach: this handle moves to a fresh shared slot (with fresh,
+        // empty caches) so earlier clones keep their catalog-less version,
+        // preserving the legacy per-handle attachment semantics.
+        self.shared = Arc::new(EngineShared::new(version, &self.config));
         Ok(stats)
     }
 
@@ -460,11 +506,12 @@ impl FlashPEngine {
         Planner::new(snapshot.table(), &self.config, snapshot.catalog().map(|c| c.as_ref()))
     }
 
-    fn ctx<'a>(&'a self, snapshot: &'a CatalogVersion) -> ExecCtx<'a> {
+    pub(crate) fn ctx<'a>(&'a self, snapshot: &'a CatalogVersion) -> ExecCtx<'a> {
         ExecCtx {
             table: snapshot.table(),
             config: &self.config,
             catalog: snapshot.catalog().map(|c| c.as_ref()),
+            partial: self.shared.partial(),
         }
     }
 
@@ -490,10 +537,14 @@ impl FlashPEngine {
         }
         let snapshot = self.snapshot();
         let plan = self.planner(&snapshot).plan(&stmt)?;
+        // Key the shared specialization cache on the normalized statement
+        // text, so equivalent prepares from any handle share entries.
+        let stmt_key = crate::partial_cache::fnv64(normalize_sql(sql).as_bytes());
         Ok(PreparedQuery::new(
             self.shared.clone(),
             self.config.clone(),
             stmt,
+            stmt_key,
             snapshot.version(),
             plan,
         ))
@@ -510,7 +561,9 @@ impl FlashPEngine {
         };
         let snapshot = self.snapshot();
         let plan = self.planner(&snapshot).plan(&stmt)?;
-        Ok(explain_plan(&plan, snapshot.table().schema()))
+        let mut node = explain_plan(&plan, snapshot.table().schema(), self.partial_enabled());
+        crate::prepared::annotate_day_split(&self.ctx(&snapshot), &plan, &[], &mut node);
+        Ok(node)
     }
 
     /// Resolve a one-shot statement string against `snapshot`: serve the
@@ -532,7 +585,10 @@ impl FlashPEngine {
         match parse(sql)? {
             Statement::Explain(inner) => {
                 let plan = self.planner(snapshot).plan(&inner)?;
-                Ok(Resolved::Explain(explain_plan(&plan, snapshot.table().schema())))
+                let mut node =
+                    explain_plan(&plan, snapshot.table().schema(), self.partial_enabled());
+                crate::prepared::annotate_day_split(&self.ctx(snapshot), &plan, &[], &mut node);
+                Ok(Resolved::Explain(node))
             }
             stmt => {
                 let plan = Arc::new(self.planner(snapshot).plan(&stmt)?);

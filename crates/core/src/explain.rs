@@ -75,15 +75,18 @@ impl fmt::Display for PlanNode {
 }
 
 /// Render a plan as an `EXPLAIN` tree. The `schema` maps dimension
-/// indices in the compiled predicate back to column names.
-pub fn explain_plan(plan: &LogicalPlan, schema: &Schema) -> PlanNode {
+/// indices in the compiled predicate back to column names;
+/// `partial_cache` reports whether the engine's day-partial cache is
+/// active (rendered as `partial_cache=on|off` on the scan source — an
+/// engine property, like the kernel tier, rather than a plan one).
+pub fn explain_plan(plan: &LogicalPlan, schema: &Schema, partial_cache: bool) -> PlanNode {
     match plan {
-        LogicalPlan::Forecast(p) => explain_forecast(p, schema),
-        LogicalPlan::Select(p) => explain_select(p, schema),
+        LogicalPlan::Forecast(p) => explain_forecast(p, schema, partial_cache),
+        LogicalPlan::Select(p) => explain_select(p, schema, partial_cache),
     }
 }
 
-fn explain_forecast(p: &ForecastPlan, schema: &Schema) -> PlanNode {
+fn explain_forecast(p: &ForecastPlan, schema: &Schema, partial_cache: bool) -> PlanNode {
     let mut series =
         PlanNode::new("EstimateSeries").with("agg", format!("{}({})", p.agg, p.measure_name));
     series = match &p.range {
@@ -102,7 +105,7 @@ fn explain_forecast(p: &ForecastPlan, schema: &Schema) -> PlanNode {
         .with("noise_aware", p.noise_aware)
         .child(
             series
-                .child(source_slot_node(&p.source, sum_mode(p.fast_sum)))
+                .child(source_slot_node(&p.source, sum_mode(p.fast_sum), partial_cache))
                 .child(predicate_node(&p.predicate, schema)),
         )
 }
@@ -116,7 +119,7 @@ fn sum_mode(fast_sum: bool) -> SumMode {
     }
 }
 
-fn explain_select(p: &SelectPlan, schema: &Schema) -> PlanNode {
+fn explain_select(p: &SelectPlan, schema: &Schema, partial_cache: bool) -> PlanNode {
     let mut node = PlanNode::new("Select")
         .with("agg", format!("{}({})", p.agg, p.measure_name))
         .with("group_by_time", p.group_by_time);
@@ -125,13 +128,13 @@ fn explain_select(p: &SelectPlan, schema: &Schema) -> PlanNode {
         TimeRangeSlot::Static(None) => node.with("range", "empty"),
         TimeRangeSlot::Dynamic(w) => node.with("range", "dynamic").with("window", w),
     };
-    node.child(source_slot_node(&p.source, sum_mode(p.fast_sum)))
+    node.child(source_slot_node(&p.source, sum_mode(p.fast_sum), partial_cache))
         .child(predicate_node(&p.predicate, schema))
 }
 
-fn source_slot_node(slot: &SourceSlot, sum: SumMode) -> PlanNode {
+fn source_slot_node(slot: &SourceSlot, sum: SumMode, partial_cache: bool) -> PlanNode {
     match slot {
-        SourceSlot::Planned(source) => source_node(source, sum),
+        SourceSlot::Planned(source) => source_node(source, sum, partial_cache),
         // A parameterized range can't pick its serving layer until the
         // parameters bind; `PreparedQuery::explain_with` renders the
         // concrete choice for one binding.
@@ -141,12 +144,14 @@ fn source_slot_node(slot: &SourceSlot, sum: SumMode) -> PlanNode {
     }
 }
 
-fn source_node(source: &ScanSource, sum: SumMode) -> PlanNode {
+fn source_node(source: &ScanSource, sum: SumMode, partial_cache: bool) -> PlanNode {
     // The scan-kernel tier is process-global (dispatched once at startup,
     // see `flashp_storage::simd`), so it is reported on the scan source
     // rather than stored in the plan: whatever tier is active is exactly
     // what the executor's predicate and aggregation kernels will run.
+    // `partial_cache` is likewise an engine property.
     let simd = flashp_storage::simd::active_tier();
+    let cache = if partial_cache { "on" } else { "off" };
     match source {
         // `sum` is a property of the exact scan only: sampled estimation
         // keeps its own accumulation order regardless of FAST_SUM.
@@ -154,7 +159,8 @@ fn source_node(source: &ScanSource, sum: SumMode) -> PlanNode {
             .with("sampler", "full scan")
             .with("est_rows", est_rows)
             .with("simd", simd)
-            .with("sum", sum.name()),
+            .with("sum", sum.name())
+            .with("partial_cache", cache),
         ScanSource::SampleLayer {
             layer,
             rate,
@@ -171,6 +177,7 @@ fn source_node(source: &ScanSource, sum: SumMode) -> PlanNode {
             .with("est_rows", est_rows)
             .with("catalog_version", catalog_version)
             .with("simd", simd)
+            .with("partial_cache", cache)
             .with("rationale", rationale),
     }
 }
@@ -241,7 +248,7 @@ mod tests {
         let catalog = SampleCatalog::build(&table, &config).unwrap();
         let planner = Planner::new(&table, &config, Some(&catalog));
         let plan = planner.plan(&parse(sql).unwrap()).unwrap();
-        explain_plan(&plan, table.schema())
+        explain_plan(&plan, table.schema(), true)
     }
 
     #[test]
@@ -256,6 +263,7 @@ mod tests {
         assert_eq!(est.prop("sampler"), Some("Optimal GSW"));
         assert_eq!(est.prop("rate"), Some("0.05"));
         assert!(est.prop("est_rows").unwrap().parse::<usize>().unwrap() > 0);
+        assert_eq!(est.prop("partial_cache"), Some("on"));
         // The active scan-kernel tier is named on the source.
         let simd = est.prop("simd").expect("scan source names its kernel tier");
         assert!(["avx512", "avx2", "sse2", "portable"].contains(&simd), "unknown tier {simd}");
@@ -294,6 +302,7 @@ mod tests {
         assert_eq!(scan.prop("est_rows"), Some("400"));
         assert_eq!(scan.prop("simd"), Some(flashp_storage::simd::active_tier().name()));
         assert_eq!(scan.prop("sum"), Some("exact"));
+        assert_eq!(scan.prop("partial_cache"), Some("on"));
     }
 
     #[test]

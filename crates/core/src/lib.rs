@@ -54,6 +54,7 @@ pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod models;
+pub mod partial_cache;
 pub mod planner;
 pub mod prepared;
 pub mod result;
@@ -66,6 +67,7 @@ pub use engine::{EngineStats, FlashPEngine, PlanCacheStats};
 pub use error::EngineError;
 pub use explain::PlanNode;
 pub use models::build_model;
+pub use partial_cache::{PartialCache, PartialCacheStats};
 pub use planner::{LogicalPlan, Planner, ScanSource, SourceSlot, TimeRangeSlot};
 pub use prepared::PreparedQuery;
 pub use result::{

@@ -1,0 +1,443 @@
+//! Versioned day-partial cache: memoized Horvitz–Thompson day partials
+//! that survive re-bindings, publishes, and scatter-gather sharding.
+//!
+//! FlashP's dashboard workload is repeated FORECAST/SELECT over sliding
+//! time windows. Execution already factors into independent
+//! (layer, bucket, day) units — `map_days` over sampled cells, per-day
+//! partition scans on the exact path — and `apply_delta` Arc-shares
+//! unchanged cells across publishes. This module memoizes the per-day
+//! results of those units so a re-bound `USING (?, ?)` window only
+//! computes days it has never seen.
+//!
+//! # Key derivation
+//!
+//! Entries are keyed on `(cell identity, predicate fingerprint, measure,
+//! kind)`:
+//!
+//! * **cell identity** — a process-unique id minted on construction of
+//!   each `CatalogCell` (sampled path) or `flashp_storage::Partition`
+//!   (exact path) and never reused.
+//!   `apply_delta` Arc-shares untouched cells, so their ids survive a
+//!   publish; the cells a delta absorbs or redraws are *new* objects with
+//!   new ids. Invalidation is therefore structural, not temporal: a
+//!   publish invalidates exactly the changed (layer, bucket, day) cells,
+//!   and warm days stay warm across version swaps with no purge pass.
+//! * **predicate fingerprint** — `predicate_fingerprint`, a type-tagged
+//!   FNV-1a walk of the compiled predicate tree (float comparisons hash
+//!   their bit patterns; derived lookup structures are excluded).
+//! * **measure** — the measure column index.
+//! * **kind** — sampled [`EstimateComponents`] vs exact [`AggState`]
+//!   (further split by [`SumMode`], whose fast path is reassociated and so
+//!   not interchangeable with exact sums).
+//!
+//! The aggregate function is deliberately **not** part of the key:
+//! `estimate_agg_with` is defined as `estimate_components_with(..)?
+//! .finalize(agg)`, so cached components finalize to bit-identical
+//! estimates for every aggregate.
+//!
+//! # Bit-identity
+//!
+//! Cached values are produced by the same functions the uncached path
+//! runs — `estimate_components_with` per sampled cell,
+//! `flashp_storage::eval_partition_with` per partition — and per-day
+//! results are independent of thread count, so assembling cache hits with
+//! freshly computed misses in timestamp order is bit-identical to
+//! recomputing every day. `crates/core/tests/partial_cache.rs` proves
+//! this against the cache-off oracle (`FLASHP_NO_PARTIAL_CACHE=1`).
+//!
+//! # Placement
+//!
+//! One cache per engine, owned by the engine's shared state and visible
+//! to every handle and prepared query. Under scatter-gather sharding each
+//! virtual slot is its own engine and therefore gets its own cache, so
+//! cached execution remains bit-for-bit invariant in the shard count.
+
+use crate::config::EngineConfig;
+use flashp_sampling::EstimateComponents;
+use flashp_storage::{AggState, CmpOp, CompiledPredicate, SumMode};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Total entry capacity of a [`PartialCache`] (across its internal lock
+/// shards). Each entry is a few dozen bytes, so the default bounds the
+/// cache at a handful of megabytes while holding years of daily partials
+/// for dozens of distinct (predicate, measure) workloads.
+pub(crate) const PARTIAL_CACHE_CAPACITY: usize = 65_536;
+
+/// Internal lock shards; probes hash to one shard so concurrent handles
+/// rarely contend.
+const LOCK_SHARDS: usize = 8;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice, continuing from `h`.
+pub(crate) fn fnv(h: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *h ^= u64::from(*b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// One-shot FNV-1a of `bytes` (used for statement keys in the shared
+/// specialization cache).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv(&mut h, bytes);
+    h
+}
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    fnv(h, &v.to_le_bytes());
+}
+
+fn op_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn hash_pred(h: &mut u64, pred: &CompiledPredicate) {
+    match pred {
+        CompiledPredicate::Cmp { dim, op, value } => {
+            fnv(h, &[0, op_tag(*op)]);
+            fnv_u64(h, *dim as u64);
+            fnv_u64(h, *value as u64);
+        }
+        CompiledPredicate::CmpF64 { dim, op, value } => {
+            fnv(h, &[1, op_tag(*op)]);
+            fnv_u64(h, *dim as u64);
+            fnv_u64(h, value.to_bits());
+        }
+        // The derived lookup structure is a pure function of `values`, so
+        // it is excluded from the fingerprint.
+        CompiledPredicate::InSet { dim, values, .. } => {
+            fnv(h, &[2]);
+            fnv_u64(h, *dim as u64);
+            fnv_u64(h, values.len() as u64);
+            for v in values {
+                fnv_u64(h, *v as u64);
+            }
+        }
+        CompiledPredicate::And(children) => {
+            fnv(h, &[3]);
+            fnv_u64(h, children.len() as u64);
+            for c in children {
+                hash_pred(h, c);
+            }
+        }
+        CompiledPredicate::Or(children) => {
+            fnv(h, &[4]);
+            fnv_u64(h, children.len() as u64);
+            for c in children {
+                hash_pred(h, c);
+            }
+        }
+        CompiledPredicate::Not(inner) => {
+            fnv(h, &[5]);
+            hash_pred(h, inner);
+        }
+        CompiledPredicate::Const(b) => {
+            fnv(h, &[6, u8::from(*b)]);
+        }
+    }
+}
+
+/// Type-tagged FNV-1a fingerprint of a compiled predicate tree. Two
+/// predicates with equal fingerprints select the same rows (modulo the
+/// 64-bit collision probability); structurally distinct trees get
+/// distinct tags so `And([x])` and `Or([x])` cannot collide by layout.
+pub(crate) fn predicate_fingerprint(pred: &CompiledPredicate) -> u64 {
+    let mut h = FNV_OFFSET;
+    hash_pred(&mut h, pred);
+    h
+}
+
+/// Cache-key `kind` discriminants: sampled components vs exact states per
+/// [`SumMode`]. Exact and fast sums are distinct contracts (fast is
+/// reassociated), so they never share entries.
+const KIND_SAMPLED: u8 = 0;
+
+fn exact_kind(sum: SumMode) -> u8 {
+    match sum {
+        SumMode::Exact => 1,
+        SumMode::Fast => 2,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    cell: u64,
+    pred: u64,
+    measure: u32,
+    kind: u8,
+}
+
+impl Key {
+    fn shard(&self) -> usize {
+        // Cell ids are sequential; fold the other fields in and spread
+        // with an FNV round so neighbours land on different locks.
+        let mut h = FNV_OFFSET ^ self.pred;
+        fnv_u64(&mut h, self.cell);
+        fnv(&mut h, &[self.kind]);
+        fnv_u64(&mut h, u64::from(self.measure));
+        (h as usize) % LOCK_SHARDS
+    }
+}
+
+/// A memoized day partial: the HT estimate components of one sampled
+/// cell, or the exact aggregate state of one partition.
+#[derive(Debug, Clone, Copy)]
+enum Partial {
+    Sampled(EstimateComponents),
+    Exact(AggState),
+}
+
+struct Entry {
+    last_used: u64,
+    value: Partial,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, Entry>,
+    tick: u64,
+}
+
+/// Counter snapshot of a [`PartialCache`] (or a sum over several — see
+/// [`PartialCacheStats::add`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartialCacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that required computing the day partial.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl PartialCacheStats {
+    /// Accumulate another snapshot into this one (used to aggregate a
+    /// shard's per-slot caches into one wire-visible counter set).
+    pub fn add(&mut self, other: &PartialCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.entries += other.entries;
+    }
+}
+
+/// Sharded, bounded LRU of day partials. See the module docs for key
+/// derivation and invalidation; construction and placement live in the
+/// engine (`EngineShared`).
+pub struct PartialCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for PartialCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PartialCache")
+            .field("capacity", &(self.per_shard_capacity * LOCK_SHARDS))
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl PartialCache {
+    /// A cache bounded at `capacity` total entries.
+    pub(crate) fn new(capacity: usize) -> Self {
+        PartialCache {
+            shards: (0..LOCK_SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: capacity.div_ceil(LOCK_SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn get(&self, key: Key) -> Option<Partial> {
+        let mut shard = self.shards[key.shard()].lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: Key, value: Partial) {
+        let mut shard = self.shards[key.shard()].lock().unwrap();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
+            if let Some(oldest) = shard.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k)
+            {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, Entry { last_used: tick, value });
+    }
+
+    /// Look up the memoized components of sampled cell `cell` under
+    /// predicate fingerprint `pred` for `measure`. Counts a hit or miss.
+    pub(crate) fn get_components(
+        &self,
+        cell: u64,
+        pred: u64,
+        measure: usize,
+    ) -> Option<EstimateComponents> {
+        match self.get(Key { cell, pred, measure: measure as u32, kind: KIND_SAMPLED }) {
+            Some(Partial::Sampled(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Memoize the components of sampled cell `cell`.
+    pub(crate) fn put_components(
+        &self,
+        cell: u64,
+        pred: u64,
+        measure: usize,
+        value: EstimateComponents,
+    ) {
+        self.insert(
+            Key { cell, pred, measure: measure as u32, kind: KIND_SAMPLED },
+            Partial::Sampled(value),
+        );
+    }
+
+    /// Look up the memoized exact [`AggState`] of partition `cell` under
+    /// predicate fingerprint `pred` for `measure` and sum mode `sum`.
+    pub(crate) fn get_exact(
+        &self,
+        cell: u64,
+        pred: u64,
+        measure: usize,
+        sum: SumMode,
+    ) -> Option<AggState> {
+        match self.get(Key { cell, pred, measure: measure as u32, kind: exact_kind(sum) }) {
+            Some(Partial::Exact(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Memoize the exact [`AggState`] of partition `cell`.
+    pub(crate) fn put_exact(
+        &self,
+        cell: u64,
+        pred: u64,
+        measure: usize,
+        sum: SumMode,
+        value: AggState,
+    ) {
+        self.insert(
+            Key { cell, pred, measure: measure as u32, kind: exact_kind(sum) },
+            Partial::Exact(value),
+        );
+    }
+
+    /// Whether the sampled-component entry for `(cell, pred, measure)` is
+    /// resident, without bumping any counter or LRU clock. EXPLAIN uses
+    /// this to render the warm/cold day split of a bound window.
+    pub(crate) fn peek_components(&self, cell: u64, pred: u64, measure: usize) -> bool {
+        let key = Key { cell, pred, measure: measure as u32, kind: KIND_SAMPLED };
+        self.shards[key.shard()].lock().unwrap().map.contains_key(&key)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PartialCacheStats {
+        PartialCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum(),
+        }
+    }
+}
+
+/// Whether the day-partial cache is active for `config`: on by default,
+/// disabled by `partial_cache: false` or the `FLASHP_NO_PARTIAL_CACHE=1`
+/// environment override (the CI cache-off oracle).
+pub(crate) fn enabled(config: &EngineConfig) -> bool {
+    config.partial_cache
+        && !matches!(
+            std::env::var("FLASHP_NO_PARTIAL_CACHE").ok().as_deref(),
+            Some(v) if !v.is_empty() && v != "0"
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        // Built directly (the planner would fold single-child AND/OR
+        // away): structurally distinct trees must not collide by layout.
+        let cmp = CompiledPredicate::Cmp { dim: 0, op: CmpOp::Lt, value: 5 };
+        let a = cmp.clone();
+        let b = CompiledPredicate::Cmp { dim: 0, op: CmpOp::Le, value: 5 };
+        let c = CompiledPredicate::Cmp { dim: 1, op: CmpOp::Lt, value: 5 };
+        let and = CompiledPredicate::And(vec![cmp.clone()]);
+        let or = CompiledPredicate::Or(vec![cmp]);
+        let fps = [&a, &b, &c, &and, &or].map(predicate_fingerprint);
+        for i in 0..fps.len() {
+            for j in 0..fps.len() {
+                if i != j {
+                    assert_ne!(fps[i], fps[j], "fingerprints {i} and {j} collide");
+                }
+            }
+        }
+        assert_eq!(predicate_fingerprint(&a), predicate_fingerprint(&a));
+    }
+
+    #[test]
+    fn lru_evicts_and_counts() {
+        let cache = PartialCache::new(LOCK_SHARDS); // one entry per lock shard
+        let c = EstimateComponents { sum_hat: 1.0, ..Default::default() };
+        for cell in 0..64u64 {
+            assert!(cache.get_components(cell, 7, 0).is_none());
+            cache.put_components(cell, 7, 0, c);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 64);
+        assert_eq!(stats.entries, LOCK_SHARDS);
+        assert_eq!(stats.evictions as usize, 64 - LOCK_SHARDS);
+        // Most-recent inserts are resident.
+        let resident = (0..64u64).filter(|&cell| cache.peek_components(cell, 7, 0)).count();
+        assert_eq!(resident, LOCK_SHARDS);
+        assert_eq!(cache.stats().hits, 0, "peek must not count");
+    }
+
+    #[test]
+    fn kinds_do_not_alias() {
+        let cache = PartialCache::new(16);
+        cache.put_components(1, 2, 3, EstimateComponents::default());
+        assert!(cache.get_exact(1, 2, 3, SumMode::Exact).is_none());
+        cache.put_exact(1, 2, 3, SumMode::Exact, AggState { sum: 5.0, count: 2 });
+        assert!(cache.get_exact(1, 2, 3, SumMode::Fast).is_none());
+        assert_eq!(cache.get_exact(1, 2, 3, SumMode::Exact), Some(AggState { sum: 5.0, count: 2 }));
+        assert!(cache.get_components(1, 2, 3).is_some());
+    }
+}

@@ -16,6 +16,7 @@ use crate::config::EngineConfig;
 use crate::error::EngineError;
 use crate::explain::{explain_plan, PlanNode};
 use crate::models::build_model;
+use crate::partial_cache::{predicate_fingerprint, PartialCache};
 use crate::planner::{
     resolve_forecast_window, resolve_select_range, specialize_forecast, specialize_plan,
     specialize_select, ForecastPlan, LogicalPlan, PredicateSlot, ScanSource, SelectPlan,
@@ -23,7 +24,7 @@ use crate::planner::{
 };
 use crate::result::{ExecOutput, ForecastOut, ForecastResult, SelectResult, SeriesPoint, Timing};
 use flashp_query::{bind_expr, substitute_params, Literal, Statement};
-use flashp_sampling::{estimate_agg_with, estimate_components_with, EstimateComponents, Sample};
+use flashp_sampling::{estimate_components_with, EstimateComponents, Sample};
 use flashp_storage::parallel::parallel_map_with;
 use flashp_storage::{
     AggFunc, CompiledPredicate, MaskScratch, ScanOptions, SumMode, TimeSeriesTable, Timestamp,
@@ -33,11 +34,85 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// How many bind-time range specializations one prepared handle caches
-/// per engine version before starting over (a rotating-dashboard workload
-/// re-binds a small set of windows; an adversarial one shouldn't grow the
-/// handle without bound).
-const SPECIALIZED_CAP: usize = 64;
+/// Total bind-time range specializations the engine-level [`SpecCache`]
+/// retains across every prepared handle (a rotating-dashboard workload
+/// re-binds a small set of windows per statement; an adversarial one
+/// shouldn't grow the engine without bound). Replaces the old per-handle
+/// 64-entry cap.
+pub(crate) const SPEC_CACHE_CAPACITY: usize = 1024;
+
+/// Key of one cached specialization: statement identity (FNV of the
+/// normalized text), the engine version it was specialized against, and
+/// the resolved (clamped) range — `None` = empty SELECT range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SpecKey {
+    stmt: u64,
+    version: u64,
+    range: Option<(i64, i64)>,
+}
+
+struct SpecEntry {
+    last_used: u64,
+    plan: Arc<LogicalPlan>,
+}
+
+#[derive(Default)]
+struct SpecInner {
+    map: HashMap<SpecKey, SpecEntry>,
+    tick: u64,
+}
+
+/// Engine-level bind-time specialization cache, shared by every prepared
+/// handle of one engine: `USING (?, ?)` plans specialized per
+/// (statement, version, resolved range), so two handles prepared from the
+/// same text share each window's specialization. Entries are
+/// version-scoped like one-shot plans; `FlashPEngine::publish` purges the
+/// replaced version's entries eagerly.
+pub(crate) struct SpecCache {
+    capacity: usize,
+    inner: Mutex<SpecInner>,
+}
+
+impl SpecCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SpecCache { capacity: capacity.max(1), inner: Mutex::new(SpecInner::default()) }
+    }
+
+    fn get(&self, key: SpecKey) -> Option<Arc<LogicalPlan>> {
+        let mut inner = self.inner.lock().expect("spec cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(&key).map(|e| {
+            e.last_used = tick;
+            e.plan.clone()
+        })
+    }
+
+    fn insert(&self, key: SpecKey, plan: Arc<LogicalPlan>) {
+        let mut inner = self.inner.lock().expect("spec cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(oldest) = inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k)
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(key, SpecEntry { last_used: tick, plan });
+    }
+
+    /// Drop every specialization of a replaced engine version.
+    pub(crate) fn purge_version(&self, version: u64) {
+        let mut inner = self.inner.lock().expect("spec cache poisoned");
+        inner.map.retain(|k, _| k.version != version);
+    }
+
+    /// Resident specializations of one statement at one version.
+    fn count_for(&self, stmt: u64, version: u64) -> usize {
+        let inner = self.inner.lock().expect("spec cache poisoned");
+        inner.map.keys().filter(|k| k.stmt == stmt && k.version == version).count()
+    }
+}
 
 /// Typed arity check shared by every parameterized execution entry.
 pub(crate) fn check_arity(num_params: usize, params: &[Literal]) -> Result<(), EngineError> {
@@ -65,6 +140,22 @@ pub(crate) struct ExecCtx<'a> {
     pub table: &'a TimeSeriesTable,
     pub config: &'a EngineConfig,
     pub catalog: Option<&'a SampleCatalog>,
+    /// The engine's day-partial cache; `None` when disabled, in which
+    /// case every day executes cold (the CI oracle mode).
+    pub partial: Option<&'a PartialCache>,
+}
+
+/// What one timestamp of a per-day estimation batch produced. Keeping the
+/// three cases distinct lets each caller apply its own missing-day policy
+/// *in timestamp order*, so the first failing day surfaces identically to
+/// the pre-cache code paths, cached or not.
+enum DayOutcome {
+    /// The bucket stores no sample for this timestamp.
+    Absent,
+    /// HT components (from the cache, or freshly computed and cached).
+    Value(EstimateComponents),
+    /// Estimation failed; never cached.
+    Failed(EngineError),
 }
 
 impl ExecCtx<'_> {
@@ -114,15 +205,7 @@ impl ExecCtx<'_> {
         sum: SumMode,
     ) -> Result<Vec<SeriesPoint>, EngineError> {
         let expected_points = (end - start + 1) as usize;
-        let rows = flashp_storage::aggregate_range(
-            self.table,
-            measure,
-            pred,
-            agg,
-            start,
-            end,
-            ScanOptions { threads: self.config.threads, sum },
-        )?;
+        let rows = self.day_states_exact(measure, pred, start, end, sum)?;
         if rows.len() != expected_points {
             return Err(EngineError::SamplesUnavailable(format!(
                 "table covers {} of {} requested timestamps",
@@ -130,31 +213,81 @@ impl ExecCtx<'_> {
                 expected_points
             )));
         }
-        Ok(rows.into_iter().map(|(t, value)| SeriesPoint { t, value, variance: None }).collect())
+        Ok(rows
+            .into_iter()
+            .map(|(t, state)| SeriesPoint { t, value: state.finalize(agg), variance: None })
+            .collect())
     }
 
-    /// The shared per-day estimation driver: apply `f` to every timestamp
-    /// in `[start, end]` (and whatever sample the layer's bucket holds for
-    /// it), in parallel with one [`MaskScratch`] per worker so the whole
-    /// Eq. 4 batch reuses mask buffers. Sequential below 200 k sampled
-    /// rows — thread spawn costs dwarf the estimation work on small
-    /// layers.
-    fn map_days<R: Send>(
+    /// The shared per-day estimation driver: one [`DayOutcome`] per
+    /// timestamp in `[start, end]` from one catalog layer/bucket.
+    ///
+    /// With the day-partial cache attached, only days whose
+    /// (cell, predicate, measure) entry is cold are computed — in
+    /// parallel, one [`MaskScratch`] per worker — and their components are
+    /// memoized for the next window that covers them. Per-day results are
+    /// independent of thread count and of *which* days ran, so assembling
+    /// hits with fresh misses in timestamp order is bit-identical to
+    /// computing every day. Sequential below 200 k sampled rows — thread
+    /// spawn costs dwarf the estimation work on small layers.
+    fn day_outcomes(
         &self,
         layer: &crate::catalog::CatalogLayer,
         bucket: usize,
+        measure: usize,
+        pred: &CompiledPredicate,
         start: Timestamp,
         end: Timestamp,
-        f: impl Fn(&mut MaskScratch, Timestamp, Option<&Sample>) -> Result<R, EngineError> + Sync,
-    ) -> Result<Vec<R>, EngineError> {
+    ) -> Vec<DayOutcome> {
         let bucket = &layer.buckets[bucket];
         let ts: Vec<Timestamp> = start.range_inclusive(end).collect();
         let threads = if layer.total_rows < 200_000 { 1 } else { self.config.threads };
-        parallel_map_with(&ts, threads, MaskScratch::new, |scratch, &t| {
-            f(scratch, t, bucket.get(&t).map(|c| c.sample.as_ref()))
-        })
-        .into_iter()
-        .collect()
+        let estimate = |scratch: &mut MaskScratch, sample: &Sample| match estimate_components_with(
+            sample, measure, pred, scratch,
+        ) {
+            Ok(c) => DayOutcome::Value(c),
+            Err(e) => DayOutcome::Failed(e.into()),
+        };
+        let Some(cache) = self.partial else {
+            // Cold mode: compute every present day, exactly as before the
+            // cache existed.
+            return parallel_map_with(&ts, threads, MaskScratch::new, |scratch, &t| {
+                match bucket.get(&t) {
+                    None => DayOutcome::Absent,
+                    Some(cell) => estimate(scratch, cell.sample.as_ref()),
+                }
+            });
+        };
+        let fp = predicate_fingerprint(pred);
+        let mut out: Vec<DayOutcome> = Vec::with_capacity(ts.len());
+        let mut missing: Vec<(usize, Timestamp)> = Vec::new();
+        for (i, &t) in ts.iter().enumerate() {
+            match bucket.get(&t) {
+                None => out.push(DayOutcome::Absent),
+                Some(cell) => match cache.get_components(cell.id, fp, measure) {
+                    Some(c) => out.push(DayOutcome::Value(c)),
+                    None => {
+                        missing.push((i, t));
+                        out.push(DayOutcome::Absent); // placeholder, filled below
+                    }
+                },
+            }
+        }
+        if !missing.is_empty() {
+            let computed =
+                parallel_map_with(&missing, threads, MaskScratch::new, |scratch, &(_, t)| {
+                    let cell = bucket.get(&t).expect("probed present above");
+                    estimate(scratch, cell.sample.as_ref())
+                });
+            for (&(i, t), outcome) in missing.iter().zip(computed) {
+                if let DayOutcome::Value(c) = outcome {
+                    let cell = bucket.get(&t).expect("probed present above");
+                    cache.put_components(cell.id, fp, measure, c);
+                }
+                out[i] = outcome;
+            }
+        }
+        out
     }
 
     /// Per-timestamp estimates from one catalog layer/bucket.
@@ -163,6 +296,7 @@ impl ExecCtx<'_> {
     /// training series must be contiguous ([`Missing::Error`]), while a
     /// SELECT aggregate skips absent days ([`Missing::Skip`]) exactly as
     /// the exact path iterates only existing partitions.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn estimate_from_layer(
         &self,
         layer: &crate::catalog::CatalogLayer,
@@ -174,19 +308,29 @@ impl ExecCtx<'_> {
         end: Timestamp,
         missing: Missing,
     ) -> Result<Vec<SeriesPoint>, EngineError> {
-        let points = self.map_days(layer, bucket, start, end, |scratch, t, sample| {
-            let Some(sample) = sample else {
-                return match missing {
-                    Missing::Skip => Ok(None),
+        let outcomes = self.day_outcomes(layer, bucket, measure, pred, start, end);
+        let mut points = Vec::with_capacity(outcomes.len());
+        for (t, outcome) in start.range_inclusive(end).zip(outcomes) {
+            match outcome {
+                DayOutcome::Absent => match missing {
+                    Missing::Skip => {}
                     Missing::Error => {
-                        Err(EngineError::SamplesUnavailable(format!("no sample for timestamp {t}")))
+                        return Err(EngineError::SamplesUnavailable(format!(
+                            "no sample for timestamp {t}"
+                        )))
                     }
-                };
-            };
-            let e = estimate_agg_with(sample, measure, pred, agg, scratch)?;
-            Ok(Some(SeriesPoint { t, value: e.value, variance: e.variance }))
-        })?;
-        Ok(points.into_iter().flatten().collect())
+                },
+                DayOutcome::Failed(e) => return Err(e),
+                DayOutcome::Value(c) => {
+                    // Finalizing cached components per aggregate is
+                    // bit-identical to `estimate_agg_with`, which is
+                    // defined as components + finalize.
+                    let e = c.finalize(agg);
+                    points.push(SeriesPoint { t, value: e.value, variance: e.variance });
+                }
+            }
+        }
+        Ok(points)
     }
 
     /// Raw HT accumulators for `[start, end]` from one catalog
@@ -204,14 +348,18 @@ impl ExecCtx<'_> {
         start: Timestamp,
         end: Timestamp,
     ) -> Result<EstimateComponents, EngineError> {
-        let per_day =
-            self.map_days(layer, bucket, start, end, |scratch, _, sample| match sample {
-                Some(sample) => Ok(estimate_components_with(sample, measure, pred, scratch)?),
-                None => Ok(EstimateComponents::default()),
-            })?;
+        let outcomes = self.day_outcomes(layer, bucket, measure, pred, start, end);
         let mut total = EstimateComponents::default();
-        for c in &per_day {
-            total.merge(c);
+        for outcome in outcomes {
+            match outcome {
+                // Merge a default for absent days, exactly as the
+                // pre-cache path did (x + 0.0 is not a bitwise no-op when
+                // x is -0.0, so skipping the merge would not be
+                // bit-identical).
+                DayOutcome::Absent => total.merge(&EstimateComponents::default()),
+                DayOutcome::Failed(e) => return Err(e),
+                DayOutcome::Value(c) => total.merge(&c),
+            }
         }
         Ok(total)
     }
@@ -232,16 +380,26 @@ impl ExecCtx<'_> {
         start: Timestamp,
         end: Timestamp,
     ) -> Result<Vec<Option<EstimateComponents>>, EngineError> {
-        self.map_days(layer, bucket, start, end, |scratch, _, sample| match sample {
-            Some(sample) => Ok(Some(estimate_components_with(sample, measure, pred, scratch)?)),
-            None => Ok(None),
-        })
+        self.day_outcomes(layer, bucket, measure, pred, start, end)
+            .into_iter()
+            .map(|outcome| match outcome {
+                DayOutcome::Absent => Ok(None),
+                DayOutcome::Value(c) => Ok(Some(c)),
+                DayOutcome::Failed(e) => Err(e),
+            })
+            .collect()
     }
 
     /// Exact per-timestamp aggregate states for the partitions this
     /// table holds in `[start, end]` — the exact-path counterpart of
     /// [`ExecCtx::day_components_from_layer`]: only present days are
     /// returned, and the states merge exactly across shards.
+    ///
+    /// With the day-partial cache attached, cold partitions are evaluated
+    /// through the same fused-kernel `eval_partition_with` the range scan
+    /// uses and memoized against the partition's structural id (fresh on
+    /// every copy-on-write clone, so a published append to a day retires
+    /// that day's entries and no others).
     pub(crate) fn day_states_exact(
         &self,
         measure: usize,
@@ -250,14 +408,42 @@ impl ExecCtx<'_> {
         end: Timestamp,
         sum: SumMode,
     ) -> Result<Vec<(Timestamp, flashp_storage::AggState)>, EngineError> {
-        Ok(flashp_storage::aggregate_states_range(
-            self.table,
-            measure,
-            pred,
-            start,
-            end,
-            ScanOptions { threads: self.config.threads, sum },
-        )?)
+        let options = ScanOptions { threads: self.config.threads, sum };
+        // Delegate to the plain range scan when the cache is off — and on
+        // a bad measure index, for the identical bounds error.
+        let uncached = self.partial.is_none() || measure >= self.table.schema().num_measures();
+        if uncached {
+            return Ok(flashp_storage::aggregate_states_range(
+                self.table, measure, pred, start, end, options,
+            )?);
+        }
+        let cache = self.partial.expect("checked above");
+        let fp = predicate_fingerprint(pred);
+        let parts: Vec<(Timestamp, &flashp_storage::Partition)> =
+            self.table.partitions_in(start, end).collect();
+        let mut out: Vec<Option<flashp_storage::AggState>> = vec![None; parts.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, (_, p)) in parts.iter().enumerate() {
+            match cache.get_exact(p.id(), fp, measure, sum) {
+                Some(s) => out[i] = Some(s),
+                None => missing.push(i),
+            }
+        }
+        if !missing.is_empty() {
+            let computed =
+                parallel_map_with(&missing, options.threads, MaskScratch::new, |scratch, &i| {
+                    flashp_storage::eval_partition_with(parts[i].1, measure, pred, scratch, sum)
+                });
+            for (&i, s) in missing.iter().zip(computed) {
+                cache.put_exact(parts[i].1.id(), fp, measure, sum, s);
+                out[i] = Some(s);
+            }
+        }
+        Ok(parts
+            .iter()
+            .zip(out)
+            .map(|((t, _), s)| (*t, s.expect("every partition resolved above")))
+            .collect())
     }
 
     /// Per-timestamp series for a plan's scan source. `sum` only affects
@@ -290,6 +476,45 @@ impl ExecCtx<'_> {
                 )
             }
         }
+    }
+
+    /// The expected warm/cold day split the partial cache would serve for
+    /// one execution of `plan` with `params`: `(warm, cold)` over the
+    /// plan's bound window, counting only days the layer's bucket stores a
+    /// sample for. `None` when the cache is off, the source is not a
+    /// sample layer, or the bound range is empty. Probes with `peek`, so
+    /// rendering an EXPLAIN never skews hit/miss counters or LRU order.
+    pub(crate) fn day_split(
+        &self,
+        plan: &LogicalPlan,
+        params: &[Literal],
+    ) -> Result<Option<(usize, usize)>, EngineError> {
+        let Some(cache) = self.partial else { return Ok(None) };
+        let (source, predicate, measure, range) = match plan {
+            LogicalPlan::Forecast(p) => {
+                (p.source.planned()?, &p.predicate, p.measure, Some(p.window()?))
+            }
+            LogicalPlan::Select(p) => {
+                (p.source.planned()?, &p.predicate, p.measure, p.static_range()?)
+            }
+        };
+        let Some((lo, hi)) = range else { return Ok(None) };
+        let ScanSource::SampleLayer { bucket, .. } = source else { return Ok(None) };
+        let layer = self.layer(source)?;
+        let pred = self.resolve_predicate(predicate, params)?;
+        let fp = predicate_fingerprint(&pred);
+        let bucket = &layer.buckets[*bucket];
+        let (mut warm, mut cold) = (0usize, 0usize);
+        for t in lo.range_inclusive(hi) {
+            if let Some(cell) = bucket.get(&t) {
+                if cache.peek_components(cell.id, fp, measure) {
+                    warm += 1;
+                } else {
+                    cold += 1;
+                }
+            }
+        }
+        Ok(Some((warm, cold)))
     }
 
     /// Execute any plan.
@@ -404,29 +629,21 @@ impl ExecCtx<'_> {
         let sum = if plan.fast_sum { SumMode::Fast } else { SumMode::Exact };
         match plan.source.planned()? {
             ScanSource::FullScan { .. } => {
+                // Both shapes route through the day-state driver: per-day
+                // states come from the same fused / scratch-reusing
+                // kernels in partition order, so finalizing (grouped) or
+                // merging (scalar) them is bit-identical to the plain
+                // range scan — and warm days are served from the cache.
+                let states = self.day_states_exact(plan.measure, &pred, lo, hi, sum)?;
                 if plan.group_by_time {
-                    let rows = flashp_storage::aggregate_range(
-                        self.table,
-                        plan.measure,
-                        &pred,
-                        plan.agg,
-                        lo,
-                        hi,
-                        ScanOptions { threads: self.config.threads, sum },
-                    )?;
-                    let rows = rows.into_iter().map(|(t, v)| (t, v, None)).collect();
+                    let rows =
+                        states.into_iter().map(|(t, s)| (t, s.finalize(plan.agg), None)).collect();
                     return Ok(SelectResult { rows, approximate: false });
                 }
-                // Scalar aggregate across the range, through the same fused /
-                // scratch-reusing kernels as the grouped path.
-                let total = flashp_storage::aggregate_total(
-                    self.table,
-                    plan.measure,
-                    &pred,
-                    lo,
-                    hi,
-                    ScanOptions { threads: self.config.threads, sum },
-                )?;
+                let mut total = flashp_storage::AggState::default();
+                for (_, s) in states {
+                    total.merge(s);
+                }
                 Ok(SelectResult {
                     rows: vec![(lo, total.finalize(plan.agg), None)],
                     approximate: false,
@@ -496,6 +713,9 @@ pub struct PreparedQuery {
     shared: Arc<crate::engine::EngineShared>,
     config: Arc<EngineConfig>,
     statement: Statement,
+    /// Statement identity in the engine's shared [`SpecCache`] (FNV of
+    /// the normalized text, computed at prepare time).
+    stmt_key: u64,
     /// The plan for `cached.version`; re-planned lazily when the engine
     /// version moves.
     cached: Mutex<CachedPlan>,
@@ -504,12 +724,6 @@ pub struct PreparedQuery {
 struct CachedPlan {
     version: u64,
     plan: Arc<LogicalPlan>,
-    /// Bind-time specializations of a dynamic-range plan, keyed on the
-    /// resolved (clamped) range — `None` = empty SELECT range. Entries
-    /// are only valid for `version`: the map is cleared whenever the
-    /// engine version moves, so the effective key is
-    /// `(catalog_version, clamped_range)`. Always empty for static plans.
-    specialized: HashMap<Option<(i64, i64)>, Arc<LogicalPlan>>,
 }
 
 impl PreparedQuery {
@@ -517,6 +731,7 @@ impl PreparedQuery {
         shared: Arc<crate::engine::EngineShared>,
         config: Arc<EngineConfig>,
         statement: Statement,
+        stmt_key: u64,
         version: u64,
         plan: LogicalPlan,
     ) -> Self {
@@ -524,11 +739,8 @@ impl PreparedQuery {
             shared,
             config,
             statement,
-            cached: Mutex::new(CachedPlan {
-                version,
-                plan: Arc::new(plan),
-                specialized: HashMap::new(),
-            }),
+            stmt_key,
+            cached: Mutex::new(CachedPlan { version, plan: Arc::new(plan) }),
         }
     }
 
@@ -556,19 +768,27 @@ impl PreparedQuery {
     pub fn explain(&self) -> Result<PlanNode, EngineError> {
         let snapshot = self.shared.snapshot();
         let plan = self.current_plan(&snapshot)?;
-        Ok(explain_plan(&plan, snapshot.table().schema()))
+        let mut node =
+            explain_plan(&plan, snapshot.table().schema(), self.shared.partial().is_some());
+        annotate_day_split(&self.ctx(&snapshot), &plan, &[], &mut node);
+        Ok(node)
     }
 
     /// Render the plan one execution of `params` would run: a dynamic
     /// `USING (?, ?)` range is resolved, clamped, and its serving layer
     /// re-selected exactly as [`PreparedQuery::execute_with`] would, so
     /// the tree shows the concrete range and per-binding layer choice
-    /// instead of `range=dynamic`.
+    /// instead of `range=dynamic`. When the day-partial cache is on, the
+    /// sampled source additionally reports the `warm_days` / `cold_days`
+    /// split this binding's window would currently hit.
     pub fn explain_with(&self, params: &[Literal]) -> Result<PlanNode, EngineError> {
         let snapshot = self.shared.snapshot();
         let plan = self.current_plan(&snapshot)?;
         let plan = self.bound_plan(&snapshot, plan, params)?;
-        Ok(explain_plan(&plan, snapshot.table().schema()))
+        let mut node =
+            explain_plan(&plan, snapshot.table().schema(), self.shared.partial().is_some());
+        annotate_day_split(&self.ctx(&snapshot), &plan, params, &mut node);
+        Ok(node)
     }
 
     /// The plan for `snapshot`'s version: the cached one when the version
@@ -595,17 +815,18 @@ impl PreparedQuery {
         let mut cached = self.cached.lock().expect("prepared plan poisoned");
         cached.version = snapshot.version();
         cached.plan = plan.clone();
-        // Range specializations were sized against the old version's
-        // samples; drop them so every binding re-selects its layer.
-        cached.specialized.clear();
+        // Range specializations are version-keyed in the engine's shared
+        // cache; nothing to drop here — stale versions are purged at
+        // publish, and lookups below never match them.
         Ok(plan)
     }
 
     /// The plan one execution runs: the prepared plan itself when its
     /// range is static, otherwise a specialization for this binding's
-    /// resolved (clamped) range — cached per `(catalog version, range)`,
-    /// so a dashboard cycling a handful of windows re-plans each at most
-    /// once per publish.
+    /// resolved (clamped) range — served from the engine's shared
+    /// [`SpecCache`] keyed on `(statement, version, range)`, so a
+    /// dashboard cycling a handful of windows re-plans each at most once
+    /// per publish, across every handle prepared from the same text.
     fn bound_plan(
         &self,
         snapshot: &crate::version::CatalogVersion,
@@ -623,14 +844,13 @@ impl PreparedQuery {
             }
             LogicalPlan::Select(_) => resolve_select_range(window, params, snapshot.table())?,
         };
-        let key = range.map(|(a, b)| (a.0, b.0));
-        {
-            let cached = self.cached.lock().expect("prepared plan poisoned");
-            if cached.version == snapshot.version() {
-                if let Some(hit) = cached.specialized.get(&key) {
-                    return Ok(hit.clone());
-                }
-            }
+        let key = SpecKey {
+            stmt: self.stmt_key,
+            version: snapshot.version(),
+            range: range.map(|(a, b)| (a.0, b.0)),
+        };
+        if let Some(hit) = self.shared.spec().get(key) {
+            return Ok(hit);
         }
         // Specialize outside the lock: layer re-selection walks catalog
         // indexes, and concurrent executions of distinct ranges shouldn't
@@ -642,20 +862,15 @@ impl PreparedQuery {
             snapshot.table(),
             snapshot.catalog().map(|c| c.as_ref()),
         )?);
-        let mut cached = self.cached.lock().expect("prepared plan poisoned");
-        if cached.version == snapshot.version() {
-            if cached.specialized.len() >= SPECIALIZED_CAP {
-                cached.specialized.clear();
-            }
-            cached.specialized.insert(key, specialized.clone());
-        }
+        self.shared.spec().insert(key, specialized.clone());
         Ok(specialized)
     }
 
-    /// Number of bind-time range specializations cached for the current
-    /// engine version (always 0 for statements with a literal range).
+    /// Number of bind-time range specializations cached for this
+    /// statement at the current engine version (always 0 for statements
+    /// with a literal range).
     pub fn specialization_count(&self) -> usize {
-        self.cached.lock().expect("prepared plan poisoned").specialized.len()
+        self.shared.spec().count_for(self.stmt_key, self.shared.snapshot().version())
     }
 
     /// Execute a parameterless prepared statement.
@@ -700,6 +915,41 @@ impl PreparedQuery {
             table: snapshot.table(),
             config: &self.config,
             catalog: snapshot.catalog().map(|c| c.as_ref()),
+            partial: self.shared.partial(),
         }
+    }
+}
+
+/// Append `props` to the first node named `name` (depth-first). Returns
+/// whether a node was found.
+fn annotate_node(node: &mut PlanNode, name: &str, props: &[(&'static str, String)]) -> bool {
+    if node.name == name {
+        for (k, v) in props {
+            node.props.push(((*k).to_string(), v.clone()));
+        }
+        return true;
+    }
+    node.children.iter_mut().any(|c| annotate_node(c, name, props))
+}
+
+/// Best-effort `warm_days` / `cold_days` annotation on the sampled
+/// source of an EXPLAIN tree. Every rendering path — one-shot
+/// `EXPLAIN <stmt>`, [`PreparedQuery::explain`], and
+/// [`PreparedQuery::explain_with`] — goes through this helper so a bound
+/// template's tree stays bit-identical to the literal statement's. A
+/// split that cannot be computed (cache off, unbound `?` parameters,
+/// full-scan source) leaves the tree untouched rather than erroring.
+pub(crate) fn annotate_day_split(
+    ctx: &ExecCtx<'_>,
+    plan: &LogicalPlan,
+    params: &[Literal],
+    node: &mut PlanNode,
+) {
+    if let Ok(Some((warm, cold))) = ctx.day_split(plan, params) {
+        annotate_node(
+            node,
+            "SampleEstimate",
+            &[("warm_days", warm.to_string()), ("cold_days", cold.to_string())],
+        );
     }
 }

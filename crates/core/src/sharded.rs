@@ -54,7 +54,7 @@ use crate::planner::{
     specialize_select, ForecastPlan, LogicalPlan, Planner, ScanSource, SelectPlan, SourceSlot,
     TimeRangeSlot,
 };
-use crate::prepared::{check_arity, ExecCtx};
+use crate::prepared::check_arity;
 use crate::result::{ExecOutput, ForecastOut, ForecastResult, SelectResult, SeriesPoint, Timing};
 use crate::version::{CatalogVersion, IngestBatch, IngestItem, PublishStats};
 use flashp_query::{parse, split_select_constraint, Literal, Statement};
@@ -314,15 +314,17 @@ fn merge_responses(responses: &[ShardResponse]) -> Result<Merged, EngineError> {
 }
 
 /// Compute one slot's [`ShardResponse`] for a specialized (static-range)
-/// plan against one slot version.
+/// plan against one slot version. Execution borrows the slot *engine's*
+/// context, so each slot answers through its own day-partial cache — one
+/// cache per virtual slot, preserving bit-for-bit shard-count invariance
+/// (cell identities and day partials never cross slot boundaries).
 fn slot_response(
-    config: &EngineConfig,
+    engine: &FlashPEngine,
     version: &CatalogVersion,
     plan: &LogicalPlan,
     params: &[Literal],
 ) -> Result<ShardResponse, EngineError> {
-    let ctx =
-        ExecCtx { table: version.table(), config, catalog: version.catalog().map(|c| c.as_ref()) };
+    let ctx = engine.ctx(version);
     let (predicate, source, measure, range, fast_sum) = match plan {
         LogicalPlan::Forecast(p) => {
             (&p.predicate, p.source.planned()?, p.measure, Some(p.window()?), p.fast_sum)
@@ -392,6 +394,12 @@ struct ShardedShared {
 impl ShardedShared {
     fn snapshot(&self) -> Arc<ShardSnapshot> {
         self.active.read().expect("shard snapshot lock poisoned").clone()
+    }
+
+    /// Whether the slot engines carry day-partial caches (every slot is
+    /// built from the same base configuration, so one answers for all).
+    fn partial_enabled(&self) -> bool {
+        self.slots.first().is_some_and(|e| e.partial_enabled())
     }
 }
 
@@ -545,7 +553,7 @@ fn gather(
     if shard_config.shards <= 1 || specialized.len() <= 1 {
         for (pos, (slot, plan)) in specialized.iter().enumerate() {
             let version = &snapshot.slots()[*slot];
-            results[pos] = Some(slot_response(shared.slots[*slot].config(), version, plan, params));
+            results[pos] = Some(slot_response(&shared.slots[*slot], version, plan, params));
         }
     } else {
         // One worker per physical shard, each executing the planned slots
@@ -565,15 +573,7 @@ fn gather(
                             .map(|&pos| {
                                 let (slot, plan) = &specialized[pos];
                                 let version = &snapshot.slots()[*slot];
-                                (
-                                    pos,
-                                    slot_response(
-                                        shared.slots[*slot].config(),
-                                        version,
-                                        plan,
-                                        params,
-                                    ),
-                                )
+                                (pos, slot_response(&shared.slots[*slot], version, plan, params))
                             })
                             .collect::<Vec<_>>()
                     })
@@ -726,6 +726,7 @@ fn scatter_explain(
     shard_config: &ShardConfig,
     snapshot: &ShardSnapshot,
     planned: &[(usize, Arc<LogicalPlan>)],
+    partial_cache: bool,
 ) -> PlanNode {
     let est = |plan: &LogicalPlan| match plan.source() {
         SourceSlot::Planned(s) => s.est_rows(),
@@ -749,7 +750,7 @@ fn scatter_explain(
         })
         .collect();
     let (slot0, plan0) = &planned[0];
-    children.push(explain_plan(plan0, snapshot.slots()[*slot0].table().schema()));
+    children.push(explain_plan(plan0, snapshot.slots()[*slot0].table().schema(), partial_cache));
     PlanNode {
         name: "ScatterGather".to_string(),
         props: vec![
@@ -804,6 +805,10 @@ pub struct ShardStats {
     pub pending_rows: usize,
     /// Partitions the staged rows touch across this shard's slots.
     pub pending_partitions: usize,
+    /// Day-partial cache counters summed over this shard's slots (each
+    /// slot engine owns its own cache); `None` when the cache is
+    /// disabled.
+    pub partial_cache: Option<crate::partial_cache::PartialCacheStats>,
 }
 
 /// A point-in-time snapshot of sharded-engine counters.
@@ -936,12 +941,16 @@ impl ShardedEngine {
                 let mut rows = 0;
                 let mut pending_rows = 0;
                 let mut pending_partitions = 0;
+                let mut partial_cache: Option<crate::partial_cache::PartialCacheStats> = None;
                 for slot in range.clone() {
                     rows += snapshot.slots()[slot].table().num_rows();
                     let stats = self.shared.slots[slot].stats();
                     pending_rows += stats.pending_rows;
                     pending_partitions += stats.pending_partitions;
                     catalog_version = catalog_version.max(stats.catalog_version);
+                    if let Some(pc) = stats.partial_cache {
+                        partial_cache.get_or_insert_with(Default::default).add(&pc);
+                    }
                 }
                 ShardStats {
                     shard,
@@ -949,6 +958,7 @@ impl ShardedEngine {
                     rows,
                     pending_rows,
                     pending_partitions,
+                    partial_cache,
                 }
             })
             .collect();
@@ -1047,7 +1057,12 @@ impl ShardedEngine {
         if let Statement::Explain(inner) = &stmt {
             let snapshot = self.snapshot();
             let planned = plan_slots(&self.shared, &snapshot, inner)?;
-            return Ok(ExecOutput::Plan(scatter_explain(&self.shard_config, &snapshot, &planned)));
+            return Ok(ExecOutput::Plan(scatter_explain(
+                &self.shard_config,
+                &snapshot,
+                &planned,
+                self.shared.partial_enabled(),
+            )));
         }
         let snapshot = self.snapshot();
         let planned = plan_slots(&self.shared, &snapshot, &stmt)?;
@@ -1079,7 +1094,7 @@ impl ShardedEngine {
         };
         let snapshot = self.snapshot();
         let planned = plan_slots(&self.shared, &snapshot, &stmt)?;
-        Ok(scatter_explain(&self.shard_config, &snapshot, &planned))
+        Ok(scatter_explain(&self.shard_config, &snapshot, &planned, self.shared.partial_enabled()))
     }
 
     /// Prepare a statement for repeated sharded execution: per-slot plans
@@ -1193,7 +1208,7 @@ impl ShardedPrepared {
     pub fn explain(&self) -> Result<PlanNode, EngineError> {
         let snapshot = self.shared.snapshot();
         let planned = self.plans_for(&snapshot)?;
-        Ok(scatter_explain(&self.shard_config, &snapshot, &planned))
+        Ok(scatter_explain(&self.shard_config, &snapshot, &planned, self.shared.partial_enabled()))
     }
 }
 

@@ -1,0 +1,287 @@
+//! The day-partial cache oracle suite — the headline contract of the
+//! versioned partial cache.
+//!
+//! The cache memoizes per-day sample partials (`EstimateComponents`) and
+//! exact per-partition aggregate states keyed on the **identity** of the
+//! catalog cell / partition that produced them. The contract under test:
+//! caching changes *when* work happens, never *what* is computed —
+//! every answer served warm must be **bit-for-bit identical** to the
+//! cache-disabled engine's answer, across `USING (?, ?)` re-bindings,
+//! ingest→publish version swaps, shard counts, and the exact
+//! (full-scan) path.
+//!
+//! Counter assertions (hits/misses actually moving) are guarded by
+//! [`cache_active`]: the CI matrix re-runs this suite with
+//! `FLASHP_NO_PARTIAL_CACHE=1`, where the bit-equality oracle still
+//! holds but no cache exists to count against.
+
+use flashp_core::{
+    EngineConfig, FlashPEngine, ForecastResult, IngestBatch, Literal, SampleCatalog, SamplerChoice,
+    SelectResult, ShardConfig, ShardedEngine,
+};
+use flashp_data::{generate_dataset, DatasetConfig};
+use flashp_storage::{TimeSeriesTable, Value};
+
+const FORECAST_TEMPLATE: &str = "FORECAST SUM(Impression) FROM ads \
+     WHERE age <= 30 AND gender = 'F' USING (?, ?) \
+     OPTION (MODEL = 'ar(7)', FORE_PERIOD = 5, SAMPLE_RATE = 0.2)";
+
+const SELECT_TEMPLATE: &str = "SELECT SUM(Click) FROM ads WHERE age <= 40 AND t BETWEEN ? AND ? \
+     GROUP BY t OPTION (SAMPLE_RATE = 0.2)";
+
+/// Overlapping re-bindings: the second and third windows share most of
+/// their days with the first, so a working cache serves them mostly warm.
+const WINDOWS: [(i64, i64); 3] = [(20200101, 20200125), (20200105, 20200128), (20200103, 20200126)];
+
+/// Whether the engine-level cache can actually be observed: the config
+/// default enables it, but the `FLASHP_NO_PARTIAL_CACHE` kill switch
+/// (used by the CI cache-disabled job) overrides the config.
+fn cache_active() -> bool {
+    !std::env::var("FLASHP_NO_PARTIAL_CACHE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn config(partial_cache: bool) -> EngineConfig {
+    EngineConfig {
+        sampler: SamplerChoice::OptimalGsw,
+        layer_rates: vec![0.2, 0.05],
+        default_rate: 0.05,
+        partial_cache,
+        ..Default::default()
+    }
+}
+
+fn table(seed: u64) -> TimeSeriesTable {
+    generate_dataset(&DatasetConfig::new(400, 30, seed)).unwrap().table
+}
+
+/// An engine over the 30-day ads dataset. Catalog construction is
+/// deterministic in `(table, config)`, so two engines built from the
+/// same seed answer bit-identically — the cache-off engine is a valid
+/// oracle for the cache-on engine.
+fn engine(seed: u64, partial_cache: bool) -> FlashPEngine {
+    let table = table(seed);
+    let config = config(partial_cache);
+    let catalog = SampleCatalog::build(&table, &config).unwrap();
+    FlashPEngine::with_catalog(table, config, catalog)
+}
+
+fn assert_forecast_bits_eq(a: &ForecastResult, b: &ForecastResult, label: &str) {
+    assert_eq!(a.sampler, b.sampler, "{label}: sampler");
+    assert_eq!(a.rate_used.to_bits(), b.rate_used.to_bits(), "{label}: rate_used");
+    assert_eq!(a.sigma2.to_bits(), b.sigma2.to_bits(), "{label}: sigma2");
+    assert_eq!(a.estimates.len(), b.estimates.len(), "{label}: estimate count");
+    for (pa, pb) in a.estimates.iter().zip(&b.estimates) {
+        assert_eq!(pa.t, pb.t, "{label}: estimate timestamp");
+        assert_eq!(pa.value.to_bits(), pb.value.to_bits(), "{label}: estimate at {}", pa.t);
+        assert_eq!(
+            pa.variance.map(f64::to_bits),
+            pb.variance.map(f64::to_bits),
+            "{label}: variance at {}",
+            pa.t
+        );
+    }
+    assert_eq!(a.forecasts.len(), b.forecasts.len(), "{label}: forecast count");
+    for (pa, pb) in a.forecasts.iter().zip(&b.forecasts) {
+        for (va, vb, field) in
+            [(pa.value, pb.value, "value"), (pa.lo, pb.lo, "lo"), (pa.hi, pb.hi, "hi")]
+        {
+            assert_eq!(va.to_bits(), vb.to_bits(), "{label}: forecast {field} at {}", pa.t);
+        }
+    }
+}
+
+fn assert_select_bits_eq(a: &SelectResult, b: &SelectResult, label: &str) {
+    assert_eq!(a.approximate, b.approximate, "{label}: approximate flag");
+    assert_eq!(a.rows.len(), b.rows.len(), "{label}: row count");
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.0, rb.0, "{label}: timestamp");
+        assert_eq!(ra.1.to_bits(), rb.1.to_bits(), "{label}: value at {}", ra.0);
+        assert_eq!(ra.2.map(f64::to_bits), rb.2.map(f64::to_bits), "{label}: std_err at {}", ra.0);
+    }
+}
+
+/// Cold and warm executions of re-bound windows are bit-identical to the
+/// cache-disabled oracle engine — FORECAST and SELECT, every window run
+/// twice so the second pass is served from memoized day partials.
+#[test]
+fn warm_rebindings_match_the_uncached_oracle_bit_for_bit() {
+    let cached = engine(17, true);
+    let oracle = engine(17, false);
+    let f = cached.prepare(FORECAST_TEMPLATE).unwrap();
+    let s = cached.prepare(SELECT_TEMPLATE).unwrap();
+    let f_oracle = oracle.prepare(FORECAST_TEMPLATE).unwrap();
+    let s_oracle = oracle.prepare(SELECT_TEMPLATE).unwrap();
+
+    for (round, temp) in ["cold", "warm"].into_iter().enumerate() {
+        for (lo, hi) in WINDOWS {
+            let label = format!("{temp} USING ({lo}, {hi})");
+            let params = [Literal::Int(lo), Literal::Int(hi)];
+            let want_f = f_oracle.forecast_with(&params).unwrap();
+            let want_s = s_oracle.select_with(&params).unwrap();
+            assert_forecast_bits_eq(&want_f, &f.forecast_with(&params).unwrap(), &label);
+            assert_select_bits_eq(&want_s, &s.select_with(&params).unwrap(), &label);
+        }
+        if round == 0 && cache_active() {
+            let stats = cached.partial_cache_stats().expect("cache on");
+            assert!(stats.misses > 0, "cold pass must populate the cache: {stats:?}");
+        }
+    }
+    if cache_active() {
+        let stats = cached.partial_cache_stats().expect("cache on");
+        assert!(stats.hits > 0, "warm pass must be served from the cache: {stats:?}");
+        assert!(cached.stats().partial_cache.is_some(), "EngineStats must surface the cache");
+    } else {
+        assert_eq!(cached.partial_cache_stats(), None, "kill switch must disable the cache");
+    }
+    assert_eq!(oracle.partial_cache_stats(), None, "config off must disable the cache");
+}
+
+/// One synthetic ads row for the generated schema (11 dims, 4 measures).
+fn ads_row(batch: &mut IngestBatch, t: i64, row: i64) {
+    let dims = [
+        Value::Int(20 + (row % 40)),
+        Value::Str(if row % 2 == 0 { "F" } else { "M" }.to_string()),
+        Value::Str(format!("city_{:02}", row % 20)),
+        Value::Str("mobile".to_string()),
+        Value::Str("ios".to_string()),
+        Value::Int(row % 5),
+        Value::Int(row % 3),
+        Value::Int(row % 7),
+        Value::Str("search".to_string()),
+        Value::Int(row % 4),
+        Value::Int(row % 2),
+    ];
+    let measures = [150.0 + row as f64, 12.0 + (row % 9) as f64, 3.0, 1.0];
+    let t = flashp_storage::Timestamp::from_yyyymmdd(t).unwrap();
+    batch.push_row(t, &dims, &measures);
+}
+
+/// Publish invalidation is structural and exact: growing one day inside
+/// the window gives that day's cells fresh identities while every
+/// untouched day keeps its Arc-shared cell — so a warm re-run after the
+/// publish recomputes **only** the changed day, and still answers
+/// bit-identically to a fresh engine built over the post-publish table.
+#[test]
+fn publish_invalidates_exactly_the_changed_days() {
+    let cached = engine(23, true);
+    let f = cached.prepare(FORECAST_TEMPLATE).unwrap();
+    let (lo, hi) = (20200102, 20200127);
+    let window_days = 26u64;
+    let params = [Literal::Int(lo), Literal::Int(hi)];
+
+    // Two runs: populate, then fully warm.
+    f.forecast_with(&params).unwrap();
+    f.forecast_with(&params).unwrap();
+    let before = cached.partial_cache_stats();
+
+    // Grow one existing day inside the window.
+    let mut batch = IngestBatch::new();
+    for row in 0..120 {
+        ads_row(&mut batch, 20200110, row);
+    }
+    cached.ingest(batch).unwrap();
+    cached.publish().unwrap();
+
+    let got = f.forecast_with(&params).unwrap();
+    if cache_active() {
+        let (before, after) = (before.expect("cache on"), cached.partial_cache_stats().unwrap());
+        let new_misses = after.misses - before.misses;
+        let new_hits = after.hits - before.hits;
+        assert_eq!(new_misses, 1, "only the republished day's cell may miss: {after:?}");
+        assert_eq!(new_hits, window_days - 1, "every untouched day must stay warm: {after:?}");
+    }
+
+    // Oracle: a fresh cache-disabled engine over the same post-publish
+    // table (snapshots share the table Arc, so this is the exact relation
+    // the cached engine now serves).
+    let snapshot_table = cached.table();
+    let oracle_config = config(false);
+    let catalog = SampleCatalog::build(&snapshot_table, &oracle_config).unwrap();
+    let oracle = FlashPEngine::with_catalog(snapshot_table, oracle_config, catalog);
+    let want = oracle.prepare(FORECAST_TEMPLATE).unwrap().forecast_with(&params).unwrap();
+    assert_forecast_bits_eq(&want, &got, "post-publish warm re-run");
+}
+
+/// The cache lives per slot under sharding, so a warm sharded engine
+/// stays shard-count invariant: every binding is run twice at N = 1, 2,
+/// and 8 shards and the warm answers compared bit-for-bit against the
+/// N = 1 baseline.
+#[test]
+fn warm_answers_are_shard_count_invariant() {
+    let table = table(17);
+    let engines: Vec<(usize, ShardedEngine)> = [1usize, 2, 8]
+        .into_iter()
+        .map(|n| {
+            let engine =
+                ShardedEngine::with_catalogs(&table, config(true), ShardConfig::with_shards(n))
+                    .unwrap();
+            (n, engine)
+        })
+        .collect();
+    let prepared: Vec<_> = engines
+        .iter()
+        .map(|(n, e)| {
+            (*n, e.prepare(FORECAST_TEMPLATE).unwrap(), e.prepare(SELECT_TEMPLATE).unwrap())
+        })
+        .collect();
+    for temp in ["cold", "warm"] {
+        for (lo, hi) in WINDOWS {
+            let params = [Literal::Int(lo), Literal::Int(hi)];
+            let (_, f0, s0) = &prepared[0];
+            let want_f = f0.forecast_with(&params).unwrap();
+            let want_s = s0.select_with(&params).unwrap();
+            for (n, f, s) in &prepared[1..] {
+                let label = format!("N={n}: {temp} USING ({lo}, {hi})");
+                assert_forecast_bits_eq(&want_f, &f.forecast_with(&params).unwrap(), &label);
+                assert_select_bits_eq(&want_s, &s.select_with(&params).unwrap(), &label);
+            }
+        }
+    }
+    if cache_active() {
+        for (n, engine) in &engines {
+            let stats = engine.stats();
+            let mut total = flashp_core::PartialCacheStats::default();
+            for shard in &stats.shards {
+                let pc = shard.partial_cache.expect("shard stats must aggregate its slot caches");
+                total.add(&pc);
+            }
+            assert!(total.hits > 0, "N={n}: warm pass must hit the per-slot caches: {total:?}");
+        }
+    }
+}
+
+/// The exact (full-scan) path memoizes per-partition aggregate states
+/// keyed on partition identity: warm exact answers are bit-identical to
+/// the cache-disabled oracle, for plain SELECT and `SAMPLE_RATE = 1.0`.
+#[test]
+fn exact_path_warm_matches_the_uncached_oracle() {
+    let cached = engine(41, true);
+    let oracle = engine(41, false);
+    for sql in [
+        "SELECT SUM(Impression) FROM ads WHERE age <= 30 AND t BETWEEN 20200105 AND 20200120 \
+         GROUP BY t",
+        "SELECT AVG(Click) FROM ads WHERE gender = 'F' AND t BETWEEN 20200101 AND 20200128 \
+         GROUP BY t",
+        "FORECAST COUNT(*) FROM ads USING (20200101, 20200126) \
+         OPTION (MODEL = 'naive', SAMPLE_RATE = 1.0)",
+        "SELECT SUM(Impression) FROM ads WHERE age <= 30 AND t = 20200105 OPTION (FAST_SUM = 1)",
+    ] {
+        let want = oracle.execute(sql).unwrap();
+        for temp in ["cold", "warm"] {
+            let got = cached.execute(sql).unwrap();
+            match (&want, &got) {
+                (flashp_core::ExecOutput::Select(a), flashp_core::ExecOutput::Select(b)) => {
+                    assert_select_bits_eq(a, b, &format!("{temp}: {sql}"));
+                }
+                (flashp_core::ExecOutput::Forecast(a), flashp_core::ExecOutput::Forecast(b)) => {
+                    assert_forecast_bits_eq(a, b, &format!("{temp}: {sql}"));
+                }
+                _ => panic!("{sql}: mismatched output shapes"),
+            }
+        }
+    }
+    if cache_active() {
+        let stats = cached.partial_cache_stats().expect("cache on");
+        assert!(stats.hits > 0, "warm exact re-runs must hit the cache: {stats:?}");
+    }
+}

@@ -467,6 +467,7 @@ pub fn encode_sharded_stats(stats: &flashp_core::ShardedStats, server: Value) ->
                 "rows": s.rows,
                 "pending_rows": s.pending_rows,
                 "pending_partitions": s.pending_partitions,
+                "partial_cache": partial_cache_json(&s.partial_cache),
             })
         })
         .collect();
@@ -485,6 +486,20 @@ pub fn encode_sharded_stats(stats: &flashp_core::ShardedStats, server: Value) ->
     }))
 }
 
+/// Day-partial cache counters as JSON; `null` when the cache is disabled
+/// (config or `FLASHP_NO_PARTIAL_CACHE=1`).
+fn partial_cache_json(stats: &Option<flashp_core::PartialCacheStats>) -> Value {
+    match stats {
+        None => Value::Null,
+        Some(c) => json!({
+            "hits": c.hits,
+            "misses": c.misses,
+            "evictions": c.evictions,
+            "entries": c.entries,
+        }),
+    }
+}
+
 /// Encode the `STATS` response from an engine snapshot plus the
 /// server-side counters (already rendered by [`crate::stats`]).
 pub fn encode_stats(engine: &EngineStats, server: Value) -> String {
@@ -499,6 +514,7 @@ pub fn encode_stats(engine: &EngineStats, server: Value) -> String {
                 "misses": engine.plan_cache.misses,
                 "entries": engine.plan_cache.entries,
             },
+            "partial_cache": partial_cache_json(&engine.partial_cache),
             "pending_rows": engine.pending_rows,
             "pending_partitions": engine.pending_partitions,
         },

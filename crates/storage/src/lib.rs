@@ -54,6 +54,6 @@ pub use scan::{
 };
 pub use schema::{DimensionDef, MeasureDef, Schema, SchemaRef};
 pub use simd::{KernelSet, KernelTier};
-pub use table::TimeSeriesTable;
+pub use table::{eval_partition_with, TimeSeriesTable};
 pub use timestamp::{Date, Timestamp};
 pub use types::{DataType, Value};

@@ -5,28 +5,85 @@ use crate::error::StorageError;
 use crate::schema::Schema;
 use crate::stats::ZoneMaps;
 use crate::types::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide monotone source for [`Partition::id`]. Ids are never
+/// reused, so an id held by a dropped partition can never alias a live
+/// one.
+static NEXT_PARTITION_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_partition_id() -> u64 {
+    NEXT_PARTITION_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The rows of one time partition in columnar form: one
 /// [`DimensionColumn`] per dimension and one dense `f64` vector per
 /// measure. Partitions are immutable once inserted into a table except via
 /// [`Partition::push_row`], which the table uses for row-level ingestion.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct Partition {
+    /// Process-unique structural identity; see [`Partition::id`].
+    id: u64,
     dims: Vec<DimensionColumn>,
     measures: Vec<Vec<f64>>,
     num_rows: usize,
     zone_maps: ZoneMaps,
 }
 
+/// Clones take a **fresh** identity: every clone site either mutates the
+/// copy next (the table's copy-on-write `Arc::make_mut` paths) or hands it
+/// to an independent table, so sharing the source's id would let a cache
+/// keyed on partition identity serve stale data.
+impl Clone for Partition {
+    fn clone(&self) -> Self {
+        Partition {
+            id: next_partition_id(),
+            dims: self.dims.clone(),
+            measures: self.measures.clone(),
+            num_rows: self.num_rows,
+            zone_maps: self.zone_maps.clone(),
+        }
+    }
+}
+
+impl Default for Partition {
+    fn default() -> Self {
+        Partition {
+            id: next_partition_id(),
+            dims: Vec::new(),
+            measures: Vec::new(),
+            num_rows: 0,
+            zone_maps: ZoneMaps::default(),
+        }
+    }
+}
+
 impl Partition {
     /// An empty partition shaped like `schema`.
     pub fn empty(schema: &Schema) -> Self {
         Partition {
+            id: next_partition_id(),
             dims: schema.dimensions().iter().map(|d| DimensionColumn::new(d.dtype)).collect(),
             measures: vec![Vec::new(); schema.num_measures()],
             num_rows: 0,
             zone_maps: ZoneMaps::empty(schema.num_dimensions()),
         }
+    }
+
+    /// Process-unique structural identity of this partition object.
+    ///
+    /// A fresh id is drawn on every construction *and every clone*, and
+    /// ids are never reused, so two observations of the same id always
+    /// refer to the same physical columns. Rows may still be appended in
+    /// place (`push_row`/`extend`) while the id stays — but only on
+    /// partitions not yet shared with a published table version (the
+    /// table's append paths go through `Arc::make_mut`, which clones — and
+    /// re-ids — any partition a reader could still hold). Caches that key
+    /// on identity must therefore only observe partitions through
+    /// immutable snapshots, which is exactly how query execution sees
+    /// them.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Assemble a partition from pre-built columns. All columns must have
@@ -51,7 +108,7 @@ impl Partition {
             }
         }
         let zone_maps = ZoneMaps::compute(&dims);
-        Ok(Partition { dims, measures, num_rows, zone_maps })
+        Ok(Partition { id: next_partition_id(), dims, measures, num_rows, zone_maps })
     }
 
     /// Number of rows in this partition (the paper's per-timestamp `N`).
@@ -252,7 +309,13 @@ impl PartitionBuilder {
     /// Finish, computing zone maps.
     pub fn finish(self) -> Partition {
         let zone_maps = ZoneMaps::compute(&self.dims);
-        Partition { dims: self.dims, measures: self.measures, num_rows: self.num_rows, zone_maps }
+        Partition {
+            id: next_partition_id(),
+            dims: self.dims,
+            measures: self.measures,
+            num_rows: self.num_rows,
+            zone_maps,
+        }
     }
 }
 

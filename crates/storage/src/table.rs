@@ -246,9 +246,10 @@ pub(crate) fn eval_partition(
     eval_partition_with(partition, measure_idx, pred, &mut MaskScratch::new(), SumMode::Exact)
 }
 
-/// [`eval_partition`] drawing mask buffers from `scratch` so range scans
-/// reuse allocations across partitions. Single-comparison predicates and
-/// constants skip mask materialization entirely via the fused kernels.
+/// Evaluate one partition (zone-map prune, then mask + aggregate),
+/// drawing mask buffers from `scratch` so range scans reuse allocations
+/// across partitions. Single-comparison predicates and constants skip
+/// mask materialization entirely via the fused kernels.
 ///
 /// `sum` selects the accumulation contract: [`SumMode::Exact`] keeps every
 /// float sum in ascending row order (bit-identical to the scalar
@@ -256,7 +257,7 @@ pub(crate) fn eval_partition(
 /// tier's reassociated `agg_masked_fast` slot — counts stay exact, sums
 /// are deterministic per tier but may differ from exact by accumulated
 /// rounding.
-pub(crate) fn eval_partition_with(
+pub fn eval_partition_with(
     partition: &Partition,
     measure_idx: usize,
     pred: &CompiledPredicate,
